@@ -1,0 +1,46 @@
+# PERSEAS — build, test and experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the soak test and the `go run` example harness.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper.
+experiments:
+	$(GO) run ./cmd/perseas-bench -experiment all
+
+# Short fuzzing passes over every decoder.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime 30s ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzDecodeResponse -fuzztime 30s ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzDecodeRecord -fuzztime 30s ./internal/aries/
+	$(GO) test -run xxx -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/aries/
+	$(GO) test -run xxx -fuzz FuzzParseRecord -fuzztime 30s ./internal/core/
+	$(GO) test -run xxx -fuzz FuzzScanUndoLog -fuzztime 30s ./internal/core/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bank -accounts 200 -transfers 1000
+	$(GO) run ./examples/orderentry
+	$(GO) run ./examples/crashcourse
+	$(GO) run ./examples/kvstore
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,202 @@
+// Go benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark reports two numbers:
+//
+//   - ns/op — real host time (dominated by the byte copies the engines
+//     actually perform);
+//   - sim-us/tx and sim-tps — the calibrated virtual-clock measurements
+//     that correspond to the paper's published latencies/throughputs.
+//
+// Run with: go test -bench=. -benchmem
+package perseas_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/bench"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/rig"
+	"github.com/ics-forth/perseas/internal/sci"
+)
+
+// reportSim attaches the virtual-clock metrics to a benchmark.
+func reportSim(b *testing.B, res bench.Result) {
+	b.Helper()
+	b.ReportMetric(float64(res.PerTx.Nanoseconds())/1e3, "sim-us/tx")
+	b.ReportMetric(res.TPS, "sim-tps")
+}
+
+// benchWorkload runs b.N transactions of a workload on one engine.
+func benchWorkload(b *testing.B, builder rig.Builder, mk func() (bench.Workload, error)) {
+	b.Helper()
+	lab, err := builder.Build(rig.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lab.Engine.Close()
+	w, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := bench.Run(lab.Engine, lab.Clock, w, b.N, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	reportSim(b, res)
+}
+
+// BenchmarkFigure5SCIRemoteWrite regenerates Fig. 5: the latency of one
+// SCI remote store at word offset 0, for the paper's 4..200-byte range.
+func BenchmarkFigure5SCIRemoteWrite(b *testing.B) {
+	for _, size := range []int{4, 16, 32, 64, 128, 200} {
+		size := size
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			card, err := sci.New(sci.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last int64
+			for i := 0; i < b.N; i++ {
+				last = card.StoreLatency(0, size).Nanoseconds()
+			}
+			b.ReportMetric(float64(last)/1e3, "sim-us/store")
+		})
+	}
+}
+
+// BenchmarkFigure6SyntheticSweep regenerates Fig. 6: PERSEAS transaction
+// overhead versus transaction size, 4 bytes to 1 MByte.
+func BenchmarkFigure6SyntheticSweep(b *testing.B) {
+	for _, size := range []uint64{4, 64, 1024, 16384, 262144, 1 << 20} {
+		size := size
+		b.Run(fmt.Sprintf("txsize=%d", size), func(b *testing.B) {
+			benchWorkload(b, rig.Builder{Name: "perseas", Build: rig.NewPerseas},
+				func() (bench.Workload, error) { return bench.NewSynthetic(2<<20, size) })
+		})
+	}
+}
+
+// BenchmarkTable1DebitCredit regenerates the debit-credit row of
+// Table 1: PERSEAS throughput on the TPC-B-like banking workload.
+func BenchmarkTable1DebitCredit(b *testing.B) {
+	benchWorkload(b, rig.Builder{Name: "perseas", Build: rig.NewPerseas},
+		func() (bench.Workload, error) { return bench.NewDebitCredit(0, 0) })
+}
+
+// BenchmarkTable1OrderEntry regenerates the order-entry row of Table 1:
+// PERSEAS throughput on the TPC-C-like wholesale-supplier workload.
+func BenchmarkTable1OrderEntry(b *testing.B) {
+	benchWorkload(b, rig.Builder{Name: "perseas", Build: rig.NewPerseas},
+		func() (bench.Workload, error) { return bench.NewOrderEntry(0, 0, 0) })
+}
+
+// BenchmarkComparisonDebitCredit regenerates the Section 5.1 comparison
+// on debit-credit: every engine the paper discusses.
+func BenchmarkComparisonDebitCredit(b *testing.B) {
+	for _, builder := range rig.All() {
+		builder := builder
+		b.Run(builder.Name, func(b *testing.B) {
+			benchWorkload(b, builder,
+				func() (bench.Workload, error) { return bench.NewDebitCredit(2, 500) })
+		})
+	}
+}
+
+// BenchmarkComparisonSynthetic regenerates the Section 5.1 small-
+// transaction comparison (the "orders of magnitude" claim).
+func BenchmarkComparisonSynthetic(b *testing.B) {
+	for _, builder := range rig.All() {
+		builder := builder
+		b.Run(builder.Name, func(b *testing.B) {
+			benchWorkload(b, builder,
+				func() (bench.Workload, error) { return bench.NewSynthetic(1<<20, 64) })
+		})
+	}
+}
+
+// BenchmarkDBSizeInvariance regenerates the Section 5.1 observation that
+// PERSEAS throughput is almost constant while the database fits in RAM.
+func BenchmarkDBSizeInvariance(b *testing.B) {
+	for _, branches := range []int{1, 4, 16} {
+		branches := branches
+		b.Run(fmt.Sprintf("branches=%d", branches), func(b *testing.B) {
+			benchWorkload(b, rig.Builder{Name: "perseas", Build: rig.NewPerseas},
+				func() (bench.Workload, error) { return bench.NewDebitCredit(branches, 2500) })
+		})
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation table.
+func BenchmarkAblation(b *testing.B) {
+	configs := []struct {
+		name   string
+		mutate func(*rig.Config)
+	}{
+		{"default", func(*rig.Config) {}},
+		{"no-alignment", func(c *rig.Config) { c.NoAlignment = true }},
+		{"no-remote-undo", func(c *rig.Config) { c.NoRemoteUndo = true }},
+		{"mirrors-2", func(c *rig.Config) { c.Mirrors = 2 }},
+		{"mirrors-3", func(c *rig.Config) { c.Mirrors = 3 }},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			benchWorkload(b,
+				rig.Builder{Name: "perseas", Build: func(c rig.Config) (*rig.Lab, error) {
+					cfg.mutate(&c)
+					return rig.NewPerseas(c)
+				}},
+				func() (bench.Workload, error) { return bench.NewDebitCredit(0, 0) })
+		})
+	}
+}
+
+// BenchmarkRecovery measures the paper's "simple and efficient recovery":
+// full crash-and-attach cycles, including rolling back an in-flight
+// transaction.
+func BenchmarkRecovery(b *testing.B) {
+	lab, err := rig.NewPerseas(rig.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := lab.Engine.CreateDB("db", 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := lab.Engine.InitDB(db); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lab.Engine.Begin(); err != nil {
+			b.Fatal(err)
+		}
+		off := uint64(rng.Intn(1 << 19))
+		if err := lab.Engine.SetRange(db, off, 256); err != nil {
+			b.Fatal(err)
+		}
+		if err := lab.Engine.Crash(fault.AllKinds()[i%3]); err != nil {
+			b.Fatal(err)
+		}
+		if err := lab.Engine.Recover(); err != nil {
+			b.Fatal(err)
+		}
+		re, err := lab.Engine.OpenDB("db")
+		if err != nil {
+			b.Fatal(err)
+		}
+		db = re
+	}
+}
+
+// BenchmarkExtraARIES measures the ARIES reference baseline (cited by
+// the paper as a WAL exemplar) on debit-credit: like RVM, it commits at
+// magnetic-disk latency — the cost PERSEAS removes.
+func BenchmarkExtraARIES(b *testing.B) {
+	benchWorkload(b, rig.Builder{Name: "aries", Build: rig.NewARIES},
+		func() (bench.Workload, error) { return bench.NewDebitCredit(2, 500) })
+}

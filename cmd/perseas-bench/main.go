@@ -1,0 +1,439 @@
+// Command perseas-bench regenerates every table and figure of the
+// paper's evaluation (Section 5) on the deterministic simulation rig:
+//
+//	perseas-bench -experiment fig5     # SCI remote-write latency curve
+//	perseas-bench -experiment fig6     # transaction overhead vs tx size
+//	perseas-bench -experiment table1   # PERSEAS debit-credit / order-entry
+//	perseas-bench -experiment compare  # Section 5.1 cross-system table
+//	perseas-bench -experiment dbsize   # throughput vs database size
+//	perseas-bench -experiment ablate   # design-choice ablations
+//	perseas-bench -experiment all      # everything above
+//
+// All timings are virtual: they come from the calibrated PCI-SCI, disk
+// and memory models, so the output is identical on every host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/bench"
+	"github.com/ics-forth/perseas/internal/disk"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/rig"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: fig5, fig6, table1, compare, dbsize, ablate, all")
+	txs := flag.Int("txs", 2000, "transactions per measurement")
+	flag.Parse()
+
+	if err := run(os.Stdout, *experiment, *txs); err != nil {
+		fmt.Fprintln(os.Stderr, "perseas-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, experiment string, txs int) error {
+	type exp struct {
+		name string
+		fn   func(io.Writer, int) error
+	}
+	all := []exp{
+		{"fig5", runFig5},
+		{"fig6", runFig6},
+		{"table1", runTable1},
+		{"compare", runCompare},
+		{"dbsize", runDBSize},
+		{"ablate", runAblate},
+		{"recovery", runRecovery},
+		{"trend", runTrend},
+		{"latency", runLatency},
+		{"mixed", runMixed},
+	}
+	if experiment == "all" {
+		for i, e := range all {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			if err := e.fn(w, txs); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range all {
+		if e.name == experiment {
+			return e.fn(w, txs)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", experiment)
+}
+
+func perseasFactory(cfg rig.Config) bench.LabFactory {
+	return func() (engine.Engine, *simclock.SimClock, error) {
+		lab, err := rig.NewPerseas(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lab.Engine, lab.Clock, nil
+	}
+}
+
+func runFig5(w io.Writer, _ int) error {
+	if err := bench.RenderFigure5(w, sci.DefaultParams()); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return bench.RenderFigure5Offsets(w, sci.DefaultParams())
+}
+
+func runFig6(w io.Writer, txs int) error {
+	perSize := txs / 10
+	if perSize < 20 {
+		perSize = 20
+	}
+	pts, err := bench.Sweep(perseasFactory(rig.DefaultConfig()), 2<<20, bench.Figure6Sizes(), perSize)
+	if err != nil {
+		return err
+	}
+	bench.RenderFigure6(w, pts)
+	return nil
+}
+
+func runTable1(w io.Writer, txs int) error {
+	var results []bench.Result
+	for _, wl := range []func() (bench.Workload, error){
+		func() (bench.Workload, error) { return bench.NewDebitCredit(0, 0) },
+		func() (bench.Workload, error) { return bench.NewOrderEntry(0, 0, 0) },
+	} {
+		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		workload, err := wl()
+		if err != nil {
+			return err
+		}
+		res, err := bench.Run(lab.Engine, lab.Clock, workload, txs, 42)
+		if err != nil {
+			return err
+		}
+		_ = lab.Engine.Close()
+		results = append(results, res)
+	}
+	bench.RenderTable1(w, results)
+	return nil
+}
+
+func runCompare(w io.Writer, txs int) error {
+	var results []bench.Result
+	workloads := []struct {
+		name string
+		mk   func() (bench.Workload, error)
+	}{
+		{"synthetic-64", func() (bench.Workload, error) { return bench.NewSynthetic(1<<20, 64) }},
+		{"debit-credit", func() (bench.Workload, error) { return bench.NewDebitCredit(0, 0) }},
+		{"order-entry", func() (bench.Workload, error) { return bench.NewOrderEntry(0, 0, 0) }},
+	}
+	for _, wl := range workloads {
+		for _, b := range rig.All() {
+			lab, err := b.Build(rig.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			workload, err := wl.mk()
+			if err != nil {
+				return err
+			}
+			n := txs
+			if b.Name == "rvm" || b.Name == "rvm-group" {
+				// Disk-bound engines: milliseconds of virtual time per
+				// transaction; a few hundred suffice for a stable mean.
+				n = min(n, 300)
+			}
+			res, err := bench.Run(lab.Engine, lab.Clock, workload, n, 42)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", wl.name, b.Name, err)
+			}
+			_ = lab.Engine.Close()
+			results = append(results, res)
+		}
+	}
+	bench.RenderComparison(w, results)
+	return nil
+}
+
+func runDBSize(w io.Writer, txs int) error {
+	var rows []bench.DBSizeRow
+	for _, branches := range []int{1, 2, 4, 8, 16} {
+		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		workload, err := bench.NewDebitCredit(branches, 2500)
+		if err != nil {
+			return err
+		}
+		res, err := bench.Run(lab.Engine, lab.Clock, workload, txs, 42)
+		if err != nil {
+			return err
+		}
+		_ = lab.Engine.Close()
+		rows = append(rows, bench.DBSizeRow{
+			Branches: branches,
+			DBBytes:  workload.DBBytes(),
+			TPS:      res.TPS,
+		})
+	}
+	bench.RenderDBSize(w, rows)
+	return nil
+}
+
+func runAblate(w io.Writer, txs int) error {
+	configs := []struct {
+		name   string
+		mutate func(*rig.Config)
+	}{
+		{"default (1 mirror)", func(*rig.Config) {}},
+		{"no 64B alignment", func(c *rig.Config) { c.NoAlignment = true }},
+		{"no remote undo (unsafe)", func(c *rig.Config) { c.NoRemoteUndo = true }},
+		{"2 mirrors", func(c *rig.Config) { c.Mirrors = 2 }},
+		{"3 mirrors", func(c *rig.Config) { c.Mirrors = 3 }},
+		// NICs with transparent mirroring support (PRAM, Telegraphos,
+		// SHRIMP): replication degree stops costing anything.
+		{"2 mirrors, hw mirroring", func(c *rig.Config) { c.Mirrors = 2; c.HardwareMirroring = true }},
+		{"3 mirrors, hw mirroring", func(c *rig.Config) { c.Mirrors = 3; c.HardwareMirroring = true }},
+	}
+	var rows []bench.AblationRow
+	for _, c := range configs {
+		cfg := rig.DefaultConfig()
+		c.mutate(&cfg)
+		lab, err := rig.NewPerseas(cfg)
+		if err != nil {
+			return err
+		}
+		workload, err := bench.NewDebitCredit(0, 0)
+		if err != nil {
+			return err
+		}
+		res, err := bench.Run(lab.Engine, lab.Clock, workload, txs, 42)
+		if err != nil {
+			return err
+		}
+		_ = lab.Engine.Close()
+		rows = append(rows, bench.AblationRow{Config: c.name, TPS: res.TPS, PerTx: res.PerTx})
+	}
+	// The 64-byte expansion matters most for mid-size unaligned writes,
+	// where edge chunks drain as several small packets: show it on the
+	// 200-byte synthetic workload too.
+	for _, noAlign := range []bool{false, true} {
+		cfg := rig.DefaultConfig()
+		cfg.NoAlignment = noAlign
+		lab, err := rig.NewPerseas(cfg)
+		if err != nil {
+			return err
+		}
+		workload, err := bench.NewSynthetic(1<<20, 200)
+		if err != nil {
+			return err
+		}
+		res, err := bench.Run(lab.Engine, lab.Clock, workload, txs, 42)
+		if err != nil {
+			return err
+		}
+		_ = lab.Engine.Close()
+		name := "synthetic-200, aligned"
+		if noAlign {
+			name = "synthetic-200, no alignment"
+		}
+		rows = append(rows, bench.AblationRow{Config: name, TPS: res.TPS, PerTx: res.PerTx})
+	}
+	bench.RenderAblation(w, rows)
+	return nil
+}
+
+func runRecovery(w io.Writer, _ int) error {
+	var rows []bench.RecoveryRow
+	for _, dbMB := range []uint64{1, 4, 16} {
+		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		size := dbMB << 20
+		db, err := lab.Engine.CreateDB("db", size)
+		if err != nil {
+			return err
+		}
+		if err := lab.Engine.InitDB(db); err != nil {
+			return err
+		}
+		// Leave a transaction in flight with a handful of ranges so
+		// recovery exercises the remote-undo rollback too.
+		const ranges = 4
+		if err := lab.Engine.Begin(); err != nil {
+			return err
+		}
+		for r := 0; r < ranges; r++ {
+			if err := lab.Engine.SetRange(db, uint64(r)*4096, 512); err != nil {
+				return err
+			}
+		}
+		if err := lab.Engine.Crash(fault.CrashPower); err != nil {
+			return err
+		}
+		t0 := lab.Clock.Now()
+		if err := lab.Engine.Recover(); err != nil {
+			return err
+		}
+		rows = append(rows, bench.RecoveryRow{
+			DBBytes:        size,
+			InFlightRanges: ranges,
+			Elapsed:        lab.Clock.Now() - t0,
+		})
+		_ = lab.Engine.Close()
+	}
+	bench.RenderRecovery(w, rows)
+	return nil
+}
+
+func runLatency(w io.Writer, txs int) error {
+	var results []bench.Result
+	for _, b := range rig.All() {
+		lab, err := b.Build(rig.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		workload, err := bench.NewDebitCredit(0, 0)
+		if err != nil {
+			return err
+		}
+		n := txs
+		if b.Name == "rvm" || b.Name == "rvm-group" {
+			n = min(n, 300)
+		}
+		res, err := bench.Run(lab.Engine, lab.Clock, workload, n, 42)
+		if err != nil {
+			return err
+		}
+		_ = lab.Engine.Close()
+		results = append(results, res)
+	}
+	bench.RenderLatency(w, results)
+	return nil
+}
+
+func runMixed(w io.Writer, txs int) error {
+	fmt.Fprintln(w, "Read/write mix — PERSEAS (reads are local loads)")
+	fmt.Fprintf(w, "%12s %12s %12s\n", "read frac", "tps", "per-tx")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		workload, err := bench.NewMixed(1<<20, frac, 64)
+		if err != nil {
+			return err
+		}
+		res, err := bench.Run(lab.Engine, lab.Clock, workload, txs, 42)
+		if err != nil {
+			return err
+		}
+		_ = lab.Engine.Close()
+		fmt.Fprintf(w, "%12.2f %12.0f %12v\n", frac, res.TPS, res.PerTx)
+	}
+	return nil
+}
+
+// scaleSCI speeds every interconnect constant up by factor f.
+func scaleSCI(p sci.Params, f float64) sci.Params {
+	scale := func(d time.Duration) time.Duration {
+		v := time.Duration(float64(d) / f)
+		if v < time.Nanosecond {
+			v = time.Nanosecond
+		}
+		return v
+	}
+	p.PIOWordCost = scale(p.PIOWordCost)
+	p.PacketBase = scale(p.PacketBase)
+	p.Packet64Cost = scale(p.Packet64Cost)
+	p.Packet64Streamed = scale(p.Packet64Streamed)
+	p.Packet16Cost = scale(p.Packet16Cost)
+	p.Packet16Streamed = scale(p.Packet16Streamed)
+	p.HopCost = scale(p.HopCost)
+	return p
+}
+
+// scaleDisk speeds the disk up by factor f.
+func scaleDisk(p disk.Params, f float64) disk.Params {
+	p.SeekAvg = time.Duration(float64(p.SeekAvg) / f)
+	p.RotationalHalf = time.Duration(float64(p.RotationalHalf) / f)
+	p.BytesPerSecond *= f
+	return p
+}
+
+func runTrend(w io.Writer, txs int) error {
+	var rows []bench.TrendRow
+	for year := 0; year <= 10; year += 2 {
+		netF := math.Pow(1.30, float64(year))
+		diskF := math.Pow(1.15, float64(year))
+
+		cfg := rig.DefaultConfig()
+		sp := scaleSCI(sci.DefaultParams(), netF)
+		cfg.SCIParams = &sp
+		perseasLab, err := rig.NewPerseas(cfg)
+		if err != nil {
+			return err
+		}
+		wl, err := bench.NewDebitCredit(0, 0)
+		if err != nil {
+			return err
+		}
+		pres, err := bench.Run(perseasLab.Engine, perseasLab.Clock, wl, txs, 42)
+		if err != nil {
+			return err
+		}
+		_ = perseasLab.Engine.Close()
+
+		dcfg := rig.DefaultConfig()
+		dp := scaleDisk(disk.DefaultParams(dcfg.DeviceSize), diskF)
+		dcfg.DiskParams = &dp
+		dcfg.GroupCommit = true
+		rvmLab, err := rig.NewRVM(dcfg)
+		if err != nil {
+			return err
+		}
+		wl2, err := bench.NewDebitCredit(0, 0)
+		if err != nil {
+			return err
+		}
+		dres, err := bench.Run(rvmLab.Engine, rvmLab.Clock, wl2, min(txs, 400), 42)
+		if err != nil {
+			return err
+		}
+		_ = rvmLab.Engine.Close()
+
+		rows = append(rows, bench.TrendRow{
+			Year:       year,
+			PerseasTPS: pres.TPS,
+			DiskTPS:    dres.TPS,
+		})
+	}
+	bench.RenderTrend(w, rows)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEachExperiment(t *testing.T) {
+	tests := []struct {
+		experiment string
+		wantSubstr []string
+	}{
+		{"fig5", []string{"Figure 5", "2.70"}},
+		{"fig6", []string{"Figure 6", "1048576"}},
+		{"table1", []string{"Table 1", "debit-credit", "order-entry"}},
+		{"dbsize", []string{"branches", "751100"}},
+		{"ablate", []string{"no remote undo", "3 mirrors", "synthetic-200"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.experiment, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(&sb, tt.experiment, 60); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			for _, want := range tt.wantSubstr {
+				if !strings.Contains(out, want) {
+					t.Errorf("output of %s missing %q:\n%s", tt.experiment, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "compare", 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, engine := range []string{"perseas", "rvm", "rvm-group", "rvm-rio", "vista", "wal-net"} {
+		if !strings.Contains(out, engine) {
+			t.Errorf("comparison missing engine %q", engine)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "nope", 10); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,129 @@
+// Command perseas-inspect examines a running remote-memory server: the
+// segments it exports, how much memory they pin, and the traffic it has
+// absorbed. With -diff it audits two mirror nodes against each other,
+// reporting any segment whose contents diverge — useful for checking
+// mirror health before taking a node down.
+//
+//	perseas-inspect -server host1:7070
+//	perseas-inspect -server host1:7070 -diff host2:7070
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/ics-forth/perseas/internal/transport"
+	"github.com/ics-forth/perseas/internal/wire"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7070", "memory server address")
+	diff := flag.String("diff", "", "second server to audit against (compare named segments byte-for-byte)")
+	flag.Parse()
+
+	cli, err := transport.DialTCP(*server)
+	if err != nil {
+		log.Fatalf("perseas-inspect: %v", err)
+	}
+	defer cli.Close()
+
+	if err := cli.Ping(); err != nil {
+		log.Fatalf("perseas-inspect: node unreachable: %v", err)
+	}
+	stats, err := cli.Stats()
+	if err != nil {
+		log.Fatalf("perseas-inspect: stats: %v", err)
+	}
+	segs, err := cli.List()
+	if err != nil {
+		log.Fatalf("perseas-inspect: list: %v", err)
+	}
+
+	fmt.Printf("node %s: %d segments, %d bytes exported\n", *server, stats.Segments, stats.BytesHeld)
+	fmt.Printf("traffic: %d writes (%d bytes), %d reads (%d bytes)\n",
+		stats.WriteOps, stats.BytesWritten, stats.ReadOps, stats.BytesRead)
+	if len(segs) > 0 {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "ID\tSIZE\tNAME")
+		for _, s := range segs {
+			name := s.Name
+			if name == "" {
+				name = "(anonymous)"
+			}
+			fmt.Fprintf(w, "%d\t%d\t%s\n", s.ID, s.Size, name)
+		}
+		w.Flush()
+	}
+
+	if *diff == "" {
+		return
+	}
+	other, err := transport.DialTCP(*diff)
+	if err != nil {
+		log.Fatalf("perseas-inspect: dial %s: %v", *diff, err)
+	}
+	defer other.Close()
+	divergent, err := auditMirrors(cli, other, segs)
+	if err != nil {
+		log.Fatalf("perseas-inspect: audit: %v", err)
+	}
+	if len(divergent) == 0 {
+		fmt.Printf("audit: every named segment matches %s\n", *diff)
+		return
+	}
+	for _, d := range divergent {
+		fmt.Printf("audit: DIVERGENT %s\n", d)
+	}
+	os.Exit(2)
+}
+
+// auditMirrors compares every named segment of a with its namesake on b,
+// chunk by chunk, and describes each divergence.
+func auditMirrors(a, b *transport.TCP, segs []wire.SegmentInfo) ([]string, error) {
+	const chunk = 64 << 10
+	var divergent []string
+	for _, s := range segs {
+		if s.Name == "" {
+			continue // anonymous segments have no cross-node identity
+		}
+		hb, err := b.Connect(s.Name)
+		if err != nil {
+			divergent = append(divergent, fmt.Sprintf("%s: missing on peer (%v)", s.Name, err))
+			continue
+		}
+		if hb.Size != s.Size {
+			divergent = append(divergent,
+				fmt.Sprintf("%s: size %d vs %d", s.Name, s.Size, hb.Size))
+			continue
+		}
+		for off := uint64(0); off < s.Size; off += chunk {
+			n := uint32(chunk)
+			if rest := s.Size - off; rest < chunk {
+				n = uint32(rest)
+			}
+			da, err := a.Read(s.ID, off, n)
+			if err != nil {
+				return nil, fmt.Errorf("read %s@%d from primary: %w", s.Name, off, err)
+			}
+			db, err := b.Read(hb.ID, off, n)
+			if err != nil {
+				return nil, fmt.Errorf("read %s@%d from peer: %w", s.Name, off, err)
+			}
+			if !bytes.Equal(da, db) {
+				for i := range da {
+					if da[i] != db[i] {
+						divergent = append(divergent,
+							fmt.Sprintf("%s: first difference at byte %d", s.Name, off+uint64(i)))
+						break
+					}
+				}
+				break
+			}
+		}
+	}
+	return divergent, nil
+}

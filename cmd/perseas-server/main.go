@@ -1,0 +1,89 @@
+// Command perseas-server runs a remote-memory server: the process that
+// exports a workstation's idle main memory to PERSEAS clients over the
+// network, accepting remote malloc/free requests and applying remote
+// memory copies (the paper's client-server model of Section 4).
+//
+//	perseas-server -listen :7070 -capacity 256MiB
+//
+// The server holds every exported segment in its heap; clients that
+// crash can reconnect to their named segments and recover.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "address to listen on")
+	capacity := flag.String("capacity", "0", "exported-memory budget (e.g. 64MiB; 0 = unlimited)")
+	label := flag.String("label", "", "node label used in diagnostics (default: listen address)")
+	flag.Parse()
+
+	capBytes, err := parseSize(*capacity)
+	if err != nil {
+		log.Fatalf("perseas-server: bad -capacity: %v", err)
+	}
+	if *label == "" {
+		*label = *listen
+	}
+
+	srv := memserver.New(
+		memserver.WithCapacity(capBytes),
+		memserver.WithLabel(*label),
+	)
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("perseas-server: %v", err)
+	}
+	log.Printf("perseas-server: node %s exporting memory on %s (capacity %s)",
+		*label, l.Addr(), *capacity)
+
+	done := make(chan error, 1)
+	go func() { done <- transport.Serve(l, srv) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("perseas-server: %v — shutting down (segments held: %d bytes)", s, srv.Held())
+		l.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			log.Printf("perseas-server: serve: %v", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// parseSize parses "64MiB"/"1GiB"/"4096" style sizes.
+func parseSize(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	mult := uint64(1)
+	for suffix, m := range map[string]uint64{
+		"KiB": 1 << 10, "MiB": 1 << 20, "GiB": 1 << 30,
+		"KB": 1000, "MB": 1000_000, "GB": 1000_000_000,
+	} {
+		if strings.HasSuffix(s, suffix) {
+			mult = m
+			s = strings.TrimSuffix(s, suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parse %q: %w", s, err)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"4096", 4096, true},
+		{"64KiB", 64 << 10, true},
+		{"256MiB", 256 << 20, true},
+		{"1GiB", 1 << 30, true},
+		{"2KB", 2000, true},
+		{"3MB", 3_000_000, true},
+		{"1GB", 1_000_000_000, true},
+		{" 8MiB ", 8 << 20, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"12XB", 0, false},
+		{"-5", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := parseSize(tt.in)
+		if tt.ok && (err != nil || got != tt.want) {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", tt.in, got, err, tt.want)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("parseSize(%q) should fail", tt.in)
+		}
+	}
+}

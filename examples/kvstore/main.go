@@ -1,0 +1,199 @@
+// KVStore: a persistent key-value store built on the PERSEAS public API.
+//
+// This example shows how a data structure lives on top of the library: a
+// fixed-slot open-addressing hash table whose every mutation is one
+// atomic transaction. Keys and values are length-prefixed in 64-byte
+// slots; Put and Delete declare exactly the slots they touch, so a crash
+// at any point leaves the table consistent. Halfway through, the example
+// kills the "machine" and recovers the store from the mirrors.
+//
+// Run with: go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+
+	perseas "github.com/ics-forth/perseas"
+)
+
+const (
+	slotSize  = 64
+	slotCount = 1024
+	// Slot layout: [1B keyLen][keyLen bytes][1B valLen][valLen bytes];
+	// keyLen 0 marks an empty slot.
+	maxKey = 24
+	maxVal = slotSize - maxKey - 2
+)
+
+// KV is a persistent hash table on one PERSEAS database.
+type KV struct {
+	lib *perseas.Library
+	db  perseas.DB
+}
+
+// OpenKV creates (or re-opens after recovery) the table.
+func OpenKV(lib *perseas.Library) (*KV, error) {
+	if db, err := lib.OpenDB("kv"); err == nil {
+		return &KV{lib: lib, db: db}, nil
+	}
+	db, err := lib.CreateDB("kv", slotSize*slotCount)
+	if err != nil {
+		return nil, err
+	}
+	if err := lib.InitDB(db); err != nil {
+		return nil, err
+	}
+	return &KV{lib: lib, db: db}, nil
+}
+
+func slotOf(key string, probe int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return (h.Sum64() + uint64(probe)) % slotCount
+}
+
+// Put stores key=value in one atomic transaction.
+func (kv *KV) Put(key, value string) error {
+	if len(key) == 0 || len(key) > maxKey || len(value) > maxVal {
+		return fmt.Errorf("kv: key/value size out of bounds")
+	}
+	return kv.lib.Update(func(tx *perseas.Tx) error {
+		for probe := 0; probe < slotCount; probe++ {
+			off := slotOf(key, probe) * slotSize
+			slot := kv.db.Bytes()[off : off+slotSize]
+			existing := slotKey(slot)
+			if existing != "" && existing != key {
+				continue // occupied by someone else: probe on
+			}
+			buf, err := tx.Writable(kv.db, off, slotSize)
+			if err != nil {
+				return err
+			}
+			encodeSlot(buf, key, value)
+			return nil
+		}
+		return fmt.Errorf("kv: table full")
+	})
+}
+
+// Get returns the value for key.
+func (kv *KV) Get(key string) (string, bool) {
+	for probe := 0; probe < slotCount; probe++ {
+		off := slotOf(key, probe) * slotSize
+		slot := kv.db.Bytes()[off : off+slotSize]
+		k := slotKey(slot)
+		if k == "" {
+			return "", false
+		}
+		if k == key {
+			keyLen := int(slot[0])
+			valLen := int(slot[1+keyLen])
+			return string(slot[2+keyLen : 2+keyLen+valLen]), true
+		}
+	}
+	return "", false
+}
+
+// Delete removes key (leaving a tombstone so probe chains stay intact).
+func (kv *KV) Delete(key string) error {
+	return kv.lib.Update(func(tx *perseas.Tx) error {
+		for probe := 0; probe < slotCount; probe++ {
+			off := slotOf(key, probe) * slotSize
+			slot := kv.db.Bytes()[off : off+slotSize]
+			k := slotKey(slot)
+			if k == "" {
+				return nil // absent: nothing to do
+			}
+			if k == key {
+				buf, err := tx.Writable(kv.db, off, slotSize)
+				if err != nil {
+					return err
+				}
+				encodeSlot(buf, "\x00tombstone", "")
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+func slotKey(slot []byte) string {
+	n := int(slot[0])
+	if n == 0 || n > maxKey {
+		return ""
+	}
+	return string(slot[1 : 1+n])
+}
+
+func encodeSlot(buf []byte, key, value string) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = byte(len(key))
+	copy(buf[1:], key)
+	buf[1+len(key)] = byte(len(value))
+	copy(buf[2+len(key):], value)
+}
+
+func main() {
+	cluster, err := perseas.NewLocalCluster(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := perseas.Init(cluster.RAM, cluster.Clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv, err := OpenKV(lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Populate.
+	users := map[string]string{
+		"ada":     "analyst",
+		"turing":  "theorist",
+		"hopper":  "admiral",
+		"dolphin": "interconnect",
+	}
+	for k, v := range users {
+		if err := kv.Put(k, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := kv.Delete("dolphin"); err != nil {
+		log.Fatal(err)
+	}
+	if err := kv.Put("ada", "countess"); err != nil { // overwrite
+		log.Fatal(err)
+	}
+	fmt.Println("before crash:")
+	dump(kv, "ada", "turing", "hopper", "dolphin")
+
+	// The machine dies mid-flight; a new process attaches and reopens.
+	if err := lib.Crash(perseas.CrashPower); err != nil {
+		log.Fatal(err)
+	}
+	lib2, err := perseas.Attach(cluster.RAM, cluster.Clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv2, err := OpenKV(lib2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after recovery:")
+	dump(kv2, "ada", "turing", "hopper", "dolphin")
+}
+
+func dump(kv *KV, keys ...string) {
+	for _, k := range keys {
+		if v, ok := kv.Get(k); ok {
+			fmt.Printf("  %-8s = %s\n", k, v)
+		} else {
+			fmt.Printf("  %-8s   (absent)\n", k)
+		}
+	}
+}

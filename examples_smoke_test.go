@@ -1,0 +1,61 @@
+package perseas_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end-to-end and checks
+// its key output lines. These are the repository's acceptance tests:
+// each example exercises a different deployment (in-process SCI model,
+// real TCP mirrors, failure injection).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn `go run`; skipped in -short mode")
+	}
+	tests := []struct {
+		dir  string
+		args []string
+		want []string
+	}{
+		{"./examples/quickstart", nil, []string{
+			`database:   "hello, durable world!"`,
+			"committed:  tx 1",
+		}},
+		{"./examples/bank", []string{"-accounts", "100", "-transfers", "400"}, []string{
+			"consistent",
+		}},
+		{"./examples/orderentry", nil, []string{
+			"phase 3: recovered — 200 orders on the books",
+			"= 500000 (expected 500000)",
+		}},
+		{"./examples/crashcourse", nil, []string{
+			"scene 1: v1------",
+			"scene 2: v1------",
+			"scene 3: v2------",
+			"scene 4: v3------",
+		}},
+		{"./examples/kvstore", nil, []string{
+			"after recovery:",
+			"ada      = countess",
+			"dolphin    (absent)",
+		}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(strings.TrimPrefix(tt.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", tt.dir}, tt.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", tt.dir, err, out)
+			}
+			for _, want := range tt.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

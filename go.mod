@@ -1,0 +1,3 @@
+module github.com/ics-forth/perseas
+
+go 1.22

@@ -1,0 +1,607 @@
+package aries
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/hostmem"
+	"github.com/ics-forth/perseas/internal/rvm"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// Errors specific to ARIES.
+var (
+	// ErrLogFull is returned when the log cannot hold a transaction.
+	ErrLogFull = errors.New("aries: log full")
+	// ErrBadRange is returned for ranges outside a database.
+	ErrBadRange = errors.New("aries: range outside database")
+	// ErrNoSuchDB is returned for unknown database names.
+	ErrNoSuchDB = errors.New("aries: no such database")
+)
+
+// Options configure an ARIES instance.
+type Options struct {
+	// LogSize is the log capacity on the stable store.
+	LogSize uint64
+	// PageSize is the buffering granularity.
+	PageSize uint64
+	// CheckpointEvery takes a fuzzy checkpoint after this many logged
+	// update records.
+	CheckpointEvery int
+	// Mem prices local copies.
+	Mem hostmem.Model
+	// SetRangeOverhead and CommitOverhead model the software path, as
+	// for the RVM baseline.
+	SetRangeOverhead time.Duration
+	CommitOverhead   time.Duration
+	// Label overrides the reported engine name.
+	Label string
+}
+
+// DefaultOptions matches the RVM baseline's cost assumptions.
+func DefaultOptions() Options {
+	return Options{
+		LogSize:          8 << 20,
+		PageSize:         4096,
+		CheckpointEvery:  64,
+		Mem:              hostmem.Default(),
+		SetRangeOverhead: 80 * time.Microsecond,
+		CommitOverhead:   600 * time.Microsecond,
+	}
+}
+
+// database is one ARIES-managed region: a main-memory working copy plus
+// a paged image on the stable store. Each stable page is prefixed with
+// its 8-byte pageLSN.
+type database struct {
+	id       uint32
+	name     string
+	data     []byte
+	storeOff uint64
+	size     uint64
+	stale    bool
+}
+
+func (d *database) Name() string  { return d.name }
+func (d *database) Size() uint64  { return d.size }
+func (d *database) Bytes() []byte { return d.data }
+
+// pages returns the page count.
+func (d *database) pages(pageSize uint64) uint32 {
+	return uint32((d.size + pageSize - 1) / pageSize)
+}
+
+// stableBytes returns the stable-store footprint (page headers included).
+func (d *database) stableBytes(pageSize uint64) uint64 {
+	return uint64(d.pages(pageSize)) * (8 + pageSize)
+}
+
+// openRange is a declared-but-not-yet-logged range: the update record is
+// emitted when the range "closes" (at the next SetRange, Commit or
+// Abort), once the after-image is known.
+type openRange struct {
+	db     *database
+	offset uint64
+	length uint64
+	before []byte
+}
+
+// txUpdate remembers a logged update for in-memory abort.
+type txUpdate struct {
+	db     *database
+	offset uint64
+	before []byte
+	lsn    LSN
+}
+
+// masterSize reserves the head of the log region for the master record:
+// the LSN of the most recent checkpoint.
+const masterSize = 16
+
+// ARIES is one engine instance.
+type ARIES struct {
+	opts  Options
+	clock simclock.Clock
+	store rvm.StableStore
+
+	dbs       map[string]*database
+	byID      map[uint32]*database
+	nextID    uint32
+	nextStore uint64
+
+	logStart   uint64 // store offset of the log region
+	logHead    LSN    // next append position (relative to logStart)
+	flushedLSN LSN    // log is stable up to here
+	logBuf     []byte // [flushedLSN, logHead)
+
+	pageLSN map[pageKey]LSN // volatile page table
+	dirty   map[pageKey]LSN // DPT: recLSN per dirty page
+
+	lastTx        uint64
+	txActive      bool
+	txLastLSN     LSN
+	open          *openRange
+	txUpdates     []txUpdate
+	updatesLogged int
+
+	crashed bool
+	lost    bool
+	stats   Stats
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Begun       uint64
+	Committed   uint64
+	Aborted     uint64
+	SetRanges   uint64
+	LogForces   uint64
+	Checkpoints uint64
+	PageFlushes uint64
+	CLRsWritten uint64
+	Recoveries  uint64
+}
+
+// New builds an ARIES engine over the given stable store; the log
+// occupies the tail of the store.
+func New(store rvm.StableStore, clock simclock.Clock, opts Options) (*ARIES, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = 4096
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 64
+	}
+	if opts.LogSize <= masterSize+logHeaderSize || opts.LogSize >= store.Size() {
+		return nil, fmt.Errorf("aries: log size %d must be in (%d, store size %d)",
+			opts.LogSize, masterSize+logHeaderSize, store.Size())
+	}
+	return &ARIES{
+		opts:     opts,
+		clock:    clock,
+		store:    store,
+		dbs:      make(map[string]*database),
+		byID:     make(map[uint32]*database),
+		nextID:   1,
+		logStart: store.Size() - opts.LogSize,
+		logHead:  masterSize,
+		flushedLSN: func() LSN {
+			return masterSize
+		}(),
+		pageLSN: make(map[pageKey]LSN),
+		dirty:   make(map[pageKey]LSN),
+	}, nil
+}
+
+// Name implements engine.Engine.
+func (a *ARIES) Name() string {
+	if a.opts.Label != "" {
+		return a.opts.Label
+	}
+	return "aries"
+}
+
+// Stats returns a snapshot of the counters.
+func (a *ARIES) Stats() Stats { return a.stats }
+
+func (a *ARIES) checkAlive() error {
+	if a.crashed {
+		return engine.ErrCrashed
+	}
+	return nil
+}
+
+// CreateDB implements engine.Engine.
+func (a *ARIES) CreateDB(name string, size uint64) (engine.DB, error) {
+	if err := a.checkAlive(); err != nil {
+		return nil, err
+	}
+	if _, ok := a.dbs[name]; ok {
+		return nil, fmt.Errorf("aries: database %q exists", name)
+	}
+	db := &database{
+		id:       a.nextID,
+		name:     name,
+		data:     make([]byte, size),
+		storeOff: a.nextStore,
+		size:     size,
+	}
+	if a.nextStore+db.stableBytes(a.opts.PageSize) > a.logStart {
+		return nil, fmt.Errorf("aries: store full: %q needs %d bytes", name, db.stableBytes(a.opts.PageSize))
+	}
+	a.nextID++
+	a.nextStore += db.stableBytes(a.opts.PageSize)
+	a.dbs[name] = db
+	a.byID[db.id] = db
+	return db, nil
+}
+
+// InitDB implements engine.Engine: write every page (with zero LSNs) to
+// the stable image.
+func (a *ARIES) InitDB(db engine.DB) error {
+	if err := a.checkAlive(); err != nil {
+		return err
+	}
+	d, err := a.own(db)
+	if err != nil {
+		return err
+	}
+	return a.flushAllPages(d)
+}
+
+// flushAllPages force-writes every page of d with its current LSN.
+func (a *ARIES) flushAllPages(d *database) error {
+	ps := a.opts.PageSize
+	buf := make([]byte, d.stableBytes(ps))
+	for p := uint32(0); p < d.pages(ps); p++ {
+		off := uint64(p) * (8 + ps)
+		binary.BigEndian.PutUint64(buf[off:], uint64(a.pageLSN[pageKey{d.id, p}]))
+		lo := uint64(p) * ps
+		hi := lo + ps
+		if hi > d.size {
+			hi = d.size
+		}
+		copy(buf[off+8:], d.data[lo:hi])
+	}
+	if err := a.store.WriteSync(d.storeOff, buf); err != nil {
+		return err
+	}
+	for p := uint32(0); p < d.pages(ps); p++ {
+		delete(a.dirty, pageKey{d.id, p})
+		a.stats.PageFlushes++
+	}
+	return nil
+}
+
+// OpenDB implements engine.Engine.
+func (a *ARIES) OpenDB(name string) (engine.DB, error) {
+	if err := a.checkAlive(); err != nil {
+		return nil, err
+	}
+	db, ok := a.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDB, name)
+	}
+	return db, nil
+}
+
+func (a *ARIES) own(db engine.DB) (*database, error) {
+	d, ok := db.(*database)
+	if !ok {
+		return nil, fmt.Errorf("aries: foreign DB handle %T", db)
+	}
+	if d.stale {
+		return nil, errors.New("aries: stale database handle; reopen after recovery")
+	}
+	if a.byID[d.id] != d {
+		return nil, fmt.Errorf("aries: unknown database handle %q", d.name)
+	}
+	return d, nil
+}
+
+// Begin implements engine.Engine.
+func (a *ARIES) Begin() error {
+	if err := a.checkAlive(); err != nil {
+		return err
+	}
+	if a.txActive {
+		return engine.ErrInTransaction
+	}
+	a.lastTx++
+	a.txActive = true
+	a.txLastLSN = nilLSN
+	a.open = nil
+	a.txUpdates = a.txUpdates[:0]
+	a.stats.Begun++
+	return nil
+}
+
+// SetRange implements engine.Engine: it closes the previously declared
+// range (logging its update record now that the after-image is known),
+// captures the new range's before-image, and may take a fuzzy checkpoint.
+func (a *ARIES) SetRange(db engine.DB, offset, length uint64) error {
+	if err := a.checkAlive(); err != nil {
+		return err
+	}
+	if !a.txActive {
+		return engine.ErrNoTransaction
+	}
+	d, err := a.own(db)
+	if err != nil {
+		return err
+	}
+	if offset > d.size || length > d.size-offset {
+		return fmt.Errorf("%w: [%d,+%d) in %d-byte database %q",
+			ErrBadRange, offset, length, d.size, d.name)
+	}
+	if err := a.closeOpenRange(); err != nil {
+		return err
+	}
+	before := make([]byte, length)
+	a.opts.Mem.Copy(a.clock, before, d.data[offset:offset+length])
+	a.clock.Advance(a.opts.SetRangeOverhead)
+	a.open = &openRange{db: d, offset: offset, length: length, before: before}
+	a.stats.SetRanges++
+
+	if a.updatesLogged >= a.opts.CheckpointEvery {
+		return a.fuzzyCheckpoint()
+	}
+	return nil
+}
+
+// closeOpenRange logs the pending range's update record.
+func (a *ARIES) closeOpenRange() error {
+	if a.open == nil {
+		return nil
+	}
+	r := a.open
+	a.open = nil
+	after := make([]byte, r.length)
+	a.opts.Mem.Copy(a.clock, after, r.db.data[r.offset:r.offset+r.length])
+	rec := logRecord{
+		kind:    recUpdate,
+		txID:    a.lastTx,
+		prevLSN: a.txLastLSN,
+		dbID:    r.db.id,
+		offset:  r.offset,
+		before:  r.before,
+		after:   after,
+	}
+	lsn, err := a.appendRecord(&rec)
+	if err != nil {
+		return err
+	}
+	a.txLastLSN = lsn
+	a.txUpdates = append(a.txUpdates, txUpdate{db: r.db, offset: r.offset, before: r.before, lsn: lsn})
+	a.touchPages(r.db, r.offset, r.length, lsn)
+	a.updatesLogged++
+	return nil
+}
+
+// touchPages stamps the in-memory pageLSN table and the DPT for every
+// page the range covers.
+func (a *ARIES) touchPages(d *database, offset, length uint64, lsn LSN) {
+	ps := a.opts.PageSize
+	if length == 0 {
+		return
+	}
+	for p := uint32(offset / ps); uint64(p)*ps < offset+length; p++ {
+		k := pageKey{d.id, p}
+		a.pageLSN[k] = lsn
+		if _, ok := a.dirty[k]; !ok {
+			a.dirty[k] = lsn
+		}
+	}
+}
+
+// appendRecord places a record in the log buffer, returning its LSN.
+// Records become stable at the next force.
+func (a *ARIES) appendRecord(rec *logRecord) (LSN, error) {
+	sz := uint64(rec.size())
+	if uint64(a.logHead)+sz > a.opts.LogSize {
+		return 0, fmt.Errorf("%w: head %d + record %d > %d",
+			ErrLogFull, a.logHead, sz, a.opts.LogSize)
+	}
+	lsn := a.logHead
+	a.logBuf = rec.encode(a.logBuf)
+	a.logHead += LSN(sz)
+	a.clock.Advance(a.opts.Mem.CopyCost(int(sz)))
+	return lsn, nil
+}
+
+// forceLog makes the log stable up to the current head (the WAL force).
+func (a *ARIES) forceLog() error {
+	if a.flushedLSN == a.logHead {
+		return nil
+	}
+	if err := a.store.WriteSync(a.logStart+uint64(a.flushedLSN), a.logBuf); err != nil {
+		return err
+	}
+	a.flushedLSN = a.logHead
+	a.logBuf = a.logBuf[:0]
+	a.stats.LogForces++
+	return nil
+}
+
+// flushPage writes one page (with its LSN header) to the stable image,
+// honouring the WAL rule: the log must be stable up to the pageLSN.
+func (a *ARIES) flushPage(k pageKey) error {
+	d, ok := a.byID[k.dbID]
+	if !ok {
+		delete(a.dirty, k)
+		return nil
+	}
+	if a.pageLSN[k] > a.flushedLSN {
+		if err := a.forceLog(); err != nil {
+			return err
+		}
+	}
+	ps := a.opts.PageSize
+	buf := make([]byte, 8+ps)
+	binary.BigEndian.PutUint64(buf, uint64(a.pageLSN[k]))
+	lo := uint64(k.page) * ps
+	hi := lo + ps
+	if hi > d.size {
+		hi = d.size
+	}
+	copy(buf[8:], d.data[lo:hi])
+	if err := a.store.WriteSync(d.storeOff+uint64(k.page)*(8+ps), buf); err != nil {
+		return err
+	}
+	delete(a.dirty, k)
+	a.stats.PageFlushes++
+	return nil
+}
+
+// fuzzyCheckpoint forces the log, writes back dirty pages — including,
+// thanks to the steal policy, pages holding uncommitted data of the
+// running transaction — and logs a checkpoint record carrying the active
+// transaction table and the (now empty) dirty page table, finally
+// updating the master record.
+func (a *ARIES) fuzzyCheckpoint() error {
+	if err := a.forceLog(); err != nil {
+		return err
+	}
+	for k := range a.dirty {
+		if err := a.flushPage(k); err != nil {
+			return err
+		}
+	}
+	cp := checkpointPayload{active: map[uint64]LSN{}, dirty: map[pageKey]LSN{}}
+	if a.txActive && a.txLastLSN != nilLSN {
+		cp.active[a.lastTx] = a.txLastLSN
+	}
+	for k, lsn := range a.dirty {
+		cp.dirty[k] = lsn
+	}
+	rec := logRecord{kind: recCheckpoint, before: encodeCheckpoint(cp)}
+	lsn, err := a.appendRecord(&rec)
+	if err != nil {
+		return err
+	}
+	if err := a.forceLog(); err != nil {
+		return err
+	}
+	var master [masterSize]byte
+	binary.BigEndian.PutUint64(master[:], uint64(lsn))
+	if err := a.store.WriteSync(a.logStart, master[:]); err != nil {
+		return err
+	}
+	a.updatesLogged = 0
+	a.stats.Checkpoints++
+	return nil
+}
+
+// Commit implements engine.Engine: close the final range, log the commit
+// record and force the log — no page needs flushing (no-force).
+func (a *ARIES) Commit() error {
+	if err := a.checkAlive(); err != nil {
+		return err
+	}
+	if !a.txActive {
+		return engine.ErrNoTransaction
+	}
+	a.clock.Advance(a.opts.CommitOverhead)
+	if err := a.closeOpenRange(); err != nil {
+		return err
+	}
+	rec := logRecord{kind: recCommit, txID: a.lastTx, prevLSN: a.txLastLSN}
+	if _, err := a.appendRecord(&rec); err != nil {
+		return err
+	}
+	if err := a.forceLog(); err != nil {
+		return err
+	}
+	a.txActive = false
+	a.open = nil
+	a.txUpdates = a.txUpdates[:0]
+	a.stats.Committed++
+
+	if uint64(a.logHead) > a.opts.LogSize/2 {
+		return a.truncateLog()
+	}
+	return nil
+}
+
+// truncateLog reclaims the log between transactions: with every dirty
+// page flushed, nothing before the head is needed for recovery, so the
+// head rewinds and the old generation is fenced off with a zeroed record
+// slot and a cleared master record.
+func (a *ARIES) truncateLog() error {
+	for k := range a.dirty {
+		if err := a.flushPage(k); err != nil {
+			return err
+		}
+	}
+	fence := make([]byte, masterSize+logHeaderSize)
+	if err := a.store.WriteSync(a.logStart, fence); err != nil {
+		return err
+	}
+	a.logHead = masterSize
+	a.flushedLSN = masterSize
+	a.logBuf = a.logBuf[:0]
+	a.updatesLogged = 0
+	return nil
+}
+
+// Abort implements engine.Engine: undo the transaction through the log,
+// writing one compensation log record per undone update, then an abort
+// record — the ARIES discipline that makes undo restartable.
+func (a *ARIES) Abort() error {
+	if err := a.checkAlive(); err != nil {
+		return err
+	}
+	if !a.txActive {
+		return engine.ErrNoTransaction
+	}
+	// The still-open range was never logged: plain local restore.
+	if r := a.open; r != nil {
+		a.opts.Mem.Copy(a.clock, r.db.data[r.offset:r.offset+r.length], r.before)
+		a.open = nil
+	}
+	// Logged updates are undone newest-first with CLRs.
+	for i := len(a.txUpdates) - 1; i >= 0; i-- {
+		u := a.txUpdates[i]
+		undoNext := nilLSN
+		if i > 0 {
+			undoNext = a.txUpdates[i-1].lsn
+		}
+		clr := logRecord{
+			kind:     recCLR,
+			txID:     a.lastTx,
+			prevLSN:  a.txLastLSN,
+			undoNext: undoNext,
+			dbID:     u.db.id,
+			offset:   u.offset,
+			before:   u.before, // CLR redo re-applies the before-image
+			after:    u.before,
+		}
+		lsn, err := a.appendRecord(&clr)
+		if err != nil {
+			return err
+		}
+		a.txLastLSN = lsn
+		a.opts.Mem.Copy(a.clock, u.db.data[u.offset:u.offset+uint64(len(u.before))], u.before)
+		a.touchPages(u.db, u.offset, uint64(len(u.before)), lsn)
+		a.stats.CLRsWritten++
+	}
+	rec := logRecord{kind: recAbort, txID: a.lastTx, prevLSN: a.txLastLSN}
+	if _, err := a.appendRecord(&rec); err != nil {
+		return err
+	}
+	a.txActive = false
+	a.txUpdates = a.txUpdates[:0]
+	a.stats.Aborted++
+	return nil
+}
+
+// Crash implements engine.Engine: all volatile state vanishes — working
+// copies, the page tables, the unforced log tail.
+func (a *ARIES) Crash(kind fault.CrashKind) error {
+	a.crashed = true
+	if !a.store.Survives(kind) {
+		a.lost = true
+	}
+	for _, db := range a.dbs {
+		db.stale = true
+		db.data = nil
+	}
+	a.txActive = false
+	a.open = nil
+	a.txUpdates = nil
+	a.logBuf = nil
+	a.pageLSN = make(map[pageKey]LSN)
+	a.dirty = make(map[pageKey]LSN)
+	return nil
+}
+
+// Close implements engine.Engine.
+func (a *ARIES) Close() error {
+	a.crashed = true
+	return nil
+}
+
+var _ engine.Engine = (*ARIES)(nil)

@@ -1,0 +1,263 @@
+package aries
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// Recover implements engine.Engine with the classic ARIES three-pass
+// restart:
+//
+//	analysis — from the master record's checkpoint, rebuild the active
+//	           transaction table and dirty page table;
+//	redo     — repeat history: re-apply every update and CLR whose LSN
+//	           exceeds the stable page's LSN, loser transactions
+//	           included;
+//	undo     — roll back losers newest-first, writing a compensation
+//	           log record for every undone update so that a crash
+//	           during restart never undoes twice.
+func (a *ARIES) Recover() error {
+	if !a.crashed {
+		return errors.New("aries: recover called on a running instance")
+	}
+	if a.lost {
+		return fmt.Errorf("%w: stable store destroyed", engine.ErrUnrecoverable)
+	}
+
+	// Reload the stable images and their page LSNs.
+	ps := a.opts.PageSize
+	newDBs := make(map[string]*database, len(a.dbs))
+	newByID := make(map[uint32]*database, len(a.byID))
+	pageLSN := make(map[pageKey]LSN)
+	for name, old := range a.dbs {
+		img, err := a.store.Read(old.storeOff, int(old.stableBytes(ps)))
+		if err != nil {
+			return fmt.Errorf("aries: reload %q: %w", name, err)
+		}
+		db := &database{
+			id: old.id, name: name,
+			data:     make([]byte, old.size),
+			storeOff: old.storeOff, size: old.size,
+		}
+		for p := uint32(0); p < db.pages(ps); p++ {
+			off := uint64(p) * (8 + ps)
+			pageLSN[pageKey{db.id, p}] = LSN(binary.BigEndian.Uint64(img[off:]))
+			lo := uint64(p) * ps
+			hi := lo + ps
+			if hi > db.size {
+				hi = db.size
+			}
+			copy(db.data[lo:hi], img[off+8:])
+		}
+		newDBs[name] = db
+		newByID[db.id] = db
+	}
+
+	// Read the whole log region once.
+	log, err := a.store.Read(a.logStart, int(a.opts.LogSize))
+	if err != nil {
+		return fmt.Errorf("aries: read log: %w", err)
+	}
+	master := LSN(binary.BigEndian.Uint64(log[:8]))
+
+	// --- Analysis ---
+	att := map[uint64]LSN{}
+	dpt := map[pageKey]LSN{}
+	scanFrom := LSN(masterSize)
+	if master != nilLSN {
+		rec, next, ok := decodeRecord(log, master)
+		if !ok || rec.kind != recCheckpoint {
+			return fmt.Errorf("aries: master record points at garbage (lsn %d)", master)
+		}
+		cp, err := decodeCheckpoint(rec.before)
+		if err != nil {
+			return err
+		}
+		for tx, lsn := range cp.active {
+			att[tx] = lsn
+		}
+		for k, lsn := range cp.dirty {
+			dpt[k] = lsn
+		}
+		scanFrom = next
+	}
+	var maxTx uint64
+	end := scanFrom
+	for pos := scanFrom; ; {
+		rec, next, ok := decodeRecord(log, pos)
+		if !ok {
+			end = pos
+			break
+		}
+		if rec.txID > maxTx {
+			maxTx = rec.txID
+		}
+		switch rec.kind {
+		case recUpdate, recCLR:
+			att[rec.txID] = pos
+			if db, ok := newByID[rec.dbID]; ok {
+				a.recordPages(db, rec.offset, uint64(len(rec.before)), func(k pageKey) {
+					if _, have := dpt[k]; !have {
+						dpt[k] = pos
+					}
+				})
+			}
+		case recCommit, recAbort:
+			delete(att, rec.txID)
+		case recCheckpoint:
+			// Nested checkpoint during the scan window: its tables are
+			// already subsumed by the running analysis.
+		}
+		pos = next
+	}
+
+	// --- Redo: repeat history from the oldest recLSN. ---
+	redoFrom := end
+	for _, lsn := range dpt {
+		if lsn < redoFrom {
+			redoFrom = lsn
+		}
+	}
+	for pos := redoFrom; pos < end; {
+		rec, next, ok := decodeRecord(log, pos)
+		if !ok {
+			break
+		}
+		if rec.kind == recUpdate || rec.kind == recCLR {
+			if db, ok := newByID[rec.dbID]; ok {
+				a.redoRecord(db, &rec, pos, pageLSN)
+			}
+		}
+		pos = next
+	}
+
+	// --- Undo: roll back losers, logging CLRs. ---
+	a.dbs = newDBs
+	a.byID = newByID
+	a.pageLSN = pageLSN
+	// The analysis DPT is the post-restart dirty set: redo re-applied
+	// those pages' changes in memory only, so they must stay dirty (and
+	// keep their recLSNs) until a future flush writes them back --
+	// otherwise the next checkpoint would declare a clean cache while
+	// stable pages still hold pre-recovery (loser) contents. Undo adds
+	// its own pages below via touchPages.
+	a.dirty = make(map[pageKey]LSN, len(dpt))
+	for k, lsn := range dpt {
+		if _, ok := newByID[k.dbID]; ok {
+			a.dirty[k] = lsn
+		}
+	}
+	a.logHead = end
+	a.flushedLSN = end
+	a.logBuf = a.logBuf[:0]
+	a.crashed = false
+
+	for tx, last := range att {
+		if err := a.undoLoser(log, tx, last); err != nil {
+			a.crashed = true
+			return err
+		}
+	}
+	if err := a.forceLog(); err != nil {
+		a.crashed = true
+		return err
+	}
+
+	if maxTx > a.lastTx {
+		a.lastTx = maxTx
+	}
+	a.txActive = false
+	a.open = nil
+	a.txUpdates = a.txUpdates[:0]
+	a.updatesLogged = 0
+	a.stats.Recoveries++
+	return nil
+}
+
+// recordPages invokes fn for every page a range covers.
+func (a *ARIES) recordPages(d *database, offset, length uint64, fn func(pageKey)) {
+	ps := a.opts.PageSize
+	if length == 0 {
+		return
+	}
+	for p := uint32(offset / ps); uint64(p)*ps < offset+length; p++ {
+		fn(pageKey{d.id, p})
+	}
+}
+
+// redoRecord re-applies an update/CLR page-portion-wise wherever the
+// stable page is older than the record.
+func (a *ARIES) redoRecord(d *database, rec *logRecord, lsn LSN, pageLSN map[pageKey]LSN) {
+	ps := a.opts.PageSize
+	length := uint64(len(rec.after))
+	if length == 0 {
+		return
+	}
+	for p := uint32(rec.offset / ps); uint64(p)*ps < rec.offset+length; p++ {
+		k := pageKey{d.id, p}
+		if pageLSN[k] >= lsn {
+			continue // the flushed page already reflects this update
+		}
+		pageLo := uint64(p) * ps
+		pageHi := pageLo + ps
+		lo := rec.offset
+		if lo < pageLo {
+			lo = pageLo
+		}
+		hi := rec.offset + length
+		if hi > pageHi {
+			hi = pageHi
+		}
+		copy(d.data[lo:hi], rec.after[lo-rec.offset:hi-rec.offset])
+		pageLSN[k] = lsn
+	}
+}
+
+// undoLoser rolls one loser transaction back through its log chain,
+// honouring CLR undoNext pointers and writing fresh CLRs.
+func (a *ARIES) undoLoser(log []byte, tx uint64, last LSN) error {
+	cur := last
+	for cur != nilLSN {
+		rec, _, ok := decodeRecord(log, cur)
+		if !ok {
+			return fmt.Errorf("aries: loser %d chain broken at lsn %d", tx, cur)
+		}
+		switch rec.kind {
+		case recCLR:
+			// Already compensated: skip to what remains.
+			cur = rec.undoNext
+		case recUpdate:
+			db, ok := a.byID[rec.dbID]
+			if !ok {
+				return fmt.Errorf("aries: loser %d touches unknown db %d", tx, rec.dbID)
+			}
+			clr := logRecord{
+				kind:     recCLR,
+				txID:     tx,
+				prevLSN:  last,
+				undoNext: rec.prevLSN,
+				dbID:     rec.dbID,
+				offset:   rec.offset,
+				before:   rec.before,
+				after:    rec.before,
+			}
+			lsn, err := a.appendRecord(&clr)
+			if err != nil {
+				return err
+			}
+			last = lsn
+			copy(db.data[rec.offset:rec.offset+uint64(len(rec.before))], rec.before)
+			a.touchPages(db, rec.offset, uint64(len(rec.before)), lsn)
+			a.stats.CLRsWritten++
+			cur = rec.prevLSN
+		default:
+			cur = rec.prevLSN
+		}
+	}
+	rec := logRecord{kind: recAbort, txID: tx, prevLSN: last}
+	_, err := a.appendRecord(&rec)
+	return err
+}

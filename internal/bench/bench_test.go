@@ -1,0 +1,395 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/rig"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+func perseasLab(t *testing.T) *rig.Lab {
+	t.Helper()
+	lab, err := rig.NewPerseas(rig.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := NewSynthetic(100, 0); err == nil {
+		t.Error("zero tx size should fail")
+	}
+	if _, err := NewSynthetic(100, 200); err == nil {
+		t.Error("tx larger than db should fail")
+	}
+}
+
+func TestSyntheticRunsOnPerseas(t *testing.T) {
+	lab := perseasLab(t)
+	w, err := NewSynthetic(1<<20, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(lab.Engine, lab.Clock, w, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txs != 100 || res.TPS <= 0 || res.PerTx <= 0 {
+		t.Errorf("bad result %+v", res)
+	}
+	if res.Engine != "perseas" || res.Workload != "synthetic-256" {
+		t.Errorf("labels: %+v", res)
+	}
+}
+
+func TestDebitCreditConsistencyOnEveryEngine(t *testing.T) {
+	for _, b := range rig.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			cfg := rig.DefaultConfig()
+			lab, err := b.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lab.Engine.Close()
+			w, err := NewDebitCredit(2, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(lab.Engine, lab.Clock, w, 150, 7); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.CheckConsistency(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestOrderEntryRunsOnEveryEngine(t *testing.T) {
+	for _, b := range rig.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			lab, err := b.Build(rig.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lab.Engine.Close()
+			w, err := NewOrderEntry(1, 100, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(lab.Engine, lab.Clock, w, 80, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TPS <= 0 {
+				t.Errorf("tps = %v", res.TPS)
+			}
+		})
+	}
+}
+
+// TestPaperShapeComparison checks the paper's headline ordering on
+// debit-credit: PERSEAS beats RVM by ~3-4 orders of magnitude, beats
+// RVM-group and RVM-Rio by >= 1 order, and lands within a small factor
+// of Vista.
+func TestPaperShapeComparison(t *testing.T) {
+	tps := map[string]float64{}
+	for _, b := range rig.All() {
+		lab, err := b.Build(rig.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewDebitCredit(2, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs := 300
+		if b.Name == "rvm" {
+			txs = 60 // each commit costs ~12ms of virtual time
+		}
+		res, err := Run(lab.Engine, lab.Clock, w, txs, 13)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		tps[b.Name] = res.TPS
+		_ = lab.Engine.Close()
+	}
+	t.Logf("debit-credit tps: %+v", tps)
+
+	if ratio := tps["perseas"] / tps["rvm"]; ratio < 50 {
+		t.Errorf("perseas/rvm = %.0fx, want orders of magnitude", ratio)
+	}
+	if tps["rvm"] > 999 {
+		t.Errorf("rvm = %.0f tps; the paper says it \"barely achieves\" a 3-digit rate", tps["rvm"])
+	}
+	if ratio := tps["perseas"] / tps["rvm-group"]; ratio < 10 {
+		t.Errorf("perseas/rvm-group = %.1fx, want >= 1 order of magnitude", ratio)
+	}
+	if ratio := tps["perseas"] / tps["rvm-rio"]; ratio < 2 {
+		t.Errorf("perseas/rvm-rio = %.1fx, want clear win", ratio)
+	}
+	if ratio := tps["vista"] / tps["perseas"]; ratio < 1 || ratio > 20 {
+		t.Errorf("vista/perseas = %.1fx, want vista somewhat faster but same class", ratio)
+	}
+	if tps["perseas"] < 15_000 {
+		t.Errorf("perseas debit-credit = %.0f tps, paper reports a 5-digit rate", tps["perseas"])
+	}
+}
+
+// TestFigure6Shape checks the synthetic sweep endpoints the paper quotes:
+// small transactions in single-digit microseconds (>=100k tps) and 1 MB
+// transactions under a tenth of a second.
+func TestFigure6Shape(t *testing.T) {
+	mk := func() (engine.Engine, *simclock.SimClock, error) {
+		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return lab.Engine, lab.Clock, nil
+	}
+	pts, err := Sweep(mk, 2<<20, []uint64{4, 1 << 20}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := pts[0].Overhead, pts[1].Overhead
+	if small > 12*time.Microsecond {
+		t.Errorf("4-byte tx overhead %v, paper: ~9us", small)
+	}
+	if big > 100*time.Millisecond {
+		t.Errorf("1 MB tx overhead %v, paper: < 0.1s", big)
+	}
+	if big <= small {
+		t.Error("overhead should grow with size")
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	mk := func() (engine.Engine, *simclock.SimClock, error) {
+		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return lab.Engine, lab.Clock, nil
+	}
+	pts, err := Sweep(mk, 2<<20, []uint64{64, 1024, 16384, 262144}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Overhead <= pts[i-1].Overhead {
+			t.Errorf("overhead not monotone at %d: %v <= %v",
+				pts[i].TxSize, pts[i].Overhead, pts[i-1].Overhead)
+		}
+	}
+}
+
+func TestDBSizeInvariance(t *testing.T) {
+	// The paper: performance is almost constant while the DB fits in
+	// main memory.
+	var tpss []float64
+	for _, branches := range []int{1, 4, 8} {
+		lab := perseasLab(t)
+		w, err := NewDebitCredit(branches, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(lab.Engine, lab.Clock, w, 200, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpss = append(tpss, res.TPS)
+		_ = lab.Engine.Close()
+	}
+	for i := 1; i < len(tpss); i++ {
+		ratio := tpss[i] / tpss[0]
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("throughput varies %.2fx across db sizes (%v)", ratio, tpss)
+		}
+	}
+}
+
+func TestAblationAlignmentHelps(t *testing.T) {
+	run := func(noAlign bool) time.Duration {
+		cfg := rig.DefaultConfig()
+		cfg.NoAlignment = noAlign
+		lab, err := rig.NewPerseas(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lab.Engine.Close()
+		w, err := NewSynthetic(1<<20, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(lab.Engine, lab.Clock, w, 100, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerTx
+	}
+	withAlign := run(false)
+	without := run(true)
+	if withAlign >= without {
+		t.Errorf("alignment expansion should help mid-size txs: with=%v without=%v",
+			withAlign, without)
+	}
+}
+
+func TestAblationRemoteUndoCost(t *testing.T) {
+	run := func(noRemoteUndo bool) time.Duration {
+		cfg := rig.DefaultConfig()
+		cfg.NoRemoteUndo = noRemoteUndo
+		lab, err := rig.NewPerseas(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lab.Engine.Close()
+		w, err := NewSynthetic(1<<20, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(lab.Engine, lab.Clock, w, 100, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerTx
+	}
+	safe := run(false)
+	unsafe := run(true)
+	if unsafe >= safe {
+		t.Errorf("dropping the remote undo push must be cheaper: safe=%v unsafe=%v", safe, unsafe)
+	}
+	// But not free: the remote undo push is one of only three copies.
+	if float64(safe-unsafe) < 0.15*float64(safe) {
+		t.Errorf("remote undo cost suspiciously low: safe=%v unsafe=%v", safe, unsafe)
+	}
+}
+
+func TestAblationExtraMirrorsCost(t *testing.T) {
+	run := func(mirrors int) time.Duration {
+		cfg := rig.DefaultConfig()
+		cfg.Mirrors = mirrors
+		lab, err := rig.NewPerseas(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lab.Engine.Close()
+		w, err := NewSynthetic(1<<20, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(lab.Engine, lab.Clock, w, 100, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerTx
+	}
+	one := run(1)
+	three := run(3)
+	if three <= one {
+		t.Errorf("three mirrors must cost more than one: 1=%v 3=%v", one, three)
+	}
+	if three > 4*one {
+		t.Errorf("mirroring overhead super-linear: 1=%v 3=%v", one, three)
+	}
+}
+
+func TestRenderFigure5(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderFigure5(&buf, sci.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "200") {
+		t.Errorf("figure 5 output incomplete:\n%s", out)
+	}
+}
+
+func TestRenderFigure6AndTables(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFigure6(&buf, []SweepPoint{
+		{TxSize: 4, Overhead: 10 * time.Microsecond},
+		{TxSize: 1 << 20, Overhead: 40 * time.Millisecond},
+	})
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("figure 6 header missing")
+	}
+
+	buf.Reset()
+	RenderTable1(&buf, []Result{
+		{Engine: "perseas", Workload: "debit-credit", TPS: 25000},
+		{Engine: "perseas", Workload: "order-entry", TPS: 8000},
+	})
+	if !strings.Contains(buf.String(), "debit-credit") {
+		t.Error("table 1 missing rows")
+	}
+
+	buf.Reset()
+	RenderComparison(&buf, []Result{
+		{Engine: "perseas", Workload: "debit-credit", TPS: 25000, PerTx: 40 * time.Microsecond},
+		{Engine: "rvm", Workload: "debit-credit", TPS: 80, PerTx: 12 * time.Millisecond},
+	})
+	if !strings.Contains(buf.String(), "rvm") || !strings.Contains(buf.String(), "x") {
+		t.Error("comparison missing speedup column")
+	}
+
+	buf.Reset()
+	RenderDBSize(&buf, []DBSizeRow{{Branches: 1, DBBytes: 1 << 20, TPS: 25000}})
+	if !strings.Contains(buf.String(), "branches") {
+		t.Error("dbsize table missing header")
+	}
+
+	buf.Reset()
+	RenderAblation(&buf, []AblationRow{{Config: "default", TPS: 25000, PerTx: 40 * time.Microsecond}})
+	if !strings.Contains(buf.String(), "default") {
+		t.Error("ablation table missing rows")
+	}
+}
+
+func TestRunTxAbortsOnBadRange(t *testing.T) {
+	lab := perseasLab(t)
+	db, err := lab.Engine.CreateDB("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Engine.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	err = runTx(lab.Engine, []rangeWrite{{db: db, offset: 60, data: make([]byte, 8)}})
+	if err == nil {
+		t.Fatal("out-of-range tx should fail")
+	}
+	// The failed transaction was aborted: a new one can start.
+	if err := lab.Engine.Begin(); err != nil {
+		t.Errorf("engine left in-tx after failed runTx: %v", err)
+	}
+}
+
+func TestDebitCreditHistoryWraps(t *testing.T) {
+	lab := perseasLab(t)
+	w, err := NewDebitCredit(1, 20) // tiny: history wraps quickly
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(lab.Engine); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		if err := w.Tx(lab.Engine, rng); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}

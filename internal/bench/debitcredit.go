@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// DebitCredit is the paper's second benchmark: it processes banking
+// transactions very similar to TPC-B. Each transaction debits or credits
+// a random account, updates the owning teller's and branch's balances,
+// and appends a history record — four small writes spread across four
+// tables, the access pattern main-memory transaction systems live on.
+type DebitCredit struct {
+	// Branches scales the database per the TPC-B layout: 10 tellers
+	// and AccountsPerBranch accounts per branch.
+	Branches          int
+	AccountsPerBranch int
+
+	accounts engine.DB
+	tellers  engine.DB
+	branches engine.DB
+	history  engine.DB
+
+	historyLen  uint64
+	historyNext uint64
+}
+
+// Record sizes follow the TPC-B style: fat rows padded for realism.
+const (
+	accountRecord = 100
+	tellerRecord  = 100
+	branchRecord  = 100
+	historyRecord = 50
+	tellersPerBr  = 10
+)
+
+// NewDebitCredit builds the workload; zero values select the defaults
+// the paper-scale databases use (4 branches, 2500 accounts each — a
+// ~1 MB account table).
+func NewDebitCredit(branches, accountsPerBranch int) (*DebitCredit, error) {
+	if branches <= 0 {
+		branches = 4
+	}
+	if accountsPerBranch <= 0 {
+		accountsPerBranch = 2500
+	}
+	return &DebitCredit{Branches: branches, AccountsPerBranch: accountsPerBranch}, nil
+}
+
+// Name implements Workload.
+func (d *DebitCredit) Name() string { return "debit-credit" }
+
+// DBBytes reports the total database footprint, used by the DB-size
+// invariance table.
+func (d *DebitCredit) DBBytes() uint64 {
+	return uint64(d.Branches*d.AccountsPerBranch)*accountRecord +
+		uint64(d.Branches*tellersPerBr)*tellerRecord +
+		uint64(d.Branches)*branchRecord +
+		d.historyBytes()
+}
+
+func (d *DebitCredit) historyBytes() uint64 {
+	// History sized to hold ~4 records per account before wrapping.
+	return uint64(d.Branches*d.AccountsPerBranch) * historyRecord * 4
+}
+
+// Setup implements Workload.
+func (d *DebitCredit) Setup(e engine.Engine) error {
+	var err error
+	if d.accounts, err = initDB(e, "accounts",
+		uint64(d.Branches*d.AccountsPerBranch)*accountRecord); err != nil {
+		return err
+	}
+	if d.tellers, err = initDB(e, "tellers",
+		uint64(d.Branches*tellersPerBr)*tellerRecord); err != nil {
+		return err
+	}
+	if d.branches, err = initDB(e, "branches",
+		uint64(d.Branches)*branchRecord); err != nil {
+		return err
+	}
+	d.historyLen = d.historyBytes()
+	if d.history, err = initDB(e, "history", d.historyLen); err != nil {
+		return err
+	}
+	d.historyNext = 0
+	return nil
+}
+
+// Tx implements Workload: one TPC-B-style transaction.
+func (d *DebitCredit) Tx(e engine.Engine, rng *rand.Rand) error {
+	branch := rng.Intn(d.Branches)
+	teller := branch*tellersPerBr + rng.Intn(tellersPerBr)
+	account := branch*d.AccountsPerBranch + rng.Intn(d.AccountsPerBranch)
+	delta := rng.Int63n(1_000_000) - 500_000
+
+	accOff := uint64(account) * accountRecord
+	telOff := uint64(teller) * tellerRecord
+	brOff := uint64(branch) * branchRecord
+	histOff := d.historyNext
+	d.historyNext += historyRecord
+	if d.historyNext+historyRecord > d.historyLen {
+		d.historyNext = 0
+	}
+
+	// TPC-B updates just the 8-byte balance column of each row; the
+	// history row is inserted whole. This small-write pattern is what
+	// main-memory transaction systems are built for.
+	accBal := updateBalance(d.accounts.Bytes()[accOff:accOff+8], delta)
+	telBal := updateBalance(d.tellers.Bytes()[telOff:telOff+8], delta)
+	brBal := updateBalance(d.branches.Bytes()[brOff:brOff+8], delta)
+
+	hist := make([]byte, historyRecord)
+	binary.BigEndian.PutUint64(hist[0:], uint64(account))
+	binary.BigEndian.PutUint64(hist[8:], uint64(teller))
+	binary.BigEndian.PutUint64(hist[16:], uint64(branch))
+	binary.BigEndian.PutUint64(hist[24:], uint64(delta))
+
+	return runTx(e, []rangeWrite{
+		{db: d.accounts, offset: accOff, data: accBal},
+		{db: d.tellers, offset: telOff, data: telBal},
+		{db: d.branches, offset: brOff, data: brBal},
+		{db: d.history, offset: histOff, data: hist},
+	})
+}
+
+// updateBalance returns the row's 8-byte balance column adjusted by
+// delta.
+func updateBalance(col []byte, delta int64) []byte {
+	out := make([]byte, 8)
+	bal := int64(binary.BigEndian.Uint64(col[:8]))
+	binary.BigEndian.PutUint64(out, uint64(bal+delta))
+	return out
+}
+
+// CheckConsistency verifies the TPC-B invariant: the sum of account
+// balances equals the sum of branch balances (both started from the same
+// deterministic fill, so their *deltas* must match).
+func (d *DebitCredit) CheckConsistency() error {
+	accDelta := sumBalanceDelta(d.accounts.Bytes(), accountRecord)
+	brDelta := sumBalanceDelta(d.branches.Bytes(), branchRecord)
+	telDelta := sumBalanceDelta(d.tellers.Bytes(), tellerRecord)
+	if accDelta != brDelta || accDelta != telDelta {
+		return fmt.Errorf("bench: balance invariant violated: accounts=%d branches=%d tellers=%d",
+			accDelta, brDelta, telDelta)
+	}
+	return nil
+}
+
+// sumBalanceDelta sums each record's balance minus its deterministic
+// initial fill value.
+func sumBalanceDelta(table []byte, record int) int64 {
+	var sum int64
+	for off := 0; off+record <= len(table); off += record {
+		cur := int64(binary.BigEndian.Uint64(table[off : off+8]))
+		init := initialBalance(off)
+		sum += cur - init
+	}
+	return sum
+}
+
+// initialBalance reconstructs the deterministic fill initDB wrote at a
+// record's first 8 bytes.
+func initialBalance(off int) int64 {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte((off + i) % 251)
+	}
+	return int64(binary.BigEndian.Uint64(b[:]))
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// Result is one benchmark measurement on the virtual clock.
+type Result struct {
+	Engine   string
+	Workload string
+	Txs      int
+	Elapsed  time.Duration
+	PerTx    time.Duration
+	TPS      float64
+	// Latency percentiles over the measured transactions.
+	P50, P95, P99, Max time.Duration
+}
+
+// String renders one row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s %-14s %7d tx  %12v  %10v/tx  %12.0f tps  p50=%v p99=%v",
+		r.Engine, r.Workload, r.Txs, r.Elapsed, r.PerTx, r.TPS, r.P50, r.P99)
+}
+
+// percentile returns the p-th percentile of sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Run executes txs transactions of w against e, measuring virtual time.
+// Setup and a small warm-up are excluded from the measurement, as in the
+// paper's steady-state numbers.
+func Run(e engine.Engine, clock *simclock.SimClock, w Workload, txs int, seed int64) (Result, error) {
+	if err := w.Setup(e); err != nil {
+		return Result{}, fmt.Errorf("bench: setup %s on %s: %w", w.Name(), e.Name(), err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	warm := txs / 10
+	if warm > 50 {
+		warm = 50
+	}
+	for i := 0; i < warm; i++ {
+		if err := w.Tx(e, rng); err != nil {
+			return Result{}, fmt.Errorf("bench: warm-up tx on %s: %w", e.Name(), err)
+		}
+	}
+	latencies := make([]time.Duration, 0, txs)
+	start := clock.Now()
+	for i := 0; i < txs; i++ {
+		t0 := clock.Now()
+		if err := w.Tx(e, rng); err != nil {
+			return Result{}, fmt.Errorf("bench: tx %d on %s: %w", i, e.Name(), err)
+		}
+		latencies = append(latencies, clock.Now()-t0)
+	}
+	elapsed := clock.Now() - start
+	res := Result{
+		Engine:   e.Name(),
+		Workload: w.Name(),
+		Txs:      txs,
+		Elapsed:  elapsed,
+	}
+	if txs > 0 && elapsed > 0 {
+		res.PerTx = elapsed / time.Duration(txs)
+		res.TPS = float64(txs) / elapsed.Seconds()
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50 = percentile(latencies, 0.50)
+		res.P95 = percentile(latencies, 0.95)
+		res.P99 = percentile(latencies, 0.99)
+		res.Max = latencies[len(latencies)-1]
+	}
+	return res, nil
+}
+
+// SweepPoint is one sample of the transaction-overhead curve (Fig. 6).
+type SweepPoint struct {
+	// TxSize is the bytes modified per transaction.
+	TxSize uint64
+	// Overhead is the mean per-transaction virtual time.
+	Overhead time.Duration
+}
+
+// LabFactory builds a fresh engine+clock pair per measurement so sweeps
+// do not contaminate each other.
+type LabFactory func() (engine.Engine, *simclock.SimClock, error)
+
+// Figure6Sizes returns the transaction sizes of the paper's sweep:
+// 4 bytes to 1 MByte.
+func Figure6Sizes() []uint64 {
+	var sizes []uint64
+	for s := uint64(4); s <= 1<<20; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// Sweep measures transaction overhead as a function of transaction size
+// (the paper's synthetic benchmark, Fig. 6).
+func Sweep(mk LabFactory, dbSize uint64, sizes []uint64, txsPerSize int) ([]SweepPoint, error) {
+	var pts []SweepPoint
+	for _, size := range sizes {
+		e, clock, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		w, err := NewSynthetic(dbSize, size)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(e, clock, w, txsPerSize, int64(size))
+		if err != nil {
+			return nil, fmt.Errorf("bench: sweep size %d: %w", size, err)
+		}
+		_ = e.Close()
+		pts = append(pts, SweepPoint{TxSize: size, Overhead: res.PerTx})
+	}
+	return pts, nil
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/rig"
+)
+
+func TestMixedValidation(t *testing.T) {
+	if _, err := NewMixed(100, 0.5, 0); err == nil {
+		t.Error("zero write size should fail")
+	}
+	if _, err := NewMixed(100, 0.5, 200); err == nil {
+		t.Error("write larger than db should fail")
+	}
+	if _, err := NewMixed(100, 1.5, 8); err == nil {
+		t.Error("read fraction above 1 should fail")
+	}
+	if _, err := NewMixed(100, -0.1, 8); err == nil {
+		t.Error("negative read fraction should fail")
+	}
+}
+
+func TestMixedReadFractionSpeedsUpPerseas(t *testing.T) {
+	run := func(frac float64) float64 {
+		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lab.Engine.Close()
+		w, err := NewMixed(1<<20, frac, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(lab.Engine, lab.Clock, w, 400, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TPS
+	}
+	writeOnly := run(0)
+	readHeavy := run(0.9)
+	// Reads are local loads: a 90%-read mix should push far more
+	// transactions per second than a pure-write stream.
+	if readHeavy < writeOnly*3 {
+		t.Errorf("read-heavy mix %.0f tps vs write-only %.0f tps; reads should be nearly free",
+			readHeavy, writeOnly)
+	}
+}
+
+func TestMixedName(t *testing.T) {
+	w, err := NewMixed(1024, 0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Name(); got != "mixed-r25" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// OrderEntry is the paper's third benchmark: it follows TPC-C and models
+// the activities of a wholesale supplier. Each transaction is a TPC-C
+// new-order: it reads and bumps the district's next-order counter,
+// inserts an order row, and for 5-15 line items decrements a stock row
+// and inserts an order-line row — a dozen-plus scattered writes, several
+// times heavier than debit-credit.
+type OrderEntry struct {
+	// Warehouses scales the database: 10 districts per warehouse,
+	// CustomersPerDistrict customers, ItemsPerWarehouse stock rows.
+	Warehouses            int
+	CustomersPerDistrict  int
+	ItemsPerWarehouse     int
+	districtsPerWarehouse int
+	// PaymentMix is the fraction of transactions that are TPC-C
+	// payments instead of new-orders (0 reproduces the paper's pure
+	// order-entry stream; TPC-C proper uses ~0.43).
+	PaymentMix float64
+
+	warehouse engine.DB
+	district  engine.DB
+	customer  engine.DB
+	stock     engine.DB
+	order     engine.DB
+	orderLine engine.DB
+
+	orderLen  uint64
+	orderNext uint64
+	olLen     uint64
+	olNext    uint64
+}
+
+// Record sizes in the TPC-C spirit (trimmed to main-memory scale).
+const (
+	warehouseRecord = 64
+	districtRecord  = 96
+	customerRecord  = 64
+	stockRecord     = 64
+	orderRecord     = 64
+	orderLineRecord = 54
+	minItems        = 5
+	maxItems        = 15
+)
+
+// NewOrderEntry builds the workload; zero values pick paper-scale
+// defaults (2 warehouses).
+func NewOrderEntry(warehouses, customersPerDistrict, itemsPerWarehouse int) (*OrderEntry, error) {
+	if warehouses <= 0 {
+		warehouses = 2
+	}
+	if customersPerDistrict <= 0 {
+		customersPerDistrict = 300
+	}
+	if itemsPerWarehouse <= 0 {
+		itemsPerWarehouse = 10_000
+	}
+	return &OrderEntry{
+		Warehouses:            warehouses,
+		CustomersPerDistrict:  customersPerDistrict,
+		ItemsPerWarehouse:     itemsPerWarehouse,
+		districtsPerWarehouse: 10,
+	}, nil
+}
+
+// Name implements Workload.
+func (o *OrderEntry) Name() string { return "order-entry" }
+
+// Setup implements Workload.
+func (o *OrderEntry) Setup(e engine.Engine) error {
+	var err error
+	nDistricts := o.Warehouses * o.districtsPerWarehouse
+	if o.warehouse, err = initDB(e, "warehouse",
+		uint64(o.Warehouses)*warehouseRecord); err != nil {
+		return err
+	}
+	if o.district, err = initDB(e, "district",
+		uint64(nDistricts)*districtRecord); err != nil {
+		return err
+	}
+	if o.customer, err = initDB(e, "customer",
+		uint64(nDistricts*o.CustomersPerDistrict)*customerRecord); err != nil {
+		return err
+	}
+	if o.stock, err = initDB(e, "stock",
+		uint64(o.Warehouses*o.ItemsPerWarehouse)*stockRecord); err != nil {
+		return err
+	}
+	// Order and order-line tables are append-and-wrap rings sized for
+	// several thousand open orders.
+	o.orderLen = uint64(nDistricts*o.CustomersPerDistrict) * orderRecord
+	if o.order, err = initDB(e, "order", o.orderLen); err != nil {
+		return err
+	}
+	o.olLen = o.orderLen / orderRecord * maxItems * orderLineRecord
+	if o.orderLine, err = initDB(e, "order-line", o.olLen); err != nil {
+		return err
+	}
+	o.orderNext, o.olNext = 0, 0
+	return nil
+}
+
+// Tx implements Workload: a new-order transaction, or — with
+// probability PaymentMix — a payment transaction.
+func (o *OrderEntry) Tx(e engine.Engine, rng *rand.Rand) error {
+	if o.PaymentMix > 0 && rng.Float64() < o.PaymentMix {
+		return o.payment(e, rng)
+	}
+	return o.newOrder(e, rng)
+}
+
+// payment is the TPC-C payment transaction: a customer pays an amount,
+// which lands in the district's and warehouse's year-to-date totals —
+// three scattered 8-byte balance updates.
+func (o *OrderEntry) payment(e engine.Engine, rng *rand.Rand) error {
+	warehouse := rng.Intn(o.Warehouses)
+	district := warehouse*o.districtsPerWarehouse + rng.Intn(o.districtsPerWarehouse)
+	customer := district*o.CustomersPerDistrict + rng.Intn(o.CustomersPerDistrict)
+	amount := uint64(1 + rng.Intn(5000))
+
+	bump := func(db engine.DB, off uint64, delta uint64) rangeWrite {
+		row := make([]byte, 8)
+		binary.BigEndian.PutUint64(row, binary.BigEndian.Uint64(db.Bytes()[off:off+8])+delta)
+		return rangeWrite{db: db, offset: off, data: row}
+	}
+	return runTx(e, []rangeWrite{
+		bump(o.customer, uint64(customer)*customerRecord, amount),
+		bump(o.district, uint64(district)*districtRecord+8, amount),
+		bump(o.warehouse, uint64(warehouse)*warehouseRecord, amount),
+	})
+}
+
+// newOrder is the TPC-C new-order transaction.
+func (o *OrderEntry) newOrder(e engine.Engine, rng *rand.Rand) error {
+	warehouse := rng.Intn(o.Warehouses)
+	district := warehouse*o.districtsPerWarehouse + rng.Intn(o.districtsPerWarehouse)
+	customer := rng.Intn(o.CustomersPerDistrict)
+	items := minItems + rng.Intn(maxItems-minItems+1)
+
+	writes := make([]rangeWrite, 0, 2+2*items)
+
+	// Bump the district's next-order-id counter (first 8 bytes).
+	dOff := uint64(district) * districtRecord
+	dRow := append([]byte(nil), o.district.Bytes()[dOff:dOff+districtRecord]...)
+	oid := binary.BigEndian.Uint64(dRow[:8]) + 1
+	binary.BigEndian.PutUint64(dRow[:8], oid)
+	writes = append(writes, rangeWrite{db: o.district, offset: dOff, data: dRow})
+
+	// Insert the order row.
+	oOff := o.orderNext
+	o.orderNext += orderRecord
+	if o.orderNext+orderRecord > o.orderLen {
+		o.orderNext = 0
+	}
+	oRow := make([]byte, orderRecord)
+	binary.BigEndian.PutUint64(oRow[0:], oid)
+	binary.BigEndian.PutUint64(oRow[8:], uint64(district))
+	binary.BigEndian.PutUint64(oRow[16:], uint64(customer))
+	binary.BigEndian.PutUint64(oRow[24:], uint64(items))
+	writes = append(writes, rangeWrite{db: o.order, offset: oOff, data: oRow})
+
+	for i := 0; i < items; i++ {
+		item := rng.Intn(o.ItemsPerWarehouse)
+		qty := uint64(1 + rng.Intn(10))
+
+		// Decrement the stock row's quantity (first 8 bytes).
+		sOff := uint64(warehouse*o.ItemsPerWarehouse+item) * stockRecord
+		sRow := append([]byte(nil), o.stock.Bytes()[sOff:sOff+stockRecord]...)
+		have := binary.BigEndian.Uint64(sRow[:8])
+		if have < qty {
+			have += 91 // TPC-C restock rule
+		}
+		binary.BigEndian.PutUint64(sRow[:8], have-qty)
+		writes = append(writes, rangeWrite{db: o.stock, offset: sOff, data: sRow})
+
+		// Insert the order line.
+		olOff := o.olNext
+		o.olNext += orderLineRecord
+		if o.olNext+orderLineRecord > o.olLen {
+			o.olNext = 0
+		}
+		olRow := make([]byte, orderLineRecord)
+		binary.BigEndian.PutUint64(olRow[0:], oid)
+		binary.BigEndian.PutUint64(olRow[8:], uint64(item))
+		binary.BigEndian.PutUint64(olRow[16:], qty)
+		writes = append(writes, rangeWrite{db: o.orderLine, offset: olOff, data: olRow})
+	}
+	return runTx(e, writes)
+}
+
+// DBBytes reports the database footprint.
+func (o *OrderEntry) DBBytes() uint64 {
+	nDistricts := uint64(o.Warehouses * o.districtsPerWarehouse)
+	return uint64(o.Warehouses)*warehouseRecord +
+		nDistricts*districtRecord +
+		nDistricts*uint64(o.CustomersPerDistrict)*customerRecord +
+		uint64(o.Warehouses*o.ItemsPerWarehouse)*stockRecord +
+		o.orderLen + o.olLen
+}
+
+// String describes the scale.
+func (o *OrderEntry) String() string {
+	return fmt.Sprintf("order-entry(w=%d)", o.Warehouses)
+}

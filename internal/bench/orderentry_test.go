@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/rig"
+)
+
+func TestOrderEntryPaymentMix(t *testing.T) {
+	lab := perseasLab(t)
+	w, err := NewOrderEntry(1, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.PaymentMix = 0.43
+	if err := w.Setup(lab.Engine); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		if err := w.Tx(lab.Engine, rng); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	// Money conservation across the payment path: customer payments sum
+	// to the warehouse year-to-date totals (all start from the same
+	// deterministic fill, so compare deltas).
+	custDelta := sumBalanceDelta(w.customer.Bytes(), customerRecord)
+	whDelta := sumBalanceDelta(w.warehouse.Bytes(), warehouseRecord)
+	if custDelta == 0 {
+		t.Fatal("payment mix of 0.43 produced no payments")
+	}
+	if custDelta != whDelta {
+		t.Errorf("payments not conserved: customers %d vs warehouses %d", custDelta, whDelta)
+	}
+	// And new-orders still flowed.
+	var oid uint64
+	for d := 0; d < 10; d++ {
+		oid += binary.BigEndian.Uint64(w.district.Bytes()[d*districtRecord:])
+	}
+	if oid == 0 {
+		t.Error("no new-orders were processed")
+	}
+}
+
+func TestOrderEntryPaymentHeavierMixIsFaster(t *testing.T) {
+	// Payments touch 3 ranges vs new-order's ~22: a payment-heavy mix
+	// must push more transactions per second.
+	run := func(mix float64) float64 {
+		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lab.Engine.Close()
+		w, err := NewOrderEntry(1, 100, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.PaymentMix = mix
+		res, err := Run(lab.Engine, lab.Clock, w, 300, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TPS
+	}
+	pure := run(0)
+	payHeavy := run(0.9)
+	if payHeavy <= pure*1.5 {
+		t.Errorf("payment-heavy mix (%.0f tps) should clearly beat pure new-order (%.0f tps)",
+			payHeavy, pure)
+	}
+}
+
+func TestOrderEntryDBBytesCountsAllTables(t *testing.T) {
+	w, err := NewOrderEntry(2, 300, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := perseasLab(t)
+	if err := w.Setup(lab.Engine); err != nil {
+		t.Fatal(err)
+	}
+	total := w.warehouse.Size() + w.district.Size() + w.customer.Size() +
+		w.stock.Size() + w.order.Size() + w.orderLine.Size()
+	if got := w.DBBytes(); got != total {
+		t.Errorf("DBBytes = %d, want %d", got, total)
+	}
+}
+
+func TestLatencyPercentilesPopulated(t *testing.T) {
+	lab := perseasLab(t)
+	w, err := NewDebitCredit(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(lab.Engine, lab.Clock, w, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P50 <= 0 || res.P95 < res.P50 || res.P99 < res.P95 || res.Max < res.P99 {
+		t.Errorf("percentiles disordered: %+v", res)
+	}
+}

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/sci"
+)
+
+// RenderFigure5 prints the SCI remote-write latency curve (paper Fig. 5):
+// latency of one remote store, sizes 4-200 bytes, word offset 0.
+func RenderFigure5(w io.Writer, params sci.Params) error {
+	pts, err := sci.WriteLatencyCurve(params, 4, 200, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 5 — SCI Remote Write Latency (one-way, word offset 0)")
+	fmt.Fprintln(w, "size(B)  latency(us)")
+	maxLat := 0.0
+	for _, p := range pts {
+		if us := float64(p.Latency.Nanoseconds()) / 1e3; us > maxLat {
+			maxLat = us
+		}
+	}
+	for _, p := range pts {
+		us := float64(p.Latency.Nanoseconds()) / 1e3
+		bar := strings.Repeat("*", int(us/maxLat*50))
+		fmt.Fprintf(w, "%7d  %10.2f  %s\n", p.Size, us, bar)
+	}
+	return nil
+}
+
+// RenderFigure5Offsets prints the word-offset family of the remote-write
+// latency measurement: the paper's Fig. 5 shows offset 0; other start
+// offsets shift the packetisation (edge chunks drain as 16-byte packets
+// and stores reaching a buffer's last word flush early).
+func RenderFigure5Offsets(w io.Writer, params sci.Params) error {
+	offsets := []uint64{0, 8, 32, 60}
+	sizes := []int{4, 16, 32, 64, 128, 200}
+	fmt.Fprintln(w, "Figure 5 (offset family) — latency in us by start offset within a 64B buffer")
+	fmt.Fprintf(w, "%8s", "size(B)")
+	for _, off := range offsets {
+		fmt.Fprintf(w, " %9s", fmt.Sprintf("off=%d", off))
+	}
+	fmt.Fprintln(w)
+	for _, size := range sizes {
+		fmt.Fprintf(w, "%8d", size)
+		for _, off := range offsets {
+			pts, err := sci.WriteLatencyCurveAt(params, off, size, size, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %9.2f", float64(pts[0].Latency.Nanoseconds())/1e3)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RenderFigure6 prints the transaction-overhead curve (paper Fig. 6):
+// per-transaction overhead versus transaction size, 4 B to 1 MB, log-log.
+func RenderFigure6(w io.Writer, pts []SweepPoint) {
+	fmt.Fprintln(w, "Figure 6 — Transaction Overhead of PERSEAS")
+	fmt.Fprintln(w, "txsize(B)  overhead(us)   (log-log bar)")
+	for _, p := range pts {
+		us := float64(p.Overhead.Nanoseconds()) / 1e3
+		// Log-scale bar: Fig. 6 spans 10 us .. 100 ms on a log axis.
+		bar := ""
+		if us > 1 {
+			bar = strings.Repeat("*", int(math.Log10(us)*10))
+		}
+		fmt.Fprintf(w, "%9d  %12.2f   %s\n", p.TxSize, us, bar)
+	}
+	if len(pts) > 0 {
+		first := pts[0]
+		last := pts[len(pts)-1]
+		fmt.Fprintf(w, "small tx: %v (%0.f tps); 1 MB tx: %v\n",
+			first.Overhead, 1e9/float64(first.Overhead.Nanoseconds()), last.Overhead)
+	}
+}
+
+// RenderTable1 prints the paper's Table 1: PERSEAS throughput on the two
+// application benchmarks.
+func RenderTable1(w io.Writer, results []Result) {
+	fmt.Fprintln(w, "Table 1 — Performance of PERSEAS")
+	fmt.Fprintf(w, "%-16s %s\n", "Benchmark", "Transactions per second")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-16s %.0f\n", r.Workload, r.TPS)
+	}
+}
+
+// RenderComparison prints the Section 5.1 cross-system comparison: every
+// engine against every workload, with the PERSEAS speed-up.
+func RenderComparison(w io.Writer, results []Result) {
+	fmt.Fprintln(w, "Section 5.1 — PERSEAS vs recoverable-memory systems (tps)")
+	// Group by workload, engines as rows.
+	byWorkload := map[string][]Result{}
+	var order []string
+	for _, r := range results {
+		if _, ok := byWorkload[r.Workload]; !ok {
+			order = append(order, r.Workload)
+		}
+		byWorkload[r.Workload] = append(byWorkload[r.Workload], r)
+	}
+	for _, wl := range order {
+		rs := byWorkload[wl]
+		var perseas float64
+		for _, r := range rs {
+			if r.Engine == "perseas" {
+				perseas = r.TPS
+			}
+		}
+		fmt.Fprintf(w, "\n%s:\n", wl)
+		fmt.Fprintf(w, "  %-10s %14s %14s %12s\n", "engine", "tps", "per-tx", "perseas/x")
+		for _, r := range rs {
+			ratio := "-"
+			if r.Engine != "perseas" && r.TPS > 0 {
+				ratio = fmt.Sprintf("%.1fx", perseas/r.TPS)
+			}
+			fmt.Fprintf(w, "  %-10s %14.0f %14v %12s\n", r.Engine, r.TPS, r.PerTx, ratio)
+		}
+	}
+}
+
+// RenderDBSize prints the DB-size invariance table: PERSEAS debit-credit
+// throughput across database scales.
+func RenderDBSize(w io.Writer, rows []DBSizeRow) {
+	fmt.Fprintln(w, "Section 5.1 — throughput vs database size (debit-credit)")
+	fmt.Fprintf(w, "%10s %12s %12s\n", "branches", "db bytes", "tps")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %12d %12.0f\n", r.Branches, r.DBBytes, r.TPS)
+	}
+}
+
+// DBSizeRow is one row of the DB-size invariance table.
+type DBSizeRow struct {
+	Branches int
+	DBBytes  uint64
+	TPS      float64
+}
+
+// RenderAblation prints the design-choice ablation table.
+func RenderAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation — PERSEAS design choices (debit-credit)")
+	fmt.Fprintf(w, "%-28s %12s %12s\n", "configuration", "tps", "per-tx")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %12.0f %12v\n", r.Config, r.TPS, r.PerTx)
+	}
+}
+
+// AblationRow is one ablation measurement.
+type AblationRow struct {
+	Config string
+	TPS    float64
+	PerTx  time.Duration
+}
+
+// RenderLatency prints per-engine latency distributions: the paper
+// reports means, but tail behaviour is where WAL engines differ most
+// (log truncations and checkpoints stall the unlucky transaction).
+func RenderLatency(w io.Writer, results []Result) {
+	fmt.Fprintln(w, "Latency distribution (debit-credit, virtual time)")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s\n",
+		"engine", "mean", "p50", "p95", "p99", "max")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %12v %12v %12v %12v %12v\n",
+			r.Engine, r.PerTx, r.P50, r.P95, r.P99, r.Max)
+	}
+}
+
+// TrendRow is one projected year of the technology-trend experiment.
+type TrendRow struct {
+	// Year is years after the paper's baseline hardware.
+	Year int
+	// PerseasTPS and DiskTPS are debit-credit rates on the projected
+	// network-bound (PERSEAS) and disk-bound (RVM group-commit)
+	// systems.
+	PerseasTPS float64
+	DiskTPS    float64
+}
+
+// RenderTrend prints the Section 6 projection: interconnect speed
+// improves 20-45% per year while magnetic-disk speed improves 10-20%, so
+// the performance gains of the PERSEAS approach increase with time.
+func RenderTrend(w io.Writer, rows []TrendRow) {
+	fmt.Fprintln(w, "Section 6 — projected gains over time (debit-credit)")
+	fmt.Fprintln(w, "(network improves 30%/yr, disk 15%/yr, per the paper's cited trends)")
+	fmt.Fprintf(w, "%6s %14s %14s %10s\n", "year", "perseas tps", "rvm-group tps", "ratio")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.DiskTPS > 0 {
+			ratio = r.PerseasTPS / r.DiskTPS
+		}
+		fmt.Fprintf(w, "%6d %14.0f %14.0f %9.0fx\n", r.Year, r.PerseasTPS, r.DiskTPS, ratio)
+	}
+}
+
+// RecoveryRow is one measurement of post-crash recovery time.
+type RecoveryRow struct {
+	// DBBytes is the total database size reconstructed.
+	DBBytes uint64
+	// InFlightRanges is how many declared ranges the crashed
+	// transaction had, all rolled back during recovery.
+	InFlightRanges int
+	// Elapsed is the virtual time from Recover's start to a usable
+	// database.
+	Elapsed time.Duration
+}
+
+// RenderRecovery prints the recovery-time table backing the paper's
+// Section 6 claim that recovery can start right away on any workstation:
+// no disk image is read and no log is replayed — the cost is fetching
+// the mirrored database over the interconnect.
+func RenderRecovery(w io.Writer, rows []RecoveryRow) {
+	fmt.Fprintln(w, "Section 6 — recovery time vs database size (PERSEAS)")
+	fmt.Fprintf(w, "%12s %16s %14s\n", "db bytes", "in-flight ranges", "recovery")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12d %16d %14v\n", r.DBBytes, r.InFlightRanges, r.Elapsed)
+	}
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// Synthetic is the paper's first benchmark: it measures transaction
+// overhead as a function of transaction size. Each transaction modifies a
+// random location of the database; the modified size sweeps from 4 bytes
+// to 1 megabyte (Fig. 6).
+type Synthetic struct {
+	// DBSize is the database size; the paper keeps it below main
+	// memory.
+	DBSize uint64
+	// TxSize is the bytes each transaction modifies.
+	TxSize uint64
+
+	db  engine.DB
+	pat []byte
+}
+
+// NewSynthetic builds the workload. The database must hold at least one
+// transaction's range.
+func NewSynthetic(dbSize, txSize uint64) (*Synthetic, error) {
+	if txSize == 0 || txSize > dbSize {
+		return nil, fmt.Errorf("bench: tx size %d must be in [1, db size %d]", txSize, dbSize)
+	}
+	return &Synthetic{DBSize: dbSize, TxSize: txSize}, nil
+}
+
+// Name implements Workload.
+func (s *Synthetic) Name() string { return fmt.Sprintf("synthetic-%d", s.TxSize) }
+
+// Setup implements Workload.
+func (s *Synthetic) Setup(e engine.Engine) error {
+	db, err := initDB(e, "synthetic", s.DBSize)
+	if err != nil {
+		return err
+	}
+	s.db = db
+	s.pat = make([]byte, s.TxSize)
+	for i := range s.pat {
+		s.pat[i] = byte(i*7 + 13)
+	}
+	return nil
+}
+
+// Tx implements Workload: one update of TxSize bytes at a random
+// location.
+func (s *Synthetic) Tx(e engine.Engine, rng *rand.Rand) error {
+	span := s.DBSize - s.TxSize
+	var off uint64
+	if span > 0 {
+		off = uint64(rng.Int63n(int64(span + 1)))
+	}
+	return runTx(e, []rangeWrite{{db: s.db, offset: off, data: s.pat}})
+}

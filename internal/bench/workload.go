@@ -1,0 +1,63 @@
+// Package bench implements the paper's three benchmarks — synthetic,
+// debit-credit (TPC-B-like) and order-entry (TPC-C-like), the same suite
+// Lowell & Chen used to measure RVM and Vista — plus the harness that
+// runs any workload against any engine on the shared virtual clock and
+// renders the paper's tables and figures.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// Workload is one benchmark: it creates its databases on an engine and
+// then executes transactions one at a time.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Setup creates and initialises the databases.
+	Setup(e engine.Engine) error
+	// Tx runs one complete transaction (begin..commit).
+	Tx(e engine.Engine, rng *rand.Rand) error
+}
+
+// beginWriteCommit brackets a set of range writes in one transaction.
+// Each write declares its range, then mutates the bytes in place.
+type rangeWrite struct {
+	db     engine.DB
+	offset uint64
+	data   []byte
+}
+
+func runTx(e engine.Engine, writes []rangeWrite) error {
+	if err := e.Begin(); err != nil {
+		return err
+	}
+	for _, w := range writes {
+		if err := e.SetRange(w.db, w.offset, uint64(len(w.data))); err != nil {
+			abortErr := e.Abort()
+			return fmt.Errorf("set_range: %v (abort: %v)", err, abortErr)
+		}
+		copy(w.db.Bytes()[w.offset:], w.data)
+	}
+	return e.Commit()
+}
+
+// initDB creates a database, fills it with a deterministic pattern and
+// publishes the initial image.
+func initDB(e engine.Engine, name string, size uint64) (engine.DB, error) {
+	db, err := e.CreateDB(name, size)
+	if err != nil {
+		return nil, fmt.Errorf("create %s: %w", name, err)
+	}
+	buf := db.Bytes()
+	for i := range buf {
+		buf[i] = byte(i % 251)
+	}
+	if err := e.InitDB(db); err != nil {
+		return nil, fmt.Errorf("init %s: %w", name, err)
+	}
+	return db, nil
+}

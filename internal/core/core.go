@@ -1,0 +1,474 @@
+// Package core implements PERSEAS, the paper's transaction library for
+// main-memory databases.
+//
+// PERSEAS keeps every database region in local main memory and mirrors it
+// in the main memory of one or more remote workstations through the
+// reliable network RAM layer (package netram). A transaction needs only
+// memory copies — no magnetic disk ever sits on the commit path:
+//
+//  1. SetRange copies the before-image of the declared range into a
+//     local undo log and pushes that log record to the remote undo log
+//     (one remote write).
+//  2. The application updates the declared ranges in place.
+//  3. Commit pushes every modified range to the mirrored remote database
+//     and then publishes the transaction id with one small remote write
+//     of the commit word — the atomic commit point.
+//
+// Abort restores the declared ranges from the local undo log with plain
+// local memory copies. After a primary-node crash, Recover reconnects to
+// the surviving remote segments by name, rolls the remote database back
+// with the remote undo log if an in-flight transaction had started
+// propagating updates, and re-fetches the database — the paper's Section 3
+// recovery procedure.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/hostmem"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// Region-name prefixes used on the remote memory servers. Named segments
+// are what let a restarted primary reconnect after losing every pointer.
+// A library's namespace is prepended to each, so several applications can
+// share the same mirror workstations without colliding.
+const (
+	metaRegionName   = "perseas.meta"
+	undoRegionName   = "perseas.undo"
+	dbRegionPrefix   = "perseas.db."
+	metaMagic        = uint64(0x5045525345415301) // "PERSEAS\x01"
+	metaHeaderSize   = 32
+	metaMagicOff     = 0
+	metaCommittedOff = 8
+	metaUndoSizeOff  = 16
+	metaDBCountOff   = 24
+	metaNextDBIDOff  = 28
+)
+
+// Defaults for tunable sizes.
+const (
+	// DefaultMetaSize is the metadata region size: header plus database
+	// directory.
+	DefaultMetaSize = 64 << 10
+	// DefaultUndoLogSize bounds the before-images one transaction can
+	// log.
+	DefaultUndoLogSize = 4 << 20
+)
+
+// Errors specific to PERSEAS.
+var (
+	// ErrUndoLogFull is returned by SetRange when the transaction's
+	// before-images exceed the undo log capacity.
+	ErrUndoLogFull = errors.New("perseas: undo log full")
+	// ErrStaleDB is returned when a database handle from before a crash
+	// is used after recovery.
+	ErrStaleDB = errors.New("perseas: stale database handle; reopen after recovery")
+	// ErrNoSuchDB is returned by OpenDB for unknown names.
+	ErrNoSuchDB = errors.New("perseas: no such database")
+	// ErrMetaFull is returned when the database directory outgrows the
+	// metadata region.
+	ErrMetaFull = errors.New("perseas: metadata region full")
+	// ErrBadRange is returned for ranges outside a database.
+	ErrBadRange = errors.New("perseas: range outside database")
+)
+
+// Stats counts library activity.
+type Stats struct {
+	Begun       uint64
+	Committed   uint64
+	Aborted     uint64
+	SetRanges   uint64
+	BytesLogged uint64
+	Recoveries  uint64
+}
+
+// Database is one PERSEAS-managed main-memory database region. It
+// implements engine.DB.
+type Database struct {
+	id     uint32
+	name   string
+	region *netram.Region
+	stale  bool
+}
+
+// Name implements engine.DB.
+func (d *Database) Name() string { return d.name }
+
+// Size implements engine.DB.
+func (d *Database) Size() uint64 { return d.region.Size() }
+
+// Bytes implements engine.DB. The slice is the local main-memory copy;
+// modify only ranges declared with SetRange, as the paper's API requires.
+func (d *Database) Bytes() []byte { return d.region.Local }
+
+// Region exposes the database's mirrored network-RAM region. It exists
+// for tooling and failure-injection tests that need to reach the mirror
+// layer directly; applications should not use it.
+func (d *Database) Region() *netram.Region { return d.region }
+
+// pending is one range declared by SetRange, remembered until commit.
+type pending struct {
+	db     *Database
+	offset uint64
+	length uint64
+}
+
+// Library is one PERSEAS instance serving a sequential application, as in
+// the paper. It is not safe for concurrent use.
+type Library struct {
+	net   *netram.Client
+	mem   hostmem.Model
+	clock simclock.Clock
+
+	metaSize  uint64
+	undoSize  uint64
+	namespace string
+
+	meta *netram.Region
+	undo *netram.Region
+
+	dbs      map[string]*Database
+	byID     map[uint32]*Database
+	nextDBID uint32
+
+	txActive  bool
+	txID      uint64
+	lastTxID  uint64
+	committed uint64
+	cursor    uint64
+	ranges    []pending
+	// pushed lists the declared ranges a failed Commit managed to push,
+	// so Abort can repair the mirrors.
+	pushed []pending
+
+	crashed      bool
+	noRemoteUndo bool
+	stats        Stats
+}
+
+// Option configures a Library.
+type Option func(*Library)
+
+// WithUndoLogSize overrides the undo log capacity.
+func WithUndoLogSize(n uint64) Option {
+	return func(l *Library) { l.undoSize = n }
+}
+
+// WithMetaSize overrides the metadata region size.
+func WithMetaSize(n uint64) Option {
+	return func(l *Library) { l.metaSize = n }
+}
+
+// WithMemModel overrides the local memory-copy cost model.
+func WithMemModel(m hostmem.Model) Option {
+	return func(l *Library) { l.mem = m }
+}
+
+// WithNamespace prefixes every remote segment name with ns, letting
+// several applications keep independent PERSEAS databases on the same
+// mirror workstations.
+func WithNamespace(ns string) Option {
+	return func(l *Library) { l.namespace = ns }
+}
+
+// WithUnsafeNoRemoteUndo disables the remote undo-log push in SetRange.
+// This exists ONLY for the ablation benchmarks that price the remote
+// undo mirroring: without it a primary crash during commit cannot be
+// rolled back on the mirrors, so never enable it in real deployments.
+func WithUnsafeNoRemoteUndo() Option {
+	return func(l *Library) { l.noRemoteUndo = true }
+}
+
+// Init creates a PERSEAS instance over the given reliable-network-RAM
+// client — the paper's PERSEAS_init. It allocates and mirrors the
+// metadata and undo-log regions.
+func Init(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library, error) {
+	l := &Library{
+		net:      net,
+		mem:      hostmem.Default(),
+		clock:    clock,
+		metaSize: DefaultMetaSize,
+		undoSize: DefaultUndoLogSize,
+		dbs:      make(map[string]*Database),
+		byID:     make(map[uint32]*Database),
+		nextDBID: 1,
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	if l.metaSize < metaHeaderSize {
+		return nil, fmt.Errorf("perseas: metadata region too small (%d bytes)", l.metaSize)
+	}
+	if l.undoSize < recordHeaderSize+1 {
+		return nil, fmt.Errorf("perseas: undo log too small (%d bytes)", l.undoSize)
+	}
+
+	meta, err := net.Malloc(l.qualify(metaRegionName), l.metaSize)
+	if err != nil {
+		return nil, fmt.Errorf("perseas: allocate metadata: %w", err)
+	}
+	undo, err := net.Malloc(l.qualify(undoRegionName), l.undoSize)
+	if err != nil {
+		_ = net.Free(meta)
+		return nil, fmt.Errorf("perseas: allocate undo log: %w", err)
+	}
+	l.meta, l.undo = meta, undo
+
+	binary.BigEndian.PutUint64(meta.Local[metaMagicOff:], metaMagic)
+	binary.BigEndian.PutUint64(meta.Local[metaCommittedOff:], 0)
+	binary.BigEndian.PutUint64(meta.Local[metaUndoSizeOff:], l.undoSize)
+	binary.BigEndian.PutUint32(meta.Local[metaDBCountOff:], 0)
+	if err := net.PushAll(meta); err != nil {
+		return nil, fmt.Errorf("perseas: publish metadata: %w", err)
+	}
+	return l, nil
+}
+
+// Stats returns a snapshot of the library counters.
+func (l *Library) Stats() Stats { return l.stats }
+
+// Net exposes the underlying network-RAM client (benchmarks inspect its
+// traffic counters).
+func (l *Library) Net() *netram.Client { return l.net }
+
+// InTransaction reports whether a transaction is open.
+func (l *Library) InTransaction() bool { return l.txActive }
+
+// CommittedTxID returns the id of the last committed transaction.
+func (l *Library) CommittedTxID() uint64 { return l.committed }
+
+func (l *Library) checkAlive() error {
+	if l.crashed {
+		return engine.ErrCrashed
+	}
+	return nil
+}
+
+// qualify prepends the library's namespace to a segment name.
+func (l *Library) qualify(name string) string {
+	if l.namespace == "" {
+		return name
+	}
+	return l.namespace + "/" + name
+}
+
+// Name implements engine.Engine.
+func (l *Library) Name() string { return "perseas" }
+
+// CreateDB implements engine.Engine: the paper's PERSEAS_malloc. It
+// allocates local memory for the database records and prepares the remote
+// segments the records will be mirrored in.
+func (l *Library) CreateDB(name string, size uint64) (engine.DB, error) {
+	if err := l.checkAlive(); err != nil {
+		return nil, err
+	}
+	if _, ok := l.dbs[name]; ok {
+		return nil, fmt.Errorf("perseas: database %q exists", name)
+	}
+	region, err := l.net.Malloc(l.qualify(dbRegionPrefix+name), size)
+	if err != nil {
+		return nil, fmt.Errorf("perseas: allocate database %q: %w", name, err)
+	}
+	db := &Database{id: l.nextDBID, name: name, region: region}
+	l.nextDBID++
+	l.dbs[name] = db
+	l.byID[db.id] = db
+	if err := l.writeDirectory(); err != nil {
+		delete(l.dbs, name)
+		delete(l.byID, db.id)
+		_ = l.net.Free(region)
+		return nil, err
+	}
+	return db, nil
+}
+
+// InitDB implements engine.Engine: the paper's PERSEAS_init_remote_db.
+// Call it once after setting the local records to their initial values;
+// it mirrors the whole database to the remote nodes.
+func (l *Library) InitDB(db engine.DB) error {
+	if err := l.checkAlive(); err != nil {
+		return err
+	}
+	d, err := l.own(db)
+	if err != nil {
+		return err
+	}
+	if err := l.net.PushAll(d.region); err != nil {
+		return fmt.Errorf("perseas: mirror database %q: %w", d.name, err)
+	}
+	return nil
+}
+
+// DropDB removes a database: its remote segments are freed on every
+// mirror and the directory is republished. It cannot run inside a
+// transaction.
+func (l *Library) DropDB(name string) error {
+	if err := l.checkAlive(); err != nil {
+		return err
+	}
+	if l.txActive {
+		return fmt.Errorf("perseas: drop database: %w", engine.ErrInTransaction)
+	}
+	db, ok := l.dbs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchDB, name)
+	}
+	if err := l.net.Free(db.region); err != nil {
+		return fmt.Errorf("perseas: free database %q: %w", name, err)
+	}
+	db.stale = true
+	delete(l.dbs, name)
+	delete(l.byID, db.id)
+	return l.writeDirectory()
+}
+
+// OpenDB implements engine.Engine.
+func (l *Library) OpenDB(name string) (engine.DB, error) {
+	if err := l.checkAlive(); err != nil {
+		return nil, err
+	}
+	db, ok := l.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDB, name)
+	}
+	return db, nil
+}
+
+// Close implements engine.Engine. Remote segments stay exported so
+// another node can take over the database.
+func (l *Library) Close() error {
+	l.crashed = true
+	return nil
+}
+
+// own checks that db is a live Database of this library.
+func (l *Library) own(db engine.DB) (*Database, error) {
+	d, ok := db.(*Database)
+	if !ok {
+		return nil, fmt.Errorf("perseas: foreign DB handle %T", db)
+	}
+	if d.stale {
+		return nil, ErrStaleDB
+	}
+	if l.byID[d.id] != d {
+		return nil, fmt.Errorf("perseas: unknown database handle %q", d.name)
+	}
+	return d, nil
+}
+
+// writeDirectory serialises the database directory into the metadata
+// region and mirrors it.
+func (l *Library) writeDirectory() error {
+	buf := l.meta.Local
+	binary.BigEndian.PutUint32(buf[metaDBCountOff:], uint32(len(l.byID)))
+	// The id counter is persisted so ids of dropped databases are never
+	// reused after a crash: stale undo records naming a dropped id must
+	// not be able to alias a database created after recovery.
+	binary.BigEndian.PutUint32(buf[metaNextDBIDOff:], l.nextDBID)
+	off := metaHeaderSize
+	// Directory entries are ordered by id so recovery rebuilds ids
+	// deterministically.
+	for id := uint32(1); id < l.nextDBID; id++ {
+		db, ok := l.byID[id]
+		if !ok {
+			continue
+		}
+		need := 4 + 8 + 2 + len(db.name)
+		if off+need > len(buf) {
+			return fmt.Errorf("%w: %d databases", ErrMetaFull, len(l.byID))
+		}
+		binary.BigEndian.PutUint32(buf[off:], db.id)
+		binary.BigEndian.PutUint64(buf[off+4:], db.region.Size())
+		binary.BigEndian.PutUint16(buf[off+12:], uint16(len(db.name)))
+		copy(buf[off+14:], db.name)
+		off += need
+	}
+	if err := l.net.PushAll(l.meta); err != nil {
+		return fmt.Errorf("perseas: publish directory: %w", err)
+	}
+	return nil
+}
+
+// readDirectory parses the metadata region into (id, name, size) tuples
+// plus the persisted id counter.
+func readDirectory(buf []byte) (committed uint64, undoSize uint64, nextDBID uint32, entries []dirEntry, err error) {
+	if len(buf) < metaHeaderSize {
+		return 0, 0, 0, nil, errors.New("perseas: metadata region truncated")
+	}
+	if binary.BigEndian.Uint64(buf[metaMagicOff:]) != metaMagic {
+		return 0, 0, 0, nil, errors.New("perseas: bad metadata magic")
+	}
+	committed = binary.BigEndian.Uint64(buf[metaCommittedOff:])
+	undoSize = binary.BigEndian.Uint64(buf[metaUndoSizeOff:])
+	nextDBID = binary.BigEndian.Uint32(buf[metaNextDBIDOff:])
+	count := binary.BigEndian.Uint32(buf[metaDBCountOff:])
+	off := metaHeaderSize
+	for i := uint32(0); i < count; i++ {
+		if off+14 > len(buf) {
+			return 0, 0, 0, nil, errors.New("perseas: metadata directory truncated")
+		}
+		e := dirEntry{
+			id:   binary.BigEndian.Uint32(buf[off:]),
+			size: binary.BigEndian.Uint64(buf[off+4:]),
+		}
+		nameLen := int(binary.BigEndian.Uint16(buf[off+12:]))
+		if off+14+nameLen > len(buf) {
+			return 0, 0, 0, nil, errors.New("perseas: metadata directory truncated")
+		}
+		e.name = string(buf[off+14 : off+14+nameLen])
+		off += 14 + nameLen
+		entries = append(entries, e)
+	}
+	return committed, undoSize, nextDBID, entries, nil
+}
+
+// dirEntry is one parsed directory row.
+type dirEntry struct {
+	id   uint32
+	size uint64
+	name string
+}
+
+// ReviveMirror reintegrates a repaired mirror node: every PERSEAS region
+// — metadata, undo log and all databases — is re-exported there and
+// refilled from the primary's copies, restoring the replication degree.
+// It must be called between transactions: the local copies are then
+// exactly the committed state, so the resync cannot leak uncommitted
+// data.
+func (l *Library) ReviveMirror(i int) error {
+	if err := l.checkAlive(); err != nil {
+		return err
+	}
+	if l.txActive {
+		return fmt.Errorf("perseas: revive mirror: %w", engine.ErrInTransaction)
+	}
+	if err := l.net.Revive(i); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Crash implements engine.Engine: the primary workstation fails. Local
+// main memory — the databases, the local undo log, every pointer — is
+// gone regardless of crash kind; only the remote mirrors survive.
+func (l *Library) Crash(fault.CrashKind) error {
+	l.crashed = true
+	for _, db := range l.dbs {
+		db.stale = true
+	}
+	l.dbs = make(map[string]*Database)
+	l.byID = make(map[uint32]*Database)
+	l.meta = nil
+	l.undo = nil
+	l.txActive = false
+	l.ranges = nil
+	l.cursor = 0
+	l.pushed = nil
+	return nil
+}

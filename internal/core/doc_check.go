@@ -1,0 +1,5 @@
+package core
+
+import "github.com/ics-forth/perseas/internal/engine"
+
+var _ engine.Engine = (*Library)(nil)

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/enginetest"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// newPerseas builds a PERSEAS engine over two in-process mirrors.
+func newPerseas(t *testing.T) engine.Engine {
+	t.Helper()
+	clock := simclock.NewSim()
+	var mirrors []netram.Mirror
+	for i := 0; i < 2; i++ {
+		srv := memserver.New()
+		tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirrors = append(mirrors, netram.Mirror{Name: srv.Label(), T: tr})
+	}
+	net, err := netram.NewClient(mirrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := core.Init(net, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestPerseasEngineConformance(t *testing.T) {
+	enginetest.Run(t, "perseas", newPerseas, enginetest.Caps{
+		// The primary's crash kind is irrelevant: durable state lives
+		// in the remote mirrors, an independent failure domain.
+		SurvivesKind:    func(fault.CrashKind) bool { return true },
+		DurableOnCommit: true,
+	})
+}
+
+// newPerseasHW builds PERSEAS over a hardware-mirroring NIC group
+// (Telegraphos-style): one transport, two nodes behind it.
+func newPerseasHW(t *testing.T) engine.Engine {
+	t.Helper()
+	clock := simclock.NewSim()
+	nodes := []*memserver.Server{memserver.New(), memserver.New()}
+	hw, err := transport.NewHWMirror(nodes, sci.DefaultParams(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := netram.NewClient([]netram.Mirror{{Name: "hw-group", T: hw}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := core.Init(net, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestPerseasHWMirrorConformance(t *testing.T) {
+	enginetest.Run(t, "perseas-hw", newPerseasHW, enginetest.Caps{
+		SurvivesKind:    func(fault.CrashKind) bool { return true },
+		DurableOnCommit: true,
+	})
+}

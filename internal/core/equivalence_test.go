@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// TestTransportEquivalence runs the identical seeded workload over the
+// in-process SCI-model transport and over real TCP, then checks that the
+// final database bytes — locally AND on the mirrors — are identical.
+// The transport must affect timing only, never contents.
+func TestTransportEquivalence(t *testing.T) {
+	run := func(lib *core.Library, fetch func(name string) []byte) ([]byte, []byte) {
+		t.Helper()
+		db, err := lib.CreateDB("db", 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.InitDB(db); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 150; i++ {
+			if err := lib.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			n := 1 + rng.Intn(3)
+			for j := 0; j < n; j++ {
+				off := uint64(rng.Intn(4000))
+				ln := uint64(1 + rng.Intn(64))
+				if off+ln > 4096 {
+					ln = 4096 - off
+				}
+				if err := lib.SetRange(db, off, ln); err != nil {
+					t.Fatal(err)
+				}
+				for k := uint64(0); k < ln; k++ {
+					db.Bytes()[off+k] = byte(rng.Intn(256))
+				}
+			}
+			if rng.Intn(5) == 0 {
+				if err := lib.Abort(); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := lib.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append([]byte(nil), db.Bytes()...), fetch("perseas.db.db")
+	}
+
+	// In-process deployment.
+	clock := simclock.NewSim()
+	srvA := memserver.New()
+	trA, err := transport.NewInProc(srvA, sci.DefaultParams(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netA, err := netram.NewClient([]netram.Mirror{{Name: "inproc", T: trA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	libA, err := core.Init(netA, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localA, mirrorA := run(libA, func(name string) []byte {
+		seg, err := srvA.Connect(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := srvA.Read(seg.ID, 0, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	})
+
+	// TCP deployment.
+	addr := startTCPMirror(t, "tcp-mirror")
+	netB := dialRAM(t, addr)
+	libB, err := core.Init(netB, simclock.NewWall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := transport.DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	localB, mirrorB := run(libB, func(name string) []byte {
+		h, err := cli.Connect(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := cli.Read(h.ID, 0, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	})
+
+	if !bytes.Equal(localA, localB) {
+		t.Error("local contents diverge between transports")
+	}
+	if !bytes.Equal(mirrorA, mirrorB) {
+		t.Error("mirror contents diverge between transports")
+	}
+	if !bytes.Equal(localA, mirrorA) {
+		t.Error("in-process deployment: local and mirror diverge")
+	}
+	if !bytes.Equal(localB, mirrorB) {
+		t.Error("TCP deployment: local and mirror diverge")
+	}
+}
+
+var _ engine.Engine = (*core.Library)(nil)

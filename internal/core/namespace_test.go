@@ -1,0 +1,224 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// TestNamespacesShareMirrors runs two independent PERSEAS applications
+// against the SAME mirror nodes, each in its own namespace, and checks
+// they neither collide nor see each other's data — including through a
+// crash/recovery cycle.
+func TestNamespacesShareMirrors(t *testing.T) {
+	clock := simclock.NewSim()
+	srv := memserver.New()
+	newClient := func() *netram.Client {
+		tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := netram.NewClient([]netram.Mirror{{Name: "shared", T: tr}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+
+	netA, netB := newClient(), newClient()
+	appA, err := Init(netA, clock, WithNamespace("appA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appB, err := Init(netB, clock, WithNamespace("appB"))
+	if err != nil {
+		t.Fatalf("second namespace should coexist: %v", err)
+	}
+
+	// Same database name in both namespaces.
+	dbA, err := appA.CreateDB("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbB, err := appB.CreateDB("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		lib *Library
+		db  engine.DB
+		val string
+	}{
+		{appA, dbA, "from-appA"},
+		{appB, dbB, "from-appB!"},
+	} {
+		if err := tc.lib.InitDB(tc.db); err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.lib.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.lib.SetRange(tc.db, 0, 10); err != nil {
+			t.Fatal(err)
+		}
+		copy(tc.db.Bytes(), tc.val)
+		if err := tc.lib.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash and recover application A; B's data must be untouched and
+	// A must see only its own.
+	if err := appA.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := appA.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	reA, err := appA.OpenDB("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(reA.Bytes()[:9]); got != "from-appA" {
+		t.Errorf("appA recovered %q", got)
+	}
+	if got := string(dbB.Bytes()[:10]); got != "from-appB!" {
+		t.Errorf("appB disturbed: %q", got)
+	}
+
+	// Without a namespace, a third Init on the same mirrors collides
+	// with nothing (fresh names) — but a second default-namespace Init
+	// would collide with itself.
+	if _, err := Init(newClient(), clock); err != nil {
+		t.Fatalf("default namespace still free: %v", err)
+	}
+	if _, err := Init(newClient(), clock); err == nil {
+		t.Error("second default-namespace Init on the same mirrors should collide")
+	}
+}
+
+func TestDropDB(t *testing.T) {
+	r := newRig(t, 2)
+	db := r.mustCreate(t, "victim", 64, 0)
+	_ = r.mustCreate(t, "keeper", 64, 1)
+
+	// Inside a transaction: refused.
+	if err := r.lib.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.lib.DropDB("victim"); !errors.Is(err, engine.ErrInTransaction) {
+		t.Errorf("drop inside tx: %v", err)
+	}
+	if err := r.lib.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.lib.DropDB("victim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.lib.DropDB("victim"); !errors.Is(err, ErrNoSuchDB) {
+		t.Errorf("double drop: %v", err)
+	}
+	if _, err := r.lib.OpenDB("victim"); !errors.Is(err, ErrNoSuchDB) {
+		t.Errorf("open after drop: %v", err)
+	}
+	// The stale handle is rejected.
+	if err := r.lib.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.lib.SetRange(db, 0, 4); !errors.Is(err, ErrStaleDB) {
+		t.Errorf("stale handle: %v", err)
+	}
+	if err := r.lib.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The mirrors no longer hold the segment, and recovery ignores it.
+	for _, srv := range r.servers {
+		if _, err := srv.Connect("perseas.db.victim"); err == nil {
+			t.Error("victim segment survived on a mirror")
+		}
+	}
+	r.crashAndRecover(t)
+	if _, err := r.lib.OpenDB("victim"); !errors.Is(err, ErrNoSuchDB) {
+		t.Errorf("victim resurrected by recovery: %v", err)
+	}
+	keeper, err := r.lib.OpenDB("keeper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keeper.Bytes()[0] != 1 {
+		t.Error("keeper lost its data")
+	}
+
+	// The dropped name is reusable.
+	if _, err := r.lib.CreateDB("victim", 128); err != nil {
+		t.Errorf("name not reusable after drop: %v", err)
+	}
+}
+
+func TestDropDBThenCrashWithStaleUndoRecords(t *testing.T) {
+	// Edge case: an aborted transaction leaves remote undo records
+	// naming a database that is then dropped; a crash before the next
+	// commit must still recover, the stale records must be ignored, and
+	// the dropped id must never be reused by a post-recovery CreateDB
+	// (or those stale records could alias the new database).
+	r := newRig(t, 2)
+	keeper := r.mustCreate(t, "keeper", 64, 7)
+	victim := r.mustCreate(t, "victim", 64, 0) // the highest id so far
+	r.update(t, keeper, 0, []byte("safe"))
+
+	// Aborted transaction touching the soon-to-be-dropped database.
+	if err := r.lib.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.lib.SetRange(victim, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	copy(victim.Bytes(), "aborted scribble")
+	if err := r.lib.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.lib.DropDB("victim"); err != nil {
+		t.Fatal(err)
+	}
+
+	r.crashAndRecover(t)
+
+	re, err := r.lib.OpenDB("keeper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(re.Bytes()[:4]); got != "safe" {
+		t.Errorf("keeper = %q after recovery", got)
+	}
+
+	// A database created now must NOT take the dropped id: if it did,
+	// the stale undo records still in the remote log could target it on
+	// the next crash.
+	fresh, err := r.lib.CreateDB("fresh", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fresh.Bytes(), []byte("fresh-db-content"))
+	if err := r.lib.InitDB(fresh); err != nil {
+		t.Fatal(err)
+	}
+	// Crash again immediately (still no commit since the abort): the
+	// stale records are scanned once more and must not touch "fresh".
+	r.crashAndRecover(t)
+	reFresh, err := r.lib.OpenDB("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(reFresh.Bytes()[:16]); got != "fresh-db-content" {
+		t.Errorf("stale undo records leaked into the new database: %q", got)
+	}
+}

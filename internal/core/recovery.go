@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/hostmem"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// Recover implements engine.Engine: the paper's Section 3/4 recovery
+// procedure, run after the primary node crashed and lost its main memory.
+//
+// The library first reconnects to the segments holding the PERSEAS
+// metadata (the paper's sci_connect_segment); from those it retrieves the
+// information needed to find and reconnect to the remote database records
+// and the remote undo log. If an in-flight transaction had started
+// propagating modifications before the failure, the original data found
+// in the remote undo log are copied back to the remote database,
+// discarding the illegal updates; the local database is then recovered
+// from the — now legal — remote segments.
+func (l *Library) Recover() error {
+	if !l.crashed {
+		return fmt.Errorf("perseas: recover called on a running library")
+	}
+
+	// Reconnect to the metadata segments and fetch the directory.
+	meta, err := l.net.Connect(l.qualify(metaRegionName))
+	if err != nil {
+		return fmt.Errorf("perseas: reconnect metadata: %w", err)
+	}
+	if err := l.net.FetchInto(meta, 0, meta.Size()); err != nil {
+		return fmt.Errorf("perseas: fetch metadata: %w", err)
+	}
+	committed, undoSize, storedNextID, entries, err := readDirectory(meta.Local)
+	if err != nil {
+		return err
+	}
+
+	// Reconnect to the remote undo log and fetch its contents.
+	undo, err := l.net.Connect(l.qualify(undoRegionName))
+	if err != nil {
+		return fmt.Errorf("perseas: reconnect undo log: %w", err)
+	}
+	if undo.Size() != undoSize {
+		return fmt.Errorf("perseas: undo log size %d does not match metadata %d",
+			undo.Size(), undoSize)
+	}
+	// The remote undo log is fetched lazily, chunk by chunk, while the
+	// scan below walks it: most crashes leave only a handful of records,
+	// so recovery transfers kilobytes, not the whole log region.
+	const undoChunk = 64 << 10
+	var undoFetched uint64
+	ensure := func(n uint64) error {
+		if n > undo.Size() {
+			n = undo.Size()
+		}
+		if n <= undoFetched {
+			return nil
+		}
+		target := (n + undoChunk - 1) / undoChunk * undoChunk
+		if target > undo.Size() {
+			target = undo.Size()
+		}
+		if err := l.net.FetchInto(undo, undoFetched, target-undoFetched); err != nil {
+			return fmt.Errorf("perseas: fetch undo log: %w", err)
+		}
+		undoFetched = target
+		return nil
+	}
+
+	// Reconnect to every database record and copy it back.
+	dbs := make(map[string]*Database, len(entries))
+	byID := make(map[uint32]*Database, len(entries))
+	var maxID uint32
+	for _, e := range entries {
+		region, err := l.net.Connect(l.qualify(dbRegionPrefix + e.name))
+		if err != nil {
+			return fmt.Errorf("perseas: reconnect database %q: %w", e.name, err)
+		}
+		if region.Size() != e.size {
+			return fmt.Errorf("perseas: database %q size %d does not match directory %d",
+				e.name, region.Size(), e.size)
+		}
+		if err := l.net.FetchInto(region, 0, region.Size()); err != nil {
+			return fmt.Errorf("perseas: fetch database %q: %w", e.name, err)
+		}
+		db := &Database{id: e.id, name: e.name, region: region}
+		dbs[e.name] = db
+		byID[e.id] = db
+		if e.id > maxID {
+			maxID = e.id
+		}
+	}
+
+	// Roll back the in-flight transaction, newest record first: restore
+	// each before-image locally and repair the mirror copy.
+	recs, err := scanUndoLogLazy(undo.Local, committed, ensure)
+	if err != nil {
+		return err
+	}
+	lastTxID := committed
+	for _, rec := range recs {
+		if rec.txID > lastTxID {
+			lastTxID = rec.txID
+		}
+	}
+	l.metaSize = meta.Size()
+	l.undoSize = undoSize
+	l.meta = meta
+	l.undo = undo
+	l.dbs = dbs
+	l.byID = byID
+	l.nextDBID = maxID + 1
+	if storedNextID > l.nextDBID {
+		// Ids of dropped databases stay retired so no stale undo record
+		// can ever alias a database created after this recovery.
+		l.nextDBID = storedNextID
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		db, ok := byID[rec.dbID]
+		if !ok {
+			// The record references a database dropped after the
+			// transaction aborted; there is nothing left to restore.
+			continue
+		}
+		if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
+			return fmt.Errorf("perseas: undo record outside database %q", db.name)
+		}
+		l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
+		if err := l.net.Push(db.region, rec.offset, rec.length); err != nil {
+			return fmt.Errorf("perseas: repair mirror of %q: %w", db.name, err)
+		}
+	}
+
+	l.committed = committed
+	l.lastTxID = lastTxID
+	l.txActive = false
+	l.ranges = nil
+	l.cursor = 0
+	l.pushed = nil
+	l.crashed = false
+	l.stats.Recoveries++
+	return nil
+}
+
+// Attach builds a Library on a node that did not create the database —
+// either the restarted primary or any other workstation taking over after
+// a failure (the paper stresses that mirrored data are accessible from
+// any node, so recovery "can be started right-away in any available
+// workstation"). It runs the full recovery procedure before returning.
+func Attach(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library, error) {
+	l := &Library{
+		net:     net,
+		mem:     hostmem.Default(),
+		clock:   clock,
+		crashed: true,
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	if err := l.Recover(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

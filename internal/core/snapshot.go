@@ -1,0 +1,129 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// Snapshot format. The paper positions PERSEAS as a high-speed front-end
+// that complements persistent stores; snapshots are the hand-off point: a
+// consistent image of every database that can be archived on any durable
+// medium, guarding against the one failure mirroring cannot absorb —
+// all mirror nodes lost in the same interval.
+//
+//	[0:8)  magic "PERSNAP\x01"
+//	[8:16) committed transaction id at capture time
+//	[16:20) database count
+//	then per database:
+//	  [0:2)  name length  [2:..) name
+//	  [..+8) size          [..+4) CRC-32C of the content
+//	  [..]   content bytes
+const snapshotMagic = uint64(0x504552534e415001)
+
+// ErrBadSnapshot is returned when a snapshot stream fails validation.
+var ErrBadSnapshot = errors.New("perseas: corrupt or truncated snapshot")
+
+// WriteSnapshot writes a consistent image of every database to w. It
+// must be called between transactions, when the local copies hold
+// exactly the committed state.
+func (l *Library) WriteSnapshot(w io.Writer) error {
+	if err := l.checkAlive(); err != nil {
+		return err
+	}
+	if l.txActive {
+		return fmt.Errorf("perseas: snapshot: %w", engine.ErrInTransaction)
+	}
+	var hdr [20]byte
+	binary.BigEndian.PutUint64(hdr[0:], snapshotMagic)
+	binary.BigEndian.PutUint64(hdr[8:], l.committed)
+	binary.BigEndian.PutUint32(hdr[16:], uint32(len(l.byID)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("perseas: write snapshot header: %w", err)
+	}
+	for id := uint32(1); id < l.nextDBID; id++ {
+		db, ok := l.byID[id]
+		if !ok {
+			continue
+		}
+		name := []byte(db.name)
+		entry := make([]byte, 2+len(name)+8+4)
+		binary.BigEndian.PutUint16(entry[0:], uint16(len(name)))
+		copy(entry[2:], name)
+		binary.BigEndian.PutUint64(entry[2+len(name):], db.Size())
+		crc := crc32.Checksum(db.region.Local, crcTable)
+		binary.BigEndian.PutUint32(entry[2+len(name)+8:], crc)
+		if _, err := w.Write(entry); err != nil {
+			return fmt.Errorf("perseas: write snapshot entry: %w", err)
+		}
+		if _, err := w.Write(db.region.Local); err != nil {
+			return fmt.Errorf("perseas: write snapshot data: %w", err)
+		}
+	}
+	return nil
+}
+
+// RestoreSnapshot loads an archived snapshot into this library, creating
+// and mirroring every database it contains. The library must not already
+// hold databases with the same names. The restored state becomes the
+// committed state; the transaction-id counter advances past the
+// snapshot's id so log records can never be confused across the restore.
+func (l *Library) RestoreSnapshot(r io.Reader) error {
+	if err := l.checkAlive(); err != nil {
+		return err
+	}
+	if l.txActive {
+		return fmt.Errorf("perseas: restore: %w", engine.ErrInTransaction)
+	}
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
+	}
+	if binary.BigEndian.Uint64(hdr[0:]) != snapshotMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	snapTx := binary.BigEndian.Uint64(hdr[8:])
+	count := binary.BigEndian.Uint32(hdr[16:])
+
+	for i := uint32(0); i < count; i++ {
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return fmt.Errorf("%w: entry %d: %v", ErrBadSnapshot, i, err)
+		}
+		nameLen := binary.BigEndian.Uint16(lenBuf[:])
+		rest := make([]byte, int(nameLen)+12)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return fmt.Errorf("%w: entry %d: %v", ErrBadSnapshot, i, err)
+		}
+		name := string(rest[:nameLen])
+		size := binary.BigEndian.Uint64(rest[nameLen:])
+		wantCRC := binary.BigEndian.Uint32(rest[nameLen+8:])
+		if size > 1<<40 {
+			return fmt.Errorf("%w: entry %q claims %d bytes", ErrBadSnapshot, name, size)
+		}
+		content := make([]byte, size)
+		if _, err := io.ReadFull(r, content); err != nil {
+			return fmt.Errorf("%w: content of %q: %v", ErrBadSnapshot, name, err)
+		}
+		if crc32.Checksum(content, crcTable) != wantCRC {
+			return fmt.Errorf("%w: checksum mismatch in %q", ErrBadSnapshot, name)
+		}
+
+		db, err := l.CreateDB(name, size)
+		if err != nil {
+			return fmt.Errorf("perseas: restore %q: %w", name, err)
+		}
+		copy(db.Bytes(), content)
+		if err := l.InitDB(db); err != nil {
+			return fmt.Errorf("perseas: mirror restored %q: %w", name, err)
+		}
+	}
+	if snapTx > l.lastTxID {
+		l.lastTxID = snapTx
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := newRig(t, 1)
+	a := src.mustCreate(t, "alpha", 256, 1)
+	b := src.mustCreate(t, "beta", 512, 2)
+	src.update(t, a, 0, []byte("alpha-data"))
+	src.update(t, b, 100, []byte("beta-data"))
+
+	var buf bytes.Buffer
+	if err := src.lib.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a completely separate deployment (fresh mirrors).
+	dst := newRig(t, 2)
+	if err := dst.lib.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := dst.lib.OpenDB("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := dst.lib.OpenDB("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(ra.Bytes()[:10]); got != "alpha-data" {
+		t.Errorf("alpha = %q", got)
+	}
+	if got := string(rb.Bytes()[100:109]); got != "beta-data" {
+		t.Errorf("beta = %q", got)
+	}
+	if ra.Bytes()[255] != 1 || rb.Bytes()[511] != 2 {
+		t.Error("fill bytes lost in snapshot round trip")
+	}
+
+	// The restored deployment is fully operational, including recovery.
+	dst.update(t, ra, 0, []byte("post-resto"))
+	dst.crashAndRecover(t)
+	re, err := dst.lib.OpenDB("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(re.Bytes()[:10]); got != "post-resto" {
+		t.Errorf("recovered %q after restore", got)
+	}
+}
+
+func TestSnapshotRefusedMidTransaction(t *testing.T) {
+	r := newRig(t, 1)
+	_ = r.mustCreate(t, "db", 64, 0)
+	if err := r.lib.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.lib.WriteSnapshot(io.Discard); !errors.Is(err, engine.ErrInTransaction) {
+		t.Errorf("snapshot mid-tx: %v", err)
+	}
+	if err := r.lib.RestoreSnapshot(strings.NewReader("")); !errors.Is(err, engine.ErrInTransaction) {
+		t.Errorf("restore mid-tx: %v", err)
+	}
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	src := newRig(t, 1)
+	_ = src.mustCreate(t, "db", 128, 7)
+	var buf bytes.Buffer
+	if err := src.lib.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		bad[0] ^= 0xFF
+		dst := newRig(t, 1)
+		if err := dst.lib.RestoreSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("flipped content bit", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		bad[len(bad)-1] ^= 0x01
+		dst := newRig(t, 1)
+		if err := dst.lib.RestoreSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		dst := newRig(t, 1)
+		if err := dst.lib.RestoreSnapshot(bytes.NewReader(snap[:len(snap)-10])); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		dst := newRig(t, 1)
+		if err := dst.lib.RestoreSnapshot(strings.NewReader("")); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("got %v", err)
+		}
+	})
+}
+
+func TestRestoreCollidingNames(t *testing.T) {
+	src := newRig(t, 1)
+	_ = src.mustCreate(t, "db", 64, 0)
+	var buf bytes.Buffer
+	if err := src.lib.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := newRig(t, 1)
+	_ = dst.mustCreate(t, "db", 64, 0)
+	if err := dst.lib.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("restore over an existing database name should fail")
+	}
+}
+
+func TestSnapshotAdvancesTxCounter(t *testing.T) {
+	src := newRig(t, 1)
+	db := src.mustCreate(t, "db", 64, 0)
+	for i := 0; i < 5; i++ {
+		src.update(t, db, 0, []byte{byte(i)})
+	}
+	var buf bytes.Buffer
+	if err := src.lib.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newRig(t, 1)
+	if err := dst.lib.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	re, err := dst.lib.OpenDB("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.update(t, re, 0, []byte{99})
+	// The first post-restore transaction id must exceed the snapshot's
+	// committed id (5), so stale undo records can never alias.
+	if got := dst.lib.CommittedTxID(); got <= 5 {
+		t.Errorf("post-restore committed id = %d, want > 5", got)
+	}
+}

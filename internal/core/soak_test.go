@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+)
+
+// TestSoak is the long-haul consistency test: thousands of randomized
+// transactions across three databases with periodic aborts, crashes,
+// recoveries, mirror deaths and revivals, all checked against an exact
+// reference model.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		steps  = 4000
+		nDBs   = 3
+		dbSize = 2048
+	)
+	rng := rand.New(rand.NewSource(2026))
+
+	e := newPerseas(t)
+	names := []string{"alpha", "beta", "gamma"}
+	model := map[string][]byte{}
+	shadow := map[string][]byte{} // committed state
+	for _, name := range names {
+		db, err := e.CreateDB(name, dbSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range db.Bytes() {
+			db.Bytes()[i] = byte(i)
+		}
+		if err := e.InitDB(db); err != nil {
+			t.Fatal(err)
+		}
+		model[name] = append([]byte(nil), db.Bytes()...)
+		shadow[name] = append([]byte(nil), db.Bytes()...)
+	}
+	open := func(name string) engine.DB {
+		db, err := e.OpenDB(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(20) {
+		case 0: // crash + recover
+			if err := e.Crash(fault.AllKinds()[rng.Intn(3)]); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Recover(); err != nil {
+				t.Fatalf("step %d recover: %v", step, err)
+			}
+			for _, name := range names {
+				model[name] = append(model[name][:0], shadow[name]...)
+				if got := open(name).Bytes(); !bytes.Equal(got, shadow[name]) {
+					t.Fatalf("step %d: %s diverged after recovery", step, name)
+				}
+			}
+		default: // transaction over 1-3 dbs
+			if err := e.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			nRanges := 1 + rng.Intn(4)
+			for r := 0; r < nRanges; r++ {
+				name := names[rng.Intn(nDBs)]
+				db := open(name)
+				off := uint64(rng.Intn(dbSize - 32))
+				ln := uint64(1 + rng.Intn(32))
+				if err := e.SetRange(db, off, ln); err != nil {
+					t.Fatalf("step %d set_range: %v", step, err)
+				}
+				for k := uint64(0); k < ln; k++ {
+					b := byte(rng.Intn(256))
+					db.Bytes()[off+k] = b
+					model[name][off+k] = b
+				}
+			}
+			if rng.Intn(6) == 0 {
+				if err := e.Abort(); err != nil {
+					t.Fatal(err)
+				}
+				for _, name := range names {
+					model[name] = append(model[name][:0], shadow[name]...)
+				}
+			} else {
+				if err := e.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				for _, name := range names {
+					shadow[name] = append(shadow[name][:0], model[name]...)
+				}
+			}
+		}
+		if step%500 == 499 {
+			for _, name := range names {
+				if !bytes.Equal(open(name).Bytes(), model[name]) {
+					t.Fatalf("step %d: %s diverged from model", step, name)
+				}
+			}
+		}
+	}
+	for _, name := range names {
+		if !bytes.Equal(open(name).Bytes(), model[name]) {
+			t.Fatalf("final state of %s diverged", name)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// startTCPMirror runs a memory server on loopback and returns its
+// address.
+func startTCPMirror(t *testing.T, label string) string {
+	t.Helper()
+	srv := memserver.New(memserver.WithLabel(label))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = transport.Serve(l, srv)
+	}()
+	t.Cleanup(func() {
+		l.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("mirror did not shut down")
+		}
+	})
+	return l.Addr().String()
+}
+
+// dialRAM connects a fresh network-RAM client to the given mirrors.
+func dialRAM(t *testing.T, addrs ...string) *netram.Client {
+	t.Helper()
+	var mirrors []netram.Mirror
+	for _, addr := range addrs {
+		tr, err := transport.DialTCP(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		mirrors = append(mirrors, netram.Mirror{Name: addr, T: tr})
+	}
+	ram, err := netram.NewClient(mirrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ram
+}
+
+// TestFullStackOverTCP drives the complete PERSEAS stack over real
+// sockets: transactions, abort, crash of the primary process, and
+// take-over by a second client process with fresh connections.
+func TestFullStackOverTCP(t *testing.T) {
+	addrA := startTCPMirror(t, "mirrorA")
+	addrB := startTCPMirror(t, "mirrorB")
+
+	// --- The primary node's lifetime. ---
+	ram := dialRAM(t, addrA, addrB)
+	lib, err := core.Init(ram, simclock.NewWall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := lib.CreateDB("counter", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+
+	// A few committed increments.
+	for i := 0; i < 10; i++ {
+		if err := lib.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.SetRange(db, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		binary.BigEndian.PutUint64(db.Bytes(), binary.BigEndian.Uint64(db.Bytes())+1)
+		if err := lib.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An aborted one.
+	if err := lib.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SetRange(db, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint64(db.Bytes(), 999)
+	if err := lib.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// An in-flight one, cut short by the crash.
+	if err := lib.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SetRange(db, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint64(db.Bytes(), 777)
+	if err := lib.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- A different workstation takes over with its own connections. ---
+	ram2 := dialRAM(t, addrA, addrB)
+	takeover, err := core.Attach(ram2, simclock.NewWall())
+	if err != nil {
+		t.Fatalf("attach over TCP: %v", err)
+	}
+	re, err := takeover.OpenDB("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(re.Bytes()); got != 10 {
+		t.Errorf("recovered counter = %d, want 10 (commits survive; abort and in-flight roll back)", got)
+	}
+
+	// The take-over node continues committing.
+	for i := 0; i < 5; i++ {
+		if err := takeover.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := takeover.SetRange(re, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		binary.BigEndian.PutUint64(re.Bytes(), binary.BigEndian.Uint64(re.Bytes())+1)
+		if err := takeover.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := binary.BigEndian.Uint64(re.Bytes()); got != 15 {
+		t.Errorf("counter after takeover = %d, want 15", got)
+	}
+}
+
+// TestTCPMirrorDiesMidWorkload kills one mirror's listener while commits
+// are flowing: the client must degrade that mirror and keep committing
+// through the survivor, and a fresh client must still recover the full
+// state from the survivor.
+func TestTCPMirrorDiesMidWorkload(t *testing.T) {
+	srvA := memserver.New(memserver.WithLabel("victim"))
+	lA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = transport.Serve(lA, srvA) }()
+	addrB := startTCPMirror(t, "survivor")
+
+	ram := dialRAM(t, lA.Addr().String(), addrB)
+	lib, err := core.Init(ram, simclock.NewWall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := lib.CreateDB("counter", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+
+	bump := func() error {
+		return lib.Update(func(tx *core.Tx) error {
+			buf, err := tx.Writable(db, 0, 8)
+			if err != nil {
+				return err
+			}
+			binary.BigEndian.PutUint64(buf, binary.BigEndian.Uint64(buf)+1)
+			return nil
+		})
+	}
+	for i := 0; i < 5; i++ {
+		if err := bump(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The victim node vanishes: listener down, connections reset.
+	lA.Close()
+	srvA.Crash()
+
+	// Commits must keep flowing (the first one may pay the detection).
+	for i := 0; i < 5; i++ {
+		if err := bump(); err != nil {
+			t.Fatalf("commit %d after mirror death: %v", i, err)
+		}
+	}
+	if got := ram.Live(); got != 1 {
+		t.Errorf("Live = %d, want 1", got)
+	}
+	if got := binary.BigEndian.Uint64(db.Bytes()); got != 10 {
+		t.Errorf("counter = %d, want 10", got)
+	}
+
+	// Take-over through the survivor alone.
+	ram2 := dialRAM(t, addrB)
+	takeover, err := core.Attach(ram2, simclock.NewWall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := takeover.OpenDB("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(re.Bytes()); got != 10 {
+		t.Errorf("recovered counter = %d, want 10", got)
+	}
+}
+
+// TestTCPCommitDurableOnBothMirrors checks that a committed range is
+// byte-identical on every mirror, read back through fresh connections.
+func TestTCPCommitDurableOnBothMirrors(t *testing.T) {
+	addrA := startTCPMirror(t, "mirrorA")
+	addrB := startTCPMirror(t, "mirrorB")
+	ram := dialRAM(t, addrA, addrB)
+	lib, err := core.Init(ram, simclock.NewWall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := lib.CreateDB("db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SetRange(db, 1000, 11); err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes()[1000:1011], "over-the-net")
+	if err := lib.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, addr := range []string{addrA, addrB} {
+		cli, err := transport.DialTCP(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := cli.Connect("perseas.db.db")
+		if err != nil {
+			t.Fatalf("%s: %v", addr, err)
+		}
+		got, err := cli.Read(h.ID, 1000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "over-the-ne" {
+			t.Errorf("mirror %s holds %q", addr, got)
+		}
+		cli.Close()
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/netram"
+)
+
+// Begin implements engine.Engine: the paper's PERSEAS_begin_transaction.
+// It is a purely local operation — transaction ids are only published at
+// commit time.
+func (l *Library) Begin() error {
+	if err := l.checkAlive(); err != nil {
+		return err
+	}
+	if l.txActive {
+		return engine.ErrInTransaction
+	}
+	l.lastTxID++
+	l.txID = l.lastTxID
+	l.txActive = true
+	l.cursor = 0
+	l.ranges = l.ranges[:0]
+	l.pushed = l.pushed[:0]
+	l.stats.Begun++
+	return nil
+}
+
+// SetRange implements engine.Engine: the paper's PERSEAS_set_range. It
+// logs the declared range's original image to the local undo log (one
+// local memory copy) and propagates that log record to the remote undo
+// log (one remote write), after which the application may update the
+// range in place.
+func (l *Library) SetRange(db engine.DB, offset, length uint64) error {
+	if err := l.checkAlive(); err != nil {
+		return err
+	}
+	if !l.txActive {
+		return engine.ErrNoTransaction
+	}
+	d, err := l.own(db)
+	if err != nil {
+		return err
+	}
+	if offset > d.Size() || length > d.Size()-offset {
+		return fmt.Errorf("%w: [%d,+%d) in %d-byte database %q",
+			ErrBadRange, offset, length, d.Size(), d.name)
+	}
+	need := recordSize(length)
+	if l.cursor+need > l.undo.Size() {
+		return fmt.Errorf("%w: need %d bytes, %d free",
+			ErrUndoLogFull, need, l.undo.Size()-l.cursor)
+	}
+
+	// Step 1 (paper Fig. 3): before-image into the local undo log.
+	advance := writeRecord(l.undo.Local, l.cursor, l.txID, d.id, offset,
+		d.region.Local[offset:offset+length])
+	l.clock.Advance(l.mem.CopyCost(int(recordHeaderSize + length)))
+
+	// Step 2: the log record propagates to the remote undo log.
+	if !l.noRemoteUndo {
+		if err := l.net.Push(l.undo, l.cursor, recordHeaderSize+length); err != nil {
+			return fmt.Errorf("perseas: push undo record: %w", err)
+		}
+	}
+
+	l.cursor += advance
+	l.ranges = append(l.ranges, pending{db: d, offset: offset, length: length})
+	l.stats.SetRanges++
+	l.stats.BytesLogged += length
+	return nil
+}
+
+// Commit implements engine.Engine: the paper's
+// PERSEAS_commit_transaction. The modified portions of the database are
+// copied to the equivalent portions in the remote nodes' memories
+// (step 3 of Fig. 3); the transaction then commits atomically with one
+// small remote write of the commit word, which also discards the remote
+// undo log (records up to the committed id are ignored by recovery).
+func (l *Library) Commit() error {
+	if err := l.checkAlive(); err != nil {
+		return err
+	}
+	if !l.txActive {
+		return engine.ErrNoTransaction
+	}
+	// Ranges are grouped per database so each group travels in one
+	// batched exchange per mirror — one TCP round trip per table
+	// instead of one per range. The SCI model prices the batch exactly
+	// like individual stores, so the reproduced figures are unaffected.
+	type group struct {
+		db      *Database
+		ranges  []netram.Range
+		members []pending
+	}
+	var groups []group
+	index := make(map[*Database]int)
+	for _, r := range l.ranges {
+		gi, ok := index[r.db]
+		if !ok {
+			gi = len(groups)
+			index[r.db] = gi
+			groups = append(groups, group{db: r.db})
+		}
+		groups[gi].ranges = append(groups[gi].ranges, netram.Range{Offset: r.offset, Length: r.length})
+		groups[gi].members = append(groups[gi].members, r)
+	}
+	for _, g := range groups {
+		if err := l.net.PushMany(g.db.region, g.ranges); err != nil {
+			return fmt.Errorf("perseas: push database ranges: %w", err)
+		}
+		// Remember what reached the mirrors so Abort can repair them.
+		l.pushed = append(l.pushed, g.members...)
+	}
+
+	// The atomic commit point: publish the transaction id.
+	binary.BigEndian.PutUint64(l.meta.Local[metaCommittedOff:], l.txID)
+	if err := l.net.Push(l.meta, metaCommittedOff, 8); err != nil {
+		// Roll the local commit word back; the transaction stays
+		// uncommitted and can be retried or aborted.
+		binary.BigEndian.PutUint64(l.meta.Local[metaCommittedOff:], l.committed)
+		return fmt.Errorf("perseas: publish commit word: %w", err)
+	}
+
+	l.committed = l.txID
+	l.txActive = false
+	l.ranges = l.ranges[:0]
+	l.cursor = 0
+	l.pushed = l.pushed[:0]
+	l.stats.Committed++
+	return nil
+}
+
+// Abort implements engine.Engine: the paper's
+// PERSEAS_abort_transaction. Declared ranges are restored from the local
+// undo log with plain local memory copies, newest record first. If a
+// failed Commit had already pushed some ranges to the mirrors, those
+// ranges are re-pushed with their restored (pre-transaction) content so
+// local and remote databases stay identical.
+func (l *Library) Abort() error {
+	if err := l.checkAlive(); err != nil {
+		return err
+	}
+	if !l.txActive {
+		return engine.ErrNoTransaction
+	}
+
+	// Walk the local undo log and restore before-images in reverse
+	// order, so overlapping SetRange declarations unwind correctly.
+	var recs []undoRecord
+	var cursor uint64
+	for cursor < l.cursor {
+		rec, advance, ok := parseRecord(l.undo.Local, cursor)
+		if !ok {
+			return fmt.Errorf("perseas: corrupt local undo log at %d", cursor)
+		}
+		recs = append(recs, rec)
+		cursor += advance
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		db, ok := l.byID[rec.dbID]
+		if !ok {
+			return fmt.Errorf("perseas: undo record for unknown database %d", rec.dbID)
+		}
+		l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
+	}
+
+	// Repair mirrors touched by a partially executed Commit.
+	for _, r := range l.pushed {
+		if err := l.net.Push(r.db.region, r.offset, r.length); err != nil {
+			return fmt.Errorf("perseas: repair mirror after failed commit: %w", err)
+		}
+	}
+
+	l.txActive = false
+	l.ranges = l.ranges[:0]
+	l.cursor = 0
+	l.pushed = l.pushed[:0]
+	l.stats.Aborted++
+	return nil
+}

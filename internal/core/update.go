@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// Tx is the handle passed to Update: a thin, misuse-resistant wrapper
+// over the paper's explicit SetRange-then-store discipline.
+type Tx struct {
+	l *Library
+}
+
+// Write atomically updates db[offset:offset+len(data)): it declares the
+// range (capturing the before-image) and stores the new bytes.
+func (t *Tx) Write(db engine.DB, offset uint64, data []byte) error {
+	if err := t.l.SetRange(db, offset, uint64(len(data))); err != nil {
+		return err
+	}
+	d := db.(*Database)
+	t.l.mem.Copy(t.l.clock, d.region.Local[offset:offset+uint64(len(data))], data)
+	return nil
+}
+
+// Writable declares db[offset:offset+length) and returns the slice to
+// mutate in place — the zero-copy path for read-modify-write updates.
+func (t *Tx) Writable(db engine.DB, offset, length uint64) ([]byte, error) {
+	if err := t.l.SetRange(db, offset, length); err != nil {
+		return nil, err
+	}
+	return db.Bytes()[offset : offset+length], nil
+}
+
+// Read returns a view of db[offset:offset+length). Reads need no
+// declaration; the slice must not be written through.
+func (t *Tx) Read(db engine.DB, offset, length uint64) ([]byte, error) {
+	d, err := t.l.own(db)
+	if err != nil {
+		return nil, err
+	}
+	if offset > d.Size() || length > d.Size()-offset {
+		return nil, fmt.Errorf("%w: [%d,+%d) in %d-byte database %q",
+			ErrBadRange, offset, length, d.Size(), d.name)
+	}
+	return d.region.Local[offset : offset+length], nil
+}
+
+// Update runs fn inside a transaction: Begin before, Commit after, and
+// Abort if fn returns an error or panics. It is the idiomatic way to use
+// the library when the explicit Begin/SetRange/Commit sequence is not
+// needed.
+func (l *Library) Update(fn func(*Tx) error) (err error) {
+	if err := l.Begin(); err != nil {
+		return err
+	}
+	tx := &Tx{l: l}
+	defer func() {
+		if r := recover(); r != nil {
+			_ = l.Abort()
+			panic(r)
+		}
+	}()
+	if ferr := fn(tx); ferr != nil {
+		if aerr := l.Abort(); aerr != nil {
+			return fmt.Errorf("%w (abort also failed: %v)", ferr, aerr)
+		}
+		return ferr
+	}
+	return l.Commit()
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+func TestUpdateCommits(t *testing.T) {
+	r := newRig(t, 2)
+	db := r.mustCreate(t, "db", 128, 0)
+	err := r.lib.Update(func(tx *Tx) error {
+		if err := tx.Write(db, 10, []byte("closure api")); err != nil {
+			return err
+		}
+		got, err := tx.Read(db, 10, 11)
+		if err != nil {
+			return err
+		}
+		if string(got) != "closure api" {
+			t.Errorf("read inside tx = %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(db.Bytes()[10:21]); got != "closure api" {
+		t.Errorf("after commit = %q", got)
+	}
+	// Durable on the mirrors.
+	seg, err := r.servers[0].Connect("perseas.db.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, _ := r.servers[0].Read(seg.ID, 10, 11)
+	if string(remote) != "closure api" {
+		t.Errorf("mirror = %q", remote)
+	}
+	if r.lib.InTransaction() {
+		t.Error("transaction left open")
+	}
+}
+
+func TestUpdateAbortsOnError(t *testing.T) {
+	r := newRig(t, 1)
+	db := r.mustCreate(t, "db", 64, 0x33)
+	sentinel := errors.New("business rule violated")
+	err := r.lib.Update(func(tx *Tx) error {
+		if err := tx.Write(db, 0, []byte("dirty")); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if !bytes.Equal(db.Bytes(), bytes.Repeat([]byte{0x33}, 64)) {
+		t.Error("error path did not roll back")
+	}
+	if r.lib.InTransaction() {
+		t.Error("transaction left open")
+	}
+}
+
+func TestUpdateAbortsOnPanic(t *testing.T) {
+	r := newRig(t, 1)
+	db := r.mustCreate(t, "db", 64, 0x44)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic should propagate")
+			}
+		}()
+		_ = r.lib.Update(func(tx *Tx) error {
+			if err := tx.Write(db, 0, []byte("doomed")); err != nil {
+				return err
+			}
+			panic("boom")
+		})
+	}()
+	if !bytes.Equal(db.Bytes(), bytes.Repeat([]byte{0x44}, 64)) {
+		t.Error("panic path did not roll back")
+	}
+	if r.lib.InTransaction() {
+		t.Error("transaction left open after panic")
+	}
+	// The library still works.
+	if err := r.lib.Update(func(tx *Tx) error {
+		return tx.Write(db, 0, []byte("alive"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateWritable(t *testing.T) {
+	r := newRig(t, 1)
+	db := r.mustCreate(t, "db", 64, 0)
+	err := r.lib.Update(func(tx *Tx) error {
+		buf, err := tx.Writable(db, 8, 8)
+		if err != nil {
+			return err
+		}
+		copy(buf, "in-place")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(db.Bytes()[8:16]); got != "in-place" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	r := newRig(t, 1)
+	db := r.mustCreate(t, "db", 64, 0)
+	err := r.lib.Update(func(tx *Tx) error {
+		return tx.Write(db, 60, []byte("spills over"))
+	})
+	if !errors.Is(err, ErrBadRange) {
+		t.Errorf("overflow write: %v", err)
+	}
+	err = r.lib.Update(func(tx *Tx) error {
+		_, err := tx.Read(db, 60, 8)
+		return err
+	})
+	if !errors.Is(err, ErrBadRange) {
+		t.Errorf("overflow read: %v", err)
+	}
+	// Nested Update is a state-machine error surfaced cleanly.
+	err = r.lib.Update(func(tx *Tx) error {
+		return r.lib.Update(func(*Tx) error { return nil })
+	})
+	if !errors.Is(err, engine.ErrInTransaction) {
+		t.Errorf("nested update: %v", err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package disk models a late-1990s magnetic disk: the storage device
+// whose synchronous-write latency dominates traditional transaction
+// systems and which PERSEAS removes from the commit path.
+//
+// The model captures the three behaviours the paper's comparison depends
+// on:
+//
+//   - synchronous writes pay positioning latency (seek + rotation), so a
+//     write-ahead log commit costs milliseconds;
+//   - sequential appends avoid the seek but still pay rotational latency,
+//     the property group commit exploits;
+//   - asynchronous writes land in a bounded write buffer drained at disk
+//     throughput, so "async" degrades to synchronous under sustained load
+//     (the failure mode the paper points out in the related WAL-on-
+//     network-memory scheme).
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// Errors returned by the disk.
+var (
+	// ErrBadRange is returned for accesses beyond the device size.
+	ErrBadRange = errors.New("disk: access beyond device size")
+)
+
+// Params describes the device.
+type Params struct {
+	// Size is the device capacity in bytes.
+	Size uint64
+	// SeekAvg is the average seek time paid by non-sequential accesses.
+	SeekAvg time.Duration
+	// RotationalHalf is the average rotational delay (half a revolution).
+	RotationalHalf time.Duration
+	// BytesPerSecond is the media transfer rate.
+	BytesPerSecond float64
+	// WriteBuffer is the size of the async write buffer; zero disables
+	// asynchronous writes (every write is synchronous).
+	WriteBuffer uint64
+}
+
+// DefaultParams models a 1997 7200 rpm SCSI disk: ~8 ms average seek,
+// ~4.2 ms average rotational delay, 8 MB/s media rate.
+func DefaultParams(size uint64) Params {
+	return Params{
+		Size:           size,
+		SeekAvg:        8 * time.Millisecond,
+		RotationalHalf: 4170 * time.Microsecond,
+		BytesPerSecond: 8 << 20,
+		WriteBuffer:    256 << 10,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Size == 0:
+		return errors.New("disk: size must be positive")
+	case p.SeekAvg < 0 || p.RotationalHalf < 0:
+		return errors.New("disk: latencies must be non-negative")
+	case p.BytesPerSecond <= 0:
+		return errors.New("disk: transfer rate must be positive")
+	}
+	return nil
+}
+
+// Stats counts device traffic.
+type Stats struct {
+	SyncWrites   uint64
+	AsyncWrites  uint64
+	Reads        uint64
+	BytesWritten uint64
+	BytesRead    uint64
+	// Stalls counts async writes that blocked on a full write buffer.
+	Stalls uint64
+	// Busy is cumulative time charged to callers.
+	Busy time.Duration
+}
+
+// Disk is one simulated device. Contents survive every crash kind. Safe
+// for concurrent use.
+type Disk struct {
+	params Params
+	clock  simclock.Clock
+
+	mu    sync.Mutex
+	data  []byte
+	head  uint64 // last byte position touched; sequential detection
+	stats Stats
+	// drainFree is the virtual time at which the async write buffer
+	// becomes empty again.
+	drainFree time.Duration
+}
+
+// New creates a zeroed disk charging time to clock.
+func New(params Params, clock simclock.Clock) (*Disk, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Disk{
+		params: params,
+		clock:  clock,
+		data:   make([]byte, params.Size),
+		// The head starts parked away from any data position so the
+		// first access always pays a full seek.
+		head: ^uint64(0),
+	}, nil
+}
+
+// Params returns the device parameters.
+func (d *Disk) Params() Params { return d.params }
+
+// Stats returns a snapshot of the traffic counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Size returns the device capacity.
+func (d *Disk) Size() uint64 { return d.params.Size }
+
+func (d *Disk) checkRange(offset uint64, n int) error {
+	if n < 0 || offset > d.params.Size || uint64(n) > d.params.Size-offset {
+		return fmt.Errorf("%w: [%d,+%d) on %d-byte disk", ErrBadRange, offset, n, d.params.Size)
+	}
+	return nil
+}
+
+// transferTime returns media time for n bytes.
+func (d *Disk) transferTime(n int) time.Duration {
+	return time.Duration(float64(n) / d.params.BytesPerSecond * float64(time.Second))
+}
+
+// positioning returns the head-positioning cost of an access at offset,
+// and updates the head.
+func (d *Disk) positioning(offset uint64, n int) time.Duration {
+	var lat time.Duration
+	if offset == d.head {
+		// Sequential: no seek, but the platter must still come around.
+		lat = d.params.RotationalHalf
+	} else {
+		lat = d.params.SeekAvg + d.params.RotationalHalf
+	}
+	d.head = offset + uint64(n)
+	return lat
+}
+
+// WriteSync writes data at offset and returns only after it is on the
+// platter; the caller is charged full positioning plus transfer time.
+func (d *Disk) WriteSync(offset uint64, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkRange(offset, len(data)); err != nil {
+		return err
+	}
+	lat := d.positioning(offset, len(data)) + d.transferTime(len(data))
+	copy(d.data[offset:], data)
+	d.stats.SyncWrites++
+	d.stats.BytesWritten += uint64(len(data))
+	d.stats.Busy += lat
+	d.clock.Advance(lat)
+	return nil
+}
+
+// WriteAsync queues data for background writing. If the write buffer has
+// room the caller is charged (almost) nothing; if the buffer is full the
+// caller stalls until the drain catches up — exactly how asynchronous
+// logging degrades under sustained load.
+func (d *Disk) WriteAsync(offset uint64, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkRange(offset, len(data)); err != nil {
+		return err
+	}
+	if d.params.WriteBuffer == 0 {
+		// No buffer: degenerate to a synchronous write.
+		lat := d.positioning(offset, len(data)) + d.transferTime(len(data))
+		copy(d.data[offset:], data)
+		d.stats.SyncWrites++
+		d.stats.BytesWritten += uint64(len(data))
+		d.stats.Busy += lat
+		d.clock.Advance(lat)
+		return nil
+	}
+
+	now := d.clock.Now()
+	if d.drainFree < now {
+		d.drainFree = now
+	}
+	// Occupancy is implied by how far in the future the drain completes.
+	occupancy := float64((d.drainFree - now).Nanoseconds()) / float64(time.Second) * d.params.BytesPerSecond
+	var stall time.Duration
+	if occupancy+float64(len(data)) > float64(d.params.WriteBuffer) {
+		// Stall until enough of the buffer has drained.
+		excess := occupancy + float64(len(data)) - float64(d.params.WriteBuffer)
+		stall = time.Duration(excess / d.params.BytesPerSecond * float64(time.Second))
+		d.stats.Stalls++
+	}
+	d.drainFree += d.transferTime(len(data))
+
+	copy(d.data[offset:], data)
+	d.stats.AsyncWrites++
+	d.stats.BytesWritten += uint64(len(data))
+	d.stats.Busy += stall
+	d.clock.Advance(stall)
+	return nil
+}
+
+// Flush blocks until all buffered asynchronous writes are on the platter.
+func (d *Disk) Flush() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock.Now()
+	if d.drainFree > now {
+		wait := d.drainFree - now
+		d.stats.Busy += wait
+		d.clock.Advance(wait)
+	}
+}
+
+// Read copies n bytes from offset, charging positioning plus transfer.
+func (d *Disk) Read(offset uint64, n int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkRange(offset, n); err != nil {
+		return nil, err
+	}
+	lat := d.positioning(offset, n) + d.transferTime(n)
+	out := make([]byte, n)
+	copy(out, d.data[offset:])
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(n)
+	d.stats.Busy += lat
+	d.clock.Advance(lat)
+	return out, nil
+}
+
+// Peek reads without charging time; for tests and recovery inspection.
+func (d *Disk) Peek(offset uint64, n int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkRange(offset, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, d.data[offset:])
+	return out, nil
+}

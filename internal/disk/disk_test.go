@@ -1,0 +1,198 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+func newDisk(t *testing.T, p Params) (*Disk, *simclock.SimClock) {
+	t.Helper()
+	clock := simclock.NewSim()
+	d, err := New(p, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, clock
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams(1 << 20).Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := DefaultParams(0)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero size should be invalid")
+	}
+	bad = DefaultParams(1 << 20)
+	bad.BytesPerSecond = 0
+	if _, err := New(bad, simclock.NewSim()); err == nil {
+		t.Error("zero transfer rate should be rejected")
+	}
+	bad = DefaultParams(1 << 20)
+	bad.SeekAvg = -time.Millisecond
+	if err := bad.Validate(); err == nil {
+		t.Error("negative seek should be invalid")
+	}
+}
+
+func TestWriteSyncCostsMilliseconds(t *testing.T) {
+	d, clock := newDisk(t, DefaultParams(1<<20))
+	if err := d.WriteSync(4096, []byte("commit record")); err != nil {
+		t.Fatal(err)
+	}
+	lat := clock.Now()
+	// Seek (8 ms) + rotation (4.17 ms) dominate: this is the magnetic
+	// disk cost PERSEAS removes from the commit path.
+	if lat < 10*time.Millisecond || lat > 20*time.Millisecond {
+		t.Errorf("sync write cost %v, want ~12ms", lat)
+	}
+}
+
+func TestSequentialAppendSkipsSeek(t *testing.T) {
+	d, clock := newDisk(t, DefaultParams(1<<20))
+	if err := d.WriteSync(0, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	first := clock.Now()
+	if err := d.WriteSync(512, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	second := clock.Now() - first
+	if second >= first {
+		t.Errorf("sequential append (%v) should be cheaper than first write (%v)", second, first)
+	}
+	p := d.Params()
+	if second < p.RotationalHalf {
+		t.Errorf("sequential append (%v) still pays rotation (%v)", second, p.RotationalHalf)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d, _ := newDisk(t, DefaultParams(1<<16))
+	want := []byte("durable bytes")
+	if err := d.WriteSync(100, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(100, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("read %q, want %q", got, want)
+	}
+	peek, err := d.Peek(100, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(peek, want) {
+		t.Errorf("peek %q, want %q", peek, want)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d, _ := newDisk(t, DefaultParams(1024))
+	if err := d.WriteSync(1020, make([]byte, 8)); !errors.Is(err, ErrBadRange) {
+		t.Errorf("overflow sync write: %v", err)
+	}
+	if err := d.WriteAsync(2048, []byte{1}); !errors.Is(err, ErrBadRange) {
+		t.Errorf("overflow async write: %v", err)
+	}
+	if _, err := d.Read(1024, 1); !errors.Is(err, ErrBadRange) {
+		t.Errorf("overflow read: %v", err)
+	}
+	if _, err := d.Peek(0, -1); !errors.Is(err, ErrBadRange) {
+		t.Errorf("negative peek: %v", err)
+	}
+}
+
+func TestAsyncWriteCheapUntilBufferFills(t *testing.T) {
+	p := DefaultParams(64 << 20)
+	p.WriteBuffer = 64 << 10
+	d, clock := newDisk(t, p)
+
+	// First writes fit the buffer: nearly free.
+	t0 := clock.Now()
+	for i := 0; i < 4; i++ {
+		if err := d.WriteAsync(uint64(i*4096), make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cheap := clock.Now() - t0
+	if cheap > time.Millisecond {
+		t.Errorf("buffered async writes cost %v, want ~0", cheap)
+	}
+
+	// Sustained load beyond the buffer must stall at media rate.
+	t0 = clock.Now()
+	const burst = 10 << 20
+	for off := uint64(0); off < burst; off += 64 << 10 {
+		if err := d.WriteAsync(off, make([]byte, 64<<10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := clock.Now() - t0
+	mediaTime := time.Duration(float64(burst) / p.BytesPerSecond * float64(time.Second))
+	if elapsed < mediaTime/2 {
+		t.Errorf("sustained async writes cost %v, want >= ~%v (media bound)", elapsed, mediaTime)
+	}
+	if d.Stats().Stalls == 0 {
+		t.Error("sustained load should have stalled")
+	}
+}
+
+func TestAsyncWithoutBufferIsSync(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	p.WriteBuffer = 0
+	d, clock := newDisk(t, p)
+	if err := d.WriteAsync(0, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() < 10*time.Millisecond {
+		t.Errorf("unbuffered async write cost %v, want sync cost", clock.Now())
+	}
+	if d.Stats().SyncWrites != 1 || d.Stats().AsyncWrites != 0 {
+		t.Errorf("stats = %+v, want the write counted as sync", d.Stats())
+	}
+}
+
+func TestFlushDrainsBuffer(t *testing.T) {
+	p := DefaultParams(4 << 20)
+	d, clock := newDisk(t, p)
+	if err := d.WriteAsync(0, make([]byte, 128<<10)); err != nil {
+		t.Fatal(err)
+	}
+	t0 := clock.Now()
+	d.Flush()
+	drain := clock.Now() - t0
+	want := time.Duration(float64(128<<10) / p.BytesPerSecond * float64(time.Second))
+	if drain < want/2 || drain > want*2 {
+		t.Errorf("flush took %v, want ~%v", drain, want)
+	}
+	// A second flush is free.
+	t0 = clock.Now()
+	d.Flush()
+	if clock.Now() != t0 {
+		t.Error("empty flush should be free")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, _ := newDisk(t, DefaultParams(1<<20))
+	_ = d.WriteSync(0, make([]byte, 100))
+	_ = d.WriteAsync(200, make([]byte, 50))
+	_, _ = d.Read(0, 10)
+	st := d.Stats()
+	if st.SyncWrites != 1 || st.AsyncWrites != 1 || st.Reads != 1 {
+		t.Errorf("op counts = %+v", st)
+	}
+	if st.BytesWritten != 150 || st.BytesRead != 10 {
+		t.Errorf("byte counts = %+v", st)
+	}
+	if st.Busy <= 0 {
+		t.Error("busy should be positive")
+	}
+}

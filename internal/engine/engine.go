@@ -1,0 +1,88 @@
+// Package engine defines the common contract every transaction system in
+// this repository implements — PERSEAS itself and the baselines it is
+// evaluated against (RVM, RVM-on-Rio, Vista, WAL-on-network-memory) — so
+// that the benchmark harness and the crash-consistency property tests run
+// identically against all of them.
+//
+// The programming model is the one the paper's interface exposes: the
+// application holds direct byte access to a main-memory database, brackets
+// updates with Begin/Commit, declares each region it is about to modify
+// with SetRange (which captures the before-image), and may Abort to roll
+// every declared range back.
+package engine
+
+import (
+	"errors"
+
+	"github.com/ics-forth/perseas/internal/fault"
+)
+
+// Errors common to all engines.
+var (
+	// ErrNoTransaction is returned by SetRange/Commit/Abort outside a
+	// transaction.
+	ErrNoTransaction = errors.New("engine: no transaction in progress")
+	// ErrInTransaction is returned by Begin when one is already open.
+	ErrInTransaction = errors.New("engine: transaction already in progress")
+	// ErrCrashed is returned by every operation between Crash and
+	// Recover.
+	ErrCrashed = errors.New("engine: engine is crashed")
+	// ErrUnrecoverable is returned by Recover when the durable state
+	// needed for recovery did not survive the crash.
+	ErrUnrecoverable = errors.New("engine: durable state lost; cannot recover")
+)
+
+// DB is one named database region managed by an engine.
+type DB interface {
+	// Name returns the region's stable name.
+	Name() string
+	// Size returns the region length in bytes.
+	Size() uint64
+	// Bytes returns the application-visible memory. Writes outside a
+	// range declared with SetRange have undefined recovery semantics,
+	// exactly as in the paper's library.
+	Bytes() []byte
+}
+
+// Engine is a transactional main-memory storage system.
+//
+// Lifecycle: CreateDB any number of regions, then any sequence of
+// Begin / SetRange* / (Commit|Abort). Crash drops all volatile state;
+// Recover rebuilds it from whatever the engine's substrate preserved,
+// after which OpenDB re-attaches the surviving regions.
+type Engine interface {
+	// Name identifies the engine in reports ("perseas", "rvm", ...).
+	Name() string
+
+	// CreateDB allocates a zeroed named region.
+	CreateDB(name string, size uint64) (DB, error)
+	// InitDB publishes the current content of db as its initial durable
+	// state, outside any transaction (the paper's
+	// PERSEAS_init_remote_db). Call it once after filling in the
+	// database's initial records.
+	InitDB(db DB) error
+	// OpenDB re-attaches an existing region, typically after Recover.
+	OpenDB(name string) (DB, error)
+
+	// Begin starts a transaction. Engines in this repository serve one
+	// sequential application, as the paper's library does.
+	Begin() error
+	// SetRange declares that the transaction will modify
+	// db[offset:offset+length), capturing the before-image.
+	SetRange(db DB, offset, length uint64) error
+	// Commit makes every modification to declared ranges durable.
+	Commit() error
+	// Abort rolls every declared range back to its before-image.
+	Abort() error
+
+	// Crash simulates a failure of the given kind on the machine
+	// running the engine. All volatile state is lost.
+	Crash(kind fault.CrashKind) error
+	// Recover rebuilds engine state after a crash. It returns
+	// ErrUnrecoverable when the substrate's survival matrix says the
+	// durable state did not make it.
+	Recover() error
+
+	// Close releases resources. The durable state remains.
+	Close() error
+}

@@ -1,0 +1,388 @@
+// Package enginetest is a conformance and crash-consistency suite run
+// against every transaction engine in this repository — PERSEAS and all
+// baselines. It checks the engine.Engine contract (state machine,
+// visibility, abort semantics) and then drives randomised workloads with
+// crash injection at arbitrary points, asserting all-or-nothing
+// transaction visibility after recovery.
+package enginetest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+)
+
+// Caps declares which guarantees an engine makes, so the suite can assert
+// exactly those.
+type Caps struct {
+	// SurvivesKind reports whether durable state outlives a crash of
+	// the given kind (e.g. Rio-based engines do not survive power loss).
+	SurvivesKind func(fault.CrashKind) bool
+	// DurableOnCommit is false for engines whose Commit may return
+	// before the transaction is forced to stable storage (group
+	// commit): such engines may lose a bounded suffix of committed
+	// transactions in a crash.
+	DurableOnCommit bool
+	// LossWindow bounds how many committed transactions a crash may
+	// lose when DurableOnCommit is false.
+	LossWindow int
+}
+
+// Factory builds a fresh engine instance for one test case.
+type Factory func(t *testing.T) engine.Engine
+
+// Run executes the whole suite.
+func Run(t *testing.T, name string, mk Factory, caps Caps) {
+	t.Run(name+"/lifecycle", func(t *testing.T) { testLifecycle(t, mk) })
+	t.Run(name+"/visibility", func(t *testing.T) { testVisibility(t, mk) })
+	t.Run(name+"/abort", func(t *testing.T) { testAbort(t, mk) })
+	t.Run(name+"/overlap", func(t *testing.T) { testOverlapUnwind(t, mk) })
+	t.Run(name+"/multidb", func(t *testing.T) { testMultiDB(t, mk) })
+	t.Run(name+"/badrange", func(t *testing.T) { testBadRange(t, mk) })
+	t.Run(name+"/statemachine", func(t *testing.T) { testStateMachine(t, mk) })
+	for _, kind := range fault.AllKinds() {
+		kind := kind
+		t.Run(fmt.Sprintf("%s/crash-%s", name, kind), func(t *testing.T) {
+			testCrashRecover(t, mk, caps, kind)
+		})
+	}
+	t.Run(name+"/random-crash", func(t *testing.T) { testRandomised(t, mk, caps) })
+}
+
+func create(t *testing.T, e engine.Engine, name string, size uint64, fill byte) engine.DB {
+	t.Helper()
+	db, err := e.CreateDB(name, size)
+	if err != nil {
+		t.Fatalf("CreateDB: %v", err)
+	}
+	buf := db.Bytes()
+	for i := range buf {
+		buf[i] = fill
+	}
+	if err := e.InitDB(db); err != nil {
+		t.Fatalf("InitDB: %v", err)
+	}
+	return db
+}
+
+func commitWrite(t *testing.T, e engine.Engine, db engine.DB, offset uint64, data []byte) {
+	t.Helper()
+	if err := e.Begin(); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := e.SetRange(db, offset, uint64(len(data))); err != nil {
+		t.Fatalf("SetRange: %v", err)
+	}
+	copy(db.Bytes()[offset:], data)
+	if err := e.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func testLifecycle(t *testing.T, mk Factory) {
+	e := mk(t)
+	defer e.Close()
+	db := create(t, e, "db", 256, 0x5A)
+	if db.Name() != "db" || db.Size() != 256 {
+		t.Fatalf("bad db handle: %s/%d", db.Name(), db.Size())
+	}
+	if got, err := e.OpenDB("db"); err != nil || got.Name() != "db" {
+		t.Fatalf("OpenDB: %v", err)
+	}
+	if _, err := e.OpenDB("missing"); err == nil {
+		t.Fatal("OpenDB(missing) should fail")
+	}
+	if _, err := e.CreateDB("db", 64); err == nil {
+		t.Fatal("duplicate CreateDB should fail")
+	}
+}
+
+func testVisibility(t *testing.T, mk Factory) {
+	e := mk(t)
+	defer e.Close()
+	db := create(t, e, "db", 128, 0)
+	commitWrite(t, e, db, 32, []byte("payload"))
+	if got := string(db.Bytes()[32:39]); got != "payload" {
+		t.Fatalf("committed data = %q", got)
+	}
+}
+
+func testAbort(t *testing.T, mk Factory) {
+	e := mk(t)
+	defer e.Close()
+	db := create(t, e, "db", 128, 0xCC)
+	if err := e.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetRange(db, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes(), bytes.Repeat([]byte{0xDD}, 64))
+	if err := e.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(db.Bytes(), bytes.Repeat([]byte{0xCC}, 128)) {
+		t.Fatal("abort did not restore before-image")
+	}
+}
+
+func testOverlapUnwind(t *testing.T, mk Factory) {
+	e := mk(t)
+	defer e.Close()
+	db := create(t, e, "db", 64, 0)
+	commitWrite(t, e, db, 0, []byte("original"))
+
+	if err := e.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetRange(db, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes(), []byte("mutated1"))
+	if err := e.SetRange(db, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes()[2:], []byte("XXXX"))
+	if err := e.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(db.Bytes()[:8]); got != "original" {
+		t.Fatalf("overlap unwind = %q, want original", got)
+	}
+}
+
+func testMultiDB(t *testing.T, mk Factory) {
+	e := mk(t)
+	defer e.Close()
+	a := create(t, e, "a", 64, 0)
+	b := create(t, e, "b", 64, 0)
+	if err := e.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetRange(a, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetRange(b, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	copy(a.Bytes(), []byte("AAAA"))
+	copy(b.Bytes()[8:], []byte("BBBB"))
+	if err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Bytes()[:4]) != "AAAA" || string(b.Bytes()[8:12]) != "BBBB" {
+		t.Fatal("multi-db transaction lost writes")
+	}
+}
+
+func testBadRange(t *testing.T, mk Factory) {
+	e := mk(t)
+	defer e.Close()
+	db := create(t, e, "db", 64, 0)
+	if err := e.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetRange(db, 60, 8); err == nil {
+		t.Fatal("overflow SetRange should fail")
+	}
+	if err := e.SetRange(db, 1<<40, 1); err == nil {
+		t.Fatal("far-out SetRange should fail")
+	}
+	if err := e.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testStateMachine(t *testing.T, mk Factory) {
+	e := mk(t)
+	defer e.Close()
+	db := create(t, e, "db", 64, 0)
+	if err := e.Commit(); err == nil {
+		t.Fatal("Commit outside tx should fail")
+	}
+	if err := e.Abort(); err == nil {
+		t.Fatal("Abort outside tx should fail")
+	}
+	if err := e.SetRange(db, 0, 4); err == nil {
+		t.Fatal("SetRange outside tx should fail")
+	}
+	if err := e.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Begin(); err == nil {
+		t.Fatal("nested Begin should fail")
+	}
+	if err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testCrashRecover(t *testing.T, mk Factory, caps Caps, kind fault.CrashKind) {
+	e := mk(t)
+	defer e.Close()
+	db := create(t, e, "db", 128, 0x11)
+	commitWrite(t, e, db, 0, []byte("durable!"))
+
+	// Leave a transaction in flight so recovery has something to roll
+	// back.
+	if err := e.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetRange(db, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes(), []byte("garbage?"))
+
+	if err := e.Crash(kind); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if err := e.Begin(); err == nil {
+		t.Fatal("Begin while crashed should fail")
+	}
+
+	err := e.Recover()
+	if !caps.SurvivesKind(kind) {
+		if err == nil {
+			t.Fatalf("Recover after %v crash should fail for this engine", kind)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("Recover after %v crash: %v", kind, err)
+	}
+	re, err := e.OpenDB("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(re.Bytes()[:8])
+	initial := string(bytes.Repeat([]byte{0x11}, 8))
+	if caps.DurableOnCommit {
+		if got != "durable!" {
+			t.Fatalf("after %v crash recovered %q, want %q", kind, got, "durable!")
+		}
+	} else if got != "durable!" && got != initial {
+		// A group-commit engine may lose the unforced commit, but must
+		// recover atomically to a prior committed state.
+		t.Fatalf("after %v crash recovered %q, want %q or the initial state", kind, got, "durable!")
+	}
+	if re.Bytes()[127] != 0x11 {
+		t.Fatal("fill byte lost in recovery")
+	}
+	// The engine keeps working.
+	commitWrite(t, e, re, 0, []byte("again123"))
+}
+
+// testRandomised drives random committed/aborted/crashed transactions
+// against a reference model and checks all-or-nothing visibility.
+func testRandomised(t *testing.T, mk Factory, caps Caps) {
+	const (
+		dbSize = 512
+		seeds  = 8
+		steps  = 60
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			e := mk(t)
+			defer e.Close()
+			db := create(t, e, "db", dbSize, 0)
+
+			// committedStates[i] is the db image after the i-th commit;
+			// index 0 is the initial state.
+			committed := [][]byte{bytes.Repeat([]byte{0}, dbSize)}
+
+			for step := 0; step < steps; step++ {
+				if err := e.Begin(); err != nil {
+					t.Fatalf("step %d begin: %v", step, err)
+				}
+				work := append([]byte(nil), committed[len(committed)-1]...)
+				nRanges := 1 + rng.Intn(3)
+				for i := 0; i < nRanges; i++ {
+					// A third of the ranges land in a 48-byte hot region
+					// so transactions regularly declare overlapping
+					// ranges — the pattern that distinguishes correct
+					// reverse-order undo from subtly broken variants.
+					var off uint64
+					if rng.Intn(3) == 0 {
+						off = uint64(rng.Intn(48))
+					} else {
+						off = uint64(rng.Intn(dbSize - 16))
+					}
+					ln := uint64(1 + rng.Intn(16))
+					if err := e.SetRange(db, off, ln); err != nil {
+						t.Fatalf("step %d set_range: %v", step, err)
+					}
+					for j := uint64(0); j < ln; j++ {
+						b := byte(rng.Intn(256))
+						db.Bytes()[off+j] = b
+						work[off+j] = b
+					}
+				}
+				switch rng.Intn(10) {
+				case 0, 1: // abort
+					if err := e.Abort(); err != nil {
+						t.Fatalf("step %d abort: %v", step, err)
+					}
+					if !bytes.Equal(db.Bytes(), committed[len(committed)-1]) {
+						t.Fatalf("step %d: abort left dirty state", step)
+					}
+				case 2: // crash mid-transaction
+					kind := fault.AllKinds()[rng.Intn(3)]
+					if err := e.Crash(kind); err != nil {
+						t.Fatalf("step %d crash: %v", step, err)
+					}
+					err := e.Recover()
+					if !caps.SurvivesKind(kind) {
+						if err == nil {
+							t.Fatalf("step %d: recovery should fail after %v", step, kind)
+						}
+						return // engine is legitimately dead
+					}
+					if err != nil {
+						t.Fatalf("step %d recover: %v", step, err)
+					}
+					re, err := e.OpenDB("db")
+					if err != nil {
+						t.Fatalf("step %d reopen: %v", step, err)
+					}
+					db = re
+					if !matchesSuffix(db.Bytes(), committed, caps) {
+						t.Fatalf("step %d: post-crash state matches no committed state", step)
+					}
+					// Resynchronise the model with whichever state
+					// survived.
+					committed = [][]byte{append([]byte(nil), db.Bytes()...)}
+				default: // commit
+					if err := e.Commit(); err != nil {
+						t.Fatalf("step %d commit: %v", step, err)
+					}
+					committed = append(committed, work)
+					if len(committed) > 40 {
+						committed = committed[len(committed)-40:]
+					}
+				}
+			}
+		})
+	}
+}
+
+// matchesSuffix reports whether state equals one of the recent committed
+// states — exactly the last one for durable engines, any of the last
+// LossWindow+1 for group-commit engines.
+func matchesSuffix(state []byte, committed [][]byte, caps Caps) bool {
+	window := 1
+	if !caps.DurableOnCommit {
+		window = caps.LossWindow + 1
+	}
+	for i := 0; i < window && i < len(committed); i++ {
+		if bytes.Equal(state, committed[len(committed)-1-i]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+// Package fault enumerates the failure classes the paper discusses and
+// that every storage substrate and transaction engine in this repository
+// must position itself against: application crashes, operating-system
+// crashes, and power outages.
+package fault
+
+import "fmt"
+
+// CrashKind is one failure class.
+type CrashKind int
+
+const (
+	// CrashProcess is an application crash; the OS and main memory keep
+	// running.
+	CrashProcess CrashKind = iota + 1
+	// CrashOS is an operating-system crash or hang (the case the Rio
+	// file cache is built to survive).
+	CrashOS
+	// CrashPower is a power outage; all main memory contents are lost
+	// unless the machine sits behind a working UPS.
+	CrashPower
+)
+
+// AllKinds lists every crash kind, for table-driven tests.
+func AllKinds() []CrashKind {
+	return []CrashKind{CrashProcess, CrashOS, CrashPower}
+}
+
+// String implements fmt.Stringer.
+func (k CrashKind) String() string {
+	switch k {
+	case CrashProcess:
+		return "process"
+	case CrashOS:
+		return "os"
+	case CrashPower:
+		return "power"
+	default:
+		return fmt.Sprintf("crash(%d)", int(k))
+	}
+}

@@ -1,0 +1,61 @@
+package hostmem
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+func TestCopyCost(t *testing.T) {
+	m := Default()
+	if got := m.CopyCost(0); got != 0 {
+		t.Errorf("CopyCost(0) = %v, want 0", got)
+	}
+	if got := m.CopyCost(-1); got != 0 {
+		t.Errorf("CopyCost(-1) = %v, want 0", got)
+	}
+	small := m.CopyCost(4)
+	big := m.CopyCost(1 << 20)
+	if small <= 0 || big <= small {
+		t.Errorf("costs not monotone: %v, %v", small, big)
+	}
+	// ~150 MB/s: 1 MiB should take 6-8 ms.
+	if big < 5*time.Millisecond || big > 10*time.Millisecond {
+		t.Errorf("1 MiB copy = %v, want ~7ms at era bandwidth", big)
+	}
+}
+
+func TestCopyChargesAndCopies(t *testing.T) {
+	m := Default()
+	clock := simclock.NewSim()
+	src := []byte("hello world")
+	dst := make([]byte, len(src))
+	n := m.Copy(clock, dst, src)
+	if n != len(src) || !bytes.Equal(dst, src) {
+		t.Fatalf("copy broken: n=%d dst=%q", n, dst)
+	}
+	if clock.Now() != m.CopyCost(len(src)) {
+		t.Errorf("charged %v, want %v", clock.Now(), m.CopyCost(len(src)))
+	}
+}
+
+func TestCopyShortDst(t *testing.T) {
+	m := Fast()
+	clock := simclock.NewSim()
+	dst := make([]byte, 3)
+	n := m.Copy(clock, dst, []byte("abcdef"))
+	if n != 3 {
+		t.Errorf("n = %d, want 3", n)
+	}
+	if clock.Now() != m.CopyCost(3) {
+		t.Errorf("charged %v for %d bytes", clock.Now(), n)
+	}
+}
+
+func TestFastCheaperThanDefault(t *testing.T) {
+	if Fast().CopyCost(1<<20) >= Default().CopyCost(1<<20) {
+		t.Error("Fast model should be cheaper than Default")
+	}
+}

@@ -1,0 +1,372 @@
+package memserver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/ics-forth/perseas/internal/wire"
+)
+
+func TestMallocFree(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.ID == 0 || len(seg.Data) != 4096 || seg.Name != "db" {
+		t.Fatalf("unexpected segment %+v", seg)
+	}
+	if got := s.Held(); got != 4096 {
+		t.Errorf("Held = %d, want 4096", got)
+	}
+	if err := s.Free(seg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Held(); got != 0 {
+		t.Errorf("Held after free = %d, want 0", got)
+	}
+	if err := s.Free(seg.ID); !errors.Is(err, ErrNoSuchSegment) {
+		t.Errorf("double free: got %v, want ErrNoSuchSegment", err)
+	}
+}
+
+func TestMallocZeroSize(t *testing.T) {
+	s := New()
+	if _, err := s.Malloc("x", 0); !errors.Is(err, ErrBadSize) {
+		t.Errorf("got %v, want ErrBadSize", err)
+	}
+}
+
+func TestMallocDuplicateName(t *testing.T) {
+	s := New()
+	if _, err := s.Malloc("db", 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Malloc("db", 64); !errors.Is(err, ErrNameInUse) {
+		t.Errorf("got %v, want ErrNameInUse", err)
+	}
+	// Anonymous segments never collide.
+	if _, err := s.Malloc("", 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Malloc("", 64); err != nil {
+		t.Fatal(err)
+	}
+	// Freed names become reusable.
+	seg, err := s.Connect("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(seg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Malloc("db", 64); err != nil {
+		t.Errorf("name should be reusable after free: %v", err)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	s := New(WithCapacity(100))
+	if _, err := s.Malloc("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Malloc("b", 60); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("got %v, want ErrOutOfMemory", err)
+	}
+	if _, err := s.Malloc("c", 40); err != nil {
+		t.Errorf("exact fit should succeed: %v", err)
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("the quick brown fox")
+	if err := s.Write(seg.ID, 10, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(seg.ID, 10, uint32(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("read back %q, want %q", got, payload)
+	}
+	// Remaining bytes stay zero.
+	head, err := s.Read(seg.ID, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(head, make([]byte, 10)) {
+		t.Errorf("head = %v, want zeros", head)
+	}
+}
+
+func TestWriteReadBounds(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		offset uint64
+		n      int
+	}{
+		{"past end", 65, 1},
+		{"spills over", 60, 8},
+		{"huge offset", 1 << 40, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := s.Write(seg.ID, tt.offset, make([]byte, tt.n)); !errors.Is(err, ErrBadRange) {
+				t.Errorf("write: got %v, want ErrBadRange", err)
+			}
+			if _, err := s.Read(seg.ID, tt.offset, uint32(tt.n)); !errors.Is(err, ErrBadRange) {
+				t.Errorf("read: got %v, want ErrBadRange", err)
+			}
+		})
+	}
+	// Zero-length access at the very end is legal.
+	if err := s.Write(seg.ID, 64, nil); err != nil {
+		t.Errorf("empty write at end: %v", err)
+	}
+	if err := s.Write(99, 0, []byte{1}); !errors.Is(err, ErrNoSuchSegment) {
+		t.Errorf("write to unknown segment: got %v", err)
+	}
+	if _, err := s.Read(99, 0, 1); !errors.Is(err, ErrNoSuchSegment) {
+		t.Errorf("read from unknown segment: got %v", err)
+	}
+}
+
+func TestConnect(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("perseas.meta", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(seg.ID, 0, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Connect("perseas.meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != seg.ID {
+		t.Errorf("Connect returned id %d, want %d", got.ID, seg.ID)
+	}
+	if _, err := s.Connect("missing"); !errors.Is(err, ErrNoSuchName) {
+		t.Errorf("got %v, want ErrNoSuchName", err)
+	}
+}
+
+func TestGet(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("db", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(seg.ID)
+	if err != nil || got != seg {
+		t.Errorf("Get = %v, %v; want original segment", got, err)
+	}
+	if _, err := s.Get(12345); !errors.Is(err, ErrNoSuchSegment) {
+		t.Errorf("got %v, want ErrNoSuchSegment", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s := New()
+	if got := s.List(); len(got) != 0 {
+		t.Fatalf("fresh server lists %v", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Malloc(fmt.Sprintf("seg%d", i), uint64(64*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.List()
+	if len(got) != 5 {
+		t.Fatalf("List len = %d, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].ID <= got[i-1].ID {
+			t.Errorf("List not ordered by id: %v", got)
+		}
+	}
+}
+
+func TestCrashAndRestart(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	if !s.Crashed() {
+		t.Fatal("server should report crashed")
+	}
+	if _, err := s.Malloc("x", 64); err == nil {
+		t.Error("malloc on crashed server should fail")
+	}
+	if err := s.Write(seg.ID, 0, []byte{1}); err == nil {
+		t.Error("write on crashed server should fail")
+	}
+	s.Restart()
+	if s.Crashed() {
+		t.Fatal("server should be up after restart")
+	}
+	// Memory did not survive: the old segment is gone.
+	if _, err := s.Get(seg.ID); !errors.Is(err, ErrNoSuchSegment) {
+		t.Errorf("old segment survived crash: %v", err)
+	}
+	if got := s.Held(); got != 0 {
+		t.Errorf("Held after crash = %d, want 0", got)
+	}
+	if _, err := s.Malloc("db", 64); err != nil {
+		t.Errorf("restarted server should malloc: %v", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := New()
+	seg, _ := s.Malloc("db", 64)
+	_ = s.Write(seg.ID, 0, []byte("abcd"))
+	_, _ = s.Read(seg.ID, 0, 2)
+	_ = s.Free(seg.ID)
+	st := s.Stats()
+	if st.Mallocs != 1 || st.Frees != 1 || st.WriteOps != 1 || st.ReadOps != 1 {
+		t.Errorf("ops stats = %+v", st)
+	}
+	if st.BytesWritten != 4 || st.BytesRead != 2 {
+		t.Errorf("byte stats = %+v", st)
+	}
+}
+
+func TestHandleWireOps(t *testing.T) {
+	s := New()
+
+	resp := s.Handle(&wire.Request{Op: wire.OpMalloc, Name: "db", Size: 128})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("malloc failed: %s", resp.Err)
+	}
+	id := resp.Seg
+
+	resp = s.Handle(&wire.Request{Op: wire.OpWrite, Seg: id, Offset: 8, Data: []byte("xyz")})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("write failed: %s", resp.Err)
+	}
+
+	resp = s.Handle(&wire.Request{Op: wire.OpRead, Seg: id, Offset: 8, Length: 3})
+	if resp.Status != wire.StatusOK || !bytes.Equal(resp.Data, []byte("xyz")) {
+		t.Fatalf("read: %+v", resp)
+	}
+
+	resp = s.Handle(&wire.Request{Op: wire.OpConnect, Name: "db"})
+	if resp.Status != wire.StatusOK || resp.Seg != id || resp.Size != 128 {
+		t.Fatalf("connect: %+v", resp)
+	}
+
+	resp = s.Handle(&wire.Request{Op: wire.OpList})
+	if resp.Status != wire.StatusOK || len(resp.Segments) != 1 {
+		t.Fatalf("list: %+v", resp)
+	}
+
+	resp = s.Handle(&wire.Request{Op: wire.OpPing})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("ping: %+v", resp)
+	}
+
+	resp = s.Handle(&wire.Request{Op: wire.OpStats})
+	if resp.Status != wire.StatusOK || resp.Stats.Segments != 1 || resp.Stats.WriteOps != 1 {
+		t.Fatalf("stats: %+v", resp)
+	}
+
+	resp = s.Handle(&wire.Request{Op: wire.OpFree, Seg: id})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("free failed: %s", resp.Err)
+	}
+
+	resp = s.Handle(&wire.Request{Op: wire.OpFree, Seg: id})
+	if resp.Status != wire.StatusError {
+		t.Fatal("double free over wire should fail")
+	}
+
+	resp = s.Handle(&wire.Request{Op: wire.Op(200)})
+	if resp.Status != wire.StatusError {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestHandlePingWhileCrashed(t *testing.T) {
+	s := New()
+	s.Crash()
+	if resp := s.Handle(&wire.Request{Op: wire.OpPing}); resp.Status != wire.StatusError {
+		t.Error("ping on crashed server should fail")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("shared", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(g + 1)}, 64)
+			base := uint64(g * 8192)
+			for i := 0; i < 100; i++ {
+				off := base + uint64(i%64)*64
+				if err := s.Write(seg.ID, off, buf); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, err := s.Read(seg.ID, off, 64); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.WriteOps != 800 || st.ReadOps != 800 {
+		t.Errorf("ops = %d/%d, want 800/800", st.WriteOps, st.ReadOps)
+	}
+}
+
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("prop", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, data []byte) bool {
+		o := uint64(off) % 4096
+		if uint64(len(data)) > 4096-o {
+			data = data[:4096-o]
+		}
+		if err := s.Write(seg.ID, o, data); err != nil {
+			return false
+		}
+		got, err := s.Read(seg.ID, o, uint32(len(data)))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

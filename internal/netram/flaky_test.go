@@ -1,0 +1,123 @@
+package netram
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// flaky wraps a transport and fails Write/WriteBatch on a schedule while
+// staying pingable — a transient network hiccup, not a dead node.
+type flaky struct {
+	transport.Transport
+	failNext int // fail this many upcoming writes
+	writes   int
+	failures int
+}
+
+func (f *flaky) Write(seg uint32, offset uint64, data []byte) error {
+	f.writes++
+	if f.failNext > 0 {
+		f.failNext--
+		f.failures++
+		return errors.New("flaky: transient write failure")
+	}
+	return f.Transport.Write(seg, offset, data)
+}
+
+func (f *flaky) WriteBatch(writes []transport.BatchWrite) error {
+	f.writes++
+	if f.failNext > 0 {
+		f.failNext--
+		f.failures++
+		return errors.New("flaky: transient batch failure")
+	}
+	if bw, ok := f.Transport.(transport.BatchWriter); ok {
+		return bw.WriteBatch(writes)
+	}
+	for _, w := range writes {
+		if err := f.Transport.Write(w.Seg, w.Offset, w.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func newFlakyRig(t *testing.T) (*Client, *flaky, *rig) {
+	t.Helper()
+	r := newRig(t, 1)
+	fl := &flaky{Transport: r.client.mirrors[0].T}
+	c, err := NewClient([]Mirror{{Name: "flaky", T: fl}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fl, r
+}
+
+func TestPushRetriesTransientFailure(t *testing.T) {
+	c, fl, r := newFlakyRig(t)
+	reg, err := c.Malloc("db", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(reg.Local, []byte("retried"))
+
+	fl.failNext = 1 // the first attempt fails; the retry succeeds
+	if err := c.Push(reg, 0, 7); err != nil {
+		t.Fatalf("transient failure should be retried: %v", err)
+	}
+	if c.Live() != 1 {
+		t.Error("pingable mirror was degraded")
+	}
+	seg, err := r.servers[0].Connect("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.servers[0].Read(seg.ID, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "retried" {
+		t.Errorf("mirror holds %q", got)
+	}
+
+	// Two consecutive failures exhaust the single retry.
+	fl.failNext = 2
+	if err := c.Push(reg, 0, 7); err == nil {
+		t.Error("persistent failure should surface after one retry")
+	}
+	if c.Live() != 1 {
+		t.Error("alive-but-failing mirror must not be silently degraded")
+	}
+}
+
+func TestPushManyRetriesTransientFailure(t *testing.T) {
+	c, fl, r := newFlakyRig(t)
+	reg, err := c.Malloc("db", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(reg.Local[64:], []byte("batchy"))
+
+	fl.failNext = 1
+	if err := c.PushMany(reg, []Range{{Offset: 64, Length: 6}}); err != nil {
+		t.Fatalf("transient batch failure should be retried: %v", err)
+	}
+	seg, err := r.servers[0].Connect("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.servers[0].Read(seg.ID, 64, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "batchy" {
+		t.Errorf("mirror holds %q", got)
+	}
+
+	fl.failNext = 2
+	if err := c.PushMany(reg, []Range{{Offset: 64, Length: 6}}); err == nil {
+		t.Error("persistent batch failure should surface")
+	}
+}

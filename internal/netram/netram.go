@@ -1,0 +1,584 @@
+// Package netram implements the client side of the paper's reliable
+// network RAM: a layer of main memory mirrored in the memories of one or
+// more remote workstations, reachable through three major operations —
+// remote malloc, remote free and remote memory copy — plus the
+// reconnection call used after a crash.
+//
+// A Region couples a local buffer with one exported segment per mirror
+// node. Push propagates a modified byte range from the local buffer to
+// every mirror using the optimised sci_memcpy strategy the paper
+// describes: copies of 32 bytes or more are expanded to whole 64-byte
+// regions aligned on 64-byte boundaries, so the PCI-SCI card transmits
+// full 64-byte packets and its store-gathering and buffer-streaming
+// machinery works at peak efficiency.
+package netram
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// Errors returned by the client.
+var (
+	// ErrNoMirrors is returned when a client is built without mirrors.
+	ErrNoMirrors = errors.New("netram: at least one mirror is required")
+	// ErrBadRange is returned for accesses outside a region.
+	ErrBadRange = errors.New("netram: range outside region")
+	// ErrAllMirrorsDown is returned when no mirror can service a fetch.
+	ErrAllMirrorsDown = errors.New("netram: all mirrors are down")
+)
+
+// DefaultAlignThreshold is the copy size, in bytes, at and above which
+// sci_memcpy expands the copy to whole 64-byte aligned regions (Section 4
+// of the paper).
+const DefaultAlignThreshold = 32
+
+// Mirror names one remote node and the transport reaching it.
+type Mirror struct {
+	// Name labels the node in errors ("remote-0", a hostname, ...).
+	Name string
+	// T is the connection to the node's memory server.
+	T transport.Transport
+}
+
+// Stats aggregates client traffic.
+type Stats struct {
+	// Pushes counts Push calls; PushedBytes counts the payload bytes
+	// the caller asked to propagate.
+	Pushes      uint64
+	PushedBytes uint64
+	// WireBytes counts bytes actually sent per mirror write, including
+	// alignment expansion.
+	WireBytes uint64
+	// Fetches counts recovery reads.
+	Fetches      uint64
+	FetchedBytes uint64
+}
+
+// Client is a reliable-network-RAM client bound to a fixed mirror set.
+// Methods are not safe for concurrent use; the paper's library serves
+// one sequential application.
+type Client struct {
+	mirrors        []Mirror
+	alignThreshold int
+	alignDisabled  bool
+	// down[i] marks mirror i as failed: the paper's design keeps the
+	// database available through the surviving mirrors, so pushes skip
+	// dead nodes instead of stalling the application.
+	down []bool
+	// regions tracks every live region in creation order so a repaired
+	// mirror can be reintegrated with full contents.
+	regions []*Region
+	stats   Stats
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithAlignThreshold overrides the copy size at which alignment expansion
+// kicks in.
+func WithAlignThreshold(n int) Option {
+	return func(c *Client) { c.alignThreshold = n }
+}
+
+// WithoutAlignment disables the 64-byte expansion entirely (used by the
+// ablation benchmarks).
+func WithoutAlignment() Option {
+	return func(c *Client) { c.alignDisabled = true }
+}
+
+// NewClient builds a client replicating to the given mirrors.
+func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
+	if len(mirrors) == 0 {
+		return nil, ErrNoMirrors
+	}
+	for i, m := range mirrors {
+		if m.T == nil {
+			return nil, fmt.Errorf("netram: mirror %d (%s) has no transport", i, m.Name)
+		}
+	}
+	c := &Client{
+		mirrors:        append([]Mirror(nil), mirrors...),
+		alignThreshold: DefaultAlignThreshold,
+		down:           make([]bool, len(mirrors)),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.alignThreshold < 1 {
+		c.alignThreshold = 1
+	}
+	return c, nil
+}
+
+// Mirrors reports the number of mirror nodes.
+func (c *Client) Mirrors() int { return len(c.mirrors) }
+
+// Live reports how many mirrors are still considered healthy.
+func (c *Client) Live() int {
+	n := 0
+	for _, d := range c.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the traffic counters.
+func (c *Client) ResetStats() { c.stats = Stats{} }
+
+// Region is a mirrored memory region: a local buffer plus one remote
+// segment per mirror, all sharing the region's name.
+type Region struct {
+	// Name is the reconnection name of the region's remote segments.
+	Name string
+	// Local is the local copy the application reads and writes.
+	Local []byte
+
+	handles []transport.SegmentHandle
+}
+
+// Size returns the region length in bytes.
+func (r *Region) Size() uint64 { return uint64(len(r.Local)) }
+
+// Handle returns the remote segment handle on mirror i (for tests and
+// tooling).
+func (r *Region) Handle(i int) transport.SegmentHandle { return r.handles[i] }
+
+// Malloc allocates a local buffer of the given size and exports an
+// equivalent segment on every mirror (the paper's remote malloc).
+func (c *Client) Malloc(name string, size uint64) (*Region, error) {
+	if size == 0 {
+		return nil, errors.New("netram: size must be positive")
+	}
+	r := &Region{
+		Name:    name,
+		Local:   make([]byte, size),
+		handles: make([]transport.SegmentHandle, len(c.mirrors)),
+	}
+	for i, m := range c.mirrors {
+		h, err := m.T.Malloc(name, size)
+		if err != nil {
+			// Unwind partial allocations so a failed malloc leaks
+			// nothing on the mirrors that did succeed.
+			for j := 0; j < i; j++ {
+				_ = c.mirrors[j].T.Free(r.handles[j].ID)
+			}
+			return nil, fmt.Errorf("netram: malloc on mirror %s: %w", m.Name, err)
+		}
+		r.handles[i] = h
+	}
+	c.regions = append(c.regions, r)
+	return r, nil
+}
+
+// Free releases the region's remote segments (the paper's remote free).
+// The local buffer is left to the garbage collector.
+func (c *Client) Free(r *Region) error {
+	for i, reg := range c.regions {
+		if reg == r {
+			c.regions = append(c.regions[:i], c.regions[i+1:]...)
+			break
+		}
+	}
+	var firstErr error
+	for i, m := range c.mirrors {
+		if r.handles[i].ID == 0 {
+			continue
+		}
+		if err := m.T.Free(r.handles[i].ID); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("netram: free on mirror %s: %w", m.Name, err)
+		}
+	}
+	return firstErr
+}
+
+// Push propagates r.Local[offset:offset+n] to every mirror — the paper's
+// remote memory copy. Copies of alignThreshold bytes or more are expanded
+// to whole 64-byte aligned regions (clamped to the region bounds), which
+// is safe because the bytes around a modified range are identical in the
+// local buffer and its mirrors.
+func (c *Client) Push(r *Region, offset, n uint64) error {
+	if err := r.checkRange(offset, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	lo, hi := offset, offset+n
+	if !c.alignDisabled && n >= uint64(c.alignThreshold) {
+		lo, hi = expandEdges(lo, hi, r.Size())
+	}
+	data := r.Local[lo:hi]
+	pushed := 0
+	for i, m := range c.mirrors {
+		if c.down[i] || r.handles[i].ID == 0 {
+			// Mirror is dead or never mapped this region; skip it
+			// rather than poison every push.
+			continue
+		}
+		if err := c.writeWithRetry(i, r.handles[i].ID, lo, data); err != nil {
+			if c.down[i] {
+				continue // node degraded; stay available via the others
+			}
+			return fmt.Errorf("netram: push to mirror %s: %w", m.Name, err)
+		}
+		pushed++
+	}
+	if pushed == 0 {
+		return fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
+	}
+	c.stats.Pushes++
+	c.stats.PushedBytes += n
+	c.stats.WireBytes += uint64(len(data)) * uint64(pushed)
+	return nil
+}
+
+// writeWithRetry performs one mirror write, classifying failures: if the
+// node is gone (its ping fails too) the mirror is degraded and the
+// write is reported as absorbed by degradation; if the node is alive the
+// failure may be a transient hiccup, so the write is retried once before
+// the error is surfaced to the caller.
+func (c *Client) writeWithRetry(i int, seg uint32, offset uint64, data []byte) error {
+	m := c.mirrors[i]
+	err := m.T.Write(seg, offset, data)
+	if err == nil {
+		return nil
+	}
+	if pingErr := m.T.Ping(); pingErr != nil {
+		c.down[i] = true
+		return err
+	}
+	// The node answers pings: transient failure — one retry.
+	if retryErr := m.T.Write(seg, offset, data); retryErr == nil {
+		return nil
+	}
+	return err
+}
+
+// PushAll propagates the entire region, used by InitRemoteDB.
+func (c *Client) PushAll(r *Region) error {
+	return c.Push(r, 0, r.Size())
+}
+
+// Range is one (offset, length) pair for PushMany.
+type Range struct {
+	Offset uint64
+	Length uint64
+}
+
+// PushMany propagates several ranges of r to every mirror, using one
+// batched exchange per mirror when its transport supports it (one TCP
+// round trip per commit instead of one per range). Alignment expansion
+// applies per range exactly as in Push; on the SCI model the cost is
+// identical to pushing the ranges one by one.
+func (c *Client) PushMany(r *Region, ranges []Range) error {
+	for _, rg := range ranges {
+		if err := r.checkRange(rg.Offset, rg.Length); err != nil {
+			return err
+		}
+	}
+	// Materialise the expanded wire ranges once; per-mirror only the
+	// segment id differs.
+	type span struct {
+		lo, hi uint64
+	}
+	spans := make([]span, 0, len(ranges))
+	var payload, wireBytes uint64
+	for _, rg := range ranges {
+		if rg.Length == 0 {
+			continue
+		}
+		lo, hi := rg.Offset, rg.Offset+rg.Length
+		if !c.alignDisabled && rg.Length >= uint64(c.alignThreshold) {
+			lo, hi = expandEdges(lo, hi, r.Size())
+		}
+		spans = append(spans, span{lo, hi})
+		payload += rg.Length
+		wireBytes += hi - lo
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+
+	pushed := 0
+	for i, m := range c.mirrors {
+		if c.down[i] || r.handles[i].ID == 0 {
+			continue
+		}
+		attempt := func() error {
+			if bw, ok := m.T.(transport.BatchWriter); ok {
+				writes := make([]transport.BatchWrite, len(spans))
+				for j, s := range spans {
+					writes[j] = transport.BatchWrite{
+						Seg: r.handles[i].ID, Offset: s.lo, Data: r.Local[s.lo:s.hi],
+					}
+				}
+				return bw.WriteBatch(writes)
+			}
+			for _, s := range spans {
+				if err := m.T.Write(r.handles[i].ID, s.lo, r.Local[s.lo:s.hi]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := attempt(); err != nil {
+			if pingErr := m.T.Ping(); pingErr != nil {
+				c.down[i] = true
+				continue
+			}
+			// The node answers pings: transient failure — retry the
+			// batch once (it is atomic server-side, so a replay is
+			// idempotent).
+			if err2 := attempt(); err2 != nil {
+				return fmt.Errorf("netram: batch push to mirror %s: %w", m.Name, err)
+			}
+		}
+		pushed++
+	}
+	if pushed == 0 {
+		return fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
+	}
+	c.stats.Pushes += uint64(len(spans))
+	c.stats.PushedBytes += payload
+	c.stats.WireBytes += wireBytes * uint64(pushed)
+	return nil
+}
+
+// Fetch reads n bytes at offset from the first mirror that answers,
+// in declaration order. Used during recovery, when the local buffer's
+// content is gone.
+func (c *Client) Fetch(r *Region, offset, n uint64) ([]byte, error) {
+	if err := r.checkRange(offset, n); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i, m := range c.mirrors {
+		if r.handles[i].ID == 0 {
+			continue
+		}
+		data, err := m.T.Read(r.handles[i].ID, offset, uint32(n))
+		if err != nil {
+			lastErr = fmt.Errorf("netram: fetch from mirror %s: %w", m.Name, err)
+			continue
+		}
+		c.stats.Fetches++
+		c.stats.FetchedBytes += n
+		return data, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrAllMirrorsDown
+	}
+	return nil, fmt.Errorf("%w (last: %v)", ErrAllMirrorsDown, lastErr)
+}
+
+// FetchInto restores r.Local[offset:offset+n] from the mirrors.
+func (c *Client) FetchInto(r *Region, offset, n uint64) error {
+	data, err := c.Fetch(r, offset, n)
+	if err != nil {
+		return err
+	}
+	copy(r.Local[offset:], data)
+	return nil
+}
+
+// Connect re-maps an existing named region after the local node crashed:
+// it allocates a fresh local buffer and connects to the surviving remote
+// segments by name (the paper's sci_connect_segment). The local buffer is
+// NOT filled; recovery decides what to copy back.
+func (c *Client) Connect(name string) (*Region, error) {
+	r := &Region{Name: name, handles: make([]transport.SegmentHandle, len(c.mirrors))}
+	var size uint64
+	connected := 0
+	for i, m := range c.mirrors {
+		h, err := m.T.Connect(name)
+		if err != nil {
+			continue
+		}
+		r.handles[i] = h
+		if size == 0 {
+			size = h.Size
+		} else if h.Size != size {
+			return nil, fmt.Errorf("netram: mirror %s disagrees on size of %q: %d vs %d",
+				m.Name, name, h.Size, size)
+		}
+		connected++
+	}
+	if connected == 0 {
+		return nil, fmt.Errorf("netram: connect %q: %w", name, ErrAllMirrorsDown)
+	}
+	r.Local = make([]byte, size)
+	c.regions = append(c.regions, r)
+	return r, nil
+}
+
+// Revive reintegrates mirror i after its node was repaired: every live
+// region is re-exported there (reconnecting when the node still holds
+// the segment, re-allocating when its memory was lost) and refilled from
+// the local copy, after which the mirror resumes receiving pushes. This
+// restores the replication degree the paper's reliability argument rests
+// on — data are lost only if all mirrors fail in the same interval, so a
+// repaired node should rejoin as soon as it is back.
+func (c *Client) Revive(i int) error {
+	if i < 0 || i >= len(c.mirrors) {
+		return fmt.Errorf("netram: no mirror %d", i)
+	}
+	m := c.mirrors[i]
+	if err := m.T.Ping(); err != nil {
+		return fmt.Errorf("netram: mirror %s not back yet: %w", m.Name, err)
+	}
+	for _, r := range c.regions {
+		h, err := m.T.Connect(r.Name)
+		if err != nil || h.Size != r.Size() {
+			// The node lost (or never had) the segment: export afresh.
+			if h.ID != 0 && h.Size != r.Size() {
+				_ = m.T.Free(h.ID)
+			}
+			h, err = m.T.Malloc(r.Name, r.Size())
+			if err != nil {
+				return fmt.Errorf("netram: re-export %q on %s: %w", r.Name, m.Name, err)
+			}
+		}
+		if err := m.T.Write(h.ID, 0, r.Local); err != nil {
+			return fmt.Errorf("netram: resync %q to %s: %w", r.Name, m.Name, err)
+		}
+		r.handles[i] = h
+	}
+	c.down[i] = false
+	return nil
+}
+
+// ReplaceMirror substitutes a brand-new node for mirror i — the case
+// where a workstation leaves the pool for good (its owner reclaimed it,
+// or the hardware died) and a different machine donates its idle memory
+// instead. Every live region is exported on the newcomer and filled from
+// the local copies; the old transport is closed.
+func (c *Client) ReplaceMirror(i int, m Mirror) error {
+	if i < 0 || i >= len(c.mirrors) {
+		return fmt.Errorf("netram: no mirror %d", i)
+	}
+	if m.T == nil {
+		return fmt.Errorf("netram: replacement mirror %q has no transport", m.Name)
+	}
+	if err := m.T.Ping(); err != nil {
+		return fmt.Errorf("netram: replacement mirror %s unreachable: %w", m.Name, err)
+	}
+	old := c.mirrors[i]
+	c.mirrors[i] = m
+	c.down[i] = true // fence pushes off the slot while it refills
+	for _, r := range c.regions {
+		r.handles[i] = transport.SegmentHandle{}
+	}
+	if err := c.Revive(i); err != nil {
+		// Roll the slot back so the client stays usable degraded.
+		c.mirrors[i] = old
+		return fmt.Errorf("netram: replacement resync failed: %w", err)
+	}
+	_ = old.T.Close()
+	return nil
+}
+
+// Mismatch describes one divergence Verify found.
+type Mismatch struct {
+	// Mirror names the diverging node.
+	Mirror string
+	// Region names the diverging region.
+	Region string
+	// Offset is the first differing byte.
+	Offset uint64
+}
+
+// Error implements the error interface.
+func (m Mismatch) Error() string {
+	return fmt.Sprintf("netram: mirror %s diverges from local %q at byte %d",
+		m.Mirror, m.Region, m.Offset)
+}
+
+// Verify audits a region: it fetches the full contents from every live
+// mirror and compares them with the local copy, returning one Mismatch
+// per diverging mirror. Intended for operational tooling and tests; it
+// moves the whole region over the interconnect.
+func (c *Client) Verify(r *Region) ([]Mismatch, error) {
+	var out []Mismatch
+	checked := 0
+	for i, m := range c.mirrors {
+		if c.down[i] || r.handles[i].ID == 0 {
+			continue
+		}
+		remote, err := m.T.Read(r.handles[i].ID, 0, uint32(r.Size()))
+		if err != nil {
+			return nil, fmt.Errorf("netram: verify %q on %s: %w", r.Name, m.Name, err)
+		}
+		checked++
+		for off := range remote {
+			if remote[off] != r.Local[off] {
+				out = append(out, Mismatch{Mirror: m.Name, Region: r.Name, Offset: uint64(off)})
+				break
+			}
+		}
+	}
+	if checked == 0 {
+		return nil, fmt.Errorf("netram: verify %q: %w", r.Name, ErrAllMirrorsDown)
+	}
+	return out, nil
+}
+
+// Ping checks that every mirror is alive, returning the first failure.
+func (c *Client) Ping() error {
+	for _, m := range c.mirrors {
+		if err := m.T.Ping(); err != nil {
+			return fmt.Errorf("netram: mirror %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// expandEdges applies the optimised sci_memcpy strategy: a partially
+// covered 64-byte edge chunk drains as a set of 16-byte packets, so when
+// the copy touches three or more 16-byte slots of an edge chunk it is
+// cheaper to widen the copy and send the whole chunk as one full 64-byte
+// packet. Interior chunks are full either way. The widened bytes are
+// identical on the local buffer and its mirrors, so the expansion never
+// changes remote contents.
+func expandEdges(lo, hi, size uint64) (uint64, uint64) {
+	const slot = sci.SmallPacketSize
+	if head := lo % sci.BufferSize; head != 0 {
+		chunkEnd := sci.AlignDown(lo) + sci.BufferSize
+		edgeHi := hi
+		if edgeHi > chunkEnd {
+			edgeHi = chunkEnd
+		}
+		slots := (edgeHi-1)/slot - lo/slot + 1
+		if slots >= 3 {
+			lo = sci.AlignDown(lo)
+		}
+	}
+	if tail := hi % sci.BufferSize; tail != 0 && sci.AlignUp(hi) <= size {
+		chunkStart := sci.AlignDown(hi - 1)
+		edgeLo := lo
+		if edgeLo < chunkStart {
+			edgeLo = chunkStart
+		}
+		slots := (hi-1)/slot - edgeLo/slot + 1
+		if slots >= 3 {
+			hi = sci.AlignUp(hi)
+		}
+	}
+	return lo, hi
+}
+
+func (r *Region) checkRange(offset, n uint64) error {
+	if offset > r.Size() || n > r.Size()-offset {
+		return fmt.Errorf("%w: [%d,+%d) in %d-byte region %q",
+			ErrBadRange, offset, n, r.Size(), r.Name)
+	}
+	return nil
+}

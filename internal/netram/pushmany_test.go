@@ -1,0 +1,174 @@
+package netram
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/transport"
+	"github.com/ics-forth/perseas/internal/wire"
+)
+
+func TestPushManyMatchesIndividualPushes(t *testing.T) {
+	batched := newRig(t, 2)
+	plain := newRig(t, 2)
+	regB, err := batched.client.Malloc("db", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regP, err := plain.client.Malloc("db", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range regB.Local {
+		regB.Local[i] = byte(i * 13)
+		regP.Local[i] = byte(i * 13)
+	}
+	ranges := []Range{{Offset: 0, Length: 64}, {Offset: 500, Length: 40}, {Offset: 1500, Length: 8}}
+
+	t0 := batched.clock.Now()
+	if err := batched.client.PushMany(regB, ranges); err != nil {
+		t.Fatal(err)
+	}
+	batchedCost := batched.clock.Now() - t0
+
+	t0 = plain.clock.Now()
+	for _, r := range ranges {
+		if err := plain.client.Push(regP, r.Offset, r.Length); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plainCost := plain.clock.Now() - t0
+
+	// The SCI model must price the batch exactly like individual stores
+	// (the batch only saves round trips on transports that have them).
+	if batchedCost != plainCost {
+		t.Errorf("batched cost %v != per-range cost %v", batchedCost, plainCost)
+	}
+	// And both leave identical bytes on every mirror.
+	for i := range batched.servers {
+		sb, err := batched.servers[i].Connect("db")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := plain.servers[i].Connect("db")
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, _ := batched.servers[i].Read(sb.ID, 0, 2048)
+		dp, _ := plain.servers[i].Read(sp.ID, 0, 2048)
+		if !bytes.Equal(db, dp) {
+			t.Errorf("mirror %d contents diverge between batched and plain pushes", i)
+		}
+	}
+	// Stats agree too.
+	if batched.client.Stats() != plain.client.Stats() {
+		t.Errorf("stats diverge: %+v vs %+v", batched.client.Stats(), plain.client.Stats())
+	}
+}
+
+// unbatched hides the BatchWriter capability of an inner transport so the
+// fallback loop is exercised.
+type unbatched struct {
+	transport.Transport
+}
+
+func TestPushManyFallsBackWithoutBatchSupport(t *testing.T) {
+	r := newRig(t, 1)
+	c, err := NewClient([]Mirror{{Name: "plain", T: unbatched{r.client.mirrors[0].T}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := c.Malloc("db", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(reg.Local[100:], []byte("fallback"))
+	if err := c.PushMany(reg, []Range{{Offset: 100, Length: 8}, {Offset: 500, Length: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := r.servers[0].Connect("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.servers[0].Read(seg.ID, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fallback" {
+		t.Errorf("mirror holds %q", got)
+	}
+}
+
+func TestPushManyValidation(t *testing.T) {
+	r := newRig(t, 1)
+	reg, err := r.client.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.client.PushMany(reg, []Range{{Offset: 0, Length: 8}, {Offset: 60, Length: 8}})
+	if !errors.Is(err, ErrBadRange) {
+		t.Errorf("overflow batch: %v", err)
+	}
+	// Nothing was pushed: validation precedes transmission.
+	if st := r.client.Stats(); st.Pushes != 0 {
+		t.Errorf("partial batch transmitted: %+v", st)
+	}
+	if err := r.client.PushMany(reg, nil); err != nil {
+		t.Errorf("empty batch should be a no-op: %v", err)
+	}
+	if err := r.client.PushMany(reg, []Range{{Offset: 0, Length: 0}}); err != nil {
+		t.Errorf("zero-length ranges should be skipped: %v", err)
+	}
+}
+
+func TestPushManySurvivesMirrorDeath(t *testing.T) {
+	r := newRig(t, 2)
+	reg, err := r.client.Malloc("db", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.PushAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	r.servers[0].Crash()
+	copy(reg.Local, []byte("survivors"))
+	if err := r.client.PushMany(reg, []Range{{Offset: 0, Length: 9}}); err != nil {
+		t.Fatalf("batch push with one mirror down: %v", err)
+	}
+	if got := r.client.Live(); got != 1 {
+		t.Errorf("Live = %d, want 1", got)
+	}
+	r.servers[1].Crash()
+	if err := r.client.PushMany(reg, []Range{{Offset: 0, Length: 9}}); !errors.Is(err, ErrAllMirrorsDown) {
+		t.Errorf("all down: %v", err)
+	}
+}
+
+func TestServerWriteBatchAtomicity(t *testing.T) {
+	r := newRig(t, 1)
+	reg, err := r.client.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(reg.Local, []byte("untouched"))
+	if err := r.client.PushAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	// A batch whose second entry is invalid must leave the first
+	// unapplied on the server.
+	err = r.servers[0].WriteBatch([]wire.BatchEntry{
+		{Seg: reg.Handle(0).ID, Offset: 0, Data: []byte("DIRTY")},
+		{Seg: 9999, Offset: 0, Data: []byte("bad")},
+	})
+	if err == nil {
+		t.Fatal("invalid batch should fail")
+	}
+	got, err := r.servers[0].Read(reg.Handle(0).ID, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "untouched" {
+		t.Errorf("batch was not atomic: %q", got)
+	}
+}

@@ -1,0 +1,282 @@
+package netram
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+func TestReviveRestoresReplication(t *testing.T) {
+	r := newRig(t, 2)
+	reg, err := r.client.Malloc("db", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(reg.Local, []byte("replicated state"))
+	if err := r.client.PushAll(reg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror 0 dies and is degraded; commits continue on mirror 1.
+	r.servers[0].Crash()
+	copy(reg.Local, []byte("REPLICATED STATE"))
+	if err := r.client.Push(reg, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.client.Live(); got != 1 {
+		t.Fatalf("Live = %d, want 1", got)
+	}
+
+	// The node is repaired (empty memory) and rejoins.
+	r.servers[0].Restart()
+	if err := r.client.Revive(0); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	if got := r.client.Live(); got != 2 {
+		t.Errorf("Live = %d, want 2 after revive", got)
+	}
+
+	// The revived mirror holds the full current contents.
+	seg, err := r.servers[0].Connect("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.servers[0].Read(seg.ID, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "REPLICATED STATE" {
+		t.Errorf("revived mirror holds %q", got)
+	}
+
+	// And it receives subsequent pushes.
+	copy(reg.Local, []byte("post-revive data"))
+	if err := r.client.Push(reg, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.servers[0].Read(seg.ID, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "post-revive data" {
+		t.Errorf("revived mirror missed a push: %q", got)
+	}
+}
+
+func TestReviveWhileNodeStillDown(t *testing.T) {
+	r := newRig(t, 2)
+	if _, err := r.client.Malloc("db", 64); err != nil {
+		t.Fatal(err)
+	}
+	r.servers[1].Crash()
+	if err := r.client.Revive(1); err == nil {
+		t.Error("revive of a dead node should fail")
+	}
+	if err := r.client.Revive(7); err == nil {
+		t.Error("revive of a nonexistent mirror should fail")
+	}
+}
+
+func TestReviveNodeThatKeptItsMemory(t *testing.T) {
+	// A network partition, not a crash: the node still holds the
+	// segments. Revive reconnects and resyncs without re-allocating.
+	r := newRig(t, 2)
+	reg, err := r.client.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(reg.Local, []byte("fresh"))
+	if err := r.client.PushAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate partition by marking it down manually via a failed push.
+	r.servers[0].Crash()
+	_ = r.client.Push(reg, 0, 5)
+	r.servers[0].Restart()
+
+	// After Restart the memserver has lost memory (crash semantics), so
+	// this exercises the re-malloc path; now test the reconnect path on
+	// the OTHER mirror: free nothing, just revive a healthy one.
+	if err := r.client.Revive(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.Revive(1); err != nil {
+		t.Fatalf("revive of a healthy mirror should be a resync no-op: %v", err)
+	}
+	mismatches, err := r.client.Verify(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Errorf("mirrors diverge after revive: %v", mismatches)
+	}
+}
+
+func TestReplaceMirrorMigratesToNewNode(t *testing.T) {
+	r := newRig(t, 2)
+	reg, err := r.client.Malloc("db", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(reg.Local, []byte("migrate me"))
+	if err := r.client.PushAll(reg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 0's owner reclaims it; a fresh machine joins in its place.
+	newcomer := memserver.New(memserver.WithLabel("newcomer"))
+	tr, err := transport.NewInProc(newcomer, sci.DefaultParams(), r.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.ReplaceMirror(0, Mirror{Name: "newcomer", T: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.client.Live(); got != 2 {
+		t.Errorf("Live = %d, want 2", got)
+	}
+	// The newcomer carries the data and receives pushes.
+	seg, err := newcomer.Connect("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := newcomer.Read(seg.ID, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "migrate me" {
+		t.Errorf("newcomer holds %q", got)
+	}
+	copy(reg.Local, []byte("post-swap!"))
+	if err := r.client.Push(reg, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = newcomer.Read(seg.ID, 0, 10)
+	if string(got) != "post-swap!" {
+		t.Errorf("newcomer missed a push: %q", got)
+	}
+
+	// Recovery can now be served by the newcomer alone.
+	r.servers[1].Crash()
+	data, err := r.client.Fetch(reg, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "post-swap!" {
+		t.Errorf("fetch via newcomer = %q", data)
+	}
+}
+
+func TestReplaceMirrorValidation(t *testing.T) {
+	r := newRig(t, 1)
+	if _, err := r.client.Malloc("db", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.ReplaceMirror(5, Mirror{}); err == nil {
+		t.Error("bad index should fail")
+	}
+	if err := r.client.ReplaceMirror(0, Mirror{Name: "nil"}); err == nil {
+		t.Error("nil transport should fail")
+	}
+	dead := memserver.New()
+	dead.Crash()
+	tr, err := transport.NewInProc(dead, sci.DefaultParams(), r.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.ReplaceMirror(0, Mirror{Name: "dead", T: tr}); err == nil {
+		t.Error("dead replacement should fail")
+	}
+	// The original mirror still serves after the failed swap.
+	reg, err := r.client.Malloc("still-works", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.PushAll(reg); err != nil {
+		t.Errorf("client unusable after failed replacement: %v", err)
+	}
+}
+
+func TestVerifyDetectsDivergence(t *testing.T) {
+	r := newRig(t, 2)
+	reg, err := r.client.Malloc("db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(reg.Local, []byte("agreed"))
+	if err := r.client.PushAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	mismatches, err := r.client.Verify(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("clean mirrors reported %v", mismatches)
+	}
+
+	// Corrupt one mirror behind the client's back.
+	seg, err := r.servers[1].Connect("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.servers[1].Write(seg.ID, 3, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	mismatches, err = r.client.Verify(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 1 {
+		t.Fatalf("mismatches = %v, want exactly one", mismatches)
+	}
+	if mismatches[0].Offset != 3 || mismatches[0].Region != "db" {
+		t.Errorf("mismatch = %+v", mismatches[0])
+	}
+	if mismatches[0].Error() == "" {
+		t.Error("mismatch should format as an error")
+	}
+}
+
+func TestVerifyAllMirrorsDown(t *testing.T) {
+	r := newRig(t, 1)
+	reg, err := r.client.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.servers[0].Crash()
+	if _, err := r.client.Verify(reg); !errors.Is(err, ErrAllMirrorsDown) && err == nil {
+		t.Errorf("verify with mirrors down: %v", err)
+	}
+}
+
+func TestFreeUnregistersFromRevive(t *testing.T) {
+	r := newRig(t, 2)
+	keep, err := r.client.Malloc("keep", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone, err := r.client.Malloc("gone", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.Free(gone); err != nil {
+		t.Fatal(err)
+	}
+	r.servers[0].Crash()
+	_ = r.client.Push(keep, 0, 4) // degrade mirror 0
+	r.servers[0].Restart()
+	if err := r.client.Revive(0); err != nil {
+		t.Fatal(err)
+	}
+	// Only the live region was re-exported.
+	if _, err := r.servers[0].Connect("keep"); err != nil {
+		t.Errorf("keep missing after revive: %v", err)
+	}
+	if _, err := r.servers[0].Connect("gone"); err == nil {
+		t.Error("freed region resurrected by revive")
+	}
+}

@@ -1,0 +1,271 @@
+// Package rig assembles ready-to-run laboratory set-ups: each transaction
+// engine wired to its substrates over a shared deterministic clock. The
+// benchmark harness, the command-line tools and the Go benchmarks all
+// build their engines here so every reproduced figure uses identical
+// configurations.
+package rig
+
+import (
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/aries"
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/disk"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/riofs"
+	"github.com/ics-forth/perseas/internal/riorvm"
+	"github.com/ics-forth/perseas/internal/rvm"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+	"github.com/ics-forth/perseas/internal/vista"
+	"github.com/ics-forth/perseas/internal/walnet"
+)
+
+// Config sizes the laboratory.
+type Config struct {
+	// Mirrors is the PERSEAS/WAL-net replication degree (>= 1).
+	Mirrors int
+	// DeviceSize is the simulated disk capacity for disk-backed
+	// engines.
+	DeviceSize uint64
+	// StoreSize is the image+log store size for Rio/WAL-net engines.
+	StoreSize uint64
+	// LogSize is the redo log capacity for WAL engines.
+	LogSize uint64
+	// UndoLogSize is the PERSEAS/Vista undo log capacity.
+	UndoLogSize uint64
+	// UPS marks Rio machines as UPS-protected.
+	UPS bool
+	// NoAlignment disables the PERSEAS 64-byte push expansion
+	// (ablation).
+	NoAlignment bool
+	// NoRemoteUndo disables the PERSEAS remote undo-log push
+	// (ablation; breaks recoverability, measurement only).
+	NoRemoteUndo bool
+	// HardwareMirroring models a NIC with transparent mirroring support
+	// (PRAM / Telegraphos / SHRIMP): one store reaches every mirror for
+	// the price of one.
+	HardwareMirroring bool
+	// SCIParams overrides the interconnect timing constants (used by
+	// the technology-trend experiment). Zero value selects the
+	// calibrated defaults.
+	SCIParams *sci.Params
+	// DiskParams overrides the magnetic-disk timing for disk-backed
+	// engines; nil selects the defaults for DeviceSize.
+	DiskParams *disk.Params
+	// GroupCommit enables RVM group commit.
+	GroupCommit bool
+	// GroupSize is the RVM group-commit batch bound.
+	GroupSize int
+}
+
+// DefaultConfig fits the paper's benchmarks: databases up to a few tens
+// of megabytes, logs sized generously.
+func DefaultConfig() Config {
+	return Config{
+		Mirrors:     1,
+		DeviceSize:  96 << 20,
+		StoreSize:   64 << 20,
+		LogSize:     16 << 20,
+		UndoLogSize: 8 << 20,
+		GroupSize:   32,
+	}
+}
+
+// Lab is one wired engine plus the handles tests and benchmarks poke at.
+type Lab struct {
+	Engine engine.Engine
+	Clock  *simclock.SimClock
+	// Servers holds the remote memory nodes of network-RAM engines.
+	Servers []*memserver.Server
+	// Net is the network-RAM client of PERSEAS/WAL-net labs.
+	Net *netram.Client
+	// Dev is the magnetic disk of disk-backed labs.
+	Dev *disk.Disk
+	// Rio is the file cache of Rio-backed labs.
+	Rio *riofs.Store
+}
+
+// Builder constructs one lab; the string names the engine it builds.
+type Builder struct {
+	Name  string
+	Build func(Config) (*Lab, error)
+}
+
+// sciParams picks the configured or default interconnect constants.
+func (cfg Config) sciParams() sci.Params {
+	if cfg.SCIParams != nil {
+		return *cfg.SCIParams
+	}
+	return sci.DefaultParams()
+}
+
+// diskParams picks the configured or default disk constants.
+func (cfg Config) diskParams() disk.Params {
+	if cfg.DiskParams != nil {
+		return *cfg.DiskParams
+	}
+	return disk.DefaultParams(cfg.DeviceSize)
+}
+
+// newNetRAM wires a mirror set over one clock. With hardware mirroring
+// the whole group hides behind one transport whose NIC duplicates every
+// store; otherwise each mirror is a separate software-managed node.
+func newNetRAM(cfg Config, clock *simclock.SimClock, opts ...netram.Option) (*netram.Client, []*memserver.Server, error) {
+	if cfg.Mirrors < 1 {
+		return nil, nil, fmt.Errorf("rig: mirrors = %d, need >= 1", cfg.Mirrors)
+	}
+	params := cfg.sciParams()
+	var servers []*memserver.Server
+	for i := 0; i < cfg.Mirrors; i++ {
+		servers = append(servers, memserver.New(memserver.WithLabel(fmt.Sprintf("remote-%d", i))))
+	}
+	var mirrors []netram.Mirror
+	if cfg.HardwareMirroring {
+		hw, err := transport.NewHWMirror(servers, params, clock)
+		if err != nil {
+			return nil, nil, err
+		}
+		mirrors = []netram.Mirror{{Name: "hw-group", T: hw}}
+	} else {
+		for i, srv := range servers {
+			// Mirror i sits i hops further down the SCI ring.
+			tr, err := transport.NewInProc(srv, params, clock, transport.WithHops(i, params))
+			if err != nil {
+				return nil, nil, err
+			}
+			mirrors = append(mirrors, netram.Mirror{Name: srv.Label(), T: tr})
+		}
+	}
+	client, err := netram.NewClient(mirrors, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return client, servers, nil
+}
+
+// NewPerseas builds the PERSEAS lab.
+func NewPerseas(cfg Config) (*Lab, error) {
+	clock := simclock.NewSim()
+	var nopts []netram.Option
+	if cfg.NoAlignment {
+		nopts = append(nopts, netram.WithoutAlignment())
+	}
+	net, servers, err := newNetRAM(cfg, clock, nopts...)
+	if err != nil {
+		return nil, err
+	}
+	copts := []core.Option{core.WithUndoLogSize(cfg.UndoLogSize)}
+	if cfg.NoRemoteUndo {
+		copts = append(copts, core.WithUnsafeNoRemoteUndo())
+	}
+	lib, err := core.Init(net, clock, copts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{Engine: lib, Clock: clock, Servers: servers, Net: net}, nil
+}
+
+// NewRVM builds the classic disk-backed RVM lab.
+func NewRVM(cfg Config) (*Lab, error) {
+	clock := simclock.NewSim()
+	dev, err := disk.New(cfg.diskParams(), clock)
+	if err != nil {
+		return nil, err
+	}
+	opts := rvm.DefaultOptions()
+	opts.LogSize = cfg.LogSize
+	opts.GroupCommit = cfg.GroupCommit
+	opts.GroupSize = cfg.GroupSize
+	eng, err := rvm.New(rvm.NewDiskStore(dev), clock, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{Engine: eng, Clock: clock, Dev: dev}, nil
+}
+
+// NewRioRVM builds the RVM-on-Rio lab.
+func NewRioRVM(cfg Config) (*Lab, error) {
+	clock := simclock.NewSim()
+	p := riofs.DefaultParams()
+	p.HasUPS = cfg.UPS
+	rio := riofs.New(p, clock)
+	opts := rvm.DefaultOptions()
+	opts.LogSize = cfg.LogSize
+	eng, err := riorvm.New(rio, cfg.StoreSize, clock, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{Engine: eng, Clock: clock, Rio: rio}, nil
+}
+
+// NewVista builds the Vista lab.
+func NewVista(cfg Config) (*Lab, error) {
+	clock := simclock.NewSim()
+	p := riofs.DefaultParams()
+	p.HasUPS = cfg.UPS
+	rio := riofs.New(p, clock)
+	opts := vista.DefaultOptions()
+	opts.UndoLogSize = cfg.UndoLogSize
+	eng, err := vista.New(rio, clock, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{Engine: eng, Clock: clock, Rio: rio}, nil
+}
+
+// NewWalnet builds the WAL-on-network-memory lab.
+func NewWalnet(cfg Config) (*Lab, error) {
+	clock := simclock.NewSim()
+	net, servers, err := newNetRAM(cfg, clock, netram.WithoutAlignment())
+	if err != nil {
+		return nil, err
+	}
+	dev, err := disk.New(cfg.diskParams(), clock)
+	if err != nil {
+		return nil, err
+	}
+	opts := rvm.DefaultOptions()
+	opts.LogSize = cfg.LogSize
+	eng, err := walnet.New(net, dev, cfg.StoreSize, clock, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{Engine: eng, Clock: clock, Servers: servers, Net: net, Dev: dev}, nil
+}
+
+// NewARIES builds the ARIES reference baseline (cited by the paper as a
+// WAL exemplar; not part of its measured comparison, so not in All).
+func NewARIES(cfg Config) (*Lab, error) {
+	clock := simclock.NewSim()
+	dev, err := disk.New(cfg.diskParams(), clock)
+	if err != nil {
+		return nil, err
+	}
+	opts := aries.DefaultOptions()
+	opts.LogSize = cfg.LogSize
+	eng, err := aries.New(rvm.NewDiskStore(dev), clock, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{Engine: eng, Clock: clock, Dev: dev}, nil
+}
+
+// All returns the builders of every engine, in the order the comparison
+// tables report them.
+func All() []Builder {
+	return []Builder{
+		{Name: "perseas", Build: NewPerseas},
+		{Name: "rvm", Build: NewRVM},
+		{Name: "rvm-group", Build: func(cfg Config) (*Lab, error) {
+			cfg.GroupCommit = true
+			return NewRVM(cfg)
+		}},
+		{Name: "rvm-rio", Build: NewRioRVM},
+		{Name: "vista", Build: NewVista},
+		{Name: "wal-net", Build: NewWalnet},
+	}
+}

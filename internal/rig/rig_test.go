@@ -1,0 +1,172 @@
+package rig
+
+import (
+	"testing"
+)
+
+func TestAllBuildersProduceWorkingEngines(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			lab, err := b.Build(DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lab.Engine.Close()
+			if got := lab.Engine.Name(); got != b.Name {
+				t.Errorf("engine name %q != builder name %q", got, b.Name)
+			}
+			if lab.Clock == nil {
+				t.Fatal("lab has no clock")
+			}
+			db, err := lab.Engine.CreateDB("smoke", 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := lab.Engine.InitDB(db); err != nil {
+				t.Fatal(err)
+			}
+			t0 := lab.Clock.Now()
+			if err := lab.Engine.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			if err := lab.Engine.SetRange(db, 0, 16); err != nil {
+				t.Fatal(err)
+			}
+			copy(db.Bytes(), "rig smoke test!!")
+			if err := lab.Engine.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if lab.Clock.Now() <= t0 {
+				t.Error("transaction charged no virtual time")
+			}
+		})
+	}
+}
+
+func TestARIESBuilder(t *testing.T) {
+	lab, err := NewARIES(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Engine.Close()
+	if lab.Engine.Name() != "aries" || lab.Dev == nil {
+		t.Errorf("aries lab wrong: name=%q", lab.Engine.Name())
+	}
+	db, err := lab.Engine.CreateDB("db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Engine.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Engine.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Engine.SetRange(db, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Engine.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardwareMirroringConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mirrors = 3
+	cfg.HardwareMirroring = true
+	lab, err := NewPerseas(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three nodes behind one hardware-mirroring transport.
+	if len(lab.Servers) != 3 || lab.Net.Mirrors() != 1 {
+		t.Errorf("servers=%d netMirrors=%d, want 3/1", len(lab.Servers), lab.Net.Mirrors())
+	}
+}
+
+func TestPerseasMirrorCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mirrors = 3
+	lab, err := NewPerseas(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.Servers) != 3 || lab.Net.Mirrors() != 3 {
+		t.Errorf("servers=%d mirrors=%d, want 3", len(lab.Servers), lab.Net.Mirrors())
+	}
+	cfg.Mirrors = 0
+	if _, err := NewPerseas(cfg); err == nil {
+		t.Error("zero mirrors should be rejected")
+	}
+}
+
+func TestLabHandlesExposed(t *testing.T) {
+	perseas, err := NewPerseas(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perseas.Net == nil || len(perseas.Servers) == 0 || perseas.Dev != nil {
+		t.Error("perseas lab handles wrong")
+	}
+	rvm, err := NewRVM(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rvm.Dev == nil || rvm.Net != nil {
+		t.Error("rvm lab handles wrong")
+	}
+	rio, err := NewRioRVM(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rio.Rio == nil {
+		t.Error("rio lab handles wrong")
+	}
+	vista, err := NewVista(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vista.Rio == nil {
+		t.Error("vista lab handles wrong")
+	}
+	wal, err := NewWalnet(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wal.Dev == nil || wal.Net == nil {
+		t.Error("walnet lab handles wrong")
+	}
+}
+
+func TestAblationConfigsApply(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoRemoteUndo = true
+	cfg.NoAlignment = true
+	lab, err := NewPerseas(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := lab.Engine.CreateDB("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Engine.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Engine.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Engine.SetRange(db, 0, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Engine.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// No remote undo: the mirror saw the db push and the commit word
+	// and the metadata/directory pushes, but no undo-log write.
+	st := lab.Servers[0].Stats()
+	if st.WriteOps == 0 {
+		t.Fatal("no writes reached the mirror")
+	}
+}

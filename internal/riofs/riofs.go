@@ -1,0 +1,211 @@
+// Package riofs models the Rio file cache (Chen et al., ASPLOS 1996):
+// main memory that the operating system promises not to destroy on a
+// software crash. RVM-on-Rio writes its log through the file system
+// interface at memory speed; Vista maps Rio regions directly and
+// manipulates them with plain stores.
+//
+// The model provides both access styles with distinct costs, and a
+// crash switch that implements Rio's survival matrix: contents survive
+// process and OS crashes, but a power failure loses them unless the
+// machine is configured with a UPS — and even then the paper notes a UPS
+// can malfunction, which the Perseas two-machine mirror tolerates and a
+// single Rio machine does not.
+package riofs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/hostmem"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// Crash kinds are shared across substrates; see the fault package.
+type CrashKind = fault.CrashKind
+
+// Aliases so riofs callers can name crash kinds without importing fault.
+const (
+	CrashProcess = fault.CrashProcess
+	CrashOS      = fault.CrashOS
+	CrashPower   = fault.CrashPower
+)
+
+// Errors returned by the store.
+var (
+	// ErrBadRange is returned for out-of-bounds accesses.
+	ErrBadRange = errors.New("riofs: access out of bounds")
+	// ErrLost is returned when reading a region destroyed by a crash.
+	ErrLost = errors.New("riofs: contents lost in crash")
+	// ErrNoSuchRegion is returned for unknown region names.
+	ErrNoSuchRegion = errors.New("riofs: no such region")
+)
+
+// Params prices accesses to the file cache.
+type Params struct {
+	// FileWriteBase is the syscall-path overhead of one write() into
+	// the cache (RVM-on-Rio's log writes go this way).
+	FileWriteBase time.Duration
+	// Mem prices the underlying memory copies.
+	Mem hostmem.Model
+	// HasUPS marks the machine as UPS-protected: contents then survive
+	// power failures too.
+	HasUPS bool
+}
+
+// DefaultParams models the paper's platform: a ~20 us kernel write path
+// and era-appropriate copy bandwidth.
+func DefaultParams() Params {
+	return Params{
+		FileWriteBase: 20 * time.Microsecond,
+		Mem:           hostmem.Default(),
+	}
+}
+
+// Store is one machine's Rio file cache holding named regions.
+type Store struct {
+	params Params
+	clock  simclock.Clock
+
+	mu      sync.Mutex
+	regions map[string][]byte
+	lost    bool
+}
+
+// Params returns the store's configuration.
+func (s *Store) Params() Params { return s.params }
+
+// New creates an empty file cache charging time to clock.
+func New(params Params, clock simclock.Clock) *Store {
+	return &Store{
+		params:  params,
+		clock:   clock,
+		regions: make(map[string][]byte),
+	}
+}
+
+// Create allocates a zeroed region. Creating an existing name fails.
+func (s *Store) Create(name string, size uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lost {
+		return ErrLost
+	}
+	if _, ok := s.regions[name]; ok {
+		return fmt.Errorf("riofs: region %q exists", name)
+	}
+	s.regions[name] = make([]byte, size)
+	return nil
+}
+
+// Map returns the region's backing memory for direct stores — Vista's
+// access style. Writes through the returned slice are free of syscall
+// cost; callers charge hostmem copy costs themselves.
+func (s *Store) Map(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lost {
+		return nil, ErrLost
+	}
+	region, ok := s.regions[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchRegion, name)
+	}
+	return region, nil
+}
+
+// WriteFile copies data into a region through the file-system interface —
+// RVM-on-Rio's access style — charging the syscall base plus copy cost.
+func (s *Store) WriteFile(name string, offset uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lost {
+		return ErrLost
+	}
+	region, ok := s.regions[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchRegion, name)
+	}
+	if offset > uint64(len(region)) || uint64(len(data)) > uint64(len(region))-offset {
+		return fmt.Errorf("%w: [%d,+%d) in %d-byte region %q",
+			ErrBadRange, offset, len(data), len(region), name)
+	}
+	copy(region[offset:], data)
+	s.clock.Advance(s.params.FileWriteBase + s.params.Mem.CopyCost(len(data)))
+	return nil
+}
+
+// ReadFile copies data out of a region through the file-system interface.
+func (s *Store) ReadFile(name string, offset uint64, n int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lost {
+		return nil, ErrLost
+	}
+	region, ok := s.regions[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchRegion, name)
+	}
+	if n < 0 || offset > uint64(len(region)) || uint64(n) > uint64(len(region))-offset {
+		return nil, fmt.Errorf("%w: [%d,+%d) in %d-byte region %q",
+			ErrBadRange, offset, n, len(region), name)
+	}
+	out := make([]byte, n)
+	copy(out, region[offset:])
+	s.clock.Advance(s.params.FileWriteBase + s.params.Mem.CopyCost(n))
+	return out, nil
+}
+
+// Delete removes a region.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lost {
+		return ErrLost
+	}
+	if _, ok := s.regions[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchRegion, name)
+	}
+	delete(s.regions, name)
+	return nil
+}
+
+// Regions lists live region names (unsorted).
+func (s *Store) Regions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.regions))
+	for name := range s.regions {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Crash applies a failure of the given kind. Process and OS crashes leave
+// the cache intact — that is Rio's whole point; a power failure destroys
+// it unless the machine has a UPS.
+func (s *Store) Crash(kind CrashKind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if kind == CrashPower && !s.params.HasUPS {
+		s.regions = make(map[string][]byte)
+		s.lost = true
+	}
+}
+
+// Restart brings the machine back up. Surviving regions stay readable;
+// a store that lost its contents comes back empty but usable.
+func (s *Store) Restart() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lost = false
+}
+
+// Lost reports whether the last crash destroyed the cache.
+func (s *Store) Lost() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lost
+}

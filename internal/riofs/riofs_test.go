@@ -1,0 +1,188 @@
+package riofs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+func newStore(t *testing.T, mutate ...func(*Params)) (*Store, *simclock.SimClock) {
+	t.Helper()
+	clock := simclock.NewSim()
+	p := DefaultParams()
+	for _, m := range mutate {
+		m(&p)
+	}
+	return New(p, clock), clock
+}
+
+func TestCreateMapWrite(t *testing.T) {
+	s, _ := newStore(t)
+	if err := s.Create("vista.db", 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("vista.db", 256); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	mem, err := s.Map("vista.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(mem, []byte("direct store"))
+	again, err := s.Map("vista.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again[:12], []byte("direct store")) {
+		t.Error("mapped region not shared")
+	}
+	if _, err := s.Map("missing"); !errors.Is(err, ErrNoSuchRegion) {
+		t.Errorf("map missing: %v", err)
+	}
+}
+
+func TestFileInterfaceChargesSyscallCost(t *testing.T) {
+	s, clock := newStore(t)
+	if err := s.Create("rvm.log", 4096); err != nil {
+		t.Fatal(err)
+	}
+	t0 := clock.Now()
+	if err := s.WriteFile("rvm.log", 0, []byte("log record")); err != nil {
+		t.Fatal(err)
+	}
+	cost := clock.Now() - t0
+	// Syscall path: tens of microseconds, not milliseconds — that is
+	// why RVM-on-Rio beats RVM by orders of magnitude.
+	if cost < 15*time.Microsecond || cost > 100*time.Microsecond {
+		t.Errorf("file write cost %v, want tens of us", cost)
+	}
+	got, err := s.ReadFile("rvm.log", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "log record" {
+		t.Errorf("read %q", got)
+	}
+}
+
+func TestFileInterfaceBounds(t *testing.T) {
+	s, _ := newStore(t)
+	if err := s.Create("r", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile("r", 60, make([]byte, 8)); !errors.Is(err, ErrBadRange) {
+		t.Errorf("overflow write: %v", err)
+	}
+	if _, err := s.ReadFile("r", 0, 65); !errors.Is(err, ErrBadRange) {
+		t.Errorf("overflow read: %v", err)
+	}
+	if err := s.WriteFile("missing", 0, []byte{1}); !errors.Is(err, ErrNoSuchRegion) {
+		t.Errorf("write missing: %v", err)
+	}
+	if _, err := s.ReadFile("missing", 0, 1); !errors.Is(err, ErrNoSuchRegion) {
+		t.Errorf("read missing: %v", err)
+	}
+}
+
+func TestSurvivesProcessAndOSCrash(t *testing.T) {
+	for _, kind := range []CrashKind{CrashProcess, CrashOS} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s, _ := newStore(t)
+			if err := s.Create("db", 64); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.WriteFile("db", 0, []byte("survives")); err != nil {
+				t.Fatal(err)
+			}
+			s.Crash(kind)
+			s.Restart()
+			got, err := s.ReadFile("db", 0, 8)
+			if err != nil {
+				t.Fatalf("read after %v crash: %v", kind, err)
+			}
+			if string(got) != "survives" {
+				t.Errorf("read %q after %v crash", got, kind)
+			}
+		})
+	}
+}
+
+func TestPowerCrashLosesContentsWithoutUPS(t *testing.T) {
+	s, _ := newStore(t)
+	if err := s.Create("db", 64); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash(CrashPower)
+	if !s.Lost() {
+		t.Fatal("power crash without UPS should lose the cache")
+	}
+	if _, err := s.ReadFile("db", 0, 8); !errors.Is(err, ErrLost) {
+		t.Errorf("read after power crash: %v", err)
+	}
+	if err := s.Create("x", 8); !errors.Is(err, ErrLost) {
+		t.Errorf("create while down: %v", err)
+	}
+	s.Restart()
+	// The machine reboots with an empty cache.
+	if _, err := s.ReadFile("db", 0, 8); !errors.Is(err, ErrNoSuchRegion) {
+		t.Errorf("old region after reboot: %v", err)
+	}
+	if err := s.Create("db", 64); err != nil {
+		t.Errorf("create after reboot: %v", err)
+	}
+}
+
+func TestPowerCrashSurvivesWithUPS(t *testing.T) {
+	s, _ := newStore(t, func(p *Params) { p.HasUPS = true })
+	if err := s.Create("db", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile("db", 0, []byte("ups")); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash(CrashPower)
+	s.Restart()
+	got, err := s.ReadFile("db", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ups" {
+		t.Errorf("read %q, want ups", got)
+	}
+}
+
+func TestDeleteAndRegions(t *testing.T) {
+	s, _ := newStore(t)
+	if err := s.Create("a", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("b", 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Regions()); got != 2 {
+		t.Errorf("regions = %d, want 2", got)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); !errors.Is(err, ErrNoSuchRegion) {
+		t.Errorf("double delete: %v", err)
+	}
+	if got := len(s.Regions()); got != 1 {
+		t.Errorf("regions = %d, want 1", got)
+	}
+}
+
+func TestCrashKindString(t *testing.T) {
+	for kind, want := range map[CrashKind]string{
+		CrashProcess: "process", CrashOS: "os", CrashPower: "power",
+		CrashKind(9): "crash(9)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}

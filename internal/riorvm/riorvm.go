@@ -1,0 +1,70 @@
+// Package riorvm assembles the paper's second baseline: RVM running on
+// top of the Rio file cache. The write-ahead-logging protocol is
+// unchanged — package rvm provides it — but the redo log and database
+// images live in Rio, so a log force costs a kernel file write measured
+// in microseconds instead of a magnetic-disk write measured in
+// milliseconds. The price is the survival matrix: without a UPS, a power
+// failure destroys the cache and with it every committed transaction,
+// which is exactly the failure mode the PERSEAS two-machine mirror closes.
+package riorvm
+
+import (
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/riofs"
+	"github.com/ics-forth/perseas/internal/rvm"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// storeRegion is the Rio region backing the whole RVM store (images +
+// log), addressed by offset like a device.
+const storeRegion = "riorvm.store"
+
+// RioStore adapts a Rio file cache to rvm.StableStore.
+type RioStore struct {
+	rio  *riofs.Store
+	size uint64
+}
+
+// NewRioStore creates (or reuses) the backing region of the given size.
+func NewRioStore(rio *riofs.Store, size uint64) (*RioStore, error) {
+	if err := rio.Create(storeRegion, size); err != nil {
+		return nil, fmt.Errorf("riorvm: create store region: %w", err)
+	}
+	return &RioStore{rio: rio, size: size}, nil
+}
+
+// WriteSync implements rvm.StableStore via the file-write path: Rio makes
+// the write stable the moment the kernel copy completes.
+func (s *RioStore) WriteSync(offset uint64, data []byte) error {
+	return s.rio.WriteFile(storeRegion, offset, data)
+}
+
+// Read implements rvm.StableStore.
+func (s *RioStore) Read(offset uint64, n int) ([]byte, error) {
+	return s.rio.ReadFile(storeRegion, offset, n)
+}
+
+// Size implements rvm.StableStore.
+func (s *RioStore) Size() uint64 { return s.size }
+
+// Survives implements rvm.StableStore: Rio survives process and OS
+// crashes by construction; power failures only behind a UPS.
+func (s *RioStore) Survives(kind fault.CrashKind) bool {
+	return kind != fault.CrashPower || s.rio.Params().HasUPS
+}
+
+var _ rvm.StableStore = (*RioStore)(nil)
+
+// New builds the RVM-on-Rio baseline over the given file cache.
+func New(rio *riofs.Store, size uint64, clock simclock.Clock, opts rvm.Options) (*rvm.RVM, error) {
+	store, err := NewRioStore(rio, size)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Label == "" {
+		opts.Label = "rvm-rio"
+	}
+	return rvm.New(store, clock, opts)
+}

@@ -1,0 +1,104 @@
+package riorvm
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/enginetest"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/riofs"
+	"github.com/ics-forth/perseas/internal/rvm"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+func newRioRVM(t *testing.T, hasUPS bool) (*rvm.RVM, *simclock.SimClock) {
+	t.Helper()
+	clock := simclock.NewSim()
+	p := riofs.DefaultParams()
+	p.HasUPS = hasUPS
+	rio := riofs.New(p, clock)
+	opts := rvm.DefaultOptions()
+	opts.LogSize = 4 << 20
+	r, err := New(rio, 16<<20, clock, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, clock
+}
+
+func TestRioRVMConformance(t *testing.T) {
+	enginetest.Run(t, "rvm-rio",
+		func(t *testing.T) engine.Engine {
+			r, _ := newRioRVM(t, false)
+			return r
+		},
+		enginetest.Caps{
+			// Rio survives software crashes but not power loss.
+			SurvivesKind:    func(k fault.CrashKind) bool { return k != fault.CrashPower },
+			DurableOnCommit: true,
+		})
+}
+
+func TestRioRVMWithUPSConformance(t *testing.T) {
+	enginetest.Run(t, "rvm-rio-ups",
+		func(t *testing.T) engine.Engine {
+			r, _ := newRioRVM(t, true)
+			return r
+		},
+		enginetest.Caps{
+			SurvivesKind:    func(fault.CrashKind) bool { return true },
+			DurableOnCommit: true,
+		})
+}
+
+func TestName(t *testing.T) {
+	r, _ := newRioRVM(t, false)
+	if got := r.Name(); got != "rvm-rio" {
+		t.Errorf("Name = %q, want rvm-rio", got)
+	}
+}
+
+func TestCommitCostsMicrosecondsNotMilliseconds(t *testing.T) {
+	r, clock := newRioRVM(t, false)
+	db, err := r.CreateDB("db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	t0 := clock.Now()
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetRange(db, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	lat := clock.Now() - t0
+	// The log force is a kernel file write into memory: ~2 orders of
+	// magnitude faster than a magnetic-disk force, ~1-2 orders slower
+	// than PERSEAS's small remote writes.
+	if lat < 10*time.Microsecond || lat > time.Millisecond {
+		t.Errorf("RVM-on-Rio commit = %v, want tens-of-us scale", lat)
+	}
+}
+
+func TestStoreSizeTooBig(t *testing.T) {
+	clock := simclock.NewSim()
+	rio := riofs.New(riofs.DefaultParams(), clock)
+	store, err := NewRioStore(rio, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Size() != 1<<20 {
+		t.Errorf("Size = %d", store.Size())
+	}
+	// Second store on the same cache collides on the region name.
+	if _, err := NewRioStore(rio, 1<<20); err == nil {
+		t.Error("duplicate store region should fail")
+	}
+}

@@ -1,0 +1,585 @@
+// Package rvm reimplements the algorithmic core of RVM — Lightweight
+// Recoverable Virtual Memory (Satyanarayanan et al., TOCS 1994) — the
+// baseline the paper compares PERSEAS against.
+//
+// RVM follows the classic write-ahead-logging protocol of the paper's
+// Fig. 2. Three copies happen per update:
+//
+//  1. set_range copies the original data into an in-memory undo log
+//     (used to roll back aborts quickly);
+//  2. commit writes the new values of every declared range into the redo
+//     log on stable storage — a synchronous magnetic-disk write, which is
+//     the millisecond-scale cost PERSEAS eliminates;
+//  3. when the log fills past a threshold, a truncation pass applies the
+//     logged updates to the on-disk database image and reclaims the log.
+//
+// Recovery replays the redo log's committed transactions against the
+// disk image. An optional group-commit mode batches several transactions
+// per synchronous log write, trading latency for throughput — the
+// "sophisticated optimisation" the paper's conclusions mention.
+package rvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/hostmem"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// Stable-storage layout: the device holds the database image region at
+// the front and the redo log behind it.
+//
+// Redo log record:
+//
+//	[0:8)   transaction id
+//	[8:12)  database id
+//	[12:20) offset within the database
+//	[20:24) length
+//	[24:28) CRC-32C of header + data
+//	[28:29) flags (bit 0: last record of its transaction = commit point)
+//	[29:..) after-image bytes
+const (
+	logRecordHeader = 29
+	flagCommit      = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors specific to RVM.
+var (
+	// ErrLogFull is returned when the redo log cannot hold a
+	// transaction even after truncation.
+	ErrLogFull = errors.New("rvm: redo log full")
+	// ErrBadRange is returned for ranges outside a database.
+	ErrBadRange = errors.New("rvm: range outside database")
+	// ErrNoSuchDB is returned for unknown database names.
+	ErrNoSuchDB = errors.New("rvm: no such database")
+)
+
+// Options configure an RVM instance.
+type Options struct {
+	// LogSize is the redo log capacity on the device.
+	LogSize uint64
+	// GroupCommit batches up to GroupSize transactions per synchronous
+	// log force.
+	GroupCommit bool
+	// GroupSize is the maximum batch when GroupCommit is on.
+	GroupSize int
+	// TruncateAt triggers log truncation when occupancy exceeds this
+	// fraction.
+	TruncateAt float64
+	// Mem prices local copies.
+	Mem hostmem.Model
+	// SetRangeOverhead and CommitOverhead model RVM's software
+	// bookkeeping — range registration, log-record construction and
+	// buffer management. Lowell & Chen measured RVM's CPU path at
+	// hundreds of microseconds per transaction on hardware of this era,
+	// which is why RVM-on-Rio stays orders of magnitude slower than
+	// undo-only libraries even with a memory-speed log.
+	SetRangeOverhead time.Duration
+	CommitOverhead   time.Duration
+	// Label overrides the engine name reported to the harness
+	// ("rvm-rio" for the Rio-backed variant).
+	Label string
+}
+
+// DefaultOptions returns a configuration matching the era.
+func DefaultOptions() Options {
+	return Options{
+		LogSize:          8 << 20,
+		GroupSize:        32,
+		TruncateAt:       0.5,
+		Mem:              hostmem.Default(),
+		SetRangeOverhead: 80 * time.Microsecond,
+		CommitOverhead:   600 * time.Microsecond,
+	}
+}
+
+// pendingRange is one declared range of the open transaction.
+type pendingRange struct {
+	db     *database
+	offset uint64
+	length uint64
+	before []byte
+}
+
+// database is one RVM-managed region. The working copy lives in volatile
+// main memory; the durable image lives on the device.
+type database struct {
+	id      uint32
+	name    string
+	data    []byte
+	diskOff uint64
+	size    uint64
+	stale   bool
+}
+
+func (d *database) Name() string  { return d.name }
+func (d *database) Size() uint64  { return d.size }
+func (d *database) Bytes() []byte { return d.data }
+
+// RVM is one instance of the baseline. Like the paper's subject systems
+// it serves a single sequential application.
+type RVM struct {
+	opts  Options
+	clock simclock.Clock
+	store StableStore
+
+	dbs      map[string]*database
+	byID     map[uint32]*database
+	nextID   uint32
+	nextDisk uint64 // next free device offset for database images
+
+	logStart uint64 // device offset of the redo log
+	logHead  uint64 // append cursor, relative to logStart
+	lastTx   uint64
+
+	txActive bool
+	ranges   []pendingRange
+
+	// Group commit: transactions buffered since the last log force.
+	groupBuf   []byte
+	groupCount int
+
+	crashed bool
+	// lost is set when a crash destroyed the stable store itself
+	// (e.g. power failure under RVM-on-Rio without a UPS).
+	lost  bool
+	stats Stats
+}
+
+// Stats counts RVM activity.
+type Stats struct {
+	Begun       uint64
+	Committed   uint64
+	Aborted     uint64
+	SetRanges   uint64
+	LogForces   uint64
+	Truncations uint64
+	Recoveries  uint64
+}
+
+// New builds an RVM over the given stable store. The log occupies the
+// tail of the store.
+func New(store StableStore, clock simclock.Clock, opts Options) (*RVM, error) {
+	if opts.LogSize == 0 || opts.LogSize >= store.Size() {
+		return nil, fmt.Errorf("rvm: log size %d must be in (0, store size %d)", opts.LogSize, store.Size())
+	}
+	if opts.GroupSize <= 0 {
+		opts.GroupSize = 1
+	}
+	if opts.TruncateAt <= 0 || opts.TruncateAt > 1 {
+		opts.TruncateAt = 0.5
+	}
+	return &RVM{
+		opts:     opts,
+		clock:    clock,
+		store:    store,
+		dbs:      make(map[string]*database),
+		byID:     make(map[uint32]*database),
+		nextID:   1,
+		logStart: store.Size() - opts.LogSize,
+	}, nil
+}
+
+// Name implements engine.Engine.
+func (r *RVM) Name() string {
+	if r.opts.Label != "" {
+		return r.opts.Label
+	}
+	if r.opts.GroupCommit {
+		return "rvm-group"
+	}
+	return "rvm"
+}
+
+// Stats returns a snapshot of the counters.
+func (r *RVM) Stats() Stats { return r.stats }
+
+func (r *RVM) checkAlive() error {
+	if r.crashed {
+		return engine.ErrCrashed
+	}
+	return nil
+}
+
+// CreateDB implements engine.Engine. The database image is carved out of
+// the device front; the working copy is volatile main memory.
+func (r *RVM) CreateDB(name string, size uint64) (engine.DB, error) {
+	if err := r.checkAlive(); err != nil {
+		return nil, err
+	}
+	if _, ok := r.dbs[name]; ok {
+		return nil, fmt.Errorf("rvm: database %q exists", name)
+	}
+	if r.nextDisk+size > r.logStart {
+		return nil, fmt.Errorf("rvm: device full: need %d, %d free before log", size, r.logStart-r.nextDisk)
+	}
+	db := &database{
+		id:      r.nextID,
+		name:    name,
+		data:    make([]byte, size),
+		diskOff: r.nextDisk,
+		size:    size,
+	}
+	r.nextID++
+	r.nextDisk += size
+	r.dbs[name] = db
+	r.byID[db.id] = db
+	return db, nil
+}
+
+// InitDB implements engine.Engine: write the initial image to the device.
+func (r *RVM) InitDB(db engine.DB) error {
+	if err := r.checkAlive(); err != nil {
+		return err
+	}
+	d, err := r.own(db)
+	if err != nil {
+		return err
+	}
+	return r.store.WriteSync(d.diskOff, d.data)
+}
+
+// OpenDB implements engine.Engine.
+func (r *RVM) OpenDB(name string) (engine.DB, error) {
+	if err := r.checkAlive(); err != nil {
+		return nil, err
+	}
+	db, ok := r.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDB, name)
+	}
+	return db, nil
+}
+
+func (r *RVM) own(db engine.DB) (*database, error) {
+	d, ok := db.(*database)
+	if !ok {
+		return nil, fmt.Errorf("rvm: foreign DB handle %T", db)
+	}
+	if d.stale {
+		return nil, errors.New("rvm: stale database handle; reopen after recovery")
+	}
+	if r.byID[d.id] != d {
+		return nil, fmt.Errorf("rvm: unknown database handle %q", d.name)
+	}
+	return d, nil
+}
+
+// Begin implements engine.Engine.
+func (r *RVM) Begin() error {
+	if err := r.checkAlive(); err != nil {
+		return err
+	}
+	if r.txActive {
+		return engine.ErrInTransaction
+	}
+	r.lastTx++
+	r.txActive = true
+	r.ranges = r.ranges[:0]
+	r.stats.Begun++
+	return nil
+}
+
+// SetRange implements engine.Engine: copy the original data into the
+// in-memory undo log (Fig. 2 step 1).
+func (r *RVM) SetRange(db engine.DB, offset, length uint64) error {
+	if err := r.checkAlive(); err != nil {
+		return err
+	}
+	if !r.txActive {
+		return engine.ErrNoTransaction
+	}
+	d, err := r.own(db)
+	if err != nil {
+		return err
+	}
+	if offset > d.size || length > d.size-offset {
+		return fmt.Errorf("%w: [%d,+%d) in %d-byte database %q",
+			ErrBadRange, offset, length, d.size, d.name)
+	}
+	before := make([]byte, length)
+	r.opts.Mem.Copy(r.clock, before, d.data[offset:offset+length])
+	r.clock.Advance(r.opts.SetRangeOverhead)
+	r.ranges = append(r.ranges, pendingRange{db: d, offset: offset, length: length, before: before})
+	r.stats.SetRanges++
+	return nil
+}
+
+// encodeRecord appends one redo record to buf.
+func encodeRecord(buf []byte, txID uint64, dbID uint32, offset uint64, data []byte, last bool) []byte {
+	var h [logRecordHeader]byte
+	binary.BigEndian.PutUint64(h[0:], txID)
+	binary.BigEndian.PutUint32(h[8:], dbID)
+	binary.BigEndian.PutUint64(h[12:], offset)
+	binary.BigEndian.PutUint32(h[20:], uint32(len(data)))
+	crc := crc32.Update(0, crcTable, h[:24])
+	crc = crc32.Update(crc, crcTable, data)
+	binary.BigEndian.PutUint32(h[24:], crc)
+	if last {
+		h[28] = flagCommit
+	}
+	buf = append(buf, h[:]...)
+	return append(buf, data...)
+}
+
+// Commit implements engine.Engine: the modifications propagate to the
+// redo log in stable storage (Fig. 2 step 2) with a synchronous device
+// write — the cost that ties RVM to magnetic-disk speed.
+func (r *RVM) Commit() error {
+	if err := r.checkAlive(); err != nil {
+		return err
+	}
+	if !r.txActive {
+		return engine.ErrNoTransaction
+	}
+
+	r.clock.Advance(r.opts.CommitOverhead)
+	var rec []byte
+	for i, rg := range r.ranges {
+		after := rg.db.data[rg.offset : rg.offset+rg.length]
+		// Building the log record is itself a local copy.
+		r.clock.Advance(r.opts.Mem.CopyCost(int(rg.length) + logRecordHeader))
+		rec = encodeRecord(rec, r.lastTx, rg.db.id, rg.offset, after, i == len(r.ranges)-1)
+	}
+	if len(r.ranges) == 0 {
+		// Empty transaction: still a commit record so recovery sees it.
+		rec = encodeRecord(rec, r.lastTx, 0, 0, nil, true)
+	}
+
+	if r.opts.GroupCommit {
+		r.groupBuf = append(r.groupBuf, rec...)
+		r.groupCount++
+		if r.groupCount >= r.opts.GroupSize {
+			if err := r.forceGroup(); err != nil {
+				return err
+			}
+		}
+	} else {
+		if err := r.appendLog(rec); err != nil {
+			return err
+		}
+	}
+
+	r.txActive = false
+	r.ranges = r.ranges[:0]
+	r.stats.Committed++
+
+	if float64(r.logHead) > float64(r.opts.LogSize)*r.opts.TruncateAt {
+		return r.truncate()
+	}
+	return nil
+}
+
+// forceGroup flushes the batched commit records with one log force.
+func (r *RVM) forceGroup() error {
+	if len(r.groupBuf) == 0 {
+		return nil
+	}
+	if err := r.appendLog(r.groupBuf); err != nil {
+		return err
+	}
+	r.groupBuf = r.groupBuf[:0]
+	r.groupCount = 0
+	return nil
+}
+
+// Flush forces any batched group-commit records to stable storage.
+// Transactions are only durable once their records are forced.
+func (r *RVM) Flush() error {
+	if err := r.checkAlive(); err != nil {
+		return err
+	}
+	return r.forceGroup()
+}
+
+// appendLog writes rec at the log head with a synchronous device write.
+func (r *RVM) appendLog(rec []byte) error {
+	if r.logHead+uint64(len(rec)) > r.opts.LogSize {
+		if err := r.truncate(); err != nil {
+			return err
+		}
+		if r.logHead+uint64(len(rec)) > r.opts.LogSize {
+			return fmt.Errorf("%w: record %d bytes, log %d", ErrLogFull, len(rec), r.opts.LogSize)
+		}
+	}
+	if err := r.store.WriteSync(r.logStart+r.logHead, rec); err != nil {
+		return err
+	}
+	r.logHead += uint64(len(rec))
+	r.stats.LogForces++
+	return nil
+}
+
+// truncate applies the logged after-images to the database disk images
+// and reclaims the log (Fig. 2 step 3).
+func (r *RVM) truncate() error {
+	// The log's committed records are already reflected in the volatile
+	// working copies; writing those back is equivalent to replaying the
+	// log and far cheaper to model.
+	for id := uint32(1); id < r.nextID; id++ {
+		db, ok := r.byID[id]
+		if !ok {
+			continue
+		}
+		if err := r.store.WriteSync(db.diskOff, db.data); err != nil {
+			return err
+		}
+	}
+	// Erase the log head marker: a zeroed first header stops replay.
+	var zero [logRecordHeader]byte
+	if err := r.store.WriteSync(r.logStart, zero[:]); err != nil {
+		return err
+	}
+	r.logHead = 0
+	r.stats.Truncations++
+	return nil
+}
+
+// Abort implements engine.Engine: restore before-images from the
+// in-memory undo log, newest first.
+func (r *RVM) Abort() error {
+	if err := r.checkAlive(); err != nil {
+		return err
+	}
+	if !r.txActive {
+		return engine.ErrNoTransaction
+	}
+	for i := len(r.ranges) - 1; i >= 0; i-- {
+		rg := r.ranges[i]
+		r.opts.Mem.Copy(r.clock, rg.db.data[rg.offset:rg.offset+rg.length], rg.before)
+	}
+	r.txActive = false
+	r.ranges = r.ranges[:0]
+	r.stats.Aborted++
+	return nil
+}
+
+// Crash implements engine.Engine: volatile state is lost for every crash
+// kind, and the stable store itself is consulted for survival (a disk
+// survives everything; a Rio cache does not survive power loss).
+func (r *RVM) Crash(kind fault.CrashKind) error {
+	r.crashed = true
+	if !r.store.Survives(kind) {
+		r.lost = true
+	}
+	for _, db := range r.dbs {
+		db.stale = true
+		db.data = nil
+	}
+	r.txActive = false
+	r.ranges = nil
+	r.groupBuf = nil
+	r.groupCount = 0
+	return nil
+}
+
+// Recover implements engine.Engine: read every database image back from
+// the device and replay the redo log's committed transactions over it.
+// Unforced group-commit batches are lost — those transactions never
+// became durable.
+func (r *RVM) Recover() error {
+	if !r.crashed {
+		return errors.New("rvm: recover called on a running instance")
+	}
+	if r.lost {
+		return fmt.Errorf("%w: stable store destroyed", engine.ErrUnrecoverable)
+	}
+	// Reload images.
+	newDBs := make(map[string]*database, len(r.dbs))
+	newByID := make(map[uint32]*database, len(r.byID))
+	for name, old := range r.dbs {
+		img, err := r.store.Read(old.diskOff, int(old.size))
+		if err != nil {
+			return fmt.Errorf("rvm: reload %q: %w", name, err)
+		}
+		db := &database{id: old.id, name: name, data: img, diskOff: old.diskOff, size: old.size}
+		newDBs[name] = db
+		newByID[db.id] = db
+	}
+
+	// Replay committed transactions from the log.
+	log, err := r.store.Read(r.logStart, int(r.opts.LogSize))
+	if err != nil {
+		return fmt.Errorf("rvm: read log: %w", err)
+	}
+	type replayRec struct {
+		dbID   uint32
+		offset uint64
+		data   []byte
+	}
+	var cursor uint64
+	var maxTx uint64
+	var pending []replayRec
+	for {
+		if cursor+logRecordHeader > uint64(len(log)) {
+			break
+		}
+		h := log[cursor:]
+		length := uint64(binary.BigEndian.Uint32(h[20:24]))
+		if cursor+logRecordHeader+length > uint64(len(log)) {
+			break
+		}
+		crc := crc32.Update(0, crcTable, h[:24])
+		crc = crc32.Update(crc, crcTable, h[logRecordHeader:logRecordHeader+length])
+		if crc != binary.BigEndian.Uint32(h[24:28]) {
+			break
+		}
+		txID := binary.BigEndian.Uint64(h[0:8])
+		if txID == 0 || txID < maxTx {
+			// Zeroed header (fresh log) or a stale record from before
+			// the last truncation: replay stops here. Transaction ids
+			// only grow within one log generation.
+			break
+		}
+		rec := replayRec{
+			dbID:   binary.BigEndian.Uint32(h[8:12]),
+			offset: binary.BigEndian.Uint64(h[12:20]),
+			data:   h[logRecordHeader : logRecordHeader+length],
+		}
+		pending = append(pending, rec)
+		if h[28]&flagCommit != 0 {
+			// Commit point: apply the whole transaction.
+			for _, p := range pending {
+				if db, ok := newByID[p.dbID]; ok && p.offset+uint64(len(p.data)) <= db.size {
+					copy(db.data[p.offset:], p.data)
+				}
+			}
+			pending = pending[:0]
+			if txID > maxTx {
+				maxTx = txID
+			}
+		}
+		cursor += logRecordHeader + length
+	}
+
+	r.dbs = newDBs
+	r.byID = newByID
+	if maxTx > r.lastTx {
+		r.lastTx = maxTx
+	}
+	r.logHead = cursor
+	r.crashed = false
+	r.stats.Recoveries++
+	return nil
+}
+
+// Close implements engine.Engine.
+func (r *RVM) Close() error {
+	if !r.crashed && r.opts.GroupCommit {
+		if err := r.forceGroup(); err != nil {
+			return err
+		}
+	}
+	r.crashed = true
+	return nil
+}
+
+var _ engine.Engine = (*RVM)(nil)

@@ -1,0 +1,36 @@
+package rvm
+
+import (
+	"github.com/ics-forth/perseas/internal/disk"
+	"github.com/ics-forth/perseas/internal/fault"
+)
+
+// StableStore is the stable storage a write-ahead log lives on. The
+// classic RVM uses a magnetic disk; RVM-on-Rio substitutes the Rio file
+// cache, which is memory-fast but does not survive power failures on an
+// unprotected machine.
+type StableStore interface {
+	// WriteSync writes data at offset and returns once it is stable.
+	WriteSync(offset uint64, data []byte) error
+	// Read copies n bytes from offset.
+	Read(offset uint64, n int) ([]byte, error)
+	// Size is the store capacity in bytes.
+	Size() uint64
+	// Survives reports whether the store's contents outlive a crash of
+	// the given kind.
+	Survives(kind fault.CrashKind) bool
+}
+
+// DiskStore adapts a simulated magnetic disk to StableStore. Platters
+// survive every crash kind.
+type DiskStore struct {
+	*disk.Disk
+}
+
+// NewDiskStore wraps d.
+func NewDiskStore(d *disk.Disk) DiskStore { return DiskStore{Disk: d} }
+
+// Survives implements StableStore: magnetic media outlive all crashes.
+func (DiskStore) Survives(fault.CrashKind) bool { return true }
+
+var _ StableStore = DiskStore{}

@@ -1,0 +1,262 @@
+package sci
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Card models one Dolphin PCI-SCI adapter issuing remote writes and reads.
+// It is a pure timing/traffic model: it computes which SCI packets a store
+// operation generates and how long the operation takes, but does not move
+// bytes itself (the transport layer does that). A Card is safe for
+// concurrent use; each operation is modelled as if it ran alone, which
+// matches the single-writer use the paper's library makes of the card.
+type Card struct {
+	params Params
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats aggregates the traffic a card has carried.
+type Stats struct {
+	// StoreOps and ReadOps count modelled operations.
+	StoreOps uint64
+	ReadOps  uint64
+	// BytesStored and BytesRead count payload bytes.
+	BytesStored uint64
+	BytesRead   uint64
+	// Packets64 and Packets16 count emitted SCI packets by kind.
+	Packets64 uint64
+	Packets16 uint64
+	// Busy is the cumulative modelled latency of all operations.
+	Busy time.Duration
+}
+
+// New returns a card using the given timing parameters.
+func New(params Params) (*Card, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Card{params: params}, nil
+}
+
+// MustNew is New for parameter sets known to be valid; it panics
+// otherwise. Intended for tests and package-internal defaults.
+func MustNew(params Params) *Card {
+	c, err := New(params)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Params returns the card's timing parameters.
+func (c *Card) Params() Params { return c.params }
+
+// Stats returns a snapshot of the card's traffic counters.
+func (c *Card) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (c *Card) ResetStats() {
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.mu.Unlock()
+}
+
+// StoreResult describes one modelled remote-store operation.
+type StoreResult struct {
+	// Packets are the SCI packets the operation emitted, in order.
+	Packets []Packet
+	// Latency is the end-to-end one-way application latency.
+	Latency time.Duration
+}
+
+// Store models a remote write of n bytes starting at remote address addr.
+// It walks the address range word by word through the eight gather
+// buffers: every 64-byte chunk that is completely covered drains as one
+// full 64-byte packet the moment its last word is written, and chunks
+// only partially covered drain at the end of the operation as one
+// 16-byte packet per touched 16-byte slot.
+func (c *Card) Store(addr uint64, n int) StoreResult {
+	if n <= 0 {
+		return StoreResult{}
+	}
+	end := addr + uint64(n)
+
+	var packets []Packet
+	words := 0
+
+	// Walk 64-byte chunks of the range. Contiguous stores fill each
+	// chunk's gather buffer in address order.
+	for chunk := AlignDown(addr); chunk < end; chunk += BufferSize {
+		lo := max64(chunk, addr)
+		hi := min64(chunk+BufferSize, end)
+		// The processor issues one bus word per 4 bytes, including
+		// ragged edges (a sub-word store still occupies a bus word).
+		firstWord := lo &^ (WordSize - 1)
+		lastWord := (hi - 1) &^ (WordSize - 1)
+		words += int((lastWord-firstWord)/WordSize) + 1
+
+		buf := BufferID(chunk)
+		if lo == chunk && hi == chunk+BufferSize {
+			// Whole chunk gathered: the store of the buffer's last
+			// word triggers an immediate full-packet flush.
+			packets = append(packets, Packet{
+				Kind: Packet64, Addr: chunk, Len: BufferSize, Buffer: buf,
+			})
+			continue
+		}
+		// Partially filled buffer: drained at operation end as one
+		// 16-byte packet per touched 16-byte-aligned slot.
+		for slot := lo &^ (SmallPacketSize - 1); slot < hi; slot += SmallPacketSize {
+			slo := max64(slot, lo)
+			shi := min64(slot+SmallPacketSize, hi)
+			packets = append(packets, Packet{
+				Kind: Packet16, Addr: slo, Len: int(shi - slo), Buffer: buf,
+			})
+		}
+	}
+
+	var n64, n16 int
+	for _, p := range packets {
+		if p.Kind == Packet64 {
+			n64++
+		} else {
+			n16++
+		}
+	}
+	lat := c.params.PacketBase + time.Duration(words)*c.params.PIOWordCost +
+		c.params.packetCost(n64, n16)
+
+	c.mu.Lock()
+	c.stats.StoreOps++
+	c.stats.BytesStored += uint64(n)
+	for _, p := range packets {
+		if p.Kind == Packet64 {
+			c.stats.Packets64++
+		} else {
+			c.stats.Packets16++
+		}
+	}
+	c.stats.Busy += lat
+	c.mu.Unlock()
+
+	return StoreResult{Packets: packets, Latency: lat}
+}
+
+// StoreLatency is Store without materialising the packet list; it is the
+// fast path used by transports that only need timing.
+func (c *Card) StoreLatency(addr uint64, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	end := addr + uint64(n)
+	words := 0
+	var n64, n16 int
+	for chunk := AlignDown(addr); chunk < end; chunk += BufferSize {
+		lo := max64(chunk, addr)
+		hi := min64(chunk+BufferSize, end)
+		firstWord := lo &^ (WordSize - 1)
+		lastWord := (hi - 1) &^ (WordSize - 1)
+		words += int((lastWord-firstWord)/WordSize) + 1
+		if lo == chunk && hi == chunk+BufferSize {
+			n64++
+			continue
+		}
+		n16 += int((hi-1)/SmallPacketSize) - int(lo/SmallPacketSize) + 1
+	}
+	lat := c.params.PacketBase + time.Duration(words)*c.params.PIOWordCost +
+		c.params.packetCost(n64, n16)
+
+	c.mu.Lock()
+	c.stats.StoreOps++
+	c.stats.BytesStored += uint64(n)
+	c.stats.Packets64 += uint64(n64)
+	c.stats.Packets16 += uint64(n16)
+	c.stats.Busy += lat
+	c.mu.Unlock()
+	return lat
+}
+
+// ReadLatency models a remote read of n bytes from remote address addr.
+// SCI remote reads stall the issuing processor for the full round trip,
+// so the model charges the store cost scaled by the read penalty.
+func (c *Card) ReadLatency(addr uint64, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	base := c.storeShapeLatency(addr, n)
+	lat := time.Duration(float64(base) * c.params.ReadPenalty)
+	c.mu.Lock()
+	c.stats.ReadOps++
+	c.stats.BytesRead += uint64(n)
+	c.stats.Busy += lat
+	c.mu.Unlock()
+	return lat
+}
+
+// storeShapeLatency computes store-shaped latency without touching stats.
+func (c *Card) storeShapeLatency(addr uint64, n int) time.Duration {
+	end := addr + uint64(n)
+	words := 0
+	var n64, n16 int
+	for chunk := AlignDown(addr); chunk < end; chunk += BufferSize {
+		lo := max64(chunk, addr)
+		hi := min64(chunk+BufferSize, end)
+		firstWord := lo &^ (WordSize - 1)
+		lastWord := (hi - 1) &^ (WordSize - 1)
+		words += int((lastWord-firstWord)/WordSize) + 1
+		if lo == chunk && hi == chunk+BufferSize {
+			n64++
+			continue
+		}
+		n16 += int((hi-1)/SmallPacketSize) - int(lo/SmallPacketSize) + 1
+	}
+	return c.params.PacketBase + time.Duration(words)*c.params.PIOWordCost +
+		c.params.packetCost(n64, n16)
+}
+
+// packetCost prices a packet mix: the first eight full packets pay the
+// buffer-filling cost, further ones stream through the saturated
+// eight-buffer pipeline at near-memory throughput.
+func (p Params) packetCost(n64, n16 int) time.Duration {
+	full := n64
+	if full > NumWriteBuffers {
+		full = NumWriteBuffers
+	}
+	streamed := n64 - full
+	cost := time.Duration(full)*p.Packet64Cost +
+		time.Duration(streamed)*p.Packet64Streamed
+	if n16 > 0 {
+		// The first small packet pays full price; the creation of the
+		// following ones overlaps with it (buffer streaming).
+		cost += p.Packet16Cost + time.Duration(n16-1)*p.Packet16Streamed
+	}
+	return cost
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s Stats) String() string {
+	return fmt.Sprintf("stores=%d reads=%d bytes=%d/%d pkts64=%d pkts16=%d busy=%v",
+		s.StoreOps, s.ReadOps, s.BytesStored, s.BytesRead, s.Packets64, s.Packets16, s.Busy)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,404 @@
+package sci
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"negative pio", func(p *Params) { p.PIOWordCost = -1 }},
+		{"zero base", func(p *Params) { p.PacketBase = 0 }},
+		{"zero pkt64", func(p *Params) { p.Packet64Cost = 0 }},
+		{"zero pkt16", func(p *Params) { p.Packet16Cost = 0 }},
+		{"negative hop", func(p *Params) { p.HopCost = -1 }},
+		{"read penalty below one", func(p *Params) { p.ReadPenalty = 0.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("want validation error, got nil")
+			}
+			if _, err := New(p); err == nil {
+				t.Fatal("New accepted invalid params")
+			}
+		})
+	}
+}
+
+func TestBufferMapping(t *testing.T) {
+	tests := []struct {
+		addr       uint64
+		wantBuf    int
+		wantOffset int
+	}{
+		{0x0, 0, 0},
+		{0x3f, 0, 63},
+		{0x40, 1, 0},
+		{0x7c, 1, 60},
+		{0x1c0, 7, 0},
+		{0x200, 0, 0}, // wraps: bit 9 and above ignored by buffer id
+		{0x23f, 0, 63},
+		{0x1000, 0, 0},
+		{0x10c4, 3, 4},
+	}
+	for _, tt := range tests {
+		if got := BufferID(tt.addr); got != tt.wantBuf {
+			t.Errorf("BufferID(%#x) = %d, want %d", tt.addr, got, tt.wantBuf)
+		}
+		if got := BufferOffset(tt.addr); got != tt.wantOffset {
+			t.Errorf("BufferOffset(%#x) = %d, want %d", tt.addr, got, tt.wantOffset)
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	tests := []struct {
+		addr           uint64
+		wantDn, wantUp uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 64},
+		{63, 0, 64},
+		{64, 64, 64},
+		{65, 64, 128},
+		{200, 192, 256},
+	}
+	for _, tt := range tests {
+		if got := AlignDown(tt.addr); got != tt.wantDn {
+			t.Errorf("AlignDown(%d) = %d, want %d", tt.addr, got, tt.wantDn)
+		}
+		if got := AlignUp(tt.addr); got != tt.wantUp {
+			t.Errorf("AlignUp(%d) = %d, want %d", tt.addr, got, tt.wantUp)
+		}
+	}
+}
+
+func TestStoreSmallSinglePacket(t *testing.T) {
+	card := MustNew(DefaultParams())
+	res := card.Store(0, 4)
+	if len(res.Packets) != 1 {
+		t.Fatalf("4-byte aligned store: want 1 packet, got %v", res.Packets)
+	}
+	if res.Packets[0].Kind != Packet16 {
+		t.Errorf("want 16-byte packet, got %v", res.Packets[0])
+	}
+	// Calibration: the paper measures 2.7 us end-to-end for this store.
+	got := res.Latency
+	if got < 2500*time.Nanosecond || got > 2900*time.Nanosecond {
+		t.Errorf("4-byte store latency = %v, want ~2.7us", got)
+	}
+}
+
+func TestStoreStraddles16ByteBoundaryTwoPackets(t *testing.T) {
+	card := MustNew(DefaultParams())
+	// 8 bytes starting at offset 12 cross the 16-byte alignment
+	// boundary: the card sends two 16-byte packets (paper, Section 4).
+	res := card.Store(12, 8)
+	if len(res.Packets) != 2 {
+		t.Fatalf("straddling store: want 2 packets, got %v", res.Packets)
+	}
+	for _, p := range res.Packets {
+		if p.Kind != Packet16 {
+			t.Errorf("want 16-byte packets, got %v", p)
+		}
+	}
+	single := card.Store(16, 8)
+	if len(single.Packets) != 1 {
+		t.Fatalf("aligned 8-byte store: want 1 packet, got %v", single.Packets)
+	}
+	if single.Latency >= res.Latency {
+		t.Errorf("aligned store (%v) should be faster than straddling store (%v)",
+			single.Latency, res.Latency)
+	}
+}
+
+func TestStoreFullBufferOnePacket64(t *testing.T) {
+	card := MustNew(DefaultParams())
+	res := card.Store(0, BufferSize)
+	if len(res.Packets) != 1 || res.Packets[0].Kind != Packet64 {
+		t.Fatalf("full-buffer store: want one 64-byte packet, got %v", res.Packets)
+	}
+	if res.Packets[0].Len != BufferSize {
+		t.Errorf("packet len = %d, want %d", res.Packets[0].Len, BufferSize)
+	}
+}
+
+func TestStoreWholeBufferFasterThanPartial(t *testing.T) {
+	// Paper: for sizes >= 32 bytes it is better to copy whole 64-byte
+	// aligned regions. A full 64-byte store must beat a 48-byte store.
+	card := MustNew(DefaultParams())
+	full := card.StoreLatency(0, 64)
+	partial := card.StoreLatency(0, 48)
+	if full >= partial {
+		t.Errorf("64-byte store (%v) should be faster than 48-byte store (%v)", full, partial)
+	}
+}
+
+func TestAlignedCopyBetterThreshold(t *testing.T) {
+	params := DefaultParams()
+	// At and above 32 bytes, expansion to 64-byte aligned regions should
+	// win or tie for typical unaligned offsets.
+	for _, n := range []int{32, 40, 48, 56, 120} {
+		better, err := AlignedCopyBetter(params, 8, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !better {
+			t.Errorf("size %d at offset 8: expected aligned expansion to win", n)
+		}
+	}
+	// Tiny stores must not be expanded: a 4-byte store is one cheap
+	// 16-byte packet while a 64-byte expansion costs a full packet.
+	better, err := AlignedCopyBetter(params, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if better {
+		t.Error("size 4: expansion should lose")
+	}
+}
+
+func TestStore200BytesMatchesFigure5(t *testing.T) {
+	card := MustNew(DefaultParams())
+	res := card.Store(0, 200)
+	// 200 bytes at offset 0 = three full 64-byte packets + one 8-byte
+	// tail in a 16-byte packet.
+	var n64, n16 int
+	for _, p := range res.Packets {
+		switch p.Kind {
+		case Packet64:
+			n64++
+		case Packet16:
+			n16++
+		}
+	}
+	if n64 != 3 || n16 != 1 {
+		t.Fatalf("200-byte store: want 3x64 + 1x16 packets, got %d/%d (%v)", n64, n16, res.Packets)
+	}
+	// Fig. 5's curve tops out around 17 us at 200 bytes.
+	if res.Latency < 14*time.Microsecond || res.Latency > 19*time.Microsecond {
+		t.Errorf("200-byte latency = %v, want ~16-17us", res.Latency)
+	}
+}
+
+func TestWriteLatencyCurveMonotoneIn64ByteChunks(t *testing.T) {
+	pts, err := WriteLatencyCurve(DefaultParams(), 64, 1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Latency <= pts[i-1].Latency {
+			t.Errorf("latency not increasing at size %d: %v <= %v",
+				pts[i].Size, pts[i].Latency, pts[i-1].Latency)
+		}
+	}
+}
+
+func TestStoreLatencyAgreesWithStore(t *testing.T) {
+	cardA := MustNew(DefaultParams())
+	cardB := MustNew(DefaultParams())
+	for _, tc := range []struct {
+		addr uint64
+		n    int
+	}{{0, 4}, {12, 8}, {0, 64}, {4, 64}, {0, 200}, {60, 200}, {3, 1}, {0, 1 << 20}} {
+		a := cardA.Store(tc.addr, tc.n).Latency
+		b := cardB.StoreLatency(tc.addr, tc.n)
+		if a != b {
+			t.Errorf("Store(%#x,%d)=%v but StoreLatency=%v", tc.addr, tc.n, a, b)
+		}
+	}
+}
+
+func TestStorePacketsCoverRangeExactly(t *testing.T) {
+	// Property: for any (offset, size), the union of emitted packet
+	// payload ranges covers [addr, addr+n) with full-64 packets aligned.
+	card := MustNew(DefaultParams())
+	f := func(off uint16, sz uint16) bool {
+		addr := uint64(off % 512)
+		n := int(sz%1024) + 1
+		res := card.Store(addr, n)
+		covered := uint64(0)
+		for _, p := range res.Packets {
+			lo := max64(p.Addr, addr)
+			hi := min64(p.Addr+uint64(p.Len), addr+uint64(n))
+			if hi > lo {
+				covered += hi - lo
+			}
+			if p.Kind == Packet64 && (p.Addr%BufferSize != 0 || p.Len != BufferSize) {
+				return false
+			}
+			if p.Len <= 0 || p.Len > p.Kind.PayloadCap() {
+				return false
+			}
+		}
+		return covered >= uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreZeroAndNegative(t *testing.T) {
+	card := MustNew(DefaultParams())
+	if res := card.Store(0, 0); len(res.Packets) != 0 || res.Latency != 0 {
+		t.Errorf("zero-size store should be free, got %+v", res)
+	}
+	if res := card.Store(0, -5); len(res.Packets) != 0 || res.Latency != 0 {
+		t.Errorf("negative store should be free, got %+v", res)
+	}
+	if lat := card.StoreLatency(0, 0); lat != 0 {
+		t.Errorf("zero-size StoreLatency = %v, want 0", lat)
+	}
+	if lat := card.ReadLatency(0, 0); lat != 0 {
+		t.Errorf("zero-size ReadLatency = %v, want 0", lat)
+	}
+}
+
+func TestReadSlowerThanWrite(t *testing.T) {
+	card := MustNew(DefaultParams())
+	w := card.StoreLatency(0, 64)
+	r := card.ReadLatency(0, 64)
+	if r <= w {
+		t.Errorf("remote read (%v) should be slower than remote write (%v)", r, w)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	card := MustNew(DefaultParams())
+	card.Store(0, 64)
+	card.Store(0, 4)
+	card.ReadLatency(0, 16)
+	s := card.Stats()
+	if s.StoreOps != 2 || s.ReadOps != 1 {
+		t.Errorf("ops = %d/%d, want 2/1", s.StoreOps, s.ReadOps)
+	}
+	if s.BytesStored != 68 || s.BytesRead != 16 {
+		t.Errorf("bytes = %d/%d, want 68/16", s.BytesStored, s.BytesRead)
+	}
+	if s.Packets64 != 1 || s.Packets16 != 1 {
+		t.Errorf("packets = %d/%d, want 1/1", s.Packets64, s.Packets16)
+	}
+	if s.Busy <= 0 {
+		t.Error("busy time should be positive")
+	}
+	card.ResetStats()
+	if got := card.Stats(); got != (Stats{}) {
+		t.Errorf("after reset stats = %+v, want zero", got)
+	}
+}
+
+func TestRingHops(t *testing.T) {
+	ring, err := NewRing(4, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		src, dst, want int
+	}{
+		{0, 1, 0}, {1, 2, 0}, {3, 0, 0},
+		{0, 2, 1}, {0, 3, 2}, {2, 1, 2},
+	}
+	for _, tt := range tests {
+		got, err := ring.Hops(tt.src, tt.dst)
+		if err != nil {
+			t.Fatalf("Hops(%d,%d): %v", tt.src, tt.dst, err)
+		}
+		if got != tt.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tt.src, tt.dst, got, tt.want)
+		}
+	}
+	if _, err := ring.Hops(0, 0); err == nil {
+		t.Error("Hops(0,0) should error")
+	}
+	if _, err := ring.Hops(-1, 2); err == nil {
+		t.Error("Hops(-1,2) should error")
+	}
+	if _, err := ring.Hops(0, 4); err == nil {
+		t.Error("Hops(0,4) should error")
+	}
+}
+
+func TestRingHopDelay(t *testing.T) {
+	params := DefaultParams()
+	ring, err := NewRing(3, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ring.HopDelay(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != params.HopCost {
+		t.Errorf("HopDelay(0,2) = %v, want %v", d, params.HopCost)
+	}
+	d, err = ring.HopDelay(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("HopDelay(0,1) = %v, want 0", d)
+	}
+}
+
+func TestRingRejectsTinyRings(t *testing.T) {
+	if _, err := NewRing(1, DefaultParams()); err == nil {
+		t.Error("one-node ring should be rejected")
+	}
+	bad := DefaultParams()
+	bad.PacketBase = 0
+	if _, err := NewRing(2, bad); err == nil {
+		t.Error("invalid params should be rejected")
+	}
+}
+
+func TestPacketKindString(t *testing.T) {
+	if Packet16.String() != "sci16" || Packet64.String() != "sci64" {
+		t.Errorf("unexpected kind strings: %v %v", Packet16, Packet64)
+	}
+	if PacketKind(9).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestWriteLatencyCurveAt(t *testing.T) {
+	params := DefaultParams()
+	at0, err := WriteLatencyCurveAt(params, 0, 4, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := WriteLatencyCurve(params, 4, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range at0 {
+		if at0[i] != curve[i] {
+			t.Fatalf("offset-0 curve differs from WriteLatencyCurve at %d", i)
+		}
+	}
+	// An unaligned start pays more for whole-buffer-sized stores: the
+	// store straddles two chunks and drains as small packets.
+	at8, err := WriteLatencyCurveAt(params, 8, 64, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at8[0].Latency <= at0[15].Latency { // 64-byte point of offset 0
+		t.Errorf("64B at offset 8 (%v) should cost more than at offset 0 (%v)",
+			at8[0].Latency, at0[15].Latency)
+	}
+	if _, err := WriteLatencyCurveAt(params, 64, 4, 8, 4); err == nil {
+		t.Error("offset beyond buffer should be rejected")
+	}
+}

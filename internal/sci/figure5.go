@@ -1,0 +1,80 @@
+package sci
+
+import (
+	"fmt"
+	"time"
+)
+
+// LatencyPoint is one sample of the remote-write latency curve.
+type LatencyPoint struct {
+	// Size is the store size in bytes.
+	Size int
+	// Latency is the modelled one-way end-to-end latency.
+	Latency time.Duration
+}
+
+// WriteLatencyCurve reproduces the measurement behind Fig. 5 of the
+// paper: the application-level one-way latency of one remote store, for
+// data sizes from minSize to maxSize in the given step, with the first
+// word of every store mapping to the first word of an SCI buffer (word
+// offset 0). Stats accumulated while sweeping are discarded.
+func WriteLatencyCurve(params Params, minSize, maxSize, step int) ([]LatencyPoint, error) {
+	card, err := New(params)
+	if err != nil {
+		return nil, err
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if step < 1 {
+		step = 1
+	}
+	var pts []LatencyPoint
+	for n := minSize; n <= maxSize; n += step {
+		pts = append(pts, LatencyPoint{Size: n, Latency: card.StoreLatency(0, n)})
+	}
+	return pts, nil
+}
+
+// WriteLatencyCurveAt is WriteLatencyCurve with the first byte of every
+// store mapped to the given offset within an SCI buffer. The paper's
+// Fig. 5 shows word offset 0; other offsets shift the sawtooth because
+// edge chunks drain as sets of 16-byte packets and stores that reach a
+// buffer's last word flush earlier.
+func WriteLatencyCurveAt(params Params, offset uint64, minSize, maxSize, step int) ([]LatencyPoint, error) {
+	if offset >= BufferSize {
+		return nil, fmt.Errorf("sci: word offset %d outside a %d-byte buffer", offset, BufferSize)
+	}
+	card, err := New(params)
+	if err != nil {
+		return nil, err
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if step < 1 {
+		step = 1
+	}
+	var pts []LatencyPoint
+	for n := minSize; n <= maxSize; n += step {
+		pts = append(pts, LatencyPoint{Size: n, Latency: card.StoreLatency(offset, n)})
+	}
+	return pts, nil
+}
+
+// AlignedCopyBetter reports whether, for a copy of n bytes starting at
+// the given offset within a 64-byte chunk, expanding the copy to cover
+// whole 64-byte aligned regions yields lower modelled latency than
+// copying the range as-is. The paper's sci_memcpy applies the expansion
+// for all sizes of 32 bytes or more.
+func AlignedCopyBetter(params Params, offset uint64, n int) (bool, error) {
+	card, err := New(params)
+	if err != nil {
+		return false, err
+	}
+	asIs := card.StoreLatency(offset, n)
+	lo := AlignDown(offset)
+	hi := AlignUp(offset + uint64(n))
+	expanded := card.StoreLatency(lo, int(hi-lo))
+	return expanded <= asIs, nil
+}

@@ -1,0 +1,54 @@
+package sci
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Ring models the SCI ring topology the prototype's two PCs were cabled
+// in. SCI packets travel downstream around the ring from the sender to
+// the destination; every intermediate hop adds a fixed forwarding delay.
+type Ring struct {
+	nodes  int
+	params Params
+}
+
+// NewRing builds a ring of n nodes (n >= 2) sharing the given card
+// parameters.
+func NewRing(n int, params Params) (*Ring, error) {
+	if n < 2 {
+		return nil, errors.New("sci: a ring needs at least two nodes")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ring{nodes: n, params: params}, nil
+}
+
+// Nodes returns the number of stations on the ring.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Hops returns the number of intermediate stations an SCI packet crosses
+// travelling downstream from node src to node dst. Adjacent downstream
+// neighbours are zero hops apart; a packet never crosses its destination.
+func (r *Ring) Hops(src, dst int) (int, error) {
+	if src < 0 || src >= r.nodes || dst < 0 || dst >= r.nodes {
+		return 0, fmt.Errorf("sci: node out of range: src=%d dst=%d nodes=%d", src, dst, r.nodes)
+	}
+	if src == dst {
+		return 0, fmt.Errorf("sci: src and dst are the same node %d", src)
+	}
+	d := (dst - src + r.nodes) % r.nodes
+	return d - 1, nil
+}
+
+// HopDelay returns the extra latency packets from src to dst incur from
+// intermediate ring hops.
+func (r *Ring) HopDelay(src, dst int) (time.Duration, error) {
+	hops, err := r.Hops(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(hops) * r.params.HopCost, nil
+}

@@ -1,0 +1,108 @@
+// Package simclock provides virtual time sources for the PERSEAS
+// simulation substrates.
+//
+// Every timing-sensitive component (the SCI interconnect model, the
+// magnetic-disk model, the Rio file-cache model, local memcpy cost
+// accounting) charges elapsed time to a Clock instead of sleeping. A
+// deterministic SimClock makes every reproduced figure independent of the
+// host machine, while WallClock lets the same code paths run against real
+// time when the library is used over a real TCP transport.
+package simclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual time source. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current virtual time since the clock epoch.
+	Now() time.Duration
+	// Advance moves the clock forward by d. Advance with a negative
+	// duration is a programming error and is ignored.
+	Advance(d time.Duration)
+}
+
+// SimClock is a deterministic, manually advanced clock. The zero value is
+// ready to use and reads zero time.
+type SimClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewSim returns a SimClock starting at virtual time zero.
+func NewSim() *SimClock { return &SimClock{} }
+
+// Now reports the current virtual time.
+func (c *SimClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves virtual time forward by d. Negative durations are ignored.
+func (c *SimClock) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Reset rewinds the clock to virtual time zero.
+func (c *SimClock) Reset() {
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}
+
+// WallClock reads the host monotonic clock. Advance is a no-op: real time
+// passes on its own.
+type WallClock struct {
+	epoch time.Time
+	once  sync.Once
+}
+
+// NewWall returns a WallClock whose epoch is the moment of creation.
+func NewWall() *WallClock {
+	return &WallClock{epoch: time.Now()}
+}
+
+// Now reports time elapsed since the clock epoch.
+func (c *WallClock) Now() time.Duration {
+	c.once.Do(func() {
+		if c.epoch.IsZero() {
+			c.epoch = time.Now()
+		}
+	})
+	return time.Since(c.epoch)
+}
+
+// Advance is a no-op for wall-clock time.
+func (c *WallClock) Advance(time.Duration) {}
+
+// Stopwatch measures an interval on any Clock.
+type Stopwatch struct {
+	clock Clock
+	start time.Duration
+}
+
+// NewStopwatch starts a stopwatch on clock.
+func NewStopwatch(clock Clock) *Stopwatch {
+	return &Stopwatch{clock: clock, start: clock.Now()}
+}
+
+// Restart resets the stopwatch origin to the current clock reading.
+func (s *Stopwatch) Restart() { s.start = s.clock.Now() }
+
+// Elapsed reports time since the stopwatch was started or restarted.
+func (s *Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.start }
+
+// Microseconds formats a duration as fractional microseconds, the unit the
+// paper reports latencies in.
+func Microseconds(d time.Duration) string {
+	return fmt.Sprintf("%.2fus", float64(d.Nanoseconds())/1e3)
+}

@@ -1,0 +1,90 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimClockAdvance(t *testing.T) {
+	c := NewSim()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock reads %v", c.Now())
+	}
+	c.Advance(3 * time.Microsecond)
+	c.Advance(2 * time.Microsecond)
+	if got := c.Now(); got != 5*time.Microsecond {
+		t.Errorf("Now = %v, want 5us", got)
+	}
+	c.Advance(-time.Hour) // ignored
+	if got := c.Now(); got != 5*time.Microsecond {
+		t.Errorf("negative advance changed clock: %v", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("Reset did not rewind: %v", c.Now())
+	}
+}
+
+func TestSimClockZeroValueUsable(t *testing.T) {
+	var c SimClock
+	c.Advance(time.Second)
+	if c.Now() != time.Second {
+		t.Errorf("zero-value clock broken: %v", c.Now())
+	}
+}
+
+func TestSimClockConcurrent(t *testing.T) {
+	c := NewSim()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != 8000*time.Nanosecond {
+		t.Errorf("concurrent advances lost ticks: %v", got)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	c := NewWall()
+	a := c.Now()
+	time.Sleep(time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Errorf("wall clock not advancing: %v -> %v", a, b)
+	}
+	c.Advance(time.Hour) // no-op
+	if c.Now() > b+time.Second {
+		t.Error("Advance affected wall clock")
+	}
+	var zero WallClock
+	if zero.Now() < 0 {
+		t.Error("zero-value wall clock negative")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewSim()
+	sw := NewStopwatch(c)
+	c.Advance(42 * time.Microsecond)
+	if got := sw.Elapsed(); got != 42*time.Microsecond {
+		t.Errorf("Elapsed = %v", got)
+	}
+	sw.Restart()
+	if got := sw.Elapsed(); got != 0 {
+		t.Errorf("Elapsed after restart = %v", got)
+	}
+}
+
+func TestMicroseconds(t *testing.T) {
+	if got := Microseconds(2700 * time.Nanosecond); got != "2.70us" {
+		t.Errorf("Microseconds = %q", got)
+	}
+}

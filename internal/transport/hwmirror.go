@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/wire"
+)
+
+// HWMirror models a network interface with transparent hardware support
+// for mirroring — the PRAM, Telegraphos and SHRIMP class of NICs the
+// paper singles out as making PERSEAS easier to implement. A single
+// remote store is duplicated to every mirror node by the interface
+// itself, so the application pays the SCI cost once regardless of the
+// replication degree.
+//
+// HWMirror presents the whole mirror group as ONE Transport: the
+// network-RAM client sees a single "remote node" whose reliability is
+// that of the group.
+type HWMirror struct {
+	nodes []*memserver.Server
+	card  *sci.Card
+	clock simclock.Clock
+
+	mu     sync.Mutex
+	closed bool
+	nextID uint32
+	// segs maps the group-visible segment id to the per-node ids.
+	segs map[uint32][]uint32
+	size map[uint32]uint64
+	name map[string]uint32
+}
+
+// NewHWMirror builds a hardware-mirroring transport over the given
+// nodes.
+func NewHWMirror(nodes []*memserver.Server, params sci.Params, clock simclock.Clock) (*HWMirror, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("transport: hardware mirror needs at least one node")
+	}
+	card, err := sci.New(params)
+	if err != nil {
+		return nil, err
+	}
+	return &HWMirror{
+		nodes:  nodes,
+		card:   card,
+		clock:  clock,
+		nextID: 1,
+		segs:   make(map[uint32][]uint32),
+		size:   make(map[uint32]uint64),
+		name:   make(map[string]uint32),
+	}, nil
+}
+
+func (t *HWMirror) check() error {
+	if t.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// rpc charges one small request/response exchange (hardware fans the
+// request out; the acknowledgement collapses in the interface).
+func (t *HWMirror) rpc() {
+	p := t.card.Params()
+	t.clock.Advance(2 * (p.PacketBase + p.Packet16Cost))
+}
+
+// Malloc implements Transport: the segment is exported on every node,
+// but the caller holds one group-visible handle.
+func (t *HWMirror) Malloc(name string, size uint64) (SegmentHandle, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return SegmentHandle{}, err
+	}
+	t.rpc()
+	if name != "" {
+		if _, ok := t.name[name]; ok {
+			return SegmentHandle{}, fmt.Errorf("transport: hw-mirror segment %q exists", name)
+		}
+	}
+	ids := make([]uint32, len(t.nodes))
+	for i, node := range t.nodes {
+		seg, err := node.Malloc(name, size)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = t.nodes[j].Free(ids[j])
+			}
+			return SegmentHandle{}, err
+		}
+		ids[i] = seg.ID
+	}
+	id := t.nextID
+	t.nextID++
+	t.segs[id] = ids
+	t.size[id] = size
+	if name != "" {
+		t.name[name] = id
+	}
+	return SegmentHandle{ID: id, Size: size}, nil
+}
+
+// Free implements Transport.
+func (t *HWMirror) Free(seg uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.rpc()
+	ids, ok := t.segs[seg]
+	if !ok {
+		return fmt.Errorf("transport: hw-mirror: no segment %d", seg)
+	}
+	var firstErr error
+	for i, node := range t.nodes {
+		if err := node.Free(ids[i]); err != nil && firstErr == nil && !node.Crashed() {
+			firstErr = err
+		}
+	}
+	delete(t.segs, seg)
+	delete(t.size, seg)
+	for name, id := range t.name {
+		if id == seg {
+			delete(t.name, name)
+		}
+	}
+	return firstErr
+}
+
+// Write implements Transport: ONE modelled SCI store, duplicated to all
+// nodes by the interface hardware. At least one node must accept it.
+func (t *HWMirror) Write(seg uint32, offset uint64, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return err
+	}
+	ids, ok := t.segs[seg]
+	if !ok {
+		return fmt.Errorf("transport: hw-mirror: no segment %d", seg)
+	}
+	t.clock.Advance(t.card.StoreLatency(offset, len(data)))
+	wrote := 0
+	var lastErr error
+	for i, node := range t.nodes {
+		if err := node.Write(ids[i], offset, data); err != nil {
+			lastErr = err
+			continue
+		}
+		wrote++
+	}
+	if wrote == 0 {
+		return fmt.Errorf("transport: hw-mirror write reached no node: %w", lastErr)
+	}
+	return nil
+}
+
+// WriteBatch implements BatchWriter: one SCI charge per entry, the
+// hardware fans each store out to every node.
+func (t *HWMirror) WriteBatch(writes []BatchWrite) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return err
+	}
+	perNode := make([][]wire.BatchEntry, len(t.nodes))
+	for _, w := range writes {
+		ids, ok := t.segs[w.Seg]
+		if !ok {
+			return fmt.Errorf("transport: hw-mirror: no segment %d", w.Seg)
+		}
+		t.clock.Advance(t.card.StoreLatency(w.Offset, len(w.Data)))
+		for i := range t.nodes {
+			perNode[i] = append(perNode[i], wire.BatchEntry{Seg: ids[i], Offset: w.Offset, Data: w.Data})
+		}
+	}
+	wrote := 0
+	var lastErr error
+	for i, node := range t.nodes {
+		if err := node.WriteBatch(perNode[i]); err != nil {
+			lastErr = err
+			continue
+		}
+		wrote++
+	}
+	if wrote == 0 {
+		return fmt.Errorf("transport: hw-mirror batch reached no node: %w", lastErr)
+	}
+	return nil
+}
+
+// Read implements Transport: served by the first live node.
+func (t *HWMirror) Read(seg uint32, offset uint64, n uint32) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	ids, ok := t.segs[seg]
+	if !ok {
+		return nil, fmt.Errorf("transport: hw-mirror: no segment %d", seg)
+	}
+	t.clock.Advance(t.card.ReadLatency(offset, int(n)))
+	var lastErr error
+	for i, node := range t.nodes {
+		data, err := node.Read(ids[i], offset, n)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("transport: hw-mirror read: %w", lastErr)
+}
+
+// Connect implements Transport.
+func (t *HWMirror) Connect(name string) (SegmentHandle, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return SegmentHandle{}, err
+	}
+	t.rpc()
+	id, ok := t.name[name]
+	if !ok {
+		// The group-side mapping died with the client process; rebuild
+		// it from the surviving nodes.
+		return t.reconnectLocked(name)
+	}
+	return SegmentHandle{ID: id, Size: t.size[id]}, nil
+}
+
+// reconnectLocked rebuilds a group handle from whichever nodes still
+// hold the named segment.
+func (t *HWMirror) reconnectLocked(name string) (SegmentHandle, error) {
+	ids := make([]uint32, len(t.nodes))
+	var size uint64
+	found := 0
+	for i, node := range t.nodes {
+		seg, err := node.Connect(name)
+		if err != nil {
+			continue
+		}
+		ids[i] = seg.ID
+		size = uint64(len(seg.Data))
+		found++
+	}
+	if found == 0 {
+		return SegmentHandle{}, fmt.Errorf("transport: hw-mirror: no node holds %q", name)
+	}
+	id := t.nextID
+	t.nextID++
+	t.segs[id] = ids
+	t.size[id] = size
+	t.name[name] = id
+	return SegmentHandle{ID: id, Size: size}, nil
+}
+
+// List implements Transport (from the first live node).
+func (t *HWMirror) List() ([]wire.SegmentInfo, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	t.rpc()
+	for _, node := range t.nodes {
+		if !node.Crashed() {
+			return node.List(), nil
+		}
+	}
+	return nil, errors.New("transport: hw-mirror: all nodes down")
+}
+
+// Ping implements Transport: the group answers while any node lives.
+func (t *HWMirror) Ping() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.rpc()
+	for _, node := range t.nodes {
+		if !node.Crashed() {
+			return nil
+		}
+	}
+	return errors.New("transport: hw-mirror: all nodes down")
+}
+
+// Close implements Transport.
+func (t *HWMirror) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	return nil
+}
+
+var (
+	_ Transport   = (*HWMirror)(nil)
+	_ BatchWriter = (*HWMirror)(nil)
+)

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+func newHW(t *testing.T, n int) (*HWMirror, []*memserver.Server, *simclock.SimClock) {
+	t.Helper()
+	clock := simclock.NewSim()
+	var nodes []*memserver.Server
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, memserver.New())
+	}
+	hw, err := NewHWMirror(nodes, sci.DefaultParams(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw, nodes, clock
+}
+
+func TestHWMirrorContract(t *testing.T) {
+	hw, _, _ := newHW(t, 2)
+	transportContract(t, hw)
+}
+
+func TestHWMirrorValidation(t *testing.T) {
+	if _, err := NewHWMirror(nil, sci.DefaultParams(), simclock.NewSim()); err == nil {
+		t.Error("empty node list should be rejected")
+	}
+	bad := sci.DefaultParams()
+	bad.PacketBase = 0
+	if _, err := NewHWMirror([]*memserver.Server{memserver.New()}, bad, simclock.NewSim()); err == nil {
+		t.Error("invalid params should be rejected")
+	}
+}
+
+func TestHWMirrorWriteReachesAllNodes(t *testing.T) {
+	hw, nodes, _ := newHW(t, 3)
+	seg, err := hw.Malloc("db", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Write(seg.ID, 10, []byte("broadcast")); err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range nodes {
+		s, err := node.Connect("db")
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		got, err := node.Read(s.ID, 10, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte("broadcast")) {
+			t.Errorf("node %d holds %q", i, got)
+		}
+	}
+}
+
+func TestHWMirrorWriteCostIndependentOfDegree(t *testing.T) {
+	// The hardware duplicates packets: writing through a 1-node and a
+	// 3-node group must charge identical virtual time.
+	hw1, _, clock1 := newHW(t, 1)
+	hw3, _, clock3 := newHW(t, 3)
+	seg1, err := hw1.Malloc("db", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg3, err := hw3.Malloc("db", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t3 := clock1.Now(), clock3.Now()
+	if err := hw1.Write(seg1.ID, 0, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw3.Write(seg3.ID, 0, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	d1, d3 := clock1.Now()-t1, clock3.Now()-t3
+	if d1 != d3 {
+		t.Errorf("write cost depends on degree: 1 node %v, 3 nodes %v", d1, d3)
+	}
+}
+
+func TestHWMirrorSurvivesNodeLoss(t *testing.T) {
+	hw, nodes, _ := newHW(t, 2)
+	seg, err := hw.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Write(seg.ID, 0, []byte("redundant")); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Crash()
+	// Writes and reads keep flowing through the survivor.
+	if err := hw.Write(seg.ID, 0, []byte("still-up!")); err != nil {
+		t.Fatalf("write with node down: %v", err)
+	}
+	got, err := hw.Read(seg.ID, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "still-up!" {
+		t.Errorf("read %q", got)
+	}
+	if err := hw.Ping(); err != nil {
+		t.Errorf("ping with one node alive: %v", err)
+	}
+	nodes[1].Crash()
+	if err := hw.Ping(); err == nil {
+		t.Error("ping with all nodes down should fail")
+	}
+	if err := hw.Write(seg.ID, 0, []byte("x")); err == nil {
+		t.Error("write with all nodes down should fail")
+	}
+}
+
+func TestHWMirrorReconnectAfterClientLoss(t *testing.T) {
+	// The group mapping lives in the client process; after it dies, a
+	// fresh HWMirror over the same nodes rebuilds handles by name.
+	_, nodes, clock := newHW(t, 2)
+	first, err := NewHWMirror(nodes, sci.DefaultParams(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := first.Malloc("perseas.meta", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Write(seg.ID, 0, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := NewHWMirror(nodes, sci.DefaultParams(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := second.Connect("perseas.meta")
+	if err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+	if h.Size != 128 {
+		t.Errorf("size = %d", h.Size)
+	}
+	got, err := second.Read(h.ID, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "survives" {
+		t.Errorf("read %q", got)
+	}
+}
+
+func TestHWMirrorMallocUnwindsOnFailure(t *testing.T) {
+	clock := simclock.NewSim()
+	big := memserver.New()
+	small := memserver.New(memserver.WithCapacity(32))
+	hw, err := NewHWMirror([]*memserver.Server{big, small}, sci.DefaultParams(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Malloc("db", 64); err == nil {
+		t.Fatal("malloc should fail when one node lacks memory")
+	}
+	if got := big.Held(); got != 0 {
+		t.Errorf("big node still holds %d bytes", got)
+	}
+}

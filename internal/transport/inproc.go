@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/wire"
+)
+
+// InProc is a transport to a memory server living in the same process.
+// Data moves by direct memory copy, exactly as it does over a
+// memory-mapped SCI segment, and every operation charges its modelled
+// PCI-SCI cost to the supplied clock. This is the deterministic
+// configuration behind all reproduced figures.
+type InProc struct {
+	server *memserver.Server
+	card   *sci.Card
+	clock  simclock.Clock
+	// hopDelay is added to every remote operation for intermediate ring
+	// hops between this client and the server node.
+	hopDelay time.Duration
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// InProcOption configures an InProc transport.
+type InProcOption func(*InProc)
+
+// WithHops places the remote node the given number of intermediate ring
+// hops downstream, adding hops*HopCost to every operation.
+func WithHops(hops int, params sci.Params) InProcOption {
+	return func(t *InProc) {
+		if hops > 0 {
+			t.hopDelay = time.Duration(hops) * params.HopCost
+		}
+	}
+}
+
+// NewInProc builds an in-process transport to server, modelling the NIC
+// with the given SCI parameters and charging time to clock.
+func NewInProc(server *memserver.Server, params sci.Params, clock simclock.Clock, opts ...InProcOption) (*InProc, error) {
+	card, err := sci.New(params)
+	if err != nil {
+		return nil, err
+	}
+	t := &InProc{server: server, card: card, clock: clock}
+	for _, o := range opts {
+		o(t)
+	}
+	return t, nil
+}
+
+// Card exposes the transport's NIC model for traffic inspection.
+func (t *InProc) Card() *sci.Card { return t.card }
+
+// Server exposes the in-process remote node (tests use this to inject
+// crashes).
+func (t *InProc) Server() *memserver.Server { return t.server }
+
+func (t *InProc) check() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// rpc charges the modelled cost of a small request/response exchange:
+// one short store each way plus ring hops in both directions.
+func (t *InProc) rpc() {
+	p := t.card.Params()
+	t.clock.Advance(2*(p.PacketBase+p.Packet16Cost) + 2*t.hopDelay)
+}
+
+// Malloc implements Transport.
+func (t *InProc) Malloc(name string, size uint64) (SegmentHandle, error) {
+	if err := t.check(); err != nil {
+		return SegmentHandle{}, err
+	}
+	t.rpc()
+	seg, err := t.server.Malloc(name, size)
+	if err != nil {
+		return SegmentHandle{}, err
+	}
+	return SegmentHandle{ID: seg.ID, Size: uint64(len(seg.Data))}, nil
+}
+
+// Free implements Transport.
+func (t *InProc) Free(seg uint32) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.rpc()
+	return t.server.Free(seg)
+}
+
+// Write implements Transport. The remote store cost is modelled from the
+// destination offset exactly as the card would see the physical address:
+// exported segments are 64-byte aligned, so the offset within the segment
+// determines gather-buffer mapping and packetisation.
+func (t *InProc) Write(seg uint32, offset uint64, data []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.clock.Advance(t.card.StoreLatency(offset, len(data)) + t.hopDelay)
+	return t.server.Write(seg, offset, data)
+}
+
+// WriteBatch implements BatchWriter. On the SCI model a batch is simply
+// the same sequence of remote stores — each range still pays its own
+// packetisation, so batched and unbatched commits cost identical virtual
+// time; the batch only removes per-request round trips on transports
+// that have them.
+func (t *InProc) WriteBatch(writes []BatchWrite) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	entries := make([]wire.BatchEntry, len(writes))
+	for i, w := range writes {
+		entries[i] = wire.BatchEntry{Seg: w.Seg, Offset: w.Offset, Data: w.Data}
+		t.clock.Advance(t.card.StoreLatency(w.Offset, len(w.Data)) + t.hopDelay)
+	}
+	return t.server.WriteBatch(entries)
+}
+
+// Read implements Transport.
+func (t *InProc) Read(seg uint32, offset uint64, n uint32) ([]byte, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	t.clock.Advance(t.card.ReadLatency(offset, int(n)) + t.hopDelay)
+	return t.server.Read(seg, offset, n)
+}
+
+// Connect implements Transport.
+func (t *InProc) Connect(name string) (SegmentHandle, error) {
+	if err := t.check(); err != nil {
+		return SegmentHandle{}, err
+	}
+	t.rpc()
+	seg, err := t.server.Connect(name)
+	if err != nil {
+		return SegmentHandle{}, err
+	}
+	return SegmentHandle{ID: seg.ID, Size: uint64(len(seg.Data))}, nil
+}
+
+// List implements Transport.
+func (t *InProc) List() ([]wire.SegmentInfo, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	t.rpc()
+	return t.server.List(), nil
+}
+
+// Ping implements Transport.
+func (t *InProc) Ping() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.rpc()
+	if t.server.Crashed() {
+		return fmt.Errorf("transport: remote node %s is down", t.server.Label())
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *InProc) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	return nil
+}
+
+var (
+	_ Transport   = (*InProc)(nil)
+	_ BatchWriter = (*InProc)(nil)
+)

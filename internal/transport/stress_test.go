@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+)
+
+// TestTCPManyConcurrentClients hammers one memory server with many
+// simultaneous TCP clients, each working its own segment, and verifies
+// every byte afterwards. This is the server's real deployment shape: the
+// paper's remote node donates memory to whatever workstations ask.
+func TestTCPManyConcurrentClients(t *testing.T) {
+	srv := memserver.New()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = Serve(l, srv)
+	}()
+	defer func() {
+		l.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not drain")
+		}
+	}()
+
+	const (
+		clients = 12
+		rounds  = 60
+		segSize = 8 << 10
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := DialTCP(l.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			seg, err := cli.Malloc(fmt.Sprintf("client-%d", c), segSize)
+			if err != nil {
+				errs <- err
+				return
+			}
+			pattern := bytes.Repeat([]byte{byte(c + 1)}, 512)
+			for r := 0; r < rounds; r++ {
+				off := uint64((r * 512) % segSize)
+				if err := cli.Write(seg.ID, off, pattern); err != nil {
+					errs <- fmt.Errorf("client %d write: %w", c, err)
+					return
+				}
+				got, err := cli.Read(seg.ID, off, 512)
+				if err != nil {
+					errs <- fmt.Errorf("client %d read: %w", c, err)
+					return
+				}
+				if !bytes.Equal(got, pattern) {
+					errs <- fmt.Errorf("client %d corruption at round %d", c, r)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every client's segment holds exactly its own pattern.
+	for c := 0; c < clients; c++ {
+		seg, err := srv.Connect(fmt.Sprintf("client-%d", c))
+		if err != nil {
+			t.Fatalf("client %d segment missing: %v", c, err)
+		}
+		for i, b := range seg.Data {
+			if b != byte(c+1) {
+				t.Fatalf("client %d byte %d = %d (cross-client corruption)", c, i, b)
+			}
+		}
+	}
+	if got := srv.Held(); got != clients*segSize {
+		t.Errorf("Held = %d, want %d", got, clients*segSize)
+	}
+}

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/wire"
+)
+
+// TCP is a transport speaking the wire protocol to a memory server over a
+// network connection. It serialises requests: the paper's client blocks
+// until each remote-memory request is serviced, and the transaction
+// library issues operations from a single thread of control.
+type TCP struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// DialTCP connects to a memory server at addr.
+func DialTCP(addr string) (*TCP, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Small synchronous requests dominate; Nagle would serialise
+		// them against the peer's delayed ACKs.
+		_ = tc.SetNoDelay(true)
+	}
+	return &TCP{conn: conn}, nil
+}
+
+// call performs one synchronous request/response exchange.
+func (t *TCP) call(req *wire.Request) (*wire.Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if err := wire.SendRequest(t.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := wire.RecvResponse(t.conn)
+	if err != nil {
+		return nil, err
+	}
+	return resp, respErr(resp)
+}
+
+// Malloc implements Transport.
+func (t *TCP) Malloc(name string, size uint64) (SegmentHandle, error) {
+	resp, err := t.call(&wire.Request{Op: wire.OpMalloc, Name: name, Size: size})
+	if err != nil {
+		return SegmentHandle{}, err
+	}
+	return SegmentHandle{ID: resp.Seg, Size: resp.Size}, nil
+}
+
+// Free implements Transport.
+func (t *TCP) Free(seg uint32) error {
+	_, err := t.call(&wire.Request{Op: wire.OpFree, Seg: seg})
+	return err
+}
+
+// Write implements Transport.
+func (t *TCP) Write(seg uint32, offset uint64, data []byte) error {
+	_, err := t.call(&wire.Request{Op: wire.OpWrite, Seg: seg, Offset: offset, Data: data})
+	return err
+}
+
+// WriteBatch implements BatchWriter: all writes travel in one frame and
+// are applied atomically by the server.
+func (t *TCP) WriteBatch(writes []BatchWrite) error {
+	entries := make([]wire.BatchEntry, len(writes))
+	for i, w := range writes {
+		entries[i] = wire.BatchEntry{Seg: w.Seg, Offset: w.Offset, Data: w.Data}
+	}
+	_, err := t.call(&wire.Request{Op: wire.OpWriteBatch, Batch: entries})
+	return err
+}
+
+// Read implements Transport.
+func (t *TCP) Read(seg uint32, offset uint64, n uint32) ([]byte, error) {
+	resp, err := t.call(&wire.Request{Op: wire.OpRead, Seg: seg, Offset: offset, Length: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Connect implements Transport.
+func (t *TCP) Connect(name string) (SegmentHandle, error) {
+	resp, err := t.call(&wire.Request{Op: wire.OpConnect, Name: name})
+	if err != nil {
+		return SegmentHandle{}, err
+	}
+	return SegmentHandle{ID: resp.Seg, Size: resp.Size}, nil
+}
+
+// List implements Transport.
+func (t *TCP) List() ([]wire.SegmentInfo, error) {
+	resp, err := t.call(&wire.Request{Op: wire.OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Segments, nil
+}
+
+// Ping implements Transport.
+func (t *TCP) Ping() error {
+	_, err := t.call(&wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Stats fetches server-side counters; not part of the Transport
+// interface but useful for tooling.
+func (t *TCP) Stats() (wire.ServerStats, error) {
+	resp, err := t.call(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return wire.ServerStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.conn.Close()
+}
+
+var (
+	_ Transport   = (*TCP)(nil)
+	_ BatchWriter = (*TCP)(nil)
+)
+
+// Serve accepts connections on l and services each against srv until l is
+// closed. It returns the first accept error (net.ErrClosed after a clean
+// shutdown). Each connection is handled on its own goroutine; Serve
+// returns only after all of them drain.
+func Serve(l net.Listener, srv *memserver.Server) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			serveConn(conn, srv)
+		}()
+	}
+}
+
+// serveConn services one client connection until EOF or a protocol error.
+func serveConn(conn net.Conn, srv *memserver.Server) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	for {
+		req, err := wire.RecvRequest(conn)
+		if err != nil {
+			return
+		}
+		resp := srv.Handle(req)
+		if err := wire.SendResponse(conn, resp); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package transport connects the PERSEAS client library to remote memory
+// servers.
+//
+// Two implementations are provided. InProc holds a direct reference to a
+// memserver.Server in the same process and charges every operation's
+// modelled PCI-SCI latency to a virtual clock — this is the configuration
+// used to reproduce the paper's figures deterministically. TCP speaks the
+// wire protocol over a real network connection, demonstrating the same
+// client-server protocol between genuinely separate processes.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// SegmentHandle identifies a remote segment mapped through a transport.
+type SegmentHandle struct {
+	// ID is the server-side segment id.
+	ID uint32
+	// Size is the segment length in bytes.
+	Size uint64
+}
+
+// Transport is a connection to one remote memory server. Implementations
+// must be safe for concurrent use by a single client process.
+type Transport interface {
+	// Malloc exports a new named segment on the remote node.
+	Malloc(name string, size uint64) (SegmentHandle, error)
+	// Free releases a remote segment.
+	Free(seg uint32) error
+	// Write copies data into remote memory (the remote half of the
+	// paper's sci_memcpy).
+	Write(seg uint32, offset uint64, data []byte) error
+	// Read copies bytes back from remote memory; used by recovery.
+	Read(seg uint32, offset uint64, n uint32) ([]byte, error)
+	// Connect re-maps an existing named segment after a client crash.
+	Connect(name string) (SegmentHandle, error)
+	// List enumerates live remote segments.
+	List() ([]wire.SegmentInfo, error)
+	// Ping verifies the remote node is alive.
+	Ping() error
+	// Close releases the connection. The remote segments survive.
+	Close() error
+}
+
+// BatchWrite is one write of a WriteBatch call.
+type BatchWrite struct {
+	Seg    uint32
+	Offset uint64
+	Data   []byte
+}
+
+// BatchWriter is implemented by transports that can apply several writes
+// in one exchange — one network round trip instead of one per range. The
+// server validates the whole batch before applying any of it.
+type BatchWriter interface {
+	WriteBatch(writes []BatchWrite) error
+}
+
+// respErr converts an error response into a Go error.
+func respErr(resp *wire.Response) error {
+	if resp.Status == wire.StatusOK {
+		return nil
+	}
+	if resp.Err == "" {
+		return errors.New("transport: remote error")
+	}
+	return fmt.Errorf("transport: remote: %s", resp.Err)
+}

@@ -1,0 +1,367 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// newInProc builds an in-process transport over a fresh server and clock.
+func newInProc(t *testing.T, opts ...InProcOption) (*InProc, *simclock.SimClock) {
+	t.Helper()
+	clock := simclock.NewSim()
+	tr, err := NewInProc(memserver.New(), sci.DefaultParams(), clock, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, clock
+}
+
+// startTCP runs a memory server on a loopback listener and returns a
+// connected client.
+func startTCP(t *testing.T) (*TCP, *memserver.Server) {
+	t.Helper()
+	srv := memserver.New()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = Serve(l, srv)
+	}()
+	t.Cleanup(func() {
+		l.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	})
+	cli, err := DialTCP(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli, srv
+}
+
+// transportContract exercises the full Transport behaviour against any
+// implementation.
+func transportContract(t *testing.T, tr Transport) {
+	t.Helper()
+
+	if err := tr.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	seg, err := tr.Malloc("db", 1024)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	if seg.Size != 1024 || seg.ID == 0 {
+		t.Fatalf("bad handle %+v", seg)
+	}
+
+	payload := []byte("perseas mirrors memory")
+	if err := tr.Write(seg.ID, 100, payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := tr.Read(seg.ID, 100, uint32(len(payload)))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read %q, want %q", got, payload)
+	}
+
+	// Out-of-bounds surfaces as an error.
+	if err := tr.Write(seg.ID, 1020, payload); err == nil {
+		t.Fatal("out-of-bounds write should fail")
+	}
+	if _, err := tr.Read(seg.ID, 2000, 4); err == nil {
+		t.Fatal("out-of-bounds read should fail")
+	}
+
+	// Reconnect by name sees the same segment.
+	re, err := tr.Connect("db")
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	if re.ID != seg.ID || re.Size != seg.Size {
+		t.Fatalf("connect handle %+v != malloc handle %+v", re, seg)
+	}
+	if _, err := tr.Connect("nope"); err == nil {
+		t.Fatal("connect to unknown name should fail")
+	}
+
+	list, err := tr.List()
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(list) != 1 || list[0].Name != "db" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	if err := tr.Free(seg.ID); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if err := tr.Free(seg.ID); err == nil {
+		t.Fatal("double free should fail")
+	}
+}
+
+// batchContract exercises WriteBatch against any transport implementing
+// BatchWriter.
+func batchContract(t *testing.T, tr Transport) {
+	t.Helper()
+	bw, ok := tr.(BatchWriter)
+	if !ok {
+		t.Fatal("transport does not implement BatchWriter")
+	}
+	seg, err := tr.Malloc("batch-db", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBatch([]BatchWrite{
+		{Seg: seg.ID, Offset: 0, Data: []byte("first")},
+		{Seg: seg.ID, Offset: 512, Data: []byte("second")},
+	}); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	a, err := tr.Read(seg.ID, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Read(seg.ID, 512, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != "first" || string(b) != "second" {
+		t.Errorf("batch wrote %q/%q", a, b)
+	}
+	// A bad entry fails the whole batch, atomically.
+	err = bw.WriteBatch([]BatchWrite{
+		{Seg: seg.ID, Offset: 100, Data: []byte("DIRTY")},
+		{Seg: seg.ID, Offset: 1020, Data: []byte("spills over")},
+	})
+	if err == nil {
+		t.Fatal("invalid batch should fail")
+	}
+	got, err := tr.Read(seg.ID, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == "DIRTY" {
+		t.Error("failed batch was partially applied")
+	}
+	if err := tr.Free(seg.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInProcBatch(t *testing.T) {
+	tr, _ := newInProc(t)
+	batchContract(t, tr)
+}
+
+func TestTCPBatch(t *testing.T) {
+	cli, _ := startTCP(t)
+	batchContract(t, cli)
+}
+
+func TestHWMirrorBatch(t *testing.T) {
+	hw, _, _ := newHW(t, 2)
+	batchContract(t, hw)
+}
+
+func TestInProcContract(t *testing.T) {
+	tr, _ := newInProc(t)
+	transportContract(t, tr)
+}
+
+func TestTCPContract(t *testing.T) {
+	cli, _ := startTCP(t)
+	transportContract(t, cli)
+}
+
+func TestInProcChargesSimulatedTime(t *testing.T) {
+	tr, clock := newInProc(t)
+	seg, err := tr.Malloc("db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := clock.Now()
+	if err := tr.Write(seg.ID, 0, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clock.Now() - before
+	// The paper: one 4-byte remote store costs 2.7 us.
+	if elapsed < 2500*time.Nanosecond || elapsed > 2900*time.Nanosecond {
+		t.Errorf("4-byte write charged %v, want ~2.7us", elapsed)
+	}
+
+	before = clock.Now()
+	if err := tr.Write(seg.ID, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	full := clock.Now() - before
+	if full <= elapsed {
+		t.Errorf("64-byte write (%v) should cost more than 4-byte (%v)", full, elapsed)
+	}
+
+	// Reads are slower than writes on SCI.
+	before = clock.Now()
+	if _, err := tr.Read(seg.ID, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	read := clock.Now() - before
+	if read <= full {
+		t.Errorf("remote read (%v) should cost more than remote write (%v)", read, full)
+	}
+}
+
+func TestInProcHopsAddLatency(t *testing.T) {
+	params := sci.DefaultParams()
+	near, nearClock := newInProc(t)
+	far, farClock := newInProc(t, WithHops(3, params))
+
+	segNear, err := near.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segFar, err := far.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, f0 := nearClock.Now(), farClock.Now()
+	if err := near.Write(segNear.ID, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := far.Write(segFar.ID, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	dNear, dFar := nearClock.Now()-n0, farClock.Now()-f0
+	want := 3 * params.HopCost
+	if dFar-dNear != want {
+		t.Errorf("hop surcharge = %v, want %v", dFar-dNear, want)
+	}
+}
+
+func TestInProcClosed(t *testing.T) {
+	tr, _ := newInProc(t)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Malloc("x", 64); !errors.Is(err, ErrClosed) {
+		t.Errorf("malloc after close: %v", err)
+	}
+	if err := tr.Write(1, 0, []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close: %v", err)
+	}
+	if err := tr.Ping(); !errors.Is(err, ErrClosed) {
+		t.Errorf("ping after close: %v", err)
+	}
+}
+
+func TestInProcPingCrashedServer(t *testing.T) {
+	tr, _ := newInProc(t)
+	tr.Server().Crash()
+	if err := tr.Ping(); err == nil {
+		t.Error("ping to crashed node should fail")
+	}
+}
+
+func TestTCPSegmentsSurviveClientReconnect(t *testing.T) {
+	cli, _ := startTCP(t)
+	seg, err := cli.Malloc("perseas.meta", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Write(seg.ID, 0, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	addr := cli.conn.RemoteAddr().String()
+	// Simulate the client process dying: drop the connection.
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	h, err := re.Connect("perseas.meta")
+	if err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+	got, err := re.Read(h.ID, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "survives" {
+		t.Errorf("read %q after reconnect, want %q", got, "survives")
+	}
+}
+
+func TestTCPStats(t *testing.T) {
+	cli, _ := startTCP(t)
+	seg, err := cli.Malloc("db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Write(seg.ID, 0, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 1 || st.BytesHeld != 128 || st.WriteOps != 1 || st.BytesWritten != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTCPClosedClient(t *testing.T) {
+	cli, _ := startTCP(t)
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Errorf("second close should be a no-op: %v", err)
+	}
+	if err := cli.Ping(); !errors.Is(err, ErrClosed) {
+		t.Errorf("ping after close: %v", err)
+	}
+}
+
+func TestTCPLargeWrite(t *testing.T) {
+	cli, _ := startTCP(t)
+	const size = 1 << 20
+	seg, err := cli.Malloc("big", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := cli.Write(seg.ID, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Read(seg.ID, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("1 MiB round trip corrupted data")
+	}
+}

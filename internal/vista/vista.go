@@ -1,0 +1,517 @@
+// Package vista reimplements the algorithmic core of Vista (Lowell &
+// Chen, SOSP 1997), the fastest recoverable-memory library the paper
+// compares against.
+//
+// Vista maps its database directly into the Rio file cache and gets rid
+// of the redo log entirely: because the mapped memory itself survives
+// crashes, a transaction only needs an undo log — also kept in Rio — to
+// roll back uncommitted updates. Commit merely discards the undo log (one
+// small store); abort copies the before-images back. This makes Vista
+// extremely fast, but its recoverability is only as good as Rio: it
+// requires the modified operating system, and on a power failure without
+// a UPS everything is gone — the gap PERSEAS fills with remote mirroring
+// while staying on an unmodified OS.
+package vista
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/hostmem"
+	"github.com/ics-forth/perseas/internal/riofs"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// Region names inside the Rio cache.
+const (
+	metaRegion   = "vista.meta"
+	undoRegion   = "vista.undo"
+	dbPrefix     = "vista.db."
+	metaSize     = 4096
+	committedOff = 0
+	dbCountOff   = 8
+	dirOff       = 32
+)
+
+// Undo record layout (same scheme as the PERSEAS log, kept in Rio):
+//
+//	[0:8) txid | [8:12) dbID | [12:20) offset | [20:24) length |
+//	[24:28) crc | [28:..) before-image
+const recordHeader = 28
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors specific to Vista.
+var (
+	// ErrUndoLogFull is returned when a transaction logs more
+	// before-image bytes than the undo region holds.
+	ErrUndoLogFull = errors.New("vista: undo log full")
+	// ErrBadRange is returned for ranges outside a database.
+	ErrBadRange = errors.New("vista: range outside database")
+	// ErrNoSuchDB is returned for unknown database names.
+	ErrNoSuchDB = errors.New("vista: no such database")
+)
+
+// Options configure a Vista instance.
+type Options struct {
+	// UndoLogSize bounds one transaction's before-images.
+	UndoLogSize uint64
+	// Mem prices local copies (Vista's operations are all direct
+	// stores into mapped Rio memory).
+	Mem hostmem.Model
+	// SetRangeOverhead and CommitOverhead model Vista's (very thin)
+	// software path: a few microseconds per declared range, almost
+	// nothing at commit — the numbers behind Lowell & Chen's
+	// "transactions for free" claim.
+	SetRangeOverhead time.Duration
+	CommitOverhead   time.Duration
+}
+
+// DefaultOptions sizes the undo log like the PERSEAS default.
+func DefaultOptions() Options {
+	return Options{
+		UndoLogSize:      4 << 20,
+		Mem:              hostmem.Default(),
+		SetRangeOverhead: 3 * time.Microsecond,
+		CommitOverhead:   1500 * time.Nanosecond,
+	}
+}
+
+// database is one Vista-managed region, mapped straight into Rio.
+type database struct {
+	id    uint32
+	name  string
+	data  []byte
+	stale bool
+}
+
+func (d *database) Name() string  { return d.name }
+func (d *database) Size() uint64  { return uint64(len(d.data)) }
+func (d *database) Bytes() []byte { return d.data }
+
+// pending is one declared range of the open transaction.
+type pending struct {
+	db     *database
+	offset uint64
+	length uint64
+}
+
+// Vista is one instance of the baseline.
+type Vista struct {
+	opts  Options
+	clock simclock.Clock
+	rio   *riofs.Store
+
+	meta []byte
+	undo []byte
+
+	dbs    map[string]*database
+	byID   map[uint32]*database
+	nextID uint32
+
+	txActive bool
+	txID     uint64
+	lastTx   uint64
+	cursor   uint64
+	ranges   []pending
+
+	crashed bool
+	lost    bool
+	stats   Stats
+}
+
+// Stats counts Vista activity.
+type Stats struct {
+	Begun      uint64
+	Committed  uint64
+	Aborted    uint64
+	SetRanges  uint64
+	Recoveries uint64
+}
+
+// New builds a Vista over the given Rio cache.
+func New(rio *riofs.Store, clock simclock.Clock, opts Options) (*Vista, error) {
+	if opts.UndoLogSize < recordHeader+1 {
+		return nil, fmt.Errorf("vista: undo log too small (%d)", opts.UndoLogSize)
+	}
+	if err := rio.Create(metaRegion, metaSize); err != nil {
+		return nil, fmt.Errorf("vista: create metadata: %w", err)
+	}
+	if err := rio.Create(undoRegion, opts.UndoLogSize); err != nil {
+		return nil, fmt.Errorf("vista: create undo log: %w", err)
+	}
+	meta, err := rio.Map(metaRegion)
+	if err != nil {
+		return nil, err
+	}
+	undo, err := rio.Map(undoRegion)
+	if err != nil {
+		return nil, err
+	}
+	return &Vista{
+		opts:   opts,
+		clock:  clock,
+		rio:    rio,
+		meta:   meta,
+		undo:   undo,
+		dbs:    make(map[string]*database),
+		byID:   make(map[uint32]*database),
+		nextID: 1,
+	}, nil
+}
+
+// Name implements engine.Engine.
+func (v *Vista) Name() string { return "vista" }
+
+// Stats returns a snapshot of the counters.
+func (v *Vista) Stats() Stats { return v.stats }
+
+func (v *Vista) checkAlive() error {
+	if v.crashed {
+		return engine.ErrCrashed
+	}
+	return nil
+}
+
+// CreateDB implements engine.Engine: the database lives directly in Rio.
+func (v *Vista) CreateDB(name string, size uint64) (engine.DB, error) {
+	if err := v.checkAlive(); err != nil {
+		return nil, err
+	}
+	if _, ok := v.dbs[name]; ok {
+		return nil, fmt.Errorf("vista: database %q exists", name)
+	}
+	if err := v.rio.Create(dbPrefix+name, size); err != nil {
+		return nil, err
+	}
+	data, err := v.rio.Map(dbPrefix + name)
+	if err != nil {
+		return nil, err
+	}
+	db := &database{id: v.nextID, name: name, data: data}
+	v.nextID++
+	v.dbs[name] = db
+	v.byID[db.id] = db
+	v.writeDirectory()
+	return db, nil
+}
+
+// InitDB implements engine.Engine. Vista's database already lives in
+// stable (Rio) memory, so publishing the initial state costs nothing.
+func (v *Vista) InitDB(db engine.DB) error {
+	if err := v.checkAlive(); err != nil {
+		return err
+	}
+	_, err := v.own(db)
+	return err
+}
+
+// OpenDB implements engine.Engine.
+func (v *Vista) OpenDB(name string) (engine.DB, error) {
+	if err := v.checkAlive(); err != nil {
+		return nil, err
+	}
+	db, ok := v.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDB, name)
+	}
+	return db, nil
+}
+
+func (v *Vista) own(db engine.DB) (*database, error) {
+	d, ok := db.(*database)
+	if !ok {
+		return nil, fmt.Errorf("vista: foreign DB handle %T", db)
+	}
+	if d.stale {
+		return nil, errors.New("vista: stale database handle; reopen after recovery")
+	}
+	if v.byID[d.id] != d {
+		return nil, fmt.Errorf("vista: unknown database handle %q", d.name)
+	}
+	return d, nil
+}
+
+// writeDirectory records (id, size, name) rows in the metadata region so
+// recovery can re-map databases.
+func (v *Vista) writeDirectory() {
+	binary.BigEndian.PutUint32(v.meta[dbCountOff:], uint32(len(v.byID)))
+	off := dirOff
+	for id := uint32(1); id < v.nextID; id++ {
+		db, ok := v.byID[id]
+		if !ok {
+			continue
+		}
+		binary.BigEndian.PutUint32(v.meta[off:], db.id)
+		binary.BigEndian.PutUint64(v.meta[off+4:], db.Size())
+		binary.BigEndian.PutUint16(v.meta[off+12:], uint16(len(db.name)))
+		copy(v.meta[off+14:], db.name)
+		off += 14 + len(db.name)
+	}
+}
+
+// Begin implements engine.Engine.
+func (v *Vista) Begin() error {
+	if err := v.checkAlive(); err != nil {
+		return err
+	}
+	if v.txActive {
+		return engine.ErrInTransaction
+	}
+	v.lastTx++
+	v.txID = v.lastTx
+	v.txActive = true
+	v.cursor = 0
+	v.ranges = v.ranges[:0]
+	v.stats.Begun++
+	return nil
+}
+
+// SetRange implements engine.Engine: one local copy of the before-image
+// into the Rio-resident undo log. No second copy anywhere — that is the
+// whole Vista trick.
+func (v *Vista) SetRange(db engine.DB, offset, length uint64) error {
+	if err := v.checkAlive(); err != nil {
+		return err
+	}
+	if !v.txActive {
+		return engine.ErrNoTransaction
+	}
+	d, err := v.own(db)
+	if err != nil {
+		return err
+	}
+	if offset > d.Size() || length > d.Size()-offset {
+		return fmt.Errorf("%w: [%d,+%d) in %d-byte database %q",
+			ErrBadRange, offset, length, d.Size(), d.name)
+	}
+	need := recordHeader + length
+	if v.cursor+need > uint64(len(v.undo)) {
+		return fmt.Errorf("%w: need %d bytes, %d free",
+			ErrUndoLogFull, need, uint64(len(v.undo))-v.cursor)
+	}
+	h := v.undo[v.cursor:]
+	binary.BigEndian.PutUint64(h[0:], v.txID)
+	binary.BigEndian.PutUint32(h[8:], d.id)
+	binary.BigEndian.PutUint64(h[12:], offset)
+	binary.BigEndian.PutUint32(h[20:], uint32(length))
+	crc := crc32.Update(0, crcTable, h[:24])
+	crc = crc32.Update(crc, crcTable, d.data[offset:offset+length])
+	binary.BigEndian.PutUint32(h[24:], crc)
+	v.opts.Mem.Copy(v.clock, h[recordHeader:recordHeader+length], d.data[offset:offset+length])
+	v.clock.Advance(v.opts.SetRangeOverhead)
+	v.cursor += need
+	v.ranges = append(v.ranges, pending{db: d, offset: offset, length: length})
+	v.stats.SetRanges++
+	return nil
+}
+
+// Commit implements engine.Engine: discard the undo log by bumping the
+// committed transaction id — one 8-byte store into Rio.
+func (v *Vista) Commit() error {
+	if err := v.checkAlive(); err != nil {
+		return err
+	}
+	if !v.txActive {
+		return engine.ErrNoTransaction
+	}
+	binary.BigEndian.PutUint64(v.meta[committedOff:], v.txID)
+	v.clock.Advance(v.opts.CommitOverhead + v.opts.Mem.CopyCost(8))
+	v.txActive = false
+	v.ranges = v.ranges[:0]
+	v.cursor = 0
+	v.stats.Committed++
+	return nil
+}
+
+// Abort implements engine.Engine: walk the undo log backwards and restore
+// before-images.
+func (v *Vista) Abort() error {
+	if err := v.checkAlive(); err != nil {
+		return err
+	}
+	if !v.txActive {
+		return engine.ErrNoTransaction
+	}
+	if err := v.rollback(v.txID - 1); err != nil {
+		return err
+	}
+	v.txActive = false
+	v.ranges = v.ranges[:0]
+	v.cursor = 0
+	v.stats.Aborted++
+	return nil
+}
+
+// rollback applies, newest first, the undo records of the single
+// transaction at the head of the log, provided it is newer than
+// committed. Remnants of older (aborted) transactions beyond the head
+// transaction's tail are never applied: they may be incomplete suffixes
+// whose before-images carry uncommitted bytes.
+func (v *Vista) rollback(committed uint64) error {
+	type rec struct {
+		dbID   uint32
+		offset uint64
+		length uint64
+		data   []byte
+	}
+	var recs []rec
+	var cursor uint64
+	var headTx uint64
+	for {
+		if cursor+recordHeader > uint64(len(v.undo)) {
+			break
+		}
+		h := v.undo[cursor:]
+		length := uint64(binary.BigEndian.Uint32(h[20:24]))
+		if cursor+recordHeader+length > uint64(len(v.undo)) {
+			break
+		}
+		crc := crc32.Update(0, crcTable, h[:24])
+		crc = crc32.Update(crc, crcTable, h[recordHeader:recordHeader+length])
+		if crc != binary.BigEndian.Uint32(h[24:28]) {
+			break
+		}
+		txID := binary.BigEndian.Uint64(h[0:8])
+		if txID <= committed {
+			break
+		}
+		if headTx == 0 {
+			headTx = txID
+		} else if txID != headTx {
+			break
+		}
+		recs = append(recs, rec{
+			dbID:   binary.BigEndian.Uint32(h[8:12]),
+			offset: binary.BigEndian.Uint64(h[12:20]),
+			length: length,
+			data:   h[recordHeader : recordHeader+length],
+		})
+		cursor += recordHeader + length
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		rc := recs[i]
+		db, ok := v.byID[rc.dbID]
+		if !ok {
+			return fmt.Errorf("vista: undo record for unknown database %d", rc.dbID)
+		}
+		if rc.offset > db.Size() || rc.length > db.Size()-rc.offset {
+			return fmt.Errorf("vista: undo record outside database %q", db.name)
+		}
+		v.opts.Mem.Copy(v.clock, db.data[rc.offset:rc.offset+rc.length], rc.data)
+	}
+	return nil
+}
+
+// Crash implements engine.Engine. Vista has no volatile database state —
+// everything lives in Rio — so a crash only drops the handles. Whether
+// the Rio contents survive depends on the crash kind.
+func (v *Vista) Crash(kind fault.CrashKind) error {
+	v.crashed = true
+	v.rio.Crash(kind)
+	if v.rio.Lost() {
+		v.lost = true
+	}
+	for _, db := range v.dbs {
+		db.stale = true
+	}
+	v.txActive = false
+	v.ranges = nil
+	return nil
+}
+
+// Recover implements engine.Engine: re-map every region and roll back the
+// in-flight transaction from the Rio-resident undo log.
+func (v *Vista) Recover() error {
+	if !v.crashed {
+		return errors.New("vista: recover called on a running instance")
+	}
+	v.rio.Restart()
+	if v.lost {
+		return fmt.Errorf("%w: Rio cache destroyed by power failure", engine.ErrUnrecoverable)
+	}
+	meta, err := v.rio.Map(metaRegion)
+	if err != nil {
+		return fmt.Errorf("vista: re-map metadata: %w", err)
+	}
+	undo, err := v.rio.Map(undoRegion)
+	if err != nil {
+		return fmt.Errorf("vista: re-map undo log: %w", err)
+	}
+	v.meta, v.undo = meta, undo
+
+	committed := binary.BigEndian.Uint64(meta[committedOff:])
+	count := binary.BigEndian.Uint32(meta[dbCountOff:])
+	dbs := make(map[string]*database, count)
+	byID := make(map[uint32]*database, count)
+	off := dirOff
+	var maxID uint32
+	for i := uint32(0); i < count; i++ {
+		id := binary.BigEndian.Uint32(meta[off:])
+		nameLen := int(binary.BigEndian.Uint16(meta[off+12:]))
+		name := string(meta[off+14 : off+14+nameLen])
+		off += 14 + nameLen
+		data, err := v.rio.Map(dbPrefix + name)
+		if err != nil {
+			return fmt.Errorf("vista: re-map database %q: %w", name, err)
+		}
+		db := &database{id: id, name: name, data: data}
+		dbs[name] = db
+		byID[id] = db
+		if id > maxID {
+			maxID = id
+		}
+	}
+	v.dbs = dbs
+	v.byID = byID
+	v.nextID = maxID + 1
+
+	// Roll back the in-flight transaction, if any, and advance the id
+	// counter past every id seen in the log.
+	last := committed
+	var cursor uint64
+	for {
+		if cursor+recordHeader > uint64(len(undo)) {
+			break
+		}
+		h := undo[cursor:]
+		length := uint64(binary.BigEndian.Uint32(h[20:24]))
+		if cursor+recordHeader+length > uint64(len(undo)) {
+			break
+		}
+		crc := crc32.Update(0, crcTable, h[:24])
+		crc = crc32.Update(crc, crcTable, h[recordHeader:recordHeader+length])
+		if crc != binary.BigEndian.Uint32(h[24:28]) {
+			break
+		}
+		txID := binary.BigEndian.Uint64(h[0:8])
+		if txID <= committed {
+			break
+		}
+		if txID > last {
+			last = txID
+		}
+		cursor += recordHeader + length
+	}
+	if err := v.rollback(committed); err != nil {
+		return err
+	}
+	v.lastTx = last
+	v.txActive = false
+	v.crashed = false
+	v.stats.Recoveries++
+	return nil
+}
+
+// Close implements engine.Engine.
+func (v *Vista) Close() error {
+	v.crashed = true
+	return nil
+}
+
+var _ engine.Engine = (*Vista)(nil)

@@ -1,0 +1,98 @@
+// Package walnet assembles the related-work comparator the paper
+// discusses (Ioanidis, Markatos & Sevaslidou, TR-190): a write-ahead
+// logging system whose log is replicated in remote main memory, replacing
+// synchronous disk writes with synchronous remote-memory writes plus
+// asynchronous disk writes.
+//
+// The WAL protocol itself is the unmodified package rvm implementation;
+// only the stable store differs. Each log force copies the record into
+// local memory, pushes it to the remote mirror (microseconds) and queues
+// an asynchronous disk write. The paper's criticism is visible under
+// sustained load: once the disk write buffer fills, the asynchronous
+// writes turn synchronous and commit throughput collapses to disk
+// bandwidth — while PERSEAS never touches the disk at all.
+package walnet
+
+import (
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/disk"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/rvm"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// storeRegion names the mirrored store region on the remote nodes.
+const storeRegion = "walnet.store"
+
+// Store implements rvm.StableStore over a remote-memory mirror with
+// asynchronous disk write-behind.
+type Store struct {
+	net    *netram.Client
+	region *netram.Region
+	dev    *disk.Disk
+}
+
+// NewStore builds the store. The mirror client should have alignment
+// expansion disabled (netram.WithoutAlignment) because after a local
+// crash the region's local buffer no longer matches the mirrors, and
+// expanded pushes would leak stale neighbouring bytes.
+func NewStore(net *netram.Client, dev *disk.Disk, size uint64) (*Store, error) {
+	if size > dev.Size() {
+		return nil, fmt.Errorf("walnet: store size %d exceeds disk size %d", size, dev.Size())
+	}
+	region, err := net.Malloc(storeRegion, size)
+	if err != nil {
+		return nil, fmt.Errorf("walnet: allocate mirror: %w", err)
+	}
+	return &Store{net: net, region: region, dev: dev}, nil
+}
+
+// WriteSync implements rvm.StableStore: the write is stable once the
+// remote mirror holds it; the disk copy trails asynchronously and only
+// costs time when the write buffer is full.
+func (s *Store) WriteSync(offset uint64, data []byte) error {
+	copy(s.region.Local[offset:], data)
+	if err := s.net.Push(s.region, offset, uint64(len(data))); err != nil {
+		return fmt.Errorf("walnet: push to mirror: %w", err)
+	}
+	if err := s.dev.WriteAsync(offset, data); err != nil {
+		return fmt.Errorf("walnet: write-behind: %w", err)
+	}
+	return nil
+}
+
+// Read implements rvm.StableStore: the remote mirror is authoritative
+// (it holds writes the disk may not have drained yet); the disk is the
+// fallback when every mirror is down.
+func (s *Store) Read(offset uint64, n int) ([]byte, error) {
+	data, err := s.net.Fetch(s.region, offset, uint64(n))
+	if err == nil {
+		return data, nil
+	}
+	s.dev.Flush()
+	return s.dev.Read(offset, n)
+}
+
+// Size implements rvm.StableStore.
+func (s *Store) Size() uint64 { return s.region.Size() }
+
+// Survives implements rvm.StableStore: the remote mirror is an
+// independent failure domain and the disk backs it up, so local crashes
+// of every kind are survivable.
+func (s *Store) Survives(fault.CrashKind) bool { return true }
+
+var _ rvm.StableStore = (*Store)(nil)
+
+// New builds the WAL-on-network-memory comparator engine.
+func New(net *netram.Client, dev *disk.Disk, size uint64, clock simclock.Clock, opts rvm.Options) (*rvm.RVM, error) {
+	store, err := NewStore(net, dev, size)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Label == "" {
+		opts.Label = "wal-net"
+	}
+	return rvm.New(store, clock, opts)
+}

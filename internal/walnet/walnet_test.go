@@ -1,0 +1,154 @@
+package walnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/disk"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/enginetest"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/rvm"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+func newWalnet(t *testing.T, mutate ...func(*rvm.Options)) (*rvm.RVM, *simclock.SimClock, *disk.Disk) {
+	t.Helper()
+	clock := simclock.NewSim()
+	srv := memserver.New()
+	tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := netram.NewClient(
+		[]netram.Mirror{{Name: "remote", T: tr}}, netram.WithoutAlignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := disk.New(disk.DefaultParams(32<<20), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rvm.DefaultOptions()
+	opts.LogSize = 4 << 20
+	for _, m := range mutate {
+		m(&opts)
+	}
+	r, err := New(net, dev, 16<<20, clock, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, clock, dev
+}
+
+func TestWalnetConformance(t *testing.T) {
+	enginetest.Run(t, "wal-net",
+		func(t *testing.T) engine.Engine {
+			r, _, _ := newWalnet(t)
+			return r
+		},
+		enginetest.Caps{
+			// The log's authoritative copy lives on the remote node,
+			// an independent failure domain, with the disk behind it.
+			SurvivesKind:    func(fault.CrashKind) bool { return true },
+			DurableOnCommit: true,
+		})
+}
+
+func TestName(t *testing.T) {
+	r, _, _ := newWalnet(t)
+	if got := r.Name(); got != "wal-net" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestLightLoadCommitIsFast(t *testing.T) {
+	r, clock, _ := newWalnet(t)
+	db, err := r.CreateDB("db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	t0 := clock.Now()
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetRange(db, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	lat := clock.Now() - t0
+	// One remote write plus an absorbed async disk write: microseconds.
+	if lat > time.Millisecond {
+		t.Errorf("light-load commit = %v, want microseconds", lat)
+	}
+}
+
+func TestSustainedLoadDegradesToDiskThroughput(t *testing.T) {
+	// The paper's critique of this scheme: under heavy load the write
+	// buffers fill and the asynchronous disk writes become synchronous,
+	// tying commit throughput to disk bandwidth.
+	r, clock, dev := newWalnet(t)
+	db, err := r.CreateDB("db", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+
+	var warm, sustained time.Duration
+	const txBytes = 64 << 10
+	measure := func(n int) time.Duration {
+		t0 := clock.Now()
+		for i := 0; i < n; i++ {
+			if err := r.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.SetRange(db, uint64(i%64)*txBytes, txBytes); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return (clock.Now() - t0) / time.Duration(n)
+	}
+	warm = measure(3)       // fits the write buffer
+	sustained = measure(40) // saturates it
+	if sustained < warm*2 {
+		t.Errorf("sustained per-tx cost %v should collapse well below buffer-absorbed cost %v",
+			sustained, warm)
+	}
+	if dev.Stats().Stalls == 0 {
+		t.Error("sustained load should have stalled on the write buffer")
+	}
+}
+
+func TestStoreRejectsOversize(t *testing.T) {
+	clock := simclock.NewSim()
+	srv := memserver.New()
+	tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := netram.NewClient([]netram.Mirror{{Name: "r", T: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := disk.New(disk.DefaultParams(1<<20), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(net, dev, 2<<20); err == nil {
+		t.Error("store larger than disk should be rejected")
+	}
+}

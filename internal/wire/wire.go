@@ -1,0 +1,435 @@
+// Package wire defines the binary protocol spoken between the PERSEAS
+// client library and the remote memory server.
+//
+// The paper's reliable network RAM is driven by a client-server model:
+// the server process on the remote node accepts requests (remote malloc
+// and free), exports physical memory segments, and applies remote writes.
+// This package frames those requests over any ordered byte stream.
+//
+// Framing: every message is a 4-byte big-endian length followed by the
+// message body. Request bodies start with a 1-byte opcode; response
+// bodies start with a 1-byte status. All multi-byte integers are
+// big-endian. Strings and byte blobs are 4-byte-length-prefixed.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Op identifies a request type.
+type Op uint8
+
+// Protocol opcodes. These mirror the operations the paper lists for the
+// reliable network RAM layer plus housekeeping used by recovery.
+const (
+	// OpMalloc exports a new named segment on the server
+	// (sci_get_new_segment in the paper).
+	OpMalloc Op = iota + 1
+	// OpFree releases a segment (sci_free_segment).
+	OpFree
+	// OpWrite copies bytes into a segment (the remote half of
+	// sci_memcpy).
+	OpWrite
+	// OpRead copies bytes out of a segment (remote read, used during
+	// recovery).
+	OpRead
+	// OpConnect looks up an existing named segment so a restarted
+	// client can re-map it (sci_connect_segment).
+	OpConnect
+	// OpList enumerates live segments; used by recovery and tooling.
+	OpList
+	// OpPing checks server liveness.
+	OpPing
+	// OpStats fetches server counters.
+	OpStats
+	// OpWriteBatch applies several writes in one exchange, validated
+	// together and applied atomically. One round trip covers a whole
+	// commit's range pushes on the TCP transport.
+	OpWriteBatch
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpMalloc:
+		return "MALLOC"
+	case OpFree:
+		return "FREE"
+	case OpWrite:
+		return "WRITE"
+	case OpRead:
+		return "READ"
+	case OpConnect:
+		return "CONNECT"
+	case OpList:
+		return "LIST"
+	case OpPing:
+		return "PING"
+	case OpStats:
+		return "STATS"
+	case OpWriteBatch:
+		return "WRITE-BATCH"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// Status is the first byte of every response.
+type Status uint8
+
+// Response status codes.
+const (
+	// StatusOK indicates success.
+	StatusOK Status = iota + 1
+	// StatusError carries a server-side error message.
+	StatusError
+)
+
+// Limits guarding against malformed or hostile frames.
+const (
+	// MaxFrame is the largest message body accepted (64 MiB + slack),
+	// sized to carry a whole mirrored database segment.
+	MaxFrame = 64<<20 + 4096
+	// MaxName is the longest segment name accepted.
+	MaxName = 256
+)
+
+// Protocol errors.
+var (
+	// ErrFrameTooLarge is returned when a peer announces a frame
+	// exceeding MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrNameTooLong is returned for segment names exceeding MaxName.
+	ErrNameTooLong = errors.New("wire: segment name too long")
+	// ErrTruncated is returned when a message body is shorter than its
+	// fields require.
+	ErrTruncated = errors.New("wire: truncated message")
+)
+
+// BatchEntry is one write of an OpWriteBatch request.
+type BatchEntry struct {
+	Seg    uint32
+	Offset uint64
+	Data   []byte
+}
+
+// Request is a client-to-server message. Which fields are meaningful
+// depends on Op: Malloc uses Name+Size; Free uses Seg; Write uses
+// Seg+Offset+Data; Read uses Seg+Offset+Length; Connect uses Name;
+// WriteBatch uses Batch.
+type Request struct {
+	Op     Op
+	Seg    uint32
+	Offset uint64
+	Length uint32
+	Size   uint64
+	Name   string
+	Data   []byte
+	Batch  []BatchEntry
+}
+
+// SegmentInfo describes one exported segment in a LIST response.
+type SegmentInfo struct {
+	ID   uint32
+	Size uint64
+	Name string
+}
+
+// ServerStats carries server counters in a STATS response.
+type ServerStats struct {
+	Segments     uint32
+	BytesHeld    uint64
+	WriteOps     uint64
+	ReadOps      uint64
+	BytesWritten uint64
+	BytesRead    uint64
+}
+
+// Response is a server-to-client message. Err is set when Status is
+// StatusError; the other fields depend on the request that elicited it.
+type Response struct {
+	Status   Status
+	Seg      uint32
+	Size     uint64
+	Data     []byte
+	Err      string
+	Segments []SegmentInfo
+	Stats    ServerStats
+}
+
+// appendU32/appendU64/appendBytes build message bodies.
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 4 {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(len(r.b)) {
+		r.err = ErrTruncated
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// EncodeRequest serialises a request body (without the frame length).
+func EncodeRequest(req *Request) ([]byte, error) {
+	if len(req.Name) > MaxName {
+		return nil, ErrNameTooLong
+	}
+	if len(req.Data) > math.MaxUint32 {
+		return nil, ErrFrameTooLarge
+	}
+	b := make([]byte, 0, 32+len(req.Name)+len(req.Data))
+	b = append(b, byte(req.Op))
+	b = appendU32(b, req.Seg)
+	b = appendU64(b, req.Offset)
+	b = appendU32(b, req.Length)
+	b = appendU64(b, req.Size)
+	b = appendBytes(b, []byte(req.Name))
+	b = appendBytes(b, req.Data)
+	b = appendU32(b, uint32(len(req.Batch)))
+	for _, e := range req.Batch {
+		b = appendU32(b, e.Seg)
+		b = appendU64(b, e.Offset)
+		b = appendBytes(b, e.Data)
+	}
+	return b, nil
+}
+
+// DecodeRequest parses a request body.
+func DecodeRequest(body []byte) (*Request, error) {
+	r := &reader{b: body}
+	req := &Request{
+		Op:     Op(r.u8()),
+		Seg:    r.u32(),
+		Offset: r.u64(),
+		Length: r.u32(),
+		Size:   r.u64(),
+	}
+	name := r.bytes()
+	data := r.bytes()
+	nBatch := r.u32()
+	if r.err == nil && uint64(nBatch) > uint64(len(r.b)) {
+		// Each entry takes at least 16 bytes; a count beyond the
+		// remaining body is corrupt.
+		return nil, ErrTruncated
+	}
+	for i := uint32(0); i < nBatch && r.err == nil; i++ {
+		e := BatchEntry{Seg: r.u32(), Offset: r.u64()}
+		if d := r.bytes(); len(d) > 0 {
+			e.Data = append([]byte(nil), d...)
+		}
+		req.Batch = append(req.Batch, e)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(name) > MaxName {
+		return nil, ErrNameTooLong
+	}
+	req.Name = string(name)
+	if len(data) > 0 {
+		req.Data = append([]byte(nil), data...)
+	}
+	return req, nil
+}
+
+// EncodeResponse serialises a response body (without the frame length).
+func EncodeResponse(resp *Response) ([]byte, error) {
+	if len(resp.Data) > math.MaxUint32 {
+		return nil, ErrFrameTooLarge
+	}
+	b := make([]byte, 0, 64+len(resp.Data))
+	b = append(b, byte(resp.Status))
+	b = appendU32(b, resp.Seg)
+	b = appendU64(b, resp.Size)
+	b = appendBytes(b, resp.Data)
+	b = appendBytes(b, []byte(resp.Err))
+	b = appendU32(b, uint32(len(resp.Segments)))
+	for _, s := range resp.Segments {
+		if len(s.Name) > MaxName {
+			return nil, ErrNameTooLong
+		}
+		b = appendU32(b, s.ID)
+		b = appendU64(b, s.Size)
+		b = appendBytes(b, []byte(s.Name))
+	}
+	b = appendU32(b, resp.Stats.Segments)
+	b = appendU64(b, resp.Stats.BytesHeld)
+	b = appendU64(b, resp.Stats.WriteOps)
+	b = appendU64(b, resp.Stats.ReadOps)
+	b = appendU64(b, resp.Stats.BytesWritten)
+	b = appendU64(b, resp.Stats.BytesRead)
+	return b, nil
+}
+
+// DecodeResponse parses a response body.
+func DecodeResponse(body []byte) (*Response, error) {
+	r := &reader{b: body}
+	resp := &Response{
+		Status: Status(r.u8()),
+		Seg:    r.u32(),
+		Size:   r.u64(),
+	}
+	data := r.bytes()
+	errMsg := r.bytes()
+	nseg := r.u32()
+	if r.err == nil && uint64(nseg) > uint64(len(r.b)) {
+		// Each segment entry takes at least 16 bytes; a count larger
+		// than the remaining body is corrupt.
+		return nil, ErrTruncated
+	}
+	for i := uint32(0); i < nseg && r.err == nil; i++ {
+		s := SegmentInfo{ID: r.u32(), Size: r.u64()}
+		s.Name = string(r.bytes())
+		resp.Segments = append(resp.Segments, s)
+	}
+	resp.Stats.Segments = r.u32()
+	resp.Stats.BytesHeld = r.u64()
+	resp.Stats.WriteOps = r.u64()
+	resp.Stats.ReadOps = r.u64()
+	resp.Stats.BytesWritten = r.u64()
+	resp.Stats.BytesRead = r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(data) > 0 {
+		resp.Data = append([]byte(nil), data...)
+	}
+	resp.Err = string(errMsg)
+	return resp, nil
+}
+
+// WriteFrame writes one length-prefixed message body to w.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message body from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return body, nil
+}
+
+// SendRequest frames and writes a request.
+func SendRequest(w io.Writer, req *Request) error {
+	body, err := EncodeRequest(req)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, body)
+}
+
+// RecvRequest reads and parses one request.
+func RecvRequest(r io.Reader) (*Request, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRequest(body)
+}
+
+// SendResponse frames and writes a response.
+func SendResponse(w io.Writer, resp *Response) error {
+	body, err := EncodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, body)
+}
+
+// RecvResponse reads and parses one response.
+func RecvResponse(r io.Reader) (*Response, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(body)
+}

@@ -1,0 +1,282 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		req  Request
+	}{
+		{"malloc", Request{Op: OpMalloc, Size: 1 << 20, Name: "db.accounts"}},
+		{"free", Request{Op: OpFree, Seg: 7}},
+		{"write", Request{Op: OpWrite, Seg: 3, Offset: 4096, Data: []byte{1, 2, 3, 4}}},
+		{"write empty", Request{Op: OpWrite, Seg: 3, Offset: 0}},
+		{"read", Request{Op: OpRead, Seg: 9, Offset: 128, Length: 64}},
+		{"connect", Request{Op: OpConnect, Name: "perseas.meta"}},
+		{"list", Request{Op: OpList}},
+		{"ping", Request{Op: OpPing}},
+		{"stats", Request{Op: OpStats}},
+		{"batch", Request{Op: OpWriteBatch, Batch: []BatchEntry{
+			{Seg: 1, Offset: 0, Data: []byte("aa")},
+			{Seg: 2, Offset: 4096, Data: []byte("bbbb")},
+		}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			body, err := EncodeRequest(&tt.req)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := DecodeRequest(body)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(*got, tt.req) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", *got, tt.req)
+			}
+		})
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		resp Response
+	}{
+		{"ok", Response{Status: StatusOK, Seg: 5, Size: 4096}},
+		{"error", Response{Status: StatusError, Err: "no such segment"}},
+		{"data", Response{Status: StatusOK, Data: []byte("hello")}},
+		{"list", Response{Status: StatusOK, Segments: []SegmentInfo{
+			{ID: 1, Size: 64, Name: "a"},
+			{ID: 2, Size: 128, Name: "b"},
+		}}},
+		{"stats", Response{Status: StatusOK, Stats: ServerStats{
+			Segments: 2, BytesHeld: 192, WriteOps: 10, ReadOps: 3,
+			BytesWritten: 640, BytesRead: 64,
+		}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			body, err := EncodeResponse(&tt.resp)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := DecodeResponse(body)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(*got, tt.resp) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", *got, tt.resp)
+			}
+		})
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(op uint8, seg uint32, off uint64, length uint32, size uint64, name string, data []byte) bool {
+		if len(name) > MaxName {
+			name = name[:MaxName]
+		}
+		req := Request{
+			Op: Op(op), Seg: seg, Offset: off, Length: length, Size: size,
+			Name: name, Data: data,
+		}
+		body, err := EncodeRequest(&req)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRequest(body)
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 {
+			// Decoder normalises empty data to nil.
+			return got.Op == req.Op && got.Seg == req.Seg && got.Offset == req.Offset &&
+				got.Length == req.Length && got.Size == req.Size && got.Name == req.Name &&
+				len(got.Data) == 0
+		}
+		return reflect.DeepEqual(*got, req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRequestTruncated(t *testing.T) {
+	req := Request{Op: OpWrite, Seg: 1, Offset: 10, Data: []byte("payload")}
+	body, err := EncodeRequest(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := DecodeRequest(body[:cut]); err == nil {
+			t.Errorf("decode of %d/%d bytes should fail", cut, len(body))
+		}
+	}
+}
+
+func TestDecodeResponseTruncated(t *testing.T) {
+	resp := Response{Status: StatusOK, Segments: []SegmentInfo{{ID: 1, Size: 2, Name: "x"}}}
+	body, err := EncodeResponse(&resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := DecodeResponse(body[:cut]); err == nil {
+			t.Errorf("decode of %d/%d bytes should fail", cut, len(body))
+		}
+	}
+}
+
+func TestDecodeResponseCorruptSegmentCount(t *testing.T) {
+	resp := Response{Status: StatusOK}
+	body, err := EncodeResponse(&resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The segment count field sits after status(1)+seg(4)+size(8)+
+	// data len(4)+err len(4) = byte 21.
+	body[21] = 0xff
+	body[22] = 0xff
+	if _, err := DecodeResponse(body); err == nil {
+		t.Error("corrupt segment count should fail to decode")
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	long := strings.Repeat("x", MaxName+1)
+	if _, err := EncodeRequest(&Request{Op: OpMalloc, Name: long}); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("encode long name: got %v, want ErrNameTooLong", err)
+	}
+	if _, err := EncodeResponse(&Response{
+		Status:   StatusOK,
+		Segments: []SegmentInfo{{Name: long}},
+	}); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("encode long segment name: got %v, want ErrNameTooLong", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{{}, {1}, []byte("hello world"), bytes.Repeat([]byte{0xab}, 1<<16)}
+	for _, b := range bodies {
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, want := range bodies {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d mismatch: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("drained stream: got %v, want EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("write oversized: got %v, want ErrFrameTooLarge", err)
+	}
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("read oversized: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameShortBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(short)); err == nil {
+		t.Error("short body should fail")
+	}
+}
+
+func TestSendRecvRequestResponse(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{Op: OpWrite, Seg: 2, Offset: 64, Data: []byte("abc")}
+	if err := SendRequest(&buf, &req); err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := RecvRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*gotReq, req) {
+		t.Errorf("request mismatch: %+v vs %+v", *gotReq, req)
+	}
+
+	resp := Response{Status: StatusOK, Seg: 2}
+	if err := SendResponse(&buf, &resp); err != nil {
+		t.Fatal(err)
+	}
+	gotResp, err := RecvResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*gotResp, resp) {
+		t.Errorf("response mismatch: %+v vs %+v", *gotResp, resp)
+	}
+}
+
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	// Decoders face bytes from the network; arbitrary input must yield
+	// an error or a value, never a panic or out-of-range access.
+	f := func(body []byte) bool {
+		_, _ = DecodeRequest(body)
+		_, _ = DecodeResponse(body)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Adversarial shapes: giant length prefixes everywhere.
+	evil := make([]byte, 64)
+	for i := range evil {
+		evil[i] = 0xFF
+	}
+	if _, err := DecodeRequest(evil); err == nil {
+		t.Error("all-0xFF request decoded")
+	}
+	if _, err := DecodeResponse(evil); err == nil {
+		t.Error("all-0xFF response decoded")
+	}
+}
+
+func TestReadFrameArbitraryHeader(t *testing.T) {
+	f := func(hdr [4]byte, body []byte) bool {
+		stream := append(hdr[:], body...)
+		_, _ = ReadFrame(bytes.NewReader(stream))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpMalloc: "MALLOC", OpFree: "FREE", OpWrite: "WRITE", OpRead: "READ",
+		OpConnect: "CONNECT", OpList: "LIST", OpPing: "PING", OpStats: "STATS",
+		Op(99): "OP(99)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package perseas is a transaction library for main-memory databases
+// that decouples transaction performance from magnetic-disk speed — a
+// faithful reimplementation of PERSEAS (Papathanasiou & Markatos,
+// "Lightweight Transactions on Networks of Workstations", ICDCS 1998).
+//
+// PERSEAS keeps the database in local main memory and mirrors it in the
+// memories of one or more remote workstations over a fast interconnect.
+// Transactions then need only memory copies:
+//
+//	lib, _ := perseas.Init(ram, clock)
+//	db, _ := lib.CreateDB("accounts", 1<<20)
+//	// ... fill initial records ...
+//	lib.InitDB(db)
+//
+//	lib.Begin()
+//	lib.SetRange(db, offset, length) // logs the before-image
+//	copy(db.Bytes()[offset:], update)
+//	lib.Commit()                     // pushes the range + commit word
+//
+// If the machine crashes, Attach on any workstation reconnects to the
+// surviving mirrors, rolls back whatever an in-flight transaction had
+// already propagated, and hands the database back.
+//
+// Two deployment styles are supported:
+//
+//   - NewLocalCluster builds an in-process mirror set over the
+//     calibrated PCI-SCI model and a deterministic virtual clock —
+//     ideal for tests and for reproducing the paper's figures;
+//   - DialMirrors connects to perseas-server processes over TCP for a
+//     real multi-machine deployment.
+package perseas
+
+import (
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/hostmem"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// Library is a PERSEAS instance: one sequential application's window
+// onto its mirrored main-memory databases.
+type Library = core.Library
+
+// Database is one mirrored main-memory database region.
+type Database = core.Database
+
+// Tx is the handle passed to Library.Update closures.
+type Tx = core.Tx
+
+// DB is the interface every database handle satisfies.
+type DB = engine.DB
+
+// Mirror names one remote memory node.
+type Mirror = netram.Mirror
+
+// RAM is the reliable network RAM layer a Library runs on.
+type RAM = netram.Client
+
+// Clock is the time source substrates charge costs to.
+type Clock = simclock.Clock
+
+// Option configures a Library.
+type Option = core.Option
+
+// CrashKind enumerates failure classes for failure injection.
+type CrashKind = fault.CrashKind
+
+// Crash kinds.
+const (
+	CrashProcess = fault.CrashProcess
+	CrashOS      = fault.CrashOS
+	CrashPower   = fault.CrashPower
+)
+
+// Re-exported configuration options.
+var (
+	// WithUndoLogSize bounds one transaction's before-images.
+	WithUndoLogSize = core.WithUndoLogSize
+	// WithMetaSize sizes the metadata region.
+	WithMetaSize = core.WithMetaSize
+	// WithMemModel overrides the local copy-cost model.
+	WithMemModel = core.WithMemModel
+	// WithNamespace isolates this application's segments so several
+	// applications can share the same mirror workstations.
+	WithNamespace = core.WithNamespace
+)
+
+// Init creates a PERSEAS library over a reliable network RAM layer
+// (the paper's PERSEAS_init).
+func Init(ram *RAM, clock Clock, opts ...Option) (*Library, error) {
+	return core.Init(ram, clock, opts...)
+}
+
+// Attach joins an existing PERSEAS database from any workstation after
+// the primary failed: it reconnects to the named remote segments, runs
+// recovery, and returns a ready library.
+func Attach(ram *RAM, clock Clock, opts ...Option) (*Library, error) {
+	return core.Attach(ram, clock, opts...)
+}
+
+// NewRAM builds the reliable network RAM layer over the given mirrors.
+func NewRAM(mirrors []Mirror, opts ...netram.Option) (*RAM, error) {
+	return netram.NewClient(mirrors, opts...)
+}
+
+// DialMirrors connects to remote perseas-server processes over TCP and
+// assembles them into a reliable network RAM layer.
+func DialMirrors(addrs ...string) (*RAM, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("perseas: at least one mirror address required")
+	}
+	var mirrors []Mirror
+	for _, addr := range addrs {
+		tr, err := transport.DialTCP(addr)
+		if err != nil {
+			for _, m := range mirrors {
+				_ = m.T.Close()
+			}
+			return nil, fmt.Errorf("perseas: dial mirror %s: %w", addr, err)
+		}
+		mirrors = append(mirrors, Mirror{Name: addr, T: tr})
+	}
+	return NewRAM(mirrors)
+}
+
+// LocalCluster is an in-process mirror set: remote memory nodes, the
+// calibrated PCI-SCI interconnect model and a deterministic clock. It
+// reproduces the paper's two-PC prototype inside one process.
+type LocalCluster struct {
+	// RAM is the assembled reliable network RAM layer.
+	RAM *RAM
+	// Clock is the virtual clock every cost is charged to.
+	Clock *simclock.SimClock
+	// Nodes are the mirror memory servers (crash them to test
+	// recovery).
+	Nodes []*memserver.Server
+}
+
+// NewLocalCluster builds a cluster of n mirror nodes (n >= 1).
+func NewLocalCluster(n int) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("perseas: cluster needs at least one mirror")
+	}
+	clock := simclock.NewSim()
+	params := sci.DefaultParams()
+	var mirrors []Mirror
+	var nodes []*memserver.Server
+	for i := 0; i < n; i++ {
+		node := memserver.New(memserver.WithLabel(fmt.Sprintf("node-%d", i)))
+		tr, err := transport.NewInProc(node, params, clock, transport.WithHops(i, params))
+		if err != nil {
+			return nil, err
+		}
+		mirrors = append(mirrors, Mirror{Name: node.Label(), T: tr})
+		nodes = append(nodes, node)
+	}
+	ram, err := NewRAM(mirrors)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalCluster{RAM: ram, Clock: clock, Nodes: nodes}, nil
+}
+
+// NewWallClock returns a real-time clock for TCP deployments.
+func NewWallClock() Clock { return simclock.NewWall() }
+
+// DefaultMemModel returns the era-calibrated local-copy cost model.
+func DefaultMemModel() hostmem.Model { return hostmem.Default() }

@@ -1,0 +1,95 @@
+package perseas_test
+
+import (
+	"testing"
+
+	perseas "github.com/ics-forth/perseas"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cluster, err := perseas.NewLocalCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := perseas.Init(cluster.RAM, cluster.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := lib.CreateDB("db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes(), "initial state")
+	if err := lib.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := lib.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SetRange(db, 0, 13); err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes(), "updated state")
+	if err := lib.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and attach from a "different workstation".
+	if err := lib.Crash(perseas.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	takeover, err := perseas.Attach(cluster.RAM, cluster.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := takeover.OpenDB("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(re.Bytes()[:13]); got != "updated state" {
+		t.Errorf("recovered %q", got)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := perseas.NewLocalCluster(0); err == nil {
+		t.Error("empty cluster should be rejected")
+	}
+	if _, err := perseas.DialMirrors(); err == nil {
+		t.Error("DialMirrors with no addresses should be rejected")
+	}
+	if _, err := perseas.DialMirrors("127.0.0.1:1"); err == nil {
+		t.Error("DialMirrors to a dead port should fail")
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	cluster, err := perseas.NewLocalCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := perseas.Init(cluster.RAM, cluster.Clock,
+		perseas.WithUndoLogSize(1<<16),
+		perseas.WithMemModel(perseas.DefaultMemModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := lib.CreateDB("db", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// The configured 64 KiB undo log cannot hold a 128 KiB range.
+	if err := lib.SetRange(db, 0, 1<<17); err == nil {
+		t.Fatal("oversized SetRange should overflow the configured undo log")
+	}
+	if err := lib.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
