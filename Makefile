@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments fuzz examples clean
+.PHONY: all check build vet test test-short test-race bench experiments fuzz examples clean
 
 all: build vet test
+
+# The full pre-merge gate: build, vet, tests, and the race detector.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +17,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Concurrent transaction handles make the race detector a first-class
+# gate, not an optional extra.
+test-race:
+	$(GO) test -race ./...
 
 # Skips the soak test and the `go run` example harness.
 test-short:

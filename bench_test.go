@@ -172,11 +172,12 @@ func BenchmarkRecovery(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := lab.Engine.Begin(); err != nil {
+		tx, err := lab.Engine.Begin()
+		if err != nil {
 			b.Fatal(err)
 		}
 		off := uint64(rng.Intn(1 << 19))
-		if err := lab.Engine.SetRange(db, off, 256); err != nil {
+		if err := tx.SetRange(db, off, 256); err != nil {
 			b.Fatal(err)
 		}
 		if err := lab.Engine.Crash(fault.AllKinds()[i%3]); err != nil {

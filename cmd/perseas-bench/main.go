@@ -279,11 +279,12 @@ func runRecovery(w io.Writer, _ int) error {
 		// Leave a transaction in flight with a handful of ranges so
 		// recovery exercises the remote-undo rollback too.
 		const ranges = 4
-		if err := lab.Engine.Begin(); err != nil {
+		tx, err := lab.Engine.Begin()
+		if err != nil {
 			return err
 		}
 		for r := 0; r < ranges; r++ {
-			if err := lab.Engine.SetRange(db, uint64(r)*4096, 512); err != nil {
+			if err := tx.SetRange(db, uint64(r)*4096, 512); err != nil {
 				return err
 			}
 		}

@@ -8,12 +8,15 @@
 //
 // or, with -selfcontained, spawns loopback TCP mirrors of its own. The
 // workload is the paper's debit-credit; stats print once per second.
+// With -workers N, N goroutines run concurrent transaction handles
+// against the same library and their commits interleave on the wire.
 // With -chaos, one mirror is killed halfway through and the run must
 // finish on the survivor — a live demonstration of the availability
 // claim.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,10 +24,13 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ics-forth/perseas/internal/bench"
 	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/simclock"
@@ -36,10 +42,13 @@ func main() {
 	selfContained := flag.Bool("selfcontained", false, "spawn loopback mirror servers")
 	duration := flag.Duration("duration", 10*time.Second, "how long to run")
 	chaos := flag.Bool("chaos", false, "kill one self-contained mirror halfway through")
-	branches := flag.Int("branches", 4, "debit-credit scale")
+	// TPC-B scales branches with offered load; 16 keeps 4+ workers from
+	// serialising on a handful of branch rows.
+	branches := flag.Int("branches", 16, "debit-credit scale")
+	workers := flag.Int("workers", 1, "concurrent transaction workers")
 	flag.Parse()
 
-	if err := run(os.Stdout, *servers, *selfContained, *duration, *chaos, *branches); err != nil {
+	if err := run(os.Stdout, *servers, *selfContained, *duration, *chaos, *branches, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "perseas-stress:", err)
 		os.Exit(1)
 	}
@@ -51,7 +60,18 @@ type mirrorHandle struct {
 	l    net.Listener
 }
 
-func run(out io.Writer, servers string, selfContained bool, duration time.Duration, chaos bool, branches int) error {
+// workerCounters is one worker's outcome tally, updated atomically so
+// the per-second reporter can read it live.
+type workerCounters struct {
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+	conflicts atomic.Uint64
+}
+
+func run(out io.Writer, servers string, selfContained bool, duration time.Duration, chaos bool, branches, workers int) error {
+	if workers < 1 {
+		return fmt.Errorf("need at least 1 worker, got %d", workers)
+	}
 	var addrs []string
 	var local []mirrorHandle
 	if selfContained {
@@ -106,19 +126,52 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 	if err := w.Setup(lib); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "database: %d bytes across 4 tables, %d mirrors\n", w.DBBytes(), len(addrs))
+	fmt.Fprintf(out, "database: %d bytes across 4 tables, %d mirrors, %d workers\n",
+		w.DBBytes(), len(addrs), workers)
 
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	counters := make([]workerCounters, workers)
+	workerErrs := make([]error, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	seed := time.Now().UnixNano()
 	start := time.Now()
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			for !stop.Load() {
+				switch err := w.ConcurrentTx(lib, rng); {
+				case err == nil:
+					counters[i].committed.Add(1)
+				case errors.Is(err, engine.ErrConflict):
+					counters[i].aborted.Add(1)
+					counters[i].conflicts.Add(1)
+					// Back off briefly so the claim winner finishes with
+					// the row instead of racing retries for the CPU.
+					time.Sleep(time.Duration(50+rng.Intn(150)) * time.Microsecond)
+				default:
+					workerErrs[i] = fmt.Errorf(
+						"after %d transactions: %w", counters[i].committed.Load(), err)
+					return
+				}
+			}
+		}()
+	}
+
+	committedNow := func() uint64 {
+		var n uint64
+		for i := range counters {
+			n += counters[i].committed.Load()
+		}
+		return n
+	}
 	lastReport := start
-	var total, window uint64
+	var lastTotal uint64
 	chaosFired := false
 	for time.Since(start) < duration {
-		if err := w.Tx(lib, rng); err != nil {
-			return fmt.Errorf("after %d transactions: %w", total, err)
-		}
-		total++
-		window++
+		time.Sleep(50 * time.Millisecond)
 		if chaos && !chaosFired && time.Since(start) > duration/2 {
 			chaosFired = true
 			local[0].srv.Crash()
@@ -126,16 +179,34 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 			fmt.Fprintf(out, "CHAOS: killed mirror %s mid-run\n", local[0].addr)
 		}
 		if time.Since(lastReport) >= time.Second {
+			total := committedNow()
 			secs := time.Since(lastReport).Seconds()
 			fmt.Fprintf(out, "%8.1fs  %10.0f tx/s  (live mirrors: %d)\n",
-				time.Since(start).Seconds(), float64(window)/secs, ram.Live())
-			window = 0
+				time.Since(start).Seconds(), float64(total-lastTotal)/secs, ram.Live())
+			lastTotal = total
 			lastReport = time.Now()
 		}
 	}
+	stop.Store(true)
+	wg.Wait()
 	elapsed := time.Since(start)
-	fmt.Fprintf(out, "total: %d transactions in %v (%.0f tx/s over real TCP)\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	for i, err := range workerErrs {
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+
+	var committed, aborted, conflicts uint64
+	for i := range counters {
+		c, a, cf := counters[i].committed.Load(), counters[i].aborted.Load(), counters[i].conflicts.Load()
+		fmt.Fprintf(out, "worker %2d: %8d committed  %6d aborted  %6d conflicts\n", i, c, a, cf)
+		committed += c
+		aborted += a
+		conflicts += cf
+	}
+	fmt.Fprintf(out, "total: %d committed, %d aborted (%d conflicts) in %v (%.0f tx/s over real TCP)\n",
+		committed, aborted, conflicts, elapsed.Round(time.Millisecond),
+		float64(committed)/elapsed.Seconds())
 	if err := w.CheckConsistency(); err != nil {
 		return err
 	}

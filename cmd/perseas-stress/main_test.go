@@ -8,13 +8,15 @@ import (
 
 func TestRunSelfContainedWithChaos(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", true, 1500*time.Millisecond, true, 1); err != nil {
+	if err := run(&sb, "", true, 1500*time.Millisecond, true, 1, 2); err != nil {
 		t.Fatalf("stress run: %v\n%s", err, sb.String())
 	}
 	out := sb.String()
 	for _, want := range []string{
 		"self-contained mirrors:",
 		"CHAOS: killed mirror",
+		"worker  0:",
+		"worker  1:",
 		"consistency: balance invariant holds",
 	} {
 		if !strings.Contains(out, want) {
@@ -25,11 +27,18 @@ func TestRunSelfContainedWithChaos(t *testing.T) {
 
 func TestRunRequiresServers(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", false, time.Second, false, 1); err == nil {
+	if err := run(&sb, "", false, time.Second, false, 1, 1); err == nil {
 		t.Error("no servers and not self-contained should fail")
 	}
-	if err := run(&sb, "x", false, time.Second, true, 1); err == nil {
+	if err := run(&sb, "x", false, time.Second, true, 1, 1); err == nil {
 		// -chaos without selfcontained mirrors list is validated too
 		_ = err
+	}
+}
+
+func TestRunRejectsZeroWorkers(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", true, time.Second, false, 1, 0); err == nil {
+		t.Error("zero workers should fail")
 	}
 }

@@ -27,14 +27,15 @@ func Example() {
 		log.Fatal(err)
 	}
 
-	if err := lib.Begin(); err != nil { // PERSEAS_begin_transaction
+	tx, err := lib.BeginTx() // PERSEAS_begin_transaction
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := lib.SetRange(db, 0, 17); err != nil { // PERSEAS_set_range
+	if err := tx.SetRange(db, 0, 17); err != nil { // PERSEAS_set_range
 		log.Fatal(err)
 	}
 	copy(db.Bytes(), "alice:090;bob:110")
-	if err := lib.Commit(); err != nil { // PERSEAS_commit_transaction
+	if err := tx.Commit(); err != nil { // PERSEAS_commit_transaction
 		log.Fatal(err)
 	}
 
@@ -90,17 +91,17 @@ func ExampleAttach() {
 }
 
 // Aborting restores every declared range from the undo log.
-func ExampleLibrary_Abort() {
+func ExampleLibrary_BeginTx() {
 	cluster, _ := perseas.NewLocalCluster(1)
 	lib, _ := perseas.Init(cluster.RAM, cluster.Clock)
 	db, _ := lib.CreateDB("db", 32)
 	copy(db.Bytes(), "original")
 	_ = lib.InitDB(db)
 
-	_ = lib.Begin()
-	_ = lib.SetRange(db, 0, 8)
+	tx, _ := lib.BeginTx()
+	_ = tx.SetRange(db, 0, 8)
 	copy(db.Bytes(), "mistake!")
-	_ = lib.Abort()
+	_ = tx.Abort()
 
 	fmt.Println(string(db.Bytes()[:8]))
 	// Output: original

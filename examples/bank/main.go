@@ -101,22 +101,23 @@ func transfer(lib *core.Library, from, to int, amount uint64) error {
 	if err != nil {
 		return err
 	}
-	if err := lib.Begin(); err != nil {
+	tx, err := lib.BeginTx()
+	if err != nil {
 		return err
 	}
 	fromOff := uint64(from) * accountSize
 	toOff := uint64(to) * accountSize
-	if err := lib.SetRange(ledger, fromOff, accountSize); err != nil {
-		return abortWith(lib, err)
+	if err := tx.SetRange(ledger, fromOff, accountSize); err != nil {
+		return abortWith(tx, err)
 	}
-	if err := lib.SetRange(ledger, toOff, accountSize); err != nil {
-		return abortWith(lib, err)
+	if err := tx.SetRange(ledger, toOff, accountSize); err != nil {
+		return abortWith(tx, err)
 	}
 	buf := ledger.Bytes()
 	fromBal := binary.BigEndian.Uint64(buf[fromOff:])
 	if fromBal < amount {
 		// Insufficient funds: abort restores both ranges untouched.
-		return lib.Abort()
+		return tx.Abort()
 	}
 	toBal := binary.BigEndian.Uint64(buf[toOff:])
 	binary.BigEndian.PutUint64(buf[fromOff:], fromBal-amount)
@@ -124,11 +125,11 @@ func transfer(lib *core.Library, from, to int, amount uint64) error {
 	// Bump versions.
 	binary.BigEndian.PutUint64(buf[fromOff+8:], binary.BigEndian.Uint64(buf[fromOff+8:])+1)
 	binary.BigEndian.PutUint64(buf[toOff+8:], binary.BigEndian.Uint64(buf[toOff+8:])+1)
-	return lib.Commit()
+	return tx.Commit()
 }
 
-func abortWith(lib *core.Library, err error) error {
-	if aerr := lib.Abort(); aerr != nil {
+func abortWith(tx *core.Tx, err error) error {
+	if aerr := tx.Abort(); aerr != nil {
 		return fmt.Errorf("%v (abort: %v)", err, aerr)
 	}
 	return err

@@ -62,8 +62,9 @@ func main() {
 	fmt.Printf("start:   %s\n", db.Bytes()[:8])
 
 	// Scene 1: crash before any propagation.
-	must(lib.Begin())
-	must(lib.SetRange(db, 0, 8))
+	tx1, err := lib.BeginTx()
+	must(err)
+	must(tx1.SetRange(db, 0, 8))
 	copy(db.Bytes(), "garbage!")
 	must(lib.Crash(fault.CrashOS))
 	must(lib.Recover())
@@ -72,8 +73,9 @@ func main() {
 
 	// Scene 2: crash mid-commit — the update partially reached the
 	// mirrors; the remote undo log rolls them back.
-	must(lib.Begin())
-	must(lib.SetRange(db, 0, 8))
+	tx2, err := lib.BeginTx()
+	must(err)
+	must(tx2.SetRange(db, 0, 8))
 	copy(db.Bytes(), "halfway!")
 	pushPartial(lib, db) // simulate commit interrupted between pushes
 	must(lib.Crash(fault.CrashPower))
@@ -105,10 +107,11 @@ func commit(lib *core.Library, db interface {
 	Bytes() []byte
 }, val string) {
 	d := db.(*core.Database)
-	must(lib.Begin())
-	must(lib.SetRange(d, 0, 8))
+	tx, err := lib.BeginTx()
+	must(err)
+	must(tx.SetRange(d, 0, 8))
 	copy(d.Bytes(), val)
-	must(lib.Commit())
+	must(tx.Commit())
 }
 
 // pushPartial simulates a crash window inside Commit: the data range has

@@ -85,14 +85,15 @@ func main() {
 
 	// Phase 2: crash in the middle of an order — after SetRange and the
 	// in-place updates, before Commit.
-	if err := lib.Begin(); err != nil {
+	torn, err := lib.BeginTx()
+	if err != nil {
 		log.Fatal(err)
 	}
 	item := rng.Intn(nItems)
-	if err := lib.SetRange(stock, uint64(item)*stockRec, 8); err != nil {
+	if err := torn.SetRange(stock, uint64(item)*stockRec, 8); err != nil {
 		log.Fatal(err)
 	}
-	if err := lib.SetRange(counter, 0, 8); err != nil {
+	if err := torn.SetRange(counter, 0, 8); err != nil {
 		log.Fatal(err)
 	}
 	binary.BigEndian.PutUint64(stock.Bytes()[item*stockRec:], 0) // half-applied order
@@ -136,10 +137,11 @@ func main() {
 // placeOrder runs one atomic multi-line order and returns the units sold.
 func placeOrder(lib *core.Library, stock, counter engine.DB, rng *rand.Rand) uint64 {
 	lines := 5 + rng.Intn(11)
-	if err := lib.Begin(); err != nil {
+	tx, err := lib.BeginTx()
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := lib.SetRange(counter, 0, 8); err != nil {
+	if err := tx.SetRange(counter, 0, 8); err != nil {
 		log.Fatal(err)
 	}
 	binary.BigEndian.PutUint64(counter.Bytes(), binary.BigEndian.Uint64(counter.Bytes())+1)
@@ -149,7 +151,7 @@ func placeOrder(lib *core.Library, stock, counter engine.DB, rng *rand.Rand) uin
 		item := rng.Intn(nItems)
 		qty := uint64(1 + rng.Intn(5))
 		off := uint64(item) * stockRec
-		if err := lib.SetRange(stock, off, 8); err != nil {
+		if err := tx.SetRange(stock, off, 8); err != nil {
 			log.Fatal(err)
 		}
 		have := binary.BigEndian.Uint64(stock.Bytes()[off:])
@@ -159,7 +161,7 @@ func placeOrder(lib *core.Library, stock, counter engine.DB, rng *rand.Rand) uin
 		binary.BigEndian.PutUint64(stock.Bytes()[off:], have-qty)
 		units += qty
 	}
-	if err := lib.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		log.Fatal(err)
 	}
 	return units

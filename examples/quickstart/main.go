@@ -59,15 +59,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// One atomic, mirrored transaction.
-	if err := lib.Begin(); err != nil {
+	// One atomic, mirrored transaction through an explicit handle.
+	tx, err := lib.Begin()
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := lib.SetRange(db, 0, 21); err != nil {
+	if err := tx.SetRange(db, 0, 21); err != nil {
 		log.Fatal(err)
 	}
 	copy(db.Bytes(), "hello, durable world!")
-	if err := lib.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -604,4 +604,4 @@ func (a *ARIES) Close() error {
 	return nil
 }
 
-var _ engine.Engine = (*ARIES)(nil)
+var _ engine.Sequential = (*ARIES)(nil)

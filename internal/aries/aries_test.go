@@ -39,7 +39,7 @@ func TestARIESConformance(t *testing.T) {
 	enginetest.Run(t, "aries",
 		func(t *testing.T) engine.Engine {
 			a, _ := newARIES(t)
-			return a
+			return engine.NewSequential(a)
 		},
 		enginetest.Caps{
 			SurvivesKind:    func(fault.CrashKind) bool { return true },
@@ -57,7 +57,7 @@ func TestARIESConformanceWithAggressiveCheckpoints(t *testing.T) {
 				o.CheckpointEvery = 1
 				o.PageSize = 128
 			})
-			return a
+			return engine.NewSequential(a)
 		},
 		enginetest.Caps{
 			SurvivesKind:    func(fault.CrashKind) bool { return true },

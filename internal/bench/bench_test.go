@@ -369,8 +369,11 @@ func TestRunTxAbortsOnBadRange(t *testing.T) {
 		t.Fatal("out-of-range tx should fail")
 	}
 	// The failed transaction was aborted: a new one can start.
-	if err := lab.Engine.Begin(); err != nil {
+	tx, err := lab.Engine.Begin()
+	if err != nil {
 		t.Errorf("engine left in-tx after failed runTx: %v", err)
+	} else if err := tx.Abort(); err != nil {
+		t.Error(err)
 	}
 }
 

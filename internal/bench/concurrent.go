@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// ConcurrentWorkload is a workload whose transactions may run from many
+// goroutines at once. ConcurrentTx must declare every range before
+// touching a byte, so the engine's conflict table arbitrates row
+// ownership; a lost arbitration returns engine.ErrConflict and the
+// runner retries.
+type ConcurrentWorkload interface {
+	Workload
+	ConcurrentTx(e engine.Engine, rng *rand.Rand) error
+}
+
+// WorkerStats counts one worker's outcomes.
+type WorkerStats struct {
+	// Committed transactions.
+	Committed uint64
+	// Conflicts lost to another worker's range claim (each one aborted
+	// the handle and was retried).
+	Conflicts uint64
+}
+
+// ConcurrentResult aggregates a concurrent run. Unlike Result it is
+// measured on the wall clock: concurrency pays off in real elapsed
+// time, which the serialised virtual clock cannot express.
+type ConcurrentResult struct {
+	Engine    string
+	Workload  string
+	Workers   int
+	Elapsed   time.Duration
+	Committed uint64
+	Conflicts uint64
+	TPS       float64
+	PerWorker []WorkerStats
+}
+
+// String renders one row.
+func (r ConcurrentResult) String() string {
+	return fmt.Sprintf("%-10s %-14s %2d workers  %7d tx  %7d conflicts  %12v  %10.0f tps",
+		r.Engine, r.Workload, r.Workers, r.Committed, r.Conflicts, r.Elapsed, r.TPS)
+}
+
+// RunConcurrent executes txsPerWorker committed transactions on each of
+// the given number of workers, all sharing one engine. Conflicted
+// transactions are retried and counted; any other error stops the run.
+func RunConcurrent(e engine.Engine, w ConcurrentWorkload, workers, txsPerWorker int, seed int64) (ConcurrentResult, error) {
+	if workers < 1 {
+		return ConcurrentResult{}, fmt.Errorf("bench: need at least 1 worker, got %d", workers)
+	}
+	if err := w.Setup(e); err != nil {
+		return ConcurrentResult{}, fmt.Errorf("bench: setup %s on %s: %w", w.Name(), e.Name(), err)
+	}
+	stats := make([]WorkerStats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			for stats[i].Committed < uint64(txsPerWorker) {
+				switch err := w.ConcurrentTx(e, rng); {
+				case err == nil:
+					stats[i].Committed++
+				case errors.Is(err, engine.ErrConflict):
+					stats[i].Conflicts++
+				default:
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return ConcurrentResult{}, fmt.Errorf("bench: worker %d: %w", i, err)
+		}
+	}
+	res := ConcurrentResult{
+		Engine:    e.Name(),
+		Workload:  w.Name(),
+		Workers:   workers,
+		Elapsed:   elapsed,
+		PerWorker: stats,
+	}
+	for _, s := range stats {
+		res.Committed += s.Committed
+		res.Conflicts += s.Conflicts
+	}
+	if elapsed > 0 {
+		res.TPS = float64(res.Committed) / elapsed.Seconds()
+	}
+	return res, nil
+}

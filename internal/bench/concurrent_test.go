@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestRunConcurrentDebitCredit(t *testing.T) {
+	lab := perseasLab(t)
+	defer lab.Engine.Close()
+	w, err := NewDebitCredit(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConcurrent(lab.Engine, w, 4, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 200 {
+		t.Errorf("committed = %d, want 200", res.Committed)
+	}
+	if len(res.PerWorker) != 4 {
+		t.Fatalf("per-worker stats = %d entries", len(res.PerWorker))
+	}
+	for i, s := range res.PerWorker {
+		if s.Committed != 50 {
+			t.Errorf("worker %d committed %d, want 50", i, s.Committed)
+		}
+	}
+	// Concurrent interleavings must never break the TPC-B invariant.
+	if err := w.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunConcurrentOrderEntry(t *testing.T) {
+	lab := perseasLab(t)
+	defer lab.Engine.Close()
+	w, err := NewOrderEntry(1, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConcurrent(lab.Engine, w, 4, 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 100 {
+		t.Errorf("committed = %d, want 100", res.Committed)
+	}
+}
+
+func TestRunConcurrentSingleWorkerMatchesInvariant(t *testing.T) {
+	lab := perseasLab(t)
+	defer lab.Engine.Close()
+	w, err := NewDebitCredit(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConcurrent(lab.Engine, w, 1, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conflicts != 0 {
+		t.Errorf("single worker saw %d conflicts", res.Conflicts)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"github.com/ics-forth/perseas/internal/engine"
 )
@@ -26,6 +27,9 @@ type DebitCredit struct {
 
 	historyLen  uint64
 	historyNext uint64
+	// histCounter is the history-slot cursor concurrent transactions
+	// claim atomically instead of historyNext.
+	histCounter atomic.Uint64
 }
 
 // Record sizes follow the TPC-B style: fat rows padded for realism.
@@ -125,6 +129,68 @@ func (d *DebitCredit) Tx(e engine.Engine, rng *rand.Rand) error {
 		{db: d.branches, offset: brOff, data: brBal},
 		{db: d.history, offset: histOff, data: hist},
 	})
+}
+
+// ConcurrentTx implements ConcurrentWorkload: the same TPC-B
+// transaction, restructured to be safe from many goroutines. Every row
+// is declared with SetRange FIRST — the engine's conflict table then
+// guarantees this transaction owns those bytes — and only afterwards
+// read, modified and written in place; the history slot comes from an
+// atomic cursor. A clash on a shared teller or branch row surfaces as
+// engine.ErrConflict, which the caller treats as a retry.
+func (d *DebitCredit) ConcurrentTx(e engine.Engine, rng *rand.Rand) error {
+	branch := rng.Intn(d.Branches)
+	teller := branch*tellersPerBr + rng.Intn(tellersPerBr)
+	account := branch*d.AccountsPerBranch + rng.Intn(d.AccountsPerBranch)
+	delta := rng.Int63n(1_000_000) - 500_000
+
+	accOff := uint64(account) * accountRecord
+	telOff := uint64(teller) * tellerRecord
+	brOff := uint64(branch) * branchRecord
+	slots := d.historyLen / historyRecord
+	histOff := (d.histCounter.Add(1) - 1) % slots * historyRecord
+
+	tx, err := e.Begin()
+	if err != nil {
+		return err
+	}
+	// Claims go most-contended-first (branch, then teller, then account):
+	// a lost arbitration then aborts before any undo record has been
+	// pushed to the mirrors, making retries cheap.
+	for _, c := range []struct {
+		db      engine.DB
+		off, ln uint64
+	}{
+		{d.branches, brOff, 8},
+		{d.tellers, telOff, 8},
+		{d.accounts, accOff, 8},
+		{d.history, histOff, historyRecord},
+	} {
+		if err := tx.SetRange(c.db, c.off, c.ln); err != nil {
+			abortErr := tx.Abort()
+			if abortErr != nil {
+				return fmt.Errorf("set_range: %v (abort: %v)", err, abortErr)
+			}
+			return err
+		}
+	}
+
+	// Sole owner of all four rows until commit: read-modify-write in
+	// place.
+	applyDelta(d.accounts.Bytes()[accOff:accOff+8], delta)
+	applyDelta(d.tellers.Bytes()[telOff:telOff+8], delta)
+	applyDelta(d.branches.Bytes()[brOff:brOff+8], delta)
+	hist := d.history.Bytes()[histOff : histOff+historyRecord]
+	binary.BigEndian.PutUint64(hist[0:], uint64(account))
+	binary.BigEndian.PutUint64(hist[8:], uint64(teller))
+	binary.BigEndian.PutUint64(hist[16:], uint64(branch))
+	binary.BigEndian.PutUint64(hist[24:], uint64(delta))
+	return tx.Commit()
+}
+
+// applyDelta adjusts an owned row's 8-byte balance column in place.
+func applyDelta(col []byte, delta int64) {
+	binary.BigEndian.PutUint64(col, uint64(int64(binary.BigEndian.Uint64(col))+delta))
 }
 
 // updateBalance returns the row's 8-byte balance column adjusted by

@@ -61,7 +61,8 @@ func (m *Mixed) Setup(e engine.Engine) error {
 // scattered records without declaring any range) or one small update.
 func (m *Mixed) Tx(e engine.Engine, rng *rand.Rand) error {
 	if rng.Float64() < m.ReadFraction {
-		if err := e.Begin(); err != nil {
+		tx, err := e.Begin()
+		if err != nil {
 			return err
 		}
 		// Read a handful of scattered 8-byte records; a checksum keeps
@@ -73,7 +74,7 @@ func (m *Mixed) Tx(e engine.Engine, rng *rand.Rand) error {
 			sum += binary.BigEndian.Uint64(buf[off:])
 		}
 		_ = sum
-		return e.Commit()
+		return tx.Commit()
 	}
 	span := m.DBSize - m.WriteSize
 	var off uint64

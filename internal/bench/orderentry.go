@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"github.com/ics-forth/perseas/internal/engine"
 )
@@ -37,6 +38,10 @@ type OrderEntry struct {
 	orderNext uint64
 	olLen     uint64
 	olNext    uint64
+	// Ring cursors concurrent transactions claim atomically instead of
+	// orderNext/olNext.
+	orderCounter atomic.Uint64
+	olCounter    atomic.Uint64
 }
 
 // Record sizes in the TPC-C spirit (trimmed to main-memory scale).
@@ -194,6 +199,86 @@ func (o *OrderEntry) newOrder(e engine.Engine, rng *rand.Rand) error {
 		writes = append(writes, rangeWrite{db: o.orderLine, offset: olOff, data: olRow})
 	}
 	return runTx(e, writes)
+}
+
+// ConcurrentTx implements ConcurrentWorkload: a new-order transaction
+// restructured for many goroutines. All rows are claimed with SetRange
+// before any byte is read or modified; ring slots for the order and
+// order-line inserts come from atomic cursors. A clash on a district
+// counter or stock row surfaces as engine.ErrConflict (a retry for the
+// caller).
+func (o *OrderEntry) ConcurrentTx(e engine.Engine, rng *rand.Rand) error {
+	warehouse := rng.Intn(o.Warehouses)
+	district := warehouse*o.districtsPerWarehouse + rng.Intn(o.districtsPerWarehouse)
+	customer := rng.Intn(o.CustomersPerDistrict)
+	items := minItems + rng.Intn(maxItems-minItems+1)
+
+	dOff := uint64(district) * districtRecord
+	orderSlots := o.orderLen / orderRecord
+	oOff := (o.orderCounter.Add(1) - 1) % orderSlots * orderRecord
+	olSlots := o.olLen / orderLineRecord
+
+	type claim struct {
+		db      engine.DB
+		off, ln uint64
+	}
+	claims := []claim{
+		{o.district, dOff, 8},
+		{o.order, oOff, orderRecord},
+	}
+	stockOffs := make([]uint64, items)
+	olOffs := make([]uint64, items)
+	qtys := make([]uint64, items)
+	itemIDs := make([]uint64, items)
+	for i := 0; i < items; i++ {
+		item := rng.Intn(o.ItemsPerWarehouse)
+		itemIDs[i] = uint64(item)
+		qtys[i] = uint64(1 + rng.Intn(10))
+		stockOffs[i] = uint64(warehouse*o.ItemsPerWarehouse+item) * stockRecord
+		olOffs[i] = (o.olCounter.Add(1) - 1) % olSlots * orderLineRecord
+		claims = append(claims,
+			claim{o.stock, stockOffs[i], 8},
+			claim{o.orderLine, olOffs[i], orderLineRecord})
+	}
+	tx, err := e.Begin()
+	if err != nil {
+		return err
+	}
+	for _, c := range claims {
+		if err := tx.SetRange(c.db, c.off, c.ln); err != nil {
+			abortErr := tx.Abort()
+			if abortErr != nil {
+				return fmt.Errorf("set_range: %v (abort: %v)", err, abortErr)
+			}
+			return err
+		}
+	}
+
+	// Sole owner of every claimed row: read-modify-write in place.
+	dRow := o.district.Bytes()[dOff : dOff+8]
+	oid := binary.BigEndian.Uint64(dRow) + 1
+	binary.BigEndian.PutUint64(dRow, oid)
+
+	oRow := o.order.Bytes()[oOff : oOff+orderRecord]
+	binary.BigEndian.PutUint64(oRow[0:], oid)
+	binary.BigEndian.PutUint64(oRow[8:], uint64(district))
+	binary.BigEndian.PutUint64(oRow[16:], uint64(customer))
+	binary.BigEndian.PutUint64(oRow[24:], uint64(items))
+
+	for i := 0; i < items; i++ {
+		sRow := o.stock.Bytes()[stockOffs[i] : stockOffs[i]+8]
+		have := binary.BigEndian.Uint64(sRow)
+		if have < qtys[i] {
+			have += 91 // TPC-C restock rule
+		}
+		binary.BigEndian.PutUint64(sRow, have-qtys[i])
+
+		olRow := o.orderLine.Bytes()[olOffs[i] : olOffs[i]+orderLineRecord]
+		binary.BigEndian.PutUint64(olRow[0:], oid)
+		binary.BigEndian.PutUint64(olRow[8:], itemIDs[i])
+		binary.BigEndian.PutUint64(olRow[16:], qtys[i])
+	}
+	return tx.Commit()
 }
 
 // DBBytes reports the database footprint.

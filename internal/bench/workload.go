@@ -32,17 +32,18 @@ type rangeWrite struct {
 }
 
 func runTx(e engine.Engine, writes []rangeWrite) error {
-	if err := e.Begin(); err != nil {
+	tx, err := e.Begin()
+	if err != nil {
 		return err
 	}
 	for _, w := range writes {
-		if err := e.SetRange(w.db, w.offset, uint64(len(w.data))); err != nil {
-			abortErr := e.Abort()
+		if err := tx.SetRange(w.db, w.offset, uint64(len(w.data))); err != nil {
+			abortErr := tx.Abort()
 			return fmt.Errorf("set_range: %v (abort: %v)", err, abortErr)
 		}
 		copy(w.db.Bytes()[w.offset:], w.data)
 	}
-	return e.Commit()
+	return tx.Commit()
 }
 
 // initDB creates a database, fills it with a deterministic pattern and

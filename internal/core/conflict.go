@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// conflictTable tracks which byte ranges of which databases are held by
+// in-flight transactions. The paper's in-place update discipline requires
+// that a declared range have exactly one writer until its transaction
+// finishes: an overlapping SetRange from a second transaction would read
+// (into its before-image) or overwrite bytes whose fate the first
+// transaction has not decided yet. Overlaps within one transaction stay
+// legal, as in the sequential library.
+//
+// All methods are called with the owning Library's mu held.
+type conflictTable struct {
+	byDB map[uint32][]rangeClaim
+}
+
+// rangeClaim is one held half-open range [lo,hi) of a database.
+type rangeClaim struct {
+	lo, hi uint64
+	tx     uint64
+}
+
+func newConflictTable() conflictTable {
+	return conflictTable{byDB: make(map[uint32][]rangeClaim)}
+}
+
+// claim records [off,off+n) of database dbID as held by tx, or returns
+// engine.ErrConflict when another live transaction already holds an
+// overlapping range.
+func (c *conflictTable) claim(dbID uint32, off, n, tx uint64) error {
+	hi := off + n
+	for _, cl := range c.byDB[dbID] {
+		if cl.tx != tx && cl.lo < hi && off < cl.hi {
+			return fmt.Errorf("%w: db %d range [%d,+%d) held by tx %d",
+				engine.ErrConflict, dbID, off, n, cl.tx)
+		}
+	}
+	c.byDB[dbID] = append(c.byDB[dbID], rangeClaim{lo: off, hi: hi, tx: tx})
+	return nil
+}
+
+// releaseAll drops every claim held by tx (called when the transaction
+// commits, aborts or is wiped out by a crash).
+func (c *conflictTable) releaseAll(tx uint64) {
+	for dbID, claims := range c.byDB {
+		kept := claims[:0]
+		for _, cl := range claims {
+			if cl.tx != tx {
+				kept = append(kept, cl)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.byDB, dbID)
+		} else {
+			c.byDB[dbID] = kept
+		}
+	}
+}
+
+// releaseDB drops every claim on one database (used when the database is
+// dropped; callers already ensure no transaction is open).
+func (c *conflictTable) releaseDB(dbID uint32) {
+	delete(c.byDB, dbID)
+}

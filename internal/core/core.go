@@ -6,26 +6,40 @@
 // reliable network RAM layer (package netram). A transaction needs only
 // memory copies — no magnetic disk ever sits on the commit path:
 //
-//  1. SetRange copies the before-image of the declared range into a
+//  1. Tx.SetRange copies the before-image of the declared range into a
 //     local undo log and pushes that log record to the remote undo log
 //     (one remote write).
 //  2. The application updates the declared ranges in place.
-//  3. Commit pushes every modified range to the mirrored remote database
-//     and then publishes the transaction id with one small remote write
-//     of the commit word — the atomic commit point.
+//  3. Tx.Commit pushes every modified range to the mirrored remote
+//     database and then publishes the transaction id with one small
+//     remote write of the commit word — the atomic commit point.
 //
-// Abort restores the declared ranges from the local undo log with plain
-// local memory copies. After a primary-node crash, Recover reconnects to
-// the surviving remote segments by name, rolls the remote database back
-// with the remote undo log if an in-flight transaction had started
-// propagating updates, and re-fetches the database — the paper's Section 3
-// recovery procedure.
+// Where the paper's library serves one sequential application, this
+// implementation hands out explicit transaction handles and lets many
+// transactions run concurrently. Each in-flight transaction owns a
+// private undo-log slot (slot 0 is the paper's single undo region;
+// further slots are allocated on demand and mirrored under derived
+// names) and a per-slot commit word in the metadata region, so commits
+// from different transactions never contend for the same remote bytes.
+// A range-conflict table makes overlapping SetRange declarations from
+// concurrent transactions fail fast with engine.ErrConflict, preserving
+// the paper's in-place update discipline: a declared range has exactly
+// one writer until its transaction finishes.
+//
+// Abort restores the declared ranges from the transaction's undo slot
+// with plain local memory copies. After a primary-node crash, Recover
+// reconnects to the surviving remote segments by name, rolls the remote
+// database back with each slot's remote undo log if an in-flight
+// transaction had started propagating updates, and re-fetches the
+// database — the paper's Section 3 recovery procedure, applied per
+// transaction slot.
 package core
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/fault"
@@ -54,11 +68,15 @@ const (
 // Defaults for tunable sizes.
 const (
 	// DefaultMetaSize is the metadata region size: header plus database
-	// directory.
+	// directory plus the per-slot commit words at the region tail.
 	DefaultMetaSize = 64 << 10
 	// DefaultUndoLogSize bounds the before-images one transaction can
 	// log.
 	DefaultUndoLogSize = 4 << 20
+	// maxUndoSlots caps the number of concurrently open transactions:
+	// each needs its own undo-log slot and commit word. The cap bounds
+	// the reconnection probe recovery performs.
+	maxUndoSlots = 64
 )
 
 // Errors specific to PERSEAS.
@@ -76,6 +94,9 @@ var (
 	ErrMetaFull = errors.New("perseas: metadata region full")
 	// ErrBadRange is returned for ranges outside a database.
 	ErrBadRange = errors.New("perseas: range outside database")
+	// ErrTooManyTxs is returned by Begin when every undo slot is busy
+	// and the slot cap is reached.
+	ErrTooManyTxs = errors.New("perseas: too many concurrent transactions")
 )
 
 // Stats counts library activity.
@@ -83,6 +104,7 @@ type Stats struct {
 	Begun       uint64
 	Committed   uint64
 	Aborted     uint64
+	Conflicts   uint64
 	SetRanges   uint64
 	BytesLogged uint64
 	Recoveries  uint64
@@ -94,7 +116,7 @@ type Database struct {
 	id     uint32
 	name   string
 	region *netram.Region
-	stale  bool
+	stale  bool // guarded by the owning Library's mu
 }
 
 // Name implements engine.DB.
@@ -119,43 +141,68 @@ type pending struct {
 	length uint64
 }
 
-// Library is one PERSEAS instance serving a sequential application, as in
-// the paper. It is not safe for concurrent use.
+// undoSlot is one transaction-private undo log: a mirrored region plus
+// the offset of the slot's commit word inside the metadata region.
+// Slot 0 is the paper's undo log with the paper's commit word; extra
+// slots live under derived segment names with commit words packed at
+// the metadata region's tail.
+type undoSlot struct {
+	idx     int
+	region  *netram.Region
+	wordOff uint64
+	busy    bool   // guarded by Library.mu
+	// committed is the id of the last transaction committed from this
+	// slot — the local view of the slot's remote commit word. Records
+	// at the slot head with larger ids belong to an unfinished
+	// transaction. Guarded by Library.mu.
+	committed uint64
+}
+
+// Library is one PERSEAS instance. Unlike the paper's sequential
+// library, it is safe for concurrent use: Begin hands out independent
+// transaction handles and any number of them may be in flight.
 type Library struct {
 	net   *netram.Client
 	mem   hostmem.Model
 	clock simclock.Clock
 
-	metaSize  uint64
-	undoSize  uint64
-	namespace string
+	metaSize     uint64
+	undoSize     uint64
+	namespace    string
+	noRemoteUndo bool
 
-	meta *netram.Region
-	undo *netram.Region
-
+	// mu guards every mutable field below plus Database.stale, Tx.done
+	// and undoSlot.busy/committed. Network pushes run outside mu; the
+	// conflict table guarantees the bytes they read are not concurrently
+	// written.
+	mu       sync.Mutex
+	meta     *netram.Region
+	slots    []*undoSlot
 	dbs      map[string]*Database
 	byID     map[uint32]*Database
 	nextDBID uint32
-
-	txActive  bool
-	txID      uint64
-	lastTxID  uint64
+	// dirEnd is the first metadata byte past the serialised directory;
+	// slot commit words may not be allocated below it.
+	dirEnd   uint64
+	lastTxID uint64
+	// committed is the largest committed transaction id across slots.
 	committed uint64
-	cursor    uint64
-	ranges    []pending
-	// pushed lists the declared ranges a failed Commit managed to push,
-	// so Abort can repair the mirrors.
-	pushed []pending
+	txs       map[*Tx]struct{}
+	locks     conflictTable
+	crashed   bool
+	stats     Stats
 
-	crashed      bool
-	noRemoteUndo bool
-	stats        Stats
+	// metaMu orders writes to the metadata region's local buffer and its
+	// pushes: per-slot commit words are disjoint bytes, so their writers
+	// share the read lock; directory rewrites (which push the whole
+	// region) take the write lock.
+	metaMu sync.RWMutex
 }
 
 // Option configures a Library.
 type Option func(*Library)
 
-// WithUndoLogSize overrides the undo log capacity.
+// WithUndoLogSize overrides the per-transaction undo log capacity.
 func WithUndoLogSize(n uint64) Option {
 	return func(l *Library) { l.undoSize = n }
 }
@@ -187,7 +234,7 @@ func WithUnsafeNoRemoteUndo() Option {
 
 // Init creates a PERSEAS instance over the given reliable-network-RAM
 // client — the paper's PERSEAS_init. It allocates and mirrors the
-// metadata and undo-log regions.
+// metadata region and the first undo-log slot.
 func Init(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library, error) {
 	l := &Library{
 		net:      net,
@@ -197,12 +244,15 @@ func Init(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library, e
 		undoSize: DefaultUndoLogSize,
 		dbs:      make(map[string]*Database),
 		byID:     make(map[uint32]*Database),
+		txs:      make(map[*Tx]struct{}),
+		locks:    newConflictTable(),
 		nextDBID: 1,
+		dirEnd:   metaHeaderSize,
 	}
 	for _, o := range opts {
 		o(l)
 	}
-	if l.metaSize < metaHeaderSize {
+	if l.metaSize < metaHeaderSize+8 {
 		return nil, fmt.Errorf("perseas: metadata region too small (%d bytes)", l.metaSize)
 	}
 	if l.undoSize < recordHeaderSize+1 {
@@ -218,7 +268,8 @@ func Init(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library, e
 		_ = net.Free(meta)
 		return nil, fmt.Errorf("perseas: allocate undo log: %w", err)
 	}
-	l.meta, l.undo = meta, undo
+	l.meta = meta
+	l.slots = []*undoSlot{{idx: 0, region: undo, wordOff: metaCommittedOff}}
 
 	binary.BigEndian.PutUint64(meta.Local[metaMagicOff:], metaMagic)
 	binary.BigEndian.PutUint64(meta.Local[metaCommittedOff:], 0)
@@ -230,20 +281,75 @@ func Init(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library, e
 	return l, nil
 }
 
+// undoSlotName derives the remote segment name of undo slot k.
+func undoSlotName(k int) string {
+	if k == 0 {
+		return undoRegionName
+	}
+	return fmt.Sprintf("%s.%d", undoRegionName, k)
+}
+
+// slotWordOffset places slot k's commit word. Slot 0 uses the paper's
+// header word; later slots pack 8-byte words down from the metadata
+// region's tail, leaving the middle to the database directory.
+func slotWordOffset(metaSize uint64, k int) uint64 {
+	if k == 0 {
+		return metaCommittedOff
+	}
+	return metaSize - 8*uint64(k)
+}
+
+// acquireSlotLocked finds a free undo slot or allocates a new one.
+// Caller holds l.mu.
+func (l *Library) acquireSlotLocked() (*undoSlot, error) {
+	for _, s := range l.slots {
+		if !s.busy {
+			return s, nil
+		}
+	}
+	k := len(l.slots)
+	if k >= maxUndoSlots {
+		return nil, fmt.Errorf("%w: %d slots busy", ErrTooManyTxs, k)
+	}
+	wordOff := slotWordOffset(l.metaSize, k)
+	if wordOff < l.dirEnd || wordOff < metaHeaderSize {
+		return nil, fmt.Errorf("%w: no room for commit word of undo slot %d", ErrMetaFull, k)
+	}
+	region, err := l.net.Malloc(l.qualify(undoSlotName(k)), l.undoSize)
+	if err != nil {
+		return nil, fmt.Errorf("perseas: allocate undo slot %d: %w", k, err)
+	}
+	s := &undoSlot{idx: k, region: region, wordOff: wordOff}
+	l.slots = append(l.slots, s)
+	return s, nil
+}
+
 // Stats returns a snapshot of the library counters.
-func (l *Library) Stats() Stats { return l.stats }
+func (l *Library) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
 
 // Net exposes the underlying network-RAM client (benchmarks inspect its
 // traffic counters).
 func (l *Library) Net() *netram.Client { return l.net }
 
-// InTransaction reports whether a transaction is open.
-func (l *Library) InTransaction() bool { return l.txActive }
+// InTransaction reports whether any transaction is open.
+func (l *Library) InTransaction() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.txs) > 0
+}
 
-// CommittedTxID returns the id of the last committed transaction.
-func (l *Library) CommittedTxID() uint64 { return l.committed }
+// CommittedTxID returns the largest committed transaction id.
+func (l *Library) CommittedTxID() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.committed
+}
 
-func (l *Library) checkAlive() error {
+func (l *Library) checkAliveLocked() error {
 	if l.crashed {
 		return engine.ErrCrashed
 	}
@@ -265,7 +371,9 @@ func (l *Library) Name() string { return "perseas" }
 // allocates local memory for the database records and prepares the remote
 // segments the records will be mirrored in.
 func (l *Library) CreateDB(name string, size uint64) (engine.DB, error) {
-	if err := l.checkAlive(); err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkAliveLocked(); err != nil {
 		return nil, err
 	}
 	if _, ok := l.dbs[name]; ok {
@@ -279,7 +387,7 @@ func (l *Library) CreateDB(name string, size uint64) (engine.DB, error) {
 	l.nextDBID++
 	l.dbs[name] = db
 	l.byID[db.id] = db
-	if err := l.writeDirectory(); err != nil {
+	if err := l.writeDirectoryLocked(); err != nil {
 		delete(l.dbs, name)
 		delete(l.byID, db.id)
 		_ = l.net.Free(region)
@@ -290,15 +398,20 @@ func (l *Library) CreateDB(name string, size uint64) (engine.DB, error) {
 
 // InitDB implements engine.Engine: the paper's PERSEAS_init_remote_db.
 // Call it once after setting the local records to their initial values;
-// it mirrors the whole database to the remote nodes.
+// it mirrors the whole database to the remote nodes. It must not run
+// concurrently with transactions touching the same database.
 func (l *Library) InitDB(db engine.DB) error {
-	if err := l.checkAlive(); err != nil {
+	l.mu.Lock()
+	if err := l.checkAliveLocked(); err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	d, err := l.own(db)
+	d, err := l.ownLocked(db)
 	if err != nil {
+		l.mu.Unlock()
 		return err
 	}
+	l.mu.Unlock()
 	if err := l.net.PushAll(d.region); err != nil {
 		return fmt.Errorf("perseas: mirror database %q: %w", d.name, err)
 	}
@@ -306,13 +419,15 @@ func (l *Library) InitDB(db engine.DB) error {
 }
 
 // DropDB removes a database: its remote segments are freed on every
-// mirror and the directory is republished. It cannot run inside a
-// transaction.
+// mirror and the directory is republished. It cannot run while any
+// transaction is open.
 func (l *Library) DropDB(name string) error {
-	if err := l.checkAlive(); err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkAliveLocked(); err != nil {
 		return err
 	}
-	if l.txActive {
+	if len(l.txs) > 0 {
 		return fmt.Errorf("perseas: drop database: %w", engine.ErrInTransaction)
 	}
 	db, ok := l.dbs[name]
@@ -325,12 +440,15 @@ func (l *Library) DropDB(name string) error {
 	db.stale = true
 	delete(l.dbs, name)
 	delete(l.byID, db.id)
-	return l.writeDirectory()
+	l.locks.releaseDB(db.id)
+	return l.writeDirectoryLocked()
 }
 
 // OpenDB implements engine.Engine.
 func (l *Library) OpenDB(name string) (engine.DB, error) {
-	if err := l.checkAlive(); err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkAliveLocked(); err != nil {
 		return nil, err
 	}
 	db, ok := l.dbs[name]
@@ -343,12 +461,16 @@ func (l *Library) OpenDB(name string) (engine.DB, error) {
 // Close implements engine.Engine. Remote segments stay exported so
 // another node can take over the database.
 func (l *Library) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.crashed = true
+	l.retireAllLocked()
 	return nil
 }
 
-// own checks that db is a live Database of this library.
-func (l *Library) own(db engine.DB) (*Database, error) {
+// ownLocked checks that db is a live Database of this library. Caller
+// holds l.mu.
+func (l *Library) ownLocked(db engine.DB) (*Database, error) {
 	d, ok := db.(*Database)
 	if !ok {
 		return nil, fmt.Errorf("perseas: foreign DB handle %T", db)
@@ -362,10 +484,19 @@ func (l *Library) own(db engine.DB) (*Database, error) {
 	return d, nil
 }
 
-// writeDirectory serialises the database directory into the metadata
-// region and mirrors it.
-func (l *Library) writeDirectory() error {
+// writeDirectoryLocked serialises the database directory into the
+// metadata region and mirrors it. Caller holds l.mu; the metadata write
+// lock is taken so the full-region push cannot race a commit word.
+func (l *Library) writeDirectoryLocked() error {
+	l.metaMu.Lock()
+	defer l.metaMu.Unlock()
 	buf := l.meta.Local
+	// The directory may not grow into the slot commit words at the
+	// region tail.
+	limit := len(buf)
+	if n := len(l.slots); n > 1 {
+		limit = int(slotWordOffset(l.metaSize, n-1))
+	}
 	binary.BigEndian.PutUint32(buf[metaDBCountOff:], uint32(len(l.byID)))
 	// The id counter is persisted so ids of dropped databases are never
 	// reused after a crash: stale undo records naming a dropped id must
@@ -380,7 +511,7 @@ func (l *Library) writeDirectory() error {
 			continue
 		}
 		need := 4 + 8 + 2 + len(db.name)
-		if off+need > len(buf) {
+		if off+need > limit {
 			return fmt.Errorf("%w: %d databases", ErrMetaFull, len(l.byID))
 		}
 		binary.BigEndian.PutUint32(buf[off:], db.id)
@@ -389,10 +520,21 @@ func (l *Library) writeDirectory() error {
 		copy(buf[off+14:], db.name)
 		off += need
 	}
+	l.dirEnd = uint64(off)
 	if err := l.net.PushAll(l.meta); err != nil {
 		return fmt.Errorf("perseas: publish directory: %w", err)
 	}
 	return nil
+}
+
+// directoryEnd computes the first byte past a directory with the given
+// entries.
+func directoryEnd(entries []dirEntry) uint64 {
+	off := uint64(metaHeaderSize)
+	for _, e := range entries {
+		off += 14 + uint64(len(e.name))
+	}
+	return off
 }
 
 // readDirectory parses the metadata region into (id, name, size) tuples
@@ -436,39 +578,57 @@ type dirEntry struct {
 }
 
 // ReviveMirror reintegrates a repaired mirror node: every PERSEAS region
-// — metadata, undo log and all databases — is re-exported there and
+// — metadata, undo logs and all databases — is re-exported there and
 // refilled from the primary's copies, restoring the replication degree.
 // It must be called between transactions: the local copies are then
 // exactly the committed state, so the resync cannot leak uncommitted
 // data.
 func (l *Library) ReviveMirror(i int) error {
-	if err := l.checkAlive(); err != nil {
+	l.mu.Lock()
+	if err := l.checkAliveLocked(); err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	if l.txActive {
+	if len(l.txs) > 0 {
+		l.mu.Unlock()
 		return fmt.Errorf("perseas: revive mirror: %w", engine.ErrInTransaction)
 	}
-	if err := l.net.Revive(i); err != nil {
-		return err
+	l.mu.Unlock()
+	return l.net.Revive(i)
+}
+
+// retireAllLocked invalidates every open transaction handle. Caller
+// holds l.mu.
+func (l *Library) retireAllLocked() {
+	for tx := range l.txs {
+		tx.done = true
 	}
-	return nil
+	l.txs = make(map[*Tx]struct{})
+	for _, s := range l.slots {
+		s.busy = false
+	}
+	l.locks = newConflictTable()
 }
 
 // Crash implements engine.Engine: the primary workstation fails. Local
-// main memory — the databases, the local undo log, every pointer — is
-// gone regardless of crash kind; only the remote mirrors survive.
+// main memory — the databases, the undo-log slots, every pointer, every
+// open transaction — is gone regardless of crash kind; only the remote
+// mirrors survive.
 func (l *Library) Crash(fault.CrashKind) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.crashed = true
+	l.retireAllLocked()
 	for _, db := range l.dbs {
 		db.stale = true
 	}
 	l.dbs = make(map[string]*Database)
 	l.byID = make(map[uint32]*Database)
+	// Committers read l.meta under metaMu; taking the write lock here
+	// fences any in-flight commit-word push before the region vanishes.
+	l.metaMu.Lock()
 	l.meta = nil
-	l.undo = nil
-	l.txActive = false
-	l.ranges = nil
-	l.cursor = 0
-	l.pushed = nil
+	l.metaMu.Unlock()
+	l.slots = nil
 	return nil
 }

@@ -67,14 +67,15 @@ func (r *rig) mustCreate(t *testing.T, name string, size uint64, fill byte) engi
 // update runs one committed transaction writing data at offset.
 func (r *rig) update(t *testing.T, db engine.DB, offset uint64, data []byte) {
 	t.Helper()
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, offset, uint64(len(data))); err != nil {
+	if err := tx.SetRange(db, offset, uint64(len(data))); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes()[offset:], data)
-	if err := r.lib.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -141,14 +142,15 @@ func TestCommitMakesDataVisibleOnMirrors(t *testing.T) {
 func TestAbortRestoresLocalData(t *testing.T) {
 	r := newRig(t, 1)
 	db := r.mustCreate(t, "db", 256, 0xAA)
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 10, 20); err != nil {
+	if err := tx.SetRange(db, 10, 20); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes()[10:], bytes.Repeat([]byte{0xBB}, 20))
-	if err := r.lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 	want := bytes.Repeat([]byte{0xAA}, 256)
@@ -169,20 +171,21 @@ func TestAbortUnwindsOverlappingRangesInReverse(t *testing.T) {
 	copy(db.Bytes(), []byte("original"))
 	r.update(t, db, 0, []byte("original")) // make "original" the committed state
 
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
 	// First declaration captures "original"; modify; second declaration
 	// of an overlapping range captures the modified bytes.
-	if err := r.lib.SetRange(db, 0, 8); err != nil {
+	if err := tx.SetRange(db, 0, 8); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes(), []byte("mutated1"))
-	if err := r.lib.SetRange(db, 0, 4); err != nil {
+	if err := tx.SetRange(db, 0, 4); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes(), []byte("XXXX"))
-	if err := r.lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 	if got := string(db.Bytes()[:8]); got != "original" {
@@ -194,39 +197,47 @@ func TestTransactionStateMachine(t *testing.T) {
 	r := newRig(t, 1)
 	db := r.mustCreate(t, "db", 64, 0)
 
-	if err := r.lib.Commit(); !errors.Is(err, engine.ErrNoTransaction) {
-		t.Errorf("commit outside tx: %v", err)
-	}
-	if err := r.lib.Abort(); !errors.Is(err, engine.ErrNoTransaction) {
-		t.Errorf("abort outside tx: %v", err)
-	}
-	if err := r.lib.SetRange(db, 0, 8); !errors.Is(err, engine.ErrNoTransaction) {
-		t.Errorf("set_range outside tx: %v", err)
-	}
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.Begin(); !errors.Is(err, engine.ErrInTransaction) {
-		t.Errorf("nested begin: %v", err)
+	// A second handle may be opened while the first is still in flight.
+	tx2, err := r.lib.BeginTx()
+	if err != nil {
+		t.Fatalf("concurrent begin: %v", err)
 	}
-	if err := r.lib.Commit(); err != nil {
+	if err := tx2.Abort(); err != nil {
 		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A retired handle rejects every further operation.
+	if err := tx.Commit(); !errors.Is(err, engine.ErrNoTransaction) {
+		t.Errorf("commit on retired handle: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, engine.ErrNoTransaction) {
+		t.Errorf("abort on retired handle: %v", err)
+	}
+	if err := tx.SetRange(db, 0, 8); !errors.Is(err, engine.ErrNoTransaction) {
+		t.Errorf("set_range on retired handle: %v", err)
 	}
 }
 
 func TestSetRangeValidation(t *testing.T) {
 	r := newRig(t, 1)
 	db := r.mustCreate(t, "db", 64, 0)
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 60, 8); !errors.Is(err, ErrBadRange) {
+	if err := tx.SetRange(db, 60, 8); !errors.Is(err, ErrBadRange) {
 		t.Errorf("overflow range: %v", err)
 	}
-	if err := r.lib.SetRange(db, 65, 0); !errors.Is(err, ErrBadRange) {
+	if err := tx.SetRange(db, 65, 0); !errors.Is(err, ErrBadRange) {
 		t.Errorf("past-end range: %v", err)
 	}
-	if err := r.lib.SetRange(db, 0, 0); err != nil {
+	if err := tx.SetRange(db, 0, 0); err != nil {
 		t.Errorf("empty range should be legal: %v", err)
 	}
 }
@@ -234,17 +245,18 @@ func TestSetRangeValidation(t *testing.T) {
 func TestUndoLogFull(t *testing.T) {
 	r := newRig(t, 1, WithUndoLogSize(256))
 	db := r.mustCreate(t, "db", 1024, 0)
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 0, 200); err != nil {
+	if err := tx.SetRange(db, 0, 200); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 200, 200); !errors.Is(err, ErrUndoLogFull) {
+	if err := tx.SetRange(db, 200, 200); !errors.Is(err, ErrUndoLogFull) {
 		t.Errorf("second range should overflow the 256-byte log: %v", err)
 	}
 	// The transaction is still consistent: it can be aborted.
-	if err := r.lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -268,18 +280,19 @@ func TestCreateDBValidation(t *testing.T) {
 func TestForeignAndStaleHandles(t *testing.T) {
 	r := newRig(t, 1)
 	db := r.mustCreate(t, "db", 64, 0)
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
 
 	other := newRig(t, 1)
 	otherDB := other.mustCreate(t, "db", 64, 0)
-	if err := r.lib.SetRange(otherDB, 0, 4); err == nil {
+	if err := tx.SetRange(otherDB, 0, 4); err == nil {
 		t.Error("foreign handle should be rejected")
 	}
 	_ = otherDB
 
-	if err := r.lib.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.lib.Crash(fault.CrashPower); err != nil {
@@ -288,10 +301,11 @@ func TestForeignAndStaleHandles(t *testing.T) {
 	if err := r.lib.Recover(); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.Begin(); err != nil {
+	tx2, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 0, 4); !errors.Is(err, ErrStaleDB) {
+	if err := tx2.SetRange(db, 0, 4); !errors.Is(err, ErrStaleDB) {
 		t.Errorf("stale handle after recovery: %v", err)
 	}
 }
@@ -302,7 +316,7 @@ func TestOperationsFailWhileCrashed(t *testing.T) {
 	if err := r.lib.Crash(fault.CrashProcess); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.Begin(); !errors.Is(err, engine.ErrCrashed) {
+	if _, err := r.lib.BeginTx(); !errors.Is(err, engine.ErrCrashed) {
 		t.Errorf("begin while crashed: %v", err)
 	}
 	if _, err := r.lib.CreateDB("x", 64); !errors.Is(err, engine.ErrCrashed) {
@@ -328,18 +342,19 @@ func TestMultiRangeMultiDBTransaction(t *testing.T) {
 	accounts := r.mustCreate(t, "accounts", 512, 0)
 	branches := r.mustCreate(t, "branches", 512, 0)
 
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(accounts, 0, 8); err != nil {
+	if err := tx.SetRange(accounts, 0, 8); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(branches, 100, 8); err != nil {
+	if err := tx.SetRange(branches, 100, 8); err != nil {
 		t.Fatal(err)
 	}
 	copy(accounts.Bytes()[0:], []byte("acct=100"))
 	copy(branches.Bytes()[100:], []byte("brch=100"))
-	if err := r.lib.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -364,13 +379,14 @@ func TestStatsProgress(t *testing.T) {
 	r := newRig(t, 1)
 	db := r.mustCreate(t, "db", 256, 0)
 	r.update(t, db, 0, []byte("abcd"))
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 0, 4); err != nil {
+	if err := tx.SetRange(db, 0, 4); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 	st := r.lib.Stats()
@@ -395,13 +411,14 @@ func TestReviveMirrorEndToEnd(t *testing.T) {
 	}
 
 	// Mid-transaction revival is refused.
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := r.lib.ReviveMirror(1); !errors.Is(err, engine.ErrInTransaction) {
 		t.Errorf("mid-tx revive: %v", err)
 	}
-	if err := r.lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -420,6 +437,57 @@ func TestReviveMirrorEndToEnd(t *testing.T) {
 	}
 	if got := string(re.Bytes()[:10]); got != "after-join" {
 		t.Errorf("recovered %q via revived mirror", got)
+	}
+}
+
+func TestConcurrentRangeConflict(t *testing.T) {
+	r := newRig(t, 1)
+	db := r.mustCreate(t, "db", 128, 0)
+
+	tx1, err := r.lib.BeginTx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.SetRange(db, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := r.lib.BeginTx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping another transaction's declared range is refused …
+	if err := tx2.SetRange(db, 8, 16); !errors.Is(err, engine.ErrConflict) {
+		t.Errorf("overlapping range across transactions: %v", err)
+	}
+	// … but a disjoint range proceeds, and the same transaction may
+	// re-declare its own range freely.
+	if err := tx2.SetRange(db, 64, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.SetRange(db, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.lib.Stats().Conflicts; got != 1 {
+		t.Errorf("conflicts = %d, want 1", got)
+	}
+
+	// The aborted transaction's claims are released: a fresh handle can
+	// take the contested range.
+	tx3, err := r.lib.BeginTx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.SetRange(db, 0, 16); err != nil {
+		t.Fatalf("range should be free after abort: %v", err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
 	}
 }
 

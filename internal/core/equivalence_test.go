@@ -30,7 +30,8 @@ func TestTransportEquivalence(t *testing.T) {
 		}
 		rng := rand.New(rand.NewSource(99))
 		for i := 0; i < 150; i++ {
-			if err := lib.Begin(); err != nil {
+			tx, err := lib.BeginTx()
+			if err != nil {
 				t.Fatal(err)
 			}
 			n := 1 + rng.Intn(3)
@@ -40,7 +41,7 @@ func TestTransportEquivalence(t *testing.T) {
 				if off+ln > 4096 {
 					ln = 4096 - off
 				}
-				if err := lib.SetRange(db, off, ln); err != nil {
+				if err := tx.SetRange(db, off, ln); err != nil {
 					t.Fatal(err)
 				}
 				for k := uint64(0); k < ln; k++ {
@@ -48,10 +49,10 @@ func TestTransportEquivalence(t *testing.T) {
 				}
 			}
 			if rng.Intn(5) == 0 {
-				if err := lib.Abort(); err != nil {
+				if err := tx.Abort(); err != nil {
 					t.Fatal(err)
 				}
-			} else if err := lib.Commit(); err != nil {
+			} else if err := tx.Commit(); err != nil {
 				t.Fatal(err)
 			}
 		}

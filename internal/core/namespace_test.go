@@ -62,14 +62,15 @@ func TestNamespacesShareMirrors(t *testing.T) {
 		if err := tc.lib.InitDB(tc.db); err != nil {
 			t.Fatal(err)
 		}
-		if err := tc.lib.Begin(); err != nil {
+		tx, err := tc.lib.BeginTx()
+		if err != nil {
 			t.Fatal(err)
 		}
-		if err := tc.lib.SetRange(tc.db, 0, 10); err != nil {
+		if err := tx.SetRange(tc.db, 0, 10); err != nil {
 			t.Fatal(err)
 		}
 		copy(tc.db.Bytes(), tc.val)
-		if err := tc.lib.Commit(); err != nil {
+		if err := tx.Commit(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -110,13 +111,14 @@ func TestDropDB(t *testing.T) {
 	_ = r.mustCreate(t, "keeper", 64, 1)
 
 	// Inside a transaction: refused.
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := r.lib.DropDB("victim"); !errors.Is(err, engine.ErrInTransaction) {
 		t.Errorf("drop inside tx: %v", err)
 	}
-	if err := r.lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -130,13 +132,14 @@ func TestDropDB(t *testing.T) {
 		t.Errorf("open after drop: %v", err)
 	}
 	// The stale handle is rejected.
-	if err := r.lib.Begin(); err != nil {
+	tx2, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 0, 4); !errors.Is(err, ErrStaleDB) {
+	if err := tx2.SetRange(db, 0, 4); !errors.Is(err, ErrStaleDB) {
 		t.Errorf("stale handle: %v", err)
 	}
-	if err := r.lib.Abort(); err != nil {
+	if err := tx2.Abort(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -176,14 +179,15 @@ func TestDropDBThenCrashWithStaleUndoRecords(t *testing.T) {
 	r.update(t, keeper, 0, []byte("safe"))
 
 	// Aborted transaction touching the soon-to-be-dropped database.
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(victim, 0, 16); err != nil {
+	if err := tx.SetRange(victim, 0, 16); err != nil {
 		t.Fatal(err)
 	}
 	copy(victim.Bytes(), "aborted scribble")
-	if err := r.lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.lib.DropDB("victim"); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"github.com/ics-forth/perseas/internal/hostmem"
@@ -8,18 +9,58 @@ import (
 	"github.com/ics-forth/perseas/internal/simclock"
 )
 
+// recoveredSlot pairs a reconnected undo-slot region with its committed
+// word as read from the recovered metadata region.
+type recoveredSlot struct {
+	region    *netram.Region
+	committed uint64
+}
+
+// lazyFetcher returns an ensure(n) callback that materialises region
+// bytes [0,n) on demand, chunk by chunk: most crashes leave only a
+// handful of records per slot, so recovery transfers kilobytes, not the
+// whole undo region.
+func (l *Library) lazyFetcher(region *netram.Region) func(uint64) error {
+	const undoChunk = 64 << 10
+	var fetched uint64
+	return func(n uint64) error {
+		if n > region.Size() {
+			n = region.Size()
+		}
+		if n <= fetched {
+			return nil
+		}
+		target := (n + undoChunk - 1) / undoChunk * undoChunk
+		if target > region.Size() {
+			target = region.Size()
+		}
+		if err := l.net.FetchInto(region, fetched, target-fetched); err != nil {
+			return fmt.Errorf("perseas: fetch undo log: %w", err)
+		}
+		fetched = target
+		return nil
+	}
+}
+
 // Recover implements engine.Engine: the paper's Section 3/4 recovery
 // procedure, run after the primary node crashed and lost its main memory.
 //
 // The library first reconnects to the segments holding the PERSEAS
 // metadata (the paper's sci_connect_segment); from those it retrieves the
 // information needed to find and reconnect to the remote database records
-// and the remote undo log. If an in-flight transaction had started
-// propagating modifications before the failure, the original data found
-// in the remote undo log are copied back to the remote database,
-// discarding the illegal updates; the local database is then recovered
-// from the — now legal — remote segments.
+// and the remote undo logs. Undo slots beyond the paper's slot 0 are
+// discovered by probing their derived segment names until one is missing.
+// Each slot is then handled exactly as the paper handles its single log:
+// if the slot's head transaction had started propagating modifications
+// before the failure (its records are newer than the slot's commit word),
+// the original data found in the remote undo log are copied back to the
+// remote database, discarding the illegal updates; the local database is
+// then recovered from the — now legal — remote segments. Concurrent
+// transactions hold disjoint ranges, so the rollback order across slots
+// does not matter.
 func (l *Library) Recover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if !l.crashed {
 		return fmt.Errorf("perseas: recover called on a running library")
 	}
@@ -32,41 +73,31 @@ func (l *Library) Recover() error {
 	if err := l.net.FetchInto(meta, 0, meta.Size()); err != nil {
 		return fmt.Errorf("perseas: fetch metadata: %w", err)
 	}
-	committed, undoSize, storedNextID, entries, err := readDirectory(meta.Local)
+	committed0, undoSize, storedNextID, entries, err := readDirectory(meta.Local)
 	if err != nil {
 		return err
 	}
 
-	// Reconnect to the remote undo log and fetch its contents.
-	undo, err := l.net.Connect(l.qualify(undoRegionName))
-	if err != nil {
-		return fmt.Errorf("perseas: reconnect undo log: %w", err)
-	}
-	if undo.Size() != undoSize {
-		return fmt.Errorf("perseas: undo log size %d does not match metadata %d",
-			undo.Size(), undoSize)
-	}
-	// The remote undo log is fetched lazily, chunk by chunk, while the
-	// scan below walks it: most crashes leave only a handful of records,
-	// so recovery transfers kilobytes, not the whole log region.
-	const undoChunk = 64 << 10
-	var undoFetched uint64
-	ensure := func(n uint64) error {
-		if n > undo.Size() {
-			n = undo.Size()
+	// Reconnect to every undo slot. Slot 0 always exists; further slots
+	// were allocated on demand by past concurrency and are found by name.
+	recovered := []recoveredSlot{}
+	for k := 0; k < maxUndoSlots; k++ {
+		region, err := l.net.Connect(l.qualify(undoSlotName(k)))
+		if err != nil {
+			if k == 0 {
+				return fmt.Errorf("perseas: reconnect undo log: %w", err)
+			}
+			break
 		}
-		if n <= undoFetched {
-			return nil
+		if region.Size() != undoSize {
+			return fmt.Errorf("perseas: undo slot %d size %d does not match metadata %d",
+				k, region.Size(), undoSize)
 		}
-		target := (n + undoChunk - 1) / undoChunk * undoChunk
-		if target > undo.Size() {
-			target = undo.Size()
+		word := committed0
+		if k > 0 {
+			word = binary.BigEndian.Uint64(meta.Local[slotWordOffset(meta.Size(), k):])
 		}
-		if err := l.net.FetchInto(undo, undoFetched, target-undoFetched); err != nil {
-			return fmt.Errorf("perseas: fetch undo log: %w", err)
-		}
-		undoFetched = target
-		return nil
+		recovered = append(recovered, recoveredSlot{region: region, committed: word})
 	}
 
 	// Reconnect to every database record and copy it back.
@@ -93,22 +124,45 @@ func (l *Library) Recover() error {
 		}
 	}
 
-	// Roll back the in-flight transaction, newest record first: restore
-	// each before-image locally and repair the mirror copy.
-	recs, err := scanUndoLogLazy(undo.Local, committed, ensure)
-	if err != nil {
-		return err
-	}
-	lastTxID := committed
-	for _, rec := range recs {
-		if rec.txID > lastTxID {
-			lastTxID = rec.txID
+	// Scan each slot's remote undo log for its head transaction's
+	// records. The largest id seen anywhere — commit words and log
+	// records — re-seeds the transaction-id counter.
+	committed := uint64(0)
+	lastTxID := uint64(0)
+	slotRecs := make([][]undoRecord, len(recovered))
+	for k, rs := range recovered {
+		if rs.committed > committed {
+			committed = rs.committed
+		}
+		if rs.committed > lastTxID {
+			lastTxID = rs.committed
+		}
+		recs, err := scanUndoLogLazy(rs.region.Local, rs.committed, l.lazyFetcher(rs.region))
+		if err != nil {
+			return err
+		}
+		slotRecs[k] = recs
+		for _, rec := range recs {
+			if rec.txID > lastTxID {
+				lastTxID = rec.txID
+			}
 		}
 	}
+
 	l.metaSize = meta.Size()
 	l.undoSize = undoSize
+	l.metaMu.Lock()
 	l.meta = meta
-	l.undo = undo
+	l.metaMu.Unlock()
+	l.slots = make([]*undoSlot, len(recovered))
+	for k, rs := range recovered {
+		l.slots[k] = &undoSlot{
+			idx:       k,
+			region:    rs.region,
+			wordOff:   slotWordOffset(meta.Size(), k),
+			committed: rs.committed,
+		}
+	}
 	l.dbs = dbs
 	l.byID = byID
 	l.nextDBID = maxID + 1
@@ -117,29 +171,33 @@ func (l *Library) Recover() error {
 		// can ever alias a database created after this recovery.
 		l.nextDBID = storedNextID
 	}
-	for i := len(recs) - 1; i >= 0; i-- {
-		rec := recs[i]
-		db, ok := byID[rec.dbID]
-		if !ok {
-			// The record references a database dropped after the
-			// transaction aborted; there is nothing left to restore.
-			continue
-		}
-		if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
-			return fmt.Errorf("perseas: undo record outside database %q", db.name)
-		}
-		l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
-		if err := l.net.Push(db.region, rec.offset, rec.length); err != nil {
-			return fmt.Errorf("perseas: repair mirror of %q: %w", db.name, err)
+	l.dirEnd = directoryEnd(entries)
+
+	// Roll back each slot's in-flight transaction, newest record first:
+	// restore each before-image locally and repair the mirror copy.
+	for _, recs := range slotRecs {
+		for i := len(recs) - 1; i >= 0; i-- {
+			rec := recs[i]
+			db, ok := byID[rec.dbID]
+			if !ok {
+				// The record references a database dropped after the
+				// transaction aborted; there is nothing left to restore.
+				continue
+			}
+			if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
+				return fmt.Errorf("perseas: undo record outside database %q", db.name)
+			}
+			l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
+			if err := l.net.Push(db.region, rec.offset, rec.length); err != nil {
+				return fmt.Errorf("perseas: repair mirror of %q: %w", db.name, err)
+			}
 		}
 	}
 
 	l.committed = committed
 	l.lastTxID = lastTxID
-	l.txActive = false
-	l.ranges = nil
-	l.cursor = 0
-	l.pushed = nil
+	l.txs = make(map[*Tx]struct{})
+	l.locks = newConflictTable()
 	l.crashed = false
 	l.stats.Recoveries++
 	return nil
@@ -156,6 +214,8 @@ func Attach(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library,
 		mem:     hostmem.Default(),
 		clock:   clock,
 		crashed: true,
+		txs:     make(map[*Tx]struct{}),
+		locks:   newConflictTable(),
 	}
 	for _, o := range opts {
 		o(l)

@@ -49,10 +49,11 @@ func TestRecoverRollsBackInFlightTransaction(t *testing.T) {
 	// Start a transaction and crash after its updates partially
 	// propagated to the remote database (mid-commit, before the commit
 	// word): push the range by hand to simulate the partial commit.
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 0, 6); err != nil {
+	if err := tx.SetRange(db, 0, 6); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes()[0:], []byte("BROKEN"))
@@ -90,10 +91,11 @@ func TestRecoverUncommittedNotPropagated(t *testing.T) {
 	db := r.mustCreate(t, "db", 256, 0)
 	r.update(t, db, 0, []byte("good"))
 
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 0, 4); err != nil {
+	if err := tx.SetRange(db, 0, 4); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes()[0:], []byte("evil"))
@@ -136,14 +138,15 @@ func TestRecoverAfterAbortThenCrash(t *testing.T) {
 	db := r.mustCreate(t, "db", 256, 0)
 	r.update(t, db, 0, []byte("keep"))
 
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 0, 4); err != nil {
+	if err := tx.SetRange(db, 0, 4); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes()[0:], []byte("temp"))
-	if err := r.lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -157,14 +160,15 @@ func TestRecoverAfterAbortThenCrash(t *testing.T) {
 	}
 
 	// The library keeps working after recovery.
-	if err := r.lib.Begin(); err != nil {
+	tx2, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(re, 0, 4); err != nil {
+	if err := tx2.SetRange(re, 0, 4); err != nil {
 		t.Fatal(err)
 	}
 	copy(re.Bytes()[0:], []byte("next"))
-	if err := r.lib.Commit(); err != nil {
+	if err := tx2.Commit(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -214,10 +218,11 @@ func TestRecoverPreservesTxIDMonotonicity(t *testing.T) {
 	r.update(t, db, 1, []byte("b")) // tx 2
 
 	// In-flight tx 3 crashes.
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(db, 0, 2); err != nil {
+	if err := tx.SetRange(db, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	r.crashAndRecover(t)
@@ -231,14 +236,15 @@ func TestRecoverPreservesTxIDMonotonicity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.Begin(); err != nil {
+	tx2, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.lib.SetRange(re, 0, 2); err != nil {
+	if err := tx2.SetRange(re, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	copy(re.Bytes(), []byte("zz"))
-	if err := r.lib.Commit(); err != nil {
+	if err := tx2.Commit(); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.lib.CommittedTxID(); got != 4 {
@@ -267,14 +273,15 @@ func TestAttachFromFreshNode(t *testing.T) {
 		t.Errorf("attached node sees %q", got)
 	}
 	// And it can process new transactions.
-	if err := takeover.Begin(); err != nil {
+	tx, err := takeover.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := takeover.SetRange(re, 0, 8); err != nil {
+	if err := tx.SetRange(re, 0, 8); err != nil {
 		t.Fatal(err)
 	}
 	copy(re.Bytes(), []byte("newboss!"))
-	if err := takeover.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -32,10 +32,12 @@ var ErrBadSnapshot = errors.New("perseas: corrupt or truncated snapshot")
 // must be called between transactions, when the local copies hold
 // exactly the committed state.
 func (l *Library) WriteSnapshot(w io.Writer) error {
-	if err := l.checkAlive(); err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkAliveLocked(); err != nil {
 		return err
 	}
-	if l.txActive {
+	if len(l.txs) > 0 {
 		return fmt.Errorf("perseas: snapshot: %w", engine.ErrInTransaction)
 	}
 	var hdr [20]byte
@@ -73,12 +75,16 @@ func (l *Library) WriteSnapshot(w io.Writer) error {
 // committed state; the transaction-id counter advances past the
 // snapshot's id so log records can never be confused across the restore.
 func (l *Library) RestoreSnapshot(r io.Reader) error {
-	if err := l.checkAlive(); err != nil {
+	l.mu.Lock()
+	if err := l.checkAliveLocked(); err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	if l.txActive {
+	if len(l.txs) > 0 {
+		l.mu.Unlock()
 		return fmt.Errorf("perseas: restore: %w", engine.ErrInTransaction)
 	}
+	l.mu.Unlock()
 	var hdr [20]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
@@ -122,8 +128,10 @@ func (l *Library) RestoreSnapshot(r io.Reader) error {
 			return fmt.Errorf("perseas: mirror restored %q: %w", name, err)
 		}
 	}
+	l.mu.Lock()
 	if snapTx > l.lastTxID {
 		l.lastTxID = snapTx
 	}
+	l.mu.Unlock()
 	return nil
 }

@@ -60,9 +60,11 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotRefusedMidTransaction(t *testing.T) {
 	r := newRig(t, 1)
 	_ = r.mustCreate(t, "db", 64, 0)
-	if err := r.lib.Begin(); err != nil {
+	tx, err := r.lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
+	defer tx.Abort()
 	if err := r.lib.WriteSnapshot(io.Discard); !errors.Is(err, engine.ErrInTransaction) {
 		t.Errorf("snapshot mid-tx: %v", err)
 	}

@@ -66,7 +66,8 @@ func TestSoak(t *testing.T) {
 				}
 			}
 		default: // transaction over 1-3 dbs
-			if err := e.Begin(); err != nil {
+			tx, err := e.Begin()
+			if err != nil {
 				t.Fatal(err)
 			}
 			nRanges := 1 + rng.Intn(4)
@@ -75,7 +76,7 @@ func TestSoak(t *testing.T) {
 				db := open(name)
 				off := uint64(rng.Intn(dbSize - 32))
 				ln := uint64(1 + rng.Intn(32))
-				if err := e.SetRange(db, off, ln); err != nil {
+				if err := tx.SetRange(db, off, ln); err != nil {
 					t.Fatalf("step %d set_range: %v", step, err)
 				}
 				for k := uint64(0); k < ln; k++ {
@@ -85,14 +86,14 @@ func TestSoak(t *testing.T) {
 				}
 			}
 			if rng.Intn(6) == 0 {
-				if err := e.Abort(); err != nil {
+				if err := tx.Abort(); err != nil {
 					t.Fatal(err)
 				}
 				for _, name := range names {
 					model[name] = append(model[name][:0], shadow[name]...)
 				}
 			} else {
-				if err := e.Commit(); err != nil {
+				if err := tx.Commit(); err != nil {
 					t.Fatal(err)
 				}
 				for _, name := range names {

@@ -81,33 +81,36 @@ func TestFullStackOverTCP(t *testing.T) {
 
 	// A few committed increments.
 	for i := 0; i < 10; i++ {
-		if err := lib.Begin(); err != nil {
+		tx, err := lib.BeginTx()
+		if err != nil {
 			t.Fatal(err)
 		}
-		if err := lib.SetRange(db, 0, 8); err != nil {
+		if err := tx.SetRange(db, 0, 8); err != nil {
 			t.Fatal(err)
 		}
 		binary.BigEndian.PutUint64(db.Bytes(), binary.BigEndian.Uint64(db.Bytes())+1)
-		if err := lib.Commit(); err != nil {
+		if err := tx.Commit(); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// An aborted one.
-	if err := lib.Begin(); err != nil {
+	tx, err := lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lib.SetRange(db, 0, 8); err != nil {
+	if err := tx.SetRange(db, 0, 8); err != nil {
 		t.Fatal(err)
 	}
 	binary.BigEndian.PutUint64(db.Bytes(), 999)
-	if err := lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 	// An in-flight one, cut short by the crash.
-	if err := lib.Begin(); err != nil {
+	inflight, err := lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lib.SetRange(db, 0, 8); err != nil {
+	if err := inflight.SetRange(db, 0, 8); err != nil {
 		t.Fatal(err)
 	}
 	binary.BigEndian.PutUint64(db.Bytes(), 777)
@@ -131,14 +134,15 @@ func TestFullStackOverTCP(t *testing.T) {
 
 	// The take-over node continues committing.
 	for i := 0; i < 5; i++ {
-		if err := takeover.Begin(); err != nil {
+		tx, err := takeover.BeginTx()
+		if err != nil {
 			t.Fatal(err)
 		}
-		if err := takeover.SetRange(re, 0, 8); err != nil {
+		if err := tx.SetRange(re, 0, 8); err != nil {
 			t.Fatal(err)
 		}
 		binary.BigEndian.PutUint64(re.Bytes(), binary.BigEndian.Uint64(re.Bytes())+1)
-		if err := takeover.Commit(); err != nil {
+		if err := tx.Commit(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -238,14 +242,15 @@ func TestTCPCommitDurableOnBothMirrors(t *testing.T) {
 	if err := lib.InitDB(db); err != nil {
 		t.Fatal(err)
 	}
-	if err := lib.Begin(); err != nil {
+	tx, err := lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lib.SetRange(db, 1000, 11); err != nil {
+	if err := tx.SetRange(db, 1000, 11); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes()[1000:1011], "over-the-net")
-	if err := lib.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 

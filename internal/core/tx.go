@@ -8,84 +8,152 @@ import (
 	"github.com/ics-forth/perseas/internal/netram"
 )
 
-// Begin implements engine.Engine: the paper's PERSEAS_begin_transaction.
-// It is a purely local operation — transaction ids are only published at
-// commit time.
-func (l *Library) Begin() error {
-	if err := l.checkAlive(); err != nil {
-		return err
-	}
-	if l.txActive {
-		return engine.ErrInTransaction
-	}
-	l.lastTxID++
-	l.txID = l.lastTxID
-	l.txActive = true
-	l.cursor = 0
-	l.ranges = l.ranges[:0]
-	l.pushed = l.pushed[:0]
-	l.stats.Begun++
-	return nil
+// Tx is one in-flight PERSEAS transaction. A handle belongs to the
+// goroutine that began it; handles from different Begin calls run
+// concurrently, each logging into its own undo slot and committing
+// through its own commit word.
+type Tx struct {
+	l    *Library
+	id   uint64
+	slot *undoSlot
+	// cursor is the write position in the slot's undo log. Only the
+	// owning goroutine touches it.
+	cursor uint64
+	ranges []pending
+	pushed []pending
+	// done marks the handle retired (committed, aborted, or wiped out by
+	// a crash); guarded by l.mu.
+	done bool
 }
 
-// SetRange implements engine.Engine: the paper's PERSEAS_set_range. It
-// logs the declared range's original image to the local undo log (one
-// local memory copy) and propagates that log record to the remote undo
-// log (one remote write), after which the application may update the
-// range in place.
-func (l *Library) SetRange(db engine.DB, offset, length uint64) error {
-	if err := l.checkAlive(); err != nil {
+// ID returns the transaction id (published at commit time).
+func (t *Tx) ID() uint64 { return t.id }
+
+// Begin implements engine.Engine: the paper's PERSEAS_begin_transaction,
+// returning an explicit handle. It is a purely local operation on the
+// warm path — transaction ids are only published at commit time — but
+// the first transaction to raise the concurrency level allocates and
+// mirrors a fresh undo slot.
+func (l *Library) Begin() (engine.Tx, error) {
+	return l.BeginTx()
+}
+
+// BeginTx is Begin returning the concrete handle type, for callers that
+// want the PERSEAS-specific helpers (Write, Writable, Read).
+func (l *Library) BeginTx() (*Tx, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkAliveLocked(); err != nil {
+		return nil, err
+	}
+	slot, err := l.acquireSlotLocked()
+	if err != nil {
+		return nil, err
+	}
+	l.lastTxID++
+	t := &Tx{l: l, id: l.lastTxID, slot: slot}
+	slot.busy = true
+	l.txs[t] = struct{}{}
+	l.stats.Begun++
+	return t, nil
+}
+
+// finishLocked retires a transaction handle: its conflict claims are
+// released and its undo slot becomes reusable. Caller holds l.mu.
+func (l *Library) finishLocked(t *Tx) {
+	t.done = true
+	t.slot.busy = false
+	l.locks.releaseAll(t.id)
+	delete(l.txs, t)
+}
+
+// SetRange implements engine.Tx: the paper's PERSEAS_set_range. It logs
+// the declared range's original image to the transaction's local undo
+// slot (one local memory copy) and propagates that log record to the
+// slot's remote mirror (one remote write), after which the application
+// may update the range in place. A range held by another in-flight
+// transaction fails with engine.ErrConflict.
+func (t *Tx) SetRange(db engine.DB, offset, length uint64) error {
+	l := t.l
+	l.mu.Lock()
+	if err := l.checkAliveLocked(); err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	if !l.txActive {
+	if t.done {
+		l.mu.Unlock()
 		return engine.ErrNoTransaction
 	}
-	d, err := l.own(db)
+	d, err := l.ownLocked(db)
 	if err != nil {
+		l.mu.Unlock()
 		return err
 	}
 	if offset > d.Size() || length > d.Size()-offset {
+		l.mu.Unlock()
 		return fmt.Errorf("%w: [%d,+%d) in %d-byte database %q",
 			ErrBadRange, offset, length, d.Size(), d.name)
 	}
 	need := recordSize(length)
-	if l.cursor+need > l.undo.Size() {
+	if t.cursor+need > t.slot.region.Size() {
+		l.mu.Unlock()
 		return fmt.Errorf("%w: need %d bytes, %d free",
-			ErrUndoLogFull, need, l.undo.Size()-l.cursor)
+			ErrUndoLogFull, need, t.slot.region.Size()-t.cursor)
 	}
+	if err := l.locks.claim(d.id, offset, length, t.id); err != nil {
+		l.stats.Conflicts++
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+
+	// From here the range belongs to this transaction: the copies and
+	// pushes below cannot race another transaction's writes, so they run
+	// without the library lock.
 
 	// Step 1 (paper Fig. 3): before-image into the local undo log.
-	advance := writeRecord(l.undo.Local, l.cursor, l.txID, d.id, offset,
+	advance := writeRecord(t.slot.region.Local, t.cursor, t.id, d.id, offset,
 		d.region.Local[offset:offset+length])
 	l.clock.Advance(l.mem.CopyCost(int(recordHeaderSize + length)))
 
-	// Step 2: the log record propagates to the remote undo log.
+	// Step 2: the log record propagates to the remote undo log. On
+	// failure the claim stays held until the caller aborts, which
+	// releases every claim of this transaction at once.
 	if !l.noRemoteUndo {
-		if err := l.net.Push(l.undo, l.cursor, recordHeaderSize+length); err != nil {
+		if err := l.net.Push(t.slot.region, t.cursor, recordHeaderSize+length); err != nil {
 			return fmt.Errorf("perseas: push undo record: %w", err)
 		}
 	}
 
-	l.cursor += advance
-	l.ranges = append(l.ranges, pending{db: d, offset: offset, length: length})
+	t.cursor += advance
+	t.ranges = append(t.ranges, pending{db: d, offset: offset, length: length})
+	l.mu.Lock()
 	l.stats.SetRanges++
 	l.stats.BytesLogged += length
+	l.mu.Unlock()
 	return nil
 }
 
-// Commit implements engine.Engine: the paper's
-// PERSEAS_commit_transaction. The modified portions of the database are
-// copied to the equivalent portions in the remote nodes' memories
-// (step 3 of Fig. 3); the transaction then commits atomically with one
-// small remote write of the commit word, which also discards the remote
-// undo log (records up to the committed id are ignored by recovery).
-func (l *Library) Commit() error {
-	if err := l.checkAlive(); err != nil {
+// Commit implements engine.Tx: the paper's PERSEAS_commit_transaction.
+// The modified portions of the database are copied to the equivalent
+// portions in the remote nodes' memories (step 3 of Fig. 3); the
+// transaction then commits atomically with one small remote write of its
+// slot's commit word, which also discards that slot's remote undo log
+// (records up to the committed id are ignored by recovery).
+func (t *Tx) Commit() error {
+	l := t.l
+	l.mu.Lock()
+	if err := l.checkAliveLocked(); err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	if !l.txActive {
+	if t.done {
+		l.mu.Unlock()
 		return engine.ErrNoTransaction
 	}
+	prevWord := t.slot.committed
+	l.mu.Unlock()
+
 	// Ranges are grouped per database so each group travels in one
 	// batched exchange per mirror — one TCP round trip per table
 	// instead of one per range. The SCI model prices the batch exactly
@@ -97,7 +165,7 @@ func (l *Library) Commit() error {
 	}
 	var groups []group
 	index := make(map[*Database]int)
-	for _, r := range l.ranges {
+	for _, r := range t.ranges {
 		gi, ok := index[r.db]
 		if !ok {
 			gi = len(groups)
@@ -112,47 +180,85 @@ func (l *Library) Commit() error {
 			return fmt.Errorf("perseas: push database ranges: %w", err)
 		}
 		// Remember what reached the mirrors so Abort can repair them.
-		l.pushed = append(l.pushed, g.members...)
+		t.pushed = append(t.pushed, g.members...)
 	}
 
-	// The atomic commit point: publish the transaction id.
-	binary.BigEndian.PutUint64(l.meta.Local[metaCommittedOff:], l.txID)
-	if err := l.net.Push(l.meta, metaCommittedOff, 8); err != nil {
+	// The atomic commit point: publish the transaction id in this
+	// slot's commit word. Commit words of different slots are disjoint
+	// bytes of the metadata region, so concurrent committers share the
+	// read lock; only a directory rewrite (which pushes the whole
+	// region) excludes them.
+	l.metaMu.RLock()
+	meta := l.meta
+	if meta == nil {
+		// A simulated crash raced the commit; recovery decides the
+		// transaction's fate from what reached the mirrors.
+		l.metaMu.RUnlock()
+		return engine.ErrCrashed
+	}
+	binary.BigEndian.PutUint64(meta.Local[t.slot.wordOff:], t.id)
+	if err := l.net.Push(meta, t.slot.wordOff, 8); err != nil {
 		// Roll the local commit word back; the transaction stays
 		// uncommitted and can be retried or aborted.
-		binary.BigEndian.PutUint64(l.meta.Local[metaCommittedOff:], l.committed)
+		binary.BigEndian.PutUint64(meta.Local[t.slot.wordOff:], prevWord)
+		l.metaMu.RUnlock()
 		return fmt.Errorf("perseas: publish commit word: %w", err)
 	}
+	l.metaMu.RUnlock()
 
-	l.committed = l.txID
-	l.txActive = false
-	l.ranges = l.ranges[:0]
-	l.cursor = 0
-	l.pushed = l.pushed[:0]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		// A simulated crash raced the final push; the handle was already
+		// retired and whether the commit word made it out is exactly
+		// what recovery will decide.
+		return engine.ErrCrashed
+	}
+	if t.done {
+		return engine.ErrNoTransaction
+	}
+	t.slot.committed = t.id
+	if t.id > l.committed {
+		l.committed = t.id
+	}
+	l.finishLocked(t)
 	l.stats.Committed++
 	return nil
 }
 
-// Abort implements engine.Engine: the paper's
-// PERSEAS_abort_transaction. Declared ranges are restored from the local
-// undo log with plain local memory copies, newest record first. If a
-// failed Commit had already pushed some ranges to the mirrors, those
-// ranges are re-pushed with their restored (pre-transaction) content so
-// local and remote databases stay identical.
-func (l *Library) Abort() error {
-	if err := l.checkAlive(); err != nil {
+// Abort implements engine.Tx: the paper's PERSEAS_abort_transaction.
+// Declared ranges are restored from the transaction's local undo slot
+// with plain local memory copies, newest record first. If a failed
+// Commit had already pushed some ranges to the mirrors, those ranges are
+// re-pushed with their restored (pre-transaction) content so local and
+// remote databases stay identical.
+func (t *Tx) Abort() error {
+	l := t.l
+	l.mu.Lock()
+	if err := l.checkAliveLocked(); err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	if !l.txActive {
+	if t.done {
+		l.mu.Unlock()
 		return engine.ErrNoTransaction
 	}
+	l.mu.Unlock()
 
-	// Walk the local undo log and restore before-images in reverse
-	// order, so overlapping SetRange declarations unwind correctly.
+	// Every database this transaction touched is reachable from its own
+	// pending ranges — no shared lookup needed while restoring.
+	owned := make(map[uint32]*Database, len(t.ranges))
+	for _, r := range t.ranges {
+		owned[r.db.id] = r.db
+	}
+
+	// Walk the slot's local undo log and restore before-images in
+	// reverse order, so overlapping SetRange declarations unwind
+	// correctly.
 	var recs []undoRecord
 	var cursor uint64
-	for cursor < l.cursor {
-		rec, advance, ok := parseRecord(l.undo.Local, cursor)
+	for cursor < t.cursor {
+		rec, advance, ok := parseRecord(t.slot.region.Local, cursor)
 		if !ok {
 			return fmt.Errorf("perseas: corrupt local undo log at %d", cursor)
 		}
@@ -161,7 +267,7 @@ func (l *Library) Abort() error {
 	}
 	for i := len(recs) - 1; i >= 0; i-- {
 		rec := recs[i]
-		db, ok := l.byID[rec.dbID]
+		db, ok := owned[rec.dbID]
 		if !ok {
 			return fmt.Errorf("perseas: undo record for unknown database %d", rec.dbID)
 		}
@@ -169,16 +275,21 @@ func (l *Library) Abort() error {
 	}
 
 	// Repair mirrors touched by a partially executed Commit.
-	for _, r := range l.pushed {
+	for _, r := range t.pushed {
 		if err := l.net.Push(r.db.region, r.offset, r.length); err != nil {
 			return fmt.Errorf("perseas: repair mirror after failed commit: %w", err)
 		}
 	}
 
-	l.txActive = false
-	l.ranges = l.ranges[:0]
-	l.cursor = 0
-	l.pushed = l.pushed[:0]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return engine.ErrCrashed
+	}
+	if t.done {
+		return engine.ErrNoTransaction
+	}
+	l.finishLocked(t)
 	l.stats.Aborted++
 	return nil
 }

@@ -6,16 +6,10 @@ import (
 	"github.com/ics-forth/perseas/internal/engine"
 )
 
-// Tx is the handle passed to Update: a thin, misuse-resistant wrapper
-// over the paper's explicit SetRange-then-store discipline.
-type Tx struct {
-	l *Library
-}
-
 // Write atomically updates db[offset:offset+len(data)): it declares the
 // range (capturing the before-image) and stores the new bytes.
 func (t *Tx) Write(db engine.DB, offset uint64, data []byte) error {
-	if err := t.l.SetRange(db, offset, uint64(len(data))); err != nil {
+	if err := t.SetRange(db, offset, uint64(len(data))); err != nil {
 		return err
 	}
 	d := db.(*Database)
@@ -26,16 +20,21 @@ func (t *Tx) Write(db engine.DB, offset uint64, data []byte) error {
 // Writable declares db[offset:offset+length) and returns the slice to
 // mutate in place — the zero-copy path for read-modify-write updates.
 func (t *Tx) Writable(db engine.DB, offset, length uint64) ([]byte, error) {
-	if err := t.l.SetRange(db, offset, length); err != nil {
+	if err := t.SetRange(db, offset, length); err != nil {
 		return nil, err
 	}
 	return db.Bytes()[offset : offset+length], nil
 }
 
 // Read returns a view of db[offset:offset+length). Reads need no
-// declaration; the slice must not be written through.
+// declaration; the slice must not be written through. Under concurrency
+// the bytes are only stable if the range is held by this transaction or
+// no other transaction writes it.
 func (t *Tx) Read(db engine.DB, offset, length uint64) ([]byte, error) {
-	d, err := t.l.own(db)
+	l := t.l
+	l.mu.Lock()
+	d, err := l.ownLocked(db)
+	l.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -51,21 +50,21 @@ func (t *Tx) Read(db engine.DB, offset, length uint64) ([]byte, error) {
 // the library when the explicit Begin/SetRange/Commit sequence is not
 // needed.
 func (l *Library) Update(fn func(*Tx) error) (err error) {
-	if err := l.Begin(); err != nil {
+	tx, err := l.BeginTx()
+	if err != nil {
 		return err
 	}
-	tx := &Tx{l: l}
 	defer func() {
 		if r := recover(); r != nil {
-			_ = l.Abort()
+			_ = tx.Abort()
 			panic(r)
 		}
 	}()
 	if ferr := fn(tx); ferr != nil {
-		if aerr := l.Abort(); aerr != nil {
+		if aerr := tx.Abort(); aerr != nil {
 			return fmt.Errorf("%w (abort also failed: %v)", ferr, aerr)
 		}
 		return ferr
 	}
-	return l.Commit()
+	return tx.Commit()
 }

@@ -130,11 +130,26 @@ func TestUpdateValidation(t *testing.T) {
 	if !errors.Is(err, ErrBadRange) {
 		t.Errorf("overflow read: %v", err)
 	}
-	// Nested Update is a state-machine error surfaced cleanly.
+	// A nested Update is simply a second concurrent transaction: legal
+	// on disjoint ranges, refused with ErrConflict on overlapping ones.
 	err = r.lib.Update(func(tx *Tx) error {
-		return r.lib.Update(func(*Tx) error { return nil })
+		if err := tx.Write(db, 0, []byte("outer")); err != nil {
+			return err
+		}
+		return r.lib.Update(func(inner *Tx) error {
+			if err := inner.Write(db, 0, []byte("inner")); !errors.Is(err, engine.ErrConflict) {
+				t.Errorf("overlapping nested write: %v", err)
+			}
+			return inner.Write(db, 32, []byte("disjoint"))
+		})
 	})
-	if !errors.Is(err, engine.ErrInTransaction) {
-		t.Errorf("nested update: %v", err)
+	if err != nil {
+		t.Errorf("nested update on disjoint ranges: %v", err)
+	}
+	if got := string(db.Bytes()[:5]); got != "outer" {
+		t.Errorf("outer write lost: %q", got)
+	}
+	if got := string(db.Bytes()[32:40]); got != "disjoint" {
+		t.Errorf("nested write lost: %q", got)
 	}
 }

@@ -4,11 +4,14 @@
 // that the benchmark harness and the crash-consistency property tests run
 // identically against all of them.
 //
-// The programming model is the one the paper's interface exposes: the
-// application holds direct byte access to a main-memory database, brackets
-// updates with Begin/Commit, declares each region it is about to modify
-// with SetRange (which captures the before-image), and may Abort to roll
-// every declared range back.
+// The programming model is the one the paper's interface exposes, lifted
+// from one implicit engine-global transaction to explicit handles: the
+// application holds direct byte access to a main-memory database, obtains
+// a Tx with Begin, declares each region it is about to modify with
+// Tx.SetRange (which captures the before-image), and finishes with
+// Tx.Commit or Tx.Abort. Engines that support it (PERSEAS) run many
+// transactions concurrently; sequential cores are lifted to the same
+// contract by NewSequential, which serialises whole transactions.
 package engine
 
 import (
@@ -19,10 +22,12 @@ import (
 
 // Errors common to all engines.
 var (
-	// ErrNoTransaction is returned by SetRange/Commit/Abort outside a
-	// transaction.
+	// ErrNoTransaction is returned by SetRange/Commit/Abort on a handle
+	// whose transaction already finished (committed, aborted or wiped
+	// out by a crash).
 	ErrNoTransaction = errors.New("engine: no transaction in progress")
-	// ErrInTransaction is returned by Begin when one is already open.
+	// ErrInTransaction is returned by operations that must run between
+	// transactions (DropDB, mirror reintegration) while one is open.
 	ErrInTransaction = errors.New("engine: transaction already in progress")
 	// ErrCrashed is returned by every operation between Crash and
 	// Recover.
@@ -30,6 +35,10 @@ var (
 	// ErrUnrecoverable is returned by Recover when the durable state
 	// needed for recovery did not survive the crash.
 	ErrUnrecoverable = errors.New("engine: durable state lost; cannot recover")
+	// ErrConflict is returned by Tx.SetRange when the declared range
+	// overlaps a range held by another in-flight transaction. The caller
+	// aborts and retries, as in any optimistic lock-conflict protocol.
+	ErrConflict = errors.New("engine: range conflicts with a concurrent transaction")
 )
 
 // DB is one named database region managed by an engine.
@@ -44,12 +53,31 @@ type DB interface {
 	Bytes() []byte
 }
 
+// Tx is one in-flight transaction. A handle is owned by the goroutine
+// that began it; its methods must not be called concurrently with each
+// other. Handles from different Begin calls may run concurrently when
+// the engine supports it.
+type Tx interface {
+	// SetRange declares that the transaction will modify
+	// db[offset:offset+length), capturing the before-image. It returns
+	// ErrConflict when the range overlaps one held by another live
+	// transaction.
+	SetRange(db DB, offset, length uint64) error
+	// Commit makes every modification to declared ranges durable and
+	// retires the handle.
+	Commit() error
+	// Abort rolls every declared range back to its before-image and
+	// retires the handle.
+	Abort() error
+}
+
 // Engine is a transactional main-memory storage system.
 //
-// Lifecycle: CreateDB any number of regions, then any sequence of
-// Begin / SetRange* / (Commit|Abort). Crash drops all volatile state;
-// Recover rebuilds it from whatever the engine's substrate preserved,
-// after which OpenDB re-attaches the surviving regions.
+// Lifecycle: CreateDB any number of regions, then any number of
+// Begin / Tx.SetRange* / (Tx.Commit|Tx.Abort) transactions, possibly
+// concurrent. Crash drops all volatile state; Recover rebuilds it from
+// whatever the engine's substrate preserved, after which OpenDB
+// re-attaches the surviving regions.
 type Engine interface {
 	// Name identifies the engine in reports ("perseas", "rvm", ...).
 	Name() string
@@ -64,19 +92,15 @@ type Engine interface {
 	// OpenDB re-attaches an existing region, typically after Recover.
 	OpenDB(name string) (DB, error)
 
-	// Begin starts a transaction. Engines in this repository serve one
-	// sequential application, as the paper's library does.
-	Begin() error
-	// SetRange declares that the transaction will modify
-	// db[offset:offset+length), capturing the before-image.
-	SetRange(db DB, offset, length uint64) error
-	// Commit makes every modification to declared ranges durable.
-	Commit() error
-	// Abort rolls every declared range back to its before-image.
-	Abort() error
+	// Begin starts a transaction and returns its handle. Concurrent
+	// Begin calls are safe on every engine: natively concurrent engines
+	// hand out independent handles, sequential cores serialise (the
+	// call blocks until the previous transaction finishes).
+	Begin() (Tx, error)
 
 	// Crash simulates a failure of the given kind on the machine
-	// running the engine. All volatile state is lost.
+	// running the engine. All volatile state — including every open
+	// transaction — is lost.
 	Crash(kind fault.CrashKind) error
 	// Recover rebuilds engine state after a crash. It returns
 	// ErrUnrecoverable when the substrate's survival matrix says the

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"sync"
+
+	"github.com/ics-forth/perseas/internal/fault"
+)
+
+// Sequential is the single-transaction core contract the baseline
+// engines implement: the paper-era API with one implicit engine-global
+// transaction and no internal synchronisation. NewSequential lifts such
+// a core to the concurrent Engine contract.
+type Sequential interface {
+	Name() string
+	CreateDB(name string, size uint64) (DB, error)
+	InitDB(db DB) error
+	OpenDB(name string) (DB, error)
+	Begin() error
+	SetRange(db DB, offset, length uint64) error
+	Commit() error
+	Abort() error
+	Crash(kind fault.CrashKind) error
+	Recover() error
+	Close() error
+}
+
+// SequentialEngine adapts a Sequential core to the Engine interface.
+// Every call into the core runs under one mutex, and whole transactions
+// are serialised: Begin blocks while another handle is open, so
+// concurrent callers interleave transaction-at-a-time — the strongest
+// isolation a single-transaction core can offer, with no code change in
+// the core itself.
+type SequentialEngine struct {
+	core Sequential
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// busy is true while a SequentialTx is open; Begin waits on cond
+	// until the current transaction commits, aborts or is wiped out by
+	// a crash.
+	busy bool
+	cur  *SequentialTx
+}
+
+// NewSequential wraps a single-transaction core in a thread-safe,
+// handle-based engine.
+func NewSequential(core Sequential) *SequentialEngine {
+	e := &SequentialEngine{core: core}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Core returns the wrapped single-transaction engine, for tests that
+// need to poke at the concrete type.
+func (e *SequentialEngine) Core() Sequential { return e.core }
+
+// Name implements Engine.
+func (e *SequentialEngine) Name() string { return e.core.Name() }
+
+// CreateDB implements Engine.
+func (e *SequentialEngine) CreateDB(name string, size uint64) (DB, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.core.CreateDB(name, size)
+}
+
+// InitDB implements Engine.
+func (e *SequentialEngine) InitDB(db DB) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.core.InitDB(db)
+}
+
+// OpenDB implements Engine.
+func (e *SequentialEngine) OpenDB(name string) (DB, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.core.OpenDB(name)
+}
+
+// Begin implements Engine. It blocks until no other transaction is open,
+// then opens one in the core. Nested Begin from the goroutine that
+// already holds the open handle would self-deadlock — with explicit
+// handles there is no reason to ever write that.
+func (e *SequentialEngine) Begin() (Tx, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.busy {
+		e.cond.Wait()
+	}
+	if err := e.core.Begin(); err != nil {
+		return nil, err
+	}
+	t := &SequentialTx{e: e}
+	e.busy = true
+	e.cur = t
+	return t, nil
+}
+
+// Crash implements Engine. An open transaction's handle is retired —
+// its volatile state died with the machine — and waiting Begin callers
+// wake up to observe the crashed core.
+func (e *SequentialEngine) Crash(kind fault.CrashKind) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retireLocked()
+	return e.core.Crash(kind)
+}
+
+// Recover implements Engine.
+func (e *SequentialEngine) Recover() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retireLocked()
+	return e.core.Recover()
+}
+
+// Close implements Engine.
+func (e *SequentialEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retireLocked()
+	return e.core.Close()
+}
+
+// retireLocked invalidates the open handle, if any, and releases waiting
+// Begin callers.
+func (e *SequentialEngine) retireLocked() {
+	if e.cur != nil {
+		e.cur.done = true
+		e.cur = nil
+	}
+	if e.busy {
+		e.busy = false
+		e.cond.Broadcast()
+	}
+}
+
+// SequentialTx is the handle a SequentialEngine hands out: a thin
+// serialised view of the core's one implicit transaction.
+type SequentialTx struct {
+	e *SequentialEngine
+	// done marks the handle retired (committed, aborted, or wiped out
+	// by a crash); guarded by e.mu.
+	done bool
+}
+
+// SetRange implements Tx.
+func (t *SequentialTx) SetRange(db DB, offset, length uint64) error {
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	if t.done {
+		return ErrNoTransaction
+	}
+	return t.e.core.SetRange(db, offset, length)
+}
+
+// Commit implements Tx. On success the handle is retired and the next
+// waiting Begin proceeds; on failure the transaction stays open so the
+// caller can Abort (mirroring the cores' own semantics).
+func (t *SequentialTx) Commit() error {
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	if t.done {
+		return ErrNoTransaction
+	}
+	err := t.e.core.Commit()
+	if err == nil {
+		t.done = true
+		t.e.retireLocked()
+	}
+	return err
+}
+
+// Abort implements Tx. The handle is retired whether or not the core's
+// rollback succeeds: a failed abort leaves the core in an undefined
+// state that only Crash/Recover can clear, so holding the engine busy
+// would deadlock every later Begin.
+func (t *SequentialTx) Abort() error {
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	if t.done {
+		return ErrNoTransaction
+	}
+	t.done = true
+	err := t.e.core.Abort()
+	t.e.retireLocked()
+	return err
+}
+
+var (
+	_ Engine = (*SequentialEngine)(nil)
+	_ Tx     = (*SequentialTx)(nil)
+)

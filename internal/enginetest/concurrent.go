@@ -1,0 +1,237 @@
+package enginetest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+)
+
+// testConcurrentCommits runs several goroutines, each committing a
+// stream of transactions against its own database, and checks no update
+// is lost. Natively concurrent engines interleave the transactions;
+// sequential cores behind the adapter serialise them — both must end
+// with every worker's writes intact.
+func testConcurrentCommits(t *testing.T, mk Factory) {
+	const (
+		workers      = 4
+		txsPerWorker = 25
+		dbSize       = 256
+	)
+	e := mk(t)
+	defer e.Close()
+
+	dbs := make([]engine.DB, workers)
+	models := make([][]byte, workers)
+	for i := range dbs {
+		dbs[i] = create(t, e, fmt.Sprintf("w%d", i), dbSize, 0)
+		models[i] = make([]byte, dbSize)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			// The buffer is cached once: Crash-free runs never invalidate
+			// it, and engines may drop their buffer references during
+			// concurrent lifecycle calls.
+			buf := dbs[i].Bytes()
+			model := models[i]
+			for n := 0; n < txsPerWorker; n++ {
+				tx, err := e.Begin()
+				if err != nil {
+					errs[i] = fmt.Errorf("tx %d begin: %w", n, err)
+					return
+				}
+				off := uint64(rng.Intn(dbSize - 16))
+				ln := uint64(1 + rng.Intn(16))
+				if err := tx.SetRange(dbs[i], off, ln); err != nil {
+					_ = tx.Abort()
+					errs[i] = fmt.Errorf("tx %d set_range: %w", n, err)
+					return
+				}
+				for j := uint64(0); j < ln; j++ {
+					b := byte(rng.Intn(256))
+					buf[off+j] = b
+					model[off+j] = b
+				}
+				if err := tx.Commit(); err != nil {
+					errs[i] = fmt.Errorf("tx %d commit: %w", n, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for i := range dbs {
+		if !bytes.Equal(dbs[i].Bytes(), models[i]) {
+			t.Fatalf("worker %d: database diverged from its model", i)
+		}
+	}
+}
+
+// cWorker is the main-goroutine-visible state of one concurrent-crash
+// worker. The worker mutates it exclusively until wg.Wait() returns.
+type cWorker struct {
+	db  engine.DB
+	buf []byte
+	// confirmed holds recent images whose Commit returned success, oldest
+	// first; index 0 at start is the initial image.
+	confirmed [][]byte
+	// pending is the image of a Commit whose outcome the crash left
+	// unknown (the call was in flight or errored after the decision
+	// point). Nil when no commit can be half-decided.
+	pending []byte
+}
+
+// allowedAfterCrash reports whether a recovered database image is an
+// all-or-nothing outcome for this worker: the pending commit (fully
+// applied) or one of the recent confirmed images — exactly the newest
+// for durable-on-commit engines, any of the last LossWindow+1 otherwise.
+func (w *cWorker) allowedAfterCrash(state []byte, caps Caps) bool {
+	if w.pending != nil && bytes.Equal(state, w.pending) {
+		return true
+	}
+	window := 1
+	if !caps.DurableOnCommit {
+		window = caps.LossWindow + 1
+	}
+	for i := 0; i < window && i < len(w.confirmed); i++ {
+		if bytes.Equal(state, w.confirmed[len(w.confirmed)-1-i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// testConcurrentCrash is the concurrent crash-consistency property test:
+// N goroutines run random transactions against their own databases, the
+// main goroutine crashes the engine at an arbitrary moment, and after
+// recovery every database must hold an all-or-nothing outcome of its
+// worker's transaction stream — a committed image in full, never a torn
+// one.
+func testConcurrentCrash(t *testing.T, mk Factory, caps Caps, kind fault.CrashKind) {
+	const (
+		workers = 4
+		dbSize  = 256
+	)
+	e := mk(t)
+	defer e.Close()
+
+	ws := make([]*cWorker, workers)
+	for i := range ws {
+		db := create(t, e, fmt.Sprintf("w%d", i), dbSize, 0)
+		ws[i] = &cWorker{
+			db:        db,
+			buf:       db.Bytes(),
+			confirmed: [][]byte{make([]byte, dbSize)},
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range ws {
+		i := i
+		w := ws[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7700 + i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := e.Begin()
+				if err != nil {
+					// The engine crashed (or a sequential core's Begin
+					// woke up to a crashed engine); the worker's story
+					// ends here.
+					return
+				}
+				work := append([]byte(nil), w.confirmed[len(w.confirmed)-1]...)
+				ok := true
+				for r := 0; r < 1+rng.Intn(2); r++ {
+					off := uint64(rng.Intn(dbSize - 16))
+					ln := uint64(1 + rng.Intn(16))
+					if err := tx.SetRange(w.db, off, ln); err != nil {
+						_ = tx.Abort()
+						ok = false
+						break
+					}
+					for j := uint64(0); j < ln; j++ {
+						b := byte(rng.Intn(256))
+						w.buf[off+j] = b
+						work[off+j] = b
+					}
+				}
+				if !ok {
+					return
+				}
+				if rng.Intn(10) == 0 {
+					if err := tx.Abort(); err != nil {
+						return
+					}
+					continue
+				}
+				// From here the commit may land before or after the
+				// crash; either full image is a legal recovery outcome.
+				w.pending = work
+				if err := tx.Commit(); err != nil {
+					return
+				}
+				w.confirmed = append(w.confirmed, work)
+				w.pending = nil
+				if len(w.confirmed) > 8 {
+					w.confirmed = w.confirmed[len(w.confirmed)-8:]
+				}
+			}
+		}()
+	}
+
+	// Let the workers race for a few wall-clock milliseconds, then pull
+	// the plug under them.
+	time.Sleep(3 * time.Millisecond)
+	if err := e.Crash(kind); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	err := e.Recover()
+	if !caps.SurvivesKind(kind) {
+		if err == nil {
+			t.Fatalf("Recover after %v crash should fail for this engine", kind)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("Recover after %v crash: %v", kind, err)
+	}
+	for i, w := range ws {
+		re, err := e.OpenDB(fmt.Sprintf("w%d", i))
+		if err != nil {
+			t.Fatalf("worker %d reopen: %v", i, err)
+		}
+		if !w.allowedAfterCrash(re.Bytes(), caps) {
+			t.Fatalf("worker %d: post-crash state is not an all-or-nothing outcome", i)
+		}
+		// The engine keeps working on the recovered state.
+		commitWrite(t, e, re, 0, []byte{0xAB})
+	}
+}

@@ -1,9 +1,10 @@
 // Package enginetest is a conformance and crash-consistency suite run
 // against every transaction engine in this repository — PERSEAS and all
-// baselines. It checks the engine.Engine contract (state machine,
+// baselines. It checks the engine.Engine contract (handle state machine,
 // visibility, abort semantics) and then drives randomised workloads with
-// crash injection at arbitrary points, asserting all-or-nothing
-// transaction visibility after recovery.
+// crash injection at arbitrary points — including from concurrent
+// goroutines — asserting all-or-nothing transaction visibility after
+// recovery.
 package enginetest
 
 import (
@@ -51,6 +52,13 @@ func Run(t *testing.T, name string, mk Factory, caps Caps) {
 		})
 	}
 	t.Run(name+"/random-crash", func(t *testing.T) { testRandomised(t, mk, caps) })
+	t.Run(name+"/concurrent", func(t *testing.T) { testConcurrentCommits(t, mk) })
+	for _, kind := range fault.AllKinds() {
+		kind := kind
+		t.Run(fmt.Sprintf("%s/concurrent-crash-%s", name, kind), func(t *testing.T) {
+			testConcurrentCrash(t, mk, caps, kind)
+		})
+	}
 }
 
 func create(t *testing.T, e engine.Engine, name string, size uint64, fill byte) engine.DB {
@@ -71,14 +79,15 @@ func create(t *testing.T, e engine.Engine, name string, size uint64, fill byte) 
 
 func commitWrite(t *testing.T, e engine.Engine, db engine.DB, offset uint64, data []byte) {
 	t.Helper()
-	if err := e.Begin(); err != nil {
+	tx, err := e.Begin()
+	if err != nil {
 		t.Fatalf("Begin: %v", err)
 	}
-	if err := e.SetRange(db, offset, uint64(len(data))); err != nil {
+	if err := tx.SetRange(db, offset, uint64(len(data))); err != nil {
 		t.Fatalf("SetRange: %v", err)
 	}
 	copy(db.Bytes()[offset:], data)
-	if err := e.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatalf("Commit: %v", err)
 	}
 }
@@ -115,14 +124,15 @@ func testAbort(t *testing.T, mk Factory) {
 	e := mk(t)
 	defer e.Close()
 	db := create(t, e, "db", 128, 0xCC)
-	if err := e.Begin(); err != nil {
+	tx, err := e.Begin()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.SetRange(db, 0, 64); err != nil {
+	if err := tx.SetRange(db, 0, 64); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes(), bytes.Repeat([]byte{0xDD}, 64))
-	if err := e.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(db.Bytes(), bytes.Repeat([]byte{0xCC}, 128)) {
@@ -136,18 +146,19 @@ func testOverlapUnwind(t *testing.T, mk Factory) {
 	db := create(t, e, "db", 64, 0)
 	commitWrite(t, e, db, 0, []byte("original"))
 
-	if err := e.Begin(); err != nil {
+	tx, err := e.Begin()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.SetRange(db, 0, 8); err != nil {
+	if err := tx.SetRange(db, 0, 8); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes(), []byte("mutated1"))
-	if err := e.SetRange(db, 2, 4); err != nil {
+	if err := tx.SetRange(db, 2, 4); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes()[2:], []byte("XXXX"))
-	if err := e.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 	if got := string(db.Bytes()[:8]); got != "original" {
@@ -160,18 +171,19 @@ func testMultiDB(t *testing.T, mk Factory) {
 	defer e.Close()
 	a := create(t, e, "a", 64, 0)
 	b := create(t, e, "b", 64, 0)
-	if err := e.Begin(); err != nil {
+	tx, err := e.Begin()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.SetRange(a, 0, 4); err != nil {
+	if err := tx.SetRange(a, 0, 4); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.SetRange(b, 8, 4); err != nil {
+	if err := tx.SetRange(b, 8, 4); err != nil {
 		t.Fatal(err)
 	}
 	copy(a.Bytes(), []byte("AAAA"))
 	copy(b.Bytes()[8:], []byte("BBBB"))
-	if err := e.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 	if string(a.Bytes()[:4]) != "AAAA" || string(b.Bytes()[8:12]) != "BBBB" {
@@ -183,16 +195,17 @@ func testBadRange(t *testing.T, mk Factory) {
 	e := mk(t)
 	defer e.Close()
 	db := create(t, e, "db", 64, 0)
-	if err := e.Begin(); err != nil {
+	tx, err := e.Begin()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.SetRange(db, 60, 8); err == nil {
+	if err := tx.SetRange(db, 60, 8); err == nil {
 		t.Fatal("overflow SetRange should fail")
 	}
-	if err := e.SetRange(db, 1<<40, 1); err == nil {
+	if err := tx.SetRange(db, 1<<40, 1); err == nil {
 		t.Fatal("far-out SetRange should fail")
 	}
-	if err := e.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -201,22 +214,47 @@ func testStateMachine(t *testing.T, mk Factory) {
 	e := mk(t)
 	defer e.Close()
 	db := create(t, e, "db", 64, 0)
-	if err := e.Commit(); err == nil {
-		t.Fatal("Commit outside tx should fail")
-	}
-	if err := e.Abort(); err == nil {
-		t.Fatal("Abort outside tx should fail")
-	}
-	if err := e.SetRange(db, 0, 4); err == nil {
-		t.Fatal("SetRange outside tx should fail")
-	}
-	if err := e.Begin(); err != nil {
+
+	// A committed handle is retired: every further operation fails.
+	tx, err := e.Begin()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Begin(); err == nil {
-		t.Fatal("nested Begin should fail")
+	if err := tx.SetRange(db, 0, 4); err != nil {
+		t.Fatal(err)
 	}
-	if err := e.Commit(); err != nil {
+	copy(db.Bytes(), []byte("abcd"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("Commit on retired handle should fail")
+	}
+	if err := tx.Abort(); err == nil {
+		t.Fatal("Abort on retired handle should fail")
+	}
+	if err := tx.SetRange(db, 0, 4); err == nil {
+		t.Fatal("SetRange on retired handle should fail")
+	}
+
+	// Abort retires the handle too.
+	tx2, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err == nil {
+		t.Fatal("double Abort should fail")
+	}
+
+	// Retired handles do not poison fresh ones.
+	tx3, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.Commit(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -229,10 +267,11 @@ func testCrashRecover(t *testing.T, mk Factory, caps Caps, kind fault.CrashKind)
 
 	// Leave a transaction in flight so recovery has something to roll
 	// back.
-	if err := e.Begin(); err != nil {
+	tx, err := e.Begin()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.SetRange(db, 0, 8); err != nil {
+	if err := tx.SetRange(db, 0, 8); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes(), []byte("garbage?"))
@@ -240,11 +279,11 @@ func testCrashRecover(t *testing.T, mk Factory, caps Caps, kind fault.CrashKind)
 	if err := e.Crash(kind); err != nil {
 		t.Fatalf("Crash: %v", err)
 	}
-	if err := e.Begin(); err == nil {
+	if _, err := e.Begin(); err == nil {
 		t.Fatal("Begin while crashed should fail")
 	}
 
-	err := e.Recover()
+	err = e.Recover()
 	if !caps.SurvivesKind(kind) {
 		if err == nil {
 			t.Fatalf("Recover after %v crash should fail for this engine", kind)
@@ -297,7 +336,8 @@ func testRandomised(t *testing.T, mk Factory, caps Caps) {
 			committed := [][]byte{bytes.Repeat([]byte{0}, dbSize)}
 
 			for step := 0; step < steps; step++ {
-				if err := e.Begin(); err != nil {
+				tx, err := e.Begin()
+				if err != nil {
 					t.Fatalf("step %d begin: %v", step, err)
 				}
 				work := append([]byte(nil), committed[len(committed)-1]...)
@@ -314,7 +354,7 @@ func testRandomised(t *testing.T, mk Factory, caps Caps) {
 						off = uint64(rng.Intn(dbSize - 16))
 					}
 					ln := uint64(1 + rng.Intn(16))
-					if err := e.SetRange(db, off, ln); err != nil {
+					if err := tx.SetRange(db, off, ln); err != nil {
 						t.Fatalf("step %d set_range: %v", step, err)
 					}
 					for j := uint64(0); j < ln; j++ {
@@ -325,7 +365,7 @@ func testRandomised(t *testing.T, mk Factory, caps Caps) {
 				}
 				switch rng.Intn(10) {
 				case 0, 1: // abort
-					if err := e.Abort(); err != nil {
+					if err := tx.Abort(); err != nil {
 						t.Fatalf("step %d abort: %v", step, err)
 					}
 					if !bytes.Equal(db.Bytes(), committed[len(committed)-1]) {
@@ -358,7 +398,7 @@ func testRandomised(t *testing.T, mk Factory, caps Caps) {
 					// survived.
 					committed = [][]byte{append([]byte(nil), db.Bytes()...)}
 				default: // commit
-					if err := e.Commit(); err != nil {
+					if err := tx.Commit(); err != nil {
 						t.Fatalf("step %d commit: %v", step, err)
 					}
 					committed = append(committed, work)

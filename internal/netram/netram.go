@@ -16,6 +16,7 @@ package netram
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/ics-forth/perseas/internal/sci"
 	"github.com/ics-forth/perseas/internal/transport"
@@ -59,20 +60,31 @@ type Stats struct {
 }
 
 // Client is a reliable-network-RAM client bound to a fixed mirror set.
-// Methods are not safe for concurrent use; the paper's library serves
-// one sequential application.
+// It is safe for concurrent use: data-path operations (Push, PushMany,
+// Fetch) of different transactions interleave freely, while topology
+// changes (Malloc, Free, Connect, Revive, ReplaceMirror) exclude them.
 type Client struct {
-	mirrors        []Mirror
 	alignThreshold int
 	alignDisabled  bool
-	// down[i] marks mirror i as failed: the paper's design keeps the
-	// database available through the surviving mirrors, so pushes skip
-	// dead nodes instead of stalling the application.
-	down []bool
+
+	// topoMu guards the mirror set, the region list and every region's
+	// handles. Data-path operations hold the read lock for their whole
+	// duration, so a reintegration never swaps a mirror out from under an
+	// in-flight push.
+	topoMu  sync.RWMutex
+	mirrors []Mirror
 	// regions tracks every live region in creation order so a repaired
 	// mirror can be reintegrated with full contents.
 	regions []*Region
-	stats   Stats
+
+	// stateMu guards the health flags and traffic counters, which the
+	// data path updates while holding only the topology read lock.
+	stateMu sync.Mutex
+	// down[i] marks mirror i as failed: the paper's design keeps the
+	// database available through the surviving mirrors, so pushes skip
+	// dead nodes instead of stalling the application.
+	down  []bool
+	stats Stats
 }
 
 // Option configures a Client.
@@ -119,6 +131,8 @@ func (c *Client) Mirrors() int { return len(c.mirrors) }
 
 // Live reports how many mirrors are still considered healthy.
 func (c *Client) Live() int {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
 	n := 0
 	for _, d := range c.down {
 		if !d {
@@ -128,11 +142,33 @@ func (c *Client) Live() int {
 	return n
 }
 
+// isDown reads mirror i's health flag.
+func (c *Client) isDown(i int) bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.down[i]
+}
+
+// markDown records mirror i as failed.
+func (c *Client) markDown(i int) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	c.down[i] = true
+}
+
 // Stats returns a snapshot of the traffic counters.
-func (c *Client) Stats() Stats { return c.stats }
+func (c *Client) Stats() Stats {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.stats
+}
 
 // ResetStats zeroes the traffic counters.
-func (c *Client) ResetStats() { c.stats = Stats{} }
+func (c *Client) ResetStats() {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	c.stats = Stats{}
+}
 
 // Region is a mirrored memory region: a local buffer plus one remote
 // segment per mirror, all sharing the region's name.
@@ -158,6 +194,8 @@ func (c *Client) Malloc(name string, size uint64) (*Region, error) {
 	if size == 0 {
 		return nil, errors.New("netram: size must be positive")
 	}
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
 	r := &Region{
 		Name:    name,
 		Local:   make([]byte, size),
@@ -182,6 +220,8 @@ func (c *Client) Malloc(name string, size uint64) (*Region, error) {
 // Free releases the region's remote segments (the paper's remote free).
 // The local buffer is left to the garbage collector.
 func (c *Client) Free(r *Region) error {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
 	for i, reg := range c.regions {
 		if reg == r {
 			c.regions = append(c.regions[:i], c.regions[i+1:]...)
@@ -212,6 +252,8 @@ func (c *Client) Push(r *Region, offset, n uint64) error {
 	if n == 0 {
 		return nil
 	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
 	lo, hi := offset, offset+n
 	if !c.alignDisabled && n >= uint64(c.alignThreshold) {
 		lo, hi = expandEdges(lo, hi, r.Size())
@@ -219,13 +261,13 @@ func (c *Client) Push(r *Region, offset, n uint64) error {
 	data := r.Local[lo:hi]
 	pushed := 0
 	for i, m := range c.mirrors {
-		if c.down[i] || r.handles[i].ID == 0 {
+		if c.isDown(i) || r.handles[i].ID == 0 {
 			// Mirror is dead or never mapped this region; skip it
 			// rather than poison every push.
 			continue
 		}
 		if err := c.writeWithRetry(i, r.handles[i].ID, lo, data); err != nil {
-			if c.down[i] {
+			if c.isDown(i) {
 				continue // node degraded; stay available via the others
 			}
 			return fmt.Errorf("netram: push to mirror %s: %w", m.Name, err)
@@ -235,9 +277,11 @@ func (c *Client) Push(r *Region, offset, n uint64) error {
 	if pushed == 0 {
 		return fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
 	}
+	c.stateMu.Lock()
 	c.stats.Pushes++
 	c.stats.PushedBytes += n
 	c.stats.WireBytes += uint64(len(data)) * uint64(pushed)
+	c.stateMu.Unlock()
 	return nil
 }
 
@@ -253,7 +297,7 @@ func (c *Client) writeWithRetry(i int, seg uint32, offset uint64, data []byte) e
 		return nil
 	}
 	if pingErr := m.T.Ping(); pingErr != nil {
-		c.down[i] = true
+		c.markDown(i)
 		return err
 	}
 	// The node answers pings: transient failure — one retry.
@@ -285,6 +329,8 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 			return err
 		}
 	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
 	// Materialise the expanded wire ranges once; per-mirror only the
 	// segment id differs.
 	type span struct {
@@ -310,7 +356,7 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 
 	pushed := 0
 	for i, m := range c.mirrors {
-		if c.down[i] || r.handles[i].ID == 0 {
+		if c.isDown(i) || r.handles[i].ID == 0 {
 			continue
 		}
 		attempt := func() error {
@@ -332,7 +378,7 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 		}
 		if err := attempt(); err != nil {
 			if pingErr := m.T.Ping(); pingErr != nil {
-				c.down[i] = true
+				c.markDown(i)
 				continue
 			}
 			// The node answers pings: transient failure — retry the
@@ -347,9 +393,11 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 	if pushed == 0 {
 		return fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
 	}
+	c.stateMu.Lock()
 	c.stats.Pushes += uint64(len(spans))
 	c.stats.PushedBytes += payload
 	c.stats.WireBytes += wireBytes * uint64(pushed)
+	c.stateMu.Unlock()
 	return nil
 }
 
@@ -360,6 +408,8 @@ func (c *Client) Fetch(r *Region, offset, n uint64) ([]byte, error) {
 	if err := r.checkRange(offset, n); err != nil {
 		return nil, err
 	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
 	var lastErr error
 	for i, m := range c.mirrors {
 		if r.handles[i].ID == 0 {
@@ -370,8 +420,10 @@ func (c *Client) Fetch(r *Region, offset, n uint64) ([]byte, error) {
 			lastErr = fmt.Errorf("netram: fetch from mirror %s: %w", m.Name, err)
 			continue
 		}
+		c.stateMu.Lock()
 		c.stats.Fetches++
 		c.stats.FetchedBytes += n
+		c.stateMu.Unlock()
 		return data, nil
 	}
 	if lastErr == nil {
@@ -395,6 +447,8 @@ func (c *Client) FetchInto(r *Region, offset, n uint64) error {
 // segments by name (the paper's sci_connect_segment). The local buffer is
 // NOT filled; recovery decides what to copy back.
 func (c *Client) Connect(name string) (*Region, error) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
 	r := &Region{Name: name, handles: make([]transport.SegmentHandle, len(c.mirrors))}
 	var size uint64
 	connected := 0
@@ -428,6 +482,13 @@ func (c *Client) Connect(name string) (*Region, error) {
 // on — data are lost only if all mirrors fail in the same interval, so a
 // repaired node should rejoin as soon as it is back.
 func (c *Client) Revive(i int) error {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	return c.reviveLocked(i)
+}
+
+// reviveLocked is Revive with the topology lock already held.
+func (c *Client) reviveLocked(i int) error {
 	if i < 0 || i >= len(c.mirrors) {
 		return fmt.Errorf("netram: no mirror %d", i)
 	}
@@ -452,7 +513,9 @@ func (c *Client) Revive(i int) error {
 		}
 		r.handles[i] = h
 	}
+	c.stateMu.Lock()
 	c.down[i] = false
+	c.stateMu.Unlock()
 	return nil
 }
 
@@ -462,6 +525,8 @@ func (c *Client) Revive(i int) error {
 // instead. Every live region is exported on the newcomer and filled from
 // the local copies; the old transport is closed.
 func (c *Client) ReplaceMirror(i int, m Mirror) error {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
 	if i < 0 || i >= len(c.mirrors) {
 		return fmt.Errorf("netram: no mirror %d", i)
 	}
@@ -473,11 +538,11 @@ func (c *Client) ReplaceMirror(i int, m Mirror) error {
 	}
 	old := c.mirrors[i]
 	c.mirrors[i] = m
-	c.down[i] = true // fence pushes off the slot while it refills
+	c.markDown(i) // fence pushes off the slot while it refills
 	for _, r := range c.regions {
 		r.handles[i] = transport.SegmentHandle{}
 	}
-	if err := c.Revive(i); err != nil {
+	if err := c.reviveLocked(i); err != nil {
 		// Roll the slot back so the client stays usable degraded.
 		c.mirrors[i] = old
 		return fmt.Errorf("netram: replacement resync failed: %w", err)
@@ -507,10 +572,12 @@ func (m Mismatch) Error() string {
 // per diverging mirror. Intended for operational tooling and tests; it
 // moves the whole region over the interconnect.
 func (c *Client) Verify(r *Region) ([]Mismatch, error) {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
 	var out []Mismatch
 	checked := 0
 	for i, m := range c.mirrors {
-		if c.down[i] || r.handles[i].ID == 0 {
+		if c.isDown(i) || r.handles[i].ID == 0 {
 			continue
 		}
 		remote, err := m.T.Read(r.handles[i].ID, 0, uint32(r.Size()))
@@ -533,6 +600,8 @@ func (c *Client) Verify(r *Region) ([]Mismatch, error) {
 
 // Ping checks that every mirror is alive, returning the first failure.
 func (c *Client) Ping() error {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
 	for _, m := range c.mirrors {
 		if err := m.T.Ping(); err != nil {
 			return fmt.Errorf("netram: mirror %s: %w", m.Name, err)

@@ -184,7 +184,7 @@ func NewRVM(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{Engine: eng, Clock: clock, Dev: dev}, nil
+	return &Lab{Engine: engine.NewSequential(eng), Clock: clock, Dev: dev}, nil
 }
 
 // NewRioRVM builds the RVM-on-Rio lab.
@@ -199,7 +199,7 @@ func NewRioRVM(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{Engine: eng, Clock: clock, Rio: rio}, nil
+	return &Lab{Engine: engine.NewSequential(eng), Clock: clock, Rio: rio}, nil
 }
 
 // NewVista builds the Vista lab.
@@ -214,7 +214,7 @@ func NewVista(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{Engine: eng, Clock: clock, Rio: rio}, nil
+	return &Lab{Engine: engine.NewSequential(eng), Clock: clock, Rio: rio}, nil
 }
 
 // NewWalnet builds the WAL-on-network-memory lab.
@@ -234,7 +234,7 @@ func NewWalnet(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{Engine: eng, Clock: clock, Servers: servers, Net: net, Dev: dev}, nil
+	return &Lab{Engine: engine.NewSequential(eng), Clock: clock, Servers: servers, Net: net, Dev: dev}, nil
 }
 
 // NewARIES builds the ARIES reference baseline (cited by the paper as a
@@ -251,7 +251,7 @@ func NewARIES(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{Engine: eng, Clock: clock, Dev: dev}, nil
+	return &Lab{Engine: engine.NewSequential(eng), Clock: clock, Dev: dev}, nil
 }
 
 // All returns the builders of every engine, in the order the comparison

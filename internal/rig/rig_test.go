@@ -27,14 +27,15 @@ func TestAllBuildersProduceWorkingEngines(t *testing.T) {
 				t.Fatal(err)
 			}
 			t0 := lab.Clock.Now()
-			if err := lab.Engine.Begin(); err != nil {
+			tx, err := lab.Engine.Begin()
+			if err != nil {
 				t.Fatal(err)
 			}
-			if err := lab.Engine.SetRange(db, 0, 16); err != nil {
+			if err := tx.SetRange(db, 0, 16); err != nil {
 				t.Fatal(err)
 			}
 			copy(db.Bytes(), "rig smoke test!!")
-			if err := lab.Engine.Commit(); err != nil {
+			if err := tx.Commit(); err != nil {
 				t.Fatal(err)
 			}
 			if lab.Clock.Now() <= t0 {
@@ -60,13 +61,14 @@ func TestARIESBuilder(t *testing.T) {
 	if err := lab.Engine.InitDB(db); err != nil {
 		t.Fatal(err)
 	}
-	if err := lab.Engine.Begin(); err != nil {
+	tx, err := lab.Engine.Begin()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lab.Engine.SetRange(db, 0, 8); err != nil {
+	if err := tx.SetRange(db, 0, 8); err != nil {
 		t.Fatal(err)
 	}
-	if err := lab.Engine.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -154,13 +156,14 @@ func TestAblationConfigsApply(t *testing.T) {
 	if err := lab.Engine.InitDB(db); err != nil {
 		t.Fatal(err)
 	}
-	if err := lab.Engine.Begin(); err != nil {
+	tx, err := lab.Engine.Begin()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lab.Engine.SetRange(db, 0, 32); err != nil {
+	if err := tx.SetRange(db, 0, 32); err != nil {
 		t.Fatal(err)
 	}
-	if err := lab.Engine.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 	// No remote undo: the mirror saw the db push and the commit word

@@ -31,7 +31,7 @@ func TestRioRVMConformance(t *testing.T) {
 	enginetest.Run(t, "rvm-rio",
 		func(t *testing.T) engine.Engine {
 			r, _ := newRioRVM(t, false)
-			return r
+			return engine.NewSequential(r)
 		},
 		enginetest.Caps{
 			// Rio survives software crashes but not power loss.
@@ -44,7 +44,7 @@ func TestRioRVMWithUPSConformance(t *testing.T) {
 	enginetest.Run(t, "rvm-rio-ups",
 		func(t *testing.T) engine.Engine {
 			r, _ := newRioRVM(t, true)
-			return r
+			return engine.NewSequential(r)
 		},
 		enginetest.Caps{
 			SurvivesKind:    func(fault.CrashKind) bool { return true },

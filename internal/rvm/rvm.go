@@ -582,4 +582,4 @@ func (r *RVM) Close() error {
 	return nil
 }
 
-var _ engine.Engine = (*RVM)(nil)
+var _ engine.Sequential = (*RVM)(nil)

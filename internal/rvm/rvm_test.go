@@ -36,7 +36,7 @@ func TestRVMEngineConformance(t *testing.T) {
 	enginetest.Run(t, "rvm",
 		func(t *testing.T) engine.Engine {
 			r, _ := newRVM(t)
-			return r
+			return engine.NewSequential(r)
 		},
 		enginetest.Caps{
 			SurvivesKind:    func(fault.CrashKind) bool { return true },
@@ -52,7 +52,7 @@ func TestRVMGroupCommitConformance(t *testing.T) {
 				o.GroupCommit = true
 				o.GroupSize = group
 			})
-			return r
+			return engine.NewSequential(r)
 		},
 		enginetest.Caps{
 			SurvivesKind:    func(fault.CrashKind) bool { return true },

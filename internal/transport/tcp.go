@@ -9,18 +9,63 @@ import (
 	"github.com/ics-forth/perseas/internal/wire"
 )
 
-// TCP is a transport speaking the wire protocol to a memory server over a
-// network connection. It serialises requests: the paper's client blocks
-// until each remote-memory request is serviced, and the transaction
-// library issues operations from a single thread of control.
+// tcpMaxConns caps the connection pool a TCP transport grows to. Each
+// in-flight request needs one connection; beyond this, callers queue.
+const tcpMaxConns = 8
+
+// TCP is a transport speaking the wire protocol to a memory server over
+// network connections. Each request still blocks its caller — the
+// paper's client waits until every remote-memory request is serviced —
+// but the transport pools connections so requests from concurrent
+// transactions pipeline on the wire instead of serialising behind one
+// socket.
+//
+// Writes additionally pass through a group-commit combiner: while one
+// caller's write exchange is on the wire, writes from concurrent
+// callers queue up and the next exchange carries all of them in a
+// single batched frame. A lone writer pays nothing (its write goes out
+// immediately, alone); concurrent writers split the per-exchange cost —
+// syscalls and wire framing — across the batch.
 type TCP struct {
+	addr string
+
 	mu     sync.Mutex
-	conn   net.Conn
+	cond   *sync.Cond
 	closed bool
+	idle   []net.Conn
+	// total counts live connections, idle plus checked out; callers wait
+	// on cond when it reaches tcpMaxConns and no connection is idle.
+	total int
+
+	// Write-combiner state: wbusy marks a combined exchange in flight,
+	// wqueue holds the callers that will ride the next one.
+	wmu    sync.Mutex
+	wbusy  bool
+	wqueue []*queuedWrite
+}
+
+// queuedWrite is one caller's write set awaiting a combined exchange.
+type queuedWrite struct {
+	writes []wire.BatchEntry
+	// batch is set at promotion time: the full batch this entry leads.
+	batch    []*queuedWrite
+	err      error
+	promoted chan struct{}
+	done     chan struct{}
 }
 
 // DialTCP connects to a memory server at addr.
 func DialTCP(addr string) (*TCP, error) {
+	conn, err := dialOne(addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCP{addr: addr, idle: []net.Conn{conn}, total: 1}
+	t.cond = sync.NewCond(&t.mu)
+	return t, nil
+}
+
+func dialOne(addr string) (net.Conn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
@@ -30,23 +75,72 @@ func DialTCP(addr string) (*TCP, error) {
 		// them against the peer's delayed ACKs.
 		_ = tc.SetNoDelay(true)
 	}
-	return &TCP{conn: conn}, nil
+	return conn, nil
 }
 
-// call performs one synchronous request/response exchange.
-func (t *TCP) call(req *wire.Request) (*wire.Response, error) {
+// acquire checks a connection out of the pool, dialling a new one when
+// none is idle and the pool may still grow.
+func (t *TCP) acquire() (net.Conn, error) {
+	t.mu.Lock()
+	for {
+		if t.closed {
+			t.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if n := len(t.idle); n > 0 {
+			conn := t.idle[n-1]
+			t.idle = t.idle[:n-1]
+			t.mu.Unlock()
+			return conn, nil
+		}
+		if t.total < tcpMaxConns {
+			t.total++
+			t.mu.Unlock()
+			conn, err := dialOne(t.addr)
+			if err != nil {
+				t.mu.Lock()
+				t.total--
+				t.cond.Signal()
+				t.mu.Unlock()
+				return nil, err
+			}
+			return conn, nil
+		}
+		t.cond.Wait()
+	}
+}
+
+// release returns a healthy connection to the pool; broken ones are
+// dropped so the next caller dials afresh.
+func (t *TCP) release(conn net.Conn, healthy bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.closed {
-		return nil, ErrClosed
+	if !healthy || t.closed {
+		t.total--
+		_ = conn.Close()
+	} else {
+		t.idle = append(t.idle, conn)
 	}
-	if err := wire.SendRequest(t.conn, req); err != nil {
-		return nil, err
-	}
-	resp, err := wire.RecvResponse(t.conn)
+	t.cond.Signal()
+}
+
+// call performs one synchronous request/response exchange on a pooled
+// connection.
+func (t *TCP) call(req *wire.Request) (*wire.Response, error) {
+	conn, err := t.acquire()
 	if err != nil {
 		return nil, err
 	}
+	if err := wire.SendRequest(conn, req); err != nil {
+		t.release(conn, false)
+		return nil, err
+	}
+	resp, err := wire.RecvResponse(conn)
+	if err != nil {
+		t.release(conn, false)
+		return nil, err
+	}
+	t.release(conn, true)
 	return resp, respErr(resp)
 }
 
@@ -67,18 +161,82 @@ func (t *TCP) Free(seg uint32) error {
 
 // Write implements Transport.
 func (t *TCP) Write(seg uint32, offset uint64, data []byte) error {
-	_, err := t.call(&wire.Request{Op: wire.OpWrite, Seg: seg, Offset: offset, Data: data})
-	return err
+	return t.combine([]wire.BatchEntry{{Seg: seg, Offset: offset, Data: data}})
 }
 
 // WriteBatch implements BatchWriter: all writes travel in one frame and
-// are applied atomically by the server.
+// are applied atomically by the server. Batches from concurrent callers
+// may be merged into one exchange; each caller's own writes stay
+// contiguous and in order within it.
 func (t *TCP) WriteBatch(writes []BatchWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
 	entries := make([]wire.BatchEntry, len(writes))
 	for i, w := range writes {
 		entries[i] = wire.BatchEntry{Seg: w.Seg, Offset: w.Offset, Data: w.Data}
 	}
-	_, err := t.call(&wire.Request{Op: wire.OpWriteBatch, Batch: entries})
+	return t.combine(entries)
+}
+
+// combine sends the caller's writes, coalescing them with writes from
+// concurrent callers into a single wire exchange. The first caller to
+// arrive while the combiner is free leads immediately — a lone writer
+// is never delayed. Callers arriving while an exchange is in flight
+// queue up; when the exchange completes, the head of the queue is
+// promoted to lead the next one, carrying everyone queued behind it.
+func (t *TCP) combine(writes []wire.BatchEntry) error {
+	q := &queuedWrite{writes: writes}
+	t.wmu.Lock()
+	if !t.wbusy {
+		t.wbusy = true
+		t.wmu.Unlock()
+		return t.lead([]*queuedWrite{q}, q)
+	}
+	q.promoted = make(chan struct{})
+	q.done = make(chan struct{})
+	t.wqueue = append(t.wqueue, q)
+	t.wmu.Unlock()
+	select {
+	case <-q.done:
+		return q.err
+	case <-q.promoted:
+		return t.lead(q.batch, q)
+	}
+}
+
+// lead performs one combined exchange for batch (which contains self),
+// delivers the result to the followers, and hands leadership to the
+// next queued caller, if any.
+func (t *TCP) lead(batch []*queuedWrite, self *queuedWrite) error {
+	var err error
+	if len(batch) == 1 && len(self.writes) == 1 {
+		w := self.writes[0]
+		_, err = t.call(&wire.Request{Op: wire.OpWrite, Seg: w.Seg, Offset: w.Offset, Data: w.Data})
+	} else {
+		var entries []wire.BatchEntry
+		for _, q := range batch {
+			entries = append(entries, q.writes...)
+		}
+		_, err = t.call(&wire.Request{Op: wire.OpWriteBatch, Batch: entries})
+	}
+	for _, q := range batch {
+		if q != self {
+			q.err = err
+			close(q.done)
+		}
+	}
+	t.wmu.Lock()
+	if len(t.wqueue) > 0 {
+		next := t.wqueue[0]
+		next.batch = t.wqueue
+		t.wqueue = nil
+		t.wmu.Unlock()
+		close(next.promoted)
+	} else {
+		t.wbusy = false
+		t.wmu.Unlock()
+	}
 	return err
 }
 
@@ -125,7 +283,8 @@ func (t *TCP) Stats() (wire.ServerStats, error) {
 	return resp.Stats, nil
 }
 
-// Close implements Transport.
+// Close implements Transport. Idle connections close immediately;
+// checked-out connections close as their requests finish.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -133,7 +292,16 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
-	return t.conn.Close()
+	var firstErr error
+	for _, conn := range t.idle {
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		t.total--
+	}
+	t.idle = nil
+	t.cond.Broadcast()
+	return firstErr
 }
 
 var (

@@ -2,8 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -288,7 +290,7 @@ func TestTCPSegmentsSurviveClientReconnect(t *testing.T) {
 	if err := cli.Write(seg.ID, 0, []byte("survives")); err != nil {
 		t.Fatal(err)
 	}
-	addr := cli.conn.RemoteAddr().String()
+	addr := cli.addr
 	// Simulate the client process dying: drop the connection.
 	if err := cli.Close(); err != nil {
 		t.Fatal(err)
@@ -363,5 +365,54 @@ func TestTCPLargeWrite(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Error("1 MiB round trip corrupted data")
+	}
+}
+
+// TestTCPWriteCombiner hammers one TCP transport from many goroutines:
+// concurrent Write and WriteBatch calls ride shared combined exchanges,
+// and every byte must still land exactly where its caller put it.
+func TestTCPWriteCombiner(t *testing.T) {
+	cli, _ := startTCP(t)
+	const workers, writes = 8, 50
+	seg, err := cli.Malloc("combined", workers*writes*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				off := uint64(w*writes+i) * 8
+				val := make([]byte, 8)
+				binary.BigEndian.PutUint64(val, off)
+				if w%2 == 0 {
+					errs[w] = cli.Write(seg.ID, off, val)
+				} else {
+					errs[w] = cli.WriteBatch([]BatchWrite{{Seg: seg.ID, Offset: off, Data: val}})
+				}
+				if errs[w] != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	got, err := cli.Read(seg.ID, 0, workers*writes*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(got); off += 8 {
+		if v := binary.BigEndian.Uint64(got[off:]); v != uint64(off) {
+			t.Fatalf("offset %d holds %d", off, v)
+		}
 	}
 }

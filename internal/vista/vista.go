@@ -514,4 +514,4 @@ func (v *Vista) Close() error {
 	return nil
 }
 
-var _ engine.Engine = (*Vista)(nil)
+var _ engine.Sequential = (*Vista)(nil)

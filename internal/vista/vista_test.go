@@ -33,7 +33,7 @@ func TestVistaConformance(t *testing.T) {
 	enginetest.Run(t, "vista",
 		func(t *testing.T) engine.Engine {
 			v, _ := newVista(t, false)
-			return v
+			return engine.NewSequential(v)
 		},
 		enginetest.Caps{
 			SurvivesKind:    func(k fault.CrashKind) bool { return k != fault.CrashPower },
@@ -45,7 +45,7 @@ func TestVistaWithUPSConformance(t *testing.T) {
 	enginetest.Run(t, "vista-ups",
 		func(t *testing.T) engine.Engine {
 			v, _ := newVista(t, true)
-			return v
+			return engine.NewSequential(v)
 		},
 		enginetest.Caps{
 			SurvivesKind:    func(fault.CrashKind) bool { return true },

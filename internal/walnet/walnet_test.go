@@ -49,7 +49,7 @@ func TestWalnetConformance(t *testing.T) {
 	enginetest.Run(t, "wal-net",
 		func(t *testing.T) engine.Engine {
 			r, _, _ := newWalnet(t)
-			return r
+			return engine.NewSequential(r)
 		},
 		enginetest.Caps{
 			// The log's authoritative copy lives on the remote node,

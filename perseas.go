@@ -12,10 +12,14 @@
 //	// ... fill initial records ...
 //	lib.InitDB(db)
 //
-//	lib.Begin()
-//	lib.SetRange(db, offset, length) // logs the before-image
+//	tx, _ := lib.BeginTx()
+//	tx.SetRange(db, offset, length) // logs the before-image
 //	copy(db.Bytes()[offset:], update)
-//	lib.Commit()                     // pushes the range + commit word
+//	tx.Commit()                     // pushes the range + commit word
+//
+// Any number of transactions may be in flight at once; handles are
+// independent, and transactions that declare overlapping ranges fail
+// fast with ErrConflict.
 //
 // If the machine crashes, Attach on any workstation reconnects to the
 // surviving mirrors, rolls back whatever an in-flight transaction had
@@ -44,14 +48,15 @@ import (
 	"github.com/ics-forth/perseas/internal/transport"
 )
 
-// Library is a PERSEAS instance: one sequential application's window
-// onto its mirrored main-memory databases.
+// Library is a PERSEAS instance: one application's window onto its
+// mirrored main-memory databases. Methods are safe for concurrent use.
 type Library = core.Library
 
 // Database is one mirrored main-memory database region.
 type Database = core.Database
 
-// Tx is the handle passed to Library.Update closures.
+// Tx is one in-flight transaction: the handle returned by
+// Library.BeginTx and passed to Library.Update closures.
 type Tx = core.Tx
 
 // DB is the interface every database handle satisfies.
@@ -78,6 +83,10 @@ const (
 	CrashOS      = fault.CrashOS
 	CrashPower   = fault.CrashPower
 )
+
+// ErrConflict reports a SetRange that overlapped a range already
+// declared by another in-flight transaction.
+var ErrConflict = engine.ErrConflict
 
 // Re-exported configuration options.
 var (

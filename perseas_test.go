@@ -24,14 +24,15 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := lib.Begin(); err != nil {
+	tx, err := lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lib.SetRange(db, 0, 13); err != nil {
+	if err := tx.SetRange(db, 0, 13); err != nil {
 		t.Fatal(err)
 	}
 	copy(db.Bytes(), "updated state")
-	if err := lib.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -82,14 +83,15 @@ func TestFacadeOptions(t *testing.T) {
 	if err := lib.InitDB(db); err != nil {
 		t.Fatal(err)
 	}
-	if err := lib.Begin(); err != nil {
+	tx, err := lib.BeginTx()
+	if err != nil {
 		t.Fatal(err)
 	}
 	// The configured 64 KiB undo log cannot hold a 128 KiB range.
-	if err := lib.SetRange(db, 0, 1<<17); err == nil {
+	if err := tx.SetRange(db, 0, 1<<17); err == nil {
 		t.Fatal("oversized SetRange should overflow the configured undo log")
 	}
-	if err := lib.Abort(); err != nil {
+	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
 }
