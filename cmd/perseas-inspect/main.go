@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -43,21 +44,7 @@ func main() {
 		log.Fatalf("perseas-inspect: list: %v", err)
 	}
 
-	fmt.Printf("node %s: %d segments, %d bytes exported\n", *server, stats.Segments, stats.BytesHeld)
-	fmt.Printf("traffic: %d writes (%d bytes), %d reads (%d bytes)\n",
-		stats.WriteOps, stats.BytesWritten, stats.ReadOps, stats.BytesRead)
-	if len(segs) > 0 {
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "ID\tSIZE\tNAME")
-		for _, s := range segs {
-			name := s.Name
-			if name == "" {
-				name = "(anonymous)"
-			}
-			fmt.Fprintf(w, "%d\t%d\t%s\n", s.ID, s.Size, name)
-		}
-		w.Flush()
-	}
+	renderNode(os.Stdout, *server, stats, segs)
 
 	if *diff == "" {
 		return
@@ -79,6 +66,29 @@ func main() {
 		fmt.Printf("audit: DIVERGENT %s\n", d)
 	}
 	os.Exit(2)
+}
+
+// renderNode prints one server's counters and segment table, including
+// how often each lifecycle operation ran and how many client references
+// each segment currently holds.
+func renderNode(out io.Writer, server string, stats wire.ServerStats, segs []wire.SegmentInfo) {
+	fmt.Fprintf(out, "node %s: %d segments, %d bytes exported\n", server, stats.Segments, stats.BytesHeld)
+	fmt.Fprintf(out, "traffic: %d writes (%d bytes), %d reads (%d bytes), %d batched exchanges\n",
+		stats.WriteOps, stats.BytesWritten, stats.ReadOps, stats.BytesRead, stats.BatchOps)
+	fmt.Fprintf(out, "lifecycle: %d mallocs, %d frees, %d connects, %d disconnects\n",
+		stats.Mallocs, stats.Frees, stats.Connects, stats.Disconnects)
+	if len(segs) > 0 {
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "ID\tSIZE\tCONNS\tNAME")
+		for _, s := range segs {
+			name := s.Name
+			if name == "" {
+				name = "(anonymous)"
+			}
+			fmt.Fprintf(w, "%d\t%d\t%d\t%s\n", s.ID, s.Size, s.Conns, name)
+		}
+		w.Flush()
+	}
 }
 
 // auditMirrors compares every named segment of a with its namesake on b,

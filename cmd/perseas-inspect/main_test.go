@@ -94,3 +94,38 @@ func TestAuditMirrorsDivergence(t *testing.T) {
 		}
 	}
 }
+
+func TestRenderNode(t *testing.T) {
+	srv, cli := startServer(t)
+	seg, err := srv.Malloc("db", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Write(seg.ID, 0, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Connect("db"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := cli.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	renderNode(&sb, "test-node", stats, segs)
+	out := sb.String()
+	for _, want := range []string{
+		"node test-node: 1 segments, 2048 bytes exported",
+		"1 mallocs",
+		"1 connects",
+		"CONNS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

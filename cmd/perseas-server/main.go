@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 	"syscall"
 
 	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/transport"
 )
 
@@ -28,6 +30,7 @@ func main() {
 	listen := flag.String("listen", ":7070", "address to listen on")
 	capacity := flag.String("capacity", "0", "exported-memory budget (e.g. 64MiB; 0 = unlimited)")
 	label := flag.String("label", "", "node label used in diagnostics (default: listen address)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090)")
 	flag.Parse()
 
 	capBytes, err := parseSize(*capacity)
@@ -49,6 +52,19 @@ func main() {
 	log.Printf("perseas-server: node %s exporting memory on %s (capacity %s)",
 		*label, l.Addr(), *capacity)
 
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		registerServerMetrics(reg, srv)
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("perseas-server: metrics listener: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		go func() { _ = (&http.Server{Handler: mux}).Serve(ml) }()
+		log.Printf("perseas-server: metrics on http://%s/metrics", ml.Addr())
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- transport.Serve(l, srv) }()
 
@@ -65,6 +81,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// registerServerMetrics exposes the memory server's operation counters
+// as gauges: the server keeps them under its own lock, so the registry
+// reads a fresh snapshot on every scrape.
+func registerServerMetrics(reg *obs.Registry, srv *memserver.Server) {
+	stat := func(field func(memserver.Stats) uint64) func() uint64 {
+		return func() uint64 { return field(srv.Stats()) }
+	}
+	reg.RegisterGauge("perseas_server_bytes_held", "bytes currently exported", srv.Held)
+	reg.RegisterGauge("perseas_server_segments", "segments currently exported",
+		func() uint64 { return uint64(len(srv.List())) })
+	reg.RegisterGauge("perseas_server_mallocs_total", "segment allocations", stat(func(s memserver.Stats) uint64 { return s.Mallocs }))
+	reg.RegisterGauge("perseas_server_frees_total", "segment frees", stat(func(s memserver.Stats) uint64 { return s.Frees }))
+	reg.RegisterGauge("perseas_server_connects_total", "segment connects", stat(func(s memserver.Stats) uint64 { return s.Connects }))
+	reg.RegisterGauge("perseas_server_disconnects_total", "segment disconnects", stat(func(s memserver.Stats) uint64 { return s.Disconnects }))
+	reg.RegisterGauge("perseas_server_write_ops_total", "remote writes applied", stat(func(s memserver.Stats) uint64 { return s.WriteOps }))
+	reg.RegisterGauge("perseas_server_read_ops_total", "remote reads served", stat(func(s memserver.Stats) uint64 { return s.ReadOps }))
+	reg.RegisterGauge("perseas_server_batch_ops_total", "batched write exchanges", stat(func(s memserver.Stats) uint64 { return s.BatchOps }))
+	reg.RegisterGauge("perseas_server_bytes_written_total", "bytes written by clients", stat(func(s memserver.Stats) uint64 { return s.BytesWritten }))
+	reg.RegisterGauge("perseas_server_bytes_read_total", "bytes read by clients", stat(func(s memserver.Stats) uint64 { return s.BytesRead }))
 }
 
 // parseSize parses "64MiB"/"1GiB"/"4096" style sizes.

@@ -1,6 +1,42 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/obs"
+)
+
+func TestRegisterServerMetrics(t *testing.T) {
+	srv := memserver.New()
+	seg, err := srv.Malloc("db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Write(seg.ID, 0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	registerServerMetrics(reg, srv)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"perseas_server_bytes_held 4096",
+		"perseas_server_segments 1",
+		"perseas_server_mallocs_total 1",
+		"perseas_server_write_ops_total 1",
+		"perseas_server_bytes_written_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
 
 func TestParseSize(t *testing.T) {
 	tests := []struct {

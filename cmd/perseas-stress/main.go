@@ -13,6 +13,12 @@
 // With -chaos, one mirror is killed halfway through and the run must
 // finish on the survivor — a live demonstration of the availability
 // claim.
+//
+// Every run ends with the commit-path latency breakdown (the paper's
+// Fig. 3 phases, p50/p95/p99) and the write combiner's batch-size
+// distribution. -stats-every 1s additionally dumps the latency table
+// periodically mid-run, and -metrics-addr :9090 serves all counters in
+// Prometheus text form at /metrics for the duration of the run.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -33,22 +40,38 @@ import (
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/simclock"
 	"github.com/ics-forth/perseas/internal/transport"
 )
 
+// config collects the run parameters so tests can call run directly.
+type config struct {
+	servers       string
+	selfContained bool
+	duration      time.Duration
+	chaos         bool
+	branches      int
+	workers       int
+	statsEvery    time.Duration
+	metricsAddr   string
+}
+
 func main() {
-	servers := flag.String("servers", "", "comma-separated mirror addresses (empty with -selfcontained)")
-	selfContained := flag.Bool("selfcontained", false, "spawn loopback mirror servers")
-	duration := flag.Duration("duration", 10*time.Second, "how long to run")
-	chaos := flag.Bool("chaos", false, "kill one self-contained mirror halfway through")
+	var cfg config
+	flag.StringVar(&cfg.servers, "servers", "", "comma-separated mirror addresses (empty with -selfcontained)")
+	flag.BoolVar(&cfg.selfContained, "selfcontained", false, "spawn loopback mirror servers")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "kill one self-contained mirror halfway through")
 	// TPC-B scales branches with offered load; 16 keeps 4+ workers from
 	// serialising on a handful of branch rows.
-	branches := flag.Int("branches", 16, "debit-credit scale")
-	workers := flag.Int("workers", 1, "concurrent transaction workers")
+	flag.IntVar(&cfg.branches, "branches", 16, "debit-credit scale")
+	flag.IntVar(&cfg.workers, "workers", 1, "concurrent transaction workers")
+	flag.DurationVar(&cfg.statsEvery, "stats-every", 0, "dump the commit-path latency table this often mid-run (0 = only at the end)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address for the run (e.g. :9090)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *servers, *selfContained, *duration, *chaos, *branches, *workers); err != nil {
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "perseas-stress:", err)
 		os.Exit(1)
 	}
@@ -68,13 +91,13 @@ type workerCounters struct {
 	conflicts atomic.Uint64
 }
 
-func run(out io.Writer, servers string, selfContained bool, duration time.Duration, chaos bool, branches, workers int) error {
-	if workers < 1 {
-		return fmt.Errorf("need at least 1 worker, got %d", workers)
+func run(out io.Writer, cfg config) error {
+	if cfg.workers < 1 {
+		return fmt.Errorf("need at least 1 worker, got %d", cfg.workers)
 	}
 	var addrs []string
 	var local []mirrorHandle
-	if selfContained {
+	if cfg.selfContained {
 		for i := 0; i < 2; i++ {
 			srv := memserver.New(memserver.WithLabel(fmt.Sprintf("local-%d", i)))
 			l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -88,7 +111,7 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 		}
 		fmt.Fprintf(out, "self-contained mirrors: %s\n", strings.Join(addrs, ", "))
 	} else {
-		for _, a := range strings.Split(servers, ",") {
+		for _, a := range strings.Split(cfg.servers, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				addrs = append(addrs, a)
 			}
@@ -97,11 +120,12 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 			return fmt.Errorf("no servers given (use -servers or -selfcontained)")
 		}
 	}
-	if chaos && len(local) < 2 {
+	if cfg.chaos && len(local) < 2 {
 		return fmt.Errorf("-chaos requires -selfcontained")
 	}
 
 	var mirrors []netram.Mirror
+	var tcps []*transport.TCP
 	for _, addr := range addrs {
 		tr, err := transport.DialTCP(addr)
 		if err != nil {
@@ -109,6 +133,7 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 		}
 		defer tr.Close()
 		mirrors = append(mirrors, netram.Mirror{Name: addr, T: tr})
+		tcps = append(tcps, tr)
 	}
 	ram, err := netram.NewClient(mirrors)
 	if err != nil {
@@ -119,7 +144,24 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 		return err
 	}
 
-	w, err := bench.NewDebitCredit(branches, 1000)
+	reg := obs.NewRegistry()
+	lib.RegisterMetrics(reg)
+	for i, tr := range tcps {
+		tr.RegisterMetrics(reg, fmt.Sprintf("perseas_tcp_mirror%d", i))
+	}
+	if cfg.metricsAddr != "" {
+		ml, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ml.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		go func() { _ = (&http.Server{Handler: mux}).Serve(ml) }()
+		fmt.Fprintf(out, "metrics: http://%s/metrics\n", ml.Addr())
+	}
+
+	w, err := bench.NewDebitCredit(cfg.branches, 1000)
 	if err != nil {
 		return err
 	}
@@ -127,15 +169,15 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 		return err
 	}
 	fmt.Fprintf(out, "database: %d bytes across 4 tables, %d mirrors, %d workers\n",
-		w.DBBytes(), len(addrs), workers)
+		w.DBBytes(), len(addrs), cfg.workers)
 
-	counters := make([]workerCounters, workers)
-	workerErrs := make([]error, workers)
+	counters := make([]workerCounters, cfg.workers)
+	workerErrs := make([]error, cfg.workers)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	seed := time.Now().UnixNano()
 	start := time.Now()
-	for i := 0; i < workers; i++ {
+	for i := 0; i < cfg.workers; i++ {
 		i := i
 		wg.Add(1)
 		go func() {
@@ -168,11 +210,12 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 		return n
 	}
 	lastReport := start
+	lastStats := start
 	var lastTotal uint64
 	chaosFired := false
-	for time.Since(start) < duration {
+	for time.Since(start) < cfg.duration {
 		time.Sleep(50 * time.Millisecond)
-		if chaos && !chaosFired && time.Since(start) > duration/2 {
+		if cfg.chaos && !chaosFired && time.Since(start) > cfg.duration/2 {
 			chaosFired = true
 			local[0].srv.Crash()
 			local[0].l.Close()
@@ -185,6 +228,10 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 				time.Since(start).Seconds(), float64(total-lastTotal)/secs, ram.Live())
 			lastTotal = total
 			lastReport = time.Now()
+		}
+		if cfg.statsEvery > 0 && time.Since(lastStats) >= cfg.statsEvery {
+			obs.WriteLatencyTable(out, "commit path", lib.CommitLatencyRows())
+			lastStats = time.Now()
 		}
 	}
 	stop.Store(true)
@@ -207,6 +254,14 @@ func run(out io.Writer, servers string, selfContained bool, duration time.Durati
 	fmt.Fprintf(out, "total: %d committed, %d aborted (%d conflicts) in %v (%.0f tx/s over real TCP)\n",
 		committed, aborted, conflicts, elapsed.Round(time.Millisecond),
 		float64(committed)/elapsed.Seconds())
+
+	obs.WriteLatencyTable(out, "commit path", lib.CommitLatencyRows())
+	var batch obs.HistogramSnapshot
+	for _, tr := range tcps {
+		batch = batch.Merge(tr.Metrics().BatchSize.Snapshot())
+	}
+	obs.WriteValueDistribution(out, "combiner batch size (writes/exchange)", batch)
+
 	if err := w.CheckConsistency(); err != nil {
 		return err
 	}

@@ -8,37 +8,51 @@ import (
 
 func TestRunSelfContainedWithChaos(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", true, 1500*time.Millisecond, true, 1, 2); err != nil {
+	cfg := config{
+		selfContained: true,
+		duration:      1500 * time.Millisecond,
+		chaos:         true,
+		branches:      1,
+		workers:       2,
+		statsEvery:    600 * time.Millisecond,
+		metricsAddr:   "127.0.0.1:0",
+	}
+	if err := run(&sb, cfg); err != nil {
 		t.Fatalf("stress run: %v\n%s", err, sb.String())
 	}
 	out := sb.String()
 	for _, want := range []string{
 		"self-contained mirrors:",
+		"metrics: http://",
 		"CHAOS: killed mirror",
 		"worker  0:",
 		"worker  1:",
+		"commit path",
+		"commit total",
+		"combiner batch size",
 		"consistency: balance invariant holds",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
+	// -stats-every dumps the table mid-run, so it appears at least twice.
+	if n := strings.Count(out, "commit path"); n < 2 {
+		t.Errorf("latency table printed %d times, want periodic + final", n)
+	}
 }
 
 func TestRunRequiresServers(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", false, time.Second, false, 1, 1); err == nil {
+	if err := run(&sb, config{duration: time.Second, branches: 1, workers: 1}); err == nil {
 		t.Error("no servers and not self-contained should fail")
-	}
-	if err := run(&sb, "x", false, time.Second, true, 1, 1); err == nil {
-		// -chaos without selfcontained mirrors list is validated too
-		_ = err
 	}
 }
 
 func TestRunRejectsZeroWorkers(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", true, time.Second, false, 1, 0); err == nil {
+	cfg := config{selfContained: true, duration: time.Second, branches: 1}
+	if err := run(&sb, cfg); err == nil {
 		t.Error("zero workers should fail")
 	}
 }

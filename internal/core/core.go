@@ -197,6 +197,10 @@ type Library struct {
 	// share the read lock; directory rewrites (which push the whole
 	// region) take the write lock.
 	metaMu sync.RWMutex
+
+	// metrics is the lock-free commit-path breakdown; it reads the
+	// clock but never advances it.
+	metrics CommitMetrics
 }
 
 // Option configures a Library.
@@ -252,6 +256,9 @@ func Init(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library, e
 	for _, o := range opts {
 		o(l)
 	}
+	// Latency histograms on both layers read this clock (never advance
+	// it), so simulated runs report modelled time.
+	net.SetClock(clock)
 	if l.metaSize < metaHeaderSize+8 {
 		return nil, fmt.Errorf("perseas: metadata region too small (%d bytes)", l.metaSize)
 	}

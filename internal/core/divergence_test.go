@@ -1,0 +1,185 @@
+package core
+
+// Regression tests for the mirror-divergence bug: a Push/PushMany that
+// fails after reaching a subset of the mirrors used to leave the
+// transaction's bookkeeping as if nothing had been sent, so Abort never
+// repaired the mirrors that *did* apply the write and their copy of the
+// database silently diverged from local memory.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// droppy wraps a transport and fails the next failNext Write/WriteBatch
+// calls while staying pingable — a transient hiccup on one mirror, not a
+// dead node.
+type droppy struct {
+	transport.Transport
+	failNext int
+}
+
+func (d *droppy) Write(seg uint32, offset uint64, data []byte) error {
+	if d.failNext > 0 {
+		d.failNext--
+		return errors.New("droppy: transient write failure")
+	}
+	return d.Transport.Write(seg, offset, data)
+}
+
+func (d *droppy) WriteBatch(writes []transport.BatchWrite) error {
+	if d.failNext > 0 {
+		d.failNext--
+		return errors.New("droppy: transient batch failure")
+	}
+	if bw, ok := d.Transport.(transport.BatchWriter); ok {
+		return bw.WriteBatch(writes)
+	}
+	for _, w := range writes {
+		if err := d.Transport.Write(w.Seg, w.Offset, w.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newDroppyRig wires a library to two mirrors, with mirror 1's transport
+// wrapped so tests can make it fail after mirror 0 already succeeded
+// (mirrors are written in order).
+func newDroppyRig(t *testing.T) (*Library, *netram.Client, *droppy, []*memserver.Server) {
+	t.Helper()
+	clock := simclock.NewSim()
+	var mirrors []netram.Mirror
+	var servers []*memserver.Server
+	var dr *droppy
+	for i := 0; i < 2; i++ {
+		srv := memserver.New(memserver.WithLabel("node" + string(rune('A'+i))))
+		tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tp transport.Transport = tr
+		if i == 1 {
+			dr = &droppy{Transport: tr}
+			tp = dr
+		}
+		mirrors = append(mirrors, netram.Mirror{Name: srv.Label(), T: tp})
+		servers = append(servers, srv)
+	}
+	net, err := netram.NewClient(mirrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Init(net, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, net, dr, servers
+}
+
+func TestAbortRepairsPartialCommitPush(t *testing.T) {
+	lib, net, dr, servers := newDroppyRig(t)
+	db, err := lib.CreateDB("acct", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := db.Bytes()
+	for i := range orig {
+		orig[i] = 0xAA
+	}
+	if err := lib.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	region := db.(*Database).region
+
+	tx, err := lib.BeginTx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(db, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes(), "deadbeef")
+
+	// Mirror 1 drops the range push and its retry; mirror 0 has already
+	// applied the batch by then, so the commit fails half-propagated.
+	dr.failNext = 2
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit should fail when a mirror drops the range push")
+	}
+	got, err := servers[0].Read(region.Handle(0).ID, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "deadbeef" {
+		t.Fatalf("mirror 0 holds %q; the test needs a half-propagated commit", got)
+	}
+
+	// The hiccup clears; Abort must restore local memory AND re-push the
+	// restored bytes to the mirror that applied the failed batch.
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(db.Bytes()[:8], orig[:8]) {
+		t.Fatal("abort did not restore local memory")
+	}
+	mm, err := net.Verify(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm) != 0 {
+		t.Fatalf("mirrors diverged after abort: %+v", mm)
+	}
+	if n := lib.Metrics().Repairs.Load(); n != 1 {
+		t.Errorf("repairs counter = %d, want 1", n)
+	}
+}
+
+func TestSetRangeAdvancesCursorOnPartialUndoPush(t *testing.T) {
+	lib, _, dr, _ := newDroppyRig(t)
+	db, err := lib.CreateDB("acct", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := lib.BeginTx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The undo-record push reaches mirror 0 and fails on mirror 1. The
+	// record is consumed either way: the cursor must advance and the
+	// range must be tracked, or the next record would overwrite this one
+	// in place and mirror 0's undo log would diverge from the local log.
+	dr.failNext = 2
+	if err := tx.SetRange(db, 0, 8); err == nil {
+		t.Fatal("SetRange should fail when a mirror drops the undo push")
+	}
+	if want := recordSize(8); tx.cursor != want {
+		t.Errorf("cursor = %d after partial undo push, want %d", tx.cursor, want)
+	}
+	if len(tx.ranges) != 1 {
+		t.Errorf("tracked ranges = %d, want 1", len(tx.ranges))
+	}
+
+	// After the hiccup clears, a further record appends past the
+	// half-pushed one instead of overwriting it.
+	if err := tx.SetRange(db, 16, 8); err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * recordSize(8); tx.cursor != want {
+		t.Errorf("cursor = %d after append, want %d", tx.cursor, want)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}

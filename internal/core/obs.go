@@ -1,0 +1,59 @@
+package core
+
+import "github.com/ics-forth/perseas/internal/obs"
+
+// CommitMetrics breaks a transaction's cost into the paper's phases
+// (Fig. 3): the local before-image copy, the remote undo-log push, the
+// database range push at commit, and the one small remote write that
+// publishes the commit word. Every histogram holds nanoseconds of
+// clock delta — on a simulated clock that is exactly the modelled
+// time, and the instrumentation only ever reads the clock, so the
+// reproduced figures are identical with or without it.
+type CommitMetrics struct {
+	// LocalCopy is SetRange's step 1: before-image into the local undo
+	// slot.
+	LocalCopy obs.Histogram
+	// UndoPush is SetRange's step 2: the log record to the remote undo
+	// log.
+	UndoPush obs.Histogram
+	// RangePush is Commit's step 3: the modified database ranges to
+	// every mirror.
+	RangePush obs.Histogram
+	// WordPush is the atomic commit point: one 8-byte remote write of
+	// the slot's commit word.
+	WordPush obs.Histogram
+	// CommitTotal is a whole successful Commit call.
+	CommitTotal obs.Histogram
+	// Repairs counts ranges re-pushed by Abort after a partially
+	// executed Commit, restoring mirror/local agreement.
+	Repairs obs.Counter
+}
+
+// Metrics exposes the library's commit-path histograms.
+func (l *Library) Metrics() *CommitMetrics { return &l.metrics }
+
+// RegisterMetrics registers the commit-path breakdown and the
+// network-RAM client's counters on reg.
+func (l *Library) RegisterMetrics(reg *obs.Registry) {
+	m := &l.metrics
+	reg.RegisterHistogram("perseas_commit_local_copy_ns", "SetRange before-image local copy", &m.LocalCopy)
+	reg.RegisterHistogram("perseas_commit_undo_push_ns", "SetRange undo record remote push", &m.UndoPush)
+	reg.RegisterHistogram("perseas_commit_range_push_ns", "Commit database range push", &m.RangePush)
+	reg.RegisterHistogram("perseas_commit_word_push_ns", "commit word publish", &m.WordPush)
+	reg.RegisterHistogram("perseas_commit_total_ns", "whole successful Commit call", &m.CommitTotal)
+	reg.RegisterCounter("perseas_abort_mirror_repairs_total", "ranges re-pushed by Abort after a failed Commit", &m.Repairs)
+	l.net.RegisterMetrics(reg)
+}
+
+// CommitLatencyRows renders the commit-path breakdown as table rows
+// for perseas-bench and perseas-stress.
+func (l *Library) CommitLatencyRows() []obs.LatencyRow {
+	m := &l.metrics
+	return []obs.LatencyRow{
+		{Name: "local undo copy", Snap: m.LocalCopy.Snapshot()},
+		{Name: "remote undo push", Snap: m.UndoPush.Snapshot()},
+		{Name: "db range push", Snap: m.RangePush.Snapshot()},
+		{Name: "commit word push", Snap: m.WordPush.Snapshot()},
+		{Name: "commit total", Snap: m.CommitTotal.Snapshot()},
+	}
+}

@@ -220,6 +220,7 @@ func Attach(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library,
 	for _, o := range opts {
 		o(l)
 	}
+	net.SetClock(clock)
 	if err := l.Recover(); err != nil {
 		return nil, err
 	}

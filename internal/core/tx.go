@@ -112,21 +112,34 @@ func (t *Tx) SetRange(db engine.DB, offset, length uint64) error {
 	// without the library lock.
 
 	// Step 1 (paper Fig. 3): before-image into the local undo log.
-	advance := writeRecord(t.slot.region.Local, t.cursor, t.id, d.id, offset,
+	phase := l.clock.Now()
+	recOff := t.cursor
+	advance := writeRecord(t.slot.region.Local, recOff, t.id, d.id, offset,
 		d.region.Local[offset:offset+length])
 	l.clock.Advance(l.mem.CopyCost(int(recordHeaderSize + length)))
+	l.metrics.LocalCopy.ObserveDuration(l.clock.Now() - phase)
+
+	// The record is consumed — cursor and range list advance before the
+	// remote push, not after. A failing Push can still reach a subset
+	// of the mirrors; if the cursor did not move, the next SetRange
+	// would overwrite this half-pushed record in place and the reached
+	// mirror's undo log would silently diverge from the local one.
+	// Advancing regardless of the push outcome keeps the log
+	// append-only everywhere and lets Abort unwind the claim normally.
+	t.cursor += advance
+	t.ranges = append(t.ranges, pending{db: d, offset: offset, length: length})
 
 	// Step 2: the log record propagates to the remote undo log. On
 	// failure the claim stays held until the caller aborts, which
 	// releases every claim of this transaction at once.
 	if !l.noRemoteUndo {
-		if err := l.net.Push(t.slot.region, t.cursor, recordHeaderSize+length); err != nil {
+		phase = l.clock.Now()
+		if err := l.net.Push(t.slot.region, recOff, recordHeaderSize+length); err != nil {
 			return fmt.Errorf("perseas: push undo record: %w", err)
 		}
+		l.metrics.UndoPush.ObserveDuration(l.clock.Now() - phase)
 	}
 
-	t.cursor += advance
-	t.ranges = append(t.ranges, pending{db: d, offset: offset, length: length})
 	l.mu.Lock()
 	l.stats.SetRanges++
 	l.stats.BytesLogged += length
@@ -175,13 +188,19 @@ func (t *Tx) Commit() error {
 		groups[gi].ranges = append(groups[gi].ranges, netram.Range{Offset: r.offset, Length: r.length})
 		groups[gi].members = append(groups[gi].members, r)
 	}
+	phase := l.clock.Now()
+	total := phase
 	for _, g := range groups {
+		// Record the group as pushed BEFORE the attempt: PushMany can
+		// fail after reaching a subset of the mirrors, and a range that
+		// reached even one mirror must be re-pushed by Abort or that
+		// mirror's database silently diverges from local.
+		t.pushed = append(t.pushed, g.members...)
 		if err := l.net.PushMany(g.db.region, g.ranges); err != nil {
 			return fmt.Errorf("perseas: push database ranges: %w", err)
 		}
-		// Remember what reached the mirrors so Abort can repair them.
-		t.pushed = append(t.pushed, g.members...)
 	}
+	l.metrics.RangePush.ObserveDuration(l.clock.Now() - phase)
 
 	// The atomic commit point: publish the transaction id in this
 	// slot's commit word. Commit words of different slots are disjoint
@@ -196,6 +215,7 @@ func (t *Tx) Commit() error {
 		l.metaMu.RUnlock()
 		return engine.ErrCrashed
 	}
+	phase = l.clock.Now()
 	binary.BigEndian.PutUint64(meta.Local[t.slot.wordOff:], t.id)
 	if err := l.net.Push(meta, t.slot.wordOff, 8); err != nil {
 		// Roll the local commit word back; the transaction stays
@@ -205,6 +225,8 @@ func (t *Tx) Commit() error {
 		return fmt.Errorf("perseas: publish commit word: %w", err)
 	}
 	l.metaMu.RUnlock()
+	l.metrics.WordPush.ObserveDuration(l.clock.Now() - phase)
+	l.metrics.CommitTotal.ObserveDuration(l.clock.Now() - total)
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -274,11 +296,14 @@ func (t *Tx) Abort() error {
 		l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
 	}
 
-	// Repair mirrors touched by a partially executed Commit.
+	// Repair mirrors touched by a partially executed Commit. t.pushed
+	// includes groups whose PushMany failed partway — a range that
+	// reached even one mirror needs its restored content re-pushed.
 	for _, r := range t.pushed {
 		if err := l.net.Push(r.db.region, r.offset, r.length); err != nil {
 			return fmt.Errorf("perseas: repair mirror after failed commit: %w", err)
 		}
+		l.metrics.Repairs.Inc()
 	}
 
 	l.mu.Lock()

@@ -47,6 +47,10 @@ type Segment struct {
 	Name string
 	// Data is the exported memory itself.
 	Data []byte
+	// conns counts live client references taken via Connect and dropped
+	// via Disconnect, guarded by the server mutex. Leaked references
+	// show up in List as a non-zero Conns on a segment nobody uses.
+	conns uint32
 }
 
 // Stats counts the traffic a server has absorbed.
@@ -57,6 +61,9 @@ type Stats struct {
 	ReadOps      uint64
 	BytesWritten uint64
 	BytesRead    uint64
+	Connects     uint64
+	Disconnects  uint64
+	BatchOps     uint64
 }
 
 // Server is a remote-memory server instance. The zero value is not
@@ -202,6 +209,7 @@ func (s *Server) WriteBatch(entries []wire.BatchEntry) error {
 		s.stats.WriteOps++
 		s.stats.BytesWritten += uint64(len(e.Data))
 	}
+	s.stats.BatchOps++
 	return nil
 }
 
@@ -227,10 +235,11 @@ func (s *Server) Read(id uint32, offset uint64, n uint32) ([]byte, error) {
 	return out, nil
 }
 
-// Connect looks up a named segment for a reconnecting client.
+// Connect looks up a named segment for a reconnecting client and takes
+// one reference on it; Disconnect drops the reference.
 func (s *Server) Connect(name string) (*Segment, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.checkAlive(); err != nil {
 		return nil, err
 	}
@@ -238,7 +247,30 @@ func (s *Server) Connect(name string) (*Segment, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchName, name)
 	}
-	return s.segs[id], nil
+	seg := s.segs[id]
+	seg.conns++
+	s.stats.Connects++
+	return seg, nil
+}
+
+// Disconnect drops one client reference taken by Connect. The segment
+// itself stays exported — references only track who is attached, so
+// tooling can tell an abandoned segment from a live one.
+func (s *Server) Disconnect(id uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkAlive(); err != nil {
+		return err
+	}
+	seg, ok := s.segs[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNoSuchSegment, id)
+	}
+	if seg.conns > 0 {
+		seg.conns--
+	}
+	s.stats.Disconnects++
+	return nil
 }
 
 // Get returns a live segment by id. Transports use this to map segment
@@ -262,7 +294,7 @@ func (s *Server) List() []wire.SegmentInfo {
 	defer s.mu.RUnlock()
 	out := make([]wire.SegmentInfo, 0, len(s.segs))
 	for _, seg := range s.segs {
-		out = append(out, wire.SegmentInfo{ID: seg.ID, Size: uint64(len(seg.Data)), Name: seg.Name})
+		out = append(out, wire.SegmentInfo{ID: seg.ID, Size: uint64(len(seg.Data)), Name: seg.Name, Conns: seg.conns})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -354,6 +386,11 @@ func (s *Server) Handle(req *wire.Request) *wire.Response {
 			return fail(err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Seg: seg.ID, Size: uint64(len(seg.Data))}
+	case wire.OpDisconnect:
+		if err := s.Disconnect(req.Seg); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Status: wire.StatusOK}
 	case wire.OpList:
 		return &wire.Response{Status: wire.StatusOK, Segments: s.List()}
 	case wire.OpPing:
@@ -370,6 +407,11 @@ func (s *Server) Handle(req *wire.Request) *wire.Response {
 			ReadOps:      st.ReadOps,
 			BytesWritten: st.BytesWritten,
 			BytesRead:    st.BytesRead,
+			Mallocs:      st.Mallocs,
+			Frees:        st.Frees,
+			Connects:     st.Connects,
+			Disconnects:  st.Disconnects,
+			BatchOps:     st.BatchOps,
 		}}
 	default:
 		return fail(fmt.Errorf("memserver: unknown op %v", req.Op))

@@ -370,3 +370,83 @@ func TestWriteReadRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestConnectDisconnectRefcount(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Connect("db"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.List()[0].Conns; got != 3 {
+		t.Fatalf("after 3 connects, Conns = %d, want 3", got)
+	}
+	if err := s.Disconnect(seg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.List()[0].Conns; got != 2 {
+		t.Fatalf("after disconnect, Conns = %d, want 2", got)
+	}
+	// Disconnect never underflows the count.
+	for i := 0; i < 5; i++ {
+		if err := s.Disconnect(seg.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.List()[0].Conns; got != 0 {
+		t.Fatalf("Conns underflowed to %d", got)
+	}
+	if err := s.Disconnect(12345); !errors.Is(err, ErrNoSuchSegment) {
+		t.Errorf("Disconnect(unknown) = %v, want ErrNoSuchSegment", err)
+	}
+	st := s.Stats()
+	if st.Connects != 3 || st.Disconnects != 6 {
+		t.Errorf("stats Connects/Disconnects = %d/%d, want 3/6", st.Connects, st.Disconnects)
+	}
+}
+
+func TestHandleDisconnect(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.Handle(&wire.Request{Op: wire.OpConnect, Name: "db"}); resp.Status != wire.StatusOK {
+		t.Fatalf("connect failed: %s", resp.Err)
+	}
+	if resp := s.Handle(&wire.Request{Op: wire.OpDisconnect, Seg: seg.ID}); resp.Status != wire.StatusOK {
+		t.Fatalf("disconnect failed: %s", resp.Err)
+	}
+	if got := s.List()[0].Conns; got != 0 {
+		t.Fatalf("Conns = %d after wire connect+disconnect, want 0", got)
+	}
+	if resp := s.Handle(&wire.Request{Op: wire.OpDisconnect, Seg: 999}); resp.Status != wire.StatusError {
+		t.Fatal("disconnect of unknown segment should fail")
+	}
+}
+
+func TestHandleStatsExtendedFields(t *testing.T) {
+	s := New()
+	seg, err := s.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Connect("db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBatch([]wire.BatchEntry{{Seg: seg.ID, Offset: 0, Data: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	resp := s.Handle(&wire.Request{Op: wire.OpStats})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("stats failed: %s", resp.Err)
+	}
+	st := resp.Stats
+	if st.Mallocs != 1 || st.Connects != 1 || st.BatchOps != 1 {
+		t.Errorf("extended stats = %+v, want Mallocs/Connects/BatchOps all 1", st)
+	}
+}

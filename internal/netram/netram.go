@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
 	"github.com/ics-forth/perseas/internal/transport"
 )
 
@@ -37,6 +39,12 @@ var (
 // of the paper).
 const DefaultAlignThreshold = 32
 
+// maxReadChunk bounds a single remote read. Fetch and Verify split
+// larger transfers into chunks of this size, so regions past 4 GiB are
+// read back correctly (a single Read carries a uint32 length) and no
+// transfer ever exceeds the wire protocol's frame limit.
+const maxReadChunk = 16 << 20
+
 // Mirror names one remote node and the transport reaching it.
 type Mirror struct {
 	// Name labels the node in errors ("remote-0", a hostname, ...).
@@ -45,7 +53,8 @@ type Mirror struct {
 	T transport.Transport
 }
 
-// Stats aggregates client traffic.
+// Stats aggregates client traffic. It is a plain comparable snapshot
+// assembled from the client's lock-free metrics.
 type Stats struct {
 	// Pushes counts Push calls; PushedBytes counts the payload bytes
 	// the caller asked to propagate.
@@ -59,6 +68,28 @@ type Stats struct {
 	FetchedBytes uint64
 }
 
+// Metrics are the client's lock-free observability primitives: the
+// legacy Stats counters plus latency histograms and failure-handling
+// counters. Latencies are measured as clock deltas — on a simulated
+// clock they report modelled time without ever advancing it.
+type Metrics struct {
+	Pushes       obs.Counter
+	PushedBytes  obs.Counter
+	WireBytes    obs.Counter
+	Fetches      obs.Counter
+	FetchedBytes obs.Counter
+	// PushLatency / FetchLatency are nanoseconds per successful
+	// Push/PushMany and Fetch call.
+	PushLatency  obs.Histogram
+	FetchLatency obs.Histogram
+	// Retries counts write attempts replayed after a transient failure
+	// on a mirror that still answered pings.
+	Retries obs.Counter
+	// Degradations counts mirrors marked down (each transition counts
+	// once; Revive re-arms the mirror).
+	Degradations obs.Counter
+}
+
 // Client is a reliable-network-RAM client bound to a fixed mirror set.
 // It is safe for concurrent use: data-path operations (Push, PushMany,
 // Fetch) of different transactions interleave freely, while topology
@@ -66,6 +97,11 @@ type Stats struct {
 type Client struct {
 	alignThreshold int
 	alignDisabled  bool
+	readChunk      uint64
+	// clock timestamps the latency histograms; it is only ever read
+	// (Now), never advanced, so instrumentation cannot perturb a
+	// simulated run. Defaults to the wall clock.
+	clock simclock.Clock
 
 	// topoMu guards the mirror set, the region list and every region's
 	// handles. Data-path operations hold the read lock for their whole
@@ -77,14 +113,15 @@ type Client struct {
 	// mirror can be reintegrated with full contents.
 	regions []*Region
 
-	// stateMu guards the health flags and traffic counters, which the
-	// data path updates while holding only the topology read lock.
+	// stateMu guards the health flags, which the data path updates
+	// while holding only the topology read lock. Traffic counters live
+	// in metrics and are lock-free.
 	stateMu sync.Mutex
 	// down[i] marks mirror i as failed: the paper's design keeps the
 	// database available through the surviving mirrors, so pushes skip
 	// dead nodes instead of stalling the application.
-	down  []bool
-	stats Stats
+	down    []bool
+	metrics Metrics
 }
 
 // Option configures a Client.
@@ -102,6 +139,17 @@ func WithoutAlignment() Option {
 	return func(c *Client) { c.alignDisabled = true }
 }
 
+// WithReadChunk overrides the maximum bytes moved per remote read
+// during Fetch and Verify. Tests use a tiny chunk to exercise the
+// splitting without gigabyte regions.
+func WithReadChunk(n uint64) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.readChunk = n
+		}
+	}
+}
+
 // NewClient builds a client replicating to the given mirrors.
 func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
 	if len(mirrors) == 0 {
@@ -115,6 +163,8 @@ func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
 	c := &Client{
 		mirrors:        append([]Mirror(nil), mirrors...),
 		alignThreshold: DefaultAlignThreshold,
+		readChunk:      maxReadChunk,
+		clock:          simclock.NewWall(),
 		down:           make([]bool, len(mirrors)),
 	}
 	for _, o := range opts {
@@ -123,7 +173,20 @@ func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
 	if c.alignThreshold < 1 {
 		c.alignThreshold = 1
 	}
+	if c.readChunk > maxReadChunk {
+		// A single Read carries a uint32 length and one wire frame;
+		// never exceed what both can hold.
+		c.readChunk = maxReadChunk
+	}
 	return c, nil
+}
+
+// SetClock points the latency histograms at clk (the library's clock,
+// so simulated runs report modelled time). The clock is only read.
+func (c *Client) SetClock(clk simclock.Clock) {
+	if clk != nil {
+		c.clock = clk
+	}
 }
 
 // Mirrors reports the number of mirror nodes.
@@ -149,25 +212,57 @@ func (c *Client) isDown(i int) bool {
 	return c.down[i]
 }
 
-// markDown records mirror i as failed.
+// markDown records mirror i as failed; only the first transition per
+// outage counts as a degradation event.
 func (c *Client) markDown(i int) {
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
-	c.down[i] = true
+	if !c.down[i] {
+		c.down[i] = true
+		c.metrics.Degradations.Inc()
+	}
 }
 
 // Stats returns a snapshot of the traffic counters.
 func (c *Client) Stats() Stats {
-	c.stateMu.Lock()
-	defer c.stateMu.Unlock()
-	return c.stats
+	return Stats{
+		Pushes:       c.metrics.Pushes.Load(),
+		PushedBytes:  c.metrics.PushedBytes.Load(),
+		WireBytes:    c.metrics.WireBytes.Load(),
+		Fetches:      c.metrics.Fetches.Load(),
+		FetchedBytes: c.metrics.FetchedBytes.Load(),
+	}
 }
 
-// ResetStats zeroes the traffic counters.
+// Metrics exposes the client's lock-free counters and histograms.
+func (c *Client) Metrics() *Metrics { return &c.metrics }
+
+// RegisterMetrics registers the client's counters on reg.
+func (c *Client) RegisterMetrics(reg *obs.Registry) {
+	m := &c.metrics
+	reg.RegisterCounter("perseas_netram_pushes_total", "Push/PushMany range propagations", &m.Pushes)
+	reg.RegisterCounter("perseas_netram_pushed_bytes_total", "payload bytes pushed", &m.PushedBytes)
+	reg.RegisterCounter("perseas_netram_wire_bytes_total", "bytes sent including alignment expansion", &m.WireBytes)
+	reg.RegisterCounter("perseas_netram_fetches_total", "recovery reads", &m.Fetches)
+	reg.RegisterCounter("perseas_netram_fetched_bytes_total", "bytes fetched back", &m.FetchedBytes)
+	reg.RegisterHistogram("perseas_netram_push_latency_ns", "ns per successful push", &m.PushLatency)
+	reg.RegisterHistogram("perseas_netram_fetch_latency_ns", "ns per successful fetch", &m.FetchLatency)
+	reg.RegisterCounter("perseas_netram_retries_total", "writes replayed after transient failures", &m.Retries)
+	reg.RegisterCounter("perseas_netram_degradations_total", "mirrors marked down", &m.Degradations)
+	reg.RegisterGauge("perseas_netram_live_mirrors", "mirrors considered healthy", func() uint64 {
+		return uint64(c.Live())
+	})
+}
+
+// ResetStats zeroes the traffic counters and latency histograms.
 func (c *Client) ResetStats() {
-	c.stateMu.Lock()
-	defer c.stateMu.Unlock()
-	c.stats = Stats{}
+	c.metrics.Pushes.Reset()
+	c.metrics.PushedBytes.Reset()
+	c.metrics.WireBytes.Reset()
+	c.metrics.Fetches.Reset()
+	c.metrics.FetchedBytes.Reset()
+	c.metrics.PushLatency.Reset()
+	c.metrics.FetchLatency.Reset()
 }
 
 // Region is a mirrored memory region: a local buffer plus one remote
@@ -254,6 +349,7 @@ func (c *Client) Push(r *Region, offset, n uint64) error {
 	}
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
+	start := c.clock.Now()
 	lo, hi := offset, offset+n
 	if !c.alignDisabled && n >= uint64(c.alignThreshold) {
 		lo, hi = expandEdges(lo, hi, r.Size())
@@ -277,11 +373,10 @@ func (c *Client) Push(r *Region, offset, n uint64) error {
 	if pushed == 0 {
 		return fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
 	}
-	c.stateMu.Lock()
-	c.stats.Pushes++
-	c.stats.PushedBytes += n
-	c.stats.WireBytes += uint64(len(data)) * uint64(pushed)
-	c.stateMu.Unlock()
+	c.metrics.Pushes.Inc()
+	c.metrics.PushedBytes.Add(n)
+	c.metrics.WireBytes.Add(uint64(len(data)) * uint64(pushed))
+	c.metrics.PushLatency.ObserveDuration(c.clock.Now() - start)
 	return nil
 }
 
@@ -301,6 +396,7 @@ func (c *Client) writeWithRetry(i int, seg uint32, offset uint64, data []byte) e
 		return err
 	}
 	// The node answers pings: transient failure — one retry.
+	c.metrics.Retries.Inc()
 	if retryErr := m.T.Write(seg, offset, data); retryErr == nil {
 		return nil
 	}
@@ -331,6 +427,7 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 	}
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
+	start := c.clock.Now()
 	// Materialise the expanded wire ranges once; per-mirror only the
 	// segment id differs.
 	type span struct {
@@ -384,6 +481,7 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 			// The node answers pings: transient failure — retry the
 			// batch once (it is atomic server-side, so a replay is
 			// idempotent).
+			c.metrics.Retries.Inc()
 			if err2 := attempt(); err2 != nil {
 				return fmt.Errorf("netram: batch push to mirror %s: %w", m.Name, err)
 			}
@@ -393,43 +491,72 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 	if pushed == 0 {
 		return fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
 	}
-	c.stateMu.Lock()
-	c.stats.Pushes += uint64(len(spans))
-	c.stats.PushedBytes += payload
-	c.stats.WireBytes += wireBytes * uint64(pushed)
-	c.stateMu.Unlock()
+	c.metrics.Pushes.Add(uint64(len(spans)))
+	c.metrics.PushedBytes.Add(payload)
+	c.metrics.WireBytes.Add(wireBytes * uint64(pushed))
+	c.metrics.PushLatency.ObserveDuration(c.clock.Now() - start)
 	return nil
 }
 
 // Fetch reads n bytes at offset from the first mirror that answers,
 // in declaration order. Used during recovery, when the local buffer's
-// content is gone.
+// content is gone. Transfers larger than the read chunk are split into
+// several remote reads, so regions past 4 GiB (or the wire frame
+// limit) arrive intact instead of silently truncated.
 func (c *Client) Fetch(r *Region, offset, n uint64) ([]byte, error) {
 	if err := r.checkRange(offset, n); err != nil {
 		return nil, err
 	}
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
+	start := c.clock.Now()
 	var lastErr error
 	for i, m := range c.mirrors {
 		if r.handles[i].ID == 0 {
 			continue
 		}
-		data, err := m.T.Read(r.handles[i].ID, offset, uint32(n))
+		data, err := c.readChunked(m, r.handles[i].ID, offset, n)
 		if err != nil {
 			lastErr = fmt.Errorf("netram: fetch from mirror %s: %w", m.Name, err)
 			continue
 		}
-		c.stateMu.Lock()
-		c.stats.Fetches++
-		c.stats.FetchedBytes += n
-		c.stateMu.Unlock()
+		c.metrics.Fetches.Inc()
+		c.metrics.FetchedBytes.Add(n)
+		c.metrics.FetchLatency.ObserveDuration(c.clock.Now() - start)
 		return data, nil
 	}
 	if lastErr == nil {
 		lastErr = ErrAllMirrorsDown
 	}
 	return nil, fmt.Errorf("%w (last: %v)", ErrAllMirrorsDown, lastErr)
+}
+
+// readChunked reads n bytes at offset from one mirror, splitting the
+// transfer into reads of at most c.readChunk bytes. A mid-transfer
+// failure fails the whole read — the caller falls over to the next
+// mirror, never stitching two nodes' bytes together.
+func (c *Client) readChunked(m Mirror, seg uint32, offset, n uint64) ([]byte, error) {
+	if n <= c.readChunk {
+		return m.T.Read(seg, offset, uint32(n))
+	}
+	out := make([]byte, 0, n)
+	for done := uint64(0); done < n; {
+		step := n - done
+		if step > c.readChunk {
+			step = c.readChunk
+		}
+		data, err := m.T.Read(seg, offset+done, uint32(step))
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(data)) != step {
+			return nil, fmt.Errorf("netram: short read from mirror %s: got %d of %d bytes",
+				m.Name, len(data), step)
+		}
+		out = append(out, data...)
+		done += step
+	}
+	return out, nil
 }
 
 // FetchInto restores r.Local[offset:offset+n] from the mirrors.
@@ -461,6 +588,10 @@ func (c *Client) Connect(name string) (*Region, error) {
 		if size == 0 {
 			size = h.Size
 		} else if h.Size != size {
+			// Release every reference taken so far (including this
+			// mirror's) before erroring, so the abandoned region leaves
+			// no handles attached anywhere.
+			c.releaseHandles(r, i+1)
 			return nil, fmt.Errorf("netram: mirror %s disagrees on size of %q: %d vs %d",
 				m.Name, name, h.Size, size)
 		}
@@ -472,6 +603,20 @@ func (c *Client) Connect(name string) (*Region, error) {
 	r.Local = make([]byte, size)
 	c.regions = append(c.regions, r)
 	return r, nil
+}
+
+// releaseHandles disconnects the references r holds on the first n
+// mirrors; best-effort, for error-path cleanup.
+func (c *Client) releaseHandles(r *Region, n int) {
+	for j := 0; j < n && j < len(c.mirrors); j++ {
+		if r.handles[j].ID == 0 {
+			continue
+		}
+		if dc, ok := c.mirrors[j].T.(transport.Disconnector); ok {
+			_ = dc.Disconnect(r.handles[j].ID)
+		}
+		r.handles[j] = transport.SegmentHandle{}
+	}
 }
 
 // Revive reintegrates mirror i after its node was repaired: every live
@@ -580,17 +725,28 @@ func (c *Client) Verify(r *Region) ([]Mismatch, error) {
 		if c.isDown(i) || r.handles[i].ID == 0 {
 			continue
 		}
-		remote, err := m.T.Read(r.handles[i].ID, 0, uint32(r.Size()))
-		if err != nil {
-			return nil, fmt.Errorf("netram: verify %q on %s: %w", r.Name, m.Name, err)
+		// Compare chunk by chunk so regions past 4 GiB (or the frame
+		// limit) are audited in full instead of silently truncated.
+		diverged := false
+		for done := uint64(0); done < r.Size() && !diverged; {
+			step := r.Size() - done
+			if step > c.readChunk {
+				step = c.readChunk
+			}
+			remote, err := m.T.Read(r.handles[i].ID, done, uint32(step))
+			if err != nil {
+				return nil, fmt.Errorf("netram: verify %q on %s: %w", r.Name, m.Name, err)
+			}
+			for off := range remote {
+				if remote[off] != r.Local[done+uint64(off)] {
+					out = append(out, Mismatch{Mirror: m.Name, Region: r.Name, Offset: done + uint64(off)})
+					diverged = true
+					break
+				}
+			}
+			done += step
 		}
 		checked++
-		for off := range remote {
-			if remote[off] != r.Local[off] {
-				out = append(out, Mismatch{Mirror: m.Name, Region: r.Name, Offset: uint64(off)})
-				break
-			}
-		}
 	}
 	if checked == 0 {
 		return nil, fmt.Errorf("netram: verify %q: %w", r.Name, ErrAllMirrorsDown)

@@ -1,0 +1,211 @@
+// Package obs provides the lock-free observability primitives every
+// PERSEAS hot path reports into: atomic counters and power-of-two
+// histograms cheap enough to live inside the commit path, plus a
+// registry that renders them as tables or Prometheus text.
+//
+// The commit path is the paper's whole argument — three memory copies
+// instead of a disk write — so the instrumentation must not distort
+// what it measures. Observe is a handful of atomic adds with no locks
+// and no allocation, and nothing in this package ever advances a
+// simulated clock: callers sample clock.Now() around the work and
+// report the difference. That keeps the reproduced fig6/compare
+// outputs byte-identical whether or not metrics are being collected.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (but resettable) atomic count.
+// The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// histBuckets is the number of power-of-two buckets a Histogram keeps:
+// bucket 0 holds the value 0, bucket i (i >= 1) holds values in
+// [2^(i-1), 2^i - 1]. 64 buckets cover the full uint64 range.
+const histBuckets = 65
+
+// Histogram is a lock-free histogram over uint64 values (latencies in
+// nanoseconds, batch sizes, byte counts). Values land in power-of-two
+// buckets, so Observe is one bits.Len64 plus four atomic operations —
+// cheap enough for the commit fast path. Quantiles are estimated by
+// linear interpolation inside the winning bucket, which is accurate to
+// within the bucket's width (a factor of two). The zero value is ready
+// to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // stored as ^value so zero means "empty"
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+	for {
+		old := h.min.Load()
+		if ^old <= v || h.min.CompareAndSwap(old, ^v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if old >= v || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds. Negative
+// durations (a clock stepping backwards) clamp to zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Reset zeroes the histogram. Concurrent Observes may straddle the
+// reset; the histogram stays internally consistent enough for
+// monitoring (counts never go negative, buckets never underflow).
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Snapshot returns a point-in-time copy for rendering. Buckets are
+// loaded one at a time, so a snapshot taken during concurrent Observes
+// is approximate — fine for monitoring, not a linearizable cut.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if m := h.min.Load(); m != 0 {
+		s.Min = ^m
+	}
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a frozen view of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Merge folds another snapshot into this one, as if both histograms had
+// observed one combined stream. Callers with one histogram per
+// connection (e.g. a batch-size distribution per mirror transport) merge
+// the snapshots to render a single table.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if o.Count == 0 {
+		return s
+	}
+	if s.Count == 0 {
+		return o
+	}
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// bucketBounds returns the value range [lo, hi] bucket i covers.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	hi = lo<<1 - 1
+	if i == 64 {
+		hi = math.MaxUint64
+	}
+	return lo, hi
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by locating the
+// bucket holding the target rank and interpolating linearly inside it,
+// clamped to the observed min and max so p0/p100 are exact.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo, hi := bucketBounds(i)
+			frac := 0.0
+			if n > 0 {
+				frac = (rank - seen) / float64(n)
+			}
+			v := float64(lo) + frac*float64(hi-lo)
+			if v < float64(s.Min) {
+				v = float64(s.Min)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		seen += float64(n)
+	}
+	return float64(s.Max)
+}

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after Reset, Load = %d, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1106 {
+		t.Fatalf("Sum = %d, want 1106", s.Sum)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("Min/Max = %d/%d, want 0/1000", s.Min, s.Max)
+	}
+	if got := s.Mean(); math.Abs(got-1106.0/6) > 1e-9 {
+		t.Fatalf("Mean = %g", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 uniform values 1..1000: p50 should land near 500 within the
+	// power-of-two bucket resolution (bucket [512,1023] is wide, but
+	// interpolation keeps the estimate in the right half).
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 256 || p50 > 1000 {
+		t.Fatalf("p50 = %g, want within [256,1000]", p50)
+	}
+	if p100 := s.Quantile(1); p100 != 1000 {
+		t.Fatalf("p100 = %g, want exactly max (1000)", p100)
+	}
+	if p0 := s.Quantile(0); p0 < 1 {
+		t.Fatalf("p0 = %g, want >= observed min 1", p0)
+	}
+	// Quantiles are monotone.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%g) = %g < previous %g, not monotone", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Observe(77)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 77 {
+			t.Fatalf("Quantile(%g) = %g, want 77 (min==max clamps)", q, got)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", s)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Nanosecond)
+	h.ObserveDuration(-time.Second) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 2 || s.Max != 1500 || s.Min != 0 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(2)
+	a.Observe(100)
+	b.Observe(7)
+	var empty HistogramSnapshot
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 3 || m.Sum != 109 || m.Min != 2 || m.Max != 100 {
+		t.Errorf("merged = %+v, want count 3 sum 109 min 2 max 100", m)
+	}
+	if m.Buckets[3] != 1 { // 7 lands in [4,7]
+		t.Errorf("bucket 3 = %d, want 1", m.Buckets[3])
+	}
+	// Empty snapshots are identity elements on either side.
+	if got := empty.Merge(a.Snapshot()); got != a.Snapshot() {
+		t.Error("empty.Merge(a) != a")
+	}
+	if got := a.Snapshot().Merge(empty); got != a.Snapshot() {
+		t.Error("a.Merge(empty) != a")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("after Reset: %+v", s)
+	}
+	h.Observe(9)
+	if s := h.Snapshot(); s.Min != 9 || s.Max != 9 {
+		t.Fatalf("post-reset observe: %+v", s)
+	}
+}
+
+// TestHistogramConcurrent exercises Observe from many goroutines under
+// the race detector; totals must come out exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var c Counter
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	if c.Load() != workers*per {
+		t.Fatalf("Counter = %d, want %d", c.Load(), workers*per)
+	}
+	var inBuckets uint64
+	for _, n := range s.Buckets {
+		inBuckets += n
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket total %d != count %d", inBuckets, s.Count)
+	}
+	if s.Min != 0 || s.Max != workers*per-1 {
+		t.Fatalf("Min/Max = %d/%d", s.Min, s.Max)
+	}
+}
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(7)
+	var h Histogram
+	h.Observe(100)
+	r.RegisterCounter("perseas_test_ops_total", "ops", &c)
+	r.RegisterGauge("perseas_test_live", "live mirrors", func() uint64 { return 2 })
+	r.RegisterHistogram("perseas_test_latency_ns", "latency", &h)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE perseas_test_ops_total counter",
+		"perseas_test_ops_total 7",
+		"# TYPE perseas_test_live gauge",
+		"perseas_test_live 2",
+		"# TYPE perseas_test_latency_ns summary",
+		`perseas_test_latency_ns{quantile="0.5"} 100`,
+		"perseas_test_latency_ns_sum 100",
+		"perseas_test_latency_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryReregisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	var c1, c2 Counter
+	c1.Add(1)
+	c2.Add(2)
+	r.RegisterCounter("x_total", "", &c1)
+	r.RegisterCounter("x_total", "", &c2)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "\nx_total ") != 1 {
+		t.Fatalf("duplicate rows after re-register:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "x_total 2") {
+		t.Fatalf("last registration should win:\n%s", sb.String())
+	}
+}
+
+func TestRegistryHTTP(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Inc()
+	r.RegisterCounter("perseas_http_total", "", &c)
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "perseas_http_total 1") {
+		t.Fatalf("HTTP body missing counter: %q", buf[:n])
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+func TestRenderLatencyTable(t *testing.T) {
+	var h Histogram
+	h.Observe(10_000) // 10µs
+	var sb strings.Builder
+	WriteLatencyTable(&sb, "commit path", []LatencyRow{
+		{Name: "local copy", Snap: h.Snapshot()},
+		{Name: "empty phase", Snap: HistogramSnapshot{}},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "commit path") || !strings.Contains(out, "local copy") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "10.0") {
+		t.Fatalf("table should show 10.0 us:\n%s", out)
+	}
+	if !strings.Contains(out, "empty phase") {
+		t.Fatalf("empty rows should still print:\n%s", out)
+	}
+}
+
+func TestRenderValueDistribution(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 80; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(3)
+	}
+	var sb strings.Builder
+	WriteValueDistribution(&sb, "combiner batch size", h.Snapshot())
+	out := sb.String()
+	if !strings.Contains(out, "combiner batch size") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "1 ") && !strings.Contains(out, "1  ") {
+		t.Fatalf("missing bucket for value 1:\n%s", out)
+	}
+	if !strings.Contains(out, "2-3") {
+		t.Fatalf("missing bucket 2-3:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("missing bars:\n%s", out)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		i      int
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 4, 7},
+		{64, 1 << 63, math.MaxUint64},
+	}
+	for _, c := range cases {
+		lo, hi := bucketBounds(c.i)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("bucketBounds(%d) = %d,%d want %d,%d", c.i, lo, hi, c.lo, c.hi)
+		}
+	}
+}

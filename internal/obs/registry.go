@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Registry holds named metrics and renders them as Prometheus text
+// exposition format. Registration order is preserved in the output so
+// dumps are stable and diffable; names should follow the
+// prometheus_style_snake_case convention with a unit suffix
+// (_ns, _bytes, _total).
+type Registry struct {
+	mu      sync.Mutex
+	entries []regEntry
+}
+
+type regEntry struct {
+	name    string
+	help    string
+	counter *Counter
+	gauge   func() uint64
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(e regEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.entries {
+		if r.entries[i].name == e.name {
+			// Last registration wins; re-registering after a component
+			// restart (e.g. core.Attach after a crash) must not duplicate
+			// rows in the exposition.
+			r.entries[i] = e
+			return
+		}
+	}
+	r.entries = append(r.entries, e)
+}
+
+// RegisterCounter exposes c under name.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
+	r.add(regEntry{name: name, help: help, counter: c})
+}
+
+// RegisterGauge exposes the value returned by fn under name. fn is
+// called at render time and must be safe for concurrent use.
+func (r *Registry) RegisterGauge(name, help string, fn func() uint64) {
+	r.add(regEntry{name: name, help: help, gauge: fn})
+}
+
+// RegisterHistogram exposes h under name as a Prometheus summary with
+// p50/p95/p99 quantiles.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.add(regEntry{name: name, help: help, hist: h})
+}
+
+// Histogram returns the registered histogram by name, or nil. Useful
+// for tools that render one specific distribution specially.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.name == name {
+			return e.hist
+		}
+	}
+	return nil
+}
+
+// quantiles rendered for every histogram, in exposition order.
+var summaryQuantiles = []float64{0.5, 0.95, 0.99}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]regEntry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	for _, e := range entries {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case e.counter != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.counter.Load())
+		case e.gauge != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.gauge())
+		case e.hist != nil:
+			s := e.hist.Snapshot()
+			if _, err = fmt.Fprintf(w, "# TYPE %s summary\n", e.name); err != nil {
+				return err
+			}
+			for _, q := range summaryQuantiles {
+				if _, err = fmt.Fprintf(w, "%s{quantile=%q} %g\n", e.name, fmt.Sprintf("%g", q), s.Quantile(q)); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", e.name, s.Sum, e.name, s.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Names returns the registered metric names, sorted. Mostly for tests.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		names[i] = e.name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ServeHTTP implements http.Handler so a registry can be mounted
+// directly on a -metrics-addr listener.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WriteText(w)
+}

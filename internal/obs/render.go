@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LatencyRow pairs a label with a nanosecond-valued histogram snapshot
+// for WriteLatencyTable.
+type LatencyRow struct {
+	Name string
+	Snap HistogramSnapshot
+}
+
+// usec converts a nanosecond quantity to microseconds for display.
+func usec(ns float64) float64 { return ns / 1e3 }
+
+// WriteLatencyTable renders rows of nanosecond histograms as a
+// human-readable table in microseconds:
+//
+//	commit path                 count       p50       p95       p99      mean
+//	  local copy                 1234      12.0      18.5      22.1      13.2
+func WriteLatencyTable(w io.Writer, title string, rows []LatencyRow) {
+	fmt.Fprintf(w, "%-24s %9s %9s %9s %9s %9s\n", title, "count", "p50(us)", "p95(us)", "p99(us)", "mean(us)")
+	for _, row := range rows {
+		s := row.Snap
+		if s.Count == 0 {
+			fmt.Fprintf(w, "  %-22s %9d %9s %9s %9s %9s\n", row.Name, 0, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "  %-22s %9d %9.1f %9.1f %9.1f %9.1f\n",
+			row.Name, s.Count,
+			usec(s.Quantile(0.5)), usec(s.Quantile(0.95)), usec(s.Quantile(0.99)), usec(s.Mean()))
+	}
+}
+
+// WriteValueDistribution renders a histogram of small integer values
+// (e.g. combiner batch sizes) as a bucketed bar chart:
+//
+//	combiner batch size (mean 2.3, 120 samples)
+//	  1          80  ########################################
+//	  2-3        30  ###############
+//	  4-7        10  #####
+func WriteValueDistribution(w io.Writer, title string, s HistogramSnapshot) {
+	fmt.Fprintf(w, "%s (mean %.1f, %d samples)\n", title, s.Mean(), s.Count)
+	if s.Count == 0 {
+		return
+	}
+	var peak uint64
+	for _, n := range s.Buckets {
+		if n > peak {
+			peak = n
+		}
+	}
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		label := fmt.Sprintf("%d", lo)
+		if hi > lo {
+			label = fmt.Sprintf("%d-%d", lo, hi)
+		}
+		bar := int(n * 40 / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(w, "  %-9s %7d  %s\n", label, n, strings.Repeat("#", bar))
+	}
+}

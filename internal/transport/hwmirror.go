@@ -232,6 +232,13 @@ func (t *HWMirror) Connect(name string) (SegmentHandle, error) {
 		// it from the surviving nodes.
 		return t.reconnectLocked(name)
 	}
+	// Take one reference on each node holding the segment so the group
+	// reference count mirrors what Disconnect will later drop.
+	for _, node := range t.nodes {
+		if !node.Crashed() {
+			_, _ = node.Connect(name)
+		}
+	}
 	return SegmentHandle{ID: id, Size: t.size[id]}, nil
 }
 
@@ -259,6 +266,28 @@ func (t *HWMirror) reconnectLocked(name string) (SegmentHandle, error) {
 	t.size[id] = size
 	t.name[name] = id
 	return SegmentHandle{ID: id, Size: size}, nil
+}
+
+// Disconnect implements Disconnector: the reference is dropped on every
+// node that still holds the segment.
+func (t *HWMirror) Disconnect(seg uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.rpc()
+	ids, ok := t.segs[seg]
+	if !ok {
+		return fmt.Errorf("transport: hw-mirror: no segment %d", seg)
+	}
+	var firstErr error
+	for i, node := range t.nodes {
+		if err := node.Disconnect(ids[i]); err != nil && firstErr == nil && !node.Crashed() {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // List implements Transport (from the first live node).
@@ -302,6 +331,7 @@ func (t *HWMirror) Close() error {
 }
 
 var (
-	_ Transport   = (*HWMirror)(nil)
-	_ BatchWriter = (*HWMirror)(nil)
+	_ Transport    = (*HWMirror)(nil)
+	_ BatchWriter  = (*HWMirror)(nil)
+	_ Disconnector = (*HWMirror)(nil)
 )

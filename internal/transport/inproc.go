@@ -151,6 +151,15 @@ func (t *InProc) Connect(name string) (SegmentHandle, error) {
 	return SegmentHandle{ID: seg.ID, Size: uint64(len(seg.Data))}, nil
 }
 
+// Disconnect implements Disconnector.
+func (t *InProc) Disconnect(seg uint32) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.rpc()
+	return t.server.Disconnect(seg)
+}
+
 // List implements Transport.
 func (t *InProc) List() ([]wire.SegmentInfo, error) {
 	if err := t.check(); err != nil {
@@ -181,6 +190,7 @@ func (t *InProc) Close() error {
 }
 
 var (
-	_ Transport   = (*InProc)(nil)
-	_ BatchWriter = (*InProc)(nil)
+	_ Transport    = (*InProc)(nil)
+	_ BatchWriter  = (*InProc)(nil)
+	_ Disconnector = (*InProc)(nil)
 )

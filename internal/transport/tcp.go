@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/wire"
 )
 
@@ -42,6 +44,44 @@ type TCP struct {
 	wmu    sync.Mutex
 	wbusy  bool
 	wqueue []*queuedWrite
+
+	metrics TCPMetrics
+}
+
+// TCPMetrics are the client-side counters one TCP transport keeps.
+// Latencies are wall-clock (this transport talks to real sockets, so
+// there is no simulated clock to consult). All fields are lock-free;
+// read them live or through Registry rendering.
+type TCPMetrics struct {
+	// Exchanges counts request/response round trips attempted.
+	Exchanges obs.Counter
+	// ExchangeLatency is nanoseconds per completed exchange.
+	ExchangeLatency obs.Histogram
+	// Dials counts TCP connections established for the pool.
+	Dials obs.Counter
+	// PoolWaits counts acquires that blocked because the pool was at
+	// capacity with nothing idle.
+	PoolWaits obs.Counter
+	// CombinedExchanges counts write exchanges that carried more than
+	// one caller's writes (the group-commit combiner firing).
+	CombinedExchanges obs.Counter
+	// BatchSize is the distribution of entries per write exchange.
+	BatchSize obs.Histogram
+}
+
+// Metrics exposes the transport's counters.
+func (t *TCP) Metrics() *TCPMetrics { return &t.metrics }
+
+// RegisterMetrics registers the transport's counters on reg under the
+// given prefix (e.g. "perseas_transport_mirror0").
+func (t *TCP) RegisterMetrics(reg *obs.Registry, prefix string) {
+	m := &t.metrics
+	reg.RegisterCounter(prefix+"_exchanges_total", "request/response round trips", &m.Exchanges)
+	reg.RegisterHistogram(prefix+"_exchange_latency_ns", "wall-clock ns per exchange", &m.ExchangeLatency)
+	reg.RegisterCounter(prefix+"_dials_total", "pool connections dialled", &m.Dials)
+	reg.RegisterCounter(prefix+"_pool_waits_total", "acquires that blocked on a full pool", &m.PoolWaits)
+	reg.RegisterCounter(prefix+"_combined_exchanges_total", "write exchanges carrying >1 caller", &m.CombinedExchanges)
+	reg.RegisterHistogram(prefix+"_batch_size", "write entries per exchange", &m.BatchSize)
 }
 
 // queuedWrite is one caller's write set awaiting a combined exchange.
@@ -62,6 +102,7 @@ func DialTCP(addr string) (*TCP, error) {
 	}
 	t := &TCP{addr: addr, idle: []net.Conn{conn}, total: 1}
 	t.cond = sync.NewCond(&t.mu)
+	t.metrics.Dials.Inc()
 	return t, nil
 }
 
@@ -82,6 +123,7 @@ func dialOne(addr string) (net.Conn, error) {
 // none is idle and the pool may still grow.
 func (t *TCP) acquire() (net.Conn, error) {
 	t.mu.Lock()
+	waited := false
 	for {
 		if t.closed {
 			t.mu.Unlock()
@@ -104,7 +146,12 @@ func (t *TCP) acquire() (net.Conn, error) {
 				t.mu.Unlock()
 				return nil, err
 			}
+			t.metrics.Dials.Inc()
 			return conn, nil
+		}
+		if !waited {
+			waited = true
+			t.metrics.PoolWaits.Inc()
 		}
 		t.cond.Wait()
 	}
@@ -127,6 +174,8 @@ func (t *TCP) release(conn net.Conn, healthy bool) {
 // call performs one synchronous request/response exchange on a pooled
 // connection.
 func (t *TCP) call(req *wire.Request) (*wire.Response, error) {
+	t.metrics.Exchanges.Inc()
+	start := time.Now()
 	conn, err := t.acquire()
 	if err != nil {
 		return nil, err
@@ -141,6 +190,7 @@ func (t *TCP) call(req *wire.Request) (*wire.Response, error) {
 		return nil, err
 	}
 	t.release(conn, true)
+	t.metrics.ExchangeLatency.ObserveDuration(time.Since(start))
 	return resp, respErr(resp)
 }
 
@@ -212,11 +262,16 @@ func (t *TCP) lead(batch []*queuedWrite, self *queuedWrite) error {
 	var err error
 	if len(batch) == 1 && len(self.writes) == 1 {
 		w := self.writes[0]
+		t.metrics.BatchSize.Observe(1)
 		_, err = t.call(&wire.Request{Op: wire.OpWrite, Seg: w.Seg, Offset: w.Offset, Data: w.Data})
 	} else {
 		var entries []wire.BatchEntry
 		for _, q := range batch {
 			entries = append(entries, q.writes...)
+		}
+		t.metrics.BatchSize.Observe(uint64(len(entries)))
+		if len(batch) > 1 {
+			t.metrics.CombinedExchanges.Inc()
 		}
 		_, err = t.call(&wire.Request{Op: wire.OpWriteBatch, Batch: entries})
 	}
@@ -256,6 +311,12 @@ func (t *TCP) Connect(name string) (SegmentHandle, error) {
 		return SegmentHandle{}, err
 	}
 	return SegmentHandle{ID: resp.Seg, Size: resp.Size}, nil
+}
+
+// Disconnect implements Disconnector.
+func (t *TCP) Disconnect(seg uint32) error {
+	_, err := t.call(&wire.Request{Op: wire.OpDisconnect, Seg: seg})
+	return err
 }
 
 // List implements Transport.
@@ -305,8 +366,9 @@ func (t *TCP) Close() error {
 }
 
 var (
-	_ Transport   = (*TCP)(nil)
-	_ BatchWriter = (*TCP)(nil)
+	_ Transport    = (*TCP)(nil)
+	_ BatchWriter  = (*TCP)(nil)
+	_ Disconnector = (*TCP)(nil)
 )
 
 // Serve accepts connections on l and services each against srv until l is

@@ -63,6 +63,15 @@ type BatchWriter interface {
 	WriteBatch(writes []BatchWrite) error
 }
 
+// Disconnector is implemented by transports whose server tracks client
+// references per segment. Disconnect releases one reference taken by
+// Connect, so a client that abandons a half-assembled region (for
+// example, a mirror disagreeing on a region's size) leaves nothing
+// attached on the remote node.
+type Disconnector interface {
+	Disconnect(seg uint32) error
+}
+
 // respErr converts an error response into a Go error.
 func respErr(resp *wire.Response) error {
 	if resp.Status == wire.StatusOK {

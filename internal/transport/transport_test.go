@@ -416,3 +416,95 @@ func TestTCPWriteCombiner(t *testing.T) {
 		}
 	}
 }
+
+// disconnectContract exercises Disconnect against any transport
+// implementing Disconnector: the reference count visible through List
+// returns to zero and unknown segments fail.
+func disconnectContract(t *testing.T, tr Transport) {
+	t.Helper()
+	dc, ok := tr.(Disconnector)
+	if !ok {
+		t.Fatal("transport does not implement Disconnector")
+	}
+	seg, err := tr.Malloc("dc-db", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Connect("dc-db"); err != nil {
+		t.Fatal(err)
+	}
+	list, err := tr.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Conns != 1 {
+		t.Fatalf("after connect, list = %+v, want one segment with Conns=1", list)
+	}
+	if err := dc.Disconnect(seg.ID); err != nil {
+		t.Fatalf("disconnect: %v", err)
+	}
+	list, err = tr.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list[0].Conns != 0 {
+		t.Fatalf("after disconnect, Conns = %d, want 0", list[0].Conns)
+	}
+	if err := dc.Disconnect(99999); err == nil {
+		t.Fatal("disconnect of unknown segment should fail")
+	}
+	if err := tr.Free(seg.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInProcDisconnect(t *testing.T) {
+	tr, _ := newInProc(t)
+	disconnectContract(t, tr)
+}
+
+func TestTCPDisconnect(t *testing.T) {
+	cli, _ := startTCP(t)
+	disconnectContract(t, cli)
+}
+
+func TestHWMirrorDisconnect(t *testing.T) {
+	hw, _, _ := newHW(t, 2)
+	disconnectContract(t, hw)
+}
+
+func TestTCPMetrics(t *testing.T) {
+	cli, _ := startTCP(t)
+	seg, err := cli.Malloc("m-db", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Write(seg.ID, 0, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.WriteBatch([]BatchWrite{
+		{Seg: seg.ID, Offset: 0, Data: []byte("a")},
+		{Seg: seg.ID, Offset: 8, Data: []byte("b")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := cli.Metrics()
+	// Dial + malloc + write + batch = at least 3 exchanges and 1 dial.
+	if got := m.Exchanges.Load(); got < 3 {
+		t.Errorf("Exchanges = %d, want >= 3", got)
+	}
+	if got := m.Dials.Load(); got < 1 {
+		t.Errorf("Dials = %d, want >= 1", got)
+	}
+	bs := m.BatchSize.Snapshot()
+	if bs.Count != 2 {
+		t.Errorf("BatchSize count = %d, want 2 (one single write + one batch)", bs.Count)
+	}
+	if bs.Max != 2 {
+		t.Errorf("BatchSize max = %d, want 2", bs.Max)
+	}
+	lat := m.ExchangeLatency.Snapshot()
+	if lat.Count < 3 {
+		t.Errorf("ExchangeLatency count = %d, want >= 3", lat.Count)
+	}
+}

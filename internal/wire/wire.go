@@ -50,6 +50,10 @@ const (
 	// together and applied atomically. One round trip covers a whole
 	// commit's range pushes on the TCP transport.
 	OpWriteBatch
+	// OpDisconnect drops one client reference to a connected segment
+	// (the inverse of OpConnect), so a client abandoning a half-built
+	// region leaves no stray handles behind on the mirror.
+	OpDisconnect
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +77,8 @@ func (o Op) String() string {
 		return "STATS"
 	case OpWriteBatch:
 		return "WRITE-BATCH"
+	case OpDisconnect:
+		return "DISCONNECT"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
@@ -137,6 +143,9 @@ type SegmentInfo struct {
 	ID   uint32
 	Size uint64
 	Name string
+	// Conns counts live client references (Connects minus Disconnects);
+	// tooling uses it to spot leaked handles after failed reconnects.
+	Conns uint32
 }
 
 // ServerStats carries server counters in a STATS response.
@@ -147,6 +156,11 @@ type ServerStats struct {
 	ReadOps      uint64
 	BytesWritten uint64
 	BytesRead    uint64
+	Mallocs      uint64
+	Frees        uint64
+	Connects     uint64
+	Disconnects  uint64
+	BatchOps     uint64
 }
 
 // Response is a server-to-client message. Err is set when Status is
@@ -315,6 +329,7 @@ func EncodeResponse(resp *Response) ([]byte, error) {
 		b = appendU32(b, s.ID)
 		b = appendU64(b, s.Size)
 		b = appendBytes(b, []byte(s.Name))
+		b = appendU32(b, s.Conns)
 	}
 	b = appendU32(b, resp.Stats.Segments)
 	b = appendU64(b, resp.Stats.BytesHeld)
@@ -322,6 +337,11 @@ func EncodeResponse(resp *Response) ([]byte, error) {
 	b = appendU64(b, resp.Stats.ReadOps)
 	b = appendU64(b, resp.Stats.BytesWritten)
 	b = appendU64(b, resp.Stats.BytesRead)
+	b = appendU64(b, resp.Stats.Mallocs)
+	b = appendU64(b, resp.Stats.Frees)
+	b = appendU64(b, resp.Stats.Connects)
+	b = appendU64(b, resp.Stats.Disconnects)
+	b = appendU64(b, resp.Stats.BatchOps)
 	return b, nil
 }
 
@@ -344,6 +364,7 @@ func DecodeResponse(body []byte) (*Response, error) {
 	for i := uint32(0); i < nseg && r.err == nil; i++ {
 		s := SegmentInfo{ID: r.u32(), Size: r.u64()}
 		s.Name = string(r.bytes())
+		s.Conns = r.u32()
 		resp.Segments = append(resp.Segments, s)
 	}
 	resp.Stats.Segments = r.u32()
@@ -352,6 +373,11 @@ func DecodeResponse(body []byte) (*Response, error) {
 	resp.Stats.ReadOps = r.u64()
 	resp.Stats.BytesWritten = r.u64()
 	resp.Stats.BytesRead = r.u64()
+	resp.Stats.Mallocs = r.u64()
+	resp.Stats.Frees = r.u64()
+	resp.Stats.Connects = r.u64()
+	resp.Stats.Disconnects = r.u64()
+	resp.Stats.BatchOps = r.u64()
 	if r.err != nil {
 		return nil, r.err
 	}

@@ -61,6 +61,11 @@ func TestResponseRoundTrip(t *testing.T) {
 		{"stats", Response{Status: StatusOK, Stats: ServerStats{
 			Segments: 2, BytesHeld: 192, WriteOps: 10, ReadOps: 3,
 			BytesWritten: 640, BytesRead: 64,
+			Mallocs: 4, Frees: 2, Connects: 7, Disconnects: 5, BatchOps: 3,
+		}}},
+		{"list-with-conns", Response{Status: StatusOK, Segments: []SegmentInfo{
+			{ID: 1, Size: 64, Name: "a", Conns: 2},
+			{ID: 2, Size: 128, Name: "b", Conns: 0},
 		}}},
 	}
 	for _, tt := range tests {
