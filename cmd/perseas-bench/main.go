@@ -31,8 +31,8 @@ import (
 	"github.com/ics-forth/perseas/internal/core"
 	"github.com/ics-forth/perseas/internal/disk"
 	"github.com/ics-forth/perseas/internal/engine"
-	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/rig"
 	"github.com/ics-forth/perseas/internal/sci"
 	"github.com/ics-forth/perseas/internal/simclock"

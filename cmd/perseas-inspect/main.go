@@ -6,6 +6,13 @@
 //
 //	perseas-inspect -server host1:7070
 //	perseas-inspect -server host1:7070 -diff host2:7070
+//
+// With -mirrors, it probes a whole mirror set through the guardian's
+// failure detector and renders one health row per node — state, last
+// heartbeat, degradation count and rebuild bytes — exiting non-zero if
+// any mirror is unhealthy:
+//
+//	perseas-inspect -mirrors host1:7070,host2:7070,host3:7070
 package main
 
 import (
@@ -15,8 +22,13 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"text/tabwriter"
+	"time"
 
+	"github.com/ics-forth/perseas/internal/guardian"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/simclock"
 	"github.com/ics-forth/perseas/internal/transport"
 	"github.com/ics-forth/perseas/internal/wire"
 )
@@ -24,7 +36,19 @@ import (
 func main() {
 	server := flag.String("server", "127.0.0.1:7070", "memory server address")
 	diff := flag.String("diff", "", "second server to audit against (compare named segments byte-for-byte)")
+	mirrors := flag.String("mirrors", "", "comma-separated mirror set to health-check (renders a MIRRORS section)")
 	flag.Parse()
+
+	if *mirrors != "" {
+		healthy, err := renderMirrors(os.Stdout, *mirrors)
+		if err != nil {
+			log.Fatalf("perseas-inspect: %v", err)
+		}
+		if !healthy {
+			os.Exit(2)
+		}
+		return
+	}
 
 	cli, err := transport.DialTCP(*server)
 	if err != nil {
@@ -89,6 +113,98 @@ func renderNode(out io.Writer, server string, stats wire.ServerStats, segs []wir
 		}
 		w.Flush()
 	}
+}
+
+// renderMirrors dials every node of a mirror set, runs one pass of the
+// guardian failure detector over the reachable ones, and renders one
+// health row per node from its Status() API. Nodes that cannot even be
+// dialed render as dead. Reports whether every mirror is healthy.
+func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
+	var addrs []string
+	for _, a := range strings.Split(addrsCSV, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return false, fmt.Errorf("-mirrors: no addresses given")
+	}
+
+	// Dial what answers; remember what does not.
+	type deadNode struct {
+		addr string
+		err  error
+	}
+	var ms []netram.Mirror
+	slotAddr := make(map[int]string)
+	var unreachable []deadNode
+	for _, addr := range addrs {
+		tr, err := transport.DialTCP(addr)
+		if err != nil {
+			unreachable = append(unreachable, deadNode{addr: addr, err: err})
+			continue
+		}
+		defer tr.Close()
+		slotAddr[len(ms)] = addr
+		ms = append(ms, netram.Mirror{Name: addr, T: tr})
+	}
+
+	var rows []guardian.MirrorHealth
+	if len(ms) > 0 {
+		client, err := netram.NewClient(ms)
+		if err != nil {
+			return false, err
+		}
+		clock := simclock.NewWall()
+		// Misses=1: a single failed probe is enough for a one-shot
+		// health snapshot.
+		g, err := guardian.New(client, clock, guardian.Config{Misses: 1})
+		if err != nil {
+			return false, err
+		}
+		g.Poll()
+		rows = g.Status()
+		now := clock.Now()
+		for i := range rows {
+			rows[i].LastBeat = now - rows[i].LastBeat // age, for display
+		}
+	}
+	for _, d := range unreachable {
+		rows = append(rows, guardian.MirrorHealth{
+			Slot: len(rows), Mirror: d.addr, State: guardian.Dead, LastError: d.err,
+		})
+	}
+
+	fmt.Fprintln(out, "MIRRORS:")
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SLOT\tMIRROR\tSTATE\tLAST-BEAT\tDEATHS\tREBUILT\tERROR")
+	healthy := true
+	for i, row := range rows {
+		if row.State != guardian.Healthy {
+			healthy = false
+		}
+		beat := "never"
+		if row.LastError == nil || row.State == guardian.Healthy {
+			beat = fmt.Sprintf("%s ago", row.LastBeat.Round(time.Millisecond))
+		}
+		errStr := "-"
+		if row.LastError != nil {
+			errStr = row.LastError.Error()
+		}
+		addr := row.Mirror
+		if a, ok := slotAddr[row.Slot]; ok && row.Slot < len(ms) {
+			addr = a
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%d\t%d B\t%s\n",
+			i, addr, row.State, beat, row.Deaths, row.RebuildBytes, errStr)
+	}
+	w.Flush()
+	if healthy {
+		fmt.Fprintf(out, "health: all %d mirrors healthy\n", len(rows))
+	} else {
+		fmt.Fprintf(out, "health: DEGRADED — %d node(s) checked, not all healthy\n", len(rows))
+	}
+	return healthy, nil
 }
 
 // auditMirrors compares every named segment of a with its namesake on b,

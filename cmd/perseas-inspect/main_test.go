@@ -129,3 +129,68 @@ func TestRenderNode(t *testing.T) {
 		}
 	}
 }
+
+// startListener runs a memory server on loopback and returns its
+// address (no client side).
+func startListener(t *testing.T) string {
+	t.Helper()
+	srv := memserver.New()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = transport.Serve(l, srv) }()
+	t.Cleanup(func() { l.Close() })
+	return l.Addr().String()
+}
+
+func TestRenderMirrorsAllHealthy(t *testing.T) {
+	a, b := startListener(t), startListener(t)
+	var sb strings.Builder
+	healthy, err := renderMirrors(&sb, a+","+b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !healthy {
+		t.Fatalf("healthy=false for live mirrors:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"MIRRORS:", "SLOT", a, b, "healthy", "all 2 mirrors healthy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMirrorsUnreachableNode(t *testing.T) {
+	a := startListener(t)
+	// An address nothing listens on: reserve a port, then free it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	l.Close()
+
+	var sb strings.Builder
+	healthy, err := renderMirrors(&sb, a+","+deadAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy {
+		t.Fatalf("healthy=true with an unreachable node:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"MIRRORS:", a, deadAddr, "dead", "DEGRADED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMirrorsNoAddresses(t *testing.T) {
+	var sb strings.Builder
+	if _, err := renderMirrors(&sb, " , "); err == nil {
+		t.Error("empty -mirrors accepted")
+	}
+}

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -27,59 +28,86 @@ import (
 	"github.com/ics-forth/perseas/internal/transport"
 )
 
-func main() {
-	servers := flag.String("servers", "127.0.0.1:7070",
-		"comma-separated addresses of the mirror nodes")
-	preview := flag.Int("preview", 32, "bytes of each database to hex-dump")
-	snapshot := flag.String("snapshot", "",
-		"after recovery, archive a consistent snapshot of every database to this file")
-	namespace := flag.String("namespace", "",
-		"PERSEAS namespace the database was created under (see WithNamespace)")
-	flag.Parse()
+// config collects the run parameters so tests can call run directly.
+type config struct {
+	servers   string
+	preview   int
+	snapshot  string
+	namespace string
+}
 
+// parseFlags reads the command line into a config (split out so tests
+// can cover the flag surface).
+func parseFlags(args []string) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("perseas-recover", flag.ContinueOnError)
+	fs.StringVar(&cfg.servers, "servers", "127.0.0.1:7070",
+		"comma-separated addresses of the mirror nodes")
+	fs.IntVar(&cfg.preview, "preview", 32, "bytes of each database to hex-dump")
+	fs.StringVar(&cfg.snapshot, "snapshot", "",
+		"after recovery, archive a consistent snapshot of every database to this file")
+	fs.StringVar(&cfg.namespace, "namespace", "",
+		"PERSEAS namespace the database was created under (see WithNamespace)")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() != 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, cfg); err != nil {
+		log.Fatalf("perseas-recover: %v", err)
+	}
+}
+
+func run(out io.Writer, cfg config) error {
 	var mirrors []netram.Mirror
-	for _, addr := range strings.Split(*servers, ",") {
+	for _, addr := range strings.Split(cfg.servers, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
 		tr, err := transport.DialTCP(addr)
 		if err != nil {
-			log.Fatalf("perseas-recover: dial %s: %v", addr, err)
+			return fmt.Errorf("dial %s: %w", addr, err)
 		}
 		defer tr.Close()
 		mirrors = append(mirrors, netram.Mirror{Name: addr, T: tr})
 	}
 	if len(mirrors) == 0 {
-		log.Fatal("perseas-recover: no servers given")
+		return fmt.Errorf("no servers given")
 	}
 
 	net, err := netram.NewClient(mirrors)
 	if err != nil {
-		log.Fatalf("perseas-recover: %v", err)
+		return err
 	}
-	var opts []core.Option
-	if *namespace != "" {
-		opts = append(opts, core.WithNamespace(*namespace))
-	}
-	lib, err := core.Attach(net, simclock.NewWall(), opts...)
+	lib, err := core.Attach(net, simclock.NewWall(), coreOptions(cfg)...)
 	if err != nil {
-		log.Fatalf("perseas-recover: attach: %v", err)
+		return fmt.Errorf("attach: %w", err)
 	}
-	fmt.Printf("recovered PERSEAS state: committed transaction id %d\n", lib.CommittedTxID())
+	fmt.Fprintf(out, "recovered PERSEAS state: committed transaction id %d\n", lib.CommittedTxID())
 
-	if *snapshot != "" {
-		f, err := os.Create(*snapshot)
+	if cfg.snapshot != "" {
+		f, err := os.Create(cfg.snapshot)
 		if err != nil {
-			log.Fatalf("perseas-recover: %v", err)
+			return err
 		}
 		if err := lib.WriteSnapshot(f); err != nil {
-			log.Fatalf("perseas-recover: snapshot: %v", err)
+			f.Close()
+			return fmt.Errorf("snapshot: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("perseas-recover: snapshot: %v", err)
+			return fmt.Errorf("snapshot: %w", err)
 		}
-		fmt.Printf("snapshot archived to %s\n", *snapshot)
+		fmt.Fprintf(out, "snapshot archived to %s\n", cfg.snapshot)
 	}
 
 	for _, m := range mirrors {
@@ -90,8 +118,8 @@ func main() {
 		}
 		for _, s := range segs {
 			dbPrefix := "perseas.db."
-			if *namespace != "" {
-				dbPrefix = *namespace + "/" + dbPrefix
+			if cfg.namespace != "" {
+				dbPrefix = cfg.namespace + "/" + dbPrefix
 			}
 			if !strings.HasPrefix(s.Name, dbPrefix) {
 				continue
@@ -102,12 +130,21 @@ func main() {
 				log.Printf("open %s: %v", name, err)
 				continue
 			}
-			n := *preview
+			n := cfg.preview
 			if uint64(n) > db.Size() {
 				n = int(db.Size())
 			}
-			fmt.Printf("database %-16s %8d bytes  head: % x\n", name, db.Size(), db.Bytes()[:n])
+			fmt.Fprintf(out, "database %-16s %8d bytes  head: % x\n", name, db.Size(), db.Bytes()[:n])
 		}
 		break // one mirror's listing is enough
 	}
+	return nil
+}
+
+func coreOptions(cfg config) []core.Option {
+	var opts []core.Option
+	if cfg.namespace != "" {
+		opts = append(opts, core.WithNamespace(cfg.namespace))
+	}
+	return opts
 }

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-servers", "a:1,b:2", "-preview", "8", "-snapshot", "out.bin", "-namespace", "lab",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := config{servers: "a:1,b:2", preview: 8, snapshot: "out.bin", namespace: "lab"}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+
+	cfg, err = parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.servers != "127.0.0.1:7070" || cfg.preview != 32 || cfg.snapshot != "" || cfg.namespace != "" {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+
+	if _, err := parseFlags([]string{"-preview", "not-a-number"}); err == nil {
+		t.Error("bad -preview accepted")
+	}
+	if _, err := parseFlags([]string{"stray-positional"}); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if opts := coreOptions(config{namespace: "ns"}); len(opts) != 1 {
+		t.Errorf("namespace option not applied: %d opts", len(opts))
+	}
+	if opts := coreOptions(config{}); len(opts) != 0 {
+		t.Errorf("spurious core options: %d", len(opts))
+	}
+}
+
+// startMirror serves an in-process memory server on loopback.
+func startMirror(t *testing.T, label string) string {
+	t.Helper()
+	srv := memserver.New(memserver.WithLabel(label))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = transport.Serve(l, srv) }()
+	t.Cleanup(func() { l.Close() })
+	return l.Addr().String()
+}
+
+// seedDatabase writes a committed PERSEAS database onto the mirrors and
+// detaches, simulating the application that later crashed.
+func seedDatabase(t *testing.T, addrs []string) {
+	t.Helper()
+	var mirrors []netram.Mirror
+	for _, a := range addrs {
+		tr, err := transport.DialTCP(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		mirrors = append(mirrors, netram.Mirror{Name: a, T: tr})
+	}
+	ram, err := netram.NewClient(mirrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := core.Init(ram, simclock.NewWall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := lib.CreateDB("ledger", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes(), []byte("recovered-bytes!"))
+	if err := lib.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Update(func(tx *core.Tx) error {
+		if err := tx.SetRange(db, 0, 16); err != nil {
+			return err
+		}
+		copy(db.Bytes()[:16], []byte("COMMITTED-STATE!"))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecoversFromLiveServers(t *testing.T) {
+	addrs := []string{startMirror(t, "m0"), startMirror(t, "m1")}
+	seedDatabase(t, addrs)
+
+	snap := filepath.Join(t.TempDir(), "snap.bin")
+	var sb strings.Builder
+	cfg := config{servers: strings.Join(addrs, ","), preview: 16, snapshot: snap}
+	if err := run(&sb, cfg); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"recovered PERSEAS state: committed transaction id 1",
+		"snapshot archived to",
+		"database ledger",
+		// The committed contents, hex-dumped by -preview.
+		"43 4f 4d 4d 49 54 54 45 44 2d 53 54 41 54 45 21",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot file: %v %v", fi, err)
+	}
+}
+
+func TestRunFailures(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, config{servers: " , "}); err == nil {
+		t.Error("no servers accepted")
+	}
+	// Nothing listens here: reserve a port, then free it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+	if err := run(&sb, config{servers: dead}); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}

@@ -7,6 +7,12 @@
 //
 // The server holds every exported segment in its heap; clients that
 // crash can reconnect to their named segments and recover.
+//
+// With -spares, the process additionally exports standby memory nodes
+// on extra addresses — the spare pool a guardian promotes from when a
+// mirror dies:
+//
+//	perseas-server -listen :7070 -spares :7071,:7072
 package main
 
 import (
@@ -30,6 +36,7 @@ func main() {
 	listen := flag.String("listen", ":7070", "address to listen on")
 	capacity := flag.String("capacity", "0", "exported-memory budget (e.g. 64MiB; 0 = unlimited)")
 	label := flag.String("label", "", "node label used in diagnostics (default: listen address)")
+	spares := flag.String("spares", "", "comma-separated extra listen addresses exporting standby spare nodes")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090)")
 	flag.Parse()
 
@@ -65,6 +72,14 @@ func main() {
 		log.Printf("perseas-server: metrics on http://%s/metrics", ml.Addr())
 	}
 
+	spareLs, err := spawnSpares(*spares, *label, capBytes)
+	if err != nil {
+		log.Fatalf("perseas-server: %v", err)
+	}
+	for _, sl := range spareLs {
+		log.Printf("perseas-server: spare node on %s", sl.Addr())
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- transport.Serve(l, srv) }()
 
@@ -74,6 +89,9 @@ func main() {
 	case s := <-sig:
 		log.Printf("perseas-server: %v — shutting down (segments held: %d bytes)", s, srv.Held())
 		l.Close()
+		for _, sl := range spareLs {
+			sl.Close()
+		}
 		<-done
 	case err := <-done:
 		if err != nil {
@@ -81,6 +99,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// spawnSpares listens on each comma-separated address with its own
+// standby memory server, labelled <label>-spare-k. Spares share the
+// primary's capacity setting and serve until the process exits.
+func spawnSpares(spares, label string, capBytes uint64) ([]net.Listener, error) {
+	var ls []net.Listener
+	k := 0
+	for _, addr := range strings.Split(spares, ",") {
+		if addr = strings.TrimSpace(addr); addr == "" {
+			continue
+		}
+		srv := memserver.New(
+			memserver.WithCapacity(capBytes),
+			memserver.WithLabel(fmt.Sprintf("%s-spare-%d", label, k)),
+		)
+		sl, err := net.Listen("tcp", addr)
+		if err != nil {
+			for _, prev := range ls {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("spare listener %s: %w", addr, err)
+		}
+		go func() { _ = transport.Serve(sl, srv) }()
+		ls = append(ls, sl)
+		k++
+	}
+	return ls, nil
 }
 
 // registerServerMetrics exposes the memory server's operation counters

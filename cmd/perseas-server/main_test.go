@@ -6,6 +6,7 @@ import (
 
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/transport"
 )
 
 func TestRegisterServerMetrics(t *testing.T) {
@@ -66,5 +67,55 @@ func TestParseSize(t *testing.T) {
 		if !tt.ok && err == nil {
 			t.Errorf("parseSize(%q) should fail", tt.in)
 		}
+	}
+}
+
+func TestSpawnSpares(t *testing.T) {
+	ls, err := spawnSpares("127.0.0.1:0, 127.0.0.1:0", "nodeA", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, l := range ls {
+			l.Close()
+		}
+	}()
+	if len(ls) != 2 {
+		t.Fatalf("spawned %d spares, want 2", len(ls))
+	}
+	// Each spare is a working standby node: dial it, probe it, export
+	// on it.
+	for i, l := range ls {
+		tr, err := transport.DialTCP(l.Addr().String())
+		if err != nil {
+			t.Fatalf("dial spare %d: %v", i, err)
+		}
+		if err := tr.Ping(); err != nil {
+			t.Fatalf("ping spare %d: %v", i, err)
+		}
+		h, err := tr.Malloc("probe-seg", 64)
+		if err != nil {
+			t.Fatalf("malloc on spare %d: %v", i, err)
+		}
+		if err := tr.Free(h.ID); err != nil {
+			t.Fatalf("free on spare %d: %v", i, err)
+		}
+		tr.Close()
+	}
+	// Over-capacity allocations are refused like on the primary.
+	tr, err := transport.DialTCP(ls[0].Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Malloc("too-big", 2<<20); err == nil {
+		t.Fatal("spare accepted an over-capacity segment")
+	}
+}
+
+func TestSpawnSparesEmpty(t *testing.T) {
+	ls, err := spawnSpares("", "nodeA", 0)
+	if err != nil || len(ls) != 0 {
+		t.Fatalf("empty -spares: %v %d", err, len(ls))
 	}
 }

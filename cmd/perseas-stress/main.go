@@ -12,7 +12,11 @@
 // against the same library and their commits interleave on the wire.
 // With -chaos, one mirror is killed halfway through and the run must
 // finish on the survivor — a live demonstration of the availability
-// claim.
+// claim. With -guardian, the run is self-contained with three mirrors
+// plus a spare node and a guardian watching them: one mirror is killed
+// halfway through, the guardian detects the death, rebuilds onto the
+// spare while transactions keep committing, and the run must end with
+// the replication factor restored and zero lost commits.
 //
 // Every run ends with the commit-path latency breakdown (the paper's
 // Fig. 3 phases, p50/p95/p99) and the write combiner's batch-size
@@ -38,6 +42,7 @@ import (
 	"github.com/ics-forth/perseas/internal/bench"
 	"github.com/ics-forth/perseas/internal/core"
 	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/guardian"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
@@ -51,6 +56,7 @@ type config struct {
 	selfContained bool
 	duration      time.Duration
 	chaos         bool
+	guardian      bool
 	branches      int
 	workers       int
 	statsEvery    time.Duration
@@ -63,6 +69,7 @@ func main() {
 	flag.BoolVar(&cfg.selfContained, "selfcontained", false, "spawn loopback mirror servers")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "kill one self-contained mirror halfway through")
+	flag.BoolVar(&cfg.guardian, "guardian", false, "self-contained 3-mirror run with a spare: kill a mirror mid-run and let the guardian restore the replication factor")
 	// TPC-B scales branches with offered load; 16 keeps 4+ workers from
 	// serialising on a handful of branch rows.
 	flag.IntVar(&cfg.branches, "branches", 16, "debit-credit scale")
@@ -83,6 +90,19 @@ type mirrorHandle struct {
 	l    net.Listener
 }
 
+// syncWriter serialises output lines: the per-second reporter and the
+// guardian's event callback write concurrently.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
 // workerCounters is one worker's outcome tally, updated atomically so
 // the per-second reporter can read it live.
 type workerCounters struct {
@@ -95,10 +115,18 @@ func run(out io.Writer, cfg config) error {
 	if cfg.workers < 1 {
 		return fmt.Errorf("need at least 1 worker, got %d", cfg.workers)
 	}
+	out = &syncWriter{w: out}
+	if cfg.guardian {
+		cfg.selfContained = true // the guardian run owns its own rig
+	}
+	nLocal := 2
+	if cfg.guardian {
+		nLocal = 3
+	}
 	var addrs []string
 	var local []mirrorHandle
 	if cfg.selfContained {
-		for i := 0; i < 2; i++ {
+		for i := 0; i < nLocal; i++ {
 			srv := memserver.New(memserver.WithLabel(fmt.Sprintf("local-%d", i)))
 			l, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
@@ -123,6 +151,9 @@ func run(out io.Writer, cfg config) error {
 	if cfg.chaos && len(local) < 2 {
 		return fmt.Errorf("-chaos requires -selfcontained")
 	}
+	if cfg.chaos && cfg.guardian {
+		return fmt.Errorf("-chaos and -guardian are mutually exclusive")
+	}
 
 	var mirrors []netram.Mirror
 	var tcps []*transport.TCP
@@ -142,6 +173,40 @@ func run(out io.Writer, cfg config) error {
 	lib, err := core.Init(ram, simclock.NewWall())
 	if err != nil {
 		return err
+	}
+
+	// The guardian rig adds a standby node and a failure detector over
+	// the mirror set.
+	var guard *guardian.Guardian
+	if cfg.guardian {
+		spareSrv := memserver.New(memserver.WithLabel("spare-0"))
+		sl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go func() { _ = transport.Serve(sl, spareSrv) }()
+		defer sl.Close()
+		str, err := transport.DialTCP(sl.Addr().String())
+		if err != nil {
+			return fmt.Errorf("dial spare %s: %w", sl.Addr(), err)
+		}
+		defer str.Close()
+		guard, err = guardian.New(ram, simclock.NewWall(), guardian.Config{
+			Interval: 50 * time.Millisecond,
+			Misses:   3,
+			Spares:   []netram.Mirror{{Name: "spare " + sl.Addr().String(), T: str}},
+			OnEvent: func(ev guardian.Event) {
+				fmt.Fprintf(out, "GUARDIAN: mirror %s: %s -> %s\n", ev.Mirror, ev.From, ev.To)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "guardian: watching %d mirrors, spare at %s\n", len(addrs), sl.Addr())
+		if err := guard.Start(); err != nil {
+			return err
+		}
+		defer guard.Stop()
 	}
 
 	reg := obs.NewRegistry()
@@ -215,7 +280,7 @@ func run(out io.Writer, cfg config) error {
 	chaosFired := false
 	for time.Since(start) < cfg.duration {
 		time.Sleep(50 * time.Millisecond)
-		if cfg.chaos && !chaosFired && time.Since(start) > cfg.duration/2 {
+		if (cfg.chaos || cfg.guardian) && !chaosFired && time.Since(start) > cfg.duration/2 {
 			chaosFired = true
 			local[0].srv.Crash()
 			local[0].l.Close()
@@ -261,6 +326,34 @@ func run(out io.Writer, cfg config) error {
 		batch = batch.Merge(tr.Metrics().BatchSize.Snapshot())
 	}
 	obs.WriteValueDistribution(out, "combiner batch size (writes/exchange)", batch)
+
+	if guard != nil {
+		// The run must end with the replication factor restored: wait
+		// out an in-flight rebuild, then audit every region on every
+		// mirror (the spare included) byte for byte.
+		deadline := time.Now().Add(30 * time.Second)
+		for ram.Live() < len(addrs) {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("guardian never restored the replication factor: %d/%d mirrors live",
+					ram.Live(), len(addrs))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		guard.Stop()
+		fmt.Fprintf(out, "MIRRORS:\n")
+		for _, row := range guard.Status() {
+			fmt.Fprintf(out, "  %d %-28s %-10s deaths=%d rebuilt=%d bytes\n",
+				row.Slot, row.Mirror, row.State, row.Deaths, row.RebuildBytes)
+		}
+		if mm, err := ram.VerifyAll(); err != nil {
+			return fmt.Errorf("post-rebuild verify: %w", err)
+		} else if len(mm) != 0 {
+			return fmt.Errorf("post-rebuild verify: %d mirror divergences, first: %v", len(mm), mm[0])
+		}
+		m := guard.Metrics()
+		fmt.Fprintf(out, "guardian: %d death(s) detected, %d rebuild(s), replication factor restored (%d/%d live)\n",
+			m.Deaths.Load(), m.Rebuilds.Load(), ram.Live(), len(addrs))
+	}
 
 	if err := w.CheckConsistency(); err != nil {
 		return err

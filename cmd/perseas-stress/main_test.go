@@ -56,3 +56,40 @@ func TestRunRejectsZeroWorkers(t *testing.T) {
 		t.Error("zero workers should fail")
 	}
 }
+
+func TestRunGuardianMode(t *testing.T) {
+	var sb strings.Builder
+	cfg := config{
+		guardian: true,
+		duration: 2 * time.Second,
+		branches: 1,
+		workers:  2,
+	}
+	if err := run(&sb, cfg); err != nil {
+		t.Fatalf("guardian run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"guardian: watching 3 mirrors",
+		"CHAOS: killed mirror",
+		"GUARDIAN: mirror",
+		"-> dead",
+		"-> rebuilding",
+		"-> restored",
+		"MIRRORS:",
+		"replication factor restored (3/3 live)",
+		"consistency: balance invariant holds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsChaosPlusGuardian(t *testing.T) {
+	var sb strings.Builder
+	cfg := config{guardian: true, chaos: true, duration: time.Second, branches: 1, workers: 1}
+	if err := run(&sb, cfg); err == nil {
+		t.Error("-chaos with -guardian should fail")
+	}
+}

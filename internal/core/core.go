@@ -150,7 +150,7 @@ type undoSlot struct {
 	idx     int
 	region  *netram.Region
 	wordOff uint64
-	busy    bool   // guarded by Library.mu
+	busy    bool // guarded by Library.mu
 	// committed is the id of the last transaction committed from this
 	// slot — the local view of the slot's remote commit word. Records
 	// at the slot head with larger ids belong to an unfinished

@@ -1,0 +1,124 @@
+package fault_test
+
+import (
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/disk"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/riofs"
+	"github.com/ics-forth/perseas/internal/riorvm"
+	"github.com/ics-forth/perseas/internal/rvm"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+	"github.com/ics-forth/perseas/internal/walnet"
+)
+
+func TestAllKinds(t *testing.T) {
+	kinds := fault.AllKinds()
+	if len(kinds) != 3 {
+		t.Fatalf("AllKinds: %d kinds, want 3", len(kinds))
+	}
+	seen := make(map[fault.CrashKind]bool)
+	for _, k := range kinds {
+		if seen[k] {
+			t.Errorf("kind %v listed twice", k)
+		}
+		seen[k] = true
+		if k == 0 {
+			t.Error("zero CrashKind in AllKinds (zero must stay invalid)")
+		}
+	}
+	for _, want := range []fault.CrashKind{fault.CrashProcess, fault.CrashOS, fault.CrashPower} {
+		if !seen[want] {
+			t.Errorf("AllKinds missing %v", want)
+		}
+	}
+}
+
+func TestCrashKindString(t *testing.T) {
+	cases := []struct {
+		kind fault.CrashKind
+		want string
+	}{
+		{fault.CrashProcess, "process"},
+		{fault.CrashOS, "os"},
+		{fault.CrashPower, "power"},
+		{fault.CrashKind(0), "crash(0)"},
+		{fault.CrashKind(99), "crash(99)"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int(c.kind), got, c.want)
+		}
+	}
+}
+
+// TestSurvivalMatrix pins each storage substrate's position against
+// every crash class — the paper's Table 1 durability story. Magnetic
+// disk and network-mirrored memory survive everything (the latter
+// because a power outage on ONE machine leaves the mirrors intact);
+// the Rio file cache survives OS crashes by construction but loses
+// power failures unless the machine sits behind a UPS.
+func TestSurvivalMatrix(t *testing.T) {
+	clock := simclock.NewSim()
+
+	dev, err := disk.New(disk.DefaultParams(8<<20), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskStore := rvm.NewDiskStore(dev)
+
+	srv := memserver.New(memserver.WithLabel("remote"))
+	tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram, err := netram.NewClient([]netram.Mirror{{Name: "remote", T: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walStore, err := walnet.NewStore(ram, dev, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rioStore, err := riorvm.NewRioStore(riofs.New(riofs.DefaultParams(), clock), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upsParams := riofs.DefaultParams()
+	upsParams.HasUPS = true
+	rioUPS, err := riorvm.NewRioStore(riofs.New(upsParams, clock), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	substrates := []struct {
+		name  string
+		store rvm.StableStore
+		want  map[fault.CrashKind]bool
+	}{
+		{"disk", diskStore, map[fault.CrashKind]bool{
+			fault.CrashProcess: true, fault.CrashOS: true, fault.CrashPower: true,
+		}},
+		{"wal-net", walStore, map[fault.CrashKind]bool{
+			fault.CrashProcess: true, fault.CrashOS: true, fault.CrashPower: true,
+		}},
+		{"rio", rioStore, map[fault.CrashKind]bool{
+			fault.CrashProcess: true, fault.CrashOS: true, fault.CrashPower: false,
+		}},
+		{"rio+ups", rioUPS, map[fault.CrashKind]bool{
+			fault.CrashProcess: true, fault.CrashOS: true, fault.CrashPower: true,
+		}},
+	}
+	for _, sub := range substrates {
+		for _, kind := range fault.AllKinds() {
+			if got := sub.store.Survives(kind); got != sub.want[kind] {
+				t.Errorf("%s.Survives(%v) = %v, want %v", sub.name, kind, got, sub.want[kind])
+			}
+		}
+	}
+}

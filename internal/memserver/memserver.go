@@ -69,15 +69,19 @@ type Stats struct {
 // Server is a remote-memory server instance. The zero value is not
 // usable; construct with New.
 type Server struct {
-	mu        sync.RWMutex
-	segs      map[uint32]*Segment
-	byName    map[string]uint32
-	nextID    uint32
-	capacity  uint64
-	held      uint64
-	stats     Stats
-	crashed   bool
-	nodeLabel string
+	mu       sync.RWMutex
+	segs     map[uint32]*Segment
+	byName   map[string]uint32
+	nextID   uint32
+	capacity uint64
+	held     uint64
+	stats    Stats
+	crashed  bool
+	// partitioned simulates a network partition or OS hang: the node
+	// stops answering every request — including health probes — but its
+	// memory survives, unlike a Crash. Heal reconnects it.
+	partitioned bool
+	nodeLabel   string
 }
 
 // Option configures a Server.
@@ -339,9 +343,45 @@ func (s *Server) Crashed() bool {
 	return s.crashed
 }
 
+// Partition simulates a network partition or OS hang: every subsequent
+// operation — including health probes — fails until Heal, but exported
+// memory survives. A failure detector cannot tell a partitioned node
+// from a crashed one; only what happens after reintegration differs.
+func (s *Server) Partition() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partitioned = true
+}
+
+// Heal ends a partition; the node answers again with its memory intact.
+func (s *Server) Heal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partitioned = false
+}
+
+// Partitioned reports whether the server is unreachable but alive.
+func (s *Server) Partitioned() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.partitioned
+}
+
+// Probe is the server half of the lightweight liveness probe a failure
+// detector heartbeats with: it answers exactly when regular operations
+// would, without touching the traffic counters.
+func (s *Server) Probe() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.checkAlive()
+}
+
 func (s *Server) checkAlive() error {
 	if s.crashed {
 		return fmt.Errorf("memserver: node %s is down", s.nodeLabel)
+	}
+	if s.partitioned {
+		return fmt.Errorf("memserver: node %s is unreachable", s.nodeLabel)
 	}
 	return nil
 }
@@ -394,8 +434,8 @@ func (s *Server) Handle(req *wire.Request) *wire.Response {
 	case wire.OpList:
 		return &wire.Response{Status: wire.StatusOK, Segments: s.List()}
 	case wire.OpPing:
-		if s.Crashed() {
-			return fail(errors.New("memserver: node is down"))
+		if err := s.Probe(); err != nil {
+			return fail(err)
 		}
 		return &wire.Response{Status: wire.StatusOK}
 	case wire.OpStats:

@@ -450,3 +450,55 @@ func TestHandleStatsExtendedFields(t *testing.T) {
 		t.Errorf("extended stats = %+v, want Mallocs/Connects/BatchOps all 1", st)
 	}
 }
+
+func TestPartitionAndHeal(t *testing.T) {
+	s := New(WithLabel("island"))
+	seg, err := s.Malloc("db", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(seg.ID, 0, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Partition()
+	if !s.Partitioned() || s.Crashed() {
+		t.Fatalf("state after Partition: partitioned=%v crashed=%v", s.Partitioned(), s.Crashed())
+	}
+	// Unreachable: probes and regular ops fail alike.
+	if err := s.Probe(); err == nil {
+		t.Fatal("probe answered across the partition")
+	}
+	if err := s.Write(seg.ID, 0, []byte("x")); err == nil {
+		t.Fatal("write crossed the partition")
+	}
+	if _, err := s.Read(seg.ID, 0, 8); err == nil {
+		t.Fatal("read crossed the partition")
+	}
+
+	// Heal: unlike Crash/Restart, memory is intact.
+	s.Heal()
+	if s.Partitioned() {
+		t.Fatal("still partitioned after Heal")
+	}
+	if err := s.Probe(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(seg.ID, 0, 8)
+	if err != nil || !bytes.Equal(got, []byte("survives")) {
+		t.Fatalf("after heal: %q %v", got, err)
+	}
+}
+
+func TestProbeDoesNotTouchStats(t *testing.T) {
+	s := New()
+	before := s.Stats()
+	for i := 0; i < 10; i++ {
+		if err := s.Probe(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := s.Stats(); after != before {
+		t.Fatalf("probe changed stats: %+v -> %+v", before, after)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/sci"
@@ -32,6 +33,9 @@ var (
 	ErrBadRange = errors.New("netram: range outside region")
 	// ErrAllMirrorsDown is returned when no mirror can service a fetch.
 	ErrAllMirrorsDown = errors.New("netram: all mirrors are down")
+	// ErrRebuildInProgress is returned by topology operations that
+	// cannot run while an online mirror rebuild is in flight.
+	ErrRebuildInProgress = errors.New("netram: mirror rebuild in progress")
 )
 
 // DefaultAlignThreshold is the copy size, in bytes, at and above which
@@ -88,6 +92,11 @@ type Metrics struct {
 	// Degradations counts mirrors marked down (each transition counts
 	// once; Revive re-arms the mirror).
 	Degradations obs.Counter
+	// Rebuilds counts completed mirror rebuilds; RebuildBytes counts
+	// the bytes copied onto replacement nodes (bulk copy plus catch-up
+	// epochs).
+	Rebuilds     obs.Counter
+	RebuildBytes obs.Counter
 }
 
 // Client is a reliable-network-RAM client bound to a fixed mirror set.
@@ -120,8 +129,20 @@ type Client struct {
 	// down[i] marks mirror i as failed: the paper's design keeps the
 	// database available through the surviving mirrors, so pushes skip
 	// dead nodes instead of stalling the application.
-	down    []bool
-	metrics Metrics
+	down []bool
+	// rebuildSlot is the index of the mirror an online rebuild is
+	// replacing (-1 when idle), guarded by stateMu. One rebuild runs at
+	// a time; Revive and ReplaceMirror refuse while it is in flight.
+	rebuildSlot int
+	metrics     Metrics
+
+	// While a rebuild's bulk copy runs, tracking is on and the data
+	// path records every pushed wire range in dirty, so the catch-up
+	// epochs replay exactly what changed without ever blocking pushes.
+	// The flag is checked lock-free on the push fast path.
+	tracking atomic.Bool
+	dirtyMu  sync.Mutex
+	dirty    map[string][]Range
 }
 
 // Option configures a Client.
@@ -166,6 +187,7 @@ func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
 		readChunk:      maxReadChunk,
 		clock:          simclock.NewWall(),
 		down:           make([]bool, len(mirrors)),
+		rebuildSlot:    -1,
 	}
 	for _, o := range opts {
 		o(c)
@@ -249,6 +271,8 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterHistogram("perseas_netram_fetch_latency_ns", "ns per successful fetch", &m.FetchLatency)
 	reg.RegisterCounter("perseas_netram_retries_total", "writes replayed after transient failures", &m.Retries)
 	reg.RegisterCounter("perseas_netram_degradations_total", "mirrors marked down", &m.Degradations)
+	reg.RegisterCounter("perseas_netram_rebuilds_total", "completed mirror rebuilds", &m.Rebuilds)
+	reg.RegisterCounter("perseas_netram_rebuild_bytes_total", "bytes re-replicated onto replacement mirrors", &m.RebuildBytes)
 	reg.RegisterGauge("perseas_netram_live_mirrors", "mirrors considered healthy", func() uint64 {
 		return uint64(c.Live())
 	})
@@ -296,17 +320,30 @@ func (c *Client) Malloc(name string, size uint64) (*Region, error) {
 		Local:   make([]byte, size),
 		handles: make([]transport.SegmentHandle, len(c.mirrors)),
 	}
+	exported := 0
 	for i, m := range c.mirrors {
+		if c.isDown(i) {
+			// A dead mirror cannot export the segment now; it receives
+			// the region when it is revived or rebuilt, both of which
+			// re-export every live region.
+			continue
+		}
 		h, err := m.T.Malloc(name, size)
 		if err != nil {
 			// Unwind partial allocations so a failed malloc leaks
 			// nothing on the mirrors that did succeed.
 			for j := 0; j < i; j++ {
-				_ = c.mirrors[j].T.Free(r.handles[j].ID)
+				if r.handles[j].ID != 0 {
+					_ = c.mirrors[j].T.Free(r.handles[j].ID)
+				}
 			}
 			return nil, fmt.Errorf("netram: malloc on mirror %s: %w", m.Name, err)
 		}
 		r.handles[i] = h
+		exported++
+	}
+	if exported == 0 {
+		return nil, fmt.Errorf("netram: malloc %q: %w", name, ErrAllMirrorsDown)
 	}
 	c.regions = append(c.regions, r)
 	return r, nil
@@ -325,7 +362,9 @@ func (c *Client) Free(r *Region) error {
 	}
 	var firstErr error
 	for i, m := range c.mirrors {
-		if r.handles[i].ID == 0 {
+		if r.handles[i].ID == 0 || c.isDown(i) {
+			// Nothing mapped there, or the node is dead — its segments
+			// died with it (or are dropped when it is rebuilt).
 			continue
 		}
 		if err := m.T.Free(r.handles[i].ID); err != nil && firstErr == nil {
@@ -355,6 +394,15 @@ func (c *Client) Push(r *Region, offset, n uint64) error {
 		lo, hi = expandEdges(lo, hi, r.Size())
 	}
 	data := r.Local[lo:hi]
+	if c.tracking.Load() {
+		// Record the wire range for the rebuild's catch-up copy. The
+		// deferred call runs after the mirror writes below land (and on
+		// their error paths, where some survivors may already hold the
+		// bytes) but still under the topology read lock, so a catch-up
+		// epoch can never consume the range before the surviving
+		// replica has it.
+		defer c.recordDirty(r.Name, lo, hi-lo)
+	}
 	pushed := 0
 	for i, m := range c.mirrors {
 		if c.isDown(i) || r.handles[i].ID == 0 {
@@ -449,6 +497,15 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 	}
 	if len(spans) == 0 {
 		return nil
+	}
+	if c.tracking.Load() {
+		// As in Push: record after the writes land, before the read
+		// lock drops.
+		defer func() {
+			for _, s := range spans {
+				c.recordDirty(r.Name, s.lo, s.hi-s.lo)
+			}
+		}()
 	}
 
 	pushed := 0
@@ -629,7 +686,22 @@ func (c *Client) releaseHandles(r *Region, n int) {
 func (c *Client) Revive(i int) error {
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
+	if err := c.checkNoRebuild(); err != nil {
+		return err
+	}
 	return c.reviveLocked(i)
+}
+
+// checkNoRebuild refuses a topology change while an online rebuild is
+// replacing a mirror: the rebuild owns its slot, and a concurrent swap
+// of any slot would invalidate the surviving-replica copy in flight.
+func (c *Client) checkNoRebuild() error {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	if c.rebuildSlot >= 0 {
+		return ErrRebuildInProgress
+	}
+	return nil
 }
 
 // reviveLocked is Revive with the topology lock already held.
@@ -672,6 +744,9 @@ func (c *Client) reviveLocked(i int) error {
 func (c *Client) ReplaceMirror(i int, m Mirror) error {
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
+	if err := c.checkNoRebuild(); err != nil {
+		return err
+	}
 	if i < 0 || i >= len(c.mirrors) {
 		return fmt.Errorf("netram: no mirror %d", i)
 	}
@@ -719,6 +794,29 @@ func (m Mismatch) Error() string {
 func (c *Client) Verify(r *Region) ([]Mismatch, error) {
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
+	return c.verifyLocked(r)
+}
+
+// VerifyAll audits every live region against every live mirror — the
+// post-rebuild acceptance check that the restored replica set is
+// byte-identical. Like Verify it moves each region's full contents over
+// the interconnect once per mirror.
+func (c *Client) VerifyAll() ([]Mismatch, error) {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	var out []Mismatch
+	for _, r := range c.regions {
+		ms, err := c.verifyLocked(r)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// verifyLocked is Verify's body, with the topology read lock held.
+func (c *Client) verifyLocked(r *Region) ([]Mismatch, error) {
 	var out []Mismatch
 	checked := 0
 	for i, m := range c.mirrors {

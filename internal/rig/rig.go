@@ -28,6 +28,10 @@ import (
 type Config struct {
 	// Mirrors is the PERSEAS/WAL-net replication degree (>= 1).
 	Mirrors int
+	// Spares is how many standby memory nodes to provision beyond the
+	// mirror set. Spares idle until a guardian promotes one to replace
+	// a dead mirror.
+	Spares int
 	// DeviceSize is the simulated disk capacity for disk-backed
 	// engines.
 	DeviceSize uint64
@@ -83,6 +87,12 @@ type Lab struct {
 	Servers []*memserver.Server
 	// Net is the network-RAM client of PERSEAS/WAL-net labs.
 	Net *netram.Client
+	// SpareServers holds the standby memory nodes (Config.Spares of
+	// them) a guardian may promote.
+	SpareServers []*memserver.Server
+	// Spares are the standby nodes as ready replacement mirrors, in
+	// promotion order.
+	Spares []netram.Mirror
 	// Dev is the magnetic disk of disk-backed labs.
 	Dev *disk.Disk
 	// Rio is the file cache of Rio-backed labs.
@@ -147,6 +157,25 @@ func newNetRAM(cfg Config, clock *simclock.SimClock, opts ...netram.Option) (*ne
 	return client, servers, nil
 }
 
+// newSpares provisions the standby node pool on the same clock and
+// interconnect model as the mirror set. A spare sits one hop past the
+// farthest mirror — the next idle workstation down the ring.
+func newSpares(cfg Config, clock *simclock.SimClock) ([]netram.Mirror, []*memserver.Server, error) {
+	params := cfg.sciParams()
+	var spares []netram.Mirror
+	var servers []*memserver.Server
+	for i := 0; i < cfg.Spares; i++ {
+		srv := memserver.New(memserver.WithLabel(fmt.Sprintf("spare-%d", i)))
+		tr, err := transport.NewInProc(srv, params, clock, transport.WithHops(cfg.Mirrors+i, params))
+		if err != nil {
+			return nil, nil, err
+		}
+		spares = append(spares, netram.Mirror{Name: srv.Label(), T: tr})
+		servers = append(servers, srv)
+	}
+	return spares, servers, nil
+}
+
 // NewPerseas builds the PERSEAS lab.
 func NewPerseas(cfg Config) (*Lab, error) {
 	clock := simclock.NewSim()
@@ -166,7 +195,12 @@ func NewPerseas(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{Engine: lib, Clock: clock, Servers: servers, Net: net}, nil
+	spares, spareServers, err := newSpares(cfg, clock)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{Engine: lib, Clock: clock, Servers: servers, Net: net,
+		Spares: spares, SpareServers: spareServers}, nil
 }
 
 // NewRVM builds the classic disk-backed RVM lab.

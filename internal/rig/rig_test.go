@@ -173,3 +173,40 @@ func TestAblationConfigsApply(t *testing.T) {
 		t.Fatal("no writes reached the mirror")
 	}
 }
+
+func TestPerseasSparePool(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mirrors = 2
+	cfg.Spares = 2
+	lab, err := NewPerseas(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.Spares) != 2 || len(lab.SpareServers) != 2 {
+		t.Fatalf("spares = %d/%d, want 2/2", len(lab.Spares), len(lab.SpareServers))
+	}
+	if lab.Spares[0].Name != "spare-0" || lab.SpareServers[1].Label() != "spare-1" {
+		t.Fatalf("spare labels: %q %q", lab.Spares[0].Name, lab.SpareServers[1].Label())
+	}
+	// Spares idle: provisioning them charges no virtual time beyond
+	// what an identical spare-less lab pays, and holds no memory until
+	// a guardian promotes one.
+	base := cfg
+	base.Spares = 0
+	plain, err := NewPerseas(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.Clock.Now() != plain.Clock.Now() {
+		t.Fatalf("spares shifted the clock: %v vs %v", lab.Clock.Now(), plain.Clock.Now())
+	}
+	for i, srv := range lab.SpareServers {
+		if srv.Held() != 0 {
+			t.Fatalf("spare %d holds %d bytes before promotion", i, srv.Held())
+		}
+	}
+	// Each spare transport answers probes out of band.
+	if err := lab.Spares[0].T.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

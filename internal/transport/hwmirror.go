@@ -315,7 +315,24 @@ func (t *HWMirror) Ping() error {
 	}
 	t.rpc()
 	for _, node := range t.nodes {
-		if !node.Crashed() {
+		if node.Probe() == nil {
+			return nil
+		}
+	}
+	return errors.New("transport: hw-mirror: all nodes down")
+}
+
+// Probe implements Prober: the group is alive while any node lives.
+// Like the per-node probe it charges no virtual time — liveness rides
+// the interface's idle cycles.
+func (t *HWMirror) Probe() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.check(); err != nil {
+		return err
+	}
+	for _, node := range t.nodes {
+		if node.Probe() == nil {
 			return nil
 		}
 	}
@@ -334,4 +351,5 @@ var (
 	_ Transport    = (*HWMirror)(nil)
 	_ BatchWriter  = (*HWMirror)(nil)
 	_ Disconnector = (*HWMirror)(nil)
+	_ Prober       = (*HWMirror)(nil)
 )

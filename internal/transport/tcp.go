@@ -334,6 +334,11 @@ func (t *TCP) Ping() error {
 	return err
 }
 
+// Probe implements Prober. Over a real network there is no out-of-band
+// liveness channel, so a probe is a full ping exchange; TCP never runs
+// on simulated time, so nothing needs to stay uncharged.
+func (t *TCP) Probe() error { return t.Ping() }
+
 // Stats fetches server-side counters; not part of the Transport
 // interface but useful for tooling.
 func (t *TCP) Stats() (wire.ServerStats, error) {
@@ -369,6 +374,7 @@ var (
 	_ Transport    = (*TCP)(nil)
 	_ BatchWriter  = (*TCP)(nil)
 	_ Disconnector = (*TCP)(nil)
+	_ Prober       = (*TCP)(nil)
 )
 
 // Serve accepts connections on l and services each against srv until l is

@@ -72,6 +72,17 @@ type Disconnector interface {
 	Disconnect(seg uint32) error
 }
 
+// Prober is implemented by transports that support a lightweight
+// out-of-band liveness probe: the heartbeat a failure detector sends
+// every interval. Unlike Ping — a full protocol exchange — a probe is
+// modelled as riding the interconnect's idle cycles, so on the
+// simulated transports it charges no virtual time; a failure detector
+// polling every few milliseconds therefore cannot shift a reproduced
+// figure. Transports without the capability fall back to Ping.
+type Prober interface {
+	Probe() error
+}
+
 // respErr converts an error response into a Go error.
 func respErr(resp *wire.Response) error {
 	if resp.Status == wire.StatusOK {
