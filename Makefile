@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race bench experiments fuzz examples clean
+.PHONY: all check build vet test test-short test-race bench bench-obs experiments fuzz examples clean
 
 all: build vet test
 
@@ -29,6 +29,12 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Observability hot paths only: histogram Observe and the trace
+# recorder's disabled/enabled costs. The disabled numbers must stay
+# under 100ns — they ride on every commit.
+bench-obs:
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/obs/ ./internal/trace/
 
 # Regenerate every table and figure of the paper.
 experiments:

@@ -17,6 +17,11 @@
 // commit-word publish). It runs only when named: the reference outputs
 // of -experiment all predate the observability layer and stay
 // byte-identical.
+//
+// -trace-out FILE additionally records every transaction of the run as
+// a span tree and writes Chrome/Perfetto trace-event JSON at the end
+// (open at ui.perfetto.dev). The recorder only reads the simulated
+// clock, so every figure is byte-identical with tracing on or off.
 package main
 
 import (
@@ -36,18 +41,65 @@ import (
 	"github.com/ics-forth/perseas/internal/rig"
 	"github.com/ics-forth/perseas/internal/sci"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 )
+
+// tracer, when non-nil, records per-transaction spans in every PERSEAS
+// lab the experiments build. It never advances the simulated clock, so
+// the rendered figures are identical with tracing on or off (pinned by
+// TestTracingKeepsOutputByteIdentical).
+var tracer *trace.Recorder
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig5, fig6, table1, compare, dbsize, ablate, commitpath, all")
+		"which experiment to run: fig5, fig6, table1, compare, dbsize, ablate, commitpath, all (commitpath is excluded from all; name it explicitly)")
 	txs := flag.Int("txs", 2000, "transactions per measurement")
+	traceOut := flag.String("trace-out", "",
+		"write per-transaction spans as Chrome/Perfetto trace-event JSON to this file at the end of the run")
+	traceSlower := flag.Duration("trace-slower-than", 0,
+		"keep only transactions at least this slow in modelled time (0 = keep all; with -trace-out)")
 	flag.Parse()
 
+	if *traceOut != "" {
+		tracer = trace.NewRecorder()
+		tracer.Enable()
+		tracer.SetSlowerThan(*traceSlower)
+	}
 	if err := run(os.Stdout, *experiment, *txs); err != nil {
 		fmt.Fprintln(os.Stderr, "perseas-bench:", err)
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		if err := writeTraceFile(os.Stdout, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "perseas-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTraceFile dumps the tracer's rings as Chrome trace-event JSON.
+func writeTraceFile(out io.Writer, path string) error {
+	spans := tracer.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace output: %w", err)
+	}
+	if err := trace.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace: %d span(s) written to %s (open at ui.perfetto.dev)\n", len(spans), path)
+	return nil
+}
+
+// defaultConfig is rig.DefaultConfig plus the process-wide tracer.
+func defaultConfig() rig.Config {
+	cfg := rig.DefaultConfig()
+	cfg.Tracer = tracer
+	return cfg
 }
 
 func run(w io.Writer, experiment string, txs int) error {
@@ -76,6 +128,7 @@ func run(w io.Writer, experiment string, txs int) error {
 				return fmt.Errorf("%s: %w", e.name, err)
 			}
 		}
+		fmt.Fprintln(w, "\n(not included: -experiment commitpath — run it by name for the Fig. 3 phase breakdown)")
 		return nil
 	}
 	// commitpath is addressable by name only — adding it to the all
@@ -112,7 +165,7 @@ func runFig6(w io.Writer, txs int) error {
 	if perSize < 20 {
 		perSize = 20
 	}
-	pts, err := bench.Sweep(perseasFactory(rig.DefaultConfig()), 2<<20, bench.Figure6Sizes(), perSize)
+	pts, err := bench.Sweep(perseasFactory(defaultConfig()), 2<<20, bench.Figure6Sizes(), perSize)
 	if err != nil {
 		return err
 	}
@@ -126,7 +179,7 @@ func runTable1(w io.Writer, txs int) error {
 		func() (bench.Workload, error) { return bench.NewDebitCredit(0, 0) },
 		func() (bench.Workload, error) { return bench.NewOrderEntry(0, 0, 0) },
 	} {
-		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		lab, err := rig.NewPerseas(defaultConfig())
 		if err != nil {
 			return err
 		}
@@ -157,7 +210,7 @@ func runCompare(w io.Writer, txs int) error {
 	}
 	for _, wl := range workloads {
 		for _, b := range rig.All() {
-			lab, err := b.Build(rig.DefaultConfig())
+			lab, err := b.Build(defaultConfig())
 			if err != nil {
 				return err
 			}
@@ -186,7 +239,7 @@ func runCompare(w io.Writer, txs int) error {
 func runDBSize(w io.Writer, txs int) error {
 	var rows []bench.DBSizeRow
 	for _, branches := range []int{1, 2, 4, 8, 16} {
-		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		lab, err := rig.NewPerseas(defaultConfig())
 		if err != nil {
 			return err
 		}
@@ -226,7 +279,7 @@ func runAblate(w io.Writer, txs int) error {
 	}
 	var rows []bench.AblationRow
 	for _, c := range configs {
-		cfg := rig.DefaultConfig()
+		cfg := defaultConfig()
 		c.mutate(&cfg)
 		lab, err := rig.NewPerseas(cfg)
 		if err != nil {
@@ -247,7 +300,7 @@ func runAblate(w io.Writer, txs int) error {
 	// where edge chunks drain as several small packets: show it on the
 	// 200-byte synthetic workload too.
 	for _, noAlign := range []bool{false, true} {
-		cfg := rig.DefaultConfig()
+		cfg := defaultConfig()
 		cfg.NoAlignment = noAlign
 		lab, err := rig.NewPerseas(cfg)
 		if err != nil {
@@ -275,7 +328,7 @@ func runAblate(w io.Writer, txs int) error {
 func runRecovery(w io.Writer, _ int) error {
 	var rows []bench.RecoveryRow
 	for _, dbMB := range []uint64{1, 4, 16} {
-		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		lab, err := rig.NewPerseas(defaultConfig())
 		if err != nil {
 			return err
 		}
@@ -321,7 +374,7 @@ func runRecovery(w io.Writer, _ int) error {
 // per-phase commit histograms. On the simulated clock every duration is
 // modelled time, so the table is deterministic across hosts.
 func runCommitPath(w io.Writer, txs int) error {
-	lab, err := rig.NewPerseas(rig.DefaultConfig())
+	lab, err := rig.NewPerseas(defaultConfig())
 	if err != nil {
 		return err
 	}
@@ -344,7 +397,7 @@ func runCommitPath(w io.Writer, txs int) error {
 func runLatency(w io.Writer, txs int) error {
 	var results []bench.Result
 	for _, b := range rig.All() {
-		lab, err := b.Build(rig.DefaultConfig())
+		lab, err := b.Build(defaultConfig())
 		if err != nil {
 			return err
 		}
@@ -371,7 +424,7 @@ func runMixed(w io.Writer, txs int) error {
 	fmt.Fprintln(w, "Read/write mix — PERSEAS (reads are local loads)")
 	fmt.Fprintf(w, "%12s %12s %12s\n", "read frac", "tps", "per-tx")
 	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99} {
-		lab, err := rig.NewPerseas(rig.DefaultConfig())
+		lab, err := rig.NewPerseas(defaultConfig())
 		if err != nil {
 			return err
 		}
@@ -422,7 +475,7 @@ func runTrend(w io.Writer, txs int) error {
 		netF := math.Pow(1.30, float64(year))
 		diskF := math.Pow(1.15, float64(year))
 
-		cfg := rig.DefaultConfig()
+		cfg := defaultConfig()
 		sp := scaleSCI(sci.DefaultParams(), netF)
 		cfg.SCIParams = &sp
 		perseasLab, err := rig.NewPerseas(cfg)
@@ -439,7 +492,7 @@ func runTrend(w io.Writer, txs int) error {
 		}
 		_ = perseasLab.Engine.Close()
 
-		dcfg := rig.DefaultConfig()
+		dcfg := defaultConfig()
 		dp := scaleDisk(disk.DefaultParams(dcfg.DeviceSize), diskF)
 		dcfg.DiskParams = &dp
 		dcfg.GroupCommit = true

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/trace"
 )
 
 func TestRunEachExperiment(t *testing.T) {
@@ -50,5 +55,86 @@ func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, "nope", 10); err == nil {
 		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunAllMentionsCommitPath(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "all", 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-experiment commitpath") {
+		t.Error("-experiment all output should hint that commitpath runs only when named")
+	}
+}
+
+// TestTracingKeepsOutputByteIdentical pins the acceptance criterion of
+// the tracing layer: the recorder only reads the simulated clock, so
+// enabling it — with or without a slower-than filter — must leave the
+// reproduced figures byte-identical.
+func TestTracingKeepsOutputByteIdentical(t *testing.T) {
+	defer func() { tracer = nil }()
+	for _, experiment := range []string{"fig6", "compare"} {
+		t.Run(experiment, func(t *testing.T) {
+			tracer = nil
+			var base strings.Builder
+			if err := run(&base, experiment, 60); err != nil {
+				t.Fatal(err)
+			}
+
+			tracer = trace.NewRecorder()
+			tracer.Enable()
+			var traced strings.Builder
+			if err := run(&traced, experiment, 60); err != nil {
+				t.Fatal(err)
+			}
+			if traced.String() != base.String() {
+				t.Error("output changed with tracing enabled")
+			}
+			if len(tracer.Snapshot()) == 0 {
+				t.Error("tracing enabled but no spans recorded")
+			}
+
+			tracer = trace.NewRecorder()
+			tracer.Enable()
+			tracer.SetSlowerThan(time.Hour) // filters every transaction
+			var filtered strings.Builder
+			if err := run(&filtered, experiment, 60); err != nil {
+				t.Fatal(err)
+			}
+			if filtered.String() != base.String() {
+				t.Error("output changed with -trace-slower-than filtering")
+			}
+		})
+	}
+}
+
+func TestWriteTraceFile(t *testing.T) {
+	defer func() { tracer = nil }()
+	tracer = trace.NewRecorder()
+	tracer.Enable()
+	var sb strings.Builder
+	if err := run(&sb, "fig6", 60); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.trace.json")
+	var out strings.Builder
+	if err := writeTraceFile(&out, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace: ") {
+		t.Errorf("missing trace summary line: %q", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := trace.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("trace file holds no spans")
 	}
 }

@@ -13,6 +13,12 @@
 // any mirror is unhealthy:
 //
 //	perseas-inspect -mirrors host1:7070,host2:7070,host3:7070
+//
+// With -traces, it reads a Chrome/Perfetto trace-event file written by
+// perseas-stress -trace-out or perseas-bench -trace-out and renders the
+// slowest-transactions report without needing a browser:
+//
+//	perseas-inspect -traces run.trace.json
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"github.com/ics-forth/perseas/internal/guardian"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 	"github.com/ics-forth/perseas/internal/wire"
 )
@@ -37,7 +44,16 @@ func main() {
 	server := flag.String("server", "127.0.0.1:7070", "memory server address")
 	diff := flag.String("diff", "", "second server to audit against (compare named segments byte-for-byte)")
 	mirrors := flag.String("mirrors", "", "comma-separated mirror set to health-check (renders a MIRRORS section)")
+	traces := flag.String("traces", "", "trace-event JSON file (from -trace-out) to render as a slowest-transactions report")
+	topK := flag.Int("top", 10, "how many transactions the -traces report ranks")
 	flag.Parse()
+
+	if *traces != "" {
+		if err := renderTraces(os.Stdout, *traces, *topK); err != nil {
+			log.Fatalf("perseas-inspect: %v", err)
+		}
+		return
+	}
 
 	if *mirrors != "" {
 		healthy, err := renderMirrors(os.Stdout, *mirrors)
@@ -90,6 +106,22 @@ func main() {
 		fmt.Printf("audit: DIVERGENT %s\n", d)
 	}
 	os.Exit(2)
+}
+
+// renderTraces loads a Chrome trace-event file and renders the top-k
+// slowest-transactions report.
+func renderTraces(out io.Writer, path string, topK int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := trace.ReadChromeTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	trace.WriteSlowestReport(out, spans, topK)
+	return nil
 }
 
 // renderNode prints one server's counters and segment table, including

@@ -2,10 +2,13 @@ package main
 
 import (
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 )
 
@@ -192,5 +195,52 @@ func TestRenderMirrorsNoAddresses(t *testing.T) {
 	var sb strings.Builder
 	if _, err := renderMirrors(&sb, " , "); err == nil {
 		t.Error("empty -mirrors accepted")
+	}
+}
+
+func TestRenderTraces(t *testing.T) {
+	// Record a tiny transaction tree plus an infrastructure span, write
+	// it as a trace-event file, and render it back.
+	rec := trace.NewRecorder()
+	rec.Enable()
+	tt := rec.Tx()
+	root := tt.Start(trace.LayerEngine, "tx")
+	tt.Start(trace.LayerCore, "local_undo_copy").EndN(512)
+	root.End()
+	tt.Finish()
+	rec.Start(trace.LayerTransport, "combine").EndN(3)
+
+	path := filepath.Join(t.TempDir(), "run.trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChromeTrace(f, rec.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := renderTraces(&sb, path, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"slowest transactions", "tx", "local_undo_copy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTracesRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := renderTraces(&sb, path, 5); err == nil {
+		t.Error("garbage trace file accepted")
 	}
 }

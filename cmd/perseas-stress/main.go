@@ -47,6 +47,7 @@ import (
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 )
 
@@ -61,6 +62,8 @@ type config struct {
 	workers       int
 	statsEvery    time.Duration
 	metricsAddr   string
+	traceOut      string
+	traceSlower   time.Duration
 }
 
 func main() {
@@ -76,6 +79,8 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 1, "concurrent transaction workers")
 	flag.DurationVar(&cfg.statsEvery, "stats-every", 0, "dump the commit-path latency table this often mid-run (0 = only at the end)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address for the run (e.g. :9090)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write per-transaction spans as Chrome/Perfetto trace-event JSON to this file at the end of the run")
+	flag.DurationVar(&cfg.traceSlower, "trace-slower-than", 0, "keep only transactions at least this slow in the trace (0 = keep all)")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -155,6 +160,15 @@ func run(out io.Writer, cfg config) error {
 		return fmt.Errorf("-chaos and -guardian are mutually exclusive")
 	}
 
+	// The span recorder exists unconditionally (mounted at /debug/traces)
+	// but records only when -trace-out asks for a capture; disabled it
+	// costs one atomic load per instrumentation point.
+	rec := trace.NewRecorder()
+	if cfg.traceOut != "" {
+		rec.Enable()
+		rec.SetSlowerThan(cfg.traceSlower)
+	}
+
 	var mirrors []netram.Mirror
 	var tcps []*transport.TCP
 	for _, addr := range addrs {
@@ -163,6 +177,7 @@ func run(out io.Writer, cfg config) error {
 			return fmt.Errorf("dial %s: %w", addr, err)
 		}
 		defer tr.Close()
+		tr.SetTracer(rec)
 		mirrors = append(mirrors, netram.Mirror{Name: addr, T: tr})
 		tcps = append(tcps, tr)
 	}
@@ -170,7 +185,8 @@ func run(out io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
-	lib, err := core.Init(ram, simclock.NewWall())
+	ram.SetTracer(rec)
+	lib, err := core.Init(ram, simclock.NewWall(), core.WithTracer(rec))
 	if err != nil {
 		return err
 	}
@@ -202,6 +218,7 @@ func run(out io.Writer, cfg config) error {
 		if err != nil {
 			return err
 		}
+		guard.SetTracer(rec)
 		fmt.Fprintf(out, "guardian: watching %d mirrors, spare at %s\n", len(addrs), sl.Addr())
 		if err := guard.Start(); err != nil {
 			return err
@@ -211,6 +228,10 @@ func run(out io.Writer, cfg config) error {
 
 	reg := obs.NewRegistry()
 	lib.RegisterMetrics(reg)
+	rec.RegisterMetrics(reg)
+	if guard != nil {
+		guard.RegisterMetrics(reg)
+	}
 	for i, tr := range tcps {
 		tr.RegisterMetrics(reg, fmt.Sprintf("perseas_tcp_mirror%d", i))
 	}
@@ -222,8 +243,9 @@ func run(out io.Writer, cfg config) error {
 		defer ml.Close()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg)
+		mux.Handle("/debug/traces", rec)
 		go func() { _ = (&http.Server{Handler: mux}).Serve(ml) }()
-		fmt.Fprintf(out, "metrics: http://%s/metrics\n", ml.Addr())
+		fmt.Fprintf(out, "metrics: http://%s/metrics (traces at /debug/traces)\n", ml.Addr())
 	}
 
 	w, err := bench.NewDebitCredit(cfg.branches, 1000)
@@ -353,6 +375,24 @@ func run(out io.Writer, cfg config) error {
 		m := guard.Metrics()
 		fmt.Fprintf(out, "guardian: %d death(s) detected, %d rebuild(s), replication factor restored (%d/%d live)\n",
 			m.Deaths.Load(), m.Rebuilds.Load(), ram.Live(), len(addrs))
+	}
+
+	if cfg.traceOut != "" {
+		spans := rec.Snapshot()
+		f, err := os.Create(cfg.traceOut)
+		if err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		if err := trace.WriteChromeTrace(f, spans); err != nil {
+			f.Close()
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d span(s) written to %s (open at ui.perfetto.dev)\n",
+			len(spans), cfg.traceOut)
+		trace.WriteSlowestReport(out, spans, 5)
 	}
 
 	if err := w.CheckConsistency(); err != nil {

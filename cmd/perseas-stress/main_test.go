@@ -1,9 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/ics-forth/perseas/internal/trace"
 )
 
 func TestRunSelfContainedWithChaos(t *testing.T) {
@@ -58,12 +62,14 @@ func TestRunRejectsZeroWorkers(t *testing.T) {
 }
 
 func TestRunGuardianMode(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "stress.trace.json")
 	var sb strings.Builder
 	cfg := config{
 		guardian: true,
 		duration: 2 * time.Second,
 		branches: 1,
 		workers:  2,
+		traceOut: traceFile,
 	}
 	if err := run(&sb, cfg); err != nil {
 		t.Fatalf("guardian run: %v\n%s", err, sb.String())
@@ -79,10 +85,51 @@ func TestRunGuardianMode(t *testing.T) {
 		"MIRRORS:",
 		"replication factor restored (3/3 live)",
 		"consistency: balance invariant holds",
+		"slowest transactions",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+
+	// The written trace must parse back and hold spans from every
+	// instrumented layer, plus at least one complete transaction tree
+	// (a root "tx" span with the commit phases under it).
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := trace.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+	layers := map[trace.Layer]bool{}
+	var completeTx uint64
+	byTrace := map[uint64]map[string]bool{}
+	for _, sp := range spans {
+		layers[sp.Layer] = true
+		if sp.Trace == 0 {
+			continue
+		}
+		if byTrace[sp.Trace] == nil {
+			byTrace[sp.Trace] = map[string]bool{}
+		}
+		byTrace[sp.Trace][sp.Name] = true
+	}
+	for id, names := range byTrace {
+		if names["tx"] && names["set_range"] && names["commit"] && names["word_push"] {
+			completeTx = id
+			break
+		}
+	}
+	for l := trace.LayerEngine; l <= trace.LayerGuardian; l++ {
+		if !layers[l] {
+			t.Errorf("trace has no spans from the %s layer", l)
+		}
+	}
+	if completeTx == 0 {
+		t.Error("trace holds no complete transaction tree (tx/set_range/commit/word_push)")
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"github.com/ics-forth/perseas/internal/hostmem"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 )
 
 // Region-name prefixes used on the remote memory servers. Named segments
@@ -201,6 +202,10 @@ type Library struct {
 	// metrics is the lock-free commit-path breakdown; it reads the
 	// clock but never advances it.
 	metrics CommitMetrics
+
+	// tracer records per-transaction span trees; nil (the default)
+	// disables tracing entirely. Like metrics it only reads the clock.
+	tracer *trace.Recorder
 }
 
 // Option configures a Library.
@@ -226,6 +231,14 @@ func WithMemModel(m hostmem.Model) Option {
 // mirror workstations.
 func WithNamespace(ns string) Option {
 	return func(l *Library) { l.namespace = ns }
+}
+
+// WithTracer attaches a span recorder to the library: every transaction
+// records its commit-path phases (and the per-mirror writes under them)
+// as one span tree. The recorder never advances the library clock, so
+// simulated figures are unaffected; a nil recorder records nothing.
+func WithTracer(rec *trace.Recorder) Option {
+	return func(l *Library) { l.tracer = rec }
 }
 
 // WithUnsafeNoRemoteUndo disables the remote undo-log push in SetRange.
@@ -257,8 +270,10 @@ func Init(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library, e
 		o(l)
 	}
 	// Latency histograms on both layers read this clock (never advance
-	// it), so simulated runs report modelled time.
+	// it), so simulated runs report modelled time — and span timestamps
+	// follow the same clock.
 	net.SetClock(clock)
+	l.tracer.SetClock(clock)
 	if l.metaSize < metaHeaderSize+8 {
 		return nil, fmt.Errorf("perseas: metadata region too small (%d bytes)", l.metaSize)
 	}

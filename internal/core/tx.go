@@ -6,6 +6,7 @@ import (
 
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/trace"
 )
 
 // Tx is one in-flight PERSEAS transaction. A handle belongs to the
@@ -24,6 +25,12 @@ type Tx struct {
 	// done marks the handle retired (committed, aborted, or wiped out by
 	// a crash); guarded by l.mu.
 	done bool
+	// tt buffers this transaction's span tree (nil when tracing is off;
+	// every method on the nil handle is a no-op). root is the open "tx"
+	// span covering the handle's whole lifetime. Owned by the driving
+	// goroutine, like cursor.
+	tt   *trace.TxTrace
+	root trace.SpanRef
 }
 
 // ID returns the transaction id (published at commit time).
@@ -55,6 +62,8 @@ func (l *Library) BeginTx() (*Tx, error) {
 	slot.busy = true
 	l.txs[t] = struct{}{}
 	l.stats.Begun++
+	t.tt = l.tracer.Tx()
+	t.root = t.tt.Start(trace.LayerEngine, "tx")
 	return t, nil
 }
 
@@ -103,6 +112,7 @@ func (t *Tx) SetRange(db engine.DB, offset, length uint64) error {
 	if err := l.locks.claim(d.id, offset, length, t.id); err != nil {
 		l.stats.Conflicts++
 		l.mu.Unlock()
+		t.tt.Event(trace.LayerEngine, "conflict", uint64(d.id))
 		return err
 	}
 	l.mu.Unlock()
@@ -110,13 +120,16 @@ func (t *Tx) SetRange(db engine.DB, offset, length uint64) error {
 	// From here the range belongs to this transaction: the copies and
 	// pushes below cannot race another transaction's writes, so they run
 	// without the library lock.
+	sr := t.tt.Start(trace.LayerEngine, "set_range")
 
 	// Step 1 (paper Fig. 3): before-image into the local undo log.
 	phase := l.clock.Now()
 	recOff := t.cursor
+	cp := t.tt.Start(trace.LayerCore, "local_undo_copy")
 	advance := writeRecord(t.slot.region.Local, recOff, t.id, d.id, offset,
 		d.region.Local[offset:offset+length])
 	l.clock.Advance(l.mem.CopyCost(int(recordHeaderSize + length)))
+	cp.EndN(recordHeaderSize + length)
 	l.metrics.LocalCopy.ObserveDuration(l.clock.Now() - phase)
 
 	// The record is consumed — cursor and range list advance before the
@@ -134,11 +147,16 @@ func (t *Tx) SetRange(db engine.DB, offset, length uint64) error {
 	// releases every claim of this transaction at once.
 	if !l.noRemoteUndo {
 		phase = l.clock.Now()
-		if err := l.net.Push(t.slot.region, recOff, recordHeaderSize+length); err != nil {
+		up := t.tt.Start(trace.LayerCore, "undo_push")
+		if err := l.net.PushTraced(t.slot.region, recOff, recordHeaderSize+length, t.tt); err != nil {
+			up.End()
+			sr.End()
 			return fmt.Errorf("perseas: push undo record: %w", err)
 		}
+		up.EndN(recordHeaderSize + length)
 		l.metrics.UndoPush.ObserveDuration(l.clock.Now() - phase)
 	}
+	sr.EndN(length)
 
 	l.mu.Lock()
 	l.stats.SetRanges++
@@ -188,18 +206,23 @@ func (t *Tx) Commit() error {
 		groups[gi].ranges = append(groups[gi].ranges, netram.Range{Offset: r.offset, Length: r.length})
 		groups[gi].members = append(groups[gi].members, r)
 	}
+	cm := t.tt.Start(trace.LayerEngine, "commit")
 	phase := l.clock.Now()
 	total := phase
+	rp := t.tt.Start(trace.LayerCore, "range_push")
 	for _, g := range groups {
 		// Record the group as pushed BEFORE the attempt: PushMany can
 		// fail after reaching a subset of the mirrors, and a range that
 		// reached even one mirror must be re-pushed by Abort or that
 		// mirror's database silently diverges from local.
 		t.pushed = append(t.pushed, g.members...)
-		if err := l.net.PushMany(g.db.region, g.ranges); err != nil {
+		if err := l.net.PushManyTraced(g.db.region, g.ranges, t.tt); err != nil {
+			rp.End()
+			cm.End()
 			return fmt.Errorf("perseas: push database ranges: %w", err)
 		}
 	}
+	rp.EndN(uint64(len(t.ranges)))
 	l.metrics.RangePush.ObserveDuration(l.clock.Now() - phase)
 
 	// The atomic commit point: publish the transaction id in this
@@ -213,18 +236,24 @@ func (t *Tx) Commit() error {
 		// A simulated crash raced the commit; recovery decides the
 		// transaction's fate from what reached the mirrors.
 		l.metaMu.RUnlock()
+		cm.End()
 		return engine.ErrCrashed
 	}
 	phase = l.clock.Now()
+	wp := t.tt.Start(trace.LayerCore, "word_push")
 	binary.BigEndian.PutUint64(meta.Local[t.slot.wordOff:], t.id)
-	if err := l.net.Push(meta, t.slot.wordOff, 8); err != nil {
+	if err := l.net.PushTraced(meta, t.slot.wordOff, 8, t.tt); err != nil {
 		// Roll the local commit word back; the transaction stays
 		// uncommitted and can be retried or aborted.
 		binary.BigEndian.PutUint64(meta.Local[t.slot.wordOff:], prevWord)
 		l.metaMu.RUnlock()
+		wp.End()
+		cm.End()
 		return fmt.Errorf("perseas: publish commit word: %w", err)
 	}
 	l.metaMu.RUnlock()
+	wp.EndN(8)
+	cm.End()
 	l.metrics.WordPush.ObserveDuration(l.clock.Now() - phase)
 	l.metrics.CommitTotal.ObserveDuration(l.clock.Now() - total)
 
@@ -245,6 +274,9 @@ func (t *Tx) Commit() error {
 	}
 	l.finishLocked(t)
 	l.stats.Committed++
+	t.root.EndN(t.id)
+	t.tt.Finish()
+	t.tt = nil
 	return nil
 }
 
@@ -266,6 +298,7 @@ func (t *Tx) Abort() error {
 		return engine.ErrNoTransaction
 	}
 	l.mu.Unlock()
+	ab := t.tt.Start(trace.LayerEngine, "abort")
 
 	// Every database this transaction touched is reachable from its own
 	// pending ranges — no shared lookup needed while restoring.
@@ -300,11 +333,13 @@ func (t *Tx) Abort() error {
 	// includes groups whose PushMany failed partway — a range that
 	// reached even one mirror needs its restored content re-pushed.
 	for _, r := range t.pushed {
-		if err := l.net.Push(r.db.region, r.offset, r.length); err != nil {
+		if err := l.net.PushTraced(r.db.region, r.offset, r.length, t.tt); err != nil {
+			ab.End()
 			return fmt.Errorf("perseas: repair mirror after failed commit: %w", err)
 		}
 		l.metrics.Repairs.Inc()
 	}
+	ab.End()
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -316,5 +351,8 @@ func (t *Tx) Abort() error {
 	}
 	l.finishLocked(t)
 	l.stats.Aborted++
+	t.root.End()
+	t.tt.Finish()
+	t.tt = nil
 	return nil
 }

@@ -39,6 +39,7 @@ import (
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 )
 
 // State is a mirror's position in the guardian's health state machine.
@@ -187,7 +188,27 @@ type Guardian struct {
 	loopMu sync.Mutex
 	stop   chan struct{}
 	done   chan struct{}
+
+	// tracer records state transitions as instants and repairs as
+	// infrastructure spans; nil disables. Set during wiring, before
+	// Start.
+	tracer *trace.Recorder
 }
+
+// stateSpanNames are the static span names for transition instants,
+// indexed by the destination state (the trace recorder stores span
+// names without copying, so they must be long-lived).
+var stateSpanNames = [...]string{
+	Healthy:    "mirror_healthy",
+	Suspect:    "mirror_suspect",
+	Dead:       "mirror_dead",
+	Rebuilding: "mirror_rebuilding",
+	Restored:   "mirror_restored",
+}
+
+// SetTracer attaches a span recorder. Every recorder method is
+// nil-safe, so a nil tracer records nothing.
+func (g *Guardian) SetTracer(rec *trace.Recorder) { g.tracer = rec }
 
 // New builds a Guardian over client, reading time from clock (pass the
 // client's clock: the rig's SimClock for deterministic runs, a
@@ -242,6 +263,15 @@ func (g *Guardian) RegisterMetrics(reg *obs.Registry) {
 		g.mu.Lock()
 		defer g.mu.Unlock()
 		return uint64(len(g.spares))
+	})
+	reg.RegisterGauge("perseas_guardian_rebuild_bytes_total", "payload copied onto replacement mirrors, all slots", func() uint64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		var sum uint64
+		for i := range g.slots {
+			sum += g.slots[i].rebuildBytes
+		}
+		return sum
 	})
 	reg.RegisterHistogram("perseas_guardian_detection_latency_us", "last good beat to death confirmation", &m.DetectionLatency)
 	reg.RegisterHistogram("perseas_guardian_rebuild_duration_us", "rebuild start to restored", &m.RebuildDuration)
@@ -406,7 +436,9 @@ func (g *Guardian) pass(now time.Duration) {
 
 // revive reintegrates a dead mirror that answers probes again.
 func (g *Guardian) revive(slot int, now time.Duration) {
+	sp := g.tracer.Start(trace.LayerGuardian, "revive")
 	err := g.client.Revive(slot)
+	sp.EndN(uint64(slot))
 	g.mu.Lock()
 	var ev *Event
 	if err != nil {
@@ -446,11 +478,13 @@ func (g *Guardian) repair(slot int, now time.Duration) {
 	g.mu.Lock()
 	base := g.slots[slot].rebuildBytes // cumulative across this slot's deaths
 	g.mu.Unlock()
+	sp := g.tracer.Start(trace.LayerGuardian, "rebuild")
 	err := g.client.RebuildMirror(slot, spare, func(p netram.RebuildProgress) {
 		g.mu.Lock()
 		g.slots[slot].rebuildBytes = base + p.CopiedBytes
 		g.mu.Unlock()
 	})
+	sp.EndN(uint64(slot))
 	end := g.clock.Now()
 
 	g.mu.Lock()
@@ -486,10 +520,14 @@ func (g *Guardian) transitionLocked(slot int, to State, err error, now time.Dura
 	return &Event{Slot: slot, From: from, To: to, When: now, Err: err}
 }
 
-// emit delivers ev to the configured observer, filling the mirror label
-// outside the guardian lock.
+// emit delivers ev to the trace recorder and the configured observer,
+// filling the mirror label outside the guardian lock.
 func (g *Guardian) emit(ev *Event) {
-	if ev == nil || g.cfg.OnEvent == nil {
+	if ev == nil {
+		return
+	}
+	g.tracer.Event(trace.LayerGuardian, stateSpanNames[ev.To], uint64(ev.Slot))
+	if g.cfg.OnEvent == nil {
 		return
 	}
 	ev.Mirror = g.client.MirrorName(ev.Slot)

@@ -22,6 +22,7 @@ import (
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/sci"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 )
 
@@ -111,6 +112,9 @@ type Client struct {
 	// (Now), never advanced, so instrumentation cannot perturb a
 	// simulated run. Defaults to the wall clock.
 	clock simclock.Clock
+	// tracer records infrastructure spans (rebuild phases); nil disables.
+	// Set once during wiring, before the data path runs.
+	tracer *trace.Recorder
 
 	// topoMu guards the mirror set, the region list and every region's
 	// handles. Data-path operations hold the read lock for their whole
@@ -210,6 +214,11 @@ func (c *Client) SetClock(clk simclock.Clock) {
 		c.clock = clk
 	}
 }
+
+// SetTracer attaches a span recorder for rebuild-phase infrastructure
+// spans. Call during wiring, before traffic flows; every recorder
+// method is nil-safe, so a nil tracer simply records nothing.
+func (c *Client) SetTracer(rec *trace.Recorder) { c.tracer = rec }
 
 // Mirrors reports the number of mirror nodes.
 func (c *Client) Mirrors() int { return len(c.mirrors) }
@@ -380,6 +389,13 @@ func (c *Client) Free(r *Region) error {
 // is safe because the bytes around a modified range are identical in the
 // local buffer and its mirrors.
 func (c *Client) Push(r *Region, offset, n uint64) error {
+	return c.PushTraced(r, offset, n, nil)
+}
+
+// PushTraced is Push recording one netram span per mirror write into
+// the transaction's trace (tt may be nil; every TxTrace method is
+// nil-safe, so the untraced path costs nothing extra).
+func (c *Client) PushTraced(r *Region, offset, n uint64, tt *trace.TxTrace) error {
 	if err := r.checkRange(offset, n); err != nil {
 		return err
 	}
@@ -410,12 +426,15 @@ func (c *Client) Push(r *Region, offset, n uint64) error {
 			// rather than poison every push.
 			continue
 		}
-		if err := c.writeWithRetry(i, r.handles[i].ID, lo, data); err != nil {
+		sp := tt.Start(trace.LayerNetram, m.Name)
+		if err := c.writeWithRetry(i, r.handles[i].ID, lo, data, tt); err != nil {
+			sp.End()
 			if c.isDown(i) {
 				continue // node degraded; stay available via the others
 			}
 			return fmt.Errorf("netram: push to mirror %s: %w", m.Name, err)
 		}
+		sp.EndN(uint64(len(data)))
 		pushed++
 	}
 	if pushed == 0 {
@@ -433,7 +452,7 @@ func (c *Client) Push(r *Region, offset, n uint64) error {
 // write is reported as absorbed by degradation; if the node is alive the
 // failure may be a transient hiccup, so the write is retried once before
 // the error is surfaced to the caller.
-func (c *Client) writeWithRetry(i int, seg uint32, offset uint64, data []byte) error {
+func (c *Client) writeWithRetry(i int, seg uint32, offset uint64, data []byte, tt *trace.TxTrace) error {
 	m := c.mirrors[i]
 	err := m.T.Write(seg, offset, data)
 	if err == nil {
@@ -445,6 +464,7 @@ func (c *Client) writeWithRetry(i int, seg uint32, offset uint64, data []byte) e
 	}
 	// The node answers pings: transient failure — one retry.
 	c.metrics.Retries.Inc()
+	tt.Event(trace.LayerNetram, "retry", uint64(i))
 	if retryErr := m.T.Write(seg, offset, data); retryErr == nil {
 		return nil
 	}
@@ -468,6 +488,12 @@ type Range struct {
 // applies per range exactly as in Push; on the SCI model the cost is
 // identical to pushing the ranges one by one.
 func (c *Client) PushMany(r *Region, ranges []Range) error {
+	return c.PushManyTraced(r, ranges, nil)
+}
+
+// PushManyTraced is PushMany recording one netram span per mirror
+// exchange into the transaction's trace (tt may be nil).
+func (c *Client) PushManyTraced(r *Region, ranges []Range, tt *trace.TxTrace) error {
 	for _, rg := range ranges {
 		if err := r.checkRange(rg.Offset, rg.Length); err != nil {
 			return err
@@ -530,8 +556,10 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 			}
 			return nil
 		}
+		sp := tt.Start(trace.LayerNetram, m.Name)
 		if err := attempt(); err != nil {
 			if pingErr := m.T.Ping(); pingErr != nil {
+				sp.End()
 				c.markDown(i)
 				continue
 			}
@@ -539,10 +567,13 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 			// batch once (it is atomic server-side, so a replay is
 			// idempotent).
 			c.metrics.Retries.Inc()
+			tt.Event(trace.LayerNetram, "retry", uint64(i))
 			if err2 := attempt(); err2 != nil {
+				sp.End()
 				return fmt.Errorf("netram: batch push to mirror %s: %w", m.Name, err)
 			}
 		}
+		sp.EndN(wireBytes)
 		pushed++
 	}
 	if pushed == 0 {
@@ -561,6 +592,12 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 // several remote reads, so regions past 4 GiB (or the wire frame
 // limit) arrive intact instead of silently truncated.
 func (c *Client) Fetch(r *Region, offset, n uint64) ([]byte, error) {
+	return c.FetchTraced(r, offset, n, nil)
+}
+
+// FetchTraced is Fetch recording one netram span per mirror attempt
+// into the transaction's trace (tt may be nil).
+func (c *Client) FetchTraced(r *Region, offset, n uint64, tt *trace.TxTrace) ([]byte, error) {
 	if err := r.checkRange(offset, n); err != nil {
 		return nil, err
 	}
@@ -572,11 +609,14 @@ func (c *Client) Fetch(r *Region, offset, n uint64) ([]byte, error) {
 		if r.handles[i].ID == 0 {
 			continue
 		}
+		sp := tt.Start(trace.LayerNetram, m.Name)
 		data, err := c.readChunked(m, r.handles[i].ID, offset, n)
 		if err != nil {
+			sp.End()
 			lastErr = fmt.Errorf("netram: fetch from mirror %s: %w", m.Name, err)
 			continue
 		}
+		sp.EndN(n)
 		c.metrics.Fetches.Inc()
 		c.metrics.FetchedBytes.Add(n)
 		c.metrics.FetchLatency.ObserveDuration(c.clock.Now() - start)

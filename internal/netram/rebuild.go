@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 )
 
@@ -129,7 +130,11 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 
 	built := make(map[string]transport.SegmentHandle)
 	var copied uint64
+	// The whole rebuild is one infrastructure span tree: the root covers
+	// the three phases, children record each phase's copied bytes.
+	root := c.tracer.Start(trace.LayerNetram, "rebuild_mirror")
 	abort := func(err error) error {
+		root.EndN(copied)
 		c.tracking.Store(false)
 		c.dirtyMu.Lock()
 		c.dirty = nil
@@ -146,6 +151,7 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 
 	// Phase 1 — bulk copy. Each chunk holds the topology read lock only
 	// for its survivor read, so pushes interleave freely.
+	bulk := root.Child(trace.LayerNetram, "bulk_copy")
 	for _, r := range snapshot {
 		h, err := exportOnReplacement(m, r.Name, r.Size())
 		if err != nil {
@@ -163,6 +169,8 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 		}
 	}
 
+	bulk.EndN(copied)
+
 	// Phase 2 — catch-up epochs: replay what the data path dirtied
 	// while the previous round ran, still without blocking pushes.
 	for epoch := 1; epoch <= maxCatchUpEpochs; epoch++ {
@@ -170,15 +178,20 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 		if len(batch) == 0 {
 			break
 		}
+		ep := root.Child(trace.LayerNetram, "catchup_epoch")
+		before := copied
 		if err := c.drainBatch(m, built, batch, i, false, &copied, epoch, onProgress); err != nil {
 			return abort(err)
 		}
+		ep.EndN(copied - before)
 	}
 
 	// Phase 3 — stop the world once, briefly: drain the final delta,
 	// cover regions born or freed during the copy, and swap.
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
+	fin := root.Child(trace.LayerNetram, "final_drain")
+	finBase := copied
 	c.tracking.Store(false)
 	if batch := c.swapDirty(); len(batch) != 0 {
 		if err := c.drainBatch(m, built, batch, i, true, &copied, maxCatchUpEpochs+1, onProgress); err != nil {
@@ -225,6 +238,8 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 	c.dirty = nil
 	c.dirtyMu.Unlock()
 	c.metrics.Rebuilds.Inc()
+	fin.EndN(copied - finBase)
+	root.EndN(copied)
 	_ = old.T.Close()
 	return nil
 }

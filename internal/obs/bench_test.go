@@ -1,0 +1,22 @@
+package obs
+
+import "testing"
+
+// The histogram sits on every commit of every workload, so Observe must
+// stay in the low tens of nanoseconds. Run with make bench-obs.
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -242,8 +242,31 @@ func TestRegistryHTTP(t *testing.T) {
 	if !strings.Contains(string(buf[:n]), "perseas_http_total 1") {
 		t.Fatalf("HTTP body missing counter: %q", buf[:n])
 	}
-	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+	// Prometheus scrapers key the parser off the exact exposition
+	// version, so pin the full header rather than a substring.
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
 		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+func TestHelpStringEscaping(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	r.RegisterCounter("perseas_esc_total", "line one\nwith a back\\slash", &c)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `# HELP perseas_esc_total line one\nwith a back\\slash` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	// The raw newline must not split the HELP comment across lines.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "with a back") {
+			t.Errorf("unescaped newline leaked into exposition:\n%s", out)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -77,6 +78,10 @@ func (r *Registry) Histogram(name string) *Histogram {
 // quantiles rendered for every histogram, in exposition order.
 var summaryQuantiles = []float64{0.5, 0.95, 0.99}
 
+// helpEscaper applies the exposition-format HELP escaping rules:
+// backslash and newline are the only characters that need it.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 // WriteText renders every registered metric in Prometheus text
 // exposition format (version 0.0.4).
 func (r *Registry) WriteText(w io.Writer) error {
@@ -86,7 +91,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Unlock()
 	for _, e := range entries {
 		if e.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, helpEscaper.Replace(e.help)); err != nil {
 				return err
 			}
 		}

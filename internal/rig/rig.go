@@ -19,6 +19,7 @@ import (
 	"github.com/ics-forth/perseas/internal/rvm"
 	"github.com/ics-forth/perseas/internal/sci"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 	"github.com/ics-forth/perseas/internal/vista"
 	"github.com/ics-forth/perseas/internal/walnet"
@@ -64,6 +65,11 @@ type Config struct {
 	GroupCommit bool
 	// GroupSize is the RVM group-commit batch bound.
 	GroupSize int
+	// Tracer, when non-nil, records per-transaction span trees in
+	// PERSEAS labs. The recorder's clock is pointed at the lab's
+	// SimClock, so span timestamps are modelled time; recording never
+	// advances the clock, leaving reproduced figures untouched.
+	Tracer *trace.Recorder
 }
 
 // DefaultConfig fits the paper's benchmarks: databases up to a few tens
@@ -190,6 +196,10 @@ func NewPerseas(cfg Config) (*Lab, error) {
 	copts := []core.Option{core.WithUndoLogSize(cfg.UndoLogSize)}
 	if cfg.NoRemoteUndo {
 		copts = append(copts, core.WithUnsafeNoRemoteUndo())
+	}
+	if cfg.Tracer != nil {
+		copts = append(copts, core.WithTracer(cfg.Tracer))
+		net.SetTracer(cfg.Tracer)
 	}
 	lib, err := core.Init(net, clock, copts...)
 	if err != nil {

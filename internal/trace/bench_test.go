@@ -1,0 +1,48 @@
+package trace
+
+import "testing"
+
+// The disabled path is the one every production code path pays when
+// tracing is off; it must stay well under 100ns (ISSUE 4 satellite).
+func BenchmarkRecorderStartEndDisabled(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Start(LayerTransport, "combine")
+		sp.End()
+	}
+}
+
+func BenchmarkRecorderStartEndEnabled(b *testing.B) {
+	r := NewRecorder()
+	r.Enable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Start(LayerTransport, "combine")
+		sp.End()
+	}
+}
+
+func BenchmarkTxTraceDisabled(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tt := r.Tx()
+		sp := tt.Start(LayerEngine, "tx")
+		sp.End()
+		tt.Finish()
+	}
+}
+
+func BenchmarkTxTraceEnabled(b *testing.B) {
+	r := NewRecorder()
+	r.Enable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tt := r.Tx()
+		sp := tt.Start(LayerEngine, "tx")
+		tt.Start(LayerCore, "phase").End()
+		sp.End()
+		tt.Finish()
+	}
+}

@@ -1,0 +1,161 @@
+// Chrome trace-event JSON export and import. The format is the JSON
+// object form ({"traceEvents": [...]}) understood by Perfetto
+// (ui.perfetto.dev) and chrome://tracing: transactions render as one
+// track per trace id under the "transactions" process, infrastructure
+// as one track per layer under the "infrastructure" process, and every
+// span keeps its tree coordinates (trace/id/parent) in args so a
+// written file parses back into the exact span set (ReadChromeTrace).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Synthetic pids of the two exported processes.
+const (
+	pidTransactions = 1
+	pidInfra        = 2
+)
+
+// chromeEvent is one trace-event object. Timestamps and durations are
+// microseconds, per the format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Cat   string         `json:"cat,omitempty"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   uint64         `json:"pid"`
+	Tid   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// sortSpans orders spans by start time, breaking ties by trace then id
+// so output is deterministic.
+func sortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		return a.ID < b.ID
+	})
+}
+
+// us converts a duration to fractional microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	f := chromeFile{DisplayUnit: "ns"}
+	f.TraceEvents = append(f.TraceEvents,
+		metaEvent("process_name", pidTransactions, 0, "transactions"),
+		metaEvent("process_name", pidInfra, 0, "infrastructure"))
+	for l := Layer(0); l < numLayers; l++ {
+		f.TraceEvents = append(f.TraceEvents,
+			metaEvent("thread_name", pidInfra, uint64(l), l.String()))
+	}
+	named := make(map[uint64]bool)
+	for _, sp := range spans {
+		if sp.Trace != 0 && !named[sp.Trace] {
+			named[sp.Trace] = true
+			f.TraceEvents = append(f.TraceEvents,
+				metaEvent("thread_name", pidTransactions, sp.Trace, fmt.Sprintf("tx %d", sp.Trace)))
+		}
+	}
+	for _, sp := range spans {
+		pid, tid := uint64(pidInfra), uint64(sp.Layer)
+		if sp.Trace != 0 {
+			pid, tid = pidTransactions, sp.Trace
+		}
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Layer.String(),
+			Ts:   us(sp.Start),
+			Pid:  pid,
+			Tid:  tid,
+			Args: map[string]any{
+				"trace": sp.Trace, "id": sp.ID, "parent": sp.Parent,
+				"layer": sp.Layer.String(), "arg": sp.Arg,
+			},
+		}
+		if sp.Instant {
+			ev.Ph = "i"
+			ev.Scope = "t"
+		} else {
+			ev.Ph = "X"
+			ev.Dur = us(sp.Dur)
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// metaEvent builds one "M" metadata event naming a process or thread.
+func metaEvent(kind string, pid, tid uint64, name string) chromeEvent {
+	return chromeEvent{
+		Name: kind, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// ReadChromeTrace parses trace-event JSON written by WriteChromeTrace
+// back into spans (metadata events are skipped). It tolerates files
+// from other producers as long as each event is an X or i phase; tree
+// coordinates default to zero when the args are absent.
+func ReadChromeTrace(r io.Reader) ([]Span, error) {
+	var f chromeFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: parse chrome trace: %w", err)
+	}
+	var spans []Span
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "i" {
+			continue
+		}
+		sp := Span{
+			Name:    ev.Name,
+			Start:   time.Duration(ev.Ts * 1e3),
+			Dur:     time.Duration(ev.Dur * 1e3),
+			Instant: ev.Ph == "i",
+		}
+		sp.Trace = argUint(ev.Args, "trace")
+		sp.ID = argUint(ev.Args, "id")
+		sp.Parent = argUint(ev.Args, "parent")
+		sp.Arg = argUint(ev.Args, "arg")
+		if name, ok := ev.Args["layer"].(string); ok {
+			if l, ok := ParseLayer(name); ok {
+				sp.Layer = l
+			}
+		} else if l, ok := ParseLayer(ev.Cat); ok {
+			sp.Layer = l
+		}
+		spans = append(spans, sp)
+	}
+	sortSpans(spans)
+	return spans, nil
+}
+
+// argUint pulls one numeric arg out of a parsed event.
+func argUint(args map[string]any, key string) uint64 {
+	v, ok := args[key].(float64)
+	if !ok || v < 0 {
+		return 0
+	}
+	return uint64(v)
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Trace: 7, ID: 1, Parent: 0, Layer: LayerEngine, Name: "tx",
+			Start: 10 * time.Microsecond, Dur: 90 * time.Microsecond},
+		{Trace: 7, ID: 2, Parent: 1, Layer: LayerCore, Name: "local_undo_copy",
+			Start: 20 * time.Microsecond, Dur: 5 * time.Microsecond, Arg: 64},
+		{Trace: 7, ID: 3, Parent: 2, Layer: LayerNetram, Name: "retry",
+			Start: 22 * time.Microsecond, Instant: true, Arg: 1},
+		{Trace: 0, ID: 4, Parent: 0, Layer: LayerTransport, Name: "combine",
+			Start: 15 * time.Microsecond, Dur: 3 * time.Microsecond, Arg: 2},
+		{Trace: 0, ID: 5, Parent: 0, Layer: LayerGuardian, Name: "mirror_dead",
+			Start: 40 * time.Microsecond, Instant: true, Arg: 1},
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	want := sampleSpans()
+	sortSpans(want)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exporter wrote invalid JSON: %v", err)
+	}
+	events, ok := f["traceEvents"].([]any)
+	if !ok {
+		t.Fatal("no traceEvents array")
+	}
+	// 2 process_name + 5 layer thread_name + 1 tx thread_name + 5 spans.
+	if len(events) != 2+int(numLayers)+1+5 {
+		t.Fatalf("got %d events, want %d", len(events), 2+int(numLayers)+1+5)
+	}
+	phases := map[string]int{}
+	for _, e := range events {
+		ev := e.(map[string]any)
+		phases[ev["ph"].(string)]++
+	}
+	if phases["X"] != 3 || phases["i"] != 2 || phases["M"] != 2+int(numLayers)+1 {
+		t.Fatalf("phase mix = %v", phases)
+	}
+}
+
+func TestChromeTraceProcessSplit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"transactions"`, `"infrastructure"`, `"tx 7"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadChromeTraceToleratesForeignEvents(t *testing.T) {
+	in := `{"traceEvents":[
+		{"name":"gc","ph":"B","ts":1,"pid":9,"tid":9},
+		{"name":"work","ph":"X","ts":2,"dur":3,"pid":9,"tid":9}
+	]}`
+	spans, err := ReadChromeTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "work" || spans[0].Dur != 3*time.Microsecond {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestReadChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage input parsed")
+	}
+}
+
+func TestSlowestReport(t *testing.T) {
+	var sb strings.Builder
+	WriteSlowestReport(&sb, sampleSpans(), 5)
+	out := sb.String()
+	for _, want := range []string{
+		"slowest transactions — 1 captured, 2 infrastructure span(s)",
+		"#1  trace 7  total 90.00us  (3 spans)",
+		"tx", "local_undo_copy", "retry", "arg=64",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSlowestReportEmpty(t *testing.T) {
+	var sb strings.Builder
+	WriteSlowestReport(&sb, nil, 5)
+	if !strings.Contains(sb.String(), "no transaction spans") {
+		t.Fatalf("empty report = %q", sb.String())
+	}
+}

@@ -1,0 +1,132 @@
+// The text renderer: a top-K "slowest transactions" report with each
+// transaction's span tree as the phase breakdown, the drill-down
+// companion to obs.WriteLatencyTable's aggregate view.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// txTree is one reassembled transaction.
+type txTree struct {
+	trace uint64
+	total time.Duration
+	spans []Span
+}
+
+// WriteSlowestReport renders the topK slowest transactions found in
+// spans, each as an indented span tree with per-span durations, layers
+// and payload args. Infrastructure spans (trace 0) are summarised in
+// the header line only.
+func WriteSlowestReport(w io.Writer, spans []Span, topK int) {
+	if topK <= 0 {
+		topK = 5
+	}
+	byTrace := make(map[uint64][]Span)
+	infra := 0
+	for _, sp := range spans {
+		if sp.Trace == 0 {
+			infra++
+			continue
+		}
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	trees := make([]txTree, 0, len(byTrace))
+	for id, ss := range byTrace {
+		trees = append(trees, txTree{trace: id, total: treeTotal(ss), spans: ss})
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		if trees[i].total != trees[j].total {
+			return trees[i].total > trees[j].total
+		}
+		return trees[i].trace < trees[j].trace
+	})
+	fmt.Fprintf(w, "slowest transactions — %d captured, %d infrastructure span(s)\n",
+		len(trees), infra)
+	if len(trees) == 0 {
+		fmt.Fprintln(w, "  (no transaction spans; raise the capture window or lower -trace-slower-than)")
+		return
+	}
+	if topK > len(trees) {
+		topK = len(trees)
+	}
+	for rank := 0; rank < topK; rank++ {
+		t := trees[rank]
+		fmt.Fprintf(w, "#%d  trace %d  total %s  (%d spans)\n",
+			rank+1, t.trace, simclock.Microseconds(t.total), len(t.spans))
+		writeTree(w, t.spans)
+	}
+}
+
+// treeTotal is the transaction's wall span: its root's duration when a
+// single root exists, else the envelope of every span.
+func treeTotal(spans []Span) time.Duration {
+	var root *Span
+	roots := 0
+	lo, hi := spans[0].Start, spans[0].End()
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Parent == 0 && !sp.Instant {
+			roots++
+			root = sp
+		}
+		if sp.Start < lo {
+			lo = sp.Start
+		}
+		if sp.End() > hi {
+			hi = sp.End()
+		}
+	}
+	if roots == 1 {
+		return root.Dur
+	}
+	return hi - lo
+}
+
+// writeTree prints spans as an indented tree, children in start order.
+func writeTree(w io.Writer, spans []Span) {
+	children := make(map[uint64][]Span)
+	for _, sp := range spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	for parent := range children {
+		cs := children[parent]
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].Start != cs[j].Start {
+				return cs[i].Start < cs[j].Start
+			}
+			return cs[i].ID < cs[j].ID
+		})
+		children[parent] = cs
+	}
+	var walk func(parent uint64, depth int)
+	walk = func(parent uint64, depth int) {
+		for _, sp := range children[parent] {
+			indent := strings.Repeat("  ", depth+1)
+			label := fmt.Sprintf("%s%s", indent, sp.Name)
+			switch {
+			case sp.Instant:
+				fmt.Fprintf(w, "%-36s %12s  [%s]%s\n", label, "·", sp.Layer, argSuffix(sp.Arg))
+			default:
+				fmt.Fprintf(w, "%-36s %12s  [%s]%s\n", label,
+					simclock.Microseconds(sp.Dur), sp.Layer, argSuffix(sp.Arg))
+			}
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+}
+
+// argSuffix renders a span's payload arg, when it has one.
+func argSuffix(arg uint64) string {
+	if arg == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  arg=%d", arg)
+}

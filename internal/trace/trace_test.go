@@ -1,0 +1,354 @@
+package trace
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+func TestDisabledRecorderRecordsNothing(t *testing.T) {
+	r := NewRecorder()
+	if tt := r.Tx(); tt != nil {
+		t.Fatal("disabled recorder handed out a TxTrace")
+	}
+	sp := r.Start(LayerTransport, "combine")
+	if sp.Active() {
+		t.Fatal("disabled recorder handed out an active InfraSpan")
+	}
+	sp.End()
+	r.Event(LayerGuardian, "beat", 1)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("disabled recorder kept %d spans", len(got))
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var r *Recorder
+	r.Enable()
+	r.Disable()
+	r.SetClock(simclock.NewSim())
+	r.SetSlowerThan(time.Second)
+	r.Event(LayerEngine, "x", 0)
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil recorder snapshot = %v", got)
+	}
+	var tt *TxTrace
+	ref := tt.Start(LayerEngine, "tx")
+	tt.Event(LayerCore, "ev", 1)
+	ref.End()
+	ref.EndN(7)
+	tt.Finish()
+	if tt.Trace() != 0 {
+		t.Fatal("nil TxTrace has a trace id")
+	}
+	var is InfraSpan
+	is.Child(LayerNetram, "x").End()
+	is.End()
+	is.EndN(3)
+}
+
+func TestTxTraceBuildsTree(t *testing.T) {
+	r := NewRecorder()
+	clk := simclock.NewSim()
+	r.SetClock(clk)
+	r.Enable()
+
+	tt := r.Tx()
+	root := tt.Start(LayerEngine, "tx")
+	clk.Advance(10 * time.Microsecond)
+	sr := tt.Start(LayerEngine, "set_range")
+	clk.Advance(5 * time.Microsecond)
+	cp := tt.Start(LayerCore, "local_undo_copy")
+	clk.Advance(2 * time.Microsecond)
+	cp.EndN(64)
+	tt.Event(LayerNetram, "retry", 1)
+	sr.End()
+	clk.Advance(3 * time.Microsecond)
+	root.End()
+	tt.Finish()
+
+	spans := r.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+		if sp.Trace == 0 {
+			t.Fatalf("tx span %q has trace 0", sp.Name)
+		}
+	}
+	txSp, srSp, cpSp, rtSp := byName["tx"], byName["set_range"], byName["local_undo_copy"], byName["retry"]
+	if txSp.Parent != 0 {
+		t.Fatalf("root parent = %d", txSp.Parent)
+	}
+	if srSp.Parent != txSp.ID {
+		t.Fatalf("set_range parent = %d, want %d", srSp.Parent, txSp.ID)
+	}
+	if cpSp.Parent != srSp.ID {
+		t.Fatalf("local_undo_copy parent = %d, want %d", cpSp.Parent, srSp.ID)
+	}
+	if rtSp.Parent != cpSp.ID {
+		// The copy span ended before the event fired; the event's
+		// parent must be the still-open set_range span.
+		if rtSp.Parent != srSp.ID {
+			t.Fatalf("retry parent = %d, want %d", rtSp.Parent, srSp.ID)
+		}
+	}
+	if !rtSp.Instant {
+		t.Fatal("event span not marked instant")
+	}
+	if cpSp.Dur != 2*time.Microsecond {
+		t.Fatalf("local_undo_copy dur = %v", cpSp.Dur)
+	}
+	if cpSp.Arg != 64 {
+		t.Fatalf("local_undo_copy arg = %d", cpSp.Arg)
+	}
+	if txSp.Dur != 20*time.Microsecond {
+		t.Fatalf("tx dur = %v", txSp.Dur)
+	}
+	if r.Metrics().KeptTxs.Load() != 1 {
+		t.Fatalf("kept = %d", r.Metrics().KeptTxs.Load())
+	}
+}
+
+func TestSlowerThanFiltersWholeTrees(t *testing.T) {
+	r := NewRecorder()
+	clk := simclock.NewSim()
+	r.SetClock(clk)
+	r.Enable()
+	r.SetSlowerThan(time.Millisecond)
+
+	fast := r.Tx()
+	fsp := fast.Start(LayerEngine, "tx")
+	clk.Advance(10 * time.Microsecond)
+	fsp.End()
+	fast.Finish()
+
+	slow := r.Tx()
+	ssp := slow.Start(LayerEngine, "tx")
+	clk.Advance(2 * time.Millisecond)
+	ssp.End()
+	slow.Finish()
+
+	spans := r.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want only the slow tx: %+v", len(spans), spans)
+	}
+	if spans[0].Trace != slow.Trace() && spans[0].Dur != 2*time.Millisecond {
+		t.Fatalf("kept the wrong tx: %+v", spans[0])
+	}
+	m := r.Metrics()
+	if m.KeptTxs.Load() != 1 || m.FilteredTxs.Load() != 1 {
+		t.Fatalf("kept=%d filtered=%d, want 1/1", m.KeptTxs.Load(), m.FilteredTxs.Load())
+	}
+}
+
+func TestFinishClosesOpenSpans(t *testing.T) {
+	r := NewRecorder()
+	clk := simclock.NewSim()
+	r.SetClock(clk)
+	r.Enable()
+	tt := r.Tx()
+	tt.Start(LayerEngine, "tx") // never explicitly ended
+	clk.Advance(time.Microsecond)
+	tt.Finish()
+	spans := r.Snapshot()
+	if len(spans) != 1 || spans[0].Dur != time.Microsecond {
+		t.Fatalf("open span not closed by Finish: %+v", spans)
+	}
+}
+
+func TestInfraSpansAndEvents(t *testing.T) {
+	r := NewRecorder()
+	clk := simclock.NewSim()
+	r.SetClock(clk)
+	r.Enable()
+	r.SetSlowerThan(time.Hour) // must not filter infrastructure spans
+
+	sp := r.Start(LayerTransport, "combine")
+	clk.Advance(4 * time.Microsecond)
+	child := sp.Child(LayerTransport, "exchange")
+	clk.Advance(time.Microsecond)
+	child.End()
+	sp.EndN(3)
+	r.Event(LayerGuardian, "mirror_dead", 2)
+
+	spans := r.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for _, s := range spans {
+		if s.Trace != 0 {
+			t.Fatalf("infra span %q carries trace %d", s.Name, s.Trace)
+		}
+	}
+	var combine, exch Span
+	for _, s := range spans {
+		switch s.Name {
+		case "combine":
+			combine = s
+		case "exchange":
+			exch = s
+		}
+	}
+	if exch.Parent != combine.ID {
+		t.Fatalf("child parent = %d, want %d", exch.Parent, combine.ID)
+	}
+	if combine.Arg != 3 {
+		t.Fatalf("combine arg = %d", combine.Arg)
+	}
+}
+
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	total := infraSpans + 500
+	for i := 0; i < total; i++ {
+		r.Event(LayerEngine, "e", uint64(i))
+	}
+	spans := r.Snapshot()
+	if len(spans) != infraSpans {
+		t.Fatalf("ring holds %d spans, want %d", len(spans), infraSpans)
+	}
+	if r.Metrics().Overflows.Load() != 500 {
+		t.Fatalf("overflows = %d, want 500", r.Metrics().Overflows.Load())
+	}
+	// The very first events must have been overwritten.
+	for _, sp := range spans {
+		if sp.Arg == 0 {
+			t.Fatal("oldest span survived a full ring wrap")
+		}
+	}
+}
+
+func TestRareLayerSurvivesChattyLayerFlood(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	// One guardian transition early in the run...
+	r.Event(LayerGuardian, "mirror_dead", 2)
+	// ...then far more transport and transaction traffic than any one
+	// ring can hold. Per-layer infra rings must keep the guardian event.
+	for i := 0; i < numShards*shardSpans+infraSpans; i++ {
+		r.Event(LayerTransport, "combine", uint64(i))
+		tt := r.Tx()
+		tt.Start(LayerEngine, "tx").End()
+		tt.Finish()
+	}
+	var found bool
+	for _, sp := range r.Snapshot() {
+		if sp.Layer == LayerGuardian && sp.Name == "mirror_dead" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("guardian event evicted by transport/tx flood")
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tt := r.Tx()
+				root := tt.Start(LayerEngine, "tx")
+				tt.Start(LayerCore, "phase").End()
+				root.End()
+				tt.Finish()
+				is := r.Start(LayerTransport, "combine")
+				is.EndN(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Metrics().KeptTxs.Load(); got != 8*200 {
+		t.Fatalf("kept %d trees, want %d", got, 8*200)
+	}
+	_ = r.Snapshot()
+}
+
+func TestRecorderNeverAdvancesClock(t *testing.T) {
+	r := NewRecorder()
+	clk := simclock.NewSim()
+	r.SetClock(clk)
+	r.Enable()
+	tt := r.Tx()
+	sp := tt.Start(LayerEngine, "tx")
+	tt.Event(LayerCore, "ev", 1)
+	sp.End()
+	tt.Finish()
+	r.Start(LayerGuardian, "rebuild").EndN(10)
+	r.Event(LayerGuardian, "beat", 0)
+	if now := clk.Now(); now != 0 {
+		t.Fatalf("recording advanced the clock to %v", now)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	r.Event(LayerEngine, "e", 1)
+	reg := obs.NewRegistry()
+	r.RegisterMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"perseas_trace_spans_total 1",
+		"perseas_trace_tx_kept_total 0",
+		"perseas_trace_tx_filtered_total 0",
+		"perseas_trace_ring_overflow_total 0",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	r.Event(LayerGuardian, "mirror_dead", 1)
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	spans, err := ReadChromeTrace(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "mirror_dead" {
+		t.Fatalf("round-tripped spans = %+v", spans)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	r.Event(LayerEngine, "e", 1)
+	r.Reset()
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("Reset left %d spans", len(got))
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/wire"
 )
 
@@ -46,7 +47,15 @@ type TCP struct {
 	wqueue []*queuedWrite
 
 	metrics TCPMetrics
+	// tracer records combiner exchanges and leader handoffs as
+	// infrastructure spans; nil disables. Set during wiring, before
+	// traffic flows.
+	tracer *trace.Recorder
 }
+
+// SetTracer attaches a span recorder for combiner activity. Every
+// recorder method is nil-safe, so a nil tracer records nothing.
+func (t *TCP) SetTracer(rec *trace.Recorder) { t.tracer = rec }
 
 // TCPMetrics are the client-side counters one TCP transport keeps.
 // Latencies are wall-clock (this transport talks to real sockets, so
@@ -259,11 +268,13 @@ func (t *TCP) combine(writes []wire.BatchEntry) error {
 // delivers the result to the followers, and hands leadership to the
 // next queued caller, if any.
 func (t *TCP) lead(batch []*queuedWrite, self *queuedWrite) error {
+	sp := t.tracer.Start(trace.LayerTransport, "combine")
 	var err error
 	if len(batch) == 1 && len(self.writes) == 1 {
 		w := self.writes[0]
 		t.metrics.BatchSize.Observe(1)
 		_, err = t.call(&wire.Request{Op: wire.OpWrite, Seg: w.Seg, Offset: w.Offset, Data: w.Data})
+		sp.EndN(1)
 	} else {
 		var entries []wire.BatchEntry
 		for _, q := range batch {
@@ -274,6 +285,7 @@ func (t *TCP) lead(batch []*queuedWrite, self *queuedWrite) error {
 			t.metrics.CombinedExchanges.Inc()
 		}
 		_, err = t.call(&wire.Request{Op: wire.OpWriteBatch, Batch: entries})
+		sp.EndN(uint64(len(entries)))
 	}
 	for _, q := range batch {
 		if q != self {
@@ -287,6 +299,9 @@ func (t *TCP) lead(batch []*queuedWrite, self *queuedWrite) error {
 		next.batch = t.wqueue
 		t.wqueue = nil
 		t.wmu.Unlock()
+		// The queue head becomes the next exchange's leader, carrying
+		// everyone queued behind it.
+		t.tracer.Event(trace.LayerTransport, "leader_handoff", uint64(len(next.batch)))
 		close(next.promoted)
 	} else {
 		t.wbusy = false
