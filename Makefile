@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race bench bench-obs experiments fuzz examples clean
+.PHONY: all check build vet test test-short test-race bench bench-obs bench-fanout experiments fuzz examples clean
 
 all: build vet test
 
@@ -35,6 +35,13 @@ bench:
 # under 100ns — they ride on every commit.
 bench-obs:
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/obs/ ./internal/trace/
+
+# Mirror fan-out microbenchmark: Push over 1/2/4 delayed mirrors,
+# serial loop vs parallel fan-out, plus the loopback-TCP commit-path
+# comparison. Writes machine-readable results to BENCH_fanout.json.
+bench-fanout:
+	$(GO) run ./cmd/perseas-bench -experiment fanout -bench-out BENCH_fanout.json
+	$(GO) run ./cmd/perseas-bench -experiment commitpath -tcp -mirrors 2 -txs 300
 
 # Regenerate every table and figure of the paper.
 experiments:

@@ -25,11 +25,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/ics-forth/perseas/internal/bench"
@@ -37,11 +41,14 @@ import (
 	"github.com/ics-forth/perseas/internal/disk"
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/rig"
 	"github.com/ics-forth/perseas/internal/sci"
 	"github.com/ics-forth/perseas/internal/simclock"
 	"github.com/ics-forth/perseas/internal/trace"
+	"github.com/ics-forth/perseas/internal/transport"
 )
 
 // tracer, when non-nil, records per-transaction spans in every PERSEAS
@@ -52,12 +59,20 @@ var tracer *trace.Recorder
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig5, fig6, table1, compare, dbsize, ablate, commitpath, all (commitpath is excluded from all; name it explicitly)")
+		"which experiment to run: fig5, fig6, table1, compare, dbsize, ablate, commitpath, fanout, all (commitpath and fanout are excluded from all; name them explicitly)")
 	txs := flag.Int("txs", 2000, "transactions per measurement")
 	traceOut := flag.String("trace-out", "",
 		"write per-transaction spans as Chrome/Perfetto trace-event JSON to this file at the end of the run")
 	traceSlower := flag.Duration("trace-slower-than", 0,
 		"keep only transactions at least this slow in modelled time (0 = keep all; with -trace-out)")
+	flag.IntVar(&mirrorsN, "mirrors", 1,
+		"replication degree for the simulated PERSEAS labs (and the -tcp commitpath rig)")
+	flag.BoolVar(&tcpCommitPath, "tcp", false,
+		"with -experiment commitpath: also run real loopback-TCP mirrors and report wall-clock commit latency, serial vs parallel fan-out")
+	flag.StringVar(&benchOutPath, "bench-out", "",
+		"write machine-readable results of the fanout experiment as JSON to this file")
+	flag.DurationVar(&netDelay, "net-delay", 200*time.Microsecond,
+		"with -tcp: extra per-write delay modelling LAN round-trip time on top of loopback (0 = raw loopback)")
 	flag.Parse()
 
 	if *traceOut != "" {
@@ -68,6 +83,12 @@ func main() {
 	if err := run(os.Stdout, *experiment, *txs); err != nil {
 		fmt.Fprintln(os.Stderr, "perseas-bench:", err)
 		os.Exit(1)
+	}
+	if benchOutPath != "" {
+		if err := writeBenchFile(os.Stdout, benchOutPath); err != nil {
+			fmt.Fprintln(os.Stderr, "perseas-bench:", err)
+			os.Exit(1)
+		}
 	}
 	if *traceOut != "" {
 		if err := writeTraceFile(os.Stdout, *traceOut); err != nil {
@@ -95,10 +116,42 @@ func writeTraceFile(out io.Writer, path string) error {
 	return nil
 }
 
-// defaultConfig is rig.DefaultConfig plus the process-wide tracer.
+// mirrorsN, tcpCommitPath and benchOutPath carry the -mirrors, -tcp
+// and -bench-out flags into the experiment runners. The defaults leave
+// every reference output byte-identical.
+var (
+	mirrorsN      = 1
+	tcpCommitPath bool
+	benchOutPath  string
+	netDelay      time.Duration
+)
+
+// benchResults holds whatever machine-readable payload the named
+// experiment produced, for -bench-out.
+var benchResults any
+
+// writeBenchFile dumps benchResults as indented JSON.
+func writeBenchFile(out io.Writer, path string) error {
+	if benchResults == nil {
+		return fmt.Errorf("-bench-out: the %s experiment produced no machine-readable results (use -experiment fanout)", "selected")
+	}
+	data, err := json.MarshalIndent(benchResults, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: results written to %s\n", path)
+	return nil
+}
+
+// defaultConfig is rig.DefaultConfig plus the process-wide tracer and
+// the -mirrors replication degree.
 func defaultConfig() rig.Config {
 	cfg := rig.DefaultConfig()
 	cfg.Tracer = tracer
+	cfg.Mirrors = mirrorsN
 	return cfg
 }
 
@@ -131,9 +184,10 @@ func run(w io.Writer, experiment string, txs int) error {
 		fmt.Fprintln(w, "\n(not included: -experiment commitpath — run it by name for the Fig. 3 phase breakdown)")
 		return nil
 	}
-	// commitpath is addressable by name only — adding it to the all
-	// slice would change the reference -experiment all output.
-	named := append(all, exp{"commitpath", runCommitPath})
+	// commitpath and fanout are addressable by name only — adding them
+	// to the all slice would change the reference -experiment all
+	// output.
+	named := append(all, exp{"commitpath", runCommitPath}, exp{"fanout", runFanout})
 	for _, e := range named {
 		if e.name == experiment {
 			return e.fn(w, txs)
@@ -391,7 +445,254 @@ func runCommitPath(w io.Writer, txs int) error {
 	}
 	fmt.Fprintln(w, "Commit-path phase breakdown — debit-credit, modelled time")
 	obs.WriteLatencyTable(w, "commit path", lib.CommitLatencyRows())
-	return lab.Engine.Close()
+	if err := lab.Engine.Close(); err != nil {
+		return err
+	}
+	if tcpCommitPath {
+		fmt.Fprintln(w)
+		return runCommitPathTCP(w, txs, mirrorsN)
+	}
+	return nil
+}
+
+// runCommitPathTCP measures the real commit path over loopback TCP
+// mirrors on the wall clock, once with the serial mirror loop and once
+// with the parallel fan-out. With N mirrors the serial data push costs
+// roughly the sum of the per-mirror round trips while the parallel one
+// costs roughly the slowest — the numbers printed here are the
+// evidence.
+func runCommitPathTCP(w io.Writer, txs, nMirrors int) error {
+	if nMirrors < 2 {
+		nMirrors = 2
+	}
+	iters := txs
+	if iters > 400 {
+		iters = 400
+	}
+
+	measure := func(serial bool) (commits []time.Duration, pushMean []time.Duration, err error) {
+		var listeners []net.Listener
+		defer func() {
+			for _, l := range listeners {
+				l.Close()
+			}
+		}()
+		var mirrors []netram.Mirror
+		var conns []*transport.TCP
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		for i := 0; i < nMirrors; i++ {
+			srv := memserver.New(memserver.WithLabel(fmt.Sprintf("tcp-%d", i)))
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			listeners = append(listeners, l)
+			go func() { _ = transport.Serve(l, srv) }()
+			tr, err := transport.DialTCP(l.Addr().String())
+			if err != nil {
+				return nil, nil, err
+			}
+			conns = append(conns, tr)
+			var tp transport.Transport = tr
+			if netDelay > 0 {
+				tp = &slowWrite{Transport: tr, delay: netDelay}
+			}
+			mirrors = append(mirrors, netram.Mirror{Name: fmt.Sprintf("tcp-%d", i), T: tp})
+		}
+		var opts []netram.Option
+		if serial {
+			opts = append(opts, netram.WithSerialFanout())
+		}
+		ram, err := netram.NewClient(mirrors, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer ram.Close()
+		lib, err := core.Init(ram, simclock.NewWall(), core.WithStoreGather())
+		if err != nil {
+			return nil, nil, err
+		}
+		db, err := lib.CreateDB("bank", 1<<20)
+		if err != nil {
+			return nil, nil, err
+		}
+		buf := db.Bytes()
+		cycle := func(k int) error {
+			tx, err := lib.BeginTx()
+			if err != nil {
+				return err
+			}
+			for r := 0; r < 4; r++ {
+				off := uint64(r) * (1 << 18)
+				if err := tx.SetRange(db, off, 4<<10); err != nil {
+					return err
+				}
+				buf[off] = byte(k)
+			}
+			start := time.Now()
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			commits = append(commits, time.Since(start))
+			return nil
+		}
+		for k := 0; k < 8; k++ { // warm connections, pools and slots
+			if err := cycle(k); err != nil {
+				return nil, nil, err
+			}
+		}
+		commits = commits[:0]
+		for k := 0; k < iters; k++ {
+			if err := cycle(k); err != nil {
+				return nil, nil, err
+			}
+		}
+		for i := range mirrors {
+			snap := ram.Metrics().MirrorPush[i].Snapshot()
+			pushMean = append(pushMean, time.Duration(snap.Mean()))
+		}
+		return commits, pushMean, lib.Close()
+	}
+
+	stats := func(ds []time.Duration) (mean, p99 time.Duration) {
+		if len(ds) == 0 {
+			return 0, 0
+		}
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, d := range sorted {
+			sum += d
+		}
+		return sum / time.Duration(len(sorted)), sorted[len(sorted)*99/100]
+	}
+
+	fmt.Fprintf(w, "Commit path over loopback TCP — %d mirrors, %d txs, %v modelled RTT per write, wall-clock\n", nMirrors, iters, netDelay)
+	fmt.Fprintf(w, "%12s %14s %14s   %s\n", "fan-out", "commit mean", "commit p99", "per-mirror push mean")
+	var means [2]time.Duration
+	for i, mode := range []string{"serial", "parallel"} {
+		commits, pushMean, err := measure(mode == "serial")
+		if err != nil {
+			return err
+		}
+		mean, p99 := stats(commits)
+		means[i] = mean
+		var per []string
+		for _, d := range pushMean {
+			per = append(per, d.Round(time.Microsecond).String())
+		}
+		fmt.Fprintf(w, "%12s %14s %14s   %s\n", mode,
+			mean.Round(time.Microsecond), p99.Round(time.Microsecond), strings.Join(per, " "))
+	}
+	fmt.Fprintf(w, "parallel/serial commit mean: %.2fx (sum across mirrors → max across mirrors; 1/%d = %.2fx is the data-push ideal)\n",
+		float64(means[1])/float64(means[0]), nMirrors, 1/float64(nMirrors))
+	return nil
+}
+
+// fanoutResult is one row of the fanout microbenchmark, for -bench-out.
+type fanoutResult struct {
+	Mirrors int    `json:"mirrors"`
+	Mode    string `json:"mode"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// slowWrite wraps a transport, adding a fixed real-time delay to every
+// remote write — a stand-in for a LAN round trip, so the fan-out
+// speedup is visible on the wall clock even with in-process mirrors.
+type slowWrite struct {
+	transport.Transport
+	delay time.Duration
+}
+
+func (s *slowWrite) Write(seg uint32, offset uint64, data []byte) error {
+	time.Sleep(s.delay)
+	return s.Transport.Write(seg, offset, data)
+}
+
+func (s *slowWrite) WriteBatch(writes []transport.BatchWrite) error {
+	time.Sleep(s.delay)
+	if bw, ok := s.Transport.(transport.BatchWriter); ok {
+		return bw.WriteBatch(writes)
+	}
+	for _, wr := range writes {
+		if err := s.Transport.Write(wr.Seg, wr.Offset, wr.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFanout times Push over 1, 2 and 4 delayed mirrors, serial loop vs
+// parallel fan-out, on the wall clock. Named-only: its output is timing
+// of this host, not a reproduced figure.
+func runFanout(w io.Writer, txs int) error {
+	const delay = 200 * time.Microsecond
+	iters := txs / 10
+	if iters < 50 {
+		iters = 50
+	}
+	if iters > 300 {
+		iters = 300
+	}
+	fmt.Fprintf(w, "Mirror fan-out microbenchmark — %v per-write mirror delay, %d pushes of 4 KiB, wall-clock\n", delay, iters)
+	fmt.Fprintf(w, "%8s %14s %14s %10s\n", "mirrors", "serial/op", "parallel/op", "speedup")
+	var results []fanoutResult
+	for _, nm := range []int{1, 2, 4} {
+		perOp := map[string]time.Duration{}
+		for _, mode := range []string{"serial", "parallel"} {
+			var opts []netram.Option
+			if mode == "serial" {
+				opts = append(opts, netram.WithSerialFanout())
+			}
+			var mirrors []netram.Mirror
+			for i := 0; i < nm; i++ {
+				srv := memserver.New(memserver.WithLabel(fmt.Sprintf("m%d", i)))
+				tr, err := transport.NewInProc(srv, sci.DefaultParams(), simclock.NewWall())
+				if err != nil {
+					return err
+				}
+				mirrors = append(mirrors, netram.Mirror{
+					Name: srv.Label(), T: &slowWrite{Transport: tr, delay: delay},
+				})
+			}
+			c, err := netram.NewClient(mirrors, opts...)
+			if err != nil {
+				return err
+			}
+			reg, err := c.Malloc("bench", 64<<10)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 3; i++ { // warm workers and pools
+				if err := c.Push(reg, 0, 4096); err != nil {
+					return err
+				}
+			}
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := c.Push(reg, uint64(i%16)*4096, 4096); err != nil {
+					return err
+				}
+			}
+			perOp[mode] = time.Since(start) / time.Duration(iters)
+			results = append(results, fanoutResult{Mirrors: nm, Mode: mode, NsPerOp: perOp[mode].Nanoseconds()})
+			c.Close()
+		}
+		fmt.Fprintf(w, "%8d %14s %14s %9.2fx\n", nm,
+			perOp["serial"].Round(time.Microsecond), perOp["parallel"].Round(time.Microsecond),
+			float64(perOp["serial"])/float64(perOp["parallel"]))
+	}
+	benchResults = map[string]any{
+		"experiment":     "fanout",
+		"write_delay_ns": delay.Nanoseconds(),
+		"pushes":         iters,
+		"results":        results,
+	}
+	return nil
 }
 
 func runLatency(w io.Writer, txs int) error {

@@ -9,7 +9,8 @@
 //
 // With -mirrors, it probes a whole mirror set through the guardian's
 // failure detector and renders one health row per node — state, last
-// heartbeat, degradation count and rebuild bytes — exiting non-zero if
+// heartbeat, round-trip p99 over ~32 timed probes, degradation count
+// and rebuild bytes — exiting non-zero if
 // any mirror is unhealthy:
 //
 //	perseas-inspect -mirrors host1:7070,host2:7070,host3:7070
@@ -182,6 +183,7 @@ func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
 	}
 
 	var rows []guardian.MirrorHealth
+	p99 := make(map[int]time.Duration)
 	if len(ms) > 0 {
 		client, err := netram.NewClient(ms)
 		if err != nil {
@@ -200,6 +202,22 @@ func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
 		for i := range rows {
 			rows[i].LastBeat = now - rows[i].LastBeat // age, for display
 		}
+		// ~32 timed probes per live node feed its per-mirror push
+		// histogram, so the table can rank replicas by round-trip tail
+		// latency — the straggler a parallel fan-out would wait on.
+		m := client.Metrics()
+		for slot := range ms {
+			for k := 0; k < 32; k++ {
+				t0 := time.Now()
+				if err := client.ProbeMirror(slot); err != nil {
+					break
+				}
+				m.MirrorPush[slot].ObserveDuration(time.Since(t0))
+			}
+			if snap := m.MirrorPush[slot].Snapshot(); snap.Count > 0 {
+				p99[slot] = time.Duration(snap.Quantile(0.99))
+			}
+		}
 	}
 	for _, d := range unreachable {
 		rows = append(rows, guardian.MirrorHealth{
@@ -209,7 +227,7 @@ func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
 
 	fmt.Fprintln(out, "MIRRORS:")
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "SLOT\tMIRROR\tSTATE\tLAST-BEAT\tDEATHS\tREBUILT\tERROR")
+	fmt.Fprintln(w, "SLOT\tMIRROR\tSTATE\tLAST-BEAT\tRTT-P99\tDEATHS\tREBUILT\tERROR")
 	healthy := true
 	for i, row := range rows {
 		if row.State != guardian.Healthy {
@@ -227,8 +245,12 @@ func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
 		if a, ok := slotAddr[row.Slot]; ok && row.Slot < len(ms) {
 			addr = a
 		}
-		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%d\t%d B\t%s\n",
-			i, addr, row.State, beat, row.Deaths, row.RebuildBytes, errStr)
+		rtt := "-"
+		if d, ok := p99[row.Slot]; ok && row.Slot < len(ms) {
+			rtt = d.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%d\t%d B\t%s\n",
+			i, addr, row.State, beat, rtt, row.Deaths, row.RebuildBytes, errStr)
 	}
 	w.Flush()
 	if healthy {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+func BenchmarkCommitCycle(b *testing.B) {
+	clock := simclock.NewSim()
+	var mirrors []netram.Mirror
+	for i := 0; i < 2; i++ {
+		srv := memserver.New(memserver.WithLabel("node" + string(rune('A'+i))))
+		tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mirrors = append(mirrors, netram.Mirror{Name: srv.Label(), T: tr})
+	}
+	net, err := netram.NewClient(mirrors)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := Init(net, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := lib.CreateDB("accounts", 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := db.Bytes()
+	cycle := func() {
+		tx, err := lib.BeginTx()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.SetRange(db, 0, 64); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.SetRange(db, 4096, 128); err != nil {
+			b.Fatal(err)
+		}
+		buf[0]++
+		buf[4096]++
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}

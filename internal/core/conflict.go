@@ -54,11 +54,10 @@ func (c *conflictTable) releaseAll(tx uint64) {
 				kept = append(kept, cl)
 			}
 		}
-		if len(kept) == 0 {
-			delete(c.byDB, dbID)
-		} else {
-			c.byDB[dbID] = kept
-		}
+		// The emptied slice stays in the table: its retained capacity
+		// is what keeps the next transaction's claims allocation-free.
+		// releaseDB removes the entry when the database is dropped.
+		c.byDB[dbID] = kept
 	}
 }
 

@@ -157,6 +157,14 @@ type undoSlot struct {
 	// at the slot head with larger ids belong to an unfinished
 	// transaction. Guarded by Library.mu.
 	committed uint64
+	// tx is the slot's reusable transaction handle: BeginTx hands it
+	// out again once the previous transaction on this slot retired, so
+	// the steady state allocates no handle and keeps the range/scratch
+	// slices' capacity warm. A retired handle must not be used once a
+	// new transaction has begun on its slot (the usual Go rule for
+	// pooled objects); retired-handle misuse before that is still
+	// caught by the done flag.
+	tx *Tx
 }
 
 // Library is one PERSEAS instance. Unlike the paper's sequential
@@ -171,6 +179,11 @@ type Library struct {
 	undoSize     uint64
 	namespace    string
 	noRemoteUndo bool
+	// coalesce enables store-gather merging of a committing
+	// transaction's adjacent/overlapping ranges (see Tx.Commit). Off by
+	// default: merging reduces the modelled per-write packet overhead,
+	// so reproduced figures keep the paper's one-write-per-range cost.
+	coalesce bool
 
 	// mu guards every mutable field below plus Database.stale, Tx.done
 	// and undoSlot.busy/committed. Network pushes run outside mu; the
@@ -247,6 +260,17 @@ func WithTracer(rec *trace.Recorder) Option {
 // rolled back on the mirrors, so never enable it in real deployments.
 func WithUnsafeNoRemoteUndo() Option {
 	return func(l *Library) { l.noRemoteUndo = true }
+}
+
+// WithStoreGather merges adjacent or overlapping declared ranges at
+// commit time — the software analogue of the SCI adapter's 8×64 B
+// store-gathering — shrinking the wire range count for workloads that
+// touch consecutive rows (order-entry's order-line inserts). Off by
+// default so reproduced figures keep the paper's one-write-per-range
+// packet accounting; enable it over real transports, where fewer
+// larger writes are a strict win.
+func WithStoreGather() Option {
+	return func(l *Library) { l.coalesce = true }
 }
 
 // Init creates a PERSEAS instance over the given reliable-network-RAM

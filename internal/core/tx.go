@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/netram"
@@ -22,6 +23,10 @@ type Tx struct {
 	cursor uint64
 	ranges []pending
 	pushed []pending
+	// scratch is the commit path's reusable netram.Range buffer (one
+	// database's run at a time); capacity survives across the handle's
+	// reuses.
+	scratch []netram.Range
 	// done marks the handle retired (committed, aborted, or wiped out by
 	// a crash); guarded by l.mu.
 	done bool
@@ -58,7 +63,19 @@ func (l *Library) BeginTx() (*Tx, error) {
 		return nil, err
 	}
 	l.lastTxID++
-	t := &Tx{l: l, id: l.lastTxID, slot: slot}
+	t := slot.tx
+	if t == nil {
+		t = &Tx{}
+		slot.tx = t
+	}
+	// Reset the recycled handle in place; ranges/pushed/scratch keep
+	// their capacity, which is what makes the steady-state commit path
+	// allocation-free.
+	t.l, t.id, t.slot = l, l.lastTxID, slot
+	t.cursor = 0
+	t.ranges = t.ranges[:0]
+	t.pushed = t.pushed[:0]
+	t.done = false
 	slot.busy = true
 	l.txs[t] = struct{}{}
 	l.stats.Begun++
@@ -185,44 +202,76 @@ func (t *Tx) Commit() error {
 	prevWord := t.slot.committed
 	l.mu.Unlock()
 
-	// Ranges are grouped per database so each group travels in one
-	// batched exchange per mirror — one TCP round trip per table
-	// instead of one per range. The SCI model prices the batch exactly
-	// like individual stores, so the reproduced figures are unaffected.
-	type group struct {
-		db      *Database
-		ranges  []netram.Range
-		members []pending
-	}
-	var groups []group
-	index := make(map[*Database]int)
-	for _, r := range t.ranges {
-		gi, ok := index[r.db]
-		if !ok {
-			gi = len(groups)
-			index[r.db] = gi
-			groups = append(groups, group{db: r.db})
+	// Sort the pending ranges by (database, offset): sorting groups
+	// each database's ranges contiguously, so each database travels in
+	// one batched exchange per mirror (one TCP round trip per table
+	// instead of one per range), and primes the optional store-gather
+	// merge below. Push order across databases is commutative on the
+	// SCI model (virtual time is a sum of per-write costs), so
+	// reordering leaves reproduced figures untouched. The handle's own
+	// slices back everything; a warm commit allocates nothing.
+	slices.SortFunc(t.ranges, func(a, b pending) int {
+		if a.db != b.db {
+			if a.db.id < b.db.id {
+				return -1
+			}
+			return 1
 		}
-		groups[gi].ranges = append(groups[gi].ranges, netram.Range{Offset: r.offset, Length: r.length})
-		groups[gi].members = append(groups[gi].members, r)
+		switch {
+		case a.offset < b.offset:
+			return -1
+		case a.offset > b.offset:
+			return 1
+		default:
+			return 0
+		}
+	})
+	merged := t.ranges
+	if l.coalesce {
+		// Store-gather: collapse adjacent/overlapping ranges of the
+		// same database into one wire range, the way the SCI adapter's
+		// store-gathering collapses back-to-back stores into full
+		// 64-byte packets. In place on the sorted slice.
+		merged = t.ranges[:0]
+		for _, r := range t.ranges {
+			if n := len(merged); n > 0 {
+				last := &merged[n-1]
+				if last.db == r.db && r.offset <= last.offset+last.length {
+					if end := r.offset + r.length; end > last.offset+last.length {
+						last.length = end - last.offset
+					}
+					continue
+				}
+			}
+			merged = append(merged, r)
+		}
+		t.ranges = merged
 	}
 	cm := t.tt.Start(trace.LayerEngine, "commit")
 	phase := l.clock.Now()
 	total := phase
 	rp := t.tt.Start(trace.LayerCore, "range_push")
-	for _, g := range groups {
-		// Record the group as pushed BEFORE the attempt: PushMany can
+	for i := 0; i < len(merged); {
+		db := merged[i].db
+		j := i
+		scratch := t.scratch[:0]
+		for ; j < len(merged) && merged[j].db == db; j++ {
+			scratch = append(scratch, netram.Range{Offset: merged[j].offset, Length: merged[j].length})
+		}
+		t.scratch = scratch
+		// Record the run as pushed BEFORE the attempt: PushMany can
 		// fail after reaching a subset of the mirrors, and a range that
 		// reached even one mirror must be re-pushed by Abort or that
 		// mirror's database silently diverges from local.
-		t.pushed = append(t.pushed, g.members...)
-		if err := l.net.PushManyTraced(g.db.region, g.ranges, t.tt); err != nil {
+		t.pushed = append(t.pushed, merged[i:j]...)
+		if err := l.net.PushManyTraced(db.region, scratch, t.tt); err != nil {
 			rp.End()
 			cm.End()
 			return fmt.Errorf("perseas: push database ranges: %w", err)
 		}
+		i = j
 	}
-	rp.EndN(uint64(len(t.ranges)))
+	rp.EndN(uint64(len(merged)))
 	l.metrics.RangePush.ObserveDuration(l.clock.Now() - phase)
 
 	// The atomic commit point: publish the transaction id in this

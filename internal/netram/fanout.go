@@ -1,0 +1,319 @@
+// Parallel replication fan-out: Push and PushMany dispatch each
+// mirror's write to a long-lived per-mirror sender worker and join on a
+// completion latch, so the wall-clock cost of a commit over real
+// transports is the slowest mirror, not the sum of all of them — the
+// posted-write behaviour the paper gets for free from SCI
+// store-gathering. Retry and degradation classification run inside the
+// worker, so a flapping mirror's retry never delays a healthy one.
+//
+// On the simulated SCI clock nothing changes: SimClock.Advance is
+// additive and commutative, so the total virtual time charged by N
+// workers equals the sequential sum, and the dispatcher samples the
+// clock only before dispatch and after the join — reproduced figures
+// stay byte-identical.
+package netram
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/trace"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// wireSpan is one expanded (alignment-applied) wire range.
+type wireSpan struct {
+	lo, hi uint64
+}
+
+// fanoutJob is one mirror's share of a parallel push. The dispatcher
+// fills it under the topology read lock (so the Mirror value cannot be
+// swapped mid-flight), the slot's worker executes it, and the
+// dispatcher reads the results back after the join.
+type fanoutJob struct {
+	wg   *sync.WaitGroup
+	m    Mirror
+	slot int
+	seg  uint32
+
+	// Single-write form (spans == nil): push data at off.
+	off  uint64
+	data []byte
+	// Batch form: push local[s.lo:s.hi] for every span. writes is the
+	// job's persistent scratch for the transport.BatchWrite conversion.
+	spans  []wireSpan
+	local  []byte
+	writes []transport.BatchWrite
+
+	// Results, valid after wg.Done.
+	start, end time.Duration
+	retried    bool
+	err        error
+}
+
+// fanoutCall is the pooled per-dispatch state: the latch, one job per
+// mirror slot, and the scratch slices the serial paths use. Pooling it
+// keeps the steady-state commit path allocation-free.
+type fanoutCall struct {
+	wg     sync.WaitGroup
+	jobs   []fanoutJob
+	spans  []wireSpan
+	writes []transport.BatchWrite
+}
+
+func (c *Client) getCall() *fanoutCall {
+	call, _ := c.callPool.Get().(*fanoutCall)
+	if call == nil {
+		call = &fanoutCall{}
+	}
+	if len(call.jobs) < len(c.mirrors) {
+		call.jobs = make([]fanoutJob, len(c.mirrors))
+	}
+	return call
+}
+
+func (c *Client) putCall(call *fanoutCall) {
+	for i := range call.jobs {
+		j := &call.jobs[i]
+		j.data, j.local, j.spans = nil, nil, nil
+		for k := range j.writes {
+			j.writes[k] = transport.BatchWrite{}
+		}
+		j.err = nil
+	}
+	for k := range call.writes {
+		call.writes[k] = transport.BatchWrite{}
+	}
+	call.spans = call.spans[:0]
+	c.callPool.Put(call)
+}
+
+// startWorkers spawns one sender goroutine per mirror slot. Called at
+// most once, lazily, on the first dispatch that can actually go
+// parallel — single-mirror clients never pay for the goroutines.
+func (c *Client) startWorkers() {
+	c.senders = make([]chan *fanoutJob, len(c.mirrors))
+	for i := range c.senders {
+		ch := make(chan *fanoutJob, 4)
+		c.senders[i] = ch
+		go c.sender(ch)
+	}
+}
+
+// sender executes jobs for one mirror slot in arrival order; a single
+// worker per slot is what preserves per-mirror write ordering.
+func (c *Client) sender(ch chan *fanoutJob) {
+	for j := range ch {
+		c.runJob(j)
+		j.wg.Done()
+	}
+}
+
+// runJob performs one mirror write (single or batch) with the standard
+// retry-and-classify policy, timing it against the client clock.
+func (c *Client) runJob(j *fanoutJob) {
+	j.start = c.clock.Now()
+	if j.spans == nil {
+		j.retried, j.err = c.writeWithRetry(j.m, j.slot, j.seg, j.off, j.data)
+	} else {
+		j.retried, j.err = c.batchWithRetry(j.m, j.slot, j.seg, j.spans, j.local, &j.writes)
+	}
+	j.end = c.clock.Now()
+}
+
+// batchWithRetry pushes every span to one mirror — one batched exchange
+// when the transport supports it — applying the same failure
+// classification as writeWithRetry. The batch is atomic server-side, so
+// a replay after a transient failure is idempotent.
+func (c *Client) batchWithRetry(m Mirror, slot int, seg uint32, spans []wireSpan, local []byte, writes *[]transport.BatchWrite) (retried bool, err error) {
+	attempt := func() error {
+		if bw, ok := m.T.(transport.BatchWriter); ok {
+			ws := (*writes)[:0]
+			for _, s := range spans {
+				ws = append(ws, transport.BatchWrite{Seg: seg, Offset: s.lo, Data: local[s.lo:s.hi]})
+			}
+			*writes = ws
+			return bw.WriteBatch(ws)
+		}
+		for _, s := range spans {
+			if err := m.T.Write(seg, s.lo, local[s.lo:s.hi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err = attempt()
+	if err == nil {
+		return false, nil
+	}
+	if pingErr := m.T.Ping(); pingErr != nil {
+		c.markDown(slot)
+		return false, err
+	}
+	c.metrics.Retries.Inc()
+	if err2 := attempt(); err2 == nil {
+		return true, nil
+	}
+	return true, err
+}
+
+// pushMirrors propagates one wire payload (single range, or a span
+// batch) to every eligible mirror and aggregates the outcome with the
+// same semantics the sequential loop had: an error on a mirror that
+// still answers pings surfaces to the caller (lowest slot wins, for
+// determinism), a mirror whose ping fails too is degraded and skipped,
+// and zero successful mirrors is ErrAllMirrorsDown.
+//
+// Caller holds topoMu.RLock for the whole call, which is what lets the
+// jobs capture Mirror values and segment handles without copies being
+// swapped underneath, and what orders recordDirty after the join.
+func (c *Client) pushMirrors(r *Region, call *fanoutCall, off uint64, data []byte, spans []wireSpan, wireBytes uint64, tt *trace.TxTrace) (int, error) {
+	eligible := 0
+	for i := range c.mirrors {
+		if c.isDown(i) || r.handles[i].ID == 0 {
+			continue
+		}
+		eligible++
+	}
+	if eligible == 0 {
+		return 0, fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
+	}
+	if eligible == 1 || c.serialFanout || c.closed.Load() {
+		return c.pushSerial(r, call, off, data, spans, wireBytes, tt)
+	}
+	return c.pushParallel(r, call, off, data, spans, wireBytes, tt)
+}
+
+// pushSerial is the in-line path: the only eligible mirror (the common
+// single-replica configuration), or every mirror in slot order when
+// parallel dispatch is disabled. Matches the historical sequential
+// semantics exactly, including stopping at the first alive-mirror
+// error.
+func (c *Client) pushSerial(r *Region, call *fanoutCall, off uint64, data []byte, spans []wireSpan, wireBytes uint64, tt *trace.TxTrace) (int, error) {
+	pushed := 0
+	for i := range c.mirrors {
+		if c.isDown(i) || r.handles[i].ID == 0 {
+			continue
+		}
+		m := c.mirrors[i]
+		sp := tt.Start(trace.LayerNetram, m.Name)
+		start := c.clock.Now()
+		var retried bool
+		var err error
+		if spans == nil {
+			retried, err = c.writeWithRetry(m, i, r.handles[i].ID, off, data)
+		} else {
+			retried, err = c.batchWithRetry(m, i, r.handles[i].ID, spans, r.Local, &call.writes)
+		}
+		if retried {
+			tt.Event(trace.LayerNetram, "retry", uint64(i))
+		}
+		if err != nil {
+			sp.End()
+			if c.isDown(i) {
+				continue // node degraded; stay available via the others
+			}
+			if spans == nil {
+				return pushed, fmt.Errorf("netram: push to mirror %s: %w", m.Name, err)
+			}
+			return pushed, fmt.Errorf("netram: batch push to mirror %s: %w", m.Name, err)
+		}
+		c.metrics.MirrorPush[i].ObserveDuration(c.clock.Now() - start)
+		sp.EndN(wireBytes)
+		pushed++
+	}
+	if pushed == 0 {
+		return 0, fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
+	}
+	return pushed, nil
+}
+
+// pushParallel dispatches one job per eligible mirror to the sender
+// workers and joins on the latch. Per-mirror intervals are appended to
+// the trace after the join (TxTrace is goroutine-owned, so workers
+// never touch it) under a "fanout" umbrella span.
+func (c *Client) pushParallel(r *Region, call *fanoutCall, off uint64, data []byte, spans []wireSpan, wireBytes uint64, tt *trace.TxTrace) (int, error) {
+	c.workerOnce.Do(c.startWorkers)
+	fo := tt.Start(trace.LayerNetram, "fanout")
+	dispatched := call.jobs[:0]
+	for i := range c.mirrors {
+		if c.isDown(i) || r.handles[i].ID == 0 {
+			continue
+		}
+		j := &call.jobs[len(dispatched)]
+		dispatched = call.jobs[:len(dispatched)+1]
+		j.wg = &call.wg
+		j.m = c.mirrors[i]
+		j.slot = i
+		j.seg = r.handles[i].ID
+		j.off, j.data = off, data
+		j.spans, j.local = spans, nil
+		if spans != nil {
+			j.local = r.Local
+		}
+		call.wg.Add(1)
+		c.senders[i] <- j
+	}
+	call.wg.Wait()
+
+	pushed := 0
+	var firstErr error
+	var firstName string
+	var minEnd, maxEnd time.Duration
+	for k := range dispatched {
+		j := &dispatched[k]
+		if j.retried {
+			tt.Event(trace.LayerNetram, "retry", uint64(j.slot))
+		}
+		tt.Completed(trace.LayerNetram, j.m.Name, j.start, j.end-j.start, wireBytes)
+		if j.err != nil {
+			if !c.isDown(j.slot) && firstErr == nil {
+				firstErr = j.err
+				firstName = j.m.Name
+			}
+			continue
+		}
+		c.metrics.MirrorPush[j.slot].ObserveDuration(j.end - j.start)
+		if pushed == 0 || j.end < minEnd {
+			minEnd = j.end
+		}
+		if pushed == 0 || j.end > maxEnd {
+			maxEnd = j.end
+		}
+		pushed++
+	}
+	fo.EndN(wireBytes)
+	c.metrics.Fanouts.Inc()
+	if pushed > 1 {
+		// The straggler gap: how much longer the slowest mirror took
+		// than the fastest — the wall-clock win over a sequential
+		// fan-out is roughly the sum of these gaps.
+		c.straggler.Store(uint64(maxEnd - minEnd))
+	}
+	if firstErr != nil {
+		if spans == nil {
+			return pushed, fmt.Errorf("netram: push to mirror %s: %w", firstName, firstErr)
+		}
+		return pushed, fmt.Errorf("netram: batch push to mirror %s: %w", firstName, firstErr)
+	}
+	if pushed == 0 {
+		return 0, fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
+	}
+	return pushed, nil
+}
+
+// Close stops the sender workers. Call once the data path is quiescent
+// (no Push/PushMany in flight or following); a closed client degrades
+// to the serial path if pushed again, it does not panic.
+func (c *Client) Close() {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, ch := range c.senders {
+		close(ch)
+	}
+	c.senders = nil
+}

@@ -98,6 +98,13 @@ type Metrics struct {
 	// epochs).
 	Rebuilds     obs.Counter
 	RebuildBytes obs.Counter
+	// MirrorPush holds one latency histogram per mirror slot, so a
+	// slow replica is visible individually instead of hiding in the
+	// aggregate PushLatency.
+	MirrorPush []obs.Histogram
+	// Fanouts counts pushes dispatched through the parallel fan-out
+	// (two or more eligible mirrors, parallel path enabled).
+	Fanouts obs.Counter
 }
 
 // Client is a reliable-network-RAM client bound to a fixed mirror set.
@@ -147,6 +154,19 @@ type Client struct {
 	tracking atomic.Bool
 	dirtyMu  sync.Mutex
 	dirty    map[string][]Range
+
+	// Parallel fan-out state (fanout.go): one long-lived sender
+	// goroutine per mirror slot, started lazily on the first push that
+	// can go parallel; callPool recycles per-dispatch latches and
+	// scratch so the steady-state push path allocates nothing.
+	serialFanout bool
+	workerOnce   sync.Once
+	senders      []chan *fanoutJob
+	closed       atomic.Bool
+	callPool     sync.Pool
+	// straggler is the last observed fan-out spread: slowest minus
+	// fastest mirror completion, in clock nanoseconds.
+	straggler atomic.Uint64
 }
 
 // Option configures a Client.
@@ -175,6 +195,14 @@ func WithReadChunk(n uint64) Option {
 	}
 }
 
+// WithSerialFanout disables the parallel mirror fan-out: every push
+// writes its mirrors one after the other on the caller's goroutine, the
+// pre-parallelisation behaviour. Used by the fan-out benchmark's
+// baseline arm and available as an escape hatch.
+func WithSerialFanout() Option {
+	return func(c *Client) { c.serialFanout = true }
+}
+
 // NewClient builds a client replicating to the given mirrors.
 func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
 	if len(mirrors) == 0 {
@@ -193,6 +221,7 @@ func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
 		down:           make([]bool, len(mirrors)),
 		rebuildSlot:    -1,
 	}
+	c.metrics.MirrorPush = make([]obs.Histogram, len(mirrors))
 	for _, o := range opts {
 		o(c)
 	}
@@ -285,6 +314,14 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterGauge("perseas_netram_live_mirrors", "mirrors considered healthy", func() uint64 {
 		return uint64(c.Live())
 	})
+	reg.RegisterCounter("perseas_netram_fanouts_total", "pushes dispatched through the parallel mirror fan-out", &m.Fanouts)
+	reg.RegisterGauge("perseas_netram_fanout_straggler_ns", "last fan-out spread: slowest minus fastest mirror completion", c.straggler.Load)
+	for i := range m.MirrorPush {
+		reg.RegisterHistogram(
+			fmt.Sprintf("perseas_netram_mirror%d_push_latency_ns", i),
+			fmt.Sprintf("ns per push on mirror slot %d", i),
+			&m.MirrorPush[i])
+	}
 }
 
 // ResetStats zeroes the traffic counters and latency histograms.
@@ -296,6 +333,9 @@ func (c *Client) ResetStats() {
 	c.metrics.FetchedBytes.Reset()
 	c.metrics.PushLatency.Reset()
 	c.metrics.FetchLatency.Reset()
+	for i := range c.metrics.MirrorPush {
+		c.metrics.MirrorPush[i].Reset()
+	}
 }
 
 // Region is a mirrored memory region: a local buffer plus one remote
@@ -419,26 +459,11 @@ func (c *Client) PushTraced(r *Region, offset, n uint64, tt *trace.TxTrace) erro
 		// replica has it.
 		defer c.recordDirty(r.Name, lo, hi-lo)
 	}
-	pushed := 0
-	for i, m := range c.mirrors {
-		if c.isDown(i) || r.handles[i].ID == 0 {
-			// Mirror is dead or never mapped this region; skip it
-			// rather than poison every push.
-			continue
-		}
-		sp := tt.Start(trace.LayerNetram, m.Name)
-		if err := c.writeWithRetry(i, r.handles[i].ID, lo, data, tt); err != nil {
-			sp.End()
-			if c.isDown(i) {
-				continue // node degraded; stay available via the others
-			}
-			return fmt.Errorf("netram: push to mirror %s: %w", m.Name, err)
-		}
-		sp.EndN(uint64(len(data)))
-		pushed++
-	}
-	if pushed == 0 {
-		return fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
+	call := c.getCall()
+	defer c.putCall(call)
+	pushed, err := c.pushMirrors(r, call, lo, data, nil, uint64(len(data)), tt)
+	if err != nil {
+		return err
 	}
 	c.metrics.Pushes.Inc()
 	c.metrics.PushedBytes.Add(n)
@@ -451,24 +476,24 @@ func (c *Client) PushTraced(r *Region, offset, n uint64, tt *trace.TxTrace) erro
 // node is gone (its ping fails too) the mirror is degraded and the
 // write is reported as absorbed by degradation; if the node is alive the
 // failure may be a transient hiccup, so the write is retried once before
-// the error is surfaced to the caller.
-func (c *Client) writeWithRetry(i int, seg uint32, offset uint64, data []byte, tt *trace.TxTrace) error {
-	m := c.mirrors[i]
-	err := m.T.Write(seg, offset, data)
+// the error is surfaced to the caller. Runs on the caller's goroutine
+// for the serial path and inside a sender worker for the parallel one,
+// so it must not touch a TxTrace — it reports retried instead.
+func (c *Client) writeWithRetry(m Mirror, slot int, seg uint32, offset uint64, data []byte) (retried bool, err error) {
+	err = m.T.Write(seg, offset, data)
 	if err == nil {
-		return nil
+		return false, nil
 	}
 	if pingErr := m.T.Ping(); pingErr != nil {
-		c.markDown(i)
-		return err
+		c.markDown(slot)
+		return false, err
 	}
 	// The node answers pings: transient failure — one retry.
 	c.metrics.Retries.Inc()
-	tt.Event(trace.LayerNetram, "retry", uint64(i))
 	if retryErr := m.T.Write(seg, offset, data); retryErr == nil {
-		return nil
+		return true, nil
 	}
-	return err
+	return true, err
 }
 
 // PushAll propagates the entire region, used by InitRemoteDB.
@@ -502,12 +527,11 @@ func (c *Client) PushManyTraced(r *Region, ranges []Range, tt *trace.TxTrace) er
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
 	start := c.clock.Now()
+	call := c.getCall()
+	defer c.putCall(call)
 	// Materialise the expanded wire ranges once; per-mirror only the
-	// segment id differs.
-	type span struct {
-		lo, hi uint64
-	}
-	spans := make([]span, 0, len(ranges))
+	// segment id differs. The scratch slice rides on the pooled call.
+	spans := call.spans[:0]
 	var payload, wireBytes uint64
 	for _, rg := range ranges {
 		if rg.Length == 0 {
@@ -517,67 +541,26 @@ func (c *Client) PushManyTraced(r *Region, ranges []Range, tt *trace.TxTrace) er
 		if !c.alignDisabled && rg.Length >= uint64(c.alignThreshold) {
 			lo, hi = expandEdges(lo, hi, r.Size())
 		}
-		spans = append(spans, span{lo, hi})
+		spans = append(spans, wireSpan{lo, hi})
 		payload += rg.Length
 		wireBytes += hi - lo
 	}
+	call.spans = spans
 	if len(spans) == 0 {
 		return nil
 	}
 	if c.tracking.Load() {
 		// As in Push: record after the writes land, before the read
-		// lock drops.
+		// lock drops (and before the deferred putCall reclaims spans).
 		defer func() {
 			for _, s := range spans {
 				c.recordDirty(r.Name, s.lo, s.hi-s.lo)
 			}
 		}()
 	}
-
-	pushed := 0
-	for i, m := range c.mirrors {
-		if c.isDown(i) || r.handles[i].ID == 0 {
-			continue
-		}
-		attempt := func() error {
-			if bw, ok := m.T.(transport.BatchWriter); ok {
-				writes := make([]transport.BatchWrite, len(spans))
-				for j, s := range spans {
-					writes[j] = transport.BatchWrite{
-						Seg: r.handles[i].ID, Offset: s.lo, Data: r.Local[s.lo:s.hi],
-					}
-				}
-				return bw.WriteBatch(writes)
-			}
-			for _, s := range spans {
-				if err := m.T.Write(r.handles[i].ID, s.lo, r.Local[s.lo:s.hi]); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		sp := tt.Start(trace.LayerNetram, m.Name)
-		if err := attempt(); err != nil {
-			if pingErr := m.T.Ping(); pingErr != nil {
-				sp.End()
-				c.markDown(i)
-				continue
-			}
-			// The node answers pings: transient failure — retry the
-			// batch once (it is atomic server-side, so a replay is
-			// idempotent).
-			c.metrics.Retries.Inc()
-			tt.Event(trace.LayerNetram, "retry", uint64(i))
-			if err2 := attempt(); err2 != nil {
-				sp.End()
-				return fmt.Errorf("netram: batch push to mirror %s: %w", m.Name, err)
-			}
-		}
-		sp.EndN(wireBytes)
-		pushed++
-	}
-	if pushed == 0 {
-		return fmt.Errorf("netram: push %q: %w", r.Name, ErrAllMirrorsDown)
+	pushed, err := c.pushMirrors(r, call, 0, nil, spans, wireBytes, tt)
+	if err != nil {
+		return err
 	}
 	c.metrics.Pushes.Add(uint64(len(spans)))
 	c.metrics.PushedBytes.Add(payload)

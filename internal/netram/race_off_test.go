@@ -1,0 +1,8 @@
+//go:build !race
+
+package netram
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race because its instrumentation
+// allocates.
+const raceEnabled = false

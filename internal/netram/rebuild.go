@@ -15,6 +15,7 @@ package netram
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/ics-forth/perseas/internal/trace"
@@ -288,7 +289,7 @@ func (c *Client) drainBatch(m Mirror, built map[string]transport.SegmentHandle, 
 		if r == nil {
 			continue // freed meanwhile; phase 3 drops its segment
 		}
-		for _, rg := range mergeRanges(batch[name]) {
+		for _, rg := range Coalesce(batch[name]) {
 			gone, err := c.rebuildCopy(m, h, r, rg.Offset, rg.Length, skip, locked, copied, epoch, onProgress)
 			if err != nil {
 				return err
@@ -411,13 +412,26 @@ func exportOnReplacement(m Mirror, name string, size uint64) (transport.SegmentH
 	return m.T.Malloc(name, size)
 }
 
-// mergeRanges sorts and coalesces overlapping or adjacent ranges so a
-// hot region's many small dirty pushes drain as few large copies.
-func mergeRanges(rs []Range) []Range {
+// Coalesce sorts rs in place and merges overlapping or adjacent
+// ranges, returning the shortened prefix. The rebuild's catch-up
+// drain uses it so a hot region's many small dirty pushes land as few
+// large copies; the commit path uses the same idea (on its own range
+// representation) to emulate the SCI adapter's store-gathering.
+// Allocation-free: sorting is slices.SortFunc and merging reuses rs.
+func Coalesce(rs []Range) []Range {
 	if len(rs) <= 1 {
 		return rs
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Offset < rs[j].Offset })
+	slices.SortFunc(rs, func(a, b Range) int {
+		switch {
+		case a.Offset < b.Offset:
+			return -1
+		case a.Offset > b.Offset:
+			return 1
+		default:
+			return 0
+		}
+	})
 	out := rs[:1]
 	for _, r := range rs[1:] {
 		last := &out[len(out)-1]

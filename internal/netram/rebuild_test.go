@@ -318,7 +318,7 @@ func TestMergeRanges(t *testing.T) {
 		{[]Range{{50, 5}, {0, 10}}, []Range{{0, 10}, {50, 5}}},
 	}
 	for i, c := range cases {
-		got := mergeRanges(append([]Range(nil), c.in...))
+		got := Coalesce(append([]Range(nil), c.in...))
 		if fmt.Sprint(got) != fmt.Sprint(c.want) {
 			t.Errorf("case %d: merge(%v) = %v, want %v", i, c.in, got, c.want)
 		}

@@ -406,6 +406,25 @@ func (t *TxTrace) Start(layer Layer, name string) SpanRef {
 	return SpanRef{t: t, idx: int32(idx)}
 }
 
+// Completed appends an already-finished span under the innermost open
+// span. Used when work ran off-goroutine (a parallel mirror fan-out
+// worker timed itself) and its interval is reported back after the
+// join: the caller still owns the TxTrace, so appending here keeps the
+// no-locking contract while placing the interval correctly in the tree.
+func (t *TxTrace) Completed(layer Layer, name string, start, dur time.Duration, arg uint64) {
+	if t == nil {
+		return
+	}
+	parent := uint64(0)
+	if n := len(t.stack); n > 0 {
+		parent = uint64(t.stack[n-1]) + 1
+	}
+	t.spans = append(t.spans, Span{
+		Trace: t.trace, ID: uint64(len(t.spans)) + 1, Parent: parent,
+		Layer: layer, Name: name, Start: start, Dur: dur, Arg: arg,
+	})
+}
+
 // Event records an instant under the innermost open span.
 func (t *TxTrace) Event(layer Layer, name string, arg uint64) {
 	if t == nil {

@@ -121,13 +121,28 @@ func (t *InProc) WriteBatch(writes []BatchWrite) error {
 	if err := t.check(); err != nil {
 		return err
 	}
-	entries := make([]wire.BatchEntry, len(writes))
-	for i, w := range writes {
-		entries[i] = wire.BatchEntry{Seg: w.Seg, Offset: w.Offset, Data: w.Data}
+	ep, _ := batchEntryPool.Get().(*[]wire.BatchEntry)
+	if ep == nil {
+		ep = new([]wire.BatchEntry)
+	}
+	entries := (*ep)[:0]
+	for _, w := range writes {
+		entries = append(entries, wire.BatchEntry{Seg: w.Seg, Offset: w.Offset, Data: w.Data})
 		t.clock.Advance(t.card.StoreLatency(w.Offset, len(w.Data)) + t.hopDelay)
 	}
-	return t.server.WriteBatch(entries)
+	err := t.server.WriteBatch(entries)
+	for i := range entries {
+		entries[i] = wire.BatchEntry{} // drop payload refs before pooling
+	}
+	*ep = entries[:0]
+	batchEntryPool.Put(ep)
+	return err
 }
+
+// batchEntryPool recycles the wire.BatchEntry conversion buffers of
+// WriteBatch across all InProc transports, keeping the simulated
+// commit path allocation-free.
+var batchEntryPool sync.Pool
 
 // Read implements Transport.
 func (t *InProc) Read(seg uint32, offset uint64, n uint32) ([]byte, error) {

@@ -94,6 +94,10 @@ func (t *TCP) RegisterMetrics(reg *obs.Registry, prefix string) {
 }
 
 // queuedWrite is one caller's write set awaiting a combined exchange.
+// Instances are pooled: the writes scratch and the lead-batch scratch
+// keep their capacity across calls, so the steady-state write path
+// allocates nothing (the one-shot promoted/done channels are created
+// only when a caller actually queues behind a busy combiner).
 type queuedWrite struct {
 	writes []wire.BatchEntry
 	// batch is set at promotion time: the full batch this entry leads.
@@ -101,6 +105,32 @@ type queuedWrite struct {
 	err      error
 	promoted chan struct{}
 	done     chan struct{}
+}
+
+// queuedWritePool recycles queuedWrite carriers across Write/WriteBatch
+// calls on every TCP transport.
+var queuedWritePool sync.Pool
+
+func getQueuedWrite() *queuedWrite {
+	q, _ := queuedWritePool.Get().(*queuedWrite)
+	if q == nil {
+		q = &queuedWrite{}
+	}
+	return q
+}
+
+func putQueuedWrite(q *queuedWrite) {
+	for i := range q.writes {
+		q.writes[i] = wire.BatchEntry{} // drop payload refs before pooling
+	}
+	q.writes = q.writes[:0]
+	for i := range q.batch {
+		q.batch[i] = nil
+	}
+	q.batch = q.batch[:0]
+	q.err = nil
+	q.promoted, q.done = nil, nil
+	queuedWritePool.Put(q)
 }
 
 // DialTCP connects to a memory server at addr.
@@ -220,7 +250,11 @@ func (t *TCP) Free(seg uint32) error {
 
 // Write implements Transport.
 func (t *TCP) Write(seg uint32, offset uint64, data []byte) error {
-	return t.combine([]wire.BatchEntry{{Seg: seg, Offset: offset, Data: data}})
+	q := getQueuedWrite()
+	q.writes = append(q.writes, wire.BatchEntry{Seg: seg, Offset: offset, Data: data})
+	err := t.combine(q)
+	putQueuedWrite(q)
+	return err
 }
 
 // WriteBatch implements BatchWriter: all writes travel in one frame and
@@ -231,11 +265,13 @@ func (t *TCP) WriteBatch(writes []BatchWrite) error {
 	if len(writes) == 0 {
 		return nil
 	}
-	entries := make([]wire.BatchEntry, len(writes))
-	for i, w := range writes {
-		entries[i] = wire.BatchEntry{Seg: w.Seg, Offset: w.Offset, Data: w.Data}
+	q := getQueuedWrite()
+	for _, w := range writes {
+		q.writes = append(q.writes, wire.BatchEntry{Seg: w.Seg, Offset: w.Offset, Data: w.Data})
 	}
-	return t.combine(entries)
+	err := t.combine(q)
+	putQueuedWrite(q)
+	return err
 }
 
 // combine sends the caller's writes, coalescing them with writes from
@@ -244,13 +280,13 @@ func (t *TCP) WriteBatch(writes []BatchWrite) error {
 // is never delayed. Callers arriving while an exchange is in flight
 // queue up; when the exchange completes, the head of the queue is
 // promoted to lead the next one, carrying everyone queued behind it.
-func (t *TCP) combine(writes []wire.BatchEntry) error {
-	q := &queuedWrite{writes: writes}
+func (t *TCP) combine(q *queuedWrite) error {
 	t.wmu.Lock()
 	if !t.wbusy {
 		t.wbusy = true
 		t.wmu.Unlock()
-		return t.lead([]*queuedWrite{q}, q)
+		q.batch = append(q.batch, q)
+		return t.lead(q.batch, q)
 	}
 	q.promoted = make(chan struct{})
 	q.done = make(chan struct{})
@@ -276,7 +312,11 @@ func (t *TCP) lead(batch []*queuedWrite, self *queuedWrite) error {
 		_, err = t.call(&wire.Request{Op: wire.OpWrite, Seg: w.Seg, Offset: w.Offset, Data: w.Data})
 		sp.EndN(1)
 	} else {
-		var entries []wire.BatchEntry
+		ep, _ := batchEntryPool.Get().(*[]wire.BatchEntry)
+		if ep == nil {
+			ep = new([]wire.BatchEntry)
+		}
+		entries := (*ep)[:0]
 		for _, q := range batch {
 			entries = append(entries, q.writes...)
 		}
@@ -286,6 +326,11 @@ func (t *TCP) lead(batch []*queuedWrite, self *queuedWrite) error {
 		}
 		_, err = t.call(&wire.Request{Op: wire.OpWriteBatch, Batch: entries})
 		sp.EndN(uint64(len(entries)))
+		for i := range entries {
+			entries[i] = wire.BatchEntry{} // drop payload refs before pooling
+		}
+		*ep = entries[:0]
+		batchEntryPool.Put(ep)
 	}
 	for _, q := range batch {
 		if q != self {

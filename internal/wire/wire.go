@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Op identifies a request type.
@@ -249,13 +250,18 @@ func (r *reader) bytes() []byte {
 
 // EncodeRequest serialises a request body (without the frame length).
 func EncodeRequest(req *Request) ([]byte, error) {
+	return appendRequest(make([]byte, 0, 32+len(req.Name)+len(req.Data)), req)
+}
+
+// appendRequest serialises a request body onto b (which may carry
+// reusable capacity) and returns the extended slice.
+func appendRequest(b []byte, req *Request) ([]byte, error) {
 	if len(req.Name) > MaxName {
 		return nil, ErrNameTooLong
 	}
 	if len(req.Data) > math.MaxUint32 {
 		return nil, ErrFrameTooLarge
 	}
-	b := make([]byte, 0, 32+len(req.Name)+len(req.Data))
 	b = append(b, byte(req.Op))
 	b = appendU32(b, req.Seg)
 	b = appendU64(b, req.Offset)
@@ -312,10 +318,15 @@ func DecodeRequest(body []byte) (*Request, error) {
 
 // EncodeResponse serialises a response body (without the frame length).
 func EncodeResponse(resp *Response) ([]byte, error) {
+	return appendResponse(make([]byte, 0, 64+len(resp.Data)), resp)
+}
+
+// appendResponse serialises a response body onto b (which may carry
+// reusable capacity) and returns the extended slice.
+func appendResponse(b []byte, resp *Response) ([]byte, error) {
 	if len(resp.Data) > math.MaxUint32 {
 		return nil, ErrFrameTooLarge
 	}
-	b := make([]byte, 0, 64+len(resp.Data))
 	b = append(b, byte(resp.Status))
 	b = appendU32(b, resp.Seg)
 	b = appendU64(b, resp.Size)
@@ -424,13 +435,43 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return body, nil
 }
 
+// encBufPool recycles encode buffers across SendRequest/SendResponse
+// calls so a steady stream of small frames (the commit path's writes
+// and their acks) allocates nothing. Buffers that grew past
+// maxPooledBuf — bulk rebuild copies, multi-megabyte reads — are
+// dropped instead of pinned in the pool.
+var encBufPool sync.Pool
+
+const maxPooledBuf = 1 << 20
+
+func getEncBuf() *[]byte {
+	bp, _ := encBufPool.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	return bp
+}
+
+func putEncBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	encBufPool.Put(bp)
+}
+
 // SendRequest frames and writes a request.
 func SendRequest(w io.Writer, req *Request) error {
-	body, err := EncodeRequest(req)
+	bp := getEncBuf()
+	body, err := appendRequest((*bp)[:0], req)
 	if err != nil {
+		putEncBuf(bp)
 		return err
 	}
-	return WriteFrame(w, body)
+	*bp = body
+	err = WriteFrame(w, body)
+	putEncBuf(bp)
+	return err
 }
 
 // RecvRequest reads and parses one request.
@@ -444,11 +485,16 @@ func RecvRequest(r io.Reader) (*Request, error) {
 
 // SendResponse frames and writes a response.
 func SendResponse(w io.Writer, resp *Response) error {
-	body, err := EncodeResponse(resp)
+	bp := getEncBuf()
+	body, err := appendResponse((*bp)[:0], resp)
 	if err != nil {
+		putEncBuf(bp)
 		return err
 	}
-	return WriteFrame(w, body)
+	*bp = body
+	err = WriteFrame(w, body)
+	putEncBuf(bp)
+	return err
 }
 
 // RecvResponse reads and parses one response.
