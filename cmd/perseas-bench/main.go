@@ -18,6 +18,12 @@
 // of -experiment all predate the observability layer and stay
 // byte-identical.
 //
+// -experiment shard sweeps the -shards counts (default 1,2,4) and
+// reports aggregate single-shard-transaction throughput as the region
+// namespace partitions across router shards, each with its own
+// serialised mirror link. Named-only, wall-clock; -bench-out captures
+// the rows as JSON.
+//
 // -trace-out FILE additionally records every transaction of the run as
 // a span tree and writes Chrome/Perfetto trace-event JSON at the end
 // (open at ui.perfetto.dev). The recorder only reads the simulated
@@ -34,6 +40,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/ics-forth/perseas/internal/bench"
@@ -45,6 +52,7 @@ import (
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/rig"
+	"github.com/ics-forth/perseas/internal/router"
 	"github.com/ics-forth/perseas/internal/sci"
 	"github.com/ics-forth/perseas/internal/simclock"
 	"github.com/ics-forth/perseas/internal/trace"
@@ -59,7 +67,7 @@ var tracer *trace.Recorder
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig5, fig6, table1, compare, dbsize, ablate, commitpath, fanout, all (commitpath and fanout are excluded from all; name them explicitly)")
+		"which experiment to run: fig5, fig6, table1, compare, dbsize, ablate, commitpath, fanout, shard, all (commitpath, fanout and shard are excluded from all; name them explicitly)")
 	txs := flag.Int("txs", 2000, "transactions per measurement")
 	traceOut := flag.String("trace-out", "",
 		"write per-transaction spans as Chrome/Perfetto trace-event JSON to this file at the end of the run")
@@ -73,6 +81,8 @@ func main() {
 		"write machine-readable results of the fanout experiment as JSON to this file")
 	flag.DurationVar(&netDelay, "net-delay", 200*time.Microsecond,
 		"with -tcp: extra per-write delay modelling LAN round-trip time on top of loopback (0 = raw loopback)")
+	flag.StringVar(&shardCSV, "shards", "1,2,4",
+		"with -experiment shard: comma-separated shard counts to sweep")
 	flag.Parse()
 
 	if *traceOut != "" {
@@ -124,7 +134,13 @@ var (
 	tcpCommitPath bool
 	benchOutPath  string
 	netDelay      time.Duration
+	shardCSV      = "1,2,4"
 )
+
+// routerSingle forces the shard router even for single-shard labs. Only
+// the byte-identity regression test sets it: the single-shard router is
+// a pass-through, so every figure must render identically either way.
+var routerSingle bool
 
 // benchResults holds whatever machine-readable payload the named
 // experiment produced, for -bench-out.
@@ -152,6 +168,7 @@ func defaultConfig() rig.Config {
 	cfg := rig.DefaultConfig()
 	cfg.Tracer = tracer
 	cfg.Mirrors = mirrorsN
+	cfg.RouterSingle = routerSingle
 	return cfg
 }
 
@@ -187,7 +204,7 @@ func run(w io.Writer, experiment string, txs int) error {
 	// commitpath and fanout are addressable by name only — adding them
 	// to the all slice would change the reference -experiment all
 	// output.
-	named := append(all, exp{"commitpath", runCommitPath}, exp{"fanout", runFanout})
+	named := append(all, exp{"commitpath", runCommitPath}, exp{"fanout", runFanout}, exp{"shard", runShard})
 	for _, e := range named {
 		if e.name == experiment {
 			return e.fn(w, txs)
@@ -693,6 +710,214 @@ func runFanout(w io.Writer, txs int) error {
 		"results":        results,
 	}
 	return nil
+}
+
+// slowPipe wraps a transport with a mutex-serialised fixed service time
+// per remote write: a model of one mirror link that handles one write at
+// a time. Concurrent committers on the same shard queue behind its pipe;
+// committers on different shards proceed on independent pipes — which is
+// exactly the capacity argument for sharding, made measurable on the
+// wall clock.
+type slowPipe struct {
+	transport.Transport
+	delay time.Duration
+	mu    sync.Mutex
+}
+
+func (s *slowPipe) Write(seg uint32, offset uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(s.delay)
+	return s.Transport.Write(seg, offset, data)
+}
+
+func (s *slowPipe) WriteBatch(writes []transport.BatchWrite) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(s.delay)
+	if bw, ok := s.Transport.(transport.BatchWriter); ok {
+		return bw.WriteBatch(writes)
+	}
+	for _, wr := range writes {
+		if err := s.Transport.Write(wr.Seg, wr.Offset, wr.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardResult is one row of the shard scaling experiment, for -bench-out.
+type shardResult struct {
+	Shards       int     `json:"shards"`
+	Workers      int     `json:"workers"`
+	Txs          int     `json:"txs"`
+	AggregateTPS float64 `json:"aggregate_tps"`
+	SpeedupVs1   float64 `json:"speedup_vs_1"`
+}
+
+// runShard measures aggregate single-shard-transaction throughput as the
+// region namespace partitions across more router shards. Each shard owns
+// one mirror behind a serialised slow pipe; with one shard every worker
+// queues behind the same link, with N shards the load spreads over N
+// independent links. Named-only: the numbers are wall-clock timing of
+// this host, not a reproduced figure.
+func runShard(w io.Writer, txs int) error {
+	counts, err := parseShardCounts(shardCSV)
+	if err != nil {
+		return err
+	}
+	const (
+		delay   = 100 * time.Microsecond
+		workers = 8
+	)
+	perWorker := txs / workers
+	if perWorker < 10 {
+		perWorker = 10
+	}
+	if perWorker > 250 {
+		perWorker = 250
+	}
+	fmt.Fprintf(w, "Shard scaling — %d workers, %d single-shard txs each, %v serialised link delay per write, wall-clock\n",
+		workers, perWorker, delay)
+	fmt.Fprintf(w, "%8s %14s %10s\n", "shards", "aggregate tps", "speedup")
+	var results []shardResult
+	var baseTPS float64
+	for _, nShards := range counts {
+		tps, err := runShardOnce(nShards, workers, perWorker, delay)
+		if err != nil {
+			return err
+		}
+		if baseTPS == 0 {
+			baseTPS = tps
+		}
+		speedup := tps / baseTPS
+		results = append(results, shardResult{
+			Shards: nShards, Workers: workers, Txs: workers * perWorker,
+			AggregateTPS: math.Round(tps), SpeedupVs1: math.Round(speedup*100) / 100,
+		})
+		fmt.Fprintf(w, "%8d %14.0f %9.2fx\n", nShards, tps, speedup)
+	}
+	benchResults = map[string]any{
+		"experiment":     "shard",
+		"write_delay_ns": delay.Nanoseconds(),
+		"results":        results,
+	}
+	return nil
+}
+
+// parseShardCounts parses the -shards CSV.
+func parseShardCounts(csv string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("-shards: bad shard count %q", f)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-shards: no shard counts in %q", csv)
+	}
+	return counts, nil
+}
+
+// runShardOnce builds an nShards router over slow-piped mirrors and
+// drives it with workers concurrent committers, each touching only its
+// own database, spread evenly across the shards.
+func runShardOnce(nShards, workers, perWorker int, delay time.Duration) (tps float64, err error) {
+	clock := simclock.NewWall()
+	var libs []*core.Library
+	for s := 0; s < nShards; s++ {
+		srv := memserver.New(memserver.WithLabel(fmt.Sprintf("shard%d-remote-0", s)))
+		tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+		if err != nil {
+			return 0, err
+		}
+		ram, err := netram.NewClient([]netram.Mirror{
+			{Name: srv.Label(), T: &slowPipe{Transport: tr, delay: delay}},
+		})
+		if err != nil {
+			return 0, err
+		}
+		lib, err := core.Init(ram, clock)
+		if err != nil {
+			return 0, err
+		}
+		libs = append(libs, lib)
+	}
+	r, err := router.New(libs)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+
+	// One database per worker, placed round-robin across the shards by
+	// picking names whose hash lands on the wanted shard.
+	dbs := make([]engine.DB, workers)
+	for w := 0; w < workers; w++ {
+		want := w % nShards
+		var name string
+		for i := 0; ; i++ {
+			name = fmt.Sprintf("acct-%d-%d", w, i)
+			if r.ShardFor(name) == want {
+				break
+			}
+		}
+		db, err := r.CreateDB(name, 1<<20)
+		if err != nil {
+			return 0, err
+		}
+		if err := r.InitDB(db); err != nil {
+			return 0, err
+		}
+		dbs[w] = db
+	}
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			db := dbs[w]
+			buf := db.Bytes()
+			for k := 0; k < perWorker; k++ {
+				tx, err := r.Begin()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				// Four 64-byte account updates per transaction, like the
+				// debit-credit records.
+				for rg := 0; rg < 4; rg++ {
+					off := uint64(rg)*(256<<10) + uint64(k%64)*64
+					if err := tx.SetRange(db, off, 64); err != nil {
+						errs[w] = err
+						_ = tx.Abort()
+						return
+					}
+					buf[off] = byte(k)
+				}
+				if err := tx.Commit(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(workers*perWorker) / elapsed.Seconds(), nil
 }
 
 func runLatency(w io.Writer, txs int) error {

@@ -109,6 +109,61 @@ func TestTracingKeepsOutputByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSingleShardOutputByteIdentical pins the acceptance criterion of
+// the shard router: at one shard the router is a pure pass-through —
+// same mirrors, same labels, same commit path — so routing every figure
+// experiment through it must not move a byte of output.
+func TestSingleShardOutputByteIdentical(t *testing.T) {
+	defer func() { routerSingle = false }()
+	for _, experiment := range []string{"fig5", "fig6", "table1", "compare"} {
+		t.Run(experiment, func(t *testing.T) {
+			routerSingle = false
+			var base strings.Builder
+			if err := run(&base, experiment, 60); err != nil {
+				t.Fatal(err)
+			}
+			routerSingle = true
+			var routed strings.Builder
+			if err := run(&routed, experiment, 60); err != nil {
+				t.Fatal(err)
+			}
+			if routed.String() != base.String() {
+				t.Errorf("output of %s changed behind a single-shard router", experiment)
+			}
+		})
+	}
+}
+
+// TestRunShardExperiment smokes the shard scaling sweep: both counts
+// must complete, produce machine-readable rows, and the second shard
+// must buy real aggregate throughput (the full ≥1.6x criterion is
+// recorded by BENCH_shard.json; the tripwire here is looser so a loaded
+// CI host cannot flake it).
+func TestRunShardExperiment(t *testing.T) {
+	oldCSV, oldResults := shardCSV, benchResults
+	defer func() { shardCSV, benchResults = oldCSV, oldResults }()
+	shardCSV = "1,2"
+	var sb strings.Builder
+	if err := run(&sb, "shard", 160); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Shard scaling") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	payload, ok := benchResults.(map[string]any)
+	if !ok {
+		t.Fatalf("benchResults = %T, want map", benchResults)
+	}
+	rows, ok := payload["results"].([]shardResult)
+	if !ok || len(rows) != 2 {
+		t.Fatalf("results = %#v, want 2 rows", payload["results"])
+	}
+	if rows[1].SpeedupVs1 < 1.3 {
+		t.Errorf("2-shard speedup = %.2fx, want at least 1.3x", rows[1].SpeedupVs1)
+	}
+}
+
 func TestWriteTraceFile(t *testing.T) {
 	defer func() { tracer = nil }()
 	tracer = trace.NewRecorder()

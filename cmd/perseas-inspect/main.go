@@ -15,6 +15,15 @@
 //
 //	perseas-inspect -mirrors host1:7070,host2:7070,host3:7070
 //
+// With -shards, it examines a partitioned deployment — shard mirror
+// groups separated by semicolons — and renders one health/topology row
+// per shard: mirror liveness, exported regions and bytes, database
+// count, in-flight transactions (conflict-table occupancy) and the
+// shard's commit word, exiting non-zero unless every shard has its full
+// mirror set healthy:
+//
+//	perseas-inspect -shards "h1:7070,h2:7070;h3:7070,h4:7070"
+//
 // With -traces, it reads a Chrome/Perfetto trace-event file written by
 // perseas-stress -trace-out or perseas-bench -trace-out and renders the
 // slowest-transactions report without needing a browser:
@@ -45,6 +54,7 @@ func main() {
 	server := flag.String("server", "127.0.0.1:7070", "memory server address")
 	diff := flag.String("diff", "", "second server to audit against (compare named segments byte-for-byte)")
 	mirrors := flag.String("mirrors", "", "comma-separated mirror set to health-check (renders a MIRRORS section)")
+	shards := flag.String("shards", "", "semicolon-separated shard mirror groups to health-check (renders a SHARDS section)")
 	traces := flag.String("traces", "", "trace-event JSON file (from -trace-out) to render as a slowest-transactions report")
 	topK := flag.Int("top", 10, "how many transactions the -traces report ranks")
 	flag.Parse()
@@ -52,6 +62,17 @@ func main() {
 	if *traces != "" {
 		if err := renderTraces(os.Stdout, *traces, *topK); err != nil {
 			log.Fatalf("perseas-inspect: %v", err)
+		}
+		return
+	}
+
+	if *shards != "" {
+		healthy, err := renderShards(os.Stdout, *shards)
+		if err != nil {
+			log.Fatalf("perseas-inspect: %v", err)
+		}
+		if !healthy {
+			os.Exit(2)
 		}
 		return
 	}

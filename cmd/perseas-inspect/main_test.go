@@ -7,7 +7,10 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/ics-forth/perseas/internal/core"
 	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/simclock"
 	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 )
@@ -195,6 +198,134 @@ func TestRenderMirrorsNoAddresses(t *testing.T) {
 	var sb strings.Builder
 	if _, err := renderMirrors(&sb, " , "); err == nil {
 		t.Error("empty -mirrors accepted")
+	}
+}
+
+// startShard boots one complete PERSEAS instance on nMirrors loopback
+// servers and returns its mirror addresses plus the live library.
+func startShard(t *testing.T, nMirrors int) ([]string, *core.Library, []net.Listener) {
+	t.Helper()
+	var addrs []string
+	var mirrors []netram.Mirror
+	var listeners []net.Listener
+	for i := 0; i < nMirrors; i++ {
+		srv := memserver.New()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = transport.Serve(l, srv) }()
+		t.Cleanup(func() { l.Close() })
+		listeners = append(listeners, l)
+		tr, err := transport.DialTCP(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		addrs = append(addrs, l.Addr().String())
+		mirrors = append(mirrors, netram.Mirror{Name: l.Addr().String(), T: tr})
+	}
+	ram, err := netram.NewClient(mirrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := core.Init(ram, simclock.NewWall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addrs, lib, listeners
+}
+
+func TestRenderShardsHealthy(t *testing.T) {
+	addrs0, lib0, _ := startShard(t, 2)
+	addrs1, lib1, _ := startShard(t, 2)
+
+	// Shard 0 carries two databases and one in-flight transaction (its
+	// undo record is on the wire, its commit word is not): the table must
+	// show it as conflict-table occupancy.
+	for _, name := range []string{"users", "orders"} {
+		if _, err := lib0.CreateDB(name, 8192); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := lib0.OpenDB("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := lib0.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(db, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tx.Abort() }()
+	if _, err := lib1.CreateDB("inventory", 4096); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := strings.Join(addrs0, ",") + ";" + strings.Join(addrs1, ",")
+	var sb strings.Builder
+	healthy, err := renderShards(&sb, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !healthy {
+		t.Errorf("fully live deployment reported unhealthy:\n%s", out)
+	}
+	for _, want := range []string{
+		"SHARDS:",
+		"SHARD", "MIRRORS", "LIVE", "INFLIGHT",
+		"2/2", "healthy",
+		"health: all 2 shards healthy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Shard 0: 2 databases, 1 in-flight transaction. Shard 1: 1 and 0.
+	var rows [][]string
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 9 && (f[0] == "0" || f[0] == "1") {
+			rows = append(rows, f)
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 shard rows, got %d:\n%s", len(rows), out)
+	}
+	if dbs, inflight := rows[0][6], rows[0][7]; dbs != "2" || inflight != "1" {
+		t.Errorf("shard 0 row dbs=%s inflight=%s, want 2 and 1:\n%s", dbs, inflight, out)
+	}
+	if dbs, inflight := rows[1][6], rows[1][7]; dbs != "1" || inflight != "0" {
+		t.Errorf("shard 1 row dbs=%s inflight=%s, want 1 and 0:\n%s", dbs, inflight, out)
+	}
+}
+
+func TestRenderShardsDegraded(t *testing.T) {
+	addrs0, _, listeners := startShard(t, 2)
+	addrs1, _, _ := startShard(t, 2)
+	listeners[1].Close()
+
+	spec := strings.Join(addrs0, ",") + ";" + strings.Join(addrs1, ",")
+	var sb strings.Builder
+	healthy, err := renderShards(&sb, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy {
+		t.Errorf("shard with a dead mirror reported healthy:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "DEGRADED") {
+		t.Errorf("output missing DEGRADED:\n%s", sb.String())
+	}
+}
+
+func TestRenderShardsNoAddresses(t *testing.T) {
+	var sb strings.Builder
+	if _, err := renderShards(&sb, " ; , "); err == nil {
+		t.Error("empty shard spec should fail")
 	}
 }
 

@@ -13,6 +13,14 @@
 // mirror dies:
 //
 //	perseas-server -listen :7070 -spares :7071,:7072
+//
+// With -shard, the node declares which shard of a partitioned
+// deployment it mirrors: the index is stamped into the default label
+// (shard2-:7070), the spare labels and the metrics, so a fleet of
+// servers racked for perseas-stress -shards or the router reads back
+// its own topology from diagnostics:
+//
+//	perseas-server -listen :7070 -shard 2
 package main
 
 import (
@@ -38,6 +46,7 @@ func main() {
 	label := flag.String("label", "", "node label used in diagnostics (default: listen address)")
 	spares := flag.String("spares", "", "comma-separated extra listen addresses exporting standby spare nodes")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090)")
+	shard := flag.Int("shard", -1, "shard index this node mirrors in a partitioned deployment (-1 = unsharded)")
 	flag.Parse()
 
 	capBytes, err := parseSize(*capacity)
@@ -45,7 +54,7 @@ func main() {
 		log.Fatalf("perseas-server: bad -capacity: %v", err)
 	}
 	if *label == "" {
-		*label = *listen
+		*label = defaultLabel(*listen, *shard)
 	}
 
 	srv := memserver.New(
@@ -59,9 +68,17 @@ func main() {
 	log.Printf("perseas-server: node %s exporting memory on %s (capacity %s)",
 		*label, l.Addr(), *capacity)
 
+	if *shard >= 0 {
+		log.Printf("perseas-server: node %s mirrors shard %d", *label, *shard)
+	}
+
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		registerServerMetrics(reg, srv)
+		if *shard >= 0 {
+			s := uint64(*shard)
+			reg.RegisterGauge("perseas_server_shard", "shard index this node mirrors", func() uint64 { return s })
+		}
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			log.Fatalf("perseas-server: metrics listener: %v", err)
@@ -99,6 +116,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// defaultLabel derives a node label from the listen address, prefixed
+// with the shard identity when the node is part of a partitioned
+// deployment — the same shard<i>- convention the sharded rigs use.
+func defaultLabel(listen string, shard int) string {
+	if shard < 0 {
+		return listen
+	}
+	return fmt.Sprintf("shard%d-%s", shard, listen)
 }
 
 // spawnSpares listens on each comma-separated address with its own

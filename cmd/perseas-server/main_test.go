@@ -119,3 +119,12 @@ func TestSpawnSparesEmpty(t *testing.T) {
 		t.Fatalf("empty -spares: %v %d", err, len(ls))
 	}
 }
+
+func TestDefaultLabel(t *testing.T) {
+	if got := defaultLabel(":7070", -1); got != ":7070" {
+		t.Errorf("unsharded label = %q, want :7070", got)
+	}
+	if got := defaultLabel(":7070", 2); got != "shard2-:7070" {
+		t.Errorf("sharded label = %q, want shard2-:7070", got)
+	}
+}

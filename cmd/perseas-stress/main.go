@@ -18,6 +18,13 @@
 // spare while transactions keep committing, and the run must end with
 // the replication factor restored and zero lost commits.
 //
+// With -shards N (N > 1), the run is self-contained and the namespace is
+// partitioned across N complete PERSEAS instances behind the shard
+// router, each with its own mirror set and — with -guardian — its own
+// guardian and spare; transactions spanning tables on different shards
+// take the coordinator-driven cross-shard commit, and the chaos kill
+// hits shard 0 while the other shards keep committing undisturbed.
+//
 // Every run ends with the commit-path latency breakdown (the paper's
 // Fig. 3 phases, p50/p95/p99) and the write combiner's batch-size
 // distribution. -stats-every 1s additionally dumps the latency table
@@ -60,6 +67,7 @@ type config struct {
 	guardian      bool
 	branches      int
 	workers       int
+	shards        int
 	statsEvery    time.Duration
 	metricsAddr   string
 	traceOut      string
@@ -77,6 +85,7 @@ func main() {
 	// serialising on a handful of branch rows.
 	flag.IntVar(&cfg.branches, "branches", 16, "debit-credit scale")
 	flag.IntVar(&cfg.workers, "workers", 1, "concurrent transaction workers")
+	flag.IntVar(&cfg.shards, "shards", 1, "partition the namespace across this many self-contained PERSEAS instances behind the shard router")
 	flag.DurationVar(&cfg.statsEvery, "stats-every", 0, "dump the commit-path latency table this often mid-run (0 = only at the end)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address for the run (e.g. :9090)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write per-transaction spans as Chrome/Perfetto trace-event JSON to this file at the end of the run")
@@ -117,6 +126,9 @@ type workerCounters struct {
 }
 
 func run(out io.Writer, cfg config) error {
+	if cfg.shards > 1 {
+		return runSharded(out, cfg)
+	}
 	if cfg.workers < 1 {
 		return fmt.Errorf("need at least 1 worker, got %d", cfg.workers)
 	}

@@ -133,6 +133,68 @@ func TestRunGuardianMode(t *testing.T) {
 	}
 }
 
+// TestRunShardedGuardianMode is the shard chaos smoke: two complete
+// PERSEAS instances behind the router, each watched by its own guardian;
+// shard 0 loses a mirror mid-run while cross-shard transactions keep
+// committing (at two shards the TPC-B tables split tellers/rest, so
+// every transaction spans both), and both shards must end with the
+// replication factor restored and the balance invariant intact.
+func TestRunShardedGuardianMode(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "shard-stress.trace.json")
+	var sb strings.Builder
+	cfg := config{
+		guardian: true,
+		shards:   2,
+		duration: 2 * time.Second,
+		branches: 1,
+		workers:  2,
+		traceOut: traceFile,
+	}
+	if err := run(&sb, cfg); err != nil {
+		t.Fatalf("sharded guardian run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"shard 0 mirrors:",
+		"shard 1 mirrors:",
+		"placement: shard 0 holds [tellers]",
+		"placement: shard 1 holds [accounts branches history]",
+		"CHAOS: killed mirror",
+		"GUARDIAN: mirror",
+		"-> rebuilding",
+		"shard 0 guardian:",
+		"shard 1 guardian:",
+		"replication factor restored (3/3 live)",
+		"cross-shard commits",
+		"consistency: balance invariant holds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "router: 0 single-shard commits, 0 cross-shard commits") {
+		t.Errorf("no transactions committed through the router:\n%s", out)
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if spans, err := trace.ReadChromeTrace(f); err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	} else if len(spans) == 0 {
+		t.Error("sharded run recorded no spans")
+	}
+}
+
+func TestRunShardedRejectsServers(t *testing.T) {
+	var sb strings.Builder
+	cfg := config{servers: "h1:7070", shards: 2, duration: time.Second, branches: 1, workers: 1}
+	if err := run(&sb, cfg); err == nil {
+		t.Error("-shards with -servers should fail")
+	}
+}
+
 func TestRunRejectsChaosPlusGuardian(t *testing.T) {
 	var sb strings.Builder
 	cfg := config{guardian: true, chaos: true, duration: time.Second, branches: 1, workers: 1}

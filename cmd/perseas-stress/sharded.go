@@ -1,0 +1,342 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/bench"
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/guardian"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/router"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// shardRig is one complete PERSEAS instance inside the sharded stress
+// run: its own loopback mirror set, netram client, library and (with
+// -guardian) guardian plus spare.
+type shardRig struct {
+	local []mirrorHandle
+	addrs []string
+	tcps  []*transport.TCP
+	ram   *netram.Client
+	lib   *core.Library
+	guard *guardian.Guardian
+}
+
+// runSharded is the -shards N (N > 1) mode: N self-contained PERSEAS
+// instances — each with its own mirrors, conflict table and optional
+// guardian — behind the shard router, driven by the same debit-credit
+// workload. The four TPC-B tables hash across the shards, so every
+// transaction that spans tables on different shards takes the
+// coordinator-driven cross-shard commit; with -guardian, shard 0 loses a
+// mirror mid-run and its guardian must restore the replication factor
+// while the other shards keep committing undisturbed.
+func runSharded(out io.Writer, cfg config) error {
+	if cfg.workers < 1 {
+		return fmt.Errorf("need at least 1 worker, got %d", cfg.workers)
+	}
+	if cfg.servers != "" {
+		return fmt.Errorf("-shards %d is self-contained only; drop -servers", cfg.shards)
+	}
+	if cfg.chaos && cfg.guardian {
+		return fmt.Errorf("-chaos and -guardian are mutually exclusive")
+	}
+	out = &syncWriter{w: out}
+	nLocal := 2
+	if cfg.guardian {
+		nLocal = 3
+	}
+
+	rec := trace.NewRecorder()
+	if cfg.traceOut != "" {
+		rec.Enable()
+		rec.SetSlowerThan(cfg.traceSlower)
+	}
+
+	rigs := make([]*shardRig, cfg.shards)
+	libs := make([]*core.Library, cfg.shards)
+	for s := range rigs {
+		rig := &shardRig{}
+		for i := 0; i < nLocal; i++ {
+			srv := memserver.New(memserver.WithLabel(fmt.Sprintf("shard%d-local-%d", s, i)))
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go func() { _ = transport.Serve(l, srv) }()
+			defer l.Close()
+			rig.local = append(rig.local, mirrorHandle{addr: l.Addr().String(), srv: srv, l: l})
+			rig.addrs = append(rig.addrs, l.Addr().String())
+		}
+		var mirrors []netram.Mirror
+		for _, addr := range rig.addrs {
+			tr, err := transport.DialTCP(addr)
+			if err != nil {
+				return fmt.Errorf("shard %d: dial %s: %w", s, addr, err)
+			}
+			defer tr.Close()
+			tr.SetTracer(rec)
+			mirrors = append(mirrors, netram.Mirror{Name: addr, T: tr})
+			rig.tcps = append(rig.tcps, tr)
+		}
+		ram, err := netram.NewClient(mirrors)
+		if err != nil {
+			return err
+		}
+		ram.SetTracer(rec)
+		rig.ram = ram
+		lib, err := core.Init(ram, simclock.NewWall(), core.WithTracer(rec))
+		if err != nil {
+			return err
+		}
+		rig.lib = lib
+		libs[s] = lib
+		fmt.Fprintf(out, "shard %d mirrors: %s\n", s, strings.Join(rig.addrs, ", "))
+
+		if cfg.guardian {
+			spareSrv := memserver.New(memserver.WithLabel(fmt.Sprintf("shard%d-spare-0", s)))
+			sl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go func() { _ = transport.Serve(sl, spareSrv) }()
+			defer sl.Close()
+			str, err := transport.DialTCP(sl.Addr().String())
+			if err != nil {
+				return fmt.Errorf("shard %d: dial spare %s: %w", s, sl.Addr(), err)
+			}
+			defer str.Close()
+			s := s
+			guard, err := guardian.New(ram, simclock.NewWall(), guardian.Config{
+				Interval: 50 * time.Millisecond,
+				Misses:   3,
+				Spares:   []netram.Mirror{{Name: "spare " + sl.Addr().String(), T: str}},
+				OnEvent: func(ev guardian.Event) {
+					fmt.Fprintf(out, "GUARDIAN: mirror %s: %s -> %s (shard %d)\n", ev.Mirror, ev.From, ev.To, s)
+				},
+			})
+			if err != nil {
+				return err
+			}
+			guard.SetTracer(rec)
+			rig.guard = guard
+			fmt.Fprintf(out, "guardian: watching shard %d's %d mirrors, spare at %s\n", s, nLocal, sl.Addr())
+			if err := guard.Start(); err != nil {
+				return err
+			}
+			defer guard.Stop()
+		}
+		rigs[s] = rig
+	}
+
+	r, err := router.New(libs)
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	r.RegisterMetrics(reg) // router counters + per-shard prefixed library series
+	rec.RegisterMetrics(reg)
+	for s, rig := range rigs {
+		for i, tr := range rig.tcps {
+			tr.RegisterMetrics(reg, fmt.Sprintf("perseas_tcp_shard%d_mirror%d", s, i))
+		}
+	}
+	if cfg.metricsAddr != "" {
+		ml, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ml.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		mux.Handle("/debug/traces", rec)
+		go func() { _ = (&http.Server{Handler: mux}).Serve(ml) }()
+		fmt.Fprintf(out, "metrics: http://%s/metrics (traces at /debug/traces)\n", ml.Addr())
+	}
+
+	w, err := bench.NewDebitCredit(cfg.branches, 1000)
+	if err != nil {
+		return err
+	}
+	if err := w.Setup(r); err != nil {
+		return err
+	}
+	byShard := make(map[int][]string)
+	for _, table := range []string{"accounts", "tellers", "branches", "history"} {
+		s := r.ShardFor(table)
+		byShard[s] = append(byShard[s], table)
+	}
+	for s := 0; s < cfg.shards; s++ {
+		fmt.Fprintf(out, "placement: shard %d holds [%s]\n", s, strings.Join(byShard[s], " "))
+	}
+	fmt.Fprintf(out, "database: %d bytes across 4 tables, %d shards x %d mirrors, %d workers\n",
+		w.DBBytes(), cfg.shards, nLocal, cfg.workers)
+
+	counters := make([]workerCounters, cfg.workers)
+	workerErrs := make([]error, cfg.workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	seed := time.Now().UnixNano()
+	start := time.Now()
+	for i := 0; i < cfg.workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			for !stop.Load() {
+				switch err := w.ConcurrentTx(r, rng); {
+				case err == nil:
+					counters[i].committed.Add(1)
+				case errors.Is(err, engine.ErrConflict):
+					counters[i].aborted.Add(1)
+					counters[i].conflicts.Add(1)
+					time.Sleep(time.Duration(50+rng.Intn(150)) * time.Microsecond)
+				default:
+					workerErrs[i] = fmt.Errorf(
+						"after %d transactions: %w", counters[i].committed.Load(), err)
+					return
+				}
+			}
+		}()
+	}
+
+	committedNow := func() uint64 {
+		var n uint64
+		for i := range counters {
+			n += counters[i].committed.Load()
+		}
+		return n
+	}
+	liveNow := func() int {
+		var n int
+		for _, rig := range rigs {
+			n += rig.ram.Live()
+		}
+		return n
+	}
+	lastReport := start
+	lastStats := start
+	var lastTotal uint64
+	chaosFired := false
+	for time.Since(start) < cfg.duration {
+		time.Sleep(50 * time.Millisecond)
+		if (cfg.chaos || cfg.guardian) && !chaosFired && time.Since(start) > cfg.duration/2 {
+			chaosFired = true
+			rigs[0].local[0].srv.Crash()
+			rigs[0].local[0].l.Close()
+			fmt.Fprintf(out, "CHAOS: killed mirror %s mid-run (shard 0)\n", rigs[0].local[0].addr)
+		}
+		if time.Since(lastReport) >= time.Second {
+			total := committedNow()
+			secs := time.Since(lastReport).Seconds()
+			fmt.Fprintf(out, "%8.1fs  %10.0f tx/s  (live mirrors: %d/%d)\n",
+				time.Since(start).Seconds(), float64(total-lastTotal)/secs, liveNow(), cfg.shards*nLocal)
+			lastTotal = total
+			lastReport = time.Now()
+		}
+		if cfg.statsEvery > 0 && time.Since(lastStats) >= cfg.statsEvery {
+			obs.WriteLatencyTable(out, "commit path", r.CommitLatencyRows())
+			lastStats = time.Now()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range workerErrs {
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+
+	var committed, aborted, conflicts uint64
+	for i := range counters {
+		c, a, cf := counters[i].committed.Load(), counters[i].aborted.Load(), counters[i].conflicts.Load()
+		fmt.Fprintf(out, "worker %2d: %8d committed  %6d aborted  %6d conflicts\n", i, c, a, cf)
+		committed += c
+		aborted += a
+		conflicts += cf
+	}
+	fmt.Fprintf(out, "total: %d committed, %d aborted (%d conflicts) in %v (%.0f tx/s over real TCP)\n",
+		committed, aborted, conflicts, elapsed.Round(time.Millisecond),
+		float64(committed)/elapsed.Seconds())
+	st := r.Stats()
+	fmt.Fprintf(out, "router: %d single-shard commits, %d cross-shard commits, %d cross-shard aborts\n",
+		st.SingleShardCommits, st.CrossShardCommits, st.CrossShardAborts)
+
+	obs.WriteLatencyTable(out, "commit path", r.CommitLatencyRows())
+	var batch obs.HistogramSnapshot
+	for _, rig := range rigs {
+		for _, tr := range rig.tcps {
+			batch = batch.Merge(tr.Metrics().BatchSize.Snapshot())
+		}
+	}
+	obs.WriteValueDistribution(out, "combiner batch size (writes/exchange)", batch)
+
+	if cfg.guardian {
+		for s, rig := range rigs {
+			deadline := time.Now().Add(30 * time.Second)
+			for rig.ram.Live() < nLocal {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("shard %d: guardian never restored the replication factor: %d/%d mirrors live",
+						s, rig.ram.Live(), nLocal)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			rig.guard.Stop()
+			fmt.Fprintf(out, "shard %d MIRRORS:\n", s)
+			for _, row := range rig.guard.Status() {
+				fmt.Fprintf(out, "  %d %-28s %-10s deaths=%d rebuilt=%d bytes\n",
+					row.Slot, row.Mirror, row.State, row.Deaths, row.RebuildBytes)
+			}
+			if mm, err := rig.ram.VerifyAll(); err != nil {
+				return fmt.Errorf("shard %d: post-rebuild verify: %w", s, err)
+			} else if len(mm) != 0 {
+				return fmt.Errorf("shard %d: post-rebuild verify: %d mirror divergences, first: %v", s, len(mm), mm[0])
+			}
+			m := rig.guard.Metrics()
+			fmt.Fprintf(out, "shard %d guardian: %d death(s) detected, %d rebuild(s), replication factor restored (%d/%d live)\n",
+				s, m.Deaths.Load(), m.Rebuilds.Load(), rig.ram.Live(), nLocal)
+		}
+	}
+
+	if cfg.traceOut != "" {
+		spans := rec.Snapshot()
+		f, err := os.Create(cfg.traceOut)
+		if err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		if err := trace.WriteChromeTrace(f, spans); err != nil {
+			f.Close()
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d span(s) written to %s (open at ui.perfetto.dev)\n",
+			len(spans), cfg.traceOut)
+		trace.WriteSlowestReport(out, spans, 5)
+	}
+
+	if err := w.CheckConsistency(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "consistency: balance invariant holds")
+	return nil
+}

@@ -44,6 +44,19 @@ func (c *conflictTable) claim(dbID uint32, off, n, tx uint64) error {
 	return nil
 }
 
+// overlaps reports whether any live claim on dbID intersects
+// [off,off+n), regardless of owner. The shard-migration snapshot uses it
+// to skip chunks with an undecided writer.
+func (c *conflictTable) overlaps(dbID uint32, off, n uint64) bool {
+	hi := off + n
+	for _, cl := range c.byDB[dbID] {
+		if cl.lo < hi && off < cl.hi {
+			return true
+		}
+	}
+	return false
+}
+
 // releaseAll drops every claim held by tx (called when the transaction
 // commits, aborts or is wiped out by a crash).
 func (c *conflictTable) releaseAll(tx uint64) {

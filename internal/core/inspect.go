@@ -1,0 +1,74 @@
+package core
+
+import "encoding/binary"
+
+// Exported read-only views of the on-wire metadata and undo-log formats,
+// for perseas-inspect: the tool talks to the memory servers directly
+// (the primary may be gone) and needs to decode what it reads without a
+// live Library.
+
+// MetaSegmentName returns the metadata region's remote segment name
+// under the given namespace ("" for the default).
+func MetaSegmentName(ns string) string { return qualifySegment(ns, metaRegionName) }
+
+// UndoSegmentName returns undo slot k's remote segment name.
+func UndoSegmentName(ns string, k int) string { return qualifySegment(ns, undoSlotName(k)) }
+
+// DBSegmentPrefix returns the prefix of database segment names.
+func DBSegmentPrefix(ns string) string { return qualifySegment(ns, dbRegionPrefix) }
+
+func qualifySegment(ns, name string) string {
+	if ns == "" {
+		return name
+	}
+	return ns + "/" + name
+}
+
+// MaxUndoSlots is the undo-slot cap, bounding an inspector's probe.
+const MaxUndoSlots = maxUndoSlots
+
+// DBInfo is one decoded directory row.
+type DBInfo struct {
+	ID   uint32
+	Name string
+	Size uint64
+}
+
+// MetaInfo is the decoded metadata region.
+type MetaInfo struct {
+	// Committed is slot 0's commit word (the paper's header word).
+	Committed uint64
+	// UndoSize is the per-slot undo-log capacity.
+	UndoSize uint64
+	DBs      []DBInfo
+}
+
+// InspectMeta decodes a metadata region image.
+func InspectMeta(buf []byte) (MetaInfo, error) {
+	committed, undoSize, _, entries, err := readDirectory(buf)
+	if err != nil {
+		return MetaInfo{}, err
+	}
+	info := MetaInfo{Committed: committed, UndoSize: undoSize}
+	for _, e := range entries {
+		info.DBs = append(info.DBs, DBInfo{ID: e.id, Name: e.name, Size: e.size})
+	}
+	return info, nil
+}
+
+// SlotCommitWord reads slot k's commit word from a metadata region image.
+func SlotCommitWord(meta []byte, k int) uint64 {
+	return binary.BigEndian.Uint64(meta[slotWordOffset(uint64(len(meta)), k):])
+}
+
+// UndoHeadTxID parses the record at the head of an undo-log image and
+// returns its transaction id. ok is false when the bytes do not form a
+// valid record (an empty or fully retired slot). An id above the slot's
+// commit word marks an in-flight transaction.
+func UndoHeadTxID(log []byte) (txID uint64, ok bool) {
+	rec, _, recOK := parseRecord(log, 0)
+	if !recOK {
+		return 0, false
+	}
+	return rec.txID, true
+}

@@ -35,14 +35,21 @@ func (l *Library) Metrics() *CommitMetrics { return &l.metrics }
 // RegisterMetrics registers the commit-path breakdown and the
 // network-RAM client's counters on reg.
 func (l *Library) RegisterMetrics(reg *obs.Registry) {
+	l.RegisterMetricsPrefixed(reg, "perseas")
+}
+
+// RegisterMetricsPrefixed registers the same series under a caller-chosen
+// name prefix, so several shard instances can share one registry without
+// colliding ("perseas_shard0_commit_total_ns", ...).
+func (l *Library) RegisterMetricsPrefixed(reg *obs.Registry, prefix string) {
 	m := &l.metrics
-	reg.RegisterHistogram("perseas_commit_local_copy_ns", "SetRange before-image local copy", &m.LocalCopy)
-	reg.RegisterHistogram("perseas_commit_undo_push_ns", "SetRange undo record remote push", &m.UndoPush)
-	reg.RegisterHistogram("perseas_commit_range_push_ns", "Commit database range push", &m.RangePush)
-	reg.RegisterHistogram("perseas_commit_word_push_ns", "commit word publish", &m.WordPush)
-	reg.RegisterHistogram("perseas_commit_total_ns", "whole successful Commit call", &m.CommitTotal)
-	reg.RegisterCounter("perseas_abort_mirror_repairs_total", "ranges re-pushed by Abort after a failed Commit", &m.Repairs)
-	l.net.RegisterMetrics(reg)
+	reg.RegisterHistogram(prefix+"_commit_local_copy_ns", "SetRange before-image local copy", &m.LocalCopy)
+	reg.RegisterHistogram(prefix+"_commit_undo_push_ns", "SetRange undo record remote push", &m.UndoPush)
+	reg.RegisterHistogram(prefix+"_commit_range_push_ns", "Commit database range push", &m.RangePush)
+	reg.RegisterHistogram(prefix+"_commit_word_push_ns", "commit word publish", &m.WordPush)
+	reg.RegisterHistogram(prefix+"_commit_total_ns", "whole successful Commit call", &m.CommitTotal)
+	reg.RegisterCounter(prefix+"_abort_mirror_repairs_total", "ranges re-pushed by Abort after a failed Commit", &m.Repairs)
+	l.net.RegisterMetricsPrefixed(reg, prefix+"_netram")
 }
 
 // CommitLatencyRows renders the commit-path breakdown as table rows

@@ -59,6 +59,19 @@ func (l *Library) lazyFetcher(region *netram.Region) func(uint64) error {
 // transactions hold disjoint ranges, so the rollback order across slots
 // does not matter.
 func (l *Library) Recover() error {
+	return l.RecoverWithDecisions(nil)
+}
+
+// RecoverWithDecisions is Recover plus a coordinator's verdicts: decided
+// maps an undo-slot index to a transaction id a cross-shard coordinator
+// recorded as committed. A decided id that outranks the slot's recovered
+// commit word means the commit-word push lost a race with the crash
+// after the decision became durable; recovery publishes the word itself
+// before the rollback scan, so the transaction's records count as
+// committed on this shard instead of being rolled back. Stale decisions
+// (id not above the recovered word) are no-ops, so replaying an old
+// decision record is always safe.
+func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.crashed {
@@ -96,6 +109,18 @@ func (l *Library) Recover() error {
 		word := committed0
 		if k > 0 {
 			word = binary.BigEndian.Uint64(meta.Local[slotWordOffset(meta.Size(), k):])
+		}
+		if d := decided[k]; d > word {
+			// The coordinator decided this slot's head transaction
+			// committed but the crash beat the word push. Publish the
+			// word now, before the rollback scan, so the scan treats the
+			// transaction's records as committed.
+			wordOff := slotWordOffset(meta.Size(), k)
+			binary.BigEndian.PutUint64(meta.Local[wordOff:], d)
+			if err := l.net.Push(meta, wordOff, 8); err != nil {
+				return fmt.Errorf("perseas: publish decided commit word: %w", err)
+			}
+			word = d
 		}
 		recovered = append(recovered, recoveredSlot{region: region, committed: word})
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"slices"
+	"time"
 
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/netram"
@@ -36,6 +37,13 @@ type Tx struct {
 	// goroutine, like cursor.
 	tt   *trace.TxTrace
 	root trace.SpanRef
+	// prepared marks a transaction whose ranges Prepare already pushed;
+	// CommitPrepared publishes its commit word. prevWord and prepStart
+	// carry the rollback word and the start time across the two halves.
+	// All three are owned by the driving goroutine.
+	prepared  bool
+	prevWord  uint64
+	prepStart time.Duration
 }
 
 // ID returns the transaction id (published at commit time).
@@ -76,6 +84,7 @@ func (l *Library) BeginTx() (*Tx, error) {
 	t.ranges = t.ranges[:0]
 	t.pushed = t.pushed[:0]
 	t.done = false
+	t.prepared = false
 	slot.busy = true
 	l.txs[t] = struct{}{}
 	l.stats.Begun++
@@ -202,6 +211,82 @@ func (t *Tx) Commit() error {
 	prevWord := t.slot.committed
 	l.mu.Unlock()
 
+	merged := t.mergeRanges()
+	cm := t.tt.Start(trace.LayerEngine, "commit")
+	total := l.clock.Now()
+	if err := t.pushRanges(cm, merged); err != nil {
+		return err
+	}
+	if err := t.publishWord(cm, prevWord); err != nil {
+		return err
+	}
+	l.metrics.CommitTotal.ObserveDuration(l.clock.Now() - total)
+	return t.retireCommitted()
+}
+
+// Prepare runs the first half of the two-phase form of Commit the shard
+// router uses for cross-shard transactions: every modified range is
+// pushed to this instance's mirrors (commit step 3), but the commit word
+// stays unpublished and the transaction stays open with its claims held.
+// A prepared transaction either finishes with CommitPrepared or rolls
+// back with Abort. If the node dies in between, the prepared state is
+// indistinguishable from a crash in the middle of an ordinary Commit, so
+// plain recovery rolls it back — unless a coordinator decision record
+// says otherwise (RecoverWithDecisions).
+func (t *Tx) Prepare() error {
+	l := t.l
+	l.mu.Lock()
+	if err := l.checkAliveLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if t.done {
+		l.mu.Unlock()
+		return engine.ErrNoTransaction
+	}
+	prevWord := t.slot.committed
+	l.mu.Unlock()
+
+	merged := t.mergeRanges()
+	pp := t.tt.Start(trace.LayerEngine, "prepare")
+	t.prepStart = l.clock.Now()
+	if err := t.pushRanges(pp, merged); err != nil {
+		return err
+	}
+	pp.EndN(uint64(len(merged)))
+	t.prevWord = prevWord
+	t.prepared = true
+	return nil
+}
+
+// CommitPrepared publishes the commit word of a transaction Prepare left
+// in the prepared state — the per-shard completion half of a cross-shard
+// commit. The word push is the same atomic commit point an ordinary
+// Commit uses; once it lands, this shard's part of the transaction
+// survives any crash.
+func (t *Tx) CommitPrepared() error {
+	l := t.l
+	if !t.prepared {
+		return fmt.Errorf("perseas: CommitPrepared on an unprepared transaction")
+	}
+	t.prepared = false
+	cm := t.tt.Start(trace.LayerEngine, "commit_prepared")
+	if err := t.publishWord(cm, t.prevWord); err != nil {
+		return err
+	}
+	l.metrics.CommitTotal.ObserveDuration(l.clock.Now() - t.prepStart)
+	return t.retireCommitted()
+}
+
+// Slot returns the undo-slot index this transaction logs into. A
+// cross-shard coordinator persists (shard, slot, id) triples in its
+// decision record so recovery can finish a decided commit slot by slot.
+func (t *Tx) Slot() int { return t.slot.idx }
+
+// mergeRanges orders (and optionally coalesces) the pending ranges for
+// the commit-path push.
+func (t *Tx) mergeRanges() []pending {
+	l := t.l
 	// Sort the pending ranges by (database, offset): sorting groups
 	// each database's ranges contiguously, so each database travels in
 	// one batched exchange per mirror (one TCP round trip per table
@@ -247,9 +332,16 @@ func (t *Tx) Commit() error {
 		}
 		t.ranges = merged
 	}
-	cm := t.tt.Start(trace.LayerEngine, "commit")
+	return merged
+}
+
+// pushRanges is commit step 3 (paper Fig. 3): the modified portions of
+// each database travel to its mirrors, one batched exchange per database
+// per mirror. parent is the enclosing "commit" or "prepare" span; it is
+// closed on failure so the trace tree stays balanced.
+func (t *Tx) pushRanges(parent trace.SpanRef, merged []pending) error {
+	l := t.l
 	phase := l.clock.Now()
-	total := phase
 	rp := t.tt.Start(trace.LayerCore, "range_push")
 	for i := 0; i < len(merged); {
 		db := merged[i].db
@@ -266,29 +358,34 @@ func (t *Tx) Commit() error {
 		t.pushed = append(t.pushed, merged[i:j]...)
 		if err := l.net.PushManyTraced(db.region, scratch, t.tt); err != nil {
 			rp.End()
-			cm.End()
+			parent.End()
 			return fmt.Errorf("perseas: push database ranges: %w", err)
 		}
 		i = j
 	}
 	rp.EndN(uint64(len(merged)))
 	l.metrics.RangePush.ObserveDuration(l.clock.Now() - phase)
+	return nil
+}
 
-	// The atomic commit point: publish the transaction id in this
-	// slot's commit word. Commit words of different slots are disjoint
-	// bytes of the metadata region, so concurrent committers share the
-	// read lock; only a directory rewrite (which pushes the whole
-	// region) excludes them.
+// publishWord is the atomic commit point: publish the transaction id in
+// this slot's commit word. Commit words of different slots are disjoint
+// bytes of the metadata region, so concurrent committers share the
+// read lock; only a directory rewrite (which pushes the whole region)
+// excludes them. parent is the enclosing "commit" or "commit_prepared"
+// span; publishWord closes it on every path.
+func (t *Tx) publishWord(parent trace.SpanRef, prevWord uint64) error {
+	l := t.l
 	l.metaMu.RLock()
 	meta := l.meta
 	if meta == nil {
 		// A simulated crash raced the commit; recovery decides the
 		// transaction's fate from what reached the mirrors.
 		l.metaMu.RUnlock()
-		cm.End()
+		parent.End()
 		return engine.ErrCrashed
 	}
-	phase = l.clock.Now()
+	phase := l.clock.Now()
 	wp := t.tt.Start(trace.LayerCore, "word_push")
 	binary.BigEndian.PutUint64(meta.Local[t.slot.wordOff:], t.id)
 	if err := l.net.PushTraced(meta, t.slot.wordOff, 8, t.tt); err != nil {
@@ -297,15 +394,20 @@ func (t *Tx) Commit() error {
 		binary.BigEndian.PutUint64(meta.Local[t.slot.wordOff:], prevWord)
 		l.metaMu.RUnlock()
 		wp.End()
-		cm.End()
+		parent.End()
 		return fmt.Errorf("perseas: publish commit word: %w", err)
 	}
 	l.metaMu.RUnlock()
 	wp.EndN(8)
-	cm.End()
+	parent.End()
 	l.metrics.WordPush.ObserveDuration(l.clock.Now() - phase)
-	l.metrics.CommitTotal.ObserveDuration(l.clock.Now() - total)
+	return nil
+}
 
+// retireCommitted finalises a transaction whose commit word landed:
+// claims release, the slot frees, and the trace tree closes.
+func (t *Tx) retireCommitted() error {
+	l := t.l
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.crashed {

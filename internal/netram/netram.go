@@ -299,26 +299,33 @@ func (c *Client) Metrics() *Metrics { return &c.metrics }
 
 // RegisterMetrics registers the client's counters on reg.
 func (c *Client) RegisterMetrics(reg *obs.Registry) {
+	c.RegisterMetricsPrefixed(reg, "perseas_netram")
+}
+
+// RegisterMetricsPrefixed registers the same series under a caller-chosen
+// name prefix, so the clients of several shards can share one registry
+// without colliding.
+func (c *Client) RegisterMetricsPrefixed(reg *obs.Registry, prefix string) {
 	m := &c.metrics
-	reg.RegisterCounter("perseas_netram_pushes_total", "Push/PushMany range propagations", &m.Pushes)
-	reg.RegisterCounter("perseas_netram_pushed_bytes_total", "payload bytes pushed", &m.PushedBytes)
-	reg.RegisterCounter("perseas_netram_wire_bytes_total", "bytes sent including alignment expansion", &m.WireBytes)
-	reg.RegisterCounter("perseas_netram_fetches_total", "recovery reads", &m.Fetches)
-	reg.RegisterCounter("perseas_netram_fetched_bytes_total", "bytes fetched back", &m.FetchedBytes)
-	reg.RegisterHistogram("perseas_netram_push_latency_ns", "ns per successful push", &m.PushLatency)
-	reg.RegisterHistogram("perseas_netram_fetch_latency_ns", "ns per successful fetch", &m.FetchLatency)
-	reg.RegisterCounter("perseas_netram_retries_total", "writes replayed after transient failures", &m.Retries)
-	reg.RegisterCounter("perseas_netram_degradations_total", "mirrors marked down", &m.Degradations)
-	reg.RegisterCounter("perseas_netram_rebuilds_total", "completed mirror rebuilds", &m.Rebuilds)
-	reg.RegisterCounter("perseas_netram_rebuild_bytes_total", "bytes re-replicated onto replacement mirrors", &m.RebuildBytes)
-	reg.RegisterGauge("perseas_netram_live_mirrors", "mirrors considered healthy", func() uint64 {
+	reg.RegisterCounter(prefix+"_pushes_total", "Push/PushMany range propagations", &m.Pushes)
+	reg.RegisterCounter(prefix+"_pushed_bytes_total", "payload bytes pushed", &m.PushedBytes)
+	reg.RegisterCounter(prefix+"_wire_bytes_total", "bytes sent including alignment expansion", &m.WireBytes)
+	reg.RegisterCounter(prefix+"_fetches_total", "recovery reads", &m.Fetches)
+	reg.RegisterCounter(prefix+"_fetched_bytes_total", "bytes fetched back", &m.FetchedBytes)
+	reg.RegisterHistogram(prefix+"_push_latency_ns", "ns per successful push", &m.PushLatency)
+	reg.RegisterHistogram(prefix+"_fetch_latency_ns", "ns per successful fetch", &m.FetchLatency)
+	reg.RegisterCounter(prefix+"_retries_total", "writes replayed after transient failures", &m.Retries)
+	reg.RegisterCounter(prefix+"_degradations_total", "mirrors marked down", &m.Degradations)
+	reg.RegisterCounter(prefix+"_rebuilds_total", "completed mirror rebuilds", &m.Rebuilds)
+	reg.RegisterCounter(prefix+"_rebuild_bytes_total", "bytes re-replicated onto replacement mirrors", &m.RebuildBytes)
+	reg.RegisterGauge(prefix+"_live_mirrors", "mirrors considered healthy", func() uint64 {
 		return uint64(c.Live())
 	})
-	reg.RegisterCounter("perseas_netram_fanouts_total", "pushes dispatched through the parallel mirror fan-out", &m.Fanouts)
-	reg.RegisterGauge("perseas_netram_fanout_straggler_ns", "last fan-out spread: slowest minus fastest mirror completion", c.straggler.Load)
+	reg.RegisterCounter(prefix+"_fanouts_total", "pushes dispatched through the parallel mirror fan-out", &m.Fanouts)
+	reg.RegisterGauge(prefix+"_fanout_straggler_ns", "last fan-out spread: slowest minus fastest mirror completion", c.straggler.Load)
 	for i := range m.MirrorPush {
 		reg.RegisterHistogram(
-			fmt.Sprintf("perseas_netram_mirror%d_push_latency_ns", i),
+			fmt.Sprintf("%s_mirror%d_push_latency_ns", prefix, i),
 			fmt.Sprintf("ns per push on mirror slot %d", i),
 			&m.MirrorPush[i])
 	}

@@ -16,6 +16,7 @@ import (
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/riofs"
 	"github.com/ics-forth/perseas/internal/riorvm"
+	"github.com/ics-forth/perseas/internal/router"
 	"github.com/ics-forth/perseas/internal/rvm"
 	"github.com/ics-forth/perseas/internal/sci"
 	"github.com/ics-forth/perseas/internal/simclock"
@@ -70,6 +71,16 @@ type Config struct {
 	// SimClock, so span timestamps are modelled time; recording never
 	// advances the clock, leaving reproduced figures untouched.
 	Tracer *trace.Recorder
+	// Shards partitions the PERSEAS region namespace across this many
+	// independent instances behind a router (0 and 1 both mean the plain
+	// unsharded library). Each shard gets its own mirror set, conflict
+	// table and undo logs on the shared clock.
+	Shards int
+	// RouterSingle forces the router wrapper even at one shard. The
+	// single-shard router is a pure pass-through — identical mirrors,
+	// labels and commit path — so figures must not move; the byte-identity
+	// regression test builds labs both ways and compares output.
+	RouterSingle bool
 }
 
 // DefaultConfig fits the paper's benchmarks: databases up to a few tens
@@ -103,6 +114,22 @@ type Lab struct {
 	Dev *disk.Disk
 	// Rio is the file cache of Rio-backed labs.
 	Rio *riofs.Store
+	// Router is the shard router of sharded PERSEAS labs (also set with
+	// RouterSingle). Engine aliases it.
+	Router *router.Router
+	// ShardLabs holds each shard's substrate handles in shard order. For
+	// compatibility, the Lab-level Servers/Net/Spares fields alias shard
+	// 0's.
+	ShardLabs []*ShardLab
+}
+
+// ShardLab is one shard's slice of a sharded PERSEAS lab.
+type ShardLab struct {
+	Lib          *core.Library
+	Net          *netram.Client
+	Servers      []*memserver.Server
+	Spares       []netram.Mirror
+	SpareServers []*memserver.Server
 }
 
 // Builder constructs one lab; the string names the engine it builds.
@@ -131,13 +158,20 @@ func (cfg Config) diskParams() disk.Params {
 // the whole group hides behind one transport whose NIC duplicates every
 // store; otherwise each mirror is a separate software-managed node.
 func newNetRAM(cfg Config, clock *simclock.SimClock, opts ...netram.Option) (*netram.Client, []*memserver.Server, error) {
+	return newNetRAMLabeled(cfg, clock, "", opts...)
+}
+
+// newNetRAMLabeled is newNetRAM with a node-label prefix, so each shard
+// of a sharded lab gets a distinguishable mirror set. The empty prefix
+// reproduces the historical labels exactly.
+func newNetRAMLabeled(cfg Config, clock *simclock.SimClock, prefix string, opts ...netram.Option) (*netram.Client, []*memserver.Server, error) {
 	if cfg.Mirrors < 1 {
 		return nil, nil, fmt.Errorf("rig: mirrors = %d, need >= 1", cfg.Mirrors)
 	}
 	params := cfg.sciParams()
 	var servers []*memserver.Server
 	for i := 0; i < cfg.Mirrors; i++ {
-		servers = append(servers, memserver.New(memserver.WithLabel(fmt.Sprintf("remote-%d", i))))
+		servers = append(servers, memserver.New(memserver.WithLabel(fmt.Sprintf("%sremote-%d", prefix, i))))
 	}
 	var mirrors []netram.Mirror
 	if cfg.HardwareMirroring {
@@ -145,7 +179,7 @@ func newNetRAM(cfg Config, clock *simclock.SimClock, opts ...netram.Option) (*ne
 		if err != nil {
 			return nil, nil, err
 		}
-		mirrors = []netram.Mirror{{Name: "hw-group", T: hw}}
+		mirrors = []netram.Mirror{{Name: prefix + "hw-group", T: hw}}
 	} else {
 		for i, srv := range servers {
 			// Mirror i sits i hops further down the SCI ring.
@@ -167,11 +201,17 @@ func newNetRAM(cfg Config, clock *simclock.SimClock, opts ...netram.Option) (*ne
 // interconnect model as the mirror set. A spare sits one hop past the
 // farthest mirror — the next idle workstation down the ring.
 func newSpares(cfg Config, clock *simclock.SimClock) ([]netram.Mirror, []*memserver.Server, error) {
+	return newSparesLabeled(cfg, clock, "")
+}
+
+// newSparesLabeled is newSpares with a node-label prefix (see
+// newNetRAMLabeled).
+func newSparesLabeled(cfg Config, clock *simclock.SimClock, prefix string) ([]netram.Mirror, []*memserver.Server, error) {
 	params := cfg.sciParams()
 	var spares []netram.Mirror
 	var servers []*memserver.Server
 	for i := 0; i < cfg.Spares; i++ {
-		srv := memserver.New(memserver.WithLabel(fmt.Sprintf("spare-%d", i)))
+		srv := memserver.New(memserver.WithLabel(fmt.Sprintf("%sspare-%d", prefix, i)))
 		tr, err := transport.NewInProc(srv, params, clock, transport.WithHops(cfg.Mirrors+i, params))
 		if err != nil {
 			return nil, nil, err
@@ -182,16 +222,19 @@ func newSpares(cfg Config, clock *simclock.SimClock) ([]netram.Mirror, []*memser
 	return spares, servers, nil
 }
 
-// NewPerseas builds the PERSEAS lab.
+// NewPerseas builds the PERSEAS lab: the plain library by default, or
+// Config.Shards independent instances behind a router. Every shard rides
+// the same simulated clock and interconnect model; at one shard without
+// RouterSingle the construction is exactly the historical one.
 func NewPerseas(cfg Config) (*Lab, error) {
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	clock := simclock.NewSim()
 	var nopts []netram.Option
 	if cfg.NoAlignment {
 		nopts = append(nopts, netram.WithoutAlignment())
-	}
-	net, servers, err := newNetRAM(cfg, clock, nopts...)
-	if err != nil {
-		return nil, err
 	}
 	copts := []core.Option{core.WithUndoLogSize(cfg.UndoLogSize)}
 	if cfg.NoRemoteUndo {
@@ -199,18 +242,62 @@ func NewPerseas(cfg Config) (*Lab, error) {
 	}
 	if cfg.Tracer != nil {
 		copts = append(copts, core.WithTracer(cfg.Tracer))
-		net.SetTracer(cfg.Tracer)
 	}
-	lib, err := core.Init(net, clock, copts...)
+
+	buildShard := func(prefix string) (*ShardLab, error) {
+		net, servers, err := newNetRAMLabeled(cfg, clock, prefix, nopts...)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Tracer != nil {
+			net.SetTracer(cfg.Tracer)
+		}
+		lib, err := core.Init(net, clock, copts...)
+		if err != nil {
+			return nil, err
+		}
+		spares, spareServers, err := newSparesLabeled(cfg, clock, prefix)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardLab{Lib: lib, Net: net, Servers: servers,
+			Spares: spares, SpareServers: spareServers}, nil
+	}
+
+	if shards == 1 && !cfg.RouterSingle {
+		sl, err := buildShard("")
+		if err != nil {
+			return nil, err
+		}
+		return &Lab{Engine: sl.Lib, Clock: clock, Servers: sl.Servers, Net: sl.Net,
+			Spares: sl.Spares, SpareServers: sl.SpareServers}, nil
+	}
+
+	lab := &Lab{Clock: clock}
+	var libs []*core.Library
+	for s := 0; s < shards; s++ {
+		prefix := ""
+		if shards > 1 {
+			prefix = fmt.Sprintf("shard%d-", s)
+		}
+		sl, err := buildShard(prefix)
+		if err != nil {
+			return nil, err
+		}
+		lab.ShardLabs = append(lab.ShardLabs, sl)
+		libs = append(libs, sl.Lib)
+	}
+	r, err := router.New(libs)
 	if err != nil {
 		return nil, err
 	}
-	spares, spareServers, err := newSpares(cfg, clock)
-	if err != nil {
-		return nil, err
-	}
-	return &Lab{Engine: lib, Clock: clock, Servers: servers, Net: net,
-		Spares: spares, SpareServers: spareServers}, nil
+	lab.Engine = r
+	lab.Router = r
+	lab.Servers = lab.ShardLabs[0].Servers
+	lab.Net = lab.ShardLabs[0].Net
+	lab.Spares = lab.ShardLabs[0].Spares
+	lab.SpareServers = lab.ShardLabs[0].SpareServers
+	return lab, nil
 }
 
 // NewRVM builds the classic disk-backed RVM lab.

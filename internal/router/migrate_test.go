@@ -1,0 +1,221 @@
+package router
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+)
+
+func TestMigrateDBMovesData(t *testing.T) {
+	rig := newTestRig(t, 2, 2)
+	r := rig.r
+	name := dbOnShard(t, r, 0, "g")
+	db := mkDB(t, r, name, 1<<20, 0x5C)
+	write(t, r, db, 1234, []byte("payload"))
+
+	if err := r.MigrateDB(name, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Migrations; got != 1 {
+		t.Fatalf("Migrations = %d, want 1", got)
+	}
+
+	// The wrapper rebound: reads and writes now go through shard 1.
+	if got := string(db.Bytes()[1234:1241]); got != "payload" {
+		t.Fatalf("migrated data = %q, want payload", got)
+	}
+	if _, err := r.Shard(1).OpenDB(name); err != nil {
+		t.Fatalf("destination shard does not hold %q: %v", name, err)
+	}
+	if _, err := r.Shard(0).OpenDB(name); err == nil {
+		t.Fatalf("source shard still holds %q after migration", name)
+	}
+	write(t, r, db, 0, []byte("post-move"))
+	rig.verifyMirrors(t)
+
+	// The placement override is durable: after a full crash the database
+	// recovers on its new home, not its hash home.
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := r.OpenDB(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(db2.Bytes()[0:9]); got != "post-move" {
+		t.Fatalf("recovered data = %q, want post-move", got)
+	}
+	if got := string(db2.Bytes()[1234:1241]); got != "payload" {
+		t.Fatalf("recovered data = %q, want payload", got)
+	}
+	if _, err := r.Shard(1).OpenDB(name); err != nil {
+		t.Fatalf("recovery lost the placement override for %q: %v", name, err)
+	}
+}
+
+func TestMigrateDBToOwnShardIsNoOp(t *testing.T) {
+	rig := newTestRig(t, 2, 1)
+	r := rig.r
+	name := dbOnShard(t, r, 1, "n")
+	mkDB(t, r, name, 4096, 0)
+	if err := r.MigrateDB(name, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Migrations; got != 0 {
+		t.Fatalf("Migrations = %d for a same-shard move, want 0", got)
+	}
+}
+
+// TestMigrateDBUnderLoad moves a database while writers keep committing
+// to it. Each worker owns an 8-byte counter slot it increments per
+// transaction; after the move every slot must hold exactly the number of
+// commits its worker reported, both locally and on the destination
+// shard's mirrors.
+func TestMigrateDBUnderLoad(t *testing.T) {
+	rig := newTestRig(t, 2, 2)
+	r := rig.r
+	name := dbOnShard(t, r, 0, "l")
+	db := mkDB(t, r, name, 1<<20, 0)
+
+	const workers = 4
+	var wg sync.WaitGroup
+	commits := make([]uint64, workers)
+	stop := make(chan struct{})
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			off := uint64(w) * 8
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := r.Begin()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := tx.SetRange(db, off, 8); err != nil {
+					_ = tx.Abort()
+					if errors.Is(err, engine.ErrConflict) {
+						continue // quiesced by the final epoch; retry
+					}
+					errCh <- err
+					return
+				}
+				// Bytes() after a successful SetRange is stable: the claim
+				// blocks the migration's switch until this tx finishes.
+				b := db.Bytes()
+				binary.BigEndian.PutUint64(b[off:], binary.BigEndian.Uint64(b[off:])+1)
+				if err := tx.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+				commits[w]++
+				// A short idle gap between transactions gives the final
+				// epoch's whole-database claim a window to drain into.
+				time.Sleep(100 * time.Microsecond)
+			}
+		}(w)
+	}
+
+	migErr := r.MigrateDB(name, 1)
+	close(stop)
+	wg.Wait()
+	if migErr != nil {
+		t.Fatal(migErr)
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	total := uint64(0)
+	for w := 0; w < workers; w++ {
+		if got := binary.BigEndian.Uint64(db.Bytes()[w*8:]); got != commits[w] {
+			t.Fatalf("worker %d slot = %d, want %d commits", w, got, commits[w])
+		}
+		total += commits[w]
+	}
+	if total == 0 {
+		t.Fatal("no transactions committed during the migration")
+	}
+	t.Logf("migrated under %d commits", total)
+	rig.verifyMirrors(t)
+
+	// The moved copy must also survive a crash: recovery reads it from
+	// the destination shard's mirrors.
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := r.OpenDB(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		if got := binary.BigEndian.Uint64(db2.Bytes()[w*8:]); got != commits[w] {
+			t.Fatalf("worker %d slot = %d after recovery, want %d", w, got, commits[w])
+		}
+	}
+}
+
+// TestMigrationInterruptedByCrash power-fails between epochs: the
+// placement record never landed, so recovery must leave the database on
+// its source shard and drop the half-filled destination copy.
+func TestMigrationInterruptedByCrash(t *testing.T) {
+	rig := newTestRig(t, 2, 2)
+	r := rig.r
+	name := dbOnShard(t, r, 0, "i")
+	db := mkDB(t, r, name, 1<<20, 0x42)
+	write(t, r, db, 99, []byte("source-truth"))
+
+	// Simulate the interruption directly: a destination copy exists (the
+	// epochs were underway) when the node dies.
+	destCopy, err := r.Shard(1).CreateDB(name, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(destCopy.Bytes()[0:], []byte("half-filled garbage"))
+
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := r.OpenDB(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(db2.Bytes()[99:111]); got != "source-truth" {
+		t.Fatalf("recovered data = %q, want source-truth", got)
+	}
+	if _, err := r.Shard(1).OpenDB(name); err == nil {
+		t.Fatal("half-filled destination copy survived recovery")
+	}
+	// And a fresh migration attempt still works afterwards.
+	if err := r.MigrateDB(name, 1); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := r.OpenDB(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(db3.Bytes()[99:111]); got != "source-truth" {
+		t.Fatalf("re-migrated data = %q, want source-truth", got)
+	}
+}

@@ -1,0 +1,299 @@
+package router
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+)
+
+// These tests pin the three crash windows of the cross-shard commit
+// protocol with deterministic schedules: the coordinator hooks fire at
+// exact protocol points and memserver partitions make individual
+// prepares fail on demand.
+
+// TestCoordinatorDiesBeforeDecision crashes the whole node after every
+// participant prepared but before the decision record exists. Without a
+// decision the transaction never committed: recovery must roll back all
+// shards and leave no trace of the new values.
+func TestCoordinatorDiesBeforeDecision(t *testing.T) {
+	rig := newTestRig(t, 2, 2)
+	r := rig.r
+	db0 := mkDB(t, r, dbOnShard(t, r, 0, "p"), 4096, 0x01)
+	db1 := mkDB(t, r, dbOnShard(t, r, 1, "p"), 4096, 0x02)
+	name0, name1 := dbOnShard(t, r, 0, "p"), dbOnShard(t, r, 1, "p")
+
+	r.hookAfterPrepare = func() {
+		r.hookAfterPrepare = nil
+		if err := r.Crash(fault.CrashPower); err != nil {
+			t.Errorf("crash in hook: %v", err)
+		}
+	}
+	tx, err := r.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range []engine.DB{db0, db1} {
+		if err := tx.SetRange(db, 256, 16); err != nil {
+			t.Fatal(err)
+		}
+		for i := 256; i < 272; i++ {
+			db.Bytes()[i] = 0xEE
+		}
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit succeeded across a coordinator crash")
+	}
+
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().DecisionsReplayed; got != 0 {
+		t.Fatalf("DecisionsReplayed = %d, want 0: no decision was ever published", got)
+	}
+	checkRolledBack := func() {
+		for name, want := range map[string]byte{name0: 0x01, name1: 0x02} {
+			db, err := r.OpenDB(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 256; i < 272; i++ {
+				if db.Bytes()[i] != want {
+					t.Fatalf("%s[%d] = %#x after recovery, want %#x (rolled back)", name, i, db.Bytes()[i], want)
+				}
+			}
+		}
+	}
+	checkRolledBack()
+
+	// A second cycle proves the rollback itself is durable on the mirrors.
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	checkRolledBack()
+}
+
+// TestCoordinatorDiesAfterDecision crashes the node after the decision
+// record landed on shard 0's mirrors but before any participant
+// published its commit word. The decision is the commit point: recovery
+// must finish the transaction on every shard — zero lost committed
+// transactions.
+func TestCoordinatorDiesAfterDecision(t *testing.T) {
+	rig := newTestRig(t, 3, 2)
+	r := rig.r
+	names := []string{dbOnShard(t, r, 0, "d"), dbOnShard(t, r, 1, "d"), dbOnShard(t, r, 2, "d")}
+	dbs := make([]engine.DB, len(names))
+	for i, name := range names {
+		dbs[i] = mkDB(t, r, name, 4096, 0x00)
+	}
+
+	r.hookAfterDecision = func() {
+		r.hookAfterDecision = nil
+		if err := r.Crash(fault.CrashPower); err != nil {
+			t.Errorf("crash in hook: %v", err)
+		}
+	}
+	tx, err := r.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range dbs {
+		if err := tx.SetRange(db, 512, 8); err != nil {
+			t.Fatal(err)
+		}
+		copy(db.Bytes()[512:], []byte("COMMITED"))
+	}
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit reported clean success across a crash")
+	}
+	if !strings.Contains(err.Error(), "durable") {
+		t.Fatalf("commit error %q does not mark the decision durable", err)
+	}
+
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().DecisionsReplayed; got != 1 {
+		t.Fatalf("DecisionsReplayed = %d, want 1", got)
+	}
+	for _, name := range names {
+		db, err := r.OpenDB(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(db.Bytes()[512:520]); got != "COMMITED" {
+			t.Fatalf("%s[512:520] = %q after recovery, want COMMITED", name, got)
+		}
+	}
+
+	// The replayed slot was zeroed: a second crash/recover cycle must not
+	// replay it again.
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().DecisionsReplayed; got != 1 {
+		t.Fatalf("DecisionsReplayed = %d after second recovery, want still 1", got)
+	}
+	for _, name := range names {
+		db, err := r.OpenDB(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(db.Bytes()[512:520]); got != "COMMITED" {
+			t.Fatalf("%s[512:520] = %q after second recovery, want COMMITED", name, got)
+		}
+	}
+}
+
+// TestParticipantDiesMidPrepare makes one participant shard entirely
+// unreachable so its prepare fails after the others succeeded — K of N
+// prepared, no decision. The coordinator aborts what it can; then the
+// mirrors come back (the guardian's revive path) and the whole node
+// power-fails. Recovery must roll everything back — the K successful
+// prepares must not surface as a partial commit.
+func TestParticipantDiesMidPrepare(t *testing.T) {
+	rig := newTestRig(t, 3, 2)
+	r := rig.r
+	names := []string{dbOnShard(t, r, 0, "m"), dbOnShard(t, r, 1, "m"), dbOnShard(t, r, 2, "m")}
+	dbs := make([]engine.DB, len(names))
+	for i, name := range names {
+		dbs[i] = mkDB(t, r, name, 4096, 0x7A)
+	}
+
+	tx, err := r.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range dbs {
+		if err := tx.SetRange(db, 64, 32); err != nil {
+			t.Fatal(err)
+		}
+		for i := 64; i < 96; i++ {
+			db.Bytes()[i] = 0xDD
+		}
+	}
+	// The declarations (and their undo records) are on the wire; now
+	// shard 2's whole mirror set drops off the network, so its prepare
+	// cannot land anywhere. (A single lost mirror is absorbed as a
+	// degradation; losing the shard takes losing them all.)
+	rig.servers[2][0].Partition()
+	rig.servers[2][1].Partition()
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit succeeded with an unreachable participant shard")
+	}
+	if errors.Is(err, engine.ErrCrashed) || errors.Is(err, engine.ErrNoTransaction) {
+		t.Fatalf("commit error %v, want a prepare push failure", err)
+	}
+	if got := r.Stats().CrossShardAborts; got != 1 {
+		t.Fatalf("CrossShardAborts = %d, want 1", got)
+	}
+
+	// The partition heals and the guardian's repair path reintegrates the
+	// mirrors; then the whole node power-fails.
+	rig.servers[2][0].Heal()
+	rig.servers[2][1].Heal()
+	for i := 0; i < 2; i++ {
+		if err := rig.nets[2].Revive(i); err != nil {
+			t.Fatalf("revive shard 2 mirror %d: %v", i, err)
+		}
+	}
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	checkRolledBack := func() {
+		for _, name := range names {
+			db, err := r.OpenDB(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 64; i < 96; i++ {
+				if db.Bytes()[i] != 0x7A {
+					t.Fatalf("%s[%d] = %#x after recovery, want 0x7A (rolled back)", name, i, db.Bytes()[i])
+				}
+			}
+		}
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	checkRolledBack()
+
+	// Recovery's rollback pushes reconverge the mirrors the partition had
+	// split; a second cycle reads only mirror state and must agree.
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	checkRolledBack()
+}
+
+// TestCommittedWorkSurvivesChaosCycle interleaves committed and
+// in-flight cross-shard transactions at the crash: the committed one
+// must survive recovery, the in-flight one must vanish.
+func TestCommittedWorkSurvivesChaosCycle(t *testing.T) {
+	rig := newTestRig(t, 2, 2)
+	r := rig.r
+	db0 := mkDB(t, r, dbOnShard(t, r, 0, "w"), 4096, 0)
+	db1 := mkDB(t, r, dbOnShard(t, r, 1, "w"), 4096, 0)
+	name0, name1 := dbOnShard(t, r, 0, "w"), dbOnShard(t, r, 1, "w")
+
+	// A fully committed cross-shard transaction.
+	tx, err := r.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range []engine.DB{db0, db1} {
+		if err := tx.SetRange(db, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		copy(db.Bytes()[0:], []byte("KEEP"))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An in-flight one, declared and half-written but never committed.
+	tx2, err := r.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range []engine.DB{db0, db1} {
+		if err := tx2.SetRange(db, 8, 4); err != nil {
+			t.Fatal(err)
+		}
+		copy(db.Bytes()[8:], []byte("LOSE"))
+	}
+
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{name0, name1} {
+		db, err := r.OpenDB(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(db.Bytes()[0:4]); got != "KEEP" {
+			t.Fatalf("%s committed data = %q after recovery, want KEEP", name, got)
+		}
+		for i := 8; i < 12; i++ {
+			if db.Bytes()[i] != 0 {
+				t.Fatalf("%s[%d] = %#x: uncommitted write survived recovery", name, i, db.Bytes()[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/engine"
+)
+
+// routerTx is one routed transaction: at most one sub-transaction per
+// shard, begun lazily on first touch. A handle is owned by the goroutine
+// that began it, like every engine.Tx.
+type routerTx struct {
+	r *Router
+	// subs[i] is the open sub-transaction on shard i, nil if untouched.
+	subs []*core.Tx
+	// touched records declared ranges of migrating databases; their
+	// commit re-dirties the migration copy. Empty unless a migration is
+	// in flight.
+	touched []touch
+	done    bool
+	// gen is the router generation at Begin; a crash bumps it, retiring
+	// this handle.
+	gen uint64
+}
+
+type touch struct {
+	name string
+	off  uint64
+	n    uint64
+}
+
+// checkOpen orders the crashed and retired checks the way the library
+// does: a crash outranks a retired handle.
+func (t *routerTx) checkOpen() error {
+	t.r.mu.Lock()
+	crashed, gen := t.r.crashed, t.r.gen
+	t.r.mu.Unlock()
+	if crashed {
+		return engine.ErrCrashed
+	}
+	if t.done || gen != t.gen {
+		return engine.ErrNoTransaction
+	}
+	return nil
+}
+
+// SetRange implements engine.Tx: the declaration routes to the shard
+// that owns the database and lands in that shard's conflict table and
+// undo log.
+func (t *routerTx) SetRange(db engine.DB, offset, length uint64) error {
+	r := t.r
+	d, ok := db.(*DB)
+	if !ok || d.r != r {
+		return fmt.Errorf("router: foreign DB handle %T", db)
+	}
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return engine.ErrCrashed
+	}
+	gen := r.gen
+	shard, inner := d.shard, d.inner
+	migrating := r.migrations[d.name] != nil
+	r.mu.Unlock()
+	if t.done || gen != t.gen {
+		return engine.ErrNoTransaction
+	}
+	sub := t.subs[shard]
+	if sub == nil {
+		var err error
+		sub, err = r.shards[shard].BeginTx()
+		if err != nil {
+			return err
+		}
+		t.subs[shard] = sub
+	}
+	if err := sub.SetRange(inner, offset, length); err != nil {
+		return err
+	}
+	if migrating {
+		t.touched = append(t.touched, touch{name: d.name, off: offset, n: length})
+	}
+	return nil
+}
+
+// Commit implements engine.Tx. One touched shard commits through that
+// shard's unchanged path; several touched shards go through the
+// coordinator-driven prepare / decide / complete protocol.
+func (t *routerTx) Commit() error {
+	if err := t.checkOpen(); err != nil {
+		return err
+	}
+	var live []*core.Tx
+	var shardIdx []int
+	for i, sub := range t.subs {
+		if sub != nil {
+			live = append(live, sub)
+			shardIdx = append(shardIdx, i)
+		}
+	}
+	switch len(live) {
+	case 0:
+		// An empty transaction has nothing to make durable.
+		t.done = true
+		return nil
+	case 1:
+		err := live[0].Commit()
+		if err == nil {
+			t.r.metrics.single.Inc()
+			t.done = true
+			t.recordDirty()
+			return nil
+		}
+		if errors.Is(err, engine.ErrCrashed) || errors.Is(err, engine.ErrNoTransaction) {
+			t.done = true
+		}
+		// Other push failures leave the handle open for Abort, exactly
+		// like the library.
+		return err
+	default:
+		return t.commitCross(live, shardIdx)
+	}
+}
+
+// commitCross is the coordinator side of a cross-shard commit.
+func (t *routerTx) commitCross(live []*core.Tx, shardIdx []int) error {
+	r := t.r
+
+	// Phase 1 — prepare every participant in parallel. Each shard pushes
+	// this transaction's ranges to its own mirror set (riding that
+	// shard's fan-out workers); commit words stay unpublished.
+	errs := make([]error, len(live))
+	var wg sync.WaitGroup
+	for i, sub := range live {
+		wg.Add(1)
+		go func(i int, sub *core.Tx) {
+			defer wg.Done()
+			errs[i] = sub.Prepare()
+		}(i, sub)
+	}
+	wg.Wait()
+	if r.hookAfterPrepare != nil {
+		r.hookAfterPrepare()
+	}
+	if err := firstError(errs); err != nil {
+		// No decision exists, so aborting everywhere is safe: prepared
+		// shards restore from their undo logs and repair their mirrors;
+		// the failed shard does the same for whatever it half-pushed.
+		t.abortSubs(live)
+		r.metrics.crossAborts.Inc()
+		t.done = true
+		return fmt.Errorf("router: cross-shard prepare: %w", err)
+	}
+
+	// Phase 2 — the commit point: one decision record naming every
+	// participant's (shard, slot, id), mirrored on shard 0's servers.
+	gid, slot, err := r.publishDecision(live, shardIdx)
+	if err != nil {
+		t.abortSubs(live)
+		r.metrics.crossAborts.Inc()
+		t.done = true
+		return fmt.Errorf("router: publish decision: %w", err)
+	}
+	_ = gid
+	if r.hookAfterDecision != nil {
+		r.hookAfterDecision()
+	}
+
+	// Phase 3 — complete in parallel: each participant publishes its own
+	// commit word.
+	for i, sub := range live {
+		wg.Add(1)
+		go func(i int, sub *core.Tx) {
+			defer wg.Done()
+			errs[i] = sub.CommitPrepared()
+		}(i, sub)
+	}
+	wg.Wait()
+	t.done = true
+	if err := firstError(errs); err != nil {
+		// The decision is durable: any participant that missed its word
+		// push finishes this commit during recovery. The record stays
+		// occupied so recovery can find it.
+		return fmt.Errorf("router: cross-shard completion (decision %d is durable): %w", gid, err)
+	}
+	r.releaseDecision(slot)
+	r.metrics.cross.Inc()
+	t.recordDirty()
+	return nil
+}
+
+// Abort implements engine.Tx: every touched shard rolls back. Sub-
+// transactions already retired (by a preceding failed commit's cleanup
+// or a crash) are skipped.
+func (t *routerTx) Abort() error {
+	if err := t.checkOpen(); err != nil {
+		return err
+	}
+	var live []*core.Tx
+	for _, sub := range t.subs {
+		if sub != nil {
+			live = append(live, sub)
+		}
+	}
+	t.done = true
+	return t.abortSubs(live)
+}
+
+// abortSubs aborts every given sub-transaction, tolerating ones already
+// retired, and reports the first real failure.
+func (t *routerTx) abortSubs(live []*core.Tx) error {
+	var first error
+	for _, sub := range live {
+		if err := sub.Abort(); err != nil &&
+			!errors.Is(err, engine.ErrNoTransaction) && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// recordDirty feeds this transaction's committed ranges on migrating
+// databases into the migration's dirty set, so the next copy epoch
+// re-copies them.
+func (t *routerTx) recordDirty() {
+	if len(t.touched) == 0 {
+		return
+	}
+	r := t.r
+	r.mu.Lock()
+	for _, tc := range t.touched {
+		if mig := r.migrations[tc.name]; mig != nil {
+			mig.addDirty(tc.off, tc.n)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
