@@ -263,17 +263,20 @@ func (t *Tx) Prepare() error {
 // in the prepared state — the per-shard completion half of a cross-shard
 // commit. The word push is the same atomic commit point an ordinary
 // Commit uses; once it lands, this shard's part of the transaction
-// survives any crash.
+// survives any crash. A failed push leaves the transaction prepared (the
+// local word rolls back), so a coordinator holding a durable decision
+// can re-drive the idempotent push instead of leaving the transaction —
+// and its claims and undo slot — in doubt until the next crash.
 func (t *Tx) CommitPrepared() error {
 	l := t.l
 	if !t.prepared {
 		return fmt.Errorf("perseas: CommitPrepared on an unprepared transaction")
 	}
-	t.prepared = false
 	cm := t.tt.Start(trace.LayerEngine, "commit_prepared")
 	if err := t.publishWord(cm, t.prevWord); err != nil {
 		return err
 	}
+	t.prepared = false
 	l.metrics.CommitTotal.ObserveDuration(l.clock.Now() - t.prepStart)
 	return t.retireCommitted()
 }

@@ -20,8 +20,9 @@ import (
 //     is zeroed once every participant's commit word landed. Crashing
 //     between those two pushes is the window recovery replays.
 //   - The placement log: one appended record per completed migration,
-//     naming a database's non-hash home. It makes placement overrides
-//     survive a coordinator crash.
+//     naming a database's non-hash home (or a tombstone retiring the
+//     override when the database is dropped). It makes placement
+//     overrides survive a coordinator crash.
 const (
 	// CoordRegionName is the decision region's segment name on shard 0's
 	// mirrors.
@@ -41,6 +42,14 @@ const (
 	// fits a decision slot. 20 shards per transaction is far beyond any
 	// genuine workload; transactions touching more must be split.
 	MaxParticipants = (coordSlotSize - 10 - 4) / coordPartSize
+
+	// placementTombstone is the shard value of a placement record that
+	// retires a database's override: DropDB appends it so a dropped,
+	// then recreated database lands back on its hash home after a crash
+	// instead of recovery trusting a stale override (and sweeping the
+	// live recreated copy as migration garbage). parsePlacements erases
+	// the name, so compaction drops the whole history.
+	placementTombstone = 0xFFFF
 )
 
 var coordCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -266,7 +275,11 @@ func parsePlacements(local []byte) (map[string]int, uint64) {
 		}
 		name := string(local[cursor+2 : cursor+2+n])
 		shard := int(binary.BigEndian.Uint16(local[cursor+2+n:]))
-		out[name] = shard
+		if shard == placementTombstone {
+			delete(out, name)
+		} else {
+			out[name] = shard
+		}
 		cursor = end + 4
 	}
 	return out, cursor

@@ -1,0 +1,49 @@
+package router
+
+import (
+	"maps"
+	"testing"
+)
+
+// TestPlacementTombstoneErasesOverride checks the placement log's
+// tombstone semantics end to end: parsing drops the tombstoned name and
+// compaction forgets its whole history, while live overrides survive
+// both.
+func TestPlacementTombstoneErasesOverride(t *testing.T) {
+	rig := newTestRig(t, 2, 1)
+	r := rig.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rec := range []struct {
+		name  string
+		shard int
+	}{
+		{"alpha", 1},
+		{"beta", 1},
+		{"alpha", placementTombstone},
+	} {
+		if _, _, err := r.appendPlacementLocked(rec.name, rec.shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := map[string]int{"beta": 1}
+	got, cursor := parsePlacements(r.coord.Local)
+	if !maps.Equal(got, want) {
+		t.Fatalf("parsePlacements = %v, want %v", got, want)
+	}
+	if cursor != r.coordCursor {
+		t.Fatalf("parse cursor = %d, append cursor = %d", cursor, r.coordCursor)
+	}
+
+	r.compactPlacementsLocked()
+	got, _ = parsePlacements(r.coord.Local)
+	if !maps.Equal(got, want) {
+		t.Fatalf("parsePlacements after compaction = %v, want %v", got, want)
+	}
+	// Compaction keeps exactly one record: the tombstoned name left no
+	// trace behind.
+	if wantLen := uint64(coordPlacementOff + 2 + len("beta") + 2 + 4); r.coordCursor != wantLen {
+		t.Fatalf("compacted cursor = %d, want %d", r.coordCursor, wantLen)
+	}
+}

@@ -18,8 +18,8 @@ import (
 //
 //	epoch 0   chunked sweep of the whole database; chunks under a live
 //	          claim are skipped and marked dirty
-//	epoch i   re-copy the ranges committed (or skipped) since the last
-//	          epoch, coalesced
+//	epoch i   re-copy the ranges declared by transactions (or skipped)
+//	          since the last epoch, coalesced
 //	final     whole-database claim quiesces writers; the remaining dirty
 //	          ranges copy over; the placement record lands in the
 //	          coordinator log (the migration's durable switch point);
@@ -41,12 +41,17 @@ const (
 )
 
 // migration is the in-flight state of one database move; routerTx
-// commits feed its dirty set. dirty is guarded by the router's mu.
+// SetRange feeds its dirty set the moment a range claim is taken, so
+// every range a transaction can still change is dirty before that
+// transaction's claims release — which is what makes the final epoch's
+// dirty snapshot complete (ClaimDB only succeeds once all claims are
+// released, hence after all their dirty records landed). dirty is
+// guarded by the router's mu.
 type migration struct {
 	dirty []netram.Range
 }
 
-// addDirty records a committed range for the next copy epoch. Caller
+// addDirty records a declared range for the next copy epoch. Caller
 // holds the router's mu.
 func (m *migration) addDirty(off, n uint64) {
 	m.dirty = append(m.dirty, netram.Range{Offset: off, Length: n})
@@ -158,6 +163,9 @@ func (r *Router) MigrateDB(name string, dest int) error {
 	// Final epoch: quiesce the database. New SetRange declarations on it
 	// conflict against the whole-database claim until the switch; the
 	// claim itself waits for in-flight holders to finish.
+	if r.hookBeforeQuiesce != nil {
+		r.hookBeforeQuiesce()
+	}
 	deadline := time.Now().Add(migrateClaimTimeout)
 	for {
 		err := srcLib.ClaimDB(srcInner)
@@ -216,6 +224,7 @@ func (r *Router) MigrateDB(name string, dest int) error {
 	d.shard = dest
 	d.inner = destInner
 	r.placed[name] = dest
+	r.overridden[name] = true
 	delete(r.migrations, name)
 	r.mu.Unlock()
 

@@ -173,6 +173,96 @@ func TestMigrateDBUnderLoad(t *testing.T) {
 	}
 }
 
+// TestDropAfterMigrateRetiresOverride drops a migrated database and
+// recreates it under the same name: the recreation lands back on the
+// name's hash home, and — the part DropDB's placement tombstone exists
+// for — recovery must agree. Without the tombstone the stale override
+// survives in the coordinator log, recovery routes the name to the old
+// destination shard and its stale-copy sweep destroys the live
+// recreated database.
+func TestDropAfterMigrateRetiresOverride(t *testing.T) {
+	rig := newTestRig(t, 2, 2)
+	r := rig.r
+	name := dbOnShard(t, r, 0, "t")
+	mkDB(t, r, name, 4096, 0x33)
+	if err := r.MigrateDB(name, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DropDB(name); err != nil {
+		t.Fatal(err)
+	}
+
+	db := mkDB(t, r, name, 4096, 0x44)
+	if got := r.ShardFor(name); got != 0 {
+		t.Fatalf("recreated %q routed to shard %d, want hash home 0", name, got)
+	}
+	write(t, r, db, 7, []byte("fresh-life"))
+
+	check := func() {
+		db2, err := r.OpenDB(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(db2.Bytes()[7:17]); got != "fresh-life" {
+			t.Fatalf("recovered data = %q, want fresh-life", got)
+		}
+		if db2.Bytes()[0] != 0x44 {
+			t.Fatalf("recovered data = %#x, want the recreated 0x44 fill", db2.Bytes()[0])
+		}
+		if _, err := r.Shard(0).OpenDB(name); err != nil {
+			t.Fatalf("recreated database missing from its hash home: %v", err)
+		}
+		if _, err := r.Shard(1).OpenDB(name); err == nil {
+			t.Fatalf("%q still present on the retired override shard", name)
+		}
+	}
+	for cycle := 0; cycle < 2; cycle++ {
+		if err := r.Crash(fault.CrashPower); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		check()
+	}
+}
+
+// TestWriteDuringFinalEpochReachesDestinationMirrors commits a write in
+// the window between the catch-up epochs and the final quiesce. Its
+// dirty record is taken at SetRange time, while the range claim is
+// held, so the final epoch's dirty snapshot must cover it and the
+// destination's mirrors — not just its local copy — must hold the new
+// bytes, which a post-migration crash proves.
+func TestWriteDuringFinalEpochReachesDestinationMirrors(t *testing.T) {
+	rig := newTestRig(t, 2, 2)
+	r := rig.r
+	name := dbOnShard(t, r, 0, "f")
+	db := mkDB(t, r, name, 1<<20, 0x10)
+
+	r.hookBeforeQuiesce = func() {
+		r.hookBeforeQuiesce = nil
+		write(t, r, db, 4096, []byte("last-moment"))
+	}
+	if err := r.MigrateDB(name, 1); err != nil {
+		t.Fatal(err)
+	}
+	rig.verifyMirrors(t)
+
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := r.OpenDB(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(db2.Bytes()[4096:4107]); got != "last-moment" {
+		t.Fatalf("destination mirrors lost the final-epoch write: got %q", got)
+	}
+}
+
 // TestMigrationInterruptedByCrash power-fails between epochs: the
 // placement record never landed, so recovery must leave the database on
 // its source shard and drop the half-filled destination copy.

@@ -239,6 +239,112 @@ func TestParticipantDiesMidPrepare(t *testing.T) {
 	checkRolledBack()
 }
 
+// TestCompletionFailureRepairedLive makes a participant's commit-word
+// push fail after the decision is durable: the transaction is committed
+// but in doubt on that shard. The live repair path must re-drive the
+// idempotent word push once the mirrors return — releasing the shard's
+// claims, its undo slot and the decision slot — without needing a
+// crash/recover cycle.
+func TestCompletionFailureRepairedLive(t *testing.T) {
+	rig := newTestRig(t, 2, 2)
+	r := rig.r
+	name0, name1 := dbOnShard(t, r, 0, "r"), dbOnShard(t, r, 1, "r")
+	db0 := mkDB(t, r, name0, 4096, 0)
+	db1 := mkDB(t, r, name1, 4096, 0)
+
+	// After the decision record lands, shard 1's whole mirror set drops
+	// off the network, so its commit-word push cannot land anywhere.
+	r.hookAfterDecision = func() {
+		r.hookAfterDecision = nil
+		rig.servers[1][0].Partition()
+		rig.servers[1][1].Partition()
+	}
+	tx, err := r.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range []engine.DB{db0, db1} {
+		if err := tx.SetRange(db, 32, 6); err != nil {
+			t.Fatal(err)
+		}
+		copy(db.Bytes()[32:], []byte("REPAIR"))
+	}
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit reported clean success with an unreachable participant")
+	}
+	if !strings.Contains(err.Error(), "durable") {
+		t.Fatalf("commit error %q does not mark the decision durable", err)
+	}
+
+	// While the partition holds, repair cannot finish: the commit stays
+	// in doubt and its decision slot stays occupied.
+	if n := r.RepairInDoubt(); n != 1 {
+		t.Fatalf("RepairInDoubt under partition = %d in doubt, want 1", n)
+	}
+
+	// The mirrors return and the shard reintegrates them; repair now
+	// finishes the commit.
+	rig.servers[1][0].Heal()
+	rig.servers[1][1].Heal()
+	for i := 0; i < 2; i++ {
+		if err := rig.nets[1].Revive(i); err != nil {
+			t.Fatalf("revive shard 1 mirror %d: %v", i, err)
+		}
+	}
+	if n := r.RepairInDoubt(); n != 0 {
+		t.Fatalf("RepairInDoubt after heal = %d in doubt, want 0", n)
+	}
+	st := r.Stats()
+	if st.CompletionsRepaired != 1 || st.CrossShardCommits != 1 {
+		t.Fatalf("stats = %+v, want 1 repaired completion counted as a cross-shard commit", st)
+	}
+	r.mu.Lock()
+	free := len(r.coordFree)
+	r.mu.Unlock()
+	if free != coordSlots {
+		t.Fatalf("decision slots free = %d, want %d: repair must release the slot", free, coordSlots)
+	}
+
+	// The repaired shard's claims and undo slot are free again: the same
+	// ranges commit cross-shard without conflict or slot exhaustion.
+	tx2, err := r.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range []engine.DB{db0, db1} {
+		if err := tx2.SetRange(db, 32, 6); err != nil {
+			t.Fatal(err)
+		}
+		copy(db.Bytes()[32:], []byte("AGAIN!"))
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rig.verifyMirrors(t)
+
+	// Both commits are durable through a crash, with nothing left for
+	// decision replay.
+	if err := r.Crash(fault.CrashPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().DecisionsReplayed; got != 0 {
+		t.Fatalf("DecisionsReplayed = %d, want 0: repair already retired the record", got)
+	}
+	for _, name := range []string{name0, name1} {
+		db, err := r.OpenDB(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(db.Bytes()[32:38]); got != "AGAIN!" {
+			t.Fatalf("%s[32:38] = %q after recovery, want AGAIN!", name, got)
+		}
+	}
+}
+
 // TestCommittedWorkSurvivesChaosCycle interleaves committed and
 // in-flight cross-shard transactions at the crash: the committed one
 // must survive recovery, the in-flight one must vanish.

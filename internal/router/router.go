@@ -65,13 +65,16 @@ type Stats struct {
 	// DecisionsReplayed counts decision records recovery finished on
 	// behalf of a dead coordinator.
 	DecisionsReplayed uint64
+	// CompletionsRepaired counts decided commits whose failed word
+	// pushes RepairInDoubt finished on the live system.
+	CompletionsRepaired uint64
 	// Migrations counts completed online database moves.
 	Migrations uint64
 }
 
 // metrics is Stats as lock-free counters.
 type metrics struct {
-	single, cross, crossAborts, replayed, migrations obs.Counter
+	single, cross, crossAborts, replayed, repaired, migrations obs.Counter
 }
 
 // Router fronts the shard set. It implements engine.Engine.
@@ -84,11 +87,17 @@ type Router struct {
 	// pushes on the commit path.
 	mu     sync.Mutex
 	placed map[string]int // placement overrides + created databases
-	dbs    map[string]*DB // live wrappers by name
-	// migrating counts in-flight migrations; SetRange only records
-	// dirty ranges while it is non-zero.
+	// overridden marks names with a durable placement record in the
+	// coordinator log; DropDB must retire that record with a tombstone
+	// or recovery routes the name to a shard it no longer lives on.
+	overridden map[string]bool
+	dbs        map[string]*DB // live wrappers by name
 	migrations map[string]*migration
-	crashed    bool
+	// indoubt holds decided cross-shard commits whose commit-word push
+	// failed transiently; RepairInDoubt re-drives them so their shards'
+	// claims, undo slots and decision records free up without a crash.
+	indoubt []indoubtCommit
+	crashed bool
 	// gen increments on every crash; handles from an older generation
 	// are retired, like the library's retireAllLocked.
 	gen uint64
@@ -103,9 +112,11 @@ type Router struct {
 	metrics metrics
 
 	// Test hooks, fired on the committing goroutine between protocol
-	// phases; nil outside white-box crash-schedule tests.
+	// phases (and on the migrating goroutine before the final quiesce);
+	// nil outside white-box crash-schedule tests.
 	hookAfterPrepare  func()
 	hookAfterDecision func()
+	hookBeforeQuiesce func()
 }
 
 // New builds a router over pre-wired shard libraries. With more than one
@@ -120,6 +131,7 @@ func New(shards []*core.Library) (*Router, error) {
 		shards:     shards,
 		nets:       make([]*netram.Client, len(shards)),
 		placed:     make(map[string]int),
+		overridden: make(map[string]bool),
 		dbs:        make(map[string]*DB),
 		migrations: make(map[string]*migration),
 	}
@@ -230,7 +242,13 @@ func (r *Router) OpenDB(name string) (engine.DB, error) {
 }
 
 // DropDB removes a database from its shard. Like the library's DropDB it
-// requires that shard to be between transactions.
+// requires that shard to be between transactions. Dropping a migrated
+// database also retires its durable placement override with a tombstone
+// record, so a later recreation lands on its hash home both live and
+// after a crash — without the tombstone, recovery would rebuild the
+// stale override and its stale-copy sweep would destroy the recreated
+// database. Like the library's own DropDB, a drop must not race a
+// CreateDB of the same name.
 func (r *Router) DropDB(name string) error {
 	r.mu.Lock()
 	if r.crashed {
@@ -242,13 +260,42 @@ func (r *Router) DropDB(name string) error {
 		return fmt.Errorf("router: database %q is migrating", name)
 	}
 	shard := r.homeShardLocked(name)
+	overridden := r.overridden[name]
 	r.mu.Unlock()
 	if err := r.shards[shard].DropDB(name); err != nil {
-		return err
+		// A retry after an earlier failed tombstone push finds the copy
+		// already gone; the override still needs retiring below.
+		if !(overridden && errors.Is(err, core.ErrNoSuchDB)) {
+			return err
+		}
 	}
 	r.mu.Lock()
 	delete(r.dbs, name)
+	if !overridden {
+		delete(r.placed, name)
+		r.mu.Unlock()
+		return nil
+	}
+	if r.crashed || r.coord == nil {
+		r.mu.Unlock()
+		return engine.ErrCrashed
+	}
+	coord := r.coord
+	off, n, err := r.appendPlacementLocked(name, placementTombstone)
+	if err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("router: retire placement of %q: %w", name, err)
+	}
+	r.mu.Unlock()
+	if err := r.nets[0].Push(coord, off, n); err != nil {
+		// The override record is still durable; r.placed keeps the name
+		// pinned to it so live routing and a recovery agree (a recreation
+		// lands back on the override shard). Retrying DropDB clears it.
+		return fmt.Errorf("router: retire placement of %q: %w", name, err)
+	}
+	r.mu.Lock()
 	delete(r.placed, name)
+	delete(r.overridden, name)
 	r.mu.Unlock()
 	return nil
 }
@@ -277,6 +324,9 @@ func (r *Router) Crash(kind fault.CrashKind) error {
 	r.coordFree = nil
 	r.dbs = make(map[string]*DB)
 	r.migrations = make(map[string]*migration)
+	// In-doubt completions die with the node; recovery finishes them
+	// from their decision records.
+	r.indoubt = nil
 	r.mu.Unlock()
 	for _, lib := range r.shards {
 		_ = lib.Crash(kind)
@@ -370,9 +420,11 @@ func (r *Router) Recover() error {
 	// half-filled destination (no override recorded yet) or an undropped
 	// source (override recorded, drop lost to the crash).
 	r.placed = make(map[string]int)
+	r.overridden = make(map[string]bool)
 	for name, shard := range overrides {
 		if shard < len(r.shards) {
 			r.placed[name] = shard
+			r.overridden[name] = true
 		}
 	}
 	for i, lib := range r.shards {
@@ -387,6 +439,7 @@ func (r *Router) Recover() error {
 	}
 	r.dbs = make(map[string]*DB)
 	r.migrations = make(map[string]*migration)
+	r.indoubt = nil
 	r.crashed = false
 	return nil
 }
@@ -407,11 +460,12 @@ func (r *Router) Close() error {
 // Stats snapshots the router counters.
 func (r *Router) Stats() Stats {
 	return Stats{
-		SingleShardCommits: r.metrics.single.Load(),
-		CrossShardCommits:  r.metrics.cross.Load(),
-		CrossShardAborts:   r.metrics.crossAborts.Load(),
-		DecisionsReplayed:  r.metrics.replayed.Load(),
-		Migrations:         r.metrics.migrations.Load(),
+		SingleShardCommits:  r.metrics.single.Load(),
+		CrossShardCommits:   r.metrics.cross.Load(),
+		CrossShardAborts:    r.metrics.crossAborts.Load(),
+		DecisionsReplayed:   r.metrics.replayed.Load(),
+		CompletionsRepaired: r.metrics.repaired.Load(),
+		Migrations:          r.metrics.migrations.Load(),
 	}
 }
 
@@ -427,6 +481,7 @@ func (r *Router) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("perseas_router_cross_shard_commits_total", "commits through the cross-shard protocol", &r.metrics.cross)
 	reg.RegisterCounter("perseas_router_cross_shard_aborts_total", "cross-shard transactions rolled back at commit", &r.metrics.crossAborts)
 	reg.RegisterCounter("perseas_router_decisions_replayed_total", "decision records finished by recovery", &r.metrics.replayed)
+	reg.RegisterCounter("perseas_router_completions_repaired_total", "decided commits finished by live in-doubt repair", &r.metrics.repaired)
 	reg.RegisterCounter("perseas_router_migrations_total", "completed online database migrations", &r.metrics.migrations)
 	for i, lib := range r.shards {
 		lib.RegisterMetricsPrefixed(reg, fmt.Sprintf("perseas_shard%d", i))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/ics-forth/perseas/internal/core"
 	"github.com/ics-forth/perseas/internal/engine"
@@ -16,20 +17,10 @@ type routerTx struct {
 	r *Router
 	// subs[i] is the open sub-transaction on shard i, nil if untouched.
 	subs []*core.Tx
-	// touched records declared ranges of migrating databases; their
-	// commit re-dirties the migration copy. Empty unless a migration is
-	// in flight.
-	touched []touch
-	done    bool
+	done bool
 	// gen is the router generation at Begin; a crash bumps it, retiring
 	// this handle.
 	gen uint64
-}
-
-type touch struct {
-	name string
-	off  uint64
-	n    uint64
 }
 
 // checkOpen orders the crashed and retired checks the way the library
@@ -63,7 +54,6 @@ func (t *routerTx) SetRange(db engine.DB, offset, length uint64) error {
 	}
 	gen := r.gen
 	shard, inner := d.shard, d.inner
-	migrating := r.migrations[d.name] != nil
 	r.mu.Unlock()
 	if t.done || gen != t.gen {
 		return engine.ErrNoTransaction
@@ -80,9 +70,23 @@ func (t *routerTx) SetRange(db engine.DB, offset, length uint64) error {
 	if err := sub.SetRange(inner, offset, length); err != nil {
 		return err
 	}
-	if migrating {
-		t.touched = append(t.touched, touch{name: d.name, off: offset, n: length})
+	// Feed a live migration's dirty set now, while this transaction's
+	// range claim is held. The migration's final epoch begins with a
+	// whole-database claim, which can only succeed after this claim
+	// releases — so the record is guaranteed to be in the dirty set that
+	// final epoch pushes, whether the transaction commits (re-copy the
+	// new bytes) or aborts (re-copy the restored ones). Recording at
+	// commit time instead loses committed writes two ways: core Commit
+	// releases claims before the router regains control, so the final
+	// claim can slip in and snapshot the dirty set first; and a
+	// migration registered between the routing lookup above and the
+	// claim would never be fed at all, while its epoch-0 sweep may already
+	// have copied the range's pre-transaction bytes.
+	r.mu.Lock()
+	if mig := r.migrations[d.name]; mig != nil {
+		mig.addDirty(offset, length)
 	}
+	r.mu.Unlock()
 	return nil
 }
 
@@ -111,7 +115,6 @@ func (t *routerTx) Commit() error {
 		if err == nil {
 			t.r.metrics.single.Inc()
 			t.done = true
-			t.recordDirty()
 			return nil
 		}
 		if errors.Is(err, engine.ErrCrashed) || errors.Is(err, engine.ErrNoTransaction) {
@@ -128,6 +131,10 @@ func (t *routerTx) Commit() error {
 // commitCross is the coordinator side of a cross-shard commit.
 func (t *routerTx) commitCross(live []*core.Tx, shardIdx []int) error {
 	r := t.r
+
+	// Older decided commits stuck in doubt hold range claims, undo slots
+	// and decision records; re-drive them before adding more load.
+	r.RepairInDoubt()
 
 	// Phase 1 — prepare every participant in parallel. Each shard pushes
 	// this transaction's ranges to its own mirror set (riding that
@@ -170,26 +177,126 @@ func (t *routerTx) commitCross(live []*core.Tx, shardIdx []int) error {
 	}
 
 	// Phase 3 — complete in parallel: each participant publishes its own
-	// commit word.
+	// commit word. The word push is idempotent (a failed push rolls the
+	// local word back and leaves the transaction prepared), so transient
+	// failures retry in place.
 	for i, sub := range live {
 		wg.Add(1)
 		go func(i int, sub *core.Tx) {
 			defer wg.Done()
-			errs[i] = sub.CommitPrepared()
+			errs[i] = completePrepared(sub)
 		}(i, sub)
 	}
 	wg.Wait()
 	t.done = true
 	if err := firstError(errs); err != nil {
-		// The decision is durable: any participant that missed its word
-		// push finishes this commit during recovery. The record stays
-		// occupied so recovery can find it.
+		// The decision is durable: this transaction is committed even
+		// though some participant's word push keeps failing. The record
+		// stays occupied so recovery can finish it after a crash; on a
+		// live system the still-prepared participants are parked for
+		// RepairInDoubt, which re-drives their word pushes and releases
+		// the decision slot — otherwise they would hold their range
+		// claims and undo slots until the next crash.
+		var stuck []*core.Tx
+		for i, e := range errs {
+			if e != nil && !errors.Is(e, engine.ErrCrashed) && !errors.Is(e, engine.ErrNoTransaction) {
+				stuck = append(stuck, live[i])
+			}
+		}
+		r.mu.Lock()
+		if len(stuck) > 0 && !r.crashed && r.gen == t.gen {
+			r.indoubt = append(r.indoubt, indoubtCommit{gid: gid, slot: slot, subs: stuck})
+		}
+		r.mu.Unlock()
 		return fmt.Errorf("router: cross-shard completion (decision %d is durable): %w", gid, err)
 	}
 	r.releaseDecision(slot)
 	r.metrics.cross.Inc()
-	t.recordDirty()
 	return nil
+}
+
+// completeAttempts and completeBackoff bound the in-place retry of a
+// participant's commit-word push before the transaction is parked in
+// doubt.
+const (
+	completeAttempts = 4
+	completeBackoff  = 200 * time.Microsecond
+)
+
+// completePrepared publishes one participant's commit word, retrying
+// transient push failures. Crash and retired-handle errors are final:
+// recovery owns the completion then.
+func completePrepared(sub *core.Tx) error {
+	var err error
+	for attempt := 0; attempt < completeAttempts; attempt++ {
+		err = sub.CommitPrepared()
+		if err == nil || errors.Is(err, engine.ErrCrashed) || errors.Is(err, engine.ErrNoTransaction) {
+			return err
+		}
+		time.Sleep(completeBackoff << attempt)
+	}
+	return err
+}
+
+// indoubtCommit is a decided cross-shard commit some of whose
+// participants still owe their commit-word push.
+type indoubtCommit struct {
+	gid  uint64
+	slot int
+	subs []*core.Tx
+}
+
+// RepairInDoubt re-drives the completion of decided cross-shard commits
+// whose commit-word pushes failed transiently, freeing their shards'
+// range claims, undo slots and coordinator decision slots without
+// waiting for a crash. It runs opportunistically before every
+// cross-shard commit and may be called directly by tooling. It returns
+// the number of commits still in doubt.
+func (r *Router) RepairInDoubt() int {
+	r.mu.Lock()
+	if r.crashed || len(r.indoubt) == 0 {
+		n := len(r.indoubt)
+		r.mu.Unlock()
+		return n
+	}
+	pending := r.indoubt
+	r.indoubt = nil
+	r.mu.Unlock()
+
+	var still []indoubtCommit
+	for _, ic := range pending {
+		var stuck []*core.Tx
+		abandoned := false
+		for _, sub := range ic.subs {
+			err := sub.CommitPrepared()
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, engine.ErrCrashed) || errors.Is(err, engine.ErrNoTransaction) {
+				// The node crashed under us: the decision record stays
+				// occupied and recovery finishes the commit.
+				abandoned = true
+				continue
+			}
+			stuck = append(stuck, sub)
+		}
+		switch {
+		case abandoned:
+		case len(stuck) == 0:
+			r.releaseDecision(ic.slot)
+			r.metrics.cross.Inc()
+			r.metrics.repaired.Inc()
+		default:
+			still = append(still, indoubtCommit{gid: ic.gid, slot: ic.slot, subs: stuck})
+		}
+	}
+	r.mu.Lock()
+	if !r.crashed {
+		r.indoubt = append(still, r.indoubt...)
+	}
+	n := len(r.indoubt)
+	r.mu.Unlock()
+	return n
 }
 
 // Abort implements engine.Tx: every touched shard rolls back. Sub-
@@ -220,23 +327,6 @@ func (t *routerTx) abortSubs(live []*core.Tx) error {
 		}
 	}
 	return first
-}
-
-// recordDirty feeds this transaction's committed ranges on migrating
-// databases into the migration's dirty set, so the next copy epoch
-// re-copies them.
-func (t *routerTx) recordDirty() {
-	if len(t.touched) == 0 {
-		return
-	}
-	r := t.r
-	r.mu.Lock()
-	for _, tc := range t.touched {
-		if mig := r.migrations[tc.name]; mig != nil {
-			mig.addDirty(tc.off, tc.n)
-		}
-	}
-	r.mu.Unlock()
 }
 
 func firstError(errs []error) error {
