@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race bench bench-obs bench-fanout bench-shard experiments fuzz examples clean
+.PHONY: all check build vet test test-short test-race bench bench-obs bench-fanout bench-quorum bench-shard experiments fuzz examples clean
 
 all: build vet test
 
@@ -42,6 +42,9 @@ bench-obs:
 bench-fanout:
 	$(GO) run ./cmd/perseas-bench -experiment fanout -bench-out BENCH_fanout.json
 	$(GO) run ./cmd/perseas-bench -experiment commitpath -tcp -mirrors 2 -txs 300
+
+bench-quorum:
+	$(GO) run ./cmd/perseas-bench -experiment fanout -quorum 2 -txs 2000 -bench-out BENCH_quorum.json
 
 # Shard scaling sweep: the same workload against 1, 2 and 4 complete
 # PERSEAS instances behind the router, each mirror link modelled as a

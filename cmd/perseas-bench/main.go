@@ -83,6 +83,8 @@ func main() {
 		"with -tcp: extra per-write delay modelling LAN round-trip time on top of loopback (0 = raw loopback)")
 	flag.StringVar(&shardCSV, "shards", "1,2,4",
 		"with -experiment shard: comma-separated shard counts to sweep")
+	flag.IntVar(&quorumW, "quorum", 0,
+		"with -experiment fanout: also sweep a w-of-n quorum join against a 10x-slow straggler mirror (0 = skip)")
 	flag.Parse()
 
 	if *traceOut != "" {
@@ -135,6 +137,7 @@ var (
 	benchOutPath  string
 	netDelay      time.Duration
 	shardCSV      = "1,2,4"
+	quorumW       int
 )
 
 // routerSingle forces the shard router even for single-shard labs. Only
@@ -614,6 +617,7 @@ func runCommitPathTCP(w io.Writer, txs, nMirrors int) error {
 type fanoutResult struct {
 	Mirrors int    `json:"mirrors"`
 	Mode    string `json:"mode"`
+	Quorum  int    `json:"quorum,omitempty"`
 	NsPerOp int64  `json:"ns_per_op"`
 }
 
@@ -703,12 +707,91 @@ func runFanout(w io.Writer, txs int) error {
 			perOp["serial"].Round(time.Microsecond), perOp["parallel"].Round(time.Microsecond),
 			float64(perOp["serial"])/float64(perOp["parallel"]))
 	}
-	benchResults = map[string]any{
+	// Quorum sweep: same rig plus one 10x-slow straggler mirror. The
+	// all-ack arm pays the straggler on every push; the w-of-n arm
+	// returns at the fast mirrors' pace while the straggler catches up
+	// asynchronously — the gap is the headline number BENCH_quorum.json
+	// tracks.
+	if quorumW > 0 {
+		const slowFactor = 10
+		const nm = 3
+		if quorumW >= nm {
+			return fmt.Errorf("-quorum %d must be below the %d-mirror sweep rig so a straggler exists", quorumW, nm)
+		}
+		fmt.Fprintf(w, "\nQuorum sweep — %d mirrors, one with %v per-write delay (%dx straggler), %d pushes of 4 KiB\n",
+			nm, slowFactor*delay, slowFactor, iters)
+		fmt.Fprintf(w, "%12s %14s\n", "join", "latency/op")
+		arms := []struct {
+			label string
+			qw    int
+		}{{"all-ack", 0}, {fmt.Sprintf("quorum-%d", quorumW), quorumW}}
+		for _, arm := range arms {
+			var opts []netram.Option
+			if arm.qw > 0 {
+				opts = append(opts, netram.WithQuorum(arm.qw))
+			}
+			var mirrors []netram.Mirror
+			for i := 0; i < nm; i++ {
+				srv := memserver.New(memserver.WithLabel(fmt.Sprintf("q%d", i)))
+				tr, err := transport.NewInProc(srv, sci.DefaultParams(), simclock.NewWall())
+				if err != nil {
+					return err
+				}
+				d := delay
+				if i == nm-1 {
+					d = slowFactor * delay
+				}
+				mirrors = append(mirrors, netram.Mirror{
+					Name: srv.Label(), T: &slowWrite{Transport: tr, delay: d},
+				})
+			}
+			c, err := netram.NewClient(mirrors, opts...)
+			if err != nil {
+				return err
+			}
+			reg, err := c.Malloc("bench", 64<<10)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 3; i++ { // warm workers and pools
+				if err := c.Push(reg, 0, 4096); err != nil {
+					return err
+				}
+			}
+			c.WaitCatchUp()
+			var timed time.Duration
+			for i := 0; i < iters; i++ {
+				t0 := time.Now()
+				if err := c.Push(reg, uint64(i%16)*4096, 4096); err != nil {
+					return err
+				}
+				timed += time.Since(t0)
+				if arm.qw > 0 && (i+1)%32 == 0 {
+					// Drain the straggler outside the timed window so the
+					// bounded catch-up queue never overflows into a
+					// degrade mid-measurement.
+					c.WaitCatchUp()
+				}
+			}
+			c.WaitCatchUp()
+			perOp := timed / time.Duration(iters)
+			fmt.Fprintf(w, "%12s %14s\n", arm.label, perOp.Round(time.Microsecond))
+			results = append(results, fanoutResult{
+				Mirrors: nm, Mode: "slow-" + arm.label, Quorum: arm.qw, NsPerOp: perOp.Nanoseconds(),
+			})
+			c.Close()
+		}
+	}
+	out := map[string]any{
 		"experiment":     "fanout",
 		"write_delay_ns": delay.Nanoseconds(),
 		"pushes":         iters,
 		"results":        results,
 	}
+	if quorumW > 0 {
+		out["quorum"] = quorumW
+	}
+	benchResults = out
 	return nil
 }
 

@@ -248,7 +248,7 @@ func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
 
 	fmt.Fprintln(out, "MIRRORS:")
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "SLOT\tMIRROR\tSTATE\tLAST-BEAT\tRTT-P99\tDEATHS\tREBUILT\tERROR")
+	fmt.Fprintln(w, "SLOT\tMIRROR\tSTATE\tLAST-BEAT\tRTT-P99\tCATCH-UP\tDEATHS\tREBUILT\tERROR")
 	healthy := true
 	for i, row := range rows {
 		if row.State != guardian.Healthy {
@@ -270,8 +270,8 @@ func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
 		if d, ok := p99[row.Slot]; ok && row.Slot < len(ms) {
 			rtt = d.Round(time.Microsecond).String()
 		}
-		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%d\t%d B\t%s\n",
-			i, addr, row.State, beat, rtt, row.Deaths, row.RebuildBytes, errStr)
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%d\t%d\t%d B\t%s\n",
+			i, addr, row.State, beat, rtt, row.CatchUp, row.Deaths, row.RebuildBytes, errStr)
 	}
 	w.Flush()
 	if healthy {

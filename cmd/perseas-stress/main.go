@@ -68,6 +68,7 @@ type config struct {
 	branches      int
 	workers       int
 	shards        int
+	quorum        int
 	statsEvery    time.Duration
 	metricsAddr   string
 	traceOut      string
@@ -86,6 +87,7 @@ func main() {
 	flag.IntVar(&cfg.branches, "branches", 16, "debit-credit scale")
 	flag.IntVar(&cfg.workers, "workers", 1, "concurrent transaction workers")
 	flag.IntVar(&cfg.shards, "shards", 1, "partition the namespace across this many self-contained PERSEAS instances behind the shard router")
+	flag.IntVar(&cfg.quorum, "quorum", 0, "commit at this many mirror acks instead of all of them; stragglers catch up asynchronously (0 = all-ack)")
 	flag.DurationVar(&cfg.statsEvery, "stats-every", 0, "dump the commit-path latency table this often mid-run (0 = only at the end)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address for the run (e.g. :9090)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write per-transaction spans as Chrome/Perfetto trace-event JSON to this file at the end of the run")
@@ -193,11 +195,20 @@ func run(out io.Writer, cfg config) error {
 		mirrors = append(mirrors, netram.Mirror{Name: addr, T: tr})
 		tcps = append(tcps, tr)
 	}
-	ram, err := netram.NewClient(mirrors)
+	var nopts []netram.Option
+	if cfg.quorum > 0 {
+		nopts = append(nopts, netram.WithQuorum(cfg.quorum))
+	}
+	ram, err := netram.NewClient(mirrors, nopts...)
 	if err != nil {
 		return err
 	}
 	ram.SetTracer(rec)
+	if cfg.quorum > 0 {
+		fmt.Fprintf(out, "durability: quorum %d of %d mirrors (stragglers catch up asynchronously)\n", cfg.quorum, len(mirrors))
+	} else {
+		fmt.Fprintf(out, "durability: all-ack (%d mirrors)\n", len(mirrors))
+	}
 	lib, err := core.Init(ram, simclock.NewWall(), core.WithTracer(rec))
 	if err != nil {
 		return err
@@ -219,9 +230,16 @@ func run(out io.Writer, cfg config) error {
 			return fmt.Errorf("dial spare %s: %w", sl.Addr(), err)
 		}
 		defer str.Close()
+		lagLimit := 0
+		if cfg.quorum > 0 {
+			// Lag-aware health: a reachable mirror drowning in catch-up
+			// work gets rebuilt instead of silently eroding durability.
+			lagLimit = 48
+		}
 		guard, err = guardian.New(ram, simclock.NewWall(), guardian.Config{
 			Interval: 50 * time.Millisecond,
 			Misses:   3,
+			LagLimit: lagLimit,
 			Spares:   []netram.Mirror{{Name: "spare " + sl.Addr().String(), T: str}},
 			OnEvent: func(ev guardian.Event) {
 				fmt.Fprintf(out, "GUARDIAN: mirror %s: %s -> %s\n", ev.Mirror, ev.From, ev.To)

@@ -94,7 +94,11 @@ func runSharded(out io.Writer, cfg config) error {
 			mirrors = append(mirrors, netram.Mirror{Name: addr, T: tr})
 			rig.tcps = append(rig.tcps, tr)
 		}
-		ram, err := netram.NewClient(mirrors)
+		var nopts []netram.Option
+		if cfg.quorum > 0 {
+			nopts = append(nopts, netram.WithQuorum(cfg.quorum))
+		}
+		ram, err := netram.NewClient(mirrors, nopts...)
 		if err != nil {
 			return err
 		}

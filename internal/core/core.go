@@ -165,6 +165,15 @@ type undoSlot struct {
 	// pooled objects); retired-handle misuse before that is still
 	// caught by the done flag.
 	tx *Tx
+	// fence gates slot reuse on the retiring transaction's quorum
+	// stragglers: the slot stays out of acquireSlotLocked until every
+	// push the last transaction enqueued has reached every mirror. This
+	// keeps the per-slot undo log's remote copies prefix-consistent —
+	// at most the HEAD transaction of a slot can be partially
+	// propagated at a crash, which is what quorum recovery's
+	// forward-repair step relies on. The zero Fence is already Done, so
+	// all-ack clients never wait.
+	fence netram.Fence
 }
 
 // Library is one PERSEAS instance. Unlike the paper's sequential
@@ -321,7 +330,10 @@ func Init(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library, e
 	binary.BigEndian.PutUint64(meta.Local[metaCommittedOff:], 0)
 	binary.BigEndian.PutUint64(meta.Local[metaUndoSizeOff:], l.undoSize)
 	binary.BigEndian.PutUint32(meta.Local[metaDBCountOff:], 0)
-	if err := net.PushAll(meta); err != nil {
+	// Acked on every mirror: recovery reads the metadata region from
+	// whichever mirror it reaches first, so quorum mode must not leave a
+	// lagging copy behind. Identical to PushAll under all-ack.
+	if err := net.PushAllAcked(meta); err != nil {
 		return nil, fmt.Errorf("perseas: publish metadata: %w", err)
 	}
 	return l, nil
@@ -349,7 +361,7 @@ func slotWordOffset(metaSize uint64, k int) uint64 {
 // Caller holds l.mu.
 func (l *Library) acquireSlotLocked() (*undoSlot, error) {
 	for _, s := range l.slots {
-		if !s.busy {
+		if !s.busy && s.fence.Done() {
 			return s, nil
 		}
 	}
@@ -458,7 +470,9 @@ func (l *Library) InitDB(db engine.DB) error {
 		return err
 	}
 	l.mu.Unlock()
-	if err := l.net.PushAll(d.region); err != nil {
+	// Acked everywhere: the initial image is the baseline every replica
+	// and every future repair builds on.
+	if err := l.net.PushAllAcked(d.region); err != nil {
 		return fmt.Errorf("perseas: mirror database %q: %w", d.name, err)
 	}
 	return nil
@@ -567,7 +581,10 @@ func (l *Library) writeDirectoryLocked() error {
 		off += need
 	}
 	l.dirEnd = uint64(off)
-	if err := l.net.PushAll(l.meta); err != nil {
+	// Acked everywhere: recovery parses the directory from a single
+	// mirror's metadata copy, so quorum mode may not commit a directory
+	// change that some replica has not seen.
+	if err := l.net.PushAllAcked(l.meta); err != nil {
 		return fmt.Errorf("perseas: publish directory: %w", err)
 	}
 	return nil

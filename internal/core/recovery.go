@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"github.com/ics-forth/perseas/internal/hostmem"
 	"github.com/ics-forth/perseas/internal/netram"
@@ -10,10 +11,152 @@ import (
 )
 
 // recoveredSlot pairs a reconnected undo-slot region with its committed
-// word as read from the recovered metadata region.
+// word as read from the recovered metadata region. Under quorum
+// recovery, committed is the maximum word any reachable mirror holds
+// for the slot and holders lists the mirrors whose metadata snapshot
+// held that maximum (empty in all-ack mode).
 type recoveredSlot struct {
 	region    *netram.Region
 	committed uint64
+	holders   []int
+}
+
+// mirrorCopy is one reachable mirror's snapshot of the metadata region,
+// taken at the start of a quorum recovery. A crash can leave mirrors at
+// different prefixes of the push stream, so no single copy can be
+// trusted for the commit words.
+type mirrorCopy struct {
+	idx int
+	buf []byte
+}
+
+// fetchMetaCopies snapshots the metadata region from every reachable
+// mirror. Quorum recovery needs at least n-w+1 copies: a commit word
+// acked by w of n mirrors is then guaranteed to appear in at least one
+// snapshot, so taking the per-slot maximum over the copies recovers
+// every quorum-committed word.
+func (l *Library) fetchMetaCopies(meta *netram.Region) ([]mirrorCopy, error) {
+	n := l.net.Mirrors()
+	w := l.net.Quorum()
+	copies := make([]mirrorCopy, 0, n)
+	var lastErr error
+	for i := 0; i < n; i++ {
+		data, err := l.net.FetchMirror(i, meta, 0, meta.Size())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		copies = append(copies, mirrorCopy{idx: i, buf: buf})
+	}
+	if len(copies) < n-w+1 {
+		return nil, fmt.Errorf("perseas: quorum recovery reached %d of %d metadata copies, needs %d to cover every %d-ack commit: %w",
+			len(copies), n, n-w+1, w, lastErr)
+	}
+	return copies, nil
+}
+
+// repairOp is one undo slot's staged crash repair. forward means the
+// slot's head transaction is committed (its id equals the slot's merged
+// commit word, or a coordinator decided it) but may not have reached
+// every mirror: its modified ranges are re-fetched from the winner
+// mirror and re-published. Otherwise the head transaction is in flight
+// and its before-images roll it back. holders counts the mirrors whose
+// snapshot held the slot's merged word — because every mirror receives
+// the push stream in the same order, holder sets of different commit
+// words are nested, so a larger holder set means the word was enqueued
+// earlier: sorting forward repairs by descending holder count replays
+// committed overlaps in true commit order even when transaction ids
+// (assigned at Begin) disagree with it.
+type repairOp struct {
+	slot    int
+	forward bool
+	txID    uint64
+	winner  int
+	holders int
+	recs    []undoRecord
+}
+
+// scanMirrorUndoLog parses mirror m's copy of an undo-slot region
+// without touching the region's local buffer, fetching lazily in
+// chunks. The returned records alias buf; fetched is how many leading
+// bytes of the mirror's log were materialised.
+func (l *Library) scanMirrorUndoLog(m int, region *netram.Region, committed uint64) (recs []undoRecord, buf []byte, fetched uint64, err error) {
+	const undoChunk = 64 << 10
+	buf = make([]byte, region.Size())
+	ensure := func(n uint64) error {
+		if n > region.Size() {
+			n = region.Size()
+		}
+		if n <= fetched {
+			return nil
+		}
+		target := (n + undoChunk - 1) / undoChunk * undoChunk
+		if target > region.Size() {
+			target = region.Size()
+		}
+		data, ferr := l.net.FetchMirror(m, region, fetched, target-fetched)
+		if ferr != nil {
+			return fmt.Errorf("perseas: fetch undo log from mirror %d: %w", m, ferr)
+		}
+		copy(buf[fetched:], data)
+		fetched = target
+		return nil
+	}
+	recs, err = scanUndoLogLazy(buf, committed, ensure)
+	return recs, buf, fetched, err
+}
+
+// planSlotRepair decides how quorum recovery settles undo slot k. Every
+// mirror receives the slot's pushes in enqueue order, so each mirror's
+// log is a prefix of the slot's true record sequence; the scan with the
+// lowest threshold that still admits the head transaction (word-1)
+// makes a committed-but-possibly-lagging head visible. Among the
+// slot's word holders the log with the highest head id, then the most
+// records, is the longest prefix — it contains every record that has
+// data anywhere. Its bytes become the local view of the slot.
+func (l *Library) planSlotRepair(k int, rs recoveredSlot) (*repairOp, error) {
+	threshold := rs.committed
+	if threshold > 0 {
+		threshold--
+	}
+	bestN := -1
+	var bestHead, bestFetched uint64
+	var bestWinner int
+	var bestRecs []undoRecord
+	var bestBuf []byte
+	var lastErr error
+	for _, m := range rs.holders {
+		recs, buf, fetched, err := l.scanMirrorUndoLog(m, rs.region, threshold)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		head := uint64(0)
+		if len(recs) > 0 {
+			head = recs[0].txID
+		}
+		if bestN < 0 || head > bestHead || (head == bestHead && len(recs) > bestN) {
+			bestHead, bestN, bestWinner = head, len(recs), m
+			bestRecs, bestBuf, bestFetched = recs, buf, fetched
+		}
+	}
+	if bestN < 0 {
+		return nil, fmt.Errorf("perseas: undo slot %d unreadable on every quorum-current mirror: %w", k, lastErr)
+	}
+	copy(rs.region.Local[:bestFetched], bestBuf[:bestFetched])
+	if bestN == 0 {
+		return nil, nil
+	}
+	return &repairOp{
+		slot:    k,
+		forward: bestHead == rs.committed,
+		txID:    bestHead,
+		winner:  bestWinner,
+		holders: len(rs.holders),
+		recs:    bestRecs,
+	}, nil
 }
 
 // lazyFetcher returns an ensure(n) callback that materialises region
@@ -91,6 +234,20 @@ func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 		return err
 	}
 
+	// Quorum mode: the commit words on the fetched copy may lag other
+	// mirrors, so snapshot the metadata from every reachable mirror and
+	// merge each slot's word by maximum below. The directory itself is
+	// always pushed fully acked, so the base copy is authoritative for
+	// everything but the words.
+	q := l.net.Quorum()
+	var metaCopies []mirrorCopy
+	if q > 0 {
+		metaCopies, err = l.fetchMetaCopies(meta)
+		if err != nil {
+			return err
+		}
+	}
+
 	// Reconnect to every undo slot. Slot 0 always exists; further slots
 	// were allocated on demand by past concurrency and are found by name.
 	recovered := []recoveredSlot{}
@@ -110,6 +267,41 @@ func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 		if k > 0 {
 			word = binary.BigEndian.Uint64(meta.Local[slotWordOffset(meta.Size(), k):])
 		}
+		var holders []int
+		if q > 0 {
+			// Merge the slot's word across the snapshots: a commit that
+			// reached its quorum is on at least one of them. Mirrors
+			// holding the maximum are the slot's repair candidates — the
+			// word is enqueued after the head transaction's records and
+			// data, so a word holder has all of them.
+			wordOff := slotWordOffset(meta.Size(), k)
+			merged := word
+			for _, mc := range metaCopies {
+				if w := binary.BigEndian.Uint64(mc.buf[wordOff:]); w > merged {
+					merged = w
+				}
+			}
+			stale := false
+			for _, mc := range metaCopies {
+				if binary.BigEndian.Uint64(mc.buf[wordOff:]) == merged {
+					holders = append(holders, mc.idx)
+				} else {
+					stale = true
+				}
+			}
+			if len(holders) == 0 {
+				for _, mc := range metaCopies {
+					holders = append(holders, mc.idx)
+				}
+			}
+			if merged != word || stale {
+				binary.BigEndian.PutUint64(meta.Local[wordOff:], merged)
+				if err := l.net.PushAcked(meta, wordOff, 8); err != nil {
+					return fmt.Errorf("perseas: republish commit word of slot %d: %w", k, err)
+				}
+				word = merged
+			}
+		}
 		if d := decided[k]; d > word {
 			// The coordinator decided this slot's head transaction
 			// committed but the crash beat the word push. Publish the
@@ -117,12 +309,21 @@ func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 			// transaction's records as committed.
 			wordOff := slotWordOffset(meta.Size(), k)
 			binary.BigEndian.PutUint64(meta.Local[wordOff:], d)
-			if err := l.net.Push(meta, wordOff, 8); err != nil {
+			if err := l.net.PushAcked(meta, wordOff, 8); err != nil {
 				return fmt.Errorf("perseas: publish decided commit word: %w", err)
 			}
 			word = d
+			if q > 0 {
+				// No snapshot holds the decided word, but the prepared
+				// data behind a decision is always pushed fully acked,
+				// so any reachable mirror can serve the repair.
+				holders = holders[:0]
+				for _, mc := range metaCopies {
+					holders = append(holders, mc.idx)
+				}
+			}
 		}
-		recovered = append(recovered, recoveredSlot{region: region, committed: word})
+		recovered = append(recovered, recoveredSlot{region: region, committed: word, holders: holders})
 	}
 
 	// Reconnect to every database record and copy it back.
@@ -155,6 +356,7 @@ func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 	committed := uint64(0)
 	lastTxID := uint64(0)
 	slotRecs := make([][]undoRecord, len(recovered))
+	var repairs []repairOp
 	for k, rs := range recovered {
 		if rs.committed > committed {
 			committed = rs.committed
@@ -162,11 +364,23 @@ func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 		if rs.committed > lastTxID {
 			lastTxID = rs.committed
 		}
-		recs, err := scanUndoLogLazy(rs.region.Local, rs.committed, l.lazyFetcher(rs.region))
-		if err != nil {
-			return err
+		var recs []undoRecord
+		if q > 0 {
+			op, err := l.planSlotRepair(k, rs)
+			if err != nil {
+				return err
+			}
+			if op != nil {
+				repairs = append(repairs, *op)
+				recs = op.recs
+			}
+		} else {
+			recs, err = scanUndoLogLazy(rs.region.Local, rs.committed, l.lazyFetcher(rs.region))
+			if err != nil {
+				return err
+			}
+			slotRecs[k] = recs
 		}
-		slotRecs[k] = recs
 		for _, rec := range recs {
 			if rec.txID > lastTxID {
 				lastTxID = rec.txID
@@ -215,6 +429,70 @@ func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 			l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
 			if err := l.net.Push(db.region, rec.offset, rec.length); err != nil {
 				return fmt.Errorf("perseas: repair mirror of %q: %w", db.name, err)
+			}
+		}
+	}
+
+	// Quorum repairs are staged against the local image first and
+	// published only afterwards: writes to the mirrors begin only after
+	// every winner's bytes were fetched, so one slot's repair can never
+	// clobber bytes another slot still needs to read. Forward repairs
+	// apply in commit order (descending holder count — see repairOp);
+	// rollbacks apply last, because an in-flight claim is always the
+	// newest writer of its bytes.
+	if len(repairs) > 0 {
+		sort.SliceStable(repairs, func(i, j int) bool {
+			a, b := repairs[i], repairs[j]
+			if a.forward != b.forward {
+				return a.forward
+			}
+			return a.forward && a.holders > b.holders
+		})
+		type pubRange struct {
+			db   *Database
+			off  uint64
+			n    uint64
+		}
+		var pub []pubRange
+		for _, op := range repairs {
+			for i := len(op.recs) - 1; i >= 0; i-- {
+				rec := op.recs[i]
+				db, ok := byID[rec.dbID]
+				if !ok {
+					continue
+				}
+				if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
+					return fmt.Errorf("perseas: undo record outside database %q", db.name)
+				}
+				if op.forward {
+					data, err := l.net.FetchMirror(op.winner, db.region, rec.offset, rec.length)
+					if err != nil {
+						return fmt.Errorf("perseas: re-fetch committed range of %q: %w", db.name, err)
+					}
+					l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], data)
+				} else {
+					l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
+				}
+				pub = append(pub, pubRange{db: db, off: rec.offset, n: rec.length})
+			}
+		}
+		for _, p := range pub {
+			if err := l.net.PushAcked(p.db.region, p.off, p.n); err != nil {
+				return fmt.Errorf("perseas: repair mirror of %q: %w", p.db.name, err)
+			}
+		}
+	}
+
+	// Quorum recovery adopted each slot's winning undo log as the local
+	// image; republish it whole so every mirror's copy — including one
+	// that missed straggler writes entirely — is byte-identical before
+	// the region set is readable. The tail beyond the winner's records
+	// is zeros, which a future scan treats as log end; stale divergent
+	// tails must not survive into the next crash's winner election.
+	if q > 0 {
+		for _, rs := range recovered {
+			if err := l.net.PushAllAcked(rs.region); err != nil {
+				return fmt.Errorf("perseas: republish undo log: %w", err)
 			}
 		}
 	}

@@ -98,6 +98,11 @@ func (l *Library) BeginTx() (*Tx, error) {
 func (l *Library) finishLocked(t *Tx) {
 	t.done = true
 	t.slot.busy = false
+	// Snapshot the catch-up frontier: the slot may not host a new
+	// transaction until every push this one enqueued has landed on
+	// every mirror (no-op under all-ack, where the Fence zero value is
+	// already Done). See undoSlot.fence.
+	t.slot.fence = l.net.Fence()
 	l.locks.releaseAll(t.id)
 	delete(l.txs, t)
 }
@@ -214,7 +219,7 @@ func (t *Tx) Commit() error {
 	merged := t.mergeRanges()
 	cm := t.tt.Start(trace.LayerEngine, "commit")
 	total := l.clock.Now()
-	if err := t.pushRanges(cm, merged); err != nil {
+	if err := t.pushRanges(cm, merged, false); err != nil {
 		return err
 	}
 	if err := t.publishWord(cm, prevWord); err != nil {
@@ -250,7 +255,7 @@ func (t *Tx) Prepare() error {
 	merged := t.mergeRanges()
 	pp := t.tt.Start(trace.LayerEngine, "prepare")
 	t.prepStart = l.clock.Now()
-	if err := t.pushRanges(pp, merged); err != nil {
+	if err := t.pushRanges(pp, merged, true); err != nil {
 		return err
 	}
 	pp.EndN(uint64(len(merged)))
@@ -341,8 +346,13 @@ func (t *Tx) mergeRanges() []pending {
 // pushRanges is commit step 3 (paper Fig. 3): the modified portions of
 // each database travel to its mirrors, one batched exchange per database
 // per mirror. parent is the enclosing "commit" or "prepare" span; it is
-// closed on failure so the trace tree stays balanced.
-func (t *Tx) pushRanges(parent trace.SpanRef, merged []pending) error {
+// closed on failure so the trace tree stays balanced. allAck forces the
+// full-fanout join on quorum clients — Prepare needs it, because a
+// coordinator decision makes the prepared data durable without a commit
+// word and recovery then has no word-max mirror guaranteed to hold the
+// data; Commit's word push carries that guarantee itself, so the fast
+// quorum join stays safe there.
+func (t *Tx) pushRanges(parent trace.SpanRef, merged []pending, allAck bool) error {
 	l := t.l
 	phase := l.clock.Now()
 	rp := t.tt.Start(trace.LayerCore, "range_push")
@@ -359,7 +369,11 @@ func (t *Tx) pushRanges(parent trace.SpanRef, merged []pending) error {
 		// reached even one mirror must be re-pushed by Abort or that
 		// mirror's database silently diverges from local.
 		t.pushed = append(t.pushed, merged[i:j]...)
-		if err := l.net.PushManyTraced(db.region, scratch, t.tt); err != nil {
+		push := l.net.PushManyTraced
+		if allAck {
+			push = l.net.PushManyAckedTraced
+		}
+		if err := push(db.region, scratch, t.tt); err != nil {
 			rp.End()
 			parent.End()
 			return fmt.Errorf("perseas: push database ranges: %w", err)

@@ -99,6 +99,13 @@ type Config struct {
 	// OnEvent, when non-nil, observes every state transition (for logs
 	// and CLIs). Called without guardian locks held.
 	OnEvent func(Event)
+	// LagLimit, when positive, treats a quorum mirror whose catch-up
+	// queue holds more than this many pending writes as missing a
+	// heartbeat even when it still answers probes: a reachable replica
+	// that cannot keep up is as much a durability risk as a silent one,
+	// and the miss path walks it through Suspect to the rebuild that
+	// resyncs it. Zero disables the check (all-ack clients have no lag).
+	LagLimit int
 }
 
 // Event is one state transition of one mirror.
@@ -137,6 +144,9 @@ type MirrorHealth struct {
 	// LastError is the most recent probe or rebuild error, nil when
 	// healthy.
 	LastError error
+	// CatchUp is the mirror's pending quorum catch-up queue depth at
+	// the time of the snapshot (always zero on all-ack clients).
+	CatchUp int
 }
 
 // Metrics are the guardian's counters and histograms.
@@ -302,6 +312,7 @@ func (g *Guardian) Status() []MirrorHealth {
 	g.mu.Unlock()
 	for i := range rows {
 		rows[i].Mirror = g.client.MirrorName(i)
+		rows[i].CatchUp = g.client.CatchUpPending(i)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Slot < rows[j].Slot })
 	return rows
@@ -379,6 +390,14 @@ func (g *Guardian) loop(stop <-chan struct{}, done chan<- struct{}) {
 func (g *Guardian) pass(now time.Duration) {
 	for i := 0; i < g.client.Mirrors(); i++ {
 		err := g.client.ProbeMirror(i)
+		if err == nil && g.cfg.LagLimit > 0 {
+			// Lag-aware health: a mirror that answers probes but has
+			// fallen too far behind the quorum counts as a miss, so the
+			// ordinary Suspect→Dead→rebuild machinery resyncs it.
+			if lag := g.client.CatchUpPending(i); lag > g.cfg.LagLimit {
+				err = fmt.Errorf("guardian: catch-up lag %d writes exceeds limit %d", lag, g.cfg.LagLimit)
+			}
+		}
 
 		g.mu.Lock()
 		s := &g.slots[i]

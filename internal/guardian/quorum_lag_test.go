@@ -1,0 +1,112 @@
+package guardian
+
+import (
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// parked wraps a transport and blocks every write on the gate channel —
+// a mirror that answers probes but cannot keep up with the quorum.
+type parked struct {
+	transport.Transport
+	gate chan struct{}
+}
+
+func (p *parked) Write(seg uint32, offset uint64, data []byte) error {
+	<-p.gate
+	return p.Transport.Write(seg, offset, data)
+}
+
+func (p *parked) WriteBatch(writes []transport.BatchWrite) error {
+	<-p.gate
+	if bw, ok := p.Transport.(transport.BatchWriter); ok {
+		return bw.WriteBatch(writes)
+	}
+	for _, w := range writes {
+		if err := p.Transport.Write(w.Seg, w.Offset, w.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestLagLimitTreatsLaggingMirrorAsSuspect pins the guardian's
+// lag-aware health: a quorum mirror whose catch-up queue exceeds
+// LagLimit counts as a missed heartbeat even though it answers probes,
+// walking it toward the rebuild that resyncs it — and it relaxes back
+// to Healthy once the lag drains.
+func TestLagLimitTreatsLaggingMirrorAsSuspect(t *testing.T) {
+	clock := simclock.NewSim()
+	gate := make(chan struct{})
+	var mirrors []netram.Mirror
+	for i := 0; i < 3; i++ {
+		srv := memserver.New(memserver.WithLabel("node" + string(rune('A'+i))))
+		tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tp transport.Transport = tr
+		if i == 2 {
+			tp = &parked{Transport: tr, gate: gate}
+		}
+		mirrors = append(mirrors, netram.Mirror{Name: srv.Label(), T: tp})
+	}
+	client, err := netram.NewClient(mirrors, netram.WithQuorum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(client, clock, Config{Misses: 3, LagLimit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := client.Malloc("db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing in flight: every mirror is healthy.
+	g.Poll()
+	for _, row := range g.Status() {
+		if row.State != Healthy {
+			t.Fatalf("mirror %d %v before any lag", row.Slot, row.State)
+		}
+	}
+
+	// Park mirror C behind 6 quorum writes — past the LagLimit of 4.
+	for i := 0; i < 6; i++ {
+		if err := client.Push(reg, uint64(i)*64, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Poll()
+	rows := g.Status()
+	if rows[2].State != Suspect {
+		t.Errorf("lagging mirror state = %v, want Suspect", rows[2].State)
+	}
+	if rows[2].CatchUp <= 4 {
+		t.Errorf("reported catch-up lag = %d, want > 4", rows[2].CatchUp)
+	}
+	for i := 0; i < 2; i++ {
+		if rows[i].State != Healthy {
+			t.Errorf("fast mirror %d %v, want Healthy", i, rows[i].State)
+		}
+	}
+
+	// Drain the lag: the mirror relaxes back to Healthy on the next
+	// pass without ever being fenced.
+	close(gate)
+	client.WaitCatchUp()
+	g.Poll()
+	rows = g.Status()
+	if rows[2].State != Healthy {
+		t.Errorf("drained mirror state = %v, want Healthy", rows[2].State)
+	}
+	if rows[2].CatchUp != 0 {
+		t.Errorf("drained catch-up lag = %d, want 0", rows[2].CatchUp)
+	}
+}

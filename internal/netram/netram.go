@@ -105,6 +105,14 @@ type Metrics struct {
 	// Fanouts counts pushes dispatched through the parallel fan-out
 	// (two or more eligible mirrors, parallel path enabled).
 	Fanouts obs.Counter
+	// AckDepth is the number of mirror acks a quorum-mode push had
+	// collected when it returned to the caller (all-ack pushes do not
+	// observe it).
+	AckDepth obs.Histogram
+	// CatchUpOverflows counts quorum writes dropped because a mirror's
+	// bounded catch-up queue was full; each drop degrades the mirror and
+	// hands it to the guardian's revive/rebuild path.
+	CatchUpOverflows obs.Counter
 }
 
 // Client is a reliable-network-RAM client bound to a fixed mirror set.
@@ -167,6 +175,19 @@ type Client struct {
 	// straggler is the last observed fan-out spread: slowest minus
 	// fastest mirror completion, in clock nanoseconds.
 	straggler atomic.Uint64
+
+	// Quorum commit state. quorumW > 0 makes Push/PushMany return to
+	// the caller after quorumW mirror acks; the remaining mirrors (the
+	// stragglers) complete asynchronously on their sender workers. The
+	// per-mirror pending counters account every dispatched quorum job:
+	// pendEnq[i] counts jobs handed to mirror i's sender, pendDone[i]
+	// counts jobs that finished (acked, failed, or dropped because the
+	// mirror went down). pendCond wakes drainers when a job retires.
+	quorumW  int
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pendEnq  []uint64
+	pendDone []uint64
 }
 
 // Option configures a Client.
@@ -203,6 +224,18 @@ func WithSerialFanout() Option {
 	return func(c *Client) { c.serialFanout = true }
 }
 
+// WithQuorum makes a push durable at w mirror acks instead of all of
+// them: the caller returns as soon as w mirrors confirmed the write,
+// while the stragglers complete asynchronously on their per-mirror
+// sender workers (a bounded catch-up queue; a mirror that falls more
+// than the queue length behind is degraded and handed to the guardian's
+// revive/rebuild path). w is validated against the mirror count by
+// NewClient; w equal to the mirror count is the all-ack default and
+// leaves every code path exactly as before.
+func WithQuorum(w int) Option {
+	return func(c *Client) { c.quorumW = w }
+}
+
 // NewClient builds a client replicating to the given mirrors.
 func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
 	if len(mirrors) == 0 {
@@ -233,7 +266,112 @@ func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
 		// never exceed what both can hold.
 		c.readChunk = maxReadChunk
 	}
+	if c.quorumW < 0 || c.quorumW > len(mirrors) {
+		return nil, fmt.Errorf("netram: quorum %d outside 1..%d mirrors", c.quorumW, len(mirrors))
+	}
+	if c.quorumW == len(mirrors) {
+		// w == n is the all-ack default; normalising to zero keeps the
+		// historical (and figure-pinned) push paths untouched.
+		c.quorumW = 0
+	}
+	if c.quorumW > 0 && c.serialFanout {
+		return nil, errors.New("netram: WithQuorum requires the parallel fan-out (drop WithSerialFanout)")
+	}
+	if c.quorumW > 0 {
+		c.pendCond = sync.NewCond(&c.pendMu)
+		c.pendEnq = make([]uint64, len(mirrors))
+		c.pendDone = make([]uint64, len(mirrors))
+	}
 	return c, nil
+}
+
+// Quorum reports the configured ack quorum; zero means all-ack (the
+// default, including clients built with WithQuorum(n) for n mirrors).
+func (c *Client) Quorum() int { return c.quorumW }
+
+// CatchUpPending reports how many quorum writes mirror i has been
+// handed but not yet completed — the mirror's catch-up lag in writes.
+// Always zero on all-ack clients.
+func (c *Client) CatchUpPending(i int) int {
+	if c.quorumW == 0 || i < 0 || i >= len(c.mirrors) {
+		return 0
+	}
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	return int(c.pendEnq[i] - c.pendDone[i])
+}
+
+// WaitCatchUp blocks until every mirror has completed every quorum
+// write dispatched so far — the repair-before-read barrier: after it
+// returns (and absent concurrent pushes) no live mirror lags a
+// quorum-committed write. A no-op on all-ack clients.
+func (c *Client) WaitCatchUp() {
+	if c.quorumW == 0 {
+		return
+	}
+	c.drainCatchUp()
+}
+
+// drainCatchUp waits for the per-mirror pending counters to level.
+// Callers that hold topoMu (read or write) rely on stragglers never
+// taking the topology lock: a queued job needs only its captured Mirror
+// value and segment handle to finish, so draining under topoMu.Lock
+// cannot deadlock — and it is exactly what makes topology mutations
+// safe, because no straggler can still reference the old topology once
+// the drain returns.
+func (c *Client) drainCatchUp() {
+	if c.quorumW == 0 {
+		return
+	}
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	for {
+		settled := true
+		for i := range c.pendEnq {
+			if c.pendDone[i] < c.pendEnq[i] {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return
+		}
+		c.pendCond.Wait()
+	}
+}
+
+// Fence captures the set of quorum writes in flight at creation time;
+// Done reports whether all of them have since completed. The zero value
+// (and every fence from an all-ack client) is trivially done, so fence
+// checks cost nothing on the default path.
+type Fence struct {
+	c      *Client
+	target []uint64
+}
+
+// Fence snapshots the current per-mirror dispatch counts.
+func (c *Client) Fence() Fence {
+	if c.quorumW == 0 {
+		return Fence{}
+	}
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	return Fence{c: c, target: append([]uint64(nil), c.pendEnq...)}
+}
+
+// Done reports whether every write the fence covers has completed.
+func (f Fence) Done() bool {
+	if f.c == nil {
+		return true
+	}
+	f.c.pendMu.Lock()
+	defer f.c.pendMu.Unlock()
+	for i, t := range f.target {
+		if f.c.pendDone[i] < t {
+			return false
+		}
+	}
+	return true
 }
 
 // SetClock points the latency histograms at clk (the library's clock,
@@ -323,11 +461,21 @@ func (c *Client) RegisterMetricsPrefixed(reg *obs.Registry, prefix string) {
 	})
 	reg.RegisterCounter(prefix+"_fanouts_total", "pushes dispatched through the parallel mirror fan-out", &m.Fanouts)
 	reg.RegisterGauge(prefix+"_fanout_straggler_ns", "last fan-out spread: slowest minus fastest mirror completion", c.straggler.Load)
+	reg.RegisterGauge(prefix+"_quorum_width", "configured ack quorum (0 = all-ack)", func() uint64 {
+		return uint64(c.quorumW)
+	})
+	reg.RegisterHistogram(prefix+"_push_ack_depth", "mirror acks collected when a quorum push returned", &m.AckDepth)
+	reg.RegisterCounter(prefix+"_catchup_overflows_total", "quorum writes dropped on a full per-mirror catch-up queue", &m.CatchUpOverflows)
 	for i := range m.MirrorPush {
 		reg.RegisterHistogram(
 			fmt.Sprintf("%s_mirror%d_push_latency_ns", prefix, i),
 			fmt.Sprintf("ns per push on mirror slot %d", i),
 			&m.MirrorPush[i])
+		i := i
+		reg.RegisterGauge(
+			fmt.Sprintf("%s_mirror%d_catchup_pending", prefix, i),
+			fmt.Sprintf("quorum writes mirror slot %d has not yet completed", i),
+			func() uint64 { return uint64(c.CatchUpPending(i)) })
 	}
 }
 
@@ -410,6 +558,9 @@ func (c *Client) Malloc(name string, size uint64) (*Region, error) {
 func (c *Client) Free(r *Region) error {
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
+	// Stragglers may still hold r's segment handles; let them finish
+	// before the segments are released underneath them.
+	c.drainCatchUp()
 	for i, reg := range c.regions {
 		if reg == r {
 			c.regions = append(c.regions[:i], c.regions[i+1:]...)
@@ -436,13 +587,27 @@ func (c *Client) Free(r *Region) error {
 // is safe because the bytes around a modified range are identical in the
 // local buffer and its mirrors.
 func (c *Client) Push(r *Region, offset, n uint64) error {
-	return c.PushTraced(r, offset, n, nil)
+	return c.pushOpts(r, offset, n, nil, false)
+}
+
+// PushAcked is Push joined on every eligible mirror even in quorum
+// mode. Metadata whose latest version recovery must be able to read
+// from any single mirror — the directory, decision records — takes
+// this path; on all-ack clients it is identical to Push.
+func (c *Client) PushAcked(r *Region, offset, n uint64) error {
+	return c.pushOpts(r, offset, n, nil, true)
 }
 
 // PushTraced is Push recording one netram span per mirror write into
 // the transaction's trace (tt may be nil; every TxTrace method is
 // nil-safe, so the untraced path costs nothing extra).
 func (c *Client) PushTraced(r *Region, offset, n uint64, tt *trace.TxTrace) error {
+	return c.pushOpts(r, offset, n, tt, false)
+}
+
+// pushOpts is the shared Push body; allAck forces the full join even on
+// quorum clients.
+func (c *Client) pushOpts(r *Region, offset, n uint64, tt *trace.TxTrace, allAck bool) error {
 	if err := r.checkRange(offset, n); err != nil {
 		return err
 	}
@@ -457,18 +622,20 @@ func (c *Client) PushTraced(r *Region, offset, n uint64, tt *trace.TxTrace) erro
 		lo, hi = expandEdges(lo, hi, r.Size())
 	}
 	data := r.Local[lo:hi]
-	if c.tracking.Load() {
-		// Record the wire range for the rebuild's catch-up copy. The
-		// deferred call runs after the mirror writes below land (and on
-		// their error paths, where some survivors may already hold the
-		// bytes) but still under the topology read lock, so a catch-up
-		// epoch can never consume the range before the surviving
-		// replica has it.
-		defer c.recordDirty(r.Name, lo, hi-lo)
-	}
 	call := c.getCall()
-	defer c.putCall(call)
-	pushed, err := c.pushMirrors(r, call, lo, data, nil, uint64(len(data)), tt)
+	// releaseCall (via the last reference) records the wire range in the
+	// rebuild's dirty set after the mirror writes land — including error
+	// paths, where some survivors may already hold the bytes. Synchronous
+	// pushes release the last reference right here, under the topology
+	// read lock, so a catch-up epoch can never consume the range before
+	// the surviving replica has it; quorum pushes with stragglers release
+	// it from the last finishing worker instead.
+	defer c.releaseCall(call)
+	if c.tracking.Load() {
+		call.trackName = r.Name
+		call.trackOff, call.trackLen = lo, hi-lo
+	}
+	pushed, err := c.pushMirrors(r, call, lo, data, nil, uint64(len(data)), tt, allAck)
 	if err != nil {
 		return err
 	}
@@ -497,15 +664,23 @@ func (c *Client) writeWithRetry(m Mirror, slot int, seg uint32, offset uint64, d
 	}
 	// The node answers pings: transient failure — one retry.
 	c.metrics.Retries.Inc()
-	if retryErr := m.T.Write(seg, offset, data); retryErr == nil {
-		return true, nil
+	if retryErr := m.T.Write(seg, offset, data); retryErr != nil {
+		// Surface the retry's error — it is the failure the mirror is
+		// failing with NOW; the first attempt rides along for context.
+		return true, fmt.Errorf("%w (first attempt: %v)", retryErr, err)
 	}
-	return true, err
+	return true, nil
 }
 
 // PushAll propagates the entire region, used by InitRemoteDB.
 func (c *Client) PushAll(r *Region) error {
 	return c.Push(r, 0, r.Size())
+}
+
+// PushAllAcked propagates the entire region joined on every eligible
+// mirror (see PushAcked).
+func (c *Client) PushAllAcked(r *Region) error {
+	return c.PushAcked(r, 0, r.Size())
 }
 
 // Range is one (offset, length) pair for PushMany.
@@ -526,6 +701,19 @@ func (c *Client) PushMany(r *Region, ranges []Range) error {
 // PushManyTraced is PushMany recording one netram span per mirror
 // exchange into the transaction's trace (tt may be nil).
 func (c *Client) PushManyTraced(r *Region, ranges []Range, tt *trace.TxTrace) error {
+	return c.pushManyOpts(r, ranges, tt, false)
+}
+
+// PushManyAckedTraced is PushManyTraced joined on every mirror even on a
+// quorum client. Cross-shard prepares use it: the coordinator's decision
+// record is the commit point for prepared data, and recovery driven by a
+// decision must find that data on whichever mirrors it can still reach.
+// On an all-ack client it is identical to PushManyTraced.
+func (c *Client) PushManyAckedTraced(r *Region, ranges []Range, tt *trace.TxTrace) error {
+	return c.pushManyOpts(r, ranges, tt, true)
+}
+
+func (c *Client) pushManyOpts(r *Region, ranges []Range, tt *trace.TxTrace, allAck bool) error {
 	for _, rg := range ranges {
 		if err := r.checkRange(rg.Offset, rg.Length); err != nil {
 			return err
@@ -535,7 +723,9 @@ func (c *Client) PushManyTraced(r *Region, ranges []Range, tt *trace.TxTrace) er
 	defer c.topoMu.RUnlock()
 	start := c.clock.Now()
 	call := c.getCall()
-	defer c.putCall(call)
+	// As in Push: the last call reference records the dirty spans after
+	// the writes land (the span scratch is only reclaimed after that).
+	defer c.releaseCall(call)
 	// Materialise the expanded wire ranges once; per-mirror only the
 	// segment id differs. The scratch slice rides on the pooled call.
 	spans := call.spans[:0]
@@ -557,15 +747,10 @@ func (c *Client) PushManyTraced(r *Region, ranges []Range, tt *trace.TxTrace) er
 		return nil
 	}
 	if c.tracking.Load() {
-		// As in Push: record after the writes land, before the read
-		// lock drops (and before the deferred putCall reclaims spans).
-		defer func() {
-			for _, s := range spans {
-				c.recordDirty(r.Name, s.lo, s.hi-s.lo)
-			}
-		}()
+		call.trackName = r.Name
+		call.trackSpans = spans
 	}
-	pushed, err := c.pushMirrors(r, call, 0, nil, spans, wireBytes, tt)
+	pushed, err := c.pushMirrors(r, call, 0, nil, spans, wireBytes, tt, allAck)
 	if err != nil {
 		return err
 	}
@@ -656,6 +841,33 @@ func (c *Client) FetchInto(r *Region, offset, n uint64) error {
 	return nil
 }
 
+// FetchMirror reads n bytes at offset from mirror i specifically,
+// bypassing the first-answering fallback. Quorum recovery uses it to
+// compare replicas and to repair lagging mirrors from a quorum-current
+// one; the mirror is read even when marked down, since a degraded
+// replica's (stale but prefix-consistent) state is exactly what the
+// reconciliation needs to see.
+func (c *Client) FetchMirror(i int, r *Region, offset, n uint64) ([]byte, error) {
+	if err := r.checkRange(offset, n); err != nil {
+		return nil, err
+	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	if i < 0 || i >= len(c.mirrors) {
+		return nil, fmt.Errorf("netram: no mirror %d", i)
+	}
+	if r.handles[i].ID == 0 {
+		return nil, fmt.Errorf("netram: region %q not mapped on mirror %s", r.Name, c.mirrors[i].Name)
+	}
+	data, err := c.readChunked(c.mirrors[i], r.handles[i].ID, offset, n)
+	if err != nil {
+		return nil, fmt.Errorf("netram: fetch from mirror %s: %w", c.mirrors[i].Name, err)
+	}
+	c.metrics.Fetches.Inc()
+	c.metrics.FetchedBytes.Add(n)
+	return data, nil
+}
+
 // Connect re-maps an existing named region after the local node crashed:
 // it allocates a fresh local buffer and connects to the surviving remote
 // segments by name (the paper's sci_connect_segment). The local buffer is
@@ -719,7 +931,17 @@ func (c *Client) Revive(i int) error {
 	if err := c.checkNoRebuild(); err != nil {
 		return err
 	}
-	return c.reviveLocked(i)
+	// Quorum stragglers still hold the old topology's Mirror values and
+	// segment handles; let them land before the resync reads r.Local, so
+	// the revived mirror's full copy includes every completed write.
+	c.drainCatchUp()
+	if err := c.reviveLocked(i); err != nil {
+		return err
+	}
+	// The fan-out spread changed shape with the topology; drop the stale
+	// sample rather than reporting the pre-revive gap forever.
+	c.straggler.Store(0)
+	return nil
 }
 
 // checkNoRebuild refuses a topology change while an online rebuild is
@@ -786,6 +1008,9 @@ func (c *Client) ReplaceMirror(i int, m Mirror) error {
 	if err := m.T.Ping(); err != nil {
 		return fmt.Errorf("netram: replacement mirror %s unreachable: %w", m.Name, err)
 	}
+	// No straggler may still write through the old transport once it is
+	// swapped out and closed.
+	c.drainCatchUp()
 	old := c.mirrors[i]
 	c.mirrors[i] = m
 	c.markDown(i) // fence pushes off the slot while it refills
@@ -797,6 +1022,7 @@ func (c *Client) ReplaceMirror(i int, m Mirror) error {
 		c.mirrors[i] = old
 		return fmt.Errorf("netram: replacement resync failed: %w", err)
 	}
+	c.straggler.Store(0)
 	_ = old.T.Close()
 	return nil
 }
@@ -822,6 +1048,10 @@ func (m Mismatch) Error() string {
 // per diverging mirror. Intended for operational tooling and tests; it
 // moves the whole region over the interconnect.
 func (c *Client) Verify(r *Region) ([]Mismatch, error) {
+	// Repair-before-read: a quorum-lagging mirror is not readable until
+	// its catch-up queue drains, so the audit never reports (or worse,
+	// trusts) a replica that is merely behind.
+	c.WaitCatchUp()
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
 	return c.verifyLocked(r)
@@ -832,6 +1062,7 @@ func (c *Client) Verify(r *Region) ([]Mismatch, error) {
 // byte-identical. Like Verify it moves each region's full contents over
 // the interconnect once per mirror.
 func (c *Client) VerifyAll() ([]Mismatch, error) {
+	c.WaitCatchUp() // repair-before-read, as in Verify
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
 	var out []Mismatch

@@ -126,6 +126,13 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 	c.dirty = make(map[string][]Range)
 	c.dirtyMu.Unlock()
 	c.tracking.Store(true)
+	// Quorum stragglers queued before tracking switched on would write to
+	// the survivors without being recorded as dirty, so the bulk copy
+	// could read a stale survivor byte and never revisit it. Drain them
+	// while the write lock still blocks new dispatches: anything enqueued
+	// after this point reclaims with tracking on and lands in the dirty
+	// set.
+	c.drainCatchUp()
 	snapshot := append([]*Region(nil), c.regions...)
 	c.topoMu.Unlock()
 
@@ -191,6 +198,10 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 	// cover regions born or freed during the copy, and swap.
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
+	// In-flight quorum stragglers may still be writing survivors; their
+	// dirty records only land when the last worker reclaims the call, so
+	// wait for them before taking the final dirty snapshot.
+	c.drainCatchUp()
 	fin := root.Child(trace.LayerNetram, "final_drain")
 	finBase := copied
 	c.tracking.Store(false)
@@ -239,6 +250,9 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 	c.dirty = nil
 	c.dirtyMu.Unlock()
 	c.metrics.Rebuilds.Inc()
+	// The topology just changed; the last recorded fan-out spread is no
+	// longer meaningful.
+	c.straggler.Store(0)
 	fin.EndN(copied - finBase)
 	root.EndN(copied)
 	_ = old.T.Close()

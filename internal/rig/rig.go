@@ -81,6 +81,11 @@ type Config struct {
 	// labels and commit path — so figures must not move; the byte-identity
 	// regression test builds labs both ways and compares output.
 	RouterSingle bool
+	// Quorum, when positive, makes pushes durable at this many mirror
+	// acks instead of all of them (netram.WithQuorum); stragglers catch
+	// up asynchronously. Zero keeps the historical all-ack join, so
+	// every reproduced figure is untouched.
+	Quorum int
 }
 
 // DefaultConfig fits the paper's benchmarks: databases up to a few tens
@@ -235,6 +240,9 @@ func NewPerseas(cfg Config) (*Lab, error) {
 	var nopts []netram.Option
 	if cfg.NoAlignment {
 		nopts = append(nopts, netram.WithoutAlignment())
+	}
+	if cfg.Quorum > 0 {
+		nopts = append(nopts, netram.WithQuorum(cfg.Quorum))
 	}
 	copts := []core.Option{core.WithUndoLogSize(cfg.UndoLogSize)}
 	if cfg.NoRemoteUndo {

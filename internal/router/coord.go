@@ -173,7 +173,10 @@ func (r *Router) publishDecision(live []*core.Tx, shardIdx []int) (gid uint64, s
 	n := encodeDecision(coord.Local[off:off+coordSlotSize], gid, parts)
 	r.mu.Unlock()
 
-	if err := r.nets[0].Push(coord, off, n); err != nil {
+	// The decision record is the cross-shard atomic commit point and
+	// recovery reads it from whichever coordinator mirror it reaches
+	// first, so it must land on all of them even on a quorum client.
+	if err := r.nets[0].PushAcked(coord, off, n); err != nil {
 		r.mu.Lock()
 		r.coordFree = append(r.coordFree, slot)
 		r.mu.Unlock()
@@ -197,7 +200,7 @@ func (r *Router) releaseDecision(slot int) {
 	off := coordSlotOff(slot)
 	clear(coord.Local[off : off+8])
 	r.mu.Unlock()
-	_ = r.nets[0].Push(coord, off, 8)
+	_ = r.nets[0].PushAcked(coord, off, 8)
 	r.mu.Lock()
 	if !r.crashed && r.coord != nil {
 		r.coordFree = append(r.coordFree, slot)

@@ -47,6 +47,7 @@ func (t *routerTx) SetRange(db engine.DB, offset, length uint64) error {
 	if !ok || d.r != r {
 		return fmt.Errorf("router: foreign DB handle %T", db)
 	}
+retry:
 	r.mu.Lock()
 	if r.crashed {
 		r.mu.Unlock()
@@ -68,6 +69,22 @@ func (t *routerTx) SetRange(db engine.DB, offset, length uint64) error {
 		t.subs[shard] = sub
 	}
 	if err := sub.SetRange(inner, offset, length); err != nil {
+		if errors.Is(err, core.ErrStaleDB) {
+			// The database migrated away between the routing snapshot
+			// above and the declaration landing on the source shard:
+			// the migration drops the source copy (staling the old
+			// inner handle) only after rebinding the wrapper, so a
+			// stale error with a REBOUND wrapper always means "follow
+			// the move" — re-route to the destination. A stale handle
+			// with an unchanged binding is a genuine post-crash handle
+			// and surfaces.
+			r.mu.Lock()
+			rebound := d.inner != inner
+			r.mu.Unlock()
+			if rebound {
+				goto retry
+			}
+		}
 		return err
 	}
 	// Feed a live migration's dirty set now, while this transaction's
