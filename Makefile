@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race bench bench-obs bench-fanout bench-quorum bench-shard experiments fuzz examples clean
+.PHONY: all check build vet test test-short test-race bench bench-obs bench-fanout bench-quorum bench-shard bench-server experiments fuzz examples clean
 
 all: build vet test
 
@@ -53,6 +53,13 @@ bench-quorum:
 bench-shard:
 	$(GO) run ./cmd/perseas-bench -experiment shard -txs 2000 -bench-out BENCH_shard.json
 
+# Transaction front-door sweep: group commit vs serial commits as
+# clients pile onto one tx server over loopback TCP. Writes
+# machine-readable results to BENCH_server.json; group commit must beat
+# serial on tx/s at the top of the client sweep.
+bench-server:
+	$(GO) run ./cmd/perseas-bench -experiment server -bench-out BENCH_server.json
+
 # Regenerate every table and figure of the paper.
 experiments:
 	$(GO) run ./cmd/perseas-bench -experiment all
@@ -61,6 +68,7 @@ experiments:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime 30s ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzDecodeResponse -fuzztime 30s ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzDecodeTxStats -fuzztime 30s ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzDecodeRecord -fuzztime 30s ./internal/aries/
 	$(GO) test -run xxx -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/aries/
 	$(GO) test -run xxx -fuzz FuzzParseRecord -fuzztime 30s ./internal/core/

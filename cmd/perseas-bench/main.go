@@ -85,6 +85,10 @@ func main() {
 		"with -experiment shard: comma-separated shard counts to sweep")
 	flag.IntVar(&quorumW, "quorum", 0,
 		"with -experiment fanout: also sweep a w-of-n quorum join against a 10x-slow straggler mirror (0 = skip)")
+	flag.StringVar(&serverClientsCSV, "server-clients", "1,16,256,1024",
+		"with -experiment server: comma-separated client counts to sweep")
+	flag.DurationVar(&serverCellDur, "server-cell", 1500*time.Millisecond,
+		"with -experiment server: measured duration per (clients, mode) cell")
 	flag.Parse()
 
 	if *traceOut != "" {
@@ -138,6 +142,9 @@ var (
 	netDelay      time.Duration
 	shardCSV      = "1,2,4"
 	quorumW       int
+
+	serverClientsCSV = "1,16,256,1024"
+	serverCellDur    = 1500 * time.Millisecond
 )
 
 // routerSingle forces the shard router even for single-shard labs. Only
@@ -207,7 +214,7 @@ func run(w io.Writer, experiment string, txs int) error {
 	// commitpath and fanout are addressable by name only — adding them
 	// to the all slice would change the reference -experiment all
 	// output.
-	named := append(all, exp{"commitpath", runCommitPath}, exp{"fanout", runFanout}, exp{"shard", runShard})
+	named := append(all, exp{"commitpath", runCommitPath}, exp{"fanout", runFanout}, exp{"shard", runShard}, exp{"server", runServer})
 	for _, e := range named {
 		if e.name == experiment {
 			return e.fn(w, txs)

@@ -7,6 +7,13 @@
 //	perseas-inspect -server host1:7070
 //	perseas-inspect -server host1:7070 -diff host2:7070
 //
+// When -server points at a perseas-server -tx transaction front door
+// instead of a raw memory node, the tool detects it and renders the
+// server's live state — connections, pipeline depth and group-commit
+// batch summaries, admission rejections — instead of a segment table:
+//
+//	perseas-inspect -server host1:7080
+//
 // With -mirrors, it probes a whole mirror set through the guardian's
 // failure detector and renders one health row per node — state, last
 // heartbeat, round-trip p99 over ~32 timed probes, degradation count
@@ -47,6 +54,7 @@ import (
 	"github.com/ics-forth/perseas/internal/simclock"
 	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
+	"github.com/ics-forth/perseas/internal/txclient"
 	"github.com/ics-forth/perseas/internal/wire"
 )
 
@@ -85,6 +93,14 @@ func main() {
 		if !healthy {
 			os.Exit(2)
 		}
+		return
+	}
+
+	// A transaction front door and a memory node share the listen-port
+	// convention, so probe for the tx API first: a memory node answers
+	// the stats opcode with a typed error and the probe falls through.
+	if st, ok := probeTxServer(*server); ok {
+		renderTxServer(os.Stdout, *server, st)
 		return
 	}
 
@@ -144,6 +160,38 @@ func renderTraces(out io.Writer, path string, topK int) error {
 	}
 	trace.WriteSlowestReport(out, spans, topK)
 	return nil
+}
+
+// probeTxServer asks addr for transaction-server stats on a throwaway
+// connection. A raw memory node rejects the opcode, which surfaces as
+// an error here — the caller then falls back to the memory-node view.
+func probeTxServer(addr string) (*wire.TxStats, bool) {
+	cl, err := txclient.Dial(addr, txclient.WithConns(1))
+	if err != nil {
+		return nil, false
+	}
+	defer cl.Close()
+	st, err := cl.ServerStats()
+	if err != nil {
+		return nil, false
+	}
+	return st, true
+}
+
+// renderTxServer prints a transaction front door's live state: who is
+// connected, how deep the pipelines run, how well group commit is
+// batching, and what admission control has pushed back on.
+func renderTxServer(out io.Writer, server string, st *wire.TxStats) {
+	fmt.Fprintf(out, "tx server %s: %d live conns (%d accepted, %d rejected at the door)\n",
+		server, st.Conns, st.ConnsTotal, st.ConnsRejected)
+	fmt.Fprintf(out, "transactions: %d begun, %d committed, %d aborted, %d in flight\n",
+		st.TxsBegun, st.TxsCommitted, st.TxsAborted, st.TxsInFlight)
+	fmt.Fprintf(out, "group commit: %d convoys over %d commits, batch p50/p99/max %d/%d/%d\n",
+		st.Convoys, st.ConvoyCommits, st.BatchP50, st.BatchP99, st.BatchMax)
+	fmt.Fprintf(out, "pipelining: per-conn depth p50/p99/max %d/%d/%d\n",
+		st.DepthP50, st.DepthP99, st.DepthMax)
+	fmt.Fprintf(out, "admission: %d busy rejections, %d malformed frames\n",
+		st.BusyRejected, st.MalformedFrames)
 }
 
 // renderNode prints one server's counters and segment table, including

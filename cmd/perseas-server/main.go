@@ -47,7 +47,38 @@ func main() {
 	spares := flag.String("spares", "", "comma-separated extra listen addresses exporting standby spare nodes")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090)")
 	shard := flag.Int("shard", -1, "shard index this node mirrors in a partitioned deployment (-1 = unsharded)")
+	tx := flag.Bool("tx", false, "serve the transaction API (a full engine behind a front door) instead of raw memory")
+	txServers := flag.String("servers", "", "-tx: comma-separated remote memory-server addresses to use as mirrors (default: loopback mirrors)")
+	txMirrors := flag.Int("tx-mirrors", 2, "-tx: loopback mirror nodes per shard when -servers is empty")
+	txShards := flag.Int("shards", 1, "-tx: shard the transaction namespace this many ways")
+	txQuorum := flag.Int("quorum", 0, "-tx: commit quorum (0 = all mirrors must ack)")
+	txCommit := flag.String("tx-commit", "group", "-tx: commit policy: group (cross-client group commit) or serial")
+	txMaxConns := flag.Int("tx-max-conns", 0, "-tx: connection limit (0 = default)")
+	txMaxInFlight := flag.Int("tx-max-inflight", 0, "-tx: per-connection pipelined request limit (0 = default)")
+	txMaxTxs := flag.Int("tx-max-txs", 0, "-tx: server-wide live transaction limit (0 = default)")
+	txFaultOps := flag.Bool("tx-fault-ops", false, "-tx: accept remote crash/recover fault-injection ops (testing only)")
 	flag.Parse()
+
+	if *tx {
+		err := runTx(txConfig{
+			listen:      *listen,
+			servers:     *txServers,
+			mirrors:     *txMirrors,
+			shards:      *txShards,
+			spares:      *spares,
+			quorum:      *txQuorum,
+			commitMode:  *txCommit,
+			maxConns:    *txMaxConns,
+			maxInFlight: *txMaxInFlight,
+			maxTxs:      *txMaxTxs,
+			faultOps:    *txFaultOps,
+			metricsAddr: *metricsAddr,
+		})
+		if err != nil {
+			log.Fatalf("perseas-server: %v", err)
+		}
+		return
+	}
 
 	capBytes, err := parseSize(*capacity)
 	if err != nil {

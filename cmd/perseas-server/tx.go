@@ -1,0 +1,294 @@
+// The -tx mode: instead of exporting raw memory, the process runs a
+// whole PERSEAS installation — mirrors, engine, optionally a shard
+// router and a guardian — and serves the transaction API itself on
+// -listen through internal/txserver. Client processes link only the
+// thin txclient library (or speak the wire protocol directly) and get
+// Begin/SetRange/Commit/Abort against this node.
+//
+//	perseas-server -tx -listen :7080                  # 2 loopback mirrors
+//	perseas-server -tx -shards 4 -listen :7080        # sharded namespace
+//	perseas-server -tx -servers h1:7070,h2:7070       # real remote mirrors
+//	perseas-server -tx -spares :7071 -listen :7080    # guardian + spare node
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/guardian"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/router"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+	"github.com/ics-forth/perseas/internal/txserver"
+)
+
+// txConfig carries the -tx mode flags.
+type txConfig struct {
+	listen      string
+	servers     string // external mirror addresses; empty = loopback mirrors
+	mirrors     int    // loopback mirrors per shard when servers is empty
+	shards      int
+	spares      string // listen addresses for spare nodes under a guardian
+	quorum      int
+	commitMode  string
+	maxConns    int
+	maxInFlight int
+	maxTxs      int
+	faultOps    bool
+	metricsAddr string
+}
+
+// shardRig is one shard's substrate: its netram client and the local
+// mirror listeners to tear down on exit.
+type shardRig struct {
+	ram       *netram.Client
+	lib       *core.Library
+	listeners []net.Listener
+}
+
+// runTx builds the installation and serves the transaction API until a
+// signal arrives.
+func runTx(cfg txConfig) error {
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
+	if cfg.servers != "" && cfg.shards > 1 {
+		return fmt.Errorf("-servers composes with a single shard (dial one mirror set); use loopback mirrors for -shards > 1")
+	}
+
+	var rigs []*shardRig
+	var closers []net.Listener
+	defer func() {
+		for _, l := range closers {
+			l.Close()
+		}
+	}()
+	for s := 0; s < cfg.shards; s++ {
+		rig, err := buildShardRig(cfg, s)
+		if err != nil {
+			return err
+		}
+		rigs = append(rigs, rig)
+		closers = append(closers, rig.listeners...)
+	}
+
+	var eng engine.Engine
+	if cfg.shards > 1 {
+		libs := make([]*core.Library, len(rigs))
+		for i, r := range rigs {
+			libs[i] = r.lib
+		}
+		r, err := router.New(libs)
+		if err != nil {
+			return err
+		}
+		eng = r
+		log.Printf("perseas-server: transaction namespace sharded %d ways", cfg.shards)
+	} else {
+		eng = rigs[0].lib
+	}
+
+	// The spare pool and its guardian: spares are extra loopback memory
+	// nodes on the given addresses, distributed round-robin over the
+	// shards' mirror sets.
+	guards, spareLs, err := spawnTxGuardians(cfg, rigs)
+	if err != nil {
+		return err
+	}
+	closers = append(closers, spareLs...)
+	for _, g := range guards {
+		defer g.Stop()
+	}
+
+	var opts []txserver.Option
+	switch cfg.commitMode {
+	case "", "group":
+	case "serial":
+		opts = append(opts, txserver.WithCommitMode(txserver.SerialCommit))
+	default:
+		return fmt.Errorf("bad -tx-commit %q (want group or serial)", cfg.commitMode)
+	}
+	if cfg.maxConns > 0 {
+		opts = append(opts, txserver.WithMaxConns(cfg.maxConns))
+	}
+	if cfg.maxInFlight > 0 {
+		opts = append(opts, txserver.WithMaxInFlight(cfg.maxInFlight))
+	}
+	if cfg.maxTxs > 0 {
+		opts = append(opts, txserver.WithMaxTxs(cfg.maxTxs))
+	}
+	if cfg.faultOps {
+		opts = append(opts, txserver.WithFaultInjection())
+		log.Printf("perseas-server: WARNING: fault injection ops enabled (-tx-fault-ops)")
+	}
+	srv := txserver.New(eng, opts...)
+
+	if cfg.metricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.RegisterMetrics(reg)
+		rigs[0].lib.RegisterMetrics(reg)
+		for _, g := range guards {
+			g.RegisterMetrics(reg)
+		}
+		ml, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		closers = append(closers, ml)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		go func() { _ = (&http.Server{Handler: mux}).Serve(ml) }()
+		log.Printf("perseas-server: metrics on http://%s/metrics", ml.Addr())
+	}
+
+	l, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("perseas-server: transaction front door on %s (%s commit, %d shard(s), engine %s)",
+		l.Addr(), srv.Mode(), cfg.shards, eng.Name())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		st := srv.Stats()
+		log.Printf("perseas-server: %v — shutting down (%d conns, %d txs committed, %d convoys)",
+			s, st.Conns, st.TxsCommitted, st.Convoys)
+		l.Close()
+		<-done
+		return nil
+	case err := <-done:
+		return err
+	}
+}
+
+// buildShardRig wires one shard's mirror set and engine. With
+// cfg.servers it dials running perseas-server memory nodes; otherwise
+// it spawns loopback TCP mirrors in-process — still real sockets, so
+// the transport write combiner and the group-commit convoy above it
+// behave as they would across machines.
+func buildShardRig(cfg txConfig, shard int) (*shardRig, error) {
+	rig := &shardRig{}
+	var addrs []string
+	if cfg.servers != "" {
+		for _, a := range strings.Split(cfg.servers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("-servers: no mirror addresses")
+		}
+	} else {
+		n := cfg.mirrors
+		if n < 1 {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			srv := memserver.New(memserver.WithLabel(fmt.Sprintf("shard%d-mirror-%d", shard, i)))
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			go func() { _ = transport.Serve(l, srv) }()
+			rig.listeners = append(rig.listeners, l)
+			addrs = append(addrs, l.Addr().String())
+		}
+	}
+	var mirrors []netram.Mirror
+	for _, addr := range addrs {
+		tr, err := transport.DialTCP(addr)
+		if err != nil {
+			return nil, fmt.Errorf("dial mirror %s: %w", addr, err)
+		}
+		mirrors = append(mirrors, netram.Mirror{Name: addr, T: tr})
+	}
+	var nopts []netram.Option
+	if cfg.quorum > 0 {
+		nopts = append(nopts, netram.WithQuorum(cfg.quorum))
+	}
+	ram, err := netram.NewClient(mirrors, nopts...)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := core.Init(ram, simclock.NewWall())
+	if err != nil {
+		return nil, err
+	}
+	rig.ram = ram
+	rig.lib = lib
+	log.Printf("perseas-server: shard %d mirrors: %s", shard, strings.Join(addrs, ", "))
+	return rig, nil
+}
+
+// spawnTxGuardians provisions spare memory nodes on the -spares
+// addresses and starts a guardian per shard that received one, so a
+// dead mirror is rebuilt onto a spare while the front door keeps
+// serving.
+func spawnTxGuardians(cfg txConfig, rigs []*shardRig) ([]*guardian.Guardian, []net.Listener, error) {
+	var addrs []string
+	for _, a := range strings.Split(cfg.spares, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, nil, nil
+	}
+	perShard := make([][]netram.Mirror, len(rigs))
+	var ls []net.Listener
+	for k, addr := range addrs {
+		srv := memserver.New(memserver.WithLabel(fmt.Sprintf("spare-%d", k)))
+		sl, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, ls, fmt.Errorf("spare listener %s: %w", addr, err)
+		}
+		go func() { _ = transport.Serve(sl, srv) }()
+		ls = append(ls, sl)
+		tr, err := transport.DialTCP(sl.Addr().String())
+		if err != nil {
+			return nil, ls, fmt.Errorf("dial spare %s: %w", sl.Addr(), err)
+		}
+		s := k % len(rigs)
+		perShard[s] = append(perShard[s], netram.Mirror{Name: "spare " + sl.Addr().String(), T: tr})
+		log.Printf("perseas-server: spare node on %s (shard %d pool)", sl.Addr(), s)
+	}
+	var guards []*guardian.Guardian
+	for s, spares := range perShard {
+		if len(spares) == 0 {
+			continue
+		}
+		g, err := guardian.New(rigs[s].ram, simclock.NewWall(), guardian.Config{
+			Interval: 50 * time.Millisecond,
+			Misses:   3,
+			Spares:   spares,
+			OnEvent: func(ev guardian.Event) {
+				log.Printf("perseas-server: GUARDIAN: mirror %s: %s -> %s", ev.Mirror, ev.From, ev.To)
+			},
+		})
+		if err != nil {
+			return guards, ls, err
+		}
+		if err := g.Start(); err != nil {
+			return guards, ls, err
+		}
+		guards = append(guards, g)
+	}
+	return guards, ls, nil
+}

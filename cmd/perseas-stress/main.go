@@ -73,6 +73,10 @@ type config struct {
 	metricsAddr   string
 	traceOut      string
 	traceSlower   time.Duration
+	remote        string
+	remoteChaos   bool
+	clients       int
+	accounts      int
 }
 
 func main() {
@@ -92,6 +96,10 @@ func main() {
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address for the run (e.g. :9090)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write per-transaction spans as Chrome/Perfetto trace-event JSON to this file at the end of the run")
 	flag.DurationVar(&cfg.traceSlower, "trace-slower-than", 0, "keep only transactions at least this slow in the trace (0 = keep all)")
+	flag.StringVar(&cfg.remote, "remote", "", "drive a perseas-server -tx front door at this address with simulated client processes")
+	flag.BoolVar(&cfg.remoteChaos, "remote-chaos", false, "self-contained -remote run: in-process tx server over loopback mirrors with a guardian; kill a mirror mid-run and prove zero lost commits")
+	flag.IntVar(&cfg.clients, "clients", 64, "-remote: how many independent clients (each its own replica and connection) to simulate")
+	flag.IntVar(&cfg.accounts, "accounts", 1000, "-remote: debit-credit accounts per branch (smaller replicas let more clients fit)")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -128,6 +136,9 @@ type workerCounters struct {
 }
 
 func run(out io.Writer, cfg config) error {
+	if cfg.remote != "" || cfg.remoteChaos {
+		return runRemote(out, cfg)
+	}
 	if cfg.shards > 1 {
 		return runSharded(out, cfg)
 	}

@@ -94,6 +94,38 @@ func (d *DebitCredit) Setup(e engine.Engine) error {
 	return nil
 }
 
+// Attach re-opens the workload's tables on e instead of creating them —
+// how a fresh client process (with its own replica of the database)
+// joins tables another engine instance set up. cursorSeed staggers the
+// history-slot cursor so independent clients spread over the history
+// table instead of all fighting for slot zero.
+func (d *DebitCredit) Attach(e engine.Engine, cursorSeed uint64) error {
+	var err error
+	if d.accounts, err = e.OpenDB("accounts"); err != nil {
+		return err
+	}
+	if d.tellers, err = e.OpenDB("tellers"); err != nil {
+		return err
+	}
+	if d.branches, err = e.OpenDB("branches"); err != nil {
+		return err
+	}
+	if d.history, err = e.OpenDB("history"); err != nil {
+		return err
+	}
+	d.historyLen = d.historyBytes()
+	d.histCounter.Store(cursorSeed)
+	return nil
+}
+
+// AccountsDelta sums every account balance's distance from its initial
+// fill. Each committed transaction moves the sum by exactly its delta,
+// so a driver keeping a ledger of committed deltas reconciles it
+// against this to prove no committed transaction was lost.
+func (d *DebitCredit) AccountsDelta() int64 {
+	return sumBalanceDelta(d.accounts.Bytes(), accountRecord)
+}
+
 // Tx implements Workload: one TPC-B-style transaction.
 func (d *DebitCredit) Tx(e engine.Engine, rng *rand.Rand) error {
 	branch := rng.Intn(d.Branches)
@@ -139,6 +171,15 @@ func (d *DebitCredit) Tx(e engine.Engine, rng *rand.Rand) error {
 // atomic cursor. A clash on a shared teller or branch row surfaces as
 // engine.ErrConflict, which the caller treats as a retry.
 func (d *DebitCredit) ConcurrentTx(e engine.Engine, rng *rand.Rand) error {
+	_, err := d.ConcurrentTxDelta(e, rng)
+	return err
+}
+
+// ConcurrentTxDelta is ConcurrentTx, additionally returning the
+// committed transaction's balance delta so drivers can keep a
+// committed-delta ledger (see AccountsDelta). The delta is meaningful
+// only when the returned error is nil.
+func (d *DebitCredit) ConcurrentTxDelta(e engine.Engine, rng *rand.Rand) (int64, error) {
 	branch := rng.Intn(d.Branches)
 	teller := branch*tellersPerBr + rng.Intn(tellersPerBr)
 	account := branch*d.AccountsPerBranch + rng.Intn(d.AccountsPerBranch)
@@ -152,7 +193,7 @@ func (d *DebitCredit) ConcurrentTx(e engine.Engine, rng *rand.Rand) error {
 
 	tx, err := e.Begin()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Claims go most-contended-first (branch, then teller, then account):
 	// a lost arbitration then aborts before any undo record has been
@@ -169,9 +210,9 @@ func (d *DebitCredit) ConcurrentTx(e engine.Engine, rng *rand.Rand) error {
 		if err := tx.SetRange(c.db, c.off, c.ln); err != nil {
 			abortErr := tx.Abort()
 			if abortErr != nil {
-				return fmt.Errorf("set_range: %v (abort: %v)", err, abortErr)
+				return 0, fmt.Errorf("set_range: %v (abort: %v)", err, abortErr)
 			}
-			return err
+			return 0, err
 		}
 	}
 
@@ -185,7 +226,7 @@ func (d *DebitCredit) ConcurrentTx(e engine.Engine, rng *rand.Rand) error {
 	binary.BigEndian.PutUint64(hist[8:], uint64(teller))
 	binary.BigEndian.PutUint64(hist[16:], uint64(branch))
 	binary.BigEndian.PutUint64(hist[24:], uint64(delta))
-	return tx.Commit()
+	return delta, tx.Commit()
 }
 
 // applyDelta adjusts an owned row's 8-byte balance column in place.

@@ -96,8 +96,9 @@ var (
 	// ErrBadRange is returned for ranges outside a database.
 	ErrBadRange = errors.New("perseas: range outside database")
 	// ErrTooManyTxs is returned by Begin when every undo slot is busy
-	// and the slot cap is reached.
-	ErrTooManyTxs = errors.New("perseas: too many concurrent transactions")
+	// and the slot cap is reached. It wraps engine.ErrBusy: the caller
+	// backs off and retries once a slot frees.
+	ErrTooManyTxs = fmt.Errorf("%w: too many concurrent transactions", engine.ErrBusy)
 )
 
 // Stats counts library activity.

@@ -49,6 +49,11 @@ type Tx struct {
 // ID returns the transaction id (published at commit time).
 func (t *Tx) ID() uint64 { return t.id }
 
+// TraceID returns the transaction's trace id, 0 when tracing is off.
+// A serving layer uses it to stitch its own request spans onto this
+// transaction's span tree (trace.Recorder.LinkedSpan).
+func (t *Tx) TraceID() uint64 { return t.tt.Trace() }
+
 // Begin implements engine.Engine: the paper's PERSEAS_begin_transaction,
 // returning an explicit handle. It is a purely local operation on the
 // warm path — transaction ids are only published at commit time — but

@@ -39,6 +39,11 @@ var (
 	// overlaps a range held by another in-flight transaction. The caller
 	// aborts and retries, as in any optimistic lock-conflict protocol.
 	ErrConflict = errors.New("engine: range conflicts with a concurrent transaction")
+	// ErrBusy is wrapped by errors reporting a transient capacity
+	// limit — every undo slot occupied, an admission gate closed. The
+	// operation is safe to retry after backing off; nothing about the
+	// caller's state is invalidated.
+	ErrBusy = errors.New("engine: busy")
 )
 
 // DB is one named database region managed by an engine.

@@ -54,6 +54,9 @@ const (
 	// LayerGuardian is the failure detector: state transitions,
 	// revives, rebuilds.
 	LayerGuardian
+	// LayerServer is the transaction front door: per-request serving
+	// spans and group-commit convoys.
+	LayerServer
 
 	numLayers
 )
@@ -71,6 +74,8 @@ func (l Layer) String() string {
 		return "transport"
 	case LayerGuardian:
 		return "guardian"
+	case LayerServer:
+		return "server"
 	default:
 		return "unknown"
 	}
@@ -271,6 +276,20 @@ func (r *Recorder) keep(spans []Span, key uint64) {
 	}
 	sh.mu.Unlock()
 	r.metrics.Spans.Add(uint64(len(spans)))
+}
+
+// keepOneTx appends a single span to the transaction ring shard its
+// trace id hashes to, without a slice allocation.
+func (r *Recorder) keepOneTx(sp Span) {
+	sh := &r.shards[sp.Trace%numShards]
+	sh.mu.Lock()
+	if sh.pos >= uint64(len(sh.buf)) {
+		r.metrics.Overflows.Inc()
+	}
+	sh.buf[sh.pos%uint64(len(sh.buf))] = sp
+	sh.pos++
+	sh.mu.Unlock()
+	r.metrics.Spans.Inc()
 }
 
 // keepOne appends a single infrastructure span to its layer's ring,
@@ -520,6 +539,27 @@ func (r *Recorder) Start(layer Layer, name string) InfraSpan {
 	}}
 }
 
+// LinkedSpan opens a span attached to an existing transaction's trace
+// tree: it carries that transaction's trace id, so renderers place it
+// on the same track as the engine-side spans, stitched as a sibling
+// root (the server observed the request envelope around the engine's
+// own tree). IDs are drawn from a high-bit-tagged space so they can
+// never collide with the tree's sequential span ids. With a zero trace
+// id (tracing off at Begin, or a non-tracing engine) it degrades to a
+// plain infrastructure span. Nil-safe.
+func (r *Recorder) LinkedSpan(layer Layer, name string, traceID uint64) InfraSpan {
+	if r == nil || !r.enabled.Load() {
+		return InfraSpan{}
+	}
+	if traceID == 0 {
+		return r.Start(layer, name)
+	}
+	return InfraSpan{r: r, sp: Span{
+		Trace: traceID, ID: 1<<63 | r.ids.Add(1),
+		Layer: layer, Name: name, Start: r.now(),
+	}}
+}
+
 // Event records an infrastructure instant. Nil-safe.
 func (r *Recorder) Event(layer Layer, name string, arg uint64) {
 	if r == nil || !r.enabled.Load() {
@@ -558,7 +598,7 @@ func (s InfraSpan) End() {
 		return
 	}
 	s.sp.Dur = s.r.now() - s.sp.Start
-	s.r.keepOne(s.sp)
+	s.flush()
 }
 
 // EndN is End recording arg.
@@ -568,5 +608,16 @@ func (s InfraSpan) EndN(arg uint64) {
 	}
 	s.sp.Dur = s.r.now() - s.sp.Start
 	s.sp.Arg = arg
+	s.flush()
+}
+
+// flush routes the closed span to its ring: linked spans (non-zero
+// trace id, from LinkedSpan) join the transaction shard their tree
+// hashes to; plain infrastructure spans keep their per-layer ring.
+func (s InfraSpan) flush() {
+	if s.sp.Trace != 0 {
+		s.r.keepOneTx(s.sp)
+		return
+	}
 	s.r.keepOne(s.sp)
 }

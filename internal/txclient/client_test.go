@@ -1,0 +1,270 @@
+package txclient_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/txclient"
+	"github.com/ics-forth/perseas/internal/txserver"
+)
+
+// dialer returns a net.Pipe dialer bound to srv.
+func dialer(srv *txserver.Server) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		a, b := net.Pipe()
+		go srv.ServeConn(b)
+		return a, nil
+	}
+}
+
+// TestCrossClientCoherence: two independent clients — two replicas —
+// drive one server. After A commits, B's next SetRange over the same
+// bytes must refresh B's replica with A's committed value; that is
+// what makes read-modify-write correct across client processes.
+func TestCrossClientCoherence(t *testing.T) {
+	srv := txserver.New(newLibrary(t))
+	a, err := txclient.New(dialer(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := txclient.New(dialer(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	dbA, err := a.CreateDB("shared", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InitDB(dbA); err != nil {
+		t.Fatal(err)
+	}
+	dbB, err := b.OpenDB("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A commits a counter value.
+	tx, err := a.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(dbA, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint64(dbA.Bytes()[0:8], 41)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// B's replica is stale until it claims the range; after SetRange it
+	// must read 41, increment, and commit 42.
+	tx, err = b.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(dbB, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(dbB.Bytes()[0:8]); got != 41 {
+		t.Fatalf("replica after SetRange reads %d, want 41 (A's committed value)", got)
+	}
+	binary.BigEndian.PutUint64(dbB.Bytes()[0:8], 42)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And back: A sees B's increment on its next claim.
+	tx, err = a.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(dbA, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(dbA.Bytes()[0:8]); got != 42 {
+		t.Fatalf("A's replica after SetRange reads %d, want 42", got)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefreshPreservesOwnWrites: a second overlapping declaration in
+// the same transaction must not clobber the first declaration's
+// uncommitted local writes with server bytes.
+func TestRefreshPreservesOwnWrites(t *testing.T) {
+	srv := txserver.New(newLibrary(t))
+	cl, err := txclient.New(dialer(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	db, err := cl.CreateDB("own", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes(), "original")
+	if err := cl.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(db, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes()[0:8], "mutated1")
+	// Overlapping declaration: bytes [2,6) are already owned by this
+	// transaction; the refresh must leave "tate" in place.
+	if err := tx.SetRange(db, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(db.Bytes()[0:8]); got != "mutated1" {
+		t.Fatalf("replica after overlapping SetRange = %q, want %q", got, "mutated1")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(db.Bytes()[0:8]); got != "mutated1" {
+		t.Fatalf("committed state = %q, want %q", got, "mutated1")
+	}
+}
+
+// TestBusySentinel: a server-side admission rejection surfaces as
+// txclient.ErrBusy, the retryable sentinel.
+func TestBusySentinel(t *testing.T) {
+	srv := txserver.New(newLibrary(t), txserver.WithMaxTxs(1))
+	cl, err := txclient.New(dialer(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Begin(); !errors.Is(err, txclient.ErrBusy) {
+		t.Fatalf("over-limit Begin returned %v, want ErrBusy", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForeignDB: handles from another engine are rejected locally.
+func TestForeignDB(t *testing.T) {
+	lib := newLibrary(t)
+	srv := txserver.New(lib)
+	cl, err := txclient.New(dialer(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	native, err := lib.CreateDB("native", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(native, 0, 8); err == nil {
+		t.Fatal("SetRange accepted a foreign database handle")
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.InitDB(native); err == nil {
+		t.Fatal("InitDB accepted a foreign database handle")
+	}
+}
+
+// TestConcurrentClientsSameRow: many clients increment one shared
+// counter under conflict control; the committed total must equal the
+// number of successful commits — no lost updates between replicas.
+func TestConcurrentClientsSameRow(t *testing.T) {
+	srv := txserver.New(newLibrary(t))
+	setup, err := txclient.New(dialer(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	db, err := setup.CreateDB("counter", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	const perClient = 25
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := txclient.New(dialer(srv), txclient.WithConns(1))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			d, err := cl.OpenDB("counter")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for n := 0; n < perClient; {
+				tx, err := cl.Begin()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if err := tx.SetRange(d, 0, 8); err != nil {
+					_ = tx.Abort()
+					if errors.Is(err, engine.ErrConflict) {
+						continue // lost the claim; retry
+					}
+					errs[i] = err
+					return
+				}
+				binary.BigEndian.PutUint64(d.Bytes(),
+					binary.BigEndian.Uint64(d.Bytes())+1)
+				if err := tx.Commit(); err != nil {
+					errs[i] = err
+					return
+				}
+				n++
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	final, err := setup.OpenDB("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(final.Bytes()); got != clients*perClient {
+		t.Fatalf("counter = %d after %d increments across %d replicas", got, clients*perClient, clients)
+	}
+}

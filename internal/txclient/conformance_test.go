@@ -1,0 +1,108 @@
+package txclient_test
+
+import (
+	"net"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/enginetest"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/router"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+	"github.com/ics-forth/perseas/internal/txclient"
+	"github.com/ics-forth/perseas/internal/txserver"
+)
+
+// newLibrary builds one PERSEAS engine over two in-process mirrors.
+func newLibrary(t *testing.T) *core.Library {
+	t.Helper()
+	clock := simclock.NewSim()
+	var mirrors []netram.Mirror
+	for i := 0; i < 2; i++ {
+		srv := memserver.New()
+		tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirrors = append(mirrors, netram.Mirror{Name: srv.Label(), T: tr})
+	}
+	net, err := netram.NewClient(mirrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := core.Init(net, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// serveRemote fronts eng with an in-process txserver and returns a
+// pooled client speaking to it over net.Pipe connections. The whole
+// transaction API crosses the wire; only the bytes stay in process.
+func serveRemote(t *testing.T, eng engine.Engine, opts ...txserver.Option) *txclient.Client {
+	t.Helper()
+	srv := txserver.New(eng, append([]txserver.Option{txserver.WithFaultInjection()}, opts...)...)
+	cl, err := txclient.New(func() (net.Conn, error) {
+		a, b := net.Pipe()
+		go srv.ServeConn(b)
+		return a, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		eng.Close()
+	})
+	return cl
+}
+
+// TestRemoteEngineConformance runs the full engine conformance suite —
+// lifecycle, aborts, crash recovery, concurrency, the randomised crash
+// property test — against a txclient backed by an in-process txserver
+// over a single PERSEAS engine.
+func TestRemoteEngineConformance(t *testing.T) {
+	enginetest.Run(t, "remote", func(t *testing.T) engine.Engine {
+		return serveRemote(t, newLibrary(t))
+	}, enginetest.Caps{
+		// Durability lives in the mirrors behind the serving engine; the
+		// client's crash kind never reaches them.
+		SurvivesKind:    func(fault.CrashKind) bool { return true },
+		DurableOnCommit: true,
+	})
+}
+
+// TestRemoteShardedConformance is the same suite with a 2-shard router
+// behind the server — the composed deployment the CLI offers as
+// `perseas-server -tx -shard 2`.
+func TestRemoteShardedConformance(t *testing.T) {
+	enginetest.Run(t, "remote-sharded", func(t *testing.T) engine.Engine {
+		libs := []*core.Library{newLibrary(t), newLibrary(t)}
+		r, err := router.New(libs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serveRemote(t, r)
+	}, enginetest.Caps{
+		SurvivesKind:    func(fault.CrashKind) bool { return true },
+		DurableOnCommit: true,
+	})
+}
+
+// TestRemoteSerialCommitConformance re-runs the suite with the group
+// commit gate disabled, so the no-batching baseline serves correctly
+// too — the benchmark compares the two modes on equal footing.
+func TestRemoteSerialCommitConformance(t *testing.T) {
+	enginetest.Run(t, "remote-serial", func(t *testing.T) engine.Engine {
+		return serveRemote(t, newLibrary(t), txserver.WithCommitMode(txserver.SerialCommit))
+	}, enginetest.Caps{
+		SurvivesKind:    func(fault.CrashKind) bool { return true },
+		DurableOnCommit: true,
+	})
+}

@@ -1,0 +1,111 @@
+// The group-commit convoy: the TCP transport's leader-handoff write
+// combiner (internal/transport/tcp.go), generalised from combining one
+// client's writes on one wire to combining many clients' commits on
+// one engine.
+//
+// The shape is identical. The first commit to arrive while the gate is
+// free leads immediately — a convoy of one, no added latency. Commits
+// arriving while a mirror fan-out window is in flight queue behind it;
+// when the window closes, the queue's head is promoted to leader and
+// runs the whole accumulated batch as one overlapping fan-out, so the
+// transport-level combiner underneath sees the batch's mirror writes
+// together and merges them into shared exchanges. Leadership hands off
+// down the queue without any dedicated scheduler goroutine, and an
+// idle server keeps no goroutine parked.
+package txserver
+
+import "sync"
+
+// commitFn is one queued commit — a closure over the transaction's
+// engine handle.
+type commitFn func() error
+
+// convoyWaiter is one commit waiting in the gate's queue. Exactly one
+// of its channels fires: promoted when the waiter must lead the next
+// batch, done when another leader ran its commit.
+type convoyWaiter struct {
+	do       commitFn
+	promoted chan struct{}
+	done     chan error
+}
+
+// convoy is the cross-client group-commit gate.
+type convoy struct {
+	mu sync.Mutex
+	// busy marks an in-flight batch (the fan-out window).
+	busy bool
+	// queue holds commits that arrived during the window; its head is
+	// promoted to lead the next batch.
+	queue []*convoyWaiter
+	// observe reports each batch's size when it completes.
+	observe func(int)
+}
+
+// run executes do through the gate and returns its error. It blocks
+// until the commit has actually run — either by this goroutine leading
+// a batch, or by a concurrent leader running it as part of one.
+func (g *convoy) run(do commitFn) error {
+	g.mu.Lock()
+	if !g.busy {
+		g.busy = true
+		g.mu.Unlock()
+		err := do()
+		g.finish(1)
+		return err
+	}
+	w := &convoyWaiter{do: do, promoted: make(chan struct{}), done: make(chan error, 1)}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+	select {
+	case <-w.promoted:
+		return g.lead(w)
+	case err := <-w.done:
+		return err
+	}
+}
+
+// lead runs the current queue — self included — as one batch. The
+// batch's commits run concurrently so their mirror writes overlap in
+// the window and the transport combiner merges them.
+func (g *convoy) lead(self *convoyWaiter) error {
+	g.mu.Lock()
+	batch := g.queue
+	g.queue = nil
+	g.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, w := range batch {
+		if w == self {
+			continue
+		}
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.done <- w.do()
+		}()
+	}
+	selfErr := self.do()
+	wg.Wait()
+	g.finish(len(batch))
+	return selfErr
+}
+
+// finish closes a batch's window: it reports the batch size and, when
+// commits queued up during the window, promotes the queue's head to
+// lead them. The head stays in the queue — lead takes the whole queue,
+// itself included, as the next batch.
+func (g *convoy) finish(batchSize int) {
+	if g.observe != nil {
+		g.observe(batchSize)
+	}
+	g.mu.Lock()
+	if len(g.queue) == 0 {
+		g.busy = false
+		g.mu.Unlock()
+		return
+	}
+	head := g.queue[0]
+	g.mu.Unlock()
+	close(head.promoted)
+}

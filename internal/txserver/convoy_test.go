@@ -1,0 +1,156 @@
+package txserver
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// waitQueue spins until g's queue holds n waiters.
+func waitQueue(g *convoy, n int) {
+	for {
+		g.mu.Lock()
+		q := len(g.queue)
+		g.mu.Unlock()
+		if q == n {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestConvoySingle: an uncontended commit leads immediately as a batch
+// of one.
+func TestConvoySingle(t *testing.T) {
+	var batches []int
+	g := &convoy{observe: func(n int) { batches = append(batches, n) }}
+	ran := false
+	if err := g.run(func() error { ran = true; return nil }); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !ran {
+		t.Fatal("commit did not run")
+	}
+	if len(batches) != 1 || batches[0] != 1 {
+		t.Fatalf("batches = %v, want [1]", batches)
+	}
+}
+
+// TestConvoyBatches: commits arriving while a window is in flight run
+// together as the next batch, and every commit's error comes back to
+// its own caller.
+func TestConvoyBatches(t *testing.T) {
+	const waiters = 8
+
+	var mu sync.Mutex
+	var batches []int
+	g := &convoy{observe: func(n int) {
+		mu.Lock()
+		batches = append(batches, n)
+		mu.Unlock()
+	}}
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var leadErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leadErr = g.run(func() error {
+			close(started)
+			<-gate // hold the window open while the others queue
+			return nil
+		})
+	}()
+	<-started
+
+	// Queue more commits behind the open window; they cannot start
+	// until the leader finishes.
+	var ran atomic.Int64
+	queued := make(chan struct{})
+	var qwg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			queued <- struct{}{}
+			if err := g.run(func() error { ran.Add(1); return nil }); err != nil {
+				t.Errorf("queued run: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < waiters; i++ {
+		<-queued
+	}
+	// The queued goroutines have announced themselves but may not have
+	// enqueued yet; spin until the queue holds them all.
+	waitQueue(g, waiters)
+
+	close(gate)
+	wg.Wait()
+	qwg.Wait()
+	if leadErr != nil {
+		t.Fatalf("leader: %v", leadErr)
+	}
+	if got := ran.Load(); got != waiters {
+		t.Fatalf("ran %d queued commits, want %d", got, waiters)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batches) != 2 || batches[0] != 1 || batches[1] != waiters {
+		t.Fatalf("batches = %v, want [1 %d]", batches, waiters)
+	}
+}
+
+// TestConvoyErrorsPerCommit: a failing commit fails only its caller.
+func TestConvoyErrorsPerCommit(t *testing.T) {
+	g := &convoy{}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = g.run(func() error { close(started); <-gate; return nil })
+	}()
+	<-started
+
+	errs := make(chan error, 2)
+	enqueue := func(fail bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- g.run(func() error {
+				if fail {
+					return errBoom
+				}
+				return nil
+			})
+		}()
+	}
+	enqueue(true)
+	enqueue(false)
+	waitQueue(g, 2)
+	close(gate)
+	wg.Wait()
+
+	var failed, passed int
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			failed++
+		} else {
+			passed++
+		}
+	}
+	if failed != 1 || passed != 1 {
+		t.Fatalf("failed=%d passed=%d, want exactly one of each", failed, passed)
+	}
+}
+
+var errBoom = errTest("boom")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

@@ -13,6 +13,26 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	// Transaction-service shapes: pipelined ids, tx handles, a commit
+	// batch, and the fault ops.
+	txSeeds := []*Request{
+		{Op: OpTxBegin, ID: 1},
+		{Op: OpTxSetRange, ID: 2, Tx: 9, Seg: 1, Offset: 64, Size: 32},
+		{Op: OpTxCommit, ID: 3, Tx: 9, Batch: []BatchEntry{{Seg: 1, Offset: 64, Data: []byte("xy")}}},
+		{Op: OpTxAbort, ID: 4, Tx: 9},
+		{Op: OpTxOpenDB, ID: 5, Name: "db"},
+		{Op: OpTxCreateDB, ID: 6, Name: "db", Size: 4096},
+		{Op: OpTxRead, ID: 7, Seg: 1, Offset: 0, Length: 128},
+		{Op: OpTxLoad, ID: 8, Seg: 1, Offset: 0, Data: []byte("seed")},
+		{Op: OpTxInitDB, ID: 9, Seg: 1},
+		{Op: OpTxStats, ID: 10},
+		{Op: OpTxCrash, ID: 11, Size: 2},
+		{Op: OpTxRecover, ID: 12},
+	}
+	for _, req := range txSeeds {
+		s, _ := EncodeRequest(req)
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		req, err := DecodeRequest(body)
 		if err != nil {
@@ -30,6 +50,7 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if again.Op != req.Op || again.Seg != req.Seg || again.Offset != req.Offset ||
 			again.Length != req.Length || again.Size != req.Size || again.Name != req.Name ||
+			again.ID != req.ID || again.Tx != req.Tx ||
 			!bytes.Equal(again.Data, req.Data) {
 			t.Fatalf("round trip diverged: %+v vs %+v", again, req)
 		}
@@ -42,13 +63,53 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xA5}, 64))
+	txOK, _ := EncodeResponse(&Response{Status: StatusOK, ID: 42, Tx: 7})
+	f.Add(txOK)
+	busy, _ := EncodeResponse(&Response{Status: StatusError, ID: 43, Code: TxBusy, Err: "busy"})
+	f.Add(busy)
+	stats, _ := EncodeResponse(&Response{Status: StatusOK, ID: 44, Data: EncodeTxStats(&TxStats{Conns: 3})})
+	f.Add(stats)
 	f.Fuzz(func(t *testing.T, body []byte) {
 		resp, err := DecodeResponse(body)
 		if err != nil {
 			return
 		}
-		if _, err := EncodeResponse(resp); err != nil && len(resp.Segments) == 0 {
-			t.Fatalf("decoded response failed to re-encode: %v", err)
+		out, err := EncodeResponse(resp)
+		if err != nil {
+			if len(resp.Segments) == 0 {
+				t.Fatalf("decoded response failed to re-encode: %v", err)
+			}
+			return
+		}
+		again, err := DecodeResponse(out)
+		if err != nil {
+			t.Fatalf("re-encoded response failed to decode: %v", err)
+		}
+		if again.Status != resp.Status || again.ID != resp.ID ||
+			again.Tx != resp.Tx || again.Code != resp.Code {
+			t.Fatalf("round trip diverged: %+v vs %+v", again, resp)
+		}
+	})
+}
+
+// FuzzDecodeTxStats exercises the stats-blob decoder: arbitrary bytes
+// must yield a value or an error, never a panic, and every decoded
+// value must round-trip.
+func FuzzDecodeTxStats(f *testing.F) {
+	f.Add(EncodeTxStats(&TxStats{Conns: 2, Convoys: 9, BatchMax: 4}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x7F}, 200))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s, err := DecodeTxStats(body)
+		if err != nil {
+			return
+		}
+		again, err := DecodeTxStats(EncodeTxStats(s))
+		if err != nil {
+			t.Fatalf("re-encoded stats failed to decode: %v", err)
+		}
+		if *again != *s {
+			t.Fatalf("round trip diverged: %+v vs %+v", again, s)
 		}
 	})
 }

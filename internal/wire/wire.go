@@ -55,6 +55,55 @@ const (
 	// (the inverse of OpConnect), so a client abandoning a half-built
 	// region leaves no stray handles behind on the mirror.
 	OpDisconnect
+
+	// The transaction-service opcodes follow: the same framing carries
+	// the PERSEAS transaction API itself (txserver/txclient), not just
+	// raw memory. Transaction requests are pipelined — a connection may
+	// stream many before reading replies — so each carries a request ID
+	// the server echoes, letting replies complete out of order.
+
+	// OpTxBegin starts a transaction; the response carries its handle
+	// in Tx.
+	OpTxBegin
+	// OpTxSetRange declares db[Offset:Offset+Size) of database handle
+	// Seg as written by transaction Tx, capturing the server-side
+	// before-image. The response Data carries the range's current
+	// server-side bytes: once the conflict table grants the range, the
+	// client refreshes its local replica from them, so read-modify-write
+	// transactions from independent client processes observe each
+	// other's committed updates.
+	OpTxSetRange
+	// OpTxCommit carries the final bytes of every declared range in
+	// Batch (Seg = database handle) and commits transaction Tx.
+	OpTxCommit
+	// OpTxAbort rolls transaction Tx back.
+	OpTxAbort
+	// OpTxOpenDB re-attaches the named database; the response carries
+	// its handle in Seg and its length in Size.
+	OpTxOpenDB
+	// OpTxCreateDB allocates a zeroed named database of Size bytes;
+	// the response carries its handle in Seg.
+	OpTxCreateDB
+	// OpTxRead copies Length bytes at Offset out of database handle
+	// Seg — how a client (re)hydrates its local replica after OpenDB.
+	OpTxRead
+	// OpTxLoad stores Data at Offset of database handle Seg outside any
+	// transaction; only legal before OpTxInitDB publishes the initial
+	// image.
+	OpTxLoad
+	// OpTxInitDB publishes database handle Seg's current content as its
+	// initial durable state (the paper's PERSEAS_init_remote_db).
+	OpTxInitDB
+	// OpTxStats fetches transaction-server counters; the response Data
+	// holds an encoded TxStats.
+	OpTxStats
+	// OpTxCrash simulates a crash of the given fault kind (Size) on the
+	// serving engine. Served only when fault injection is enabled —
+	// conformance and chaos harnesses, never production.
+	OpTxCrash
+	// OpTxRecover rebuilds the serving engine after OpTxCrash. Gated
+	// like OpTxCrash.
+	OpTxRecover
 )
 
 // String implements fmt.Stringer.
@@ -80,6 +129,30 @@ func (o Op) String() string {
 		return "WRITE-BATCH"
 	case OpDisconnect:
 		return "DISCONNECT"
+	case OpTxBegin:
+		return "TX-BEGIN"
+	case OpTxSetRange:
+		return "TX-SETRANGE"
+	case OpTxCommit:
+		return "TX-COMMIT"
+	case OpTxAbort:
+		return "TX-ABORT"
+	case OpTxOpenDB:
+		return "TX-OPENDB"
+	case OpTxCreateDB:
+		return "TX-CREATEDB"
+	case OpTxRead:
+		return "TX-READ"
+	case OpTxLoad:
+		return "TX-LOAD"
+	case OpTxInitDB:
+		return "TX-INITDB"
+	case OpTxStats:
+		return "TX-STATS"
+	case OpTxCrash:
+		return "TX-CRASH"
+	case OpTxRecover:
+		return "TX-RECOVER"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
@@ -95,6 +168,77 @@ const (
 	// StatusError carries a server-side error message.
 	StatusError
 )
+
+// TxCode classifies a transaction-service failure so clients can map
+// it back onto the engine's sentinel errors instead of parsing error
+// strings. TxOK (the zero value) rides on every success and on every
+// non-transaction response.
+type TxCode uint8
+
+// Transaction-service reply codes.
+const (
+	// TxOK is success.
+	TxOK TxCode = iota
+	// TxError is a failure with no finer classification; Err carries
+	// the detail.
+	TxError
+	// TxBusy is an admission-control rejection: the server is at its
+	// in-flight or connection limit and the client should back off and
+	// retry.
+	TxBusy
+	// TxConflict maps engine.ErrConflict: the declared range overlaps
+	// one held by another live transaction.
+	TxConflict
+	// TxNoTransaction maps engine.ErrNoTransaction.
+	TxNoTransaction
+	// TxInTransaction maps engine.ErrInTransaction.
+	TxInTransaction
+	// TxCrashed maps engine.ErrCrashed.
+	TxCrashed
+	// TxUnrecoverable maps engine.ErrUnrecoverable.
+	TxUnrecoverable
+	// TxUnknownTx means the request named a transaction handle the
+	// server does not hold (already finished, or wiped by a crash).
+	TxUnknownTx
+	// TxUnknownDB means the request named a database handle the server
+	// does not hold.
+	TxUnknownDB
+	// TxBadRequest means the frame decoded but the request is
+	// malformed (out-of-bounds range, write outside declared ranges,
+	// load after init). The server answers it and closes the
+	// connection.
+	TxBadRequest
+)
+
+// String implements fmt.Stringer.
+func (c TxCode) String() string {
+	switch c {
+	case TxOK:
+		return "OK"
+	case TxError:
+		return "ERROR"
+	case TxBusy:
+		return "BUSY"
+	case TxConflict:
+		return "CONFLICT"
+	case TxNoTransaction:
+		return "NO-TRANSACTION"
+	case TxInTransaction:
+		return "IN-TRANSACTION"
+	case TxCrashed:
+		return "CRASHED"
+	case TxUnrecoverable:
+		return "UNRECOVERABLE"
+	case TxUnknownTx:
+		return "UNKNOWN-TX"
+	case TxUnknownDB:
+		return "UNKNOWN-DB"
+	case TxBadRequest:
+		return "BAD-REQUEST"
+	default:
+		return fmt.Sprintf("CODE(%d)", uint8(c))
+	}
+}
 
 // Limits guarding against malformed or hostile frames.
 const (
@@ -137,6 +281,12 @@ type Request struct {
 	Name   string
 	Data   []byte
 	Batch  []BatchEntry
+	// ID is the pipelining correlation id: the server echoes it on the
+	// matching response, so a connection can stream many requests and
+	// complete replies out of order. Zero on the memory protocol.
+	ID uint64
+	// Tx names the transaction a Tx* request operates on.
+	Tx uint64
 }
 
 // SegmentInfo describes one exported segment in a LIST response.
@@ -174,6 +324,12 @@ type Response struct {
 	Err      string
 	Segments []SegmentInfo
 	Stats    ServerStats
+	// ID echoes the request's correlation id (pipelining).
+	ID uint64
+	// Tx carries the transaction handle a TX-BEGIN created.
+	Tx uint64
+	// Code classifies transaction-service failures (TxOK on success).
+	Code TxCode
 }
 
 // appendU32/appendU64/appendBytes build message bodies.
@@ -275,6 +431,8 @@ func appendRequest(b []byte, req *Request) ([]byte, error) {
 		b = appendU64(b, e.Offset)
 		b = appendBytes(b, e.Data)
 	}
+	b = appendU64(b, req.ID)
+	b = appendU64(b, req.Tx)
 	return b, nil
 }
 
@@ -303,6 +461,8 @@ func DecodeRequest(body []byte) (*Request, error) {
 		}
 		req.Batch = append(req.Batch, e)
 	}
+	req.ID = r.u64()
+	req.Tx = r.u64()
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -353,6 +513,9 @@ func appendResponse(b []byte, resp *Response) ([]byte, error) {
 	b = appendU64(b, resp.Stats.Connects)
 	b = appendU64(b, resp.Stats.Disconnects)
 	b = appendU64(b, resp.Stats.BatchOps)
+	b = appendU64(b, resp.ID)
+	b = appendU64(b, resp.Tx)
+	b = append(b, byte(resp.Code))
 	return b, nil
 }
 
@@ -389,6 +552,9 @@ func DecodeResponse(body []byte) (*Response, error) {
 	resp.Stats.Connects = r.u64()
 	resp.Stats.Disconnects = r.u64()
 	resp.Stats.BatchOps = r.u64()
+	resp.ID = r.u64()
+	resp.Tx = r.u64()
+	resp.Code = TxCode(r.u8())
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -504,4 +670,72 @@ func RecvResponse(r io.Reader) (*Response, error) {
 		return nil, err
 	}
 	return DecodeResponse(body)
+}
+
+// TxStats carries transaction-server counters in an OpTxStats response
+// (encoded into Response.Data so ordinary responses pay nothing for
+// them). Quantiles are pre-computed server-side from its histograms.
+type TxStats struct {
+	// Conns is the live connection count; ConnsTotal counts every
+	// connection ever accepted, ConnsRejected those turned away at the
+	// connection limit.
+	Conns         uint64
+	ConnsTotal    uint64
+	ConnsRejected uint64
+	// Transaction outcomes, plus the live in-flight count.
+	TxsBegun     uint64
+	TxsCommitted uint64
+	TxsAborted   uint64
+	TxsInFlight  uint64
+	// BusyRejected counts requests answered TxBusy by admission
+	// control; MalformedFrames counts connections dropped for frames
+	// that failed to decode.
+	BusyRejected    uint64
+	MalformedFrames uint64
+	// Group-commit convoys: how many mirror fan-out windows ran and how
+	// many commits they carried, with the batch-size distribution's
+	// p50/p99/max.
+	Convoys       uint64
+	ConvoyCommits uint64
+	BatchP50      uint64
+	BatchP99      uint64
+	BatchMax      uint64
+	// Pipelined request depth per connection at arrival, p50/p99/max.
+	DepthP50 uint64
+	DepthP99 uint64
+	DepthMax uint64
+}
+
+// EncodeTxStats serialises s as a standalone blob for Response.Data.
+func EncodeTxStats(s *TxStats) []byte {
+	b := make([]byte, 0, 17*8)
+	for _, v := range []uint64{
+		s.Conns, s.ConnsTotal, s.ConnsRejected,
+		s.TxsBegun, s.TxsCommitted, s.TxsAborted, s.TxsInFlight,
+		s.BusyRejected, s.MalformedFrames,
+		s.Convoys, s.ConvoyCommits, s.BatchP50, s.BatchP99, s.BatchMax,
+		s.DepthP50, s.DepthP99, s.DepthMax,
+	} {
+		b = appendU64(b, v)
+	}
+	return b
+}
+
+// DecodeTxStats parses a blob written by EncodeTxStats.
+func DecodeTxStats(body []byte) (*TxStats, error) {
+	r := &reader{b: body}
+	s := &TxStats{}
+	for _, p := range []*uint64{
+		&s.Conns, &s.ConnsTotal, &s.ConnsRejected,
+		&s.TxsBegun, &s.TxsCommitted, &s.TxsAborted, &s.TxsInFlight,
+		&s.BusyRejected, &s.MalformedFrames,
+		&s.Convoys, &s.ConvoyCommits, &s.BatchP50, &s.BatchP99, &s.BatchMax,
+		&s.DepthP50, &s.DepthP99, &s.DepthMax,
+	} {
+		*p = r.u64()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
 }

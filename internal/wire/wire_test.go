@@ -28,6 +28,17 @@ func TestRequestRoundTrip(t *testing.T) {
 			{Seg: 1, Offset: 0, Data: []byte("aa")},
 			{Seg: 2, Offset: 4096, Data: []byte("bbbb")},
 		}}},
+		{"tx begin", Request{Op: OpTxBegin, ID: 42}},
+		{"tx setrange", Request{Op: OpTxSetRange, ID: 43, Tx: 7, Seg: 2, Offset: 128, Size: 64}},
+		{"tx commit", Request{Op: OpTxCommit, ID: 44, Tx: 7, Batch: []BatchEntry{
+			{Seg: 2, Offset: 128, Data: []byte("final bytes")},
+		}}},
+		{"tx abort", Request{Op: OpTxAbort, ID: 45, Tx: 7}},
+		{"tx opendb", Request{Op: OpTxOpenDB, ID: 46, Name: "accounts"}},
+		{"tx createdb", Request{Op: OpTxCreateDB, ID: 47, Name: "accounts", Size: 1 << 16}},
+		{"tx read", Request{Op: OpTxRead, ID: 48, Seg: 2, Offset: 0, Length: 4096}},
+		{"tx load", Request{Op: OpTxLoad, ID: 49, Seg: 2, Offset: 64, Data: []byte("init")}},
+		{"tx stats", Request{Op: OpTxStats, ID: 50}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -67,6 +78,9 @@ func TestResponseRoundTrip(t *testing.T) {
 			{ID: 1, Size: 64, Name: "a", Conns: 2},
 			{ID: 2, Size: 128, Name: "b", Conns: 0},
 		}}},
+		{"tx ok", Response{Status: StatusOK, ID: 42, Tx: 7}},
+		{"tx conflict", Response{Status: StatusError, ID: 43, Code: TxConflict, Err: "range held"}},
+		{"tx busy", Response{Status: StatusError, ID: 44, Code: TxBusy, Err: "server saturated"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -278,10 +292,52 @@ func TestOpString(t *testing.T) {
 	for op, want := range map[Op]string{
 		OpMalloc: "MALLOC", OpFree: "FREE", OpWrite: "WRITE", OpRead: "READ",
 		OpConnect: "CONNECT", OpList: "LIST", OpPing: "PING", OpStats: "STATS",
+		OpTxBegin: "TX-BEGIN", OpTxSetRange: "TX-SETRANGE", OpTxCommit: "TX-COMMIT",
+		OpTxAbort: "TX-ABORT", OpTxOpenDB: "TX-OPENDB", OpTxCreateDB: "TX-CREATEDB",
+		OpTxRead: "TX-READ", OpTxLoad: "TX-LOAD", OpTxInitDB: "TX-INITDB",
+		OpTxStats: "TX-STATS", OpTxCrash: "TX-CRASH", OpTxRecover: "TX-RECOVER",
 		Op(99): "OP(99)",
 	} {
 		if got := op.String(); got != want {
 			t.Errorf("Op(%d).String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}
+
+func TestTxCodeString(t *testing.T) {
+	for code, want := range map[TxCode]string{
+		TxOK: "OK", TxError: "ERROR", TxBusy: "BUSY", TxConflict: "CONFLICT",
+		TxNoTransaction: "NO-TRANSACTION", TxInTransaction: "IN-TRANSACTION",
+		TxCrashed: "CRASHED", TxUnrecoverable: "UNRECOVERABLE",
+		TxUnknownTx: "UNKNOWN-TX", TxUnknownDB: "UNKNOWN-DB",
+		TxBadRequest: "BAD-REQUEST", TxCode(99): "CODE(99)",
+	} {
+		if got := code.String(); got != want {
+			t.Errorf("TxCode(%d).String() = %q, want %q", uint8(code), got, want)
+		}
+	}
+}
+
+func TestTxStatsRoundTrip(t *testing.T) {
+	s := TxStats{
+		Conns: 3, ConnsTotal: 11, ConnsRejected: 2,
+		TxsBegun: 100, TxsCommitted: 90, TxsAborted: 10, TxsInFlight: 4,
+		BusyRejected: 7, MalformedFrames: 1,
+		Convoys: 30, ConvoyCommits: 90, BatchP50: 2, BatchP99: 9, BatchMax: 12,
+		DepthP50: 1, DepthP99: 5, DepthMax: 8,
+	}
+	got, err := DecodeTxStats(EncodeTxStats(&s))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if *got != s {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", *got, s)
+	}
+	// Truncation at every cut must fail, never panic.
+	blob := EncodeTxStats(&s)
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodeTxStats(blob[:cut]); err == nil {
+			t.Errorf("decode of %d/%d bytes should fail", cut, len(blob))
 		}
 	}
 }
