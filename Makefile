@@ -30,11 +30,11 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Observability hot paths only: histogram Observe and the trace
-# recorder's disabled/enabled costs. The disabled numbers must stay
-# under 100ns — they ride on every commit.
+# Observability hot paths only: histogram Observe plus the trace and
+# flight recorders' disabled/enabled costs. The disabled numbers must
+# stay under 100ns — they ride on every commit.
 bench-obs:
-	$(GO) test -bench=. -benchmem -run='^$$' ./internal/obs/ ./internal/trace/
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/obs/ ./internal/trace/ ./internal/flight/
 
 # Mirror fan-out microbenchmark: Push over 1/2/4 delayed mirrors,
 # serial loop vs parallel fan-out, plus the loopback-TCP commit-path

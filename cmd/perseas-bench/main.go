@@ -48,6 +48,7 @@ import (
 	"github.com/ics-forth/perseas/internal/disk"
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
@@ -65,6 +66,12 @@ import (
 // TestTracingKeepsOutputByteIdentical).
 var tracer *trace.Recorder
 
+// flightRec, when non-nil, is the anomaly flight recorder threaded
+// into every lab's netram client. Like the tracer it only reads the
+// clock, so the figures are byte-identical with it enabled (pinned by
+// TestFlightRecorderKeepsOutputByteIdentical).
+var flightRec *flight.Recorder
+
 func main() {
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: fig5, fig6, table1, compare, dbsize, ablate, commitpath, fanout, shard, all (commitpath, fanout and shard are excluded from all; name them explicitly)")
@@ -73,6 +80,8 @@ func main() {
 		"write per-transaction spans as Chrome/Perfetto trace-event JSON to this file at the end of the run")
 	traceSlower := flag.Duration("trace-slower-than", 0,
 		"keep only transactions at least this slow in modelled time (0 = keep all; with -trace-out)")
+	eventsOut := flag.String("events-out", "",
+		"record anomaly flight events in every lab and write them as JSON to this file at the end of the run")
 	flag.IntVar(&mirrorsN, "mirrors", 1,
 		"replication degree for the simulated PERSEAS labs (and the -tcp commitpath rig)")
 	flag.BoolVar(&tcpCommitPath, "tcp", false,
@@ -96,6 +105,10 @@ func main() {
 		tracer.Enable()
 		tracer.SetSlowerThan(*traceSlower)
 	}
+	if *eventsOut != "" {
+		flightRec = flight.New(0)
+		flightRec.Enable()
+	}
 	if err := run(os.Stdout, *experiment, *txs); err != nil {
 		fmt.Fprintln(os.Stderr, "perseas-bench:", err)
 		os.Exit(1)
@@ -112,6 +125,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *eventsOut != "" {
+		if err := writeEventsFile(os.Stdout, *eventsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "perseas-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeEventsFile dumps the flight recorder's ring as JSON.
+func writeEventsFile(out io.Writer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("events output: %w", err)
+	}
+	if err := flightRec.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write events: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "flight: %d anomaly event(s) written to %s\n", flightRec.Total(), path)
+	return nil
 }
 
 // writeTraceFile dumps the tracer's rings as Chrome trace-event JSON.
@@ -177,6 +213,7 @@ func writeBenchFile(out io.Writer, path string) error {
 func defaultConfig() rig.Config {
 	cfg := rig.DefaultConfig()
 	cfg.Tracer = tracer
+	cfg.Flight = flightRec
 	cfg.Mirrors = mirrorsN
 	cfg.RouterSingle = routerSingle
 	return cfg

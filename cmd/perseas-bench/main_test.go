@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/trace"
 )
 
@@ -104,6 +105,50 @@ func TestTracingKeepsOutputByteIdentical(t *testing.T) {
 			}
 			if filtered.String() != base.String() {
 				t.Error("output changed with -trace-slower-than filtering")
+			}
+		})
+	}
+}
+
+// TestFlightRecorderKeepsOutputByteIdentical pins the flight
+// recorder's figure-neutrality: the recorder reads the clock only when
+// an anomaly fires and a healthy lab produces none, so enabling it —
+// alone or together with tracing — must not move a byte of output.
+func TestFlightRecorderKeepsOutputByteIdentical(t *testing.T) {
+	defer func() { tracer = nil; flightRec = nil }()
+	for _, experiment := range []string{"fig5", "fig6", "table1", "compare"} {
+		t.Run(experiment, func(t *testing.T) {
+			tracer, flightRec = nil, nil
+			var base strings.Builder
+			if err := run(&base, experiment, 60); err != nil {
+				t.Fatal(err)
+			}
+
+			flightRec = flight.New(0)
+			flightRec.Enable()
+			var recorded strings.Builder
+			if err := run(&recorded, experiment, 60); err != nil {
+				t.Fatal(err)
+			}
+			if recorded.String() != base.String() {
+				t.Error("output changed with the flight recorder enabled")
+			}
+			// A healthy simulated lab produces no anomalies; a nonzero
+			// count here would mean the figures exercised a degraded path.
+			if n := flightRec.Total(); n != 0 {
+				t.Errorf("healthy lab recorded %d anomaly events", n)
+			}
+
+			tracer = trace.NewRecorder()
+			tracer.Enable()
+			flightRec = flight.New(0)
+			flightRec.Enable()
+			var both strings.Builder
+			if err := run(&both, experiment, 60); err != nil {
+				t.Fatal(err)
+			}
+			if both.String() != base.String() {
+				t.Error("output changed with tracing and the flight recorder enabled together")
 			}
 		})
 	}

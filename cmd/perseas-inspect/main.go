@@ -31,24 +31,37 @@
 //
 //	perseas-inspect -shards "h1:7070,h2:7070;h3:7070,h4:7070"
 //
-// With -traces, it reads a Chrome/Perfetto trace-event file written by
-// perseas-stress -trace-out or perseas-bench -trace-out and renders the
-// slowest-transactions report without needing a browser:
+// With -traces, it reads one or more Chrome/Perfetto trace-event files
+// written by perseas-stress -trace-out or perseas-bench -trace-out and
+// renders the slowest-transactions report without needing a browser.
+// Multiple comma-separated captures — say a client-process file and a
+// server-process file from the same run — are merged onto a shared
+// clock, and the report counts how many transactions stitched across
+// processes:
 //
-//	perseas-inspect -traces run.trace.json
+//	perseas-inspect -traces client.trace.json,server.trace.json
+//
+// With -cluster, it fetches a running process's /debug/cluster snapshot
+// and renders it as a terminal table; -watch redraws it at an interval,
+// turning the tool into a live top-style cluster view:
+//
+//	perseas-inspect -cluster http://host:9090 -watch 1s
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"text/tabwriter"
 	"time"
 
+	"github.com/ics-forth/perseas/internal/cluster"
 	"github.com/ics-forth/perseas/internal/guardian"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/simclock"
@@ -63,12 +76,21 @@ func main() {
 	diff := flag.String("diff", "", "second server to audit against (compare named segments byte-for-byte)")
 	mirrors := flag.String("mirrors", "", "comma-separated mirror set to health-check (renders a MIRRORS section)")
 	shards := flag.String("shards", "", "semicolon-separated shard mirror groups to health-check (renders a SHARDS section)")
-	traces := flag.String("traces", "", "trace-event JSON file (from -trace-out) to render as a slowest-transactions report")
+	traces := flag.String("traces", "", "comma-separated trace-event JSON file(s) (from -trace-out) to merge and render as a slowest-transactions report")
 	topK := flag.Int("top", 10, "how many transactions the -traces report ranks")
+	clusterURL := flag.String("cluster", "", "fetch a /debug/cluster snapshot from this metrics address or URL and render it")
+	watch := flag.Duration("watch", 0, "-cluster: redraw the view at this interval (0 = render once)")
 	flag.Parse()
 
 	if *traces != "" {
 		if err := renderTraces(os.Stdout, *traces, *topK); err != nil {
+			log.Fatalf("perseas-inspect: %v", err)
+		}
+		return
+	}
+
+	if *clusterURL != "" {
+		if err := renderCluster(os.Stdout, *clusterURL, *watch); err != nil {
 			log.Fatalf("perseas-inspect: %v", err)
 		}
 		return
@@ -146,20 +168,79 @@ func main() {
 	os.Exit(2)
 }
 
-// renderTraces loads a Chrome trace-event file and renders the top-k
-// slowest-transactions report.
-func renderTraces(out io.Writer, path string, topK int) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
+// renderTraces loads one or more Chrome trace-event files, merges them
+// onto a shared clock, and renders the top-k slowest-transactions
+// report. With more than one capture it also reports how many
+// transactions stitched across process boundaries — the count a
+// distributed capture exists to produce.
+func renderTraces(out io.Writer, pathsCSV string, topK int) error {
+	var captures [][]trace.Span
+	for _, path := range strings.Split(pathsCSV, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		spans, err := trace.ReadChromeTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		captures = append(captures, spans)
 	}
-	defer f.Close()
-	spans, err := trace.ReadChromeTrace(f)
-	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+	if len(captures) == 0 {
+		return fmt.Errorf("-traces: no files given")
 	}
+	spans := trace.MergeSpans(captures...)
 	trace.WriteSlowestReport(out, spans, topK)
+	if len(captures) > 1 {
+		fmt.Fprintf(out, "stitched: %d cross-process transaction(s) across %d capture(s)\n",
+			trace.StitchedTraces(spans), len(captures))
+	}
 	return nil
+}
+
+// renderCluster fetches the /debug/cluster snapshot from a metrics
+// address (a bare host:port, or a full URL) and renders it as a
+// terminal table; a non-zero watch interval redraws in place forever.
+func renderCluster(out io.Writer, target string, watch time.Duration) error {
+	if !strings.Contains(target, "://") {
+		target = "http://" + target
+	}
+	if !strings.Contains(target, "/debug/cluster") {
+		target = strings.TrimSuffix(target, "/") + "/debug/cluster"
+	}
+	fetch := func() (cluster.Snapshot, error) {
+		var snap cluster.Snapshot
+		resp, err := http.Get(target)
+		if err != nil {
+			return snap, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return snap, fmt.Errorf("%s answered %s", target, resp.Status)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		return snap, err
+	}
+	for {
+		snap, err := fetch()
+		if err != nil {
+			return err
+		}
+		if watch > 0 {
+			// Home the cursor and clear: a flicker-free redraw in place.
+			fmt.Fprint(out, "\033[H\033[2J")
+			fmt.Fprintf(out, "%s — every %v\n\n", target, watch)
+		}
+		cluster.WriteTable(out, snap)
+		if watch <= 0 {
+			return nil
+		}
+		time.Sleep(watch)
+	}
 }
 
 // probeTxServer asks addr for transaction-server stats on a throwaway

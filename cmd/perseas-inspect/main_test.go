@@ -1,12 +1,16 @@
 package main
 
 import (
+	"encoding/json"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/ics-forth/perseas/internal/cluster"
 	"github.com/ics-forth/perseas/internal/core"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
@@ -361,6 +365,86 @@ func TestRenderTraces(t *testing.T) {
 	for _, want := range []string{"slowest transactions", "tx", "local_undo_copy"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderTracesMergesCaptures: a client capture and a server capture
+// of the same transaction merge into one tree, and the report counts
+// the stitched transaction.
+func TestRenderTracesMergesCaptures(t *testing.T) {
+	writeCapture := func(name string, rec *trace.Recorder) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteChromeTrace(f, rec.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	cli := trace.NewRecorder()
+	cli.SetProcess("client")
+	cli.Enable()
+	tt := cli.Tx()
+	root := tt.Start(trace.LayerClient, "tx")
+	rtt := tt.Start(trace.LayerClient, "commit_rtt")
+	traceID, parent := tt.Trace(), rtt.ID()
+
+	srv := trace.NewRecorder()
+	srv.SetProcess("server")
+	srv.Enable()
+	srv.LinkedSpanFrom(trace.LayerServer, "serve_commit", traceID, parent).End()
+
+	rtt.End()
+	root.End()
+	tt.Finish()
+
+	var sb strings.Builder
+	err := renderTraces(&sb,
+		writeCapture("client.json", cli)+","+writeCapture("server.json", srv), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "stitched: 1 cross-process transaction(s) across 2 capture(s)") {
+		t.Errorf("report missing the stitched count:\n%s", out)
+	}
+	if !strings.Contains(out, "serve_commit") {
+		t.Errorf("merged report missing the server span:\n%s", out)
+	}
+}
+
+// TestRenderClusterOnce: the -cluster view fetches the snapshot over
+// HTTP and renders the terminal table.
+func TestRenderClusterOnce(t *testing.T) {
+	snap := cluster.Snapshot{
+		Shards: []cluster.ShardStatus{{Label: "shard0", Begun: 3, Committed: 2}},
+		Flight: 4,
+	}
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(snap)
+	}))
+	defer hs.Close()
+
+	var sb strings.Builder
+	// A bare host:port must grow the scheme and the /debug/cluster path.
+	if err := renderCluster(&sb, strings.TrimPrefix(hs.URL, "http://"), 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"shard0", "flight events: 4"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("cluster view missing %q:\n%s", want, sb.String())
 		}
 	}
 }

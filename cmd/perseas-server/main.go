@@ -57,6 +57,10 @@ func main() {
 	txMaxInFlight := flag.Int("tx-max-inflight", 0, "-tx: per-connection pipelined request limit (0 = default)")
 	txMaxTxs := flag.Int("tx-max-txs", 0, "-tx: server-wide live transaction limit (0 = default)")
 	txFaultOps := flag.Bool("tx-fault-ops", false, "-tx: accept remote crash/recover fault-injection ops (testing only)")
+	txTraceOut := flag.String("tx-trace-out", "", "-tx: record server-side spans and write Chrome trace-event JSON here on shutdown")
+	txEventsOut := flag.String("tx-events-out", "", "-tx: write the anomaly flight recorder as JSON here on shutdown")
+	pprofBlock := flag.Int("pprof-block", 0, "-tx: goroutine blocking profile sample rate for /debug/pprof/block (0 = off)")
+	pprofMutex := flag.Int("pprof-mutex", 0, "-tx: mutex contention profile fraction for /debug/pprof/mutex (0 = off)")
 	flag.Parse()
 
 	if *tx {
@@ -73,6 +77,10 @@ func main() {
 			maxTxs:      *txMaxTxs,
 			faultOps:    *txFaultOps,
 			metricsAddr: *metricsAddr,
+			traceOut:    *txTraceOut,
+			eventsOut:   *txEventsOut,
+			pprofBlock:  *pprofBlock,
+			pprofMutex:  *pprofMutex,
 		})
 		if err != nil {
 			log.Fatalf("perseas-server: %v", err)

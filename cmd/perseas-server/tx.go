@@ -22,14 +22,18 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ics-forth/perseas/internal/cluster"
 	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/debugmux"
 	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/guardian"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/router"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 	"github.com/ics-forth/perseas/internal/txserver"
 )
@@ -48,6 +52,17 @@ type txConfig struct {
 	maxTxs      int
 	faultOps    bool
 	metricsAddr string
+	// traceOut enables server-side span capture and writes it as
+	// Chrome trace-event JSON on shutdown; merged with a client-side
+	// capture it yields one stitched tree per remote transaction.
+	traceOut string
+	// eventsOut writes the anomaly flight recorder as JSON on
+	// shutdown (the live view serves at /debug/events regardless).
+	eventsOut string
+	// pprofBlock/pprofMutex enable blocking and mutex-contention
+	// profiles on the metrics mux at the given sampling rates.
+	pprofBlock int
+	pprofMutex int
 }
 
 // shardRig is one shard's substrate: its netram client and the local
@@ -68,6 +83,20 @@ func runTx(cfg txConfig) error {
 		return fmt.Errorf("-servers composes with a single shard (dial one mirror set); use loopback mirrors for -shards > 1")
 	}
 
+	// The span recorder exists unconditionally but records only when
+	// -tx-trace-out asks for a capture; the flight recorder is always
+	// on — anomalies are rare and each costs nanoseconds to record.
+	rec := trace.NewRecorder()
+	rec.SetProcess("server")
+	if cfg.traceOut != "" {
+		rec.Enable()
+	}
+	fr := flight.New(0)
+	fr.Enable()
+	clock := simclock.NewWall()
+	rec.SetClock(clock)
+	fr.SetClock(clock)
+
 	var rigs []*shardRig
 	var closers []net.Listener
 	defer func() {
@@ -76,7 +105,7 @@ func runTx(cfg txConfig) error {
 		}
 	}()
 	for s := 0; s < cfg.shards; s++ {
-		rig, err := buildShardRig(cfg, s)
+		rig, err := buildShardRig(cfg, s, clock, rec, fr)
 		if err != nil {
 			return err
 		}
@@ -94,6 +123,7 @@ func runTx(cfg txConfig) error {
 		if err != nil {
 			return err
 		}
+		r.SetFlight(fr)
 		eng = r
 		log.Printf("perseas-server: transaction namespace sharded %d ways", cfg.shards)
 	} else {
@@ -103,13 +133,17 @@ func runTx(cfg txConfig) error {
 	// The spare pool and its guardian: spares are extra loopback memory
 	// nodes on the given addresses, distributed round-robin over the
 	// shards' mirror sets.
-	guards, spareLs, err := spawnTxGuardians(cfg, rigs)
+	byShard, spareLs, err := spawnTxGuardians(cfg, rigs, rec, fr)
 	if err != nil {
 		return err
 	}
 	closers = append(closers, spareLs...)
-	for _, g := range guards {
-		defer g.Stop()
+	var guards []*guardian.Guardian
+	for _, g := range byShard {
+		if g != nil {
+			guards = append(guards, g)
+			defer g.Stop()
+		}
 	}
 
 	var opts []txserver.Option
@@ -133,12 +167,28 @@ func runTx(cfg txConfig) error {
 		opts = append(opts, txserver.WithFaultInjection())
 		log.Printf("perseas-server: WARNING: fault injection ops enabled (-tx-fault-ops)")
 	}
+	opts = append(opts, txserver.WithTracer(rec), txserver.WithFlightRecorder(fr))
 	srv := txserver.New(eng, opts...)
+
+	// The cluster snapshot aggregates every shard regardless of whether
+	// a metrics listener runs; the shutdown log reuses it.
+	clusterCfg := &cluster.Config{Server: srv, Flight: fr, Clock: clock}
+	for i, r := range rigs {
+		label := "perseas"
+		if cfg.shards > 1 {
+			label = fmt.Sprintf("shard%d", i)
+		}
+		clusterCfg.Shards = append(clusterCfg.Shards, cluster.ShardSource{
+			Label: label, Lib: r.lib, Net: r.ram, Guard: byShard[i],
+		})
+	}
 
 	if cfg.metricsAddr != "" {
 		reg := obs.NewRegistry()
 		srv.RegisterMetrics(reg)
 		rigs[0].lib.RegisterMetrics(reg)
+		rec.RegisterMetrics(reg)
+		fr.RegisterMetrics(reg)
 		for _, g := range guards {
 			g.RegisterMetrics(reg)
 		}
@@ -147,10 +197,16 @@ func runTx(cfg txConfig) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		closers = append(closers, ml)
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg)
+		mux := debugmux.Build(debugmux.Config{
+			Registry:             reg,
+			Tracer:               rec,
+			Flight:               fr,
+			Cluster:              clusterCfg,
+			BlockProfileRate:     cfg.pprofBlock,
+			MutexProfileFraction: cfg.pprofMutex,
+		})
 		go func() { _ = (&http.Server{Handler: mux}).Serve(ml) }()
-		log.Printf("perseas-server: metrics on http://%s/metrics", ml.Addr())
+		log.Printf("perseas-server: metrics on http://%s/metrics (debug: /debug/traces /debug/events /debug/cluster /debug/pprof)", ml.Addr())
 	}
 
 	l, err := net.Listen("tcp", cfg.listen)
@@ -172,10 +228,59 @@ func runTx(cfg txConfig) error {
 			s, st.Conns, st.TxsCommitted, st.Convoys)
 		l.Close()
 		<-done
+		if cfg.traceOut != "" {
+			if err := writeTraceFile(cfg.traceOut, rec); err != nil {
+				log.Printf("perseas-server: trace dump: %v", err)
+			} else {
+				log.Printf("perseas-server: wrote server-side trace to %s", cfg.traceOut)
+			}
+		}
+		if err := dumpFlight(cfg.eventsOut, fr); err != nil {
+			log.Printf("perseas-server: flight dump: %v", err)
+		}
 		return nil
 	case err := <-done:
 		return err
 	}
+}
+
+// writeTraceFile dumps the recorder's spans as Chrome trace-event
+// JSON.
+func writeTraceFile(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, rec.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpFlight writes the anomaly ring to path, or logs a summary line
+// when no path was given — the post-mortem matters most exactly when
+// nobody thought to configure it.
+func dumpFlight(path string, fr *flight.Recorder) error {
+	if path == "" {
+		if n := fr.Total(); n > 0 {
+			log.Printf("perseas-server: flight recorder captured %d anomalies (%d dropped); rerun with -tx-events-out to keep them", n, fr.Dropped())
+		}
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("perseas-server: wrote %d flight events to %s", fr.Total(), path)
+	return nil
 }
 
 // buildShardRig wires one shard's mirror set and engine. With
@@ -183,7 +288,7 @@ func runTx(cfg txConfig) error {
 // it spawns loopback TCP mirrors in-process — still real sockets, so
 // the transport write combiner and the group-commit convoy above it
 // behave as they would across machines.
-func buildShardRig(cfg txConfig, shard int) (*shardRig, error) {
+func buildShardRig(cfg txConfig, shard int, clock simclock.Clock, rec *trace.Recorder, fr *flight.Recorder) (*shardRig, error) {
 	rig := &shardRig{}
 	var addrs []string
 	if cfg.servers != "" {
@@ -227,7 +332,9 @@ func buildShardRig(cfg txConfig, shard int) (*shardRig, error) {
 	if err != nil {
 		return nil, err
 	}
-	lib, err := core.Init(ram, simclock.NewWall())
+	ram.SetTracer(rec)
+	ram.SetFlight(fr)
+	lib, err := core.Init(ram, clock, core.WithTracer(rec))
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +348,8 @@ func buildShardRig(cfg txConfig, shard int) (*shardRig, error) {
 // addresses and starts a guardian per shard that received one, so a
 // dead mirror is rebuilt onto a spare while the front door keeps
 // serving.
-func spawnTxGuardians(cfg txConfig, rigs []*shardRig) ([]*guardian.Guardian, []net.Listener, error) {
+func spawnTxGuardians(cfg txConfig, rigs []*shardRig, rec *trace.Recorder, fr *flight.Recorder) ([]*guardian.Guardian, []net.Listener, error) {
+	byShard := make([]*guardian.Guardian, len(rigs))
 	var addrs []string
 	for _, a := range strings.Split(cfg.spares, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -249,7 +357,7 @@ func spawnTxGuardians(cfg txConfig, rigs []*shardRig) ([]*guardian.Guardian, []n
 		}
 	}
 	if len(addrs) == 0 {
-		return nil, nil, nil
+		return byShard, nil, nil
 	}
 	perShard := make([][]netram.Mirror, len(rigs))
 	var ls []net.Listener
@@ -269,7 +377,6 @@ func spawnTxGuardians(cfg txConfig, rigs []*shardRig) ([]*guardian.Guardian, []n
 		perShard[s] = append(perShard[s], netram.Mirror{Name: "spare " + sl.Addr().String(), T: tr})
 		log.Printf("perseas-server: spare node on %s (shard %d pool)", sl.Addr(), s)
 	}
-	var guards []*guardian.Guardian
 	for s, spares := range perShard {
 		if len(spares) == 0 {
 			continue
@@ -283,12 +390,14 @@ func spawnTxGuardians(cfg txConfig, rigs []*shardRig) ([]*guardian.Guardian, []n
 			},
 		})
 		if err != nil {
-			return guards, ls, err
+			return byShard, ls, err
 		}
+		g.SetTracer(rec)
+		g.SetFlight(fr)
 		if err := g.Start(); err != nil {
-			return guards, ls, err
+			return byShard, ls, err
 		}
-		guards = append(guards, g)
+		byShard[s] = g
 	}
-	return guards, ls, nil
+	return byShard, ls, nil
 }

@@ -47,8 +47,11 @@ import (
 	"time"
 
 	"github.com/ics-forth/perseas/internal/bench"
+	"github.com/ics-forth/perseas/internal/cluster"
 	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/debugmux"
 	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/guardian"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
@@ -77,6 +80,14 @@ type config struct {
 	remoteChaos   bool
 	clients       int
 	accounts      int
+	// serverTraceOut captures the in-process tx server's spans on a
+	// -remote-chaos run, so the client capture in traceOut and this file
+	// merge into stitched cross-process transactions.
+	serverTraceOut string
+	// pprofBlock/pprofMutex enable the blocking and mutex-contention
+	// profiles on the metrics mux at the given sampling rate/fraction.
+	pprofBlock int
+	pprofMutex int
 }
 
 func main() {
@@ -100,6 +111,9 @@ func main() {
 	flag.BoolVar(&cfg.remoteChaos, "remote-chaos", false, "self-contained -remote run: in-process tx server over loopback mirrors with a guardian; kill a mirror mid-run and prove zero lost commits")
 	flag.IntVar(&cfg.clients, "clients", 64, "-remote: how many independent clients (each its own replica and connection) to simulate")
 	flag.IntVar(&cfg.accounts, "accounts", 1000, "-remote: debit-credit accounts per branch (smaller replicas let more clients fit)")
+	flag.StringVar(&cfg.serverTraceOut, "server-trace-out", "", "-remote-chaos: write the in-process server's spans here (merge with -trace-out via perseas-inspect)")
+	flag.IntVar(&cfg.pprofBlock, "pprof-block", 0, "goroutine blocking profile sample rate for /debug/pprof/block on -metrics-addr (0 = off)")
+	flag.IntVar(&cfg.pprofMutex, "pprof-mutex", 0, "mutex contention profile fraction for /debug/pprof/mutex on -metrics-addr (0 = off)")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -193,6 +207,14 @@ func run(out io.Writer, cfg config) error {
 		rec.Enable()
 		rec.SetSlowerThan(cfg.traceSlower)
 	}
+	// The flight recorder is always on: anomalies are rare by
+	// definition, so the ring stays cheap, and a run that hit mirror
+	// retries or admission pushback can explain itself afterwards.
+	fr := flight.New(0)
+	fr.Enable()
+	clock := simclock.NewWall()
+	rec.SetClock(clock)
+	fr.SetClock(clock)
 
 	var mirrors []netram.Mirror
 	var tcps []*transport.TCP
@@ -215,12 +237,13 @@ func run(out io.Writer, cfg config) error {
 		return err
 	}
 	ram.SetTracer(rec)
+	ram.SetFlight(fr)
 	if cfg.quorum > 0 {
 		fmt.Fprintf(out, "durability: quorum %d of %d mirrors (stragglers catch up asynchronously)\n", cfg.quorum, len(mirrors))
 	} else {
 		fmt.Fprintf(out, "durability: all-ack (%d mirrors)\n", len(mirrors))
 	}
-	lib, err := core.Init(ram, simclock.NewWall(), core.WithTracer(rec))
+	lib, err := core.Init(ram, clock, core.WithTracer(rec))
 	if err != nil {
 		return err
 	}
@@ -260,6 +283,7 @@ func run(out io.Writer, cfg config) error {
 			return err
 		}
 		guard.SetTracer(rec)
+		guard.SetFlight(fr)
 		fmt.Fprintf(out, "guardian: watching %d mirrors, spare at %s\n", len(addrs), sl.Addr())
 		if err := guard.Start(); err != nil {
 			return err
@@ -270,6 +294,7 @@ func run(out io.Writer, cfg config) error {
 	reg := obs.NewRegistry()
 	lib.RegisterMetrics(reg)
 	rec.RegisterMetrics(reg)
+	fr.RegisterMetrics(reg)
 	if guard != nil {
 		guard.RegisterMetrics(reg)
 	}
@@ -282,11 +307,20 @@ func run(out io.Writer, cfg config) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ml.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg)
-		mux.Handle("/debug/traces", rec)
+		mux := debugmux.Build(debugmux.Config{
+			Registry: reg,
+			Tracer:   rec,
+			Flight:   fr,
+			Cluster: &cluster.Config{
+				Shards: []cluster.ShardSource{{Label: "perseas", Lib: lib, Net: ram, Guard: guard}},
+				Flight: fr,
+				Clock:  clock,
+			},
+			BlockProfileRate:     cfg.pprofBlock,
+			MutexProfileFraction: cfg.pprofMutex,
+		})
 		go func() { _ = (&http.Server{Handler: mux}).Serve(ml) }()
-		fmt.Fprintf(out, "metrics: http://%s/metrics (traces at /debug/traces)\n", ml.Addr())
+		fmt.Fprintf(out, "metrics: http://%s/metrics (cluster at /debug/cluster, events at /debug/events)\n", ml.Addr())
 	}
 
 	w, err := bench.NewDebitCredit(cfg.branches, 1000)
@@ -434,6 +468,10 @@ func run(out io.Writer, cfg config) error {
 		fmt.Fprintf(out, "trace: %d span(s) written to %s (open at ui.perfetto.dev)\n",
 			len(spans), cfg.traceOut)
 		trace.WriteSlowestReport(out, spans, 5)
+	}
+
+	if n := fr.Total(); n > 0 {
+		fmt.Fprintf(out, "flight: %d anomaly event(s) recorded (%d dropped from the ring)\n", n, fr.Dropped())
 	}
 
 	if err := w.CheckConsistency(); err != nil {

@@ -23,19 +23,25 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/ics-forth/perseas/internal/bench"
+	"github.com/ics-forth/perseas/internal/cluster"
 	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/debugmux"
 	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/guardian"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 	"github.com/ics-forth/perseas/internal/txclient"
 	"github.com/ics-forth/perseas/internal/txserver"
@@ -46,9 +52,16 @@ import (
 type chaosRig struct {
 	addr    string
 	ram     *netram.Client
+	lib     *core.Library
+	srv     *txserver.Server
 	guard   *guardian.Guardian
 	mirrors []mirrorHandle
 	closers []io.Closer
+	// rec records the server side of every traced transaction; fr is
+	// the server's anomaly flight recorder.
+	rec   *trace.Recorder
+	fr    *flight.Recorder
+	clock simclock.Clock
 }
 
 func (r *chaosRig) Close() {
@@ -73,7 +86,7 @@ func runRemote(out io.Writer, cfg config) error {
 	var rig *chaosRig
 	if cfg.remoteChaos {
 		var err error
-		if rig, err = buildChaosRig(out); err != nil {
+		if rig, err = buildChaosRig(out, cfg); err != nil {
 			return err
 		}
 		defer rig.Close()
@@ -82,6 +95,17 @@ func runRemote(out io.Writer, cfg config) error {
 	if addr == "" {
 		return fmt.Errorf("no server given (use -remote addr or -remote-chaos)")
 	}
+
+	// The fleet shares one client-side span recorder (process-tagged so
+	// a merge with the server's capture stitches into whole
+	// transactions) and one busy-pushback metrics block.
+	cliRec := trace.NewRecorder()
+	cliRec.SetProcess("client")
+	if cfg.traceOut != "" {
+		cliRec.Enable()
+		cliRec.SetSlowerThan(cfg.traceSlower)
+	}
+	cliM := &txclient.Metrics{}
 
 	// One control client creates the tables; the drivers attach to them.
 	setup, err := txclient.Dial(addr)
@@ -118,7 +142,8 @@ func runRemote(out io.Writer, cfg config) error {
 		go func() {
 			defer rampWg.Done()
 			defer func() { <-sem }()
-			cl, err := txclient.Dial(addr, txclient.WithConns(1))
+			cl, err := txclient.Dial(addr, txclient.WithConns(1),
+				txclient.WithTracer(cliRec), txclient.WithSharedMetrics(cliM))
 			if err != nil {
 				rampErrs[i] = fmt.Errorf("client %d dial: %w", i, err)
 				return
@@ -152,6 +177,38 @@ func runRemote(out io.Writer, cfg config) error {
 	}()
 	fmt.Fprintf(out, "ramp: %d clients connected and attached in %v\n",
 		clients, time.Since(rampStart).Round(time.Millisecond))
+
+	if cfg.metricsAddr != "" {
+		reg := obs.NewRegistry()
+		cliRec.RegisterMetrics(reg)
+		cliM.Register(reg)
+		dcfg := debugmux.Config{
+			Registry:             reg,
+			Tracer:               cliRec,
+			BlockProfileRate:     cfg.pprofBlock,
+			MutexProfileFraction: cfg.pprofMutex,
+		}
+		if rig != nil {
+			// The self-contained run hosts the whole installation, so its
+			// debug port serves the server-side views too.
+			rig.lib.RegisterMetrics(reg)
+			rig.fr.RegisterMetrics(reg)
+			dcfg.Flight = rig.fr
+			dcfg.Cluster = &cluster.Config{
+				Server: rig.srv,
+				Shards: []cluster.ShardSource{{Label: "perseas", Lib: rig.lib, Net: rig.ram, Guard: rig.guard}},
+				Flight: rig.fr,
+				Clock:  rig.clock,
+			}
+		}
+		ml, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ml.Close()
+		go func() { _ = (&http.Server{Handler: debugmux.Build(dcfg)}).Serve(ml) }()
+		fmt.Fprintf(out, "metrics: http://%s/metrics (cluster at /debug/cluster, events at /debug/events)\n", ml.Addr())
+	}
 
 	// The committed-delta ledger and the latency histogram both collect
 	// across the whole fleet.
@@ -258,6 +315,10 @@ func runRemote(out io.Writer, cfg config) error {
 			st.Conns, st.ConnsTotal, st.ConnsRejected, st.Convoys, st.ConvoyCommits,
 			st.BatchP50, st.BatchP99, st.BatchMax, st.BusyRejected, st.MalformedFrames)
 	}
+	if n := cliM.BusyReplies.Load(); n > 0 {
+		fmt.Fprintf(out, "client pushback: %d BUSY replies, %d begin retries, %v cumulative backoff\n",
+			n, cliM.BusyRetries.Load(), time.Duration(cliM.BackoffNS.Load()).Round(time.Millisecond))
+	}
 
 	if rig != nil {
 		// The guardian must have restored the replication factor, and the
@@ -299,13 +360,46 @@ func runRemote(out io.Writer, cfg config) error {
 		return fmt.Errorf("lost commits: account drift %d != committed-delta ledger %d", got, want)
 	}
 	fmt.Fprintf(out, "consistency: balance invariant holds; ledger reconciled (%d committed transactions, zero lost)\n", committed)
+
+	writeTrace := func(path, side string, rec *trace.Recorder) error {
+		spans := rec.Snapshot()
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("%s trace output: %w", side, err)
+		}
+		if err := trace.WriteChromeTrace(f, spans); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s trace: %w", side, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d %s span(s) written to %s (merge captures with perseas-inspect)\n",
+			len(spans), side, path)
+		return nil
+	}
+	if cfg.traceOut != "" {
+		if err := writeTrace(cfg.traceOut, "client", cliRec); err != nil {
+			return err
+		}
+	}
+	if rig != nil && cfg.serverTraceOut != "" {
+		if err := writeTrace(cfg.serverTraceOut, "server", rig.rec); err != nil {
+			return err
+		}
+	}
+	if rig != nil {
+		if n := rig.fr.Total(); n > 0 {
+			fmt.Fprintf(out, "flight: %d anomaly event(s) recorded (%d dropped from the ring)\n", n, rig.fr.Dropped())
+		}
+	}
 	return nil
 }
 
 // buildChaosRig assembles the self-contained installation: two loopback
 // mirrors plus a spare under a guardian, fronted by a tx server on a
 // loopback listener.
-func buildChaosRig(out io.Writer) (*chaosRig, error) {
+func buildChaosRig(out io.Writer, cfg config) (*chaosRig, error) {
 	rig := &chaosRig{}
 	ok := false
 	defer func() {
@@ -313,6 +407,20 @@ func buildChaosRig(out io.Writer) (*chaosRig, error) {
 			rig.Close()
 		}
 	}()
+	// The rig is the "server process" of the run: it keeps its own span
+	// recorder (process-tagged "server" so a merge with the client
+	// capture stitches) and its own always-on flight recorder.
+	rig.rec = trace.NewRecorder()
+	rig.rec.SetProcess("server")
+	if cfg.serverTraceOut != "" {
+		rig.rec.Enable()
+		rig.rec.SetSlowerThan(cfg.traceSlower)
+	}
+	rig.fr = flight.New(0)
+	rig.fr.Enable()
+	rig.clock = simclock.NewWall()
+	rig.rec.SetClock(rig.clock)
+	rig.fr.SetClock(rig.clock)
 	var mirrors []netram.Mirror
 	var addrs []string
 	for i := 0; i < 2; i++ {
@@ -329,6 +437,7 @@ func buildChaosRig(out io.Writer) (*chaosRig, error) {
 			return nil, err
 		}
 		rig.closers = append(rig.closers, tr)
+		tr.SetTracer(rig.rec)
 		mirrors = append(mirrors, netram.Mirror{Name: l.Addr().String(), T: tr})
 		addrs = append(addrs, l.Addr().String())
 	}
@@ -337,10 +446,13 @@ func buildChaosRig(out io.Writer) (*chaosRig, error) {
 		return nil, err
 	}
 	rig.ram = ram
-	lib, err := core.Init(ram, simclock.NewWall())
+	ram.SetTracer(rig.rec)
+	ram.SetFlight(rig.fr)
+	lib, err := core.Init(ram, rig.clock, core.WithTracer(rig.rec))
 	if err != nil {
 		return nil, err
 	}
+	rig.lib = lib
 
 	spareSrv := memserver.New(memserver.WithLabel("spare-0"))
 	sl, err := net.Listen("tcp", "127.0.0.1:0")
@@ -365,11 +477,14 @@ func buildChaosRig(out io.Writer) (*chaosRig, error) {
 	if err != nil {
 		return nil, err
 	}
+	rig.guard.SetTracer(rig.rec)
+	rig.guard.SetFlight(rig.fr)
 	if err := rig.guard.Start(); err != nil {
 		return nil, err
 	}
 
-	srv := txserver.New(lib)
+	srv := txserver.New(lib, txserver.WithTracer(rig.rec), txserver.WithFlightRecorder(rig.fr))
+	rig.srv = srv
 	fl, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err

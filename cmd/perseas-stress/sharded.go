@@ -14,8 +14,11 @@ import (
 	"time"
 
 	"github.com/ics-forth/perseas/internal/bench"
+	"github.com/ics-forth/perseas/internal/cluster"
 	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/debugmux"
 	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/guardian"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
@@ -67,6 +70,13 @@ func runSharded(out io.Writer, cfg config) error {
 		rec.Enable()
 		rec.SetSlowerThan(cfg.traceSlower)
 	}
+	// One flight recorder spans every shard: anomaly events carry their
+	// source, so a shared ring preserves cross-shard ordering.
+	fr := flight.New(0)
+	fr.Enable()
+	clock := simclock.NewWall()
+	rec.SetClock(clock)
+	fr.SetClock(clock)
 
 	rigs := make([]*shardRig, cfg.shards)
 	libs := make([]*core.Library, cfg.shards)
@@ -103,8 +113,9 @@ func runSharded(out io.Writer, cfg config) error {
 			return err
 		}
 		ram.SetTracer(rec)
+		ram.SetFlight(fr)
 		rig.ram = ram
-		lib, err := core.Init(ram, simclock.NewWall(), core.WithTracer(rec))
+		lib, err := core.Init(ram, clock, core.WithTracer(rec))
 		if err != nil {
 			return err
 		}
@@ -138,6 +149,7 @@ func runSharded(out io.Writer, cfg config) error {
 				return err
 			}
 			guard.SetTracer(rec)
+			guard.SetFlight(fr)
 			rig.guard = guard
 			fmt.Fprintf(out, "guardian: watching shard %d's %d mirrors, spare at %s\n", s, nLocal, sl.Addr())
 			if err := guard.Start(); err != nil {
@@ -152,10 +164,12 @@ func runSharded(out io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
+	r.SetFlight(fr)
 
 	reg := obs.NewRegistry()
 	r.RegisterMetrics(reg) // router counters + per-shard prefixed library series
 	rec.RegisterMetrics(reg)
+	fr.RegisterMetrics(reg)
 	for s, rig := range rigs {
 		for i, tr := range rig.tcps {
 			tr.RegisterMetrics(reg, fmt.Sprintf("perseas_tcp_shard%d_mirror%d", s, i))
@@ -167,11 +181,25 @@ func runSharded(out io.Writer, cfg config) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ml.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg)
-		mux.Handle("/debug/traces", rec)
+		shards := make([]cluster.ShardSource, len(rigs))
+		for s, rig := range rigs {
+			shards[s] = cluster.ShardSource{
+				Label: fmt.Sprintf("shard%d", s),
+				Lib:   rig.lib,
+				Net:   rig.ram,
+				Guard: rig.guard,
+			}
+		}
+		mux := debugmux.Build(debugmux.Config{
+			Registry:             reg,
+			Tracer:               rec,
+			Flight:               fr,
+			Cluster:              &cluster.Config{Shards: shards, Flight: fr, Clock: clock},
+			BlockProfileRate:     cfg.pprofBlock,
+			MutexProfileFraction: cfg.pprofMutex,
+		})
 		go func() { _ = (&http.Server{Handler: mux}).Serve(ml) }()
-		fmt.Fprintf(out, "metrics: http://%s/metrics (traces at /debug/traces)\n", ml.Addr())
+		fmt.Fprintf(out, "metrics: http://%s/metrics (cluster at /debug/cluster, events at /debug/events)\n", ml.Addr())
 	}
 
 	w, err := bench.NewDebitCredit(cfg.branches, 1000)
@@ -336,6 +364,10 @@ func runSharded(out io.Writer, cfg config) error {
 		fmt.Fprintf(out, "trace: %d span(s) written to %s (open at ui.perfetto.dev)\n",
 			len(spans), cfg.traceOut)
 		trace.WriteSlowestReport(out, spans, 5)
+	}
+
+	if n := fr.Total(); n > 0 {
+		fmt.Fprintf(out, "flight: %d anomaly event(s) recorded (%d dropped from the ring)\n", n, fr.Dropped())
 	}
 
 	if err := w.CheckConsistency(); err != nil {

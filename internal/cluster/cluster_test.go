@@ -1,0 +1,184 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/ics-forth/perseas/internal/cluster"
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/debugmux"
+	"github.com/ics-forth/perseas/internal/flight"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+	"github.com/ics-forth/perseas/internal/txserver"
+)
+
+// rig builds one library over two in-process mirrors.
+func rig(t *testing.T) (*core.Library, *netram.Client, *simclock.SimClock) {
+	t.Helper()
+	clock := simclock.NewSim()
+	var mirrors []netram.Mirror
+	for i := 0; i < 2; i++ {
+		srv := memserver.New()
+		tr, err := transport.NewInProc(srv, sci.DefaultParams(), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirrors = append(mirrors, netram.Mirror{Name: srv.Label(), T: tr})
+	}
+	net, err := netram.NewClient(mirrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := core.Init(net, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, net, clock
+}
+
+// TestSnapshotAggregates: a snapshot carries per-shard transaction
+// counts, conflict occupancy, mirror health and phase quantiles, plus
+// the front door's admission counters.
+func TestSnapshotAggregates(t *testing.T) {
+	lib, net, clock := rig(t)
+	db, err := lib.CreateDB("t", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := lib.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(db, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// An open transaction holds one claim while the snapshot samples.
+	open, err := lib.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := open.SetRange(db, 32, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := flight.New(8)
+	fr.Enable()
+	fr.Record(flight.BusyReject, "txserver", "test", 0)
+	srv := txserver.New(lib)
+	cfg := &cluster.Config{
+		Server: srv,
+		Shards: []cluster.ShardSource{{Label: "shard0", Lib: lib, Net: net}},
+		Flight: fr,
+		Clock:  clock,
+	}
+	snap := cfg.Snapshot()
+
+	if snap.Server == nil {
+		t.Fatal("snapshot has no server block")
+	}
+	if len(snap.Shards) != 1 {
+		t.Fatalf("snapshot has %d shards, want 1", len(snap.Shards))
+	}
+	sh := snap.Shards[0]
+	if sh.Label != "shard0" || sh.Committed != 1 || sh.Begun != 2 {
+		t.Fatalf("shard block = %+v", sh)
+	}
+	if sh.ConflictClaims != 1 {
+		t.Fatalf("conflict claims = %d, want 1 (one open transaction)", sh.ConflictClaims)
+	}
+	if len(sh.Mirrors) != 2 {
+		t.Fatalf("mirror rows = %d, want 2", len(sh.Mirrors))
+	}
+	for _, m := range sh.Mirrors {
+		if m.Down {
+			t.Fatalf("mirror %d reported down on a healthy rig", m.Slot)
+		}
+	}
+	var total cluster.PhaseLatency
+	for _, p := range sh.Phases {
+		if p.Phase == "commit total" {
+			total = p
+		}
+	}
+	if total.Count != 1 || total.P999 < total.P50 {
+		t.Fatalf("commit total phase = %+v", total)
+	}
+	if snap.Flight != 1 {
+		t.Fatalf("flight events = %d, want 1", snap.Flight)
+	}
+	if err := open.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rendered table mentions the shard, its mirrors and the flight
+	// volume.
+	var buf bytes.Buffer
+	cluster.WriteTable(&buf, snap)
+	for _, want := range []string{"shard0", "mirror 0", "commit total", "flight events: 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestDebugMuxServesEverything: one mux serves metrics, traces,
+// events, the cluster snapshot and the pprof family.
+func TestDebugMuxServesEverything(t *testing.T) {
+	lib, net, clock := rig(t)
+	reg := obs.NewRegistry()
+	lib.RegisterMetrics(reg)
+	fr := flight.New(8)
+	fr.Enable()
+	fr.RegisterMetrics(reg)
+	cfg := &cluster.Config{
+		Shards: []cluster.ShardSource{{Label: "s", Lib: lib, Net: net}},
+		Flight: fr,
+		Clock:  clock,
+	}
+	mux := debugmux.Build(debugmux.Config{
+		Registry:             reg,
+		Flight:               fr,
+		Cluster:              cfg,
+		BlockProfileRate:     1,
+		MutexProfileFraction: 1,
+	})
+	for path, want := range map[string]string{
+		"/metrics":             "perseas_flight_events_total",
+		"/debug/events":        `"events"`,
+		"/debug/cluster":       `"shards"`,
+		"/debug/pprof/heap":    "",
+		"/debug/pprof/block":   "",
+		"/debug/pprof/mutex":   "",
+		"/debug/pprof/cmdline": "",
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s answered %d", path, rec.Code)
+		}
+		if want != "" && !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("%s response missing %q", path, want)
+		}
+	}
+	// The cluster document decodes as JSON.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/cluster", nil))
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/cluster is not JSON: %v", err)
+	}
+}

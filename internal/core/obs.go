@@ -52,6 +52,19 @@ func (l *Library) RegisterMetricsPrefixed(reg *obs.Registry, prefix string) {
 	l.net.RegisterMetricsPrefixed(reg, prefix+"_netram")
 }
 
+// ConflictOccupancy reports how many range claims live transactions
+// currently hold in the conflict table — a direct gauge of write-set
+// pressure and a leading indicator of conflict-abort storms.
+func (l *Library) ConflictOccupancy() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, claims := range l.locks.byDB {
+		n += len(claims)
+	}
+	return n
+}
+
 // CommitLatencyRows renders the commit-path breakdown as table rows
 // for perseas-bench and perseas-stress.
 func (l *Library) CommitLatencyRows() []obs.LatencyRow {

@@ -63,9 +63,26 @@ func (l *Library) Begin() (engine.Tx, error) {
 	return l.BeginTx()
 }
 
+// BeginTraced implements engine.TraceBeginner: Begin adopting a trace
+// id propagated from another process, so this library's commit-path
+// spans join the remote caller's span tree instead of starting one of
+// their own. With traceID 0 (or tracing off) it is exactly Begin.
+func (l *Library) BeginTraced(traceID, parentSpan uint64) (engine.Tx, error) {
+	return l.BeginTxTraced(traceID, parentSpan)
+}
+
+// BeginTxTraced is BeginTraced returning the concrete handle type.
+func (l *Library) BeginTxTraced(traceID, parentSpan uint64) (*Tx, error) {
+	return l.beginTx(traceID, parentSpan)
+}
+
 // BeginTx is Begin returning the concrete handle type, for callers that
 // want the PERSEAS-specific helpers (Write, Writable, Read).
 func (l *Library) BeginTx() (*Tx, error) {
+	return l.beginTx(0, 0)
+}
+
+func (l *Library) beginTx(traceID, parentSpan uint64) (*Tx, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.checkAliveLocked(); err != nil {
@@ -93,7 +110,11 @@ func (l *Library) BeginTx() (*Tx, error) {
 	slot.busy = true
 	l.txs[t] = struct{}{}
 	l.stats.Begun++
-	t.tt = l.tracer.Tx()
+	if traceID != 0 {
+		t.tt = l.tracer.TxAdopt(traceID, parentSpan)
+	} else {
+		t.tt = l.tracer.Tx()
+	}
 	t.root = t.tt.Start(trace.LayerEngine, "tx")
 	return t, nil
 }

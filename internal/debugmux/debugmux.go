@@ -1,0 +1,71 @@
+// Package debugmux assembles the one HTTP mux every PERSEAS process
+// serves on its -metrics-addr listener: Prometheus metrics, the span
+// recorder, the anomaly flight recorder, the cluster snapshot, and the
+// runtime profiling endpoints. Centralising the wiring keeps every
+// command's observability surface identical — an operator who knows
+// one process's debug port knows them all.
+package debugmux
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+
+	"github.com/ics-forth/perseas/internal/cluster"
+	"github.com/ics-forth/perseas/internal/flight"
+	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/trace"
+)
+
+// Config selects what the mux serves; every field is optional.
+type Config struct {
+	// Registry serves at /metrics.
+	Registry *obs.Registry
+	// Tracer serves Chrome trace-event JSON at /debug/traces.
+	Tracer *trace.Recorder
+	// Flight serves the anomaly ring at /debug/events.
+	Flight *flight.Recorder
+	// Cluster serves the aggregated health snapshot at /debug/cluster.
+	Cluster *cluster.Config
+	// BlockProfileRate, when > 0, enables goroutine blocking profiles
+	// at that sampling rate (runtime.SetBlockProfileRate); the profile
+	// serves at /debug/pprof/block.
+	BlockProfileRate int
+	// MutexProfileFraction, when > 0, enables mutex contention
+	// profiles at that sampling fraction
+	// (runtime.SetMutexProfileFraction); the profile serves at
+	// /debug/pprof/mutex.
+	MutexProfileFraction int
+}
+
+// Build returns the assembled mux. The pprof family
+// (/debug/pprof/...) is always mounted: heap, goroutine and CPU
+// profiles cost nothing until requested, and a live process that
+// cannot be profiled is a live process that cannot be diagnosed.
+func Build(cfg Config) *http.ServeMux {
+	mux := http.NewServeMux()
+	if cfg.Registry != nil {
+		mux.Handle("/metrics", cfg.Registry)
+	}
+	if cfg.Tracer != nil {
+		mux.Handle("/debug/traces", cfg.Tracer)
+	}
+	if cfg.Flight != nil {
+		mux.Handle("/debug/events", cfg.Flight)
+	}
+	if cfg.Cluster != nil {
+		mux.Handle("/debug/cluster", cfg.Cluster)
+	}
+	if cfg.BlockProfileRate > 0 {
+		runtime.SetBlockProfileRate(cfg.BlockProfileRate)
+	}
+	if cfg.MutexProfileFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexProfileFraction)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

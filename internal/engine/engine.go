@@ -115,3 +115,15 @@ type Engine interface {
 	// Close releases resources. The durable state remains.
 	Close() error
 }
+
+// TraceBeginner is an optional Engine extension for engines that can
+// adopt a distributed-tracing context propagated from another process:
+// Begin with the transaction's spans recorded under traceID (instead
+// of a locally-issued id), hanging beneath the remote parentSpan. The
+// transaction front door uses it to stitch a remote client's spans and
+// the serving engine's spans into one tree. Engines that do not trace,
+// or calls with traceID 0 (the peer was not tracing), must behave
+// exactly like Begin.
+type TraceBeginner interface {
+	BeginTraced(traceID, parentSpan uint64) (Tx, error)
+}

@@ -1,0 +1,156 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+// TestRingWrap: overflowing the ring drops the oldest events, keeps
+// the newest in order, and counts the drops.
+func TestRingWrap(t *testing.T) {
+	r := New(4)
+	r.Enable()
+	clk := simclock.NewSim()
+	r.SetClock(clk)
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Millisecond)
+		r.Record(BusyReject, "txserver", "over limit", uint64(i))
+	}
+	evs := r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("snapshot holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(7 + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Arg != wantSeq-1 {
+			t.Fatalf("event %d has arg %d, want %d", i, ev.Arg, wantSeq-1)
+		}
+		if ev.At != time.Duration(wantSeq)*time.Millisecond {
+			t.Fatalf("event %d stamped %v, want %v", i, ev.At, time.Duration(wantSeq)*time.Millisecond)
+		}
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", r.Total(), r.Dropped())
+	}
+}
+
+// TestDisabledAndNil: a disabled recorder records nothing; a nil one
+// is safe everywhere.
+func TestDisabledAndNil(t *testing.T) {
+	r := New(0)
+	r.Record(MirrorDegrade, "netram", "down", 0)
+	if r.Total() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("disabled recorder stored an event")
+	}
+	var nilRec *Recorder
+	nilRec.Record(MirrorDegrade, "netram", "down", 0)
+	nilRec.Enable()
+	nilRec.SetClock(simclock.NewSim())
+	if nilRec.Enabled() || nilRec.Total() != 0 || nilRec.Dropped() != 0 || nilRec.Snapshot() != nil {
+		t.Fatal("nil recorder misbehaved")
+	}
+	nilRec.RegisterMetrics(obs.NewRegistry())
+}
+
+// TestServeHTTPAndKinds: the HTTP dump is JSON with snake_case kind
+// names and the volume counters.
+func TestServeHTTPAndKinds(t *testing.T) {
+	r := New(8)
+	r.Enable()
+	r.Record(GuardianTransition, "guardian[ram1]", "healthy->suspect", 0)
+	r.Record(CatchUpOverflow, "netram", "queue full", 512)
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var d struct {
+		Total   uint64 `json:"total"`
+		Dropped uint64 `json:"dropped"`
+		Events  []struct {
+			Seq    uint64 `json:"seq"`
+			Kind   string `json:"kind"`
+			Source string `json:"source"`
+			Arg    uint64 `json:"arg"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("decode /debug/events: %v", err)
+	}
+	if d.Total != 2 || d.Dropped != 0 || len(d.Events) != 2 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if d.Events[0].Kind != "guardian_transition" || d.Events[1].Kind != "catchup_overflow" {
+		t.Fatalf("kind names = %q, %q", d.Events[0].Kind, d.Events[1].Kind)
+	}
+	if d.Events[1].Arg != 512 {
+		t.Fatalf("arg = %d, want 512", d.Events[1].Arg)
+	}
+
+	// An empty recorder still dumps a well-formed document with an
+	// events array, not null.
+	var buf bytes.Buffer
+	if err := New(4).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"events": []`)) {
+		t.Fatalf("empty dump = %s", buf.String())
+	}
+}
+
+// TestMetricsRegistered: the volume counters publish under
+// perseas_flight_*.
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := New(4)
+	r.Enable()
+	r.RegisterMetrics(reg)
+	r.Record(InDoubtRepair, "router", "re-driven", 7)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("perseas_flight_events_total 1")) {
+		t.Fatalf("exposition missing flight totals:\n%s", buf.String())
+	}
+}
+
+// BenchmarkRecordDisabled pins the hot-path cost of a disabled
+// recorder: one atomic load, no allocation.
+func BenchmarkRecordDisabled(b *testing.B) {
+	r := New(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(BusyReject, "txserver", "over limit", 1)
+	}
+}
+
+// BenchmarkRecordNil pins the nil-receiver cost.
+func BenchmarkRecordNil(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(BusyReject, "txserver", "over limit", 1)
+	}
+}
+
+// BenchmarkRecordEnabled is the enabled cost for sizing: one short
+// critical section.
+func BenchmarkRecordEnabled(b *testing.B) {
+	r := New(1024)
+	r.Enable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(BusyReject, "txserver", "over limit", 1)
+	}
+}

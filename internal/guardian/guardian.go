@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/simclock"
@@ -203,6 +204,9 @@ type Guardian struct {
 	// infrastructure spans; nil disables. Set during wiring, before
 	// Start.
 	tracer *trace.Recorder
+	// flight records state transitions as anomaly events; nil disables.
+	// Set during wiring, before Start.
+	flight *flight.Recorder
 }
 
 // stateSpanNames are the static span names for transition instants,
@@ -219,6 +223,10 @@ var stateSpanNames = [...]string{
 // SetTracer attaches a span recorder. Every recorder method is
 // nil-safe, so a nil tracer records nothing.
 func (g *Guardian) SetTracer(rec *trace.Recorder) { g.tracer = rec }
+
+// SetFlight attaches a flight recorder for transition anomaly events.
+// Call during wiring, before Start; nil records nothing.
+func (g *Guardian) SetFlight(r *flight.Recorder) { g.flight = r }
 
 // New builds a Guardian over client, reading time from clock (pass the
 // client's clock: the rig's SimClock for deterministic runs, a
@@ -546,6 +554,11 @@ func (g *Guardian) emit(ev *Event) {
 		return
 	}
 	g.tracer.Event(trace.LayerGuardian, stateSpanNames[ev.To], uint64(ev.Slot))
+	if g.flight.Enabled() {
+		g.flight.Record(flight.GuardianTransition, "guardian",
+			fmt.Sprintf("%s: %s -> %s", g.client.MirrorName(ev.Slot), ev.From, ev.To),
+			uint64(ev.Slot))
+	}
 	if g.cfg.OnEvent == nil {
 		return
 	}

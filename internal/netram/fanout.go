@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 )
@@ -320,6 +321,7 @@ func (c *Client) batchWithRetry(m Mirror, slot int, seg uint32, spans []wireSpan
 		return false, err
 	}
 	c.metrics.Retries.Inc()
+	c.flight.Record(flight.MirrorRetry, "netram", m.Name, uint64(slot))
 	if err2 := attempt(); err2 != nil {
 		// Surface the retry's error (the current failure mode), keeping
 		// the first attempt's for context — see writeWithRetry.
@@ -536,6 +538,7 @@ func (c *Client) pushParallelQuorum(r *Region, call *fanoutCall, off uint64, dat
 			dispatched = dispatched[:len(dispatched)-1]
 			c.markDown(i)
 			c.metrics.CatchUpOverflows.Inc()
+			c.flight.Record(flight.CatchUpOverflow, "netram", "catch-up queue full", uint64(i))
 		}
 	}
 	nDispatched := len(dispatched)

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/sci"
 	"github.com/ics-forth/perseas/internal/simclock"
@@ -130,6 +131,9 @@ type Client struct {
 	// tracer records infrastructure spans (rebuild phases); nil disables.
 	// Set once during wiring, before the data path runs.
 	tracer *trace.Recorder
+	// flight records mirror anomalies (degradations, push retries,
+	// catch-up overflows); nil disables. Set once during wiring.
+	flight *flight.Recorder
 
 	// topoMu guards the mirror set, the region list and every region's
 	// handles. Data-path operations hold the read lock for their whole
@@ -387,6 +391,10 @@ func (c *Client) SetClock(clk simclock.Clock) {
 // method is nil-safe, so a nil tracer simply records nothing.
 func (c *Client) SetTracer(rec *trace.Recorder) { c.tracer = rec }
 
+// SetFlight attaches a flight recorder for mirror anomalies. Call
+// during wiring, before traffic flows; nil records nothing.
+func (c *Client) SetFlight(r *flight.Recorder) { c.flight = r }
+
 // Mirrors reports the number of mirror nodes.
 func (c *Client) Mirrors() int { return len(c.mirrors) }
 
@@ -403,6 +411,9 @@ func (c *Client) Live() int {
 	return n
 }
 
+// MirrorDown reports mirror i's health flag, for status snapshots.
+func (c *Client) MirrorDown(i int) bool { return c.isDown(i) }
+
 // isDown reads mirror i's health flag.
 func (c *Client) isDown(i int) bool {
 	c.stateMu.Lock()
@@ -411,13 +422,16 @@ func (c *Client) isDown(i int) bool {
 }
 
 // markDown records mirror i as failed; only the first transition per
-// outage counts as a degradation event.
+// outage counts as a degradation event. The flight event carries the
+// slot, not the name: markDown runs under stateMu only, and the mirror
+// set may be mid-swap under topoMu.
 func (c *Client) markDown(i int) {
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	if !c.down[i] {
 		c.down[i] = true
 		c.metrics.Degradations.Inc()
+		c.flight.Record(flight.MirrorDegrade, "netram", "mirror marked down", uint64(i))
 	}
 }
 
@@ -664,6 +678,7 @@ func (c *Client) writeWithRetry(m Mirror, slot int, seg uint32, offset uint64, d
 	}
 	// The node answers pings: transient failure — one retry.
 	c.metrics.Retries.Inc()
+	c.flight.Record(flight.MirrorRetry, "netram", m.Name, uint64(slot))
 	if retryErr := m.T.Write(seg, offset, data); retryErr != nil {
 		// Surface the retry's error — it is the failure the mirror is
 		// failing with NOW; the first attempt rides along for context.

@@ -57,7 +57,7 @@ func (r *Registry) RegisterGauge(name, help string, fn func() uint64) {
 }
 
 // RegisterHistogram exposes h under name as a Prometheus summary with
-// p50/p95/p99 quantiles.
+// p50/p95/p99/p999 quantiles.
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
 	r.add(regEntry{name: name, help: help, hist: h})
 }
@@ -76,7 +76,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // quantiles rendered for every histogram, in exposition order.
-var summaryQuantiles = []float64{0.5, 0.95, 0.99}
+var summaryQuantiles = []float64{0.5, 0.95, 0.99, 0.999}
 
 // helpEscaper applies the exposition-format HELP escaping rules:
 // backslash and newline are the only characters that need it.

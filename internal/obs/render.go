@@ -19,19 +19,20 @@ func usec(ns float64) float64 { return ns / 1e3 }
 // WriteLatencyTable renders rows of nanosecond histograms as a
 // human-readable table in microseconds:
 //
-//	commit path                 count       p50       p95       p99      mean
-//	  local copy                 1234      12.0      18.5      22.1      13.2
+//	commit path                 count       p50       p95       p99      p999      mean
+//	  local copy                 1234      12.0      18.5      22.1      24.0      13.2
 func WriteLatencyTable(w io.Writer, title string, rows []LatencyRow) {
-	fmt.Fprintf(w, "%-24s %9s %9s %9s %9s %9s\n", title, "count", "p50(us)", "p95(us)", "p99(us)", "mean(us)")
+	fmt.Fprintf(w, "%-24s %9s %9s %9s %9s %9s %9s\n", title, "count", "p50(us)", "p95(us)", "p99(us)", "p999(us)", "mean(us)")
 	for _, row := range rows {
 		s := row.Snap
 		if s.Count == 0 {
-			fmt.Fprintf(w, "  %-22s %9d %9s %9s %9s %9s\n", row.Name, 0, "-", "-", "-", "-")
+			fmt.Fprintf(w, "  %-22s %9d %9s %9s %9s %9s %9s\n", row.Name, 0, "-", "-", "-", "-", "-")
 			continue
 		}
-		fmt.Fprintf(w, "  %-22s %9d %9.1f %9.1f %9.1f %9.1f\n",
+		fmt.Fprintf(w, "  %-22s %9d %9.1f %9.1f %9.1f %9.1f %9.1f\n",
 			row.Name, s.Count,
-			usec(s.Quantile(0.5)), usec(s.Quantile(0.95)), usec(s.Quantile(0.99)), usec(s.Mean()))
+			usec(s.Quantile(0.5)), usec(s.Quantile(0.95)), usec(s.Quantile(0.99)),
+			usec(s.Quantile(0.999)), usec(s.Mean()))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/ics-forth/perseas/internal/core"
 	"github.com/ics-forth/perseas/internal/disk"
 	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/memserver"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/riofs"
@@ -71,6 +72,10 @@ type Config struct {
 	// SimClock, so span timestamps are modelled time; recording never
 	// advances the clock, leaving reproduced figures untouched.
 	Tracer *trace.Recorder
+	// Flight, when non-nil, is the anomaly flight recorder every
+	// shard's netram client reports into. Like the tracer it only
+	// reads the clock, so enabling it must not move a figure.
+	Flight *flight.Recorder
 	// Shards partitions the PERSEAS region namespace across this many
 	// independent instances behind a router (0 and 1 both mean the plain
 	// unsharded library). Each shard gets its own mirror set, conflict
@@ -259,6 +264,9 @@ func NewPerseas(cfg Config) (*Lab, error) {
 		}
 		if cfg.Tracer != nil {
 			net.SetTracer(cfg.Tracer)
+		}
+		if cfg.Flight != nil {
+			net.SetFlight(cfg.Flight)
 		}
 		lib, err := core.Init(net, clock, copts...)
 		if err != nil {

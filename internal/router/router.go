@@ -48,6 +48,7 @@ import (
 	"github.com/ics-forth/perseas/internal/core"
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/obs"
 )
@@ -110,6 +111,9 @@ type Router struct {
 	nextGID     uint64
 
 	metrics metrics
+	// flight records in-doubt commit repairs; nil disables. Set during
+	// wiring, before traffic flows.
+	flight *flight.Recorder
 
 	// Test hooks, fired on the committing goroutine between protocol
 	// phases (and on the migrating goroutine before the final quiesce);
@@ -304,13 +308,23 @@ func (r *Router) DropDB(name string) error {
 // a shard the first time SetRange touches it — the genuineness rule:
 // shards a transaction does not touch take no part in its commit.
 func (r *Router) Begin() (engine.Tx, error) {
+	return r.BeginTraced(0, 0)
+}
+
+// BeginTraced implements engine.TraceBeginner: the handle remembers the
+// propagated tracing context and passes it to each shard
+// sub-transaction it lazily begins.
+func (r *Router) BeginTraced(traceID, parentSpan uint64) (engine.Tx, error) {
 	r.mu.Lock()
 	crashed, gen := r.crashed, r.gen
 	r.mu.Unlock()
 	if crashed {
 		return nil, engine.ErrCrashed
 	}
-	return &routerTx{r: r, gen: gen, subs: make([]*core.Tx, len(r.shards))}, nil
+	return &routerTx{
+		r: r, gen: gen, subs: make([]*core.Tx, len(r.shards)),
+		traceID: traceID, traceSpan: parentSpan,
+	}, nil
 }
 
 // Crash implements engine.Engine: the routing node and every shard
@@ -468,6 +482,10 @@ func (r *Router) Stats() Stats {
 		Migrations:          r.metrics.migrations.Load(),
 	}
 }
+
+// SetFlight attaches a flight recorder for in-doubt repair events.
+// Call during wiring, before traffic flows; nil records nothing.
+func (r *Router) SetFlight(f *flight.Recorder) { r.flight = f }
 
 // RegisterMetrics registers the router's own counters plus every shard's
 // commit-path and netram series under per-shard prefixes

@@ -8,6 +8,7 @@ import (
 
 	"github.com/ics-forth/perseas/internal/core"
 	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/flight"
 )
 
 // routerTx is one routed transaction: at most one sub-transaction per
@@ -21,7 +22,18 @@ type routerTx struct {
 	// gen is the router generation at Begin; a crash bumps it, retiring
 	// this handle.
 	gen uint64
+	// traceID/traceSpan carry an adopted cross-process tracing context
+	// (BeginTraced); every lazily-begun shard sub-transaction adopts
+	// them, so a routed transaction's spans across all touched shards
+	// join the remote caller's one tree. Zero when untraced.
+	traceID   uint64
+	traceSpan uint64
 }
+
+// TraceID reports the adopted cross-process trace id (0 when this
+// transaction was not begun with one); the front door stitches its
+// request spans with it.
+func (t *routerTx) TraceID() uint64 { return t.traceID }
 
 // checkOpen orders the crashed and retired checks the way the library
 // does: a crash outranks a retired handle.
@@ -62,7 +74,7 @@ retry:
 	sub := t.subs[shard]
 	if sub == nil {
 		var err error
-		sub, err = r.shards[shard].BeginTx()
+		sub, err = r.shards[shard].BeginTxTraced(t.traceID, t.traceSpan)
 		if err != nil {
 			return err
 		}
@@ -303,6 +315,7 @@ func (r *Router) RepairInDoubt() int {
 			r.releaseDecision(ic.slot)
 			r.metrics.cross.Inc()
 			r.metrics.repaired.Inc()
+			r.flight.Record(flight.InDoubtRepair, "router", "in-doubt commit completed", ic.gid)
 		default:
 			still = append(still, indoubtCommit{gid: ic.gid, slot: ic.slot, subs: stuck})
 		}

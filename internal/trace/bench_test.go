@@ -34,6 +34,23 @@ func BenchmarkTxTraceDisabled(b *testing.B) {
 	}
 }
 
+// BenchmarkPropagationDisabled measures the untraced client request
+// path: a nil recorder hands out a nil TxTrace, every span is a no-op,
+// and the propagated trace/span ids read back zero — this is what each
+// txclient call pays when no tracer is configured.
+func BenchmarkPropagationDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tt := r.Tx()
+		rtt := tt.Start(LayerClient, "begin_rtt")
+		_ = tt.Trace()
+		_ = rtt.ID()
+		rtt.End()
+		tt.Finish()
+	}
+}
+
 func BenchmarkTxTraceEnabled(b *testing.B) {
 	r := NewRecorder()
 	r.Enable()

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -93,6 +94,9 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 				"layer": sp.Layer.String(), "arg": sp.Arg,
 			},
 		}
+		if sp.Proc != "" {
+			ev.Args["proc"] = sp.Proc
+		}
 		if sp.Instant {
 			ev.Ph = "i"
 			ev.Scope = "t"
@@ -120,7 +124,12 @@ func metaEvent(kind string, pid, tid uint64, name string) chromeEvent {
 // coordinates default to zero when the args are absent.
 func ReadChromeTrace(r io.Reader) ([]Span, error) {
 	var f chromeFile
-	if err := json.NewDecoder(r).Decode(&f); err != nil {
+	dec := json.NewDecoder(r)
+	// Span ids carry high-bit tags (linked and adopted id spaces) that
+	// exceed float64's 53-bit integer range; UseNumber keeps them exact
+	// through the interface{}-typed args.
+	dec.UseNumber()
+	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("trace: parse chrome trace: %w", err)
 	}
 	var spans []Span
@@ -138,6 +147,9 @@ func ReadChromeTrace(r io.Reader) ([]Span, error) {
 		sp.ID = argUint(ev.Args, "id")
 		sp.Parent = argUint(ev.Args, "parent")
 		sp.Arg = argUint(ev.Args, "arg")
+		if proc, ok := ev.Args["proc"].(string); ok {
+			sp.Proc = proc
+		}
 		if name, ok := ev.Args["layer"].(string); ok {
 			if l, ok := ParseLayer(name); ok {
 				sp.Layer = l
@@ -153,9 +165,18 @@ func ReadChromeTrace(r io.Reader) ([]Span, error) {
 
 // argUint pulls one numeric arg out of a parsed event.
 func argUint(args map[string]any, key string) uint64 {
-	v, ok := args[key].(float64)
-	if !ok || v < 0 {
-		return 0
+	switch v := args[key].(type) {
+	case json.Number:
+		n, err := strconv.ParseUint(v.String(), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return n
+	case float64:
+		if v < 0 {
+			return 0
+		}
+		return uint64(v)
 	}
-	return uint64(v)
+	return 0
 }

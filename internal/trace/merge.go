@@ -1,0 +1,116 @@
+// Merging multi-process captures. Each process's recorder reads a
+// clock that started when that process did, so the same transaction's
+// client-side and server-side spans carry unrelated timestamps; the
+// merge realigns them using the one anchor both sides share — the
+// propagated parent span id — producing a single span set where every
+// stitched transaction renders as one tree.
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// MergeSpans merges per-process span captures into one set. The first
+// capture is the time reference. For every later capture, each trace
+// it shares with the spans merged so far is shifted independently: the
+// capture's earliest span of that trace is moved to the start of the
+// span it names as parent (the propagated wire.Request.TraceSpan), or
+// to the trace's earliest already-merged span when that parent is not
+// in the capture window. Spans of unshared traces and infrastructure
+// spans (trace 0) shift by the median of the capture's per-trace
+// offsets, keeping them roughly in place without an anchor of their
+// own.
+func MergeSpans(captures ...[]Span) []Span {
+	type key struct{ trace, id uint64 }
+	var out []Span
+	startByID := make(map[key]time.Duration)
+	traceMin := make(map[uint64]time.Duration)
+	add := func(spans []Span) {
+		for _, sp := range spans {
+			out = append(out, sp)
+			if sp.Trace == 0 {
+				continue
+			}
+			startByID[key{sp.Trace, sp.ID}] = sp.Start
+			if m, ok := traceMin[sp.Trace]; !ok || sp.Start < m {
+				traceMin[sp.Trace] = sp.Start
+			}
+		}
+	}
+	for ci, capture := range captures {
+		if ci == 0 {
+			add(capture)
+			continue
+		}
+		byTrace := make(map[uint64][]int)
+		for i, sp := range capture {
+			if sp.Trace != 0 {
+				byTrace[sp.Trace] = append(byTrace[sp.Trace], i)
+			}
+		}
+		offsets := make(map[uint64]time.Duration)
+		var picked []time.Duration
+		for t, idxs := range byTrace {
+			anchor, shared := traceMin[t]
+			if !shared {
+				continue
+			}
+			earliest := idxs[0]
+			for _, i := range idxs {
+				if capture[i].Start < capture[earliest].Start {
+					earliest = i
+				}
+			}
+			if s, ok := startByID[key{t, capture[earliest].Parent}]; ok {
+				anchor = s
+			}
+			off := anchor - capture[earliest].Start
+			offsets[t] = off
+			picked = append(picked, off)
+		}
+		var fallback time.Duration
+		if len(picked) > 0 {
+			sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+			fallback = picked[len(picked)/2]
+		}
+		shifted := make([]Span, len(capture))
+		for i, sp := range capture {
+			off, ok := offsets[sp.Trace]
+			if !ok {
+				off = fallback
+			}
+			sp.Start += off
+			shifted[i] = sp
+		}
+		add(shifted)
+	}
+	sortSpans(out)
+	return out
+}
+
+// StitchedTraces counts the trace ids whose spans carry more than one
+// process tag — the cross-process transactions a merged capture
+// contains. Untagged spans (no SetProcess) count as one anonymous
+// process.
+func StitchedTraces(spans []Span) int {
+	procs := make(map[uint64]map[string]struct{})
+	for _, sp := range spans {
+		if sp.Trace == 0 {
+			continue
+		}
+		m := procs[sp.Trace]
+		if m == nil {
+			m = make(map[string]struct{})
+			procs[sp.Trace] = m
+		}
+		m[sp.Proc] = struct{}{}
+	}
+	n := 0
+	for _, m := range procs {
+		if len(m) > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/simclock"
+)
+
+func TestTxAdoptTagsSpanIDs(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	r.SetClock(simclock.NewSim())
+
+	tt := r.TxAdopt(42, 7)
+	if tt == nil {
+		t.Fatal("TxAdopt returned nil on an enabled recorder")
+	}
+	if tt.Trace() != 42 {
+		t.Fatalf("adopted trace id = %d, want 42", tt.Trace())
+	}
+	root := tt.Start(LayerEngine, "tx")
+	child := tt.Start(LayerCore, "commit")
+	child.End()
+	root.End()
+	tt.Finish()
+
+	// A second adoption of the same trace (a routed transaction touching
+	// two shards) must draw ids from a different tagged space.
+	tt2 := r.TxAdopt(42, 7)
+	root2 := tt2.Start(LayerEngine, "tx")
+	root2.End()
+	tt2.Finish()
+
+	spans := r.Snapshot()
+	seen := make(map[uint64]bool)
+	var rootSpans int
+	for _, sp := range spans {
+		if sp.Trace != 42 {
+			t.Fatalf("span %q trace = %d, want adopted id 42", sp.Name, sp.Trace)
+		}
+		if sp.ID&(1<<62) == 0 {
+			t.Fatalf("adopted span %q id %#x lacks the bit-62 tag", sp.Name, sp.ID)
+		}
+		if seen[sp.ID] {
+			t.Fatalf("span id %#x issued twice across adoptions", sp.ID)
+		}
+		seen[sp.ID] = true
+		if sp.Parent == 7 {
+			rootSpans++
+		}
+	}
+	if rootSpans != 2 {
+		t.Fatalf("%d spans hang under the propagated parent 7, want both roots", rootSpans)
+	}
+}
+
+func TestTxAdoptDisabledAndUntraced(t *testing.T) {
+	r := NewRecorder()
+	if r.TxAdopt(5, 1) != nil {
+		t.Fatal("TxAdopt on a disabled recorder must return nil")
+	}
+	r.Enable()
+	if r.TxAdopt(0, 1) != nil {
+		t.Fatal("TxAdopt of trace id 0 (untraced peer) must return nil")
+	}
+	var nilRec *Recorder
+	if nilRec.TxAdopt(5, 1) != nil {
+		t.Fatal("TxAdopt on a nil recorder must return nil")
+	}
+}
+
+func TestSpanRefID(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	tt := r.Tx()
+	sp := tt.Start(LayerClient, "rtt")
+	if sp.ID() == 0 {
+		t.Fatal("live SpanRef.ID() = 0")
+	}
+	if (SpanRef{}).ID() != 0 {
+		t.Fatal("zero SpanRef.ID() != 0")
+	}
+	sp.End()
+	tt.Finish()
+}
+
+// TestCrossProcessChromeRoundTrip is the stitched-capture contract: a
+// client capture and a server capture of the same transaction, written
+// and re-read as Chrome trace JSON, merge into one tree per trace id
+// with the clocks realigned.
+func TestCrossProcessChromeRoundTrip(t *testing.T) {
+	// Client process: its clock starts at 0.
+	cliClk := simclock.NewSim()
+	cli := NewRecorder()
+	cli.Enable()
+	cli.SetClock(cliClk)
+	cli.SetProcess("client")
+
+	// Server process: its clock started long before the client's — the
+	// realistic misalignment the merge must absorb.
+	srvClk := simclock.NewSim()
+	srvClk.Advance(90 * time.Minute)
+	srv := NewRecorder()
+	srv.Enable()
+	srv.SetClock(srvClk)
+	srv.SetProcess("server")
+
+	// Client side: tx > begin_rtt, then commit_rtt.
+	ct := cli.Tx()
+	traceID := ct.Trace()
+	root := ct.Start(LayerClient, "tx")
+	beginRTT := ct.Start(LayerClient, "begin_rtt")
+	beginSpanID := beginRTT.ID()
+	cliClk.Advance(2 * time.Millisecond)
+
+	// Server side, inside the begin RTT: the adopted engine tree.
+	st := srv.TxAdopt(traceID, beginSpanID)
+	stRoot := st.Start(LayerEngine, "tx")
+	srvClk.Advance(300 * time.Microsecond)
+	commitSp := st.Start(LayerCore, "commit")
+	srvClk.Advance(500 * time.Microsecond)
+	commitSp.End()
+	stRoot.End()
+	st.Finish()
+	env := srv.LinkedSpanFrom(LayerServer, "serve_begin", traceID, beginSpanID)
+	srvClk.Advance(100 * time.Microsecond)
+	env.End()
+
+	cliClk.Advance(1 * time.Millisecond)
+	beginRTT.End()
+	root.End()
+	ct.Finish()
+
+	// Round-trip both captures through the Chrome JSON form.
+	var cliBuf, srvBuf bytes.Buffer
+	if err := WriteChromeTrace(&cliBuf, cli.Snapshot()); err != nil {
+		t.Fatalf("write client trace: %v", err)
+	}
+	if err := WriteChromeTrace(&srvBuf, srv.Snapshot()); err != nil {
+		t.Fatalf("write server trace: %v", err)
+	}
+	cliSpans, err := ReadChromeTrace(&cliBuf)
+	if err != nil {
+		t.Fatalf("read client trace: %v", err)
+	}
+	srvSpans, err := ReadChromeTrace(&srvBuf)
+	if err != nil {
+		t.Fatalf("read server trace: %v", err)
+	}
+
+	merged := MergeSpans(cliSpans, srvSpans)
+	if got := StitchedTraces(merged); got != 1 {
+		t.Fatalf("StitchedTraces = %d, want 1", got)
+	}
+
+	// One tree per trace id: every span's parent is either absent-root
+	// (the client's own root) or another span of the same trace.
+	ids := make(map[uint64]Span)
+	for _, sp := range merged {
+		if sp.Trace != traceID {
+			t.Fatalf("merged span %q has trace %d, want %d", sp.Name, sp.Trace, traceID)
+		}
+		ids[sp.ID] = sp
+	}
+	var roots int
+	for _, sp := range merged {
+		if sp.Parent == 0 {
+			roots++
+			continue
+		}
+		if _, ok := ids[sp.Parent]; !ok {
+			t.Fatalf("span %q (proc %s) parent %#x not in merged trace", sp.Name, sp.Proc, sp.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("merged trace has %d roots, want exactly the client tx span", roots)
+	}
+
+	// Clock realignment: every server span must land inside the client
+	// RTT span that propagated its parent id.
+	var rttStart, rttEnd time.Duration
+	for _, sp := range merged {
+		if sp.Name == "begin_rtt" {
+			rttStart, rttEnd = sp.Start, sp.End()
+		}
+	}
+	for _, sp := range merged {
+		if sp.Proc != "server" {
+			continue
+		}
+		if sp.Start < rttStart || sp.Start > rttEnd {
+			t.Fatalf("server span %q start %v outside client RTT [%v, %v]",
+				sp.Name, sp.Start, rttStart, rttEnd)
+		}
+	}
+
+	// Process tags survive the JSON round trip.
+	byProc := make(map[string]int)
+	for _, sp := range merged {
+		byProc[sp.Proc]++
+	}
+	if byProc["client"] == 0 || byProc["server"] == 0 {
+		t.Fatalf("process tags lost in round trip: %v", byProc)
+	}
+}
+
+func TestMergeSpansUnsharedTraceUsesFallbackOffset(t *testing.T) {
+	a := []Span{
+		{Trace: 1, ID: 1, Name: "tx", Start: 100 * time.Microsecond, Dur: 50 * time.Microsecond, Proc: "a"},
+	}
+	b := []Span{
+		// Shared trace 1: anchors b's offset at -900us (1000 -> 100).
+		{Trace: 1, ID: 1 << 62, Name: "remote", Start: 1000 * time.Microsecond, Dur: 10 * time.Microsecond, Proc: "b"},
+		// Unshared trace 2 rides the same offset.
+		{Trace: 2, ID: 1, Name: "other", Start: 1500 * time.Microsecond, Dur: 10 * time.Microsecond, Proc: "b"},
+	}
+	merged := MergeSpans(a, b)
+	for _, sp := range merged {
+		switch sp.Name {
+		case "remote":
+			if sp.Start != 100*time.Microsecond {
+				t.Fatalf("shared-trace span shifted to %v, want 100µs", sp.Start)
+			}
+		case "other":
+			if sp.Start != 600*time.Microsecond {
+				t.Fatalf("unshared-trace span shifted to %v, want 600µs", sp.Start)
+			}
+		}
+	}
+}

@@ -57,6 +57,10 @@ const (
 	// LayerServer is the transaction front door: per-request serving
 	// spans and group-commit convoys.
 	LayerServer
+	// LayerClient is the remote client library: pool acquisition,
+	// request round trips, busy backoff — the half of a transaction's
+	// life the server never sees.
+	LayerClient
 
 	numLayers
 )
@@ -76,6 +80,8 @@ func (l Layer) String() string {
 		return "guardian"
 	case LayerServer:
 		return "server"
+	case LayerClient:
+		return "client"
 	default:
 		return "unknown"
 	}
@@ -111,6 +117,11 @@ type Span struct {
 	Start, Dur time.Duration
 	// Arg is an optional payload: bytes moved, batch entries, a slot.
 	Arg uint64
+	// Proc names the process that recorded the span ("client",
+	// "server-shard0"); empty for single-process captures. Merged
+	// multi-process captures rely on it to tell which side of a stitched
+	// transaction each span came from.
+	Proc string
 	// Instant marks a point event rather than an interval.
 	Instant bool
 }
@@ -166,6 +177,9 @@ type Metrics struct {
 type Recorder struct {
 	enabled atomic.Bool
 	clock   atomic.Pointer[clockBox]
+	// proc is the process tag stamped onto every recorded span; nil
+	// means untagged (single-process captures).
+	proc atomic.Pointer[string]
 	// slower is the keep threshold in nanoseconds: a finished
 	// transaction shorter than this is discarded whole.
 	slower atomic.Int64
@@ -241,6 +255,31 @@ func (r *Recorder) SlowerThan() time.Duration {
 	return time.Duration(r.slower.Load())
 }
 
+// SetProcess tags every span this recorder keeps with name, so merged
+// multi-process captures can tell the client's spans from the
+// server's. Nil-safe; an empty name clears the tag.
+func (r *Recorder) SetProcess(name string) {
+	if r == nil {
+		return
+	}
+	if name == "" {
+		r.proc.Store(nil)
+		return
+	}
+	r.proc.Store(&name)
+}
+
+// Process reports the recorder's process tag.
+func (r *Recorder) Process() string {
+	if r == nil {
+		return ""
+	}
+	if p := r.proc.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // Metrics exposes the recorder's counters.
 func (r *Recorder) Metrics() *Metrics { return &r.metrics }
 
@@ -265,12 +304,14 @@ func (r *Recorder) keep(spans []Span, key uint64) {
 	if len(spans) == 0 {
 		return
 	}
+	proc := r.Process()
 	sh := &r.shards[key%numShards]
 	sh.mu.Lock()
 	for _, sp := range spans {
 		if sh.pos >= uint64(len(sh.buf)) {
 			r.metrics.Overflows.Inc()
 		}
+		sp.Proc = proc
 		sh.buf[sh.pos%uint64(len(sh.buf))] = sp
 		sh.pos++
 	}
@@ -281,6 +322,7 @@ func (r *Recorder) keep(spans []Span, key uint64) {
 // keepOneTx appends a single span to the transaction ring shard its
 // trace id hashes to, without a slice allocation.
 func (r *Recorder) keepOneTx(sp Span) {
+	sp.Proc = r.Process()
 	sh := &r.shards[sp.Trace%numShards]
 	sh.mu.Lock()
 	if sh.pos >= uint64(len(sh.buf)) {
@@ -295,6 +337,7 @@ func (r *Recorder) keepOneTx(sp Span) {
 // keepOne appends a single infrastructure span to its layer's ring,
 // without a slice allocation.
 func (r *Recorder) keepOne(sp Span) {
+	sp.Proc = r.Process()
 	sh := &r.infra[sp.Layer%numLayers]
 	sh.mu.Lock()
 	if sh.pos >= uint64(len(sh.buf)) {
@@ -386,6 +429,32 @@ func (r *Recorder) Tx() *TxTrace {
 	return t
 }
 
+// TxAdopt opens a span buffer under a trace id another process began
+// and propagated here — the server half of a stitched cross-process
+// transaction. Span ids are drawn from a tagged space (bit 62 set,
+// bits 32..61 a per-adoption nonce) so they can never collide with the
+// originating process's sequential ids, or with another adoption of
+// the same trace (a routed transaction adopts once per touched shard).
+// Root spans attach under parentSpan, the propagated id of the remote
+// span enclosing this process's work. A zero traceID (the peer was not
+// tracing) or a disabled recorder returns nil, which every TxTrace
+// method treats as off. Nil-safe.
+func (r *Recorder) TxAdopt(traceID, parentSpan uint64) *TxTrace {
+	if r == nil || !r.enabled.Load() || traceID == 0 {
+		return nil
+	}
+	t, _ := r.pool.Get().(*TxTrace)
+	if t == nil {
+		t = &TxTrace{}
+	}
+	t.r = r
+	t.trace = traceID
+	t.begin = r.now()
+	t.idTag = 1<<62 | (r.ids.Add(1)&(1<<30-1))<<32
+	t.rootParent = parentSpan
+	return t
+}
+
 // TxTrace buffers one transaction's span tree. Not safe for concurrent
 // use — it belongs to the goroutine driving the transaction handle.
 // The nil TxTrace is valid and records nothing.
@@ -397,6 +466,12 @@ type TxTrace struct {
 	// stack holds the indices of currently open spans; the top is the
 	// implicit parent of the next Start or Event.
 	stack []int32
+	// idTag is OR-ed into every span id; zero for locally-begun traces
+	// (sequential ids), a bit-62-tagged nonce for adopted ones
+	// (TxAdopt), keeping ids unique within a stitched cross-process
+	// trace. rootParent is the remote span adopted roots hang under.
+	idTag      uint64
+	rootParent uint64
 }
 
 // Trace reports the handle's trace id (0 for nil).
@@ -412,13 +487,13 @@ func (t *TxTrace) Start(layer Layer, name string) SpanRef {
 	if t == nil {
 		return SpanRef{}
 	}
-	parent := uint64(0)
+	parent := t.rootParent
 	if n := len(t.stack); n > 0 {
-		parent = uint64(t.stack[n-1]) + 1
+		parent = t.idTag | (uint64(t.stack[n-1]) + 1)
 	}
 	idx := len(t.spans)
 	t.spans = append(t.spans, Span{
-		Trace: t.trace, ID: uint64(idx) + 1, Parent: parent,
+		Trace: t.trace, ID: t.idTag | (uint64(idx) + 1), Parent: parent,
 		Layer: layer, Name: name, Start: t.r.now(),
 	})
 	t.stack = append(t.stack, int32(idx))
@@ -434,12 +509,12 @@ func (t *TxTrace) Completed(layer Layer, name string, start, dur time.Duration, 
 	if t == nil {
 		return
 	}
-	parent := uint64(0)
+	parent := t.rootParent
 	if n := len(t.stack); n > 0 {
-		parent = uint64(t.stack[n-1]) + 1
+		parent = t.idTag | (uint64(t.stack[n-1]) + 1)
 	}
 	t.spans = append(t.spans, Span{
-		Trace: t.trace, ID: uint64(len(t.spans)) + 1, Parent: parent,
+		Trace: t.trace, ID: t.idTag | (uint64(len(t.spans)) + 1), Parent: parent,
 		Layer: layer, Name: name, Start: start, Dur: dur, Arg: arg,
 	})
 }
@@ -449,12 +524,12 @@ func (t *TxTrace) Event(layer Layer, name string, arg uint64) {
 	if t == nil {
 		return
 	}
-	parent := uint64(0)
+	parent := t.rootParent
 	if n := len(t.stack); n > 0 {
-		parent = uint64(t.stack[n-1]) + 1
+		parent = t.idTag | (uint64(t.stack[n-1]) + 1)
 	}
 	t.spans = append(t.spans, Span{
-		Trace: t.trace, ID: uint64(len(t.spans)) + 1, Parent: parent,
+		Trace: t.trace, ID: t.idTag | (uint64(len(t.spans)) + 1), Parent: parent,
 		Layer: layer, Name: name, Start: t.r.now(), Arg: arg, Instant: true,
 	})
 }
@@ -482,6 +557,8 @@ func (t *TxTrace) Finish() {
 	}
 	t.r = nil
 	t.trace = 0
+	t.idTag = 0
+	t.rootParent = 0
 	t.spans = t.spans[:0]
 	t.stack = t.stack[:0]
 	r.pool.Put(t)
@@ -492,6 +569,16 @@ func (t *TxTrace) Finish() {
 type SpanRef struct {
 	t   *TxTrace
 	idx int32
+}
+
+// ID reports the span's id within its trace (0 for the zero SpanRef) —
+// what a client propagates as the parent of the remote work this span
+// encloses.
+func (s SpanRef) ID() uint64 {
+	if s.t == nil {
+		return 0
+	}
+	return s.t.spans[s.idx].ID
 }
 
 // End closes the span.
@@ -556,6 +643,25 @@ func (r *Recorder) LinkedSpan(layer Layer, name string, traceID uint64) InfraSpa
 	}
 	return InfraSpan{r: r, sp: Span{
 		Trace: traceID, ID: 1<<63 | r.ids.Add(1),
+		Layer: layer, Name: name, Start: r.now(),
+	}}
+}
+
+// LinkedSpanFrom is LinkedSpan with an explicit parent: the span
+// attaches under parentSpan of the transaction's tree instead of
+// floating as a sibling root. The front door uses it to hang its
+// request-envelope spans under the client-side span that sent the
+// request (wire.Request.TraceSpan). A zero parent degrades to
+// LinkedSpan. Nil-safe.
+func (r *Recorder) LinkedSpanFrom(layer Layer, name string, traceID, parentSpan uint64) InfraSpan {
+	if r == nil || !r.enabled.Load() {
+		return InfraSpan{}
+	}
+	if traceID == 0 {
+		return r.Start(layer, name)
+	}
+	return InfraSpan{r: r, sp: Span{
+		Trace: traceID, ID: 1<<63 | r.ids.Add(1), Parent: parentSpan,
 		Layer: layer, Name: name, Start: r.now(),
 	}}
 }

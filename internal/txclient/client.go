@@ -29,9 +29,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/wire"
 )
 
@@ -65,21 +68,88 @@ func WithConns(n int) Option {
 	}
 }
 
+// WithTracer records client-side spans — pool acquisition, request
+// round trips, busy backoff — on rec, and propagates each traced
+// transaction's trace id to the server on the wire, so a server-side
+// capture of the same run stitches into one tree per transaction
+// (trace.MergeSpans). The disabled path stays one atomic load per
+// Begin.
+func WithTracer(rec *trace.Recorder) Option {
+	return func(c *Client) { c.tracer = rec }
+}
+
+// WithBusyRetry makes Begin absorb up to n server BUSY rejections
+// itself, sleeping an exponentially growing backoff starting at base
+// between attempts (0 values keep the defaults: 8 attempts, 1ms).
+// Retries and time slept are counted on the client's Metrics; only
+// Begin retries — a BUSY mid-transaction surfaces, because the
+// transaction's claims must not be held across a sleep.
+func WithBusyRetry(n int, base time.Duration) Option {
+	return func(c *Client) {
+		c.busyRetries = 8
+		if n > 0 {
+			c.busyRetries = n
+		}
+		c.busyBase = time.Millisecond
+		if base > 0 {
+			c.busyBase = base
+		}
+	}
+}
+
+// WithSharedMetrics points the client's counters at m, so a fleet of
+// clients (one per simulated connection in the stress driver)
+// aggregates into one place.
+func WithSharedMetrics(m *Metrics) Option {
+	return func(c *Client) {
+		if m != nil {
+			c.metrics = m
+		}
+	}
+}
+
+// Metrics are the client's busy-backpressure counters: the server-side
+// admission control was invisible from the client until they existed.
+type Metrics struct {
+	// BusyReplies counts BUSY rejections received from the server,
+	// wherever they surfaced.
+	BusyReplies obs.Counter
+	// BusyRetries counts Begin attempts re-sent after a BUSY; BackoffNS
+	// accumulates the nanoseconds slept between them.
+	BusyRetries obs.Counter
+	BackoffNS   obs.Counter
+}
+
+// Register publishes the counters on reg under perseas_txclient_*.
+func (m *Metrics) Register(reg *obs.Registry) {
+	reg.RegisterCounter("perseas_txclient_busy_replies_total", "BUSY rejections received from the server", &m.BusyReplies)
+	reg.RegisterCounter("perseas_txclient_busy_retries_total", "Begin attempts retried after a BUSY", &m.BusyRetries)
+	reg.RegisterCounter("perseas_txclient_backoff_ns_total", "nanoseconds slept backing off from BUSY", &m.BackoffNS)
+}
+
 // Client is a remote engine.Engine speaking to a txserver.
 type Client struct {
-	nconns int
-	conns  []*poolConn
-	nextID atomic.Uint64
-	rr     atomic.Uint64
-	closed atomic.Bool
+	nconns      int
+	conns       []*poolConn
+	nextID      atomic.Uint64
+	rr          atomic.Uint64
+	closed      atomic.Bool
+	tracer      *trace.Recorder
+	metrics     *Metrics
+	busyRetries int
+	busyBase    time.Duration
 }
+
+// Metrics exposes the client's counters (the shared instance when
+// WithSharedMetrics configured one).
+func (c *Client) Metrics() *Metrics { return c.metrics }
 
 var _ engine.Engine = (*Client)(nil)
 
 // New builds a client whose pool connections come from dial — tests
 // pass a net.Pipe dialer bound to an in-process server.
 func New(dial func() (net.Conn, error), opts ...Option) (*Client, error) {
-	c := &Client{nconns: DefaultConns}
+	c := &Client{nconns: DefaultConns, metrics: &Metrics{}}
 	for _, o := range opts {
 		o(c)
 	}
@@ -120,6 +190,9 @@ func (c *Client) call(p *poolConn, req *wire.Request) (*wire.Response, error) {
 		return nil, err
 	}
 	if err := respError(resp); err != nil {
+		if errors.Is(err, ErrBusy) {
+			c.metrics.BusyReplies.Inc()
+		}
 		return nil, err
 	}
 	return resp, nil
@@ -250,16 +323,45 @@ type clientTx struct {
 	id     uint64
 	done   bool
 	writes []txWrite
+	// tt buffers the client-side span tree (nil when tracing is off);
+	// root is the open "tx" span. Its trace id rides every request this
+	// handle sends, so the server's spans land in the same tree.
+	tt   *trace.TxTrace
+	root trace.SpanRef
 }
 
-// Begin implements engine.Engine.
+// Begin implements engine.Engine. With WithBusyRetry configured it
+// absorbs server BUSY rejections here — before the transaction holds
+// any conflict-table claims — backing off exponentially between
+// attempts.
 func (c *Client) Begin() (engine.Tx, error) {
+	tt := c.tracer.Tx()
+	root := tt.Start(trace.LayerClient, "tx")
+	acquire := tt.Start(trace.LayerClient, "pool_acquire")
 	p := c.pick()
-	resp, err := c.call(p, &wire.Request{Op: wire.OpTxBegin})
-	if err != nil {
-		return nil, err
+	acquire.End()
+	backoff := c.busyBase
+	for attempt := 0; ; attempt++ {
+		rtt := tt.Start(trace.LayerClient, "begin_rtt")
+		resp, err := c.call(p, &wire.Request{
+			Op: wire.OpTxBegin, TraceID: tt.Trace(), TraceSpan: rtt.ID(),
+		})
+		rtt.End()
+		if err == nil {
+			return &clientTx{c: c, p: p, id: resp.Tx, tt: tt, root: root}, nil
+		}
+		if attempt >= c.busyRetries || !errors.Is(err, ErrBusy) {
+			root.End()
+			tt.Finish()
+			return nil, err
+		}
+		c.metrics.BusyRetries.Inc()
+		sp := tt.Start(trace.LayerClient, "busy_backoff")
+		time.Sleep(backoff)
+		sp.End()
+		c.metrics.BackoffNS.Add(uint64(backoff))
+		backoff *= 2
 	}
-	return &clientTx{c: c, p: p, id: resp.Tx}, nil
 }
 
 // SetRange implements engine.Tx: the server captures its before-image
@@ -278,9 +380,12 @@ func (t *clientTx) SetRange(db engine.DB, offset, length uint64) error {
 	if err != nil {
 		return err
 	}
+	rtt := t.tt.Start(trace.LayerClient, "set_range_rtt")
 	resp, err := t.c.call(t.p, &wire.Request{
 		Op: wire.OpTxSetRange, Tx: t.id, Seg: d.handle, Offset: offset, Size: length,
+		TraceID: t.tt.Trace(), TraceSpan: rtt.ID(),
 	})
+	rtt.End()
 	if err != nil {
 		return err
 	}
@@ -338,8 +443,22 @@ func (t *clientTx) Commit() error {
 			Data:   append([]byte(nil), w.db.buf[w.off:w.off+w.length]...),
 		})
 	}
-	_, err := t.c.call(t.p, &wire.Request{Op: wire.OpTxCommit, Tx: t.id, Batch: batch})
+	rtt := t.tt.Start(trace.LayerClient, "commit_rtt")
+	_, err := t.c.call(t.p, &wire.Request{
+		Op: wire.OpTxCommit, Tx: t.id, Batch: batch,
+		TraceID: t.tt.Trace(), TraceSpan: rtt.ID(),
+	})
+	rtt.End()
+	t.finishTrace()
 	return err
+}
+
+// finishTrace closes the handle's root span and flushes its span tree
+// into the recorder (no-ops when untraced).
+func (t *clientTx) finishTrace() {
+	t.root.End()
+	t.tt.Finish()
+	t.tt = nil
 }
 
 // Abort implements engine.Tx: the local replica rolls back to the
@@ -354,7 +473,13 @@ func (t *clientTx) Abort() error {
 		w := t.writes[i]
 		copy(w.db.buf[w.off:], w.before)
 	}
-	_, err := t.c.call(t.p, &wire.Request{Op: wire.OpTxAbort, Tx: t.id})
+	rtt := t.tt.Start(trace.LayerClient, "abort_rtt")
+	_, err := t.c.call(t.p, &wire.Request{
+		Op: wire.OpTxAbort, Tx: t.id,
+		TraceID: t.tt.Trace(), TraceSpan: rtt.ID(),
+	})
+	rtt.End()
+	t.finishTrace()
 	return err
 }
 

@@ -6,8 +6,16 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
+	"github.com/ics-forth/perseas/internal/core"
 	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/sci"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
+	"github.com/ics-forth/perseas/internal/transport"
 	"github.com/ics-forth/perseas/internal/txclient"
 	"github.com/ics-forth/perseas/internal/txserver"
 )
@@ -159,6 +167,140 @@ func TestBusySentinel(t *testing.T) {
 	}
 	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBusyRetryAbsorbsRejection: with WithBusyRetry configured, Begin
+// eats a BUSY by backing off and retrying, and the metrics expose the
+// pressure that was invisible before.
+func TestBusyRetryAbsorbsRejection(t *testing.T) {
+	srv := txserver.New(newLibrary(t), txserver.WithMaxTxs(1))
+	cl, err := txclient.New(dialer(srv),
+		txclient.WithBusyRetry(50, 100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the only transaction slot briefly, then release it; the
+	// second Begin must ride its retry loop through the window.
+	done := make(chan error, 1)
+	go func() {
+		tx2, err := cl.Begin()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- tx2.Abort()
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("retried Begin: %v", err)
+	}
+	m := cl.Metrics()
+	if m.BusyReplies.Load() == 0 || m.BusyRetries.Load() == 0 {
+		t.Fatalf("busy metrics unmoved: replies=%d retries=%d",
+			m.BusyReplies.Load(), m.BusyRetries.Load())
+	}
+	if m.BackoffNS.Load() == 0 {
+		t.Fatal("BackoffNS did not accumulate")
+	}
+}
+
+// TestClientTracingStitchesWithServer: a traced client transaction and
+// the serving process's capture merge into one tree — the client's RTT
+// spans parent the server's envelope spans through the propagated
+// trace context.
+func TestClientTracingStitchesWithServer(t *testing.T) {
+	srvRec := trace.NewRecorder()
+	srvRec.Enable()
+	srvRec.SetProcess("server")
+
+	clock := simclock.NewSim()
+	var mirrors []netram.Mirror
+	for i := 0; i < 2; i++ {
+		ms := memserver.New()
+		tr, err := transport.NewInProc(ms, sci.DefaultParams(), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirrors = append(mirrors, netram.Mirror{Name: ms.Label(), T: tr})
+	}
+	netc, err := netram.NewClient(mirrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := core.Init(netc, clock, core.WithTracer(srvRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := txserver.New(lib, txserver.WithTracer(srvRec))
+
+	cliRec := trace.NewRecorder()
+	cliRec.Enable()
+	cliRec.SetProcess("client")
+	cl, err := txclient.New(dialer(srv), txclient.WithTracer(cliRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	db, err := cl.CreateDB("traced", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.InitDB(db); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(db, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	copy(db.Bytes()[0:8], "abcdefgh")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	cliSpans := cliRec.Snapshot()
+	var traceID uint64
+	names := map[string]bool{}
+	for _, sp := range cliSpans {
+		names[sp.Name] = true
+		if sp.Name == "tx" {
+			traceID = sp.Trace
+		}
+	}
+	for _, want := range []string{"tx", "pool_acquire", "begin_rtt", "set_range_rtt", "commit_rtt"} {
+		if !names[want] {
+			t.Fatalf("client capture missing %q span (have %v)", want, names)
+		}
+	}
+	if traceID == 0 {
+		t.Fatal("client root span carries no trace id")
+	}
+	var adopted bool
+	for _, sp := range srvRec.Snapshot() {
+		if sp.Trace == traceID {
+			adopted = true
+			break
+		}
+	}
+	if !adopted {
+		t.Fatalf("server capture has no spans under propagated trace %d", traceID)
+	}
+	merged := trace.MergeSpans(cliSpans, srvRec.Snapshot())
+	if n := trace.StitchedTraces(merged); n != 1 {
+		t.Fatalf("StitchedTraces(merged) = %d, want 1", n)
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/wire"
@@ -159,6 +160,12 @@ func WithTracer(rec *trace.Recorder) Option {
 	return func(s *Server) { s.tracer = rec }
 }
 
+// WithFlightRecorder records the server's anomalies — admission
+// rejections, malformed frames — on r for post-incident replay.
+func WithFlightRecorder(r *flight.Recorder) Option {
+	return func(s *Server) { s.flight = r }
+}
+
 // serverDB is one database the server holds open, keyed by the wire
 // handle it issued.
 type serverDB struct {
@@ -197,6 +204,7 @@ type Server struct {
 	mode         CommitMode
 	faultOps     bool
 	tracer       *trace.Recorder
+	flight       *flight.Recorder
 
 	conns   atomic.Int64
 	liveTxs atomic.Int64
@@ -306,6 +314,7 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		if int(s.conns.Load()) >= s.maxConns {
 			s.m.ConnsRejected.Inc()
+			s.flight.Record(flight.ConnReject, "txserver", "connection limit reached", uint64(s.maxConns))
 			_ = nc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 			_ = wire.SendResponse(nc, &wire.Response{
 				Status: wire.StatusError, Code: wire.TxBusy,
@@ -375,6 +384,7 @@ func (c *srvConn) readLoop() {
 			// error so the client learns why, then drop the connection —
 			// resynchronising an undecodable stream is hopeless.
 			s.m.Malformed.Inc()
+			s.flight.Record(flight.MalformedFrame, "txserver", err.Error(), 0)
 			c.out <- &wire.Response{
 				Status: wire.StatusError, Code: wire.TxBadRequest,
 				Err: fmt.Sprintf("txserver: malformed frame: %v", err),
@@ -386,6 +396,7 @@ func (c *srvConn) readLoop() {
 		s.m.Depth.Observe(uint64(depth))
 		if int(depth) > s.maxInFlight {
 			s.m.Busy.Inc()
+			s.flight.Record(flight.BusyReject, "txserver", "connection pipeline limit reached", uint64(depth))
 			c.finish(&wire.Response{
 				Status: wire.StatusError, ID: req.ID, Code: wire.TxBusy,
 				Err: "txserver: connection pipeline limit reached",
@@ -518,22 +529,26 @@ func codeOf(err error) wire.TxCode {
 func (s *Server) handleBegin(c *srvConn, req *wire.Request) *wire.Response {
 	if int(s.liveTxs.Load()) >= s.maxTxs {
 		s.m.Busy.Inc()
+		s.flight.Record(flight.BusyReject, "txserver", "transaction limit reached", uint64(s.maxTxs))
 		return fail(req, wire.TxBusy, "txserver: transaction limit reached")
 	}
-	sp := s.tracer.Start(trace.LayerServer, "serve_begin")
-	tx, err := s.eng.Begin()
+	sp := s.tracer.LinkedSpanFrom(trace.LayerServer, "serve_begin", req.TraceID, req.TraceSpan)
+	tx, err := s.begin(req)
 	if err != nil {
 		sp.End()
 		// The engine's own capacity limit (undo slots exhausted) is as
 		// retryable as the server's admission gate; count it the same.
 		if errors.Is(err, engine.ErrBusy) {
 			s.m.Busy.Inc()
+			s.flight.Record(flight.BusyReject, "txserver", "engine at capacity", 0)
 		}
 		return engineFail(req, err)
 	}
-	st := &serverTx{tx: tx, owner: c}
-	if tt, ok := tx.(interface{ TraceID() uint64 }); ok {
-		st.traceID = tt.TraceID()
+	st := &serverTx{tx: tx, owner: c, traceID: req.TraceID}
+	if st.traceID == 0 {
+		if tt, ok := tx.(interface{ TraceID() uint64 }); ok {
+			st.traceID = tt.TraceID()
+		}
 	}
 	s.mu.Lock()
 	s.nextTx++
@@ -544,6 +559,18 @@ func (s *Server) handleBegin(c *srvConn, req *wire.Request) *wire.Response {
 	s.m.TxsBegun.Inc()
 	sp.EndN(st.id)
 	return &wire.Response{Status: wire.StatusOK, ID: req.ID, Tx: st.id}
+}
+
+// begin starts an engine transaction, handing a propagated trace
+// context to engines that can adopt one (engine.TraceBeginner) so the
+// engine's own spans land in the remote client's trace tree.
+func (s *Server) begin(req *wire.Request) (engine.Tx, error) {
+	if req.TraceID != 0 {
+		if tb, ok := s.eng.(engine.TraceBeginner); ok {
+			return tb.BeginTraced(req.TraceID, req.TraceSpan)
+		}
+	}
+	return s.eng.Begin()
 }
 
 // lookupTx resolves a transaction handle for c; a handle another
@@ -594,7 +621,7 @@ func (s *Server) handleSetRange(c *srvConn, req *wire.Request) *wire.Response {
 	if st.done {
 		return fail(req, wire.TxUnknownTx, "txserver: transaction %d already finished", req.Tx)
 	}
-	sp := s.tracer.LinkedSpan(trace.LayerServer, "serve_set_range", st.traceID)
+	sp := s.tracer.LinkedSpanFrom(trace.LayerServer, "serve_set_range", st.traceID, req.TraceSpan)
 	err := st.tx.SetRange(db.db, req.Offset, req.Size)
 	sp.EndN(req.Size)
 	if err != nil {
@@ -635,7 +662,7 @@ func (s *Server) handleCommit(c *srvConn, req *wire.Request) *wire.Response {
 		}
 		copy(db.db.Bytes()[e.Offset:], e.Data)
 	}
-	sp := s.tracer.LinkedSpan(trace.LayerServer, "serve_commit", st.traceID)
+	sp := s.tracer.LinkedSpanFrom(trace.LayerServer, "serve_commit", st.traceID, req.TraceSpan)
 	err := s.commit(st.tx.Commit)
 	sp.EndN(uint64(len(req.Batch)))
 	s.dropTx(st)
@@ -679,7 +706,7 @@ func (s *Server) handleAbort(c *srvConn, req *wire.Request) *wire.Response {
 	if st.done {
 		return fail(req, wire.TxUnknownTx, "txserver: transaction %d already finished", req.Tx)
 	}
-	sp := s.tracer.LinkedSpan(trace.LayerServer, "serve_abort", st.traceID)
+	sp := s.tracer.LinkedSpanFrom(trace.LayerServer, "serve_abort", st.traceID, req.TraceSpan)
 	err := st.tx.Abort()
 	sp.End()
 	s.dropTx(st)

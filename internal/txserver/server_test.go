@@ -13,6 +13,7 @@ import (
 
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/wire"
 )
 
@@ -326,6 +327,27 @@ func TestTxAdmission(t *testing.T) {
 	}
 	c.mustOK(&wire.Request{Op: wire.OpTxAbort, ID: 3, Tx: first.Tx})
 	c.mustOK(&wire.Request{Op: wire.OpTxBegin, ID: 4})
+}
+
+// TestFlightRecordsAdmissionRejections: a configured flight recorder
+// captures the BUSY as a structured busy_reject event.
+func TestFlightRecordsAdmissionRejections(t *testing.T) {
+	fr := flight.New(8)
+	fr.Enable()
+	s := New(newFakeEngine(), WithMaxTxs(1), WithFlightRecorder(fr))
+	c := dialRaw(t, s)
+	first := c.mustOK(&wire.Request{Op: wire.OpTxBegin, ID: 1})
+	if busy := c.rpc(&wire.Request{Op: wire.OpTxBegin, ID: 2}); busy.Code != wire.TxBusy {
+		t.Fatalf("second begin answered %s, want BUSY", busy.Code)
+	}
+	c.mustOK(&wire.Request{Op: wire.OpTxAbort, ID: 3, Tx: first.Tx})
+	evs := fr.Snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("flight recorder holds %d events, want 1", len(evs))
+	}
+	if evs[0].Kind != flight.BusyReject || evs[0].Source != "txserver" {
+		t.Fatalf("recorded %s from %s, want busy_reject from txserver", evs[0].Kind, evs[0].Source)
+	}
 }
 
 // TestConnAdmission: accepts beyond the connection bound are turned

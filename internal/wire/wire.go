@@ -287,6 +287,15 @@ type Request struct {
 	ID uint64
 	// Tx names the transaction a Tx* request operates on.
 	Tx uint64
+	// TraceID carries the client's distributed-tracing id on Tx*
+	// requests, 0 when the client is not tracing; TraceSpan is the id
+	// of the client-side span enclosing this request, the parent the
+	// server hangs its own spans under. Both ride as optional trailing
+	// fields encoded only when TraceID is non-zero, so untraced frames
+	// stay byte-identical to the pre-propagation protocol and old peers
+	// interoperate unchanged.
+	TraceID   uint64
+	TraceSpan uint64
 }
 
 // SegmentInfo describes one exported segment in a LIST response.
@@ -433,6 +442,10 @@ func appendRequest(b []byte, req *Request) ([]byte, error) {
 	}
 	b = appendU64(b, req.ID)
 	b = appendU64(b, req.Tx)
+	if req.TraceID != 0 {
+		b = appendU64(b, req.TraceID)
+		b = appendU64(b, req.TraceSpan)
+	}
 	return b, nil
 }
 
@@ -463,6 +476,16 @@ func DecodeRequest(body []byte) (*Request, error) {
 	}
 	req.ID = r.u64()
 	req.Tx = r.u64()
+	// Optional trace-context tail: present only when the peer traced
+	// the request. Old peers simply end the body here; a zero TraceID
+	// in the tail means untraced and the span id is discarded with it.
+	if r.err == nil && len(r.b) >= 16 {
+		traceID := r.u64()
+		traceSpan := r.u64()
+		if traceID != 0 {
+			req.TraceID, req.TraceSpan = traceID, traceSpan
+		}
+	}
 	if r.err != nil {
 		return nil, r.err
 	}

@@ -39,6 +39,10 @@ func TestRequestRoundTrip(t *testing.T) {
 		{"tx read", Request{Op: OpTxRead, ID: 48, Seg: 2, Offset: 0, Length: 4096}},
 		{"tx load", Request{Op: OpTxLoad, ID: 49, Seg: 2, Offset: 64, Data: []byte("init")}},
 		{"tx stats", Request{Op: OpTxStats, ID: 50}},
+		{"tx begin traced", Request{Op: OpTxBegin, ID: 51, TraceID: 9, TraceSpan: 2}},
+		{"tx commit traced", Request{Op: OpTxCommit, ID: 52, Tx: 7, TraceID: 1<<62 | 5, TraceSpan: 1<<63 | 3, Batch: []BatchEntry{
+			{Seg: 2, Offset: 128, Data: []byte("final bytes")},
+		}}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -339,5 +343,56 @@ func TestTxStatsRoundTrip(t *testing.T) {
 		if _, err := DecodeTxStats(blob[:cut]); err == nil {
 			t.Errorf("decode of %d/%d bytes should fail", cut, len(blob))
 		}
+	}
+}
+
+// TestUntracedFrameBytesUnchanged pins the propagation format's
+// compatibility contract: a request without trace context encodes to
+// the exact bytes the pre-propagation protocol produced, so enabling
+// the tracing code path changes nothing for untraced traffic (and the
+// reproduced figures that ride on frame sizes).
+func TestUntracedFrameBytesUnchanged(t *testing.T) {
+	req := &Request{Op: OpTxSetRange, ID: 11, Tx: 3, Seg: 1, Offset: 64, Size: 32}
+	body, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// The legacy layout: op(1) seg(4) off(8) len(4) size(8) name(4)
+	// data(4) nbatch(4) id(8) tx(8) = 53 bytes, no trace tail.
+	if len(body) != 53 {
+		t.Fatalf("untraced frame is %d bytes, want the legacy 53", len(body))
+	}
+	traced := *req
+	traced.TraceID, traced.TraceSpan = 5, 9
+	tbody, err := EncodeRequest(&traced)
+	if err != nil {
+		t.Fatalf("encode traced: %v", err)
+	}
+	if len(tbody) != len(body)+16 {
+		t.Fatalf("traced frame is %d bytes, want untraced+16 = %d", len(tbody), len(body)+16)
+	}
+	if !bytes.Equal(tbody[:len(body)], body) {
+		t.Fatal("traced frame does not extend the untraced layout")
+	}
+	// An old decoder's view: truncating the tail recovers the untraced
+	// request — the fields an old peer understands are unchanged.
+	got, err := DecodeRequest(tbody[:len(body)])
+	if err != nil {
+		t.Fatalf("decode truncated: %v", err)
+	}
+	if !reflect.DeepEqual(*got, *req) {
+		t.Errorf("legacy view mismatch:\n got %+v\nwant %+v", *got, *req)
+	}
+	// A zero TraceID in the tail means untraced: the span id must not
+	// leak through.
+	zero := *req
+	zero.TraceID, zero.TraceSpan = 0, 0
+	zbody := append(append([]byte(nil), body...), make([]byte, 16)...)
+	gz, err := DecodeRequest(zbody)
+	if err != nil {
+		t.Fatalf("decode zero tail: %v", err)
+	}
+	if gz.TraceID != 0 || gz.TraceSpan != 0 {
+		t.Errorf("zero trace tail decoded as %d/%d, want 0/0", gz.TraceID, gz.TraceSpan)
 	}
 }
