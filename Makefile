@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race bench bench-obs bench-fanout bench-quorum bench-shard bench-server experiments fuzz examples clean
+.PHONY: all check build vet test test-short test-race bench bench-obs bench-fanout bench-quorum bench-shard bench-server bench-recovery experiments fuzz examples clean
 
 all: build vet test
 
@@ -52,6 +52,14 @@ bench-quorum:
 # BENCH_shard.json; 2 shards must clear 1.6x aggregate throughput.
 bench-shard:
 	$(GO) run ./cmd/perseas-bench -experiment shard -txs 2000 -bench-out BENCH_shard.json
+
+# Crash-recovery and rebuild sweep: recovery wall-clock at 1/2/4
+# workers and mirror rebuild at pipeline depth 1/2, each mirror link a
+# serialised fixed-latency pipe. Writes machine-readable results to
+# BENCH_recovery.json; 4 workers must clear 2x on recovery and depth 2
+# must clear 1.5x on rebuild.
+bench-recovery:
+	$(GO) run ./cmd/perseas-bench -experiment recovery -bench-out BENCH_recovery.json
 
 # Transaction front-door sweep: group commit vs serial commits as
 # clients pile onto one tx server over loopback TCP. Writes

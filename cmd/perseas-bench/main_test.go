@@ -209,6 +209,52 @@ func TestRunShardExperiment(t *testing.T) {
 	}
 }
 
+// TestRunRecoverySweep pins the sweep's gate and smoke-checks the
+// speedups: without -bench-out the recovery experiment renders only the
+// reference table; with it the table still renders first, byte for
+// byte, followed by the wall-clock recovery and rebuild sweeps (the
+// full ≥2x / ≥1.5x criteria are recorded by BENCH_recovery.json; the
+// tripwires here are looser so a loaded CI host cannot flake them).
+func TestRunRecoverySweep(t *testing.T) {
+	oldPath, oldResults := benchOutPath, benchResults
+	defer func() { benchOutPath, benchResults = oldPath, oldResults }()
+	benchOutPath = ""
+	var base strings.Builder
+	if err := run(&base, "recovery", 60); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(base.String(), "sweep") {
+		t.Error("sweep ran without -bench-out")
+	}
+	benchOutPath = filepath.Join(t.TempDir(), "rec.json")
+	benchResults = nil
+	var swept strings.Builder
+	if err := run(&swept, "recovery", 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(swept.String(), base.String()) {
+		t.Error("-bench-out changed the reference recovery table")
+	}
+	payload, ok := benchResults.(map[string]any)
+	if !ok {
+		t.Fatalf("benchResults = %T, want map", benchResults)
+	}
+	recRows, ok := payload["recovery"].(map[string]any)["rows"].([]recoverSweepRow)
+	if !ok || len(recRows) != 3 {
+		t.Fatalf("recovery rows = %#v, want 3", payload["recovery"])
+	}
+	if last := recRows[len(recRows)-1]; last.SpeedupVs1 < 1.4 {
+		t.Errorf("4-worker recovery speedup = %.2fx, want at least 1.4x", last.SpeedupVs1)
+	}
+	rebRows, ok := payload["rebuild"].(map[string]any)["rows"].([]rebuildSweepRow)
+	if !ok || len(rebRows) != 2 {
+		t.Fatalf("rebuild rows = %#v, want 2", payload["rebuild"])
+	}
+	if last := rebRows[len(rebRows)-1]; last.SpeedupVs1 < 1.2 {
+		t.Errorf("depth-2 rebuild speedup = %.2fx, want at least 1.2x", last.SpeedupVs1)
+	}
+}
+
 func TestWriteTraceFile(t *testing.T) {
 	defer func() { tracer = nil }()
 	tracer = trace.NewRecorder()

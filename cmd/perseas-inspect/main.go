@@ -334,11 +334,13 @@ func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
 
 	var rows []guardian.MirrorHealth
 	p99 := make(map[int]time.Duration)
+	pipeline := 1
 	if len(ms) > 0 {
 		client, err := netram.NewClient(ms)
 		if err != nil {
 			return false, err
 		}
+		pipeline = client.RebuildPipeline()
 		clock := simclock.NewWall()
 		// Misses=1: a single failed probe is enough for a one-shot
 		// health snapshot.
@@ -376,8 +378,15 @@ func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
 	}
 
 	fmt.Fprintln(out, "MIRRORS:")
+	fmt.Fprintf(out, "rebuild pipeline: depth %d", pipeline)
+	if pipeline <= 1 {
+		fmt.Fprint(out, " (sequential bulk copy)")
+	} else {
+		fmt.Fprint(out, " (read-ahead, striped across survivors)")
+	}
+	fmt.Fprintln(out)
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "SLOT\tMIRROR\tSTATE\tLAST-BEAT\tRTT-P99\tCATCH-UP\tDEATHS\tREBUILT\tERROR")
+	fmt.Fprintln(w, "SLOT\tMIRROR\tSTATE\tLAST-BEAT\tRTT-P99\tCATCH-UP\tDEATHS\tREBUILT\tSRC-READS\tERROR")
 	healthy := true
 	for i, row := range rows {
 		if row.State != guardian.Healthy {
@@ -399,8 +408,8 @@ func renderMirrors(out io.Writer, addrsCSV string) (bool, error) {
 		if d, ok := p99[row.Slot]; ok && row.Slot < len(ms) {
 			rtt = d.Round(time.Microsecond).String()
 		}
-		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%d\t%d\t%d B\t%s\n",
-			i, addr, row.State, beat, rtt, row.CatchUp, row.Deaths, row.RebuildBytes, errStr)
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%d\t%d\t%d B\t%d B\t%s\n",
+			i, addr, row.State, beat, rtt, row.CatchUp, row.Deaths, row.RebuildBytes, row.SourceBytes, errStr)
 	}
 	w.Flush()
 	if healthy {

@@ -34,6 +34,7 @@ type config struct {
 	preview   int
 	snapshot  string
 	namespace string
+	parallel  int
 }
 
 // parseFlags reads the command line into a config (split out so tests
@@ -48,6 +49,8 @@ func parseFlags(args []string) (config, error) {
 		"after recovery, archive a consistent snapshot of every database to this file")
 	fs.StringVar(&cfg.namespace, "namespace", "",
 		"PERSEAS namespace the database was created under (see WithNamespace)")
+	fs.IntVar(&cfg.parallel, "parallel", 1,
+		"recovery workers: reconnects, undo scans and database fetches run concurrently, striping reads across the mirrors (1 = the paper's serial recovery)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -145,6 +148,9 @@ func coreOptions(cfg config) []core.Option {
 	var opts []core.Option
 	if cfg.namespace != "" {
 		opts = append(opts, core.WithNamespace(cfg.namespace))
+	}
+	if cfg.parallel > 1 {
+		opts = append(opts, core.WithRecoveryParallelism(cfg.parallel))
 	}
 	return opts
 }

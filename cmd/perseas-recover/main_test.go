@@ -21,7 +21,7 @@ func TestParseFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := config{servers: "a:1,b:2", preview: 8, snapshot: "out.bin", namespace: "lab"}
+	want := config{servers: "a:1,b:2", preview: 8, snapshot: "out.bin", namespace: "lab", parallel: 1}
 	if cfg != want {
 		t.Fatalf("parsed %+v, want %+v", cfg, want)
 	}
@@ -30,7 +30,7 @@ func TestParseFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.servers != "127.0.0.1:7070" || cfg.preview != 32 || cfg.snapshot != "" || cfg.namespace != "" {
+	if cfg.servers != "127.0.0.1:7070" || cfg.preview != 32 || cfg.snapshot != "" || cfg.namespace != "" || cfg.parallel != 1 {
 		t.Fatalf("defaults: %+v", cfg)
 	}
 

@@ -88,6 +88,11 @@ type config struct {
 	// profiles on the metrics mux at the given sampling rate/fraction.
 	pprofBlock int
 	pprofMutex int
+	// recoverChaos runs the recovery-under-chaos audit: power-fail the
+	// primary mid-load, re-attach with recoverParallel recovery workers,
+	// and prove zero lost commits.
+	recoverChaos    bool
+	recoverParallel int
 }
 
 func main() {
@@ -114,6 +119,8 @@ func main() {
 	flag.StringVar(&cfg.serverTraceOut, "server-trace-out", "", "-remote-chaos: write the in-process server's spans here (merge with -trace-out via perseas-inspect)")
 	flag.IntVar(&cfg.pprofBlock, "pprof-block", 0, "goroutine blocking profile sample rate for /debug/pprof/block on -metrics-addr (0 = off)")
 	flag.IntVar(&cfg.pprofMutex, "pprof-mutex", 0, "mutex contention profile fraction for /debug/pprof/mutex on -metrics-addr (0 = off)")
+	flag.BoolVar(&cfg.recoverChaos, "recover-chaos", false, "self-contained audit: power-fail the primary mid-load with transactions in flight, recover, and prove zero lost commits")
+	flag.IntVar(&cfg.recoverParallel, "recover-parallel", 4, "-recover-chaos: recovery parallelism for the re-attach (1 = the serial recovery path)")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -150,6 +157,9 @@ type workerCounters struct {
 }
 
 func run(out io.Writer, cfg config) error {
+	if cfg.recoverChaos {
+		return runRecoverChaos(out, cfg)
+	}
 	if cfg.remote != "" || cfg.remoteChaos {
 		return runRemote(out, cfg)
 	}

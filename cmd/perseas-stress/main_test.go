@@ -202,3 +202,30 @@ func TestRunRejectsChaosPlusGuardian(t *testing.T) {
 		t.Error("-chaos with -guardian should fail")
 	}
 }
+
+func TestRunRecoverChaos(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		var sb strings.Builder
+		cfg := config{
+			recoverChaos:    true,
+			recoverParallel: parallel,
+			duration:        2 * time.Second,
+			workers:         3,
+		}
+		if err := run(&sb, cfg); err != nil {
+			t.Fatalf("recover-chaos (parallel %d): %v\n%s", parallel, err, sb.String())
+		}
+		out := sb.String()
+		for _, want := range []string{
+			"power-failed the primary",
+			"zero lost commits",
+			"conservation: total balance 128000 matches initial 128000",
+			"VerifyAll clean across 3 mirrors",
+			"RECOVER-CHAOS PASS",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("parallel %d output missing %q:\n%s", parallel, want, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ics-forth/perseas/internal/core"
+	"github.com/ics-forth/perseas/internal/engine"
+	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/memserver"
+	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/obs"
+	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// Recover-chaos parameters. The ledger is deliberately small: the run
+// audits correctness (no lost commits, conserved balances), not
+// throughput, and a small account set forces write conflicts so the
+// crash window holds both committed and rolled-back transactions.
+const (
+	recoverAccounts    = 128
+	recoverInitBalance = 1000
+	recoverDBName      = "recover.ledger"
+)
+
+// runRecoverChaos is the recovery-under-chaos mode: drive a bank ledger
+// over real loopback TCP mirrors, power-fail the primary mid-load with
+// transactions in flight, re-attach with -recover-parallel workers, and
+// audit that recovery lost nothing — every acked commit survived, the
+// total balance is conserved, and the mirrors agree byte for byte.
+func runRecoverChaos(out io.Writer, cfg config) error {
+	if cfg.workers < 1 {
+		return fmt.Errorf("need at least 1 worker, got %d", cfg.workers)
+	}
+	if cfg.recoverParallel < 1 {
+		return fmt.Errorf("need -recover-parallel >= 1, got %d", cfg.recoverParallel)
+	}
+	out = &syncWriter{w: out}
+
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		srv := memserver.New(memserver.WithLabel(fmt.Sprintf("local-%d", i)))
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go func() { _ = transport.Serve(l, srv) }()
+		defer l.Close()
+		addrs = append(addrs, l.Addr().String())
+	}
+	fmt.Fprintf(out, "recover-chaos: mirrors: %s\n", strings.Join(addrs, ", "))
+
+	clock := simclock.NewWall()
+	ram, err := dialMirrors(addrs)
+	if err != nil {
+		return err
+	}
+	lib, err := core.Init(ram, clock)
+	if err != nil {
+		return err
+	}
+
+	db, err := lib.CreateDB(recoverDBName, recoverAccounts*8)
+	if err != nil {
+		return err
+	}
+	if err := lib.Update(func(tx *core.Tx) error {
+		buf, err := tx.Writable(db, 0, recoverAccounts*8)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < recoverAccounts; i++ {
+			binary.BigEndian.PutUint64(buf[i*8:], recoverInitBalance)
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("seed ledger: %w", err)
+	}
+	const wantTotal = uint64(recoverAccounts * recoverInitBalance)
+	fmt.Fprintf(out, "recover-chaos: ledger: %d accounts, total balance %d, %d workers\n",
+		recoverAccounts, wantTotal, cfg.workers)
+
+	// lastAcked tracks the highest transaction id whose Commit returned
+	// success to a worker — the durability contract recovery must honour.
+	var lastAcked atomic.Uint64
+	var crashed atomic.Bool
+	counters := make([]workerCounters, cfg.workers)
+	workerErrs := make([]error, cfg.workers)
+	var wg sync.WaitGroup
+	seed := time.Now().UnixNano()
+	for i := 0; i < cfg.workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			for {
+				err := transferOnce(lib, db, rng)
+				switch {
+				case err == nil:
+					counters[i].committed.Add(1)
+				case errors.Is(err, engine.ErrConflict):
+					counters[i].aborted.Add(1)
+					counters[i].conflicts.Add(1)
+					time.Sleep(time.Duration(50+rng.Intn(150)) * time.Microsecond)
+				case crashed.Load():
+					// The power failure races worker commits by design;
+					// everything after it is the crash being observed.
+					return
+				default:
+					workerErrs[i] = fmt.Errorf(
+						"after %d transactions: %w", counters[i].committed.Load(), err)
+					return
+				}
+				if err == nil {
+					// Commit acked: the id is durable on every mirror.
+					if id := lib.CommittedTxID(); id > 0 {
+						storeMax(&lastAcked, id)
+					}
+				}
+			}
+		}()
+	}
+
+	loadFor := cfg.duration / 2
+	if loadFor <= 0 {
+		loadFor = time.Second
+	}
+	time.Sleep(loadFor)
+	crashed.Store(true)
+	if err := lib.Crash(fault.CrashPower); err != nil {
+		return fmt.Errorf("crash primary: %w", err)
+	}
+	wg.Wait()
+	ram.Close()
+	for i, err := range workerErrs {
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+	var committed, conflicts uint64
+	for i := range counters {
+		committed += counters[i].committed.Load()
+		conflicts += counters[i].conflicts.Load()
+	}
+	fmt.Fprintf(out, "recover-chaos: CHAOS: power-failed the primary after %v with transactions in flight (%d committed, %d conflicts, last acked tx id %d)\n",
+		loadFor, committed, conflicts, lastAcked.Load())
+
+	// Re-attach over fresh connections, as a restarted primary would.
+	ram2, err := dialMirrors(addrs)
+	if err != nil {
+		return err
+	}
+	defer ram2.Close()
+	opts := []core.Option{}
+	if cfg.recoverParallel > 1 {
+		opts = append(opts, core.WithRecoveryParallelism(cfg.recoverParallel))
+	}
+	start := time.Now()
+	lib2, err := core.Attach(ram2, simclock.NewWall(), opts...)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	recoverWall := time.Since(start)
+	defer lib2.Close()
+	fmt.Fprintf(out, "recover-chaos: recovered in %v with parallelism %d\n",
+		recoverWall.Round(time.Microsecond), cfg.recoverParallel)
+	obs.WriteLatencyTable(out, "recovery phases", lib2.RecoveryLatencyRows())
+
+	// Audit 1: durability. Every commit a worker saw acked must still be
+	// committed after recovery.
+	recovered := lib2.CommittedTxID()
+	if acked := lastAcked.Load(); recovered < acked {
+		return fmt.Errorf("recover-chaos: LOST COMMITS: recovered committed tx id %d < last acked %d", recovered, acked)
+	}
+	fmt.Fprintf(out, "recover-chaos: durability: recovered committed tx id %d >= last acked %d -- zero lost commits\n",
+		recovered, lastAcked.Load())
+
+	// Audit 2: conservation. Transfers move balance between accounts;
+	// in-flight transactions roll back whole, so the total is invariant.
+	db2, err := lib2.OpenDB(recoverDBName)
+	if err != nil {
+		return fmt.Errorf("reopen ledger: %w", err)
+	}
+	var total uint64
+	img := db2.Bytes()
+	for i := 0; i < recoverAccounts; i++ {
+		total += binary.BigEndian.Uint64(img[i*8:])
+	}
+	if total != wantTotal {
+		return fmt.Errorf("recover-chaos: CONSERVATION BROKEN: total balance %d, want %d", total, wantTotal)
+	}
+	fmt.Fprintf(out, "recover-chaos: conservation: total balance %d matches initial %d across %d accounts\n",
+		total, wantTotal, recoverAccounts)
+
+	// Audit 3: replica agreement, byte for byte.
+	mm, err := ram2.VerifyAll()
+	if err != nil {
+		return fmt.Errorf("verify mirrors: %w", err)
+	}
+	if len(mm) != 0 {
+		return fmt.Errorf("recover-chaos: MIRROR DIVERGENCE: %d mismatches, first: %v", len(mm), mm[0])
+	}
+	fmt.Fprintf(out, "recover-chaos: mirrors: VerifyAll clean across %d mirrors\n", len(addrs))
+
+	fmt.Fprintf(out, "RECOVER-CHAOS PASS: %d commits survived a mid-load power failure; recovery took %v at parallelism %d\n",
+		committed, recoverWall.Round(time.Microsecond), cfg.recoverParallel)
+	return nil
+}
+
+// transferOnce moves a small amount between two distinct ledger
+// accounts inside one transaction, or is a no-op commit when the source
+// cannot cover the amount.
+func transferOnce(lib *core.Library, db engine.DB, rng *rand.Rand) error {
+	a := rng.Intn(recoverAccounts)
+	b := rng.Intn(recoverAccounts - 1)
+	if b >= a {
+		b++
+	}
+	amount := uint64(1 + rng.Intn(9))
+	tx, err := lib.BeginTx()
+	if err != nil {
+		return err
+	}
+	src, err := tx.Writable(db, uint64(a*8), 8)
+	if err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	dst, err := tx.Writable(db, uint64(b*8), 8)
+	if err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	if have := binary.BigEndian.Uint64(src); have >= amount {
+		binary.BigEndian.PutUint64(src, have-amount)
+		binary.BigEndian.PutUint64(dst, binary.BigEndian.Uint64(dst)+amount)
+	}
+	return tx.Commit()
+}
+
+// dialMirrors connects a fresh all-ack netram client to the given
+// mirror addresses over real TCP.
+func dialMirrors(addrs []string) (*netram.Client, error) {
+	var mirrors []netram.Mirror
+	for _, addr := range addrs {
+		tr, err := transport.DialTCP(addr)
+		if err != nil {
+			return nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		mirrors = append(mirrors, netram.Mirror{Name: addr, T: tr})
+	}
+	return netram.NewClient(mirrors)
+}
+
+// storeMax raises v to x if x is larger, tolerating concurrent raisers.
+func storeMax(v *atomic.Uint64, x uint64) {
+	for {
+		cur := v.Load()
+		if x <= cur || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}

@@ -43,6 +43,7 @@ import (
 
 	"github.com/ics-forth/perseas/internal/engine"
 	"github.com/ics-forth/perseas/internal/fault"
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/hostmem"
 	"github.com/ics-forth/perseas/internal/netram"
 	"github.com/ics-forth/perseas/internal/simclock"
@@ -226,9 +227,23 @@ type Library struct {
 	// clock but never advances it.
 	metrics CommitMetrics
 
+	// recMetrics is the per-phase recovery breakdown, populated by
+	// Recover/Attach; like metrics it only reads the clock.
+	recMetrics RecoveryMetrics
+
 	// tracer records per-transaction span trees; nil (the default)
 	// disables tracing entirely. Like metrics it only reads the clock.
 	tracer *trace.Recorder
+
+	// flightRec records recovery/rebuild phase transitions on the shared
+	// anomaly flight recorder; nil records nothing.
+	flightRec *flight.Recorder
+
+	// recoveryWorkers bounds the goroutines crash recovery may use per
+	// phase. 1 (the default) runs the exact historical serial loops, so
+	// reproduced recovery figures are unchanged unless parallelism is
+	// asked for.
+	recoveryWorkers int
 }
 
 // Option configures a Library.
@@ -262,6 +277,30 @@ func WithNamespace(ns string) Option {
 // simulated figures are unaffected; a nil recorder records nothing.
 func WithTracer(rec *trace.Recorder) Option {
 	return func(l *Library) { l.tracer = rec }
+}
+
+// WithRecoveryParallelism lets crash recovery use up to n workers per
+// phase: metadata snapshots fetch concurrently, undo slots reconnect and
+// scan in parallel (slots hold disjoint ranges, so their scans are
+// independent), database regions fetch through a bounded pool striping
+// read chunks across the surviving mirrors, and rollback/repair
+// publishes batch per region. n <= 1 keeps the paper's serial recovery
+// loop byte-for-byte, so reproduced figures are unaffected by default.
+// The recovered state is identical at every parallelism level.
+func WithRecoveryParallelism(n int) Option {
+	return func(l *Library) {
+		if n > 1 {
+			l.recoveryWorkers = n
+		}
+	}
+}
+
+// WithFlightRecorder attaches the anomaly flight recorder: recovery and
+// rebuild phase transitions are recorded as events, giving a crash
+// post-mortem the timeline metrics alone cannot. A nil recorder records
+// nothing.
+func WithFlightRecorder(rec *flight.Recorder) Option {
+	return func(l *Library) { l.flightRec = rec }
 }
 
 // WithUnsafeNoRemoteUndo disables the remote undo-log push in SetRange.

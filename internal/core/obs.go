@@ -29,8 +29,40 @@ type CommitMetrics struct {
 	Repairs obs.Counter
 }
 
+// RecoveryMetrics breaks a crash recovery into its phases, mirroring
+// the spans WithRecoveryParallelism parallelises: metadata reconnect
+// and snapshots, undo-slot reconnect, database image fetch, undo-log
+// scans, rollback publish, staged quorum repair, and the quorum undo
+// republish. Histograms hold nanoseconds of clock delta; the clock is
+// only ever read, so instrumentation never shifts modelled time.
+type RecoveryMetrics struct {
+	// MetaFetch is metadata reconnect, directory fetch and — under
+	// quorum — the per-mirror metadata snapshots.
+	MetaFetch obs.Histogram
+	// SlotConnect is undo-slot reconnection plus commit-word settlement.
+	SlotConnect obs.Histogram
+	// DBFetch is database reconnection and full-image fetch.
+	DBFetch obs.Histogram
+	// SlotScan is the per-slot head-transaction undo-log scans.
+	SlotScan obs.Histogram
+	// Rollback is the all-ack in-flight rollback and its mirror repair
+	// publish.
+	Rollback obs.Histogram
+	// Repair is the staged quorum repair: winner fetches, local applies
+	// and the acked publish.
+	Repair obs.Histogram
+	// Republish is the quorum undo-log republish (winner prefix plus
+	// remote tail zeroing).
+	Republish obs.Histogram
+	// RecoverTotal is a whole successful Recover call.
+	RecoverTotal obs.Histogram
+}
+
 // Metrics exposes the library's commit-path histograms.
 func (l *Library) Metrics() *CommitMetrics { return &l.metrics }
+
+// RecoveryMetrics exposes the library's recovery-phase histograms.
+func (l *Library) RecoveryMetrics() *RecoveryMetrics { return &l.recMetrics }
 
 // RegisterMetrics registers the commit-path breakdown and the
 // network-RAM client's counters on reg.
@@ -49,7 +81,38 @@ func (l *Library) RegisterMetricsPrefixed(reg *obs.Registry, prefix string) {
 	reg.RegisterHistogram(prefix+"_commit_word_push_ns", "commit word publish", &m.WordPush)
 	reg.RegisterHistogram(prefix+"_commit_total_ns", "whole successful Commit call", &m.CommitTotal)
 	reg.RegisterCounter(prefix+"_abort_mirror_repairs_total", "ranges re-pushed by Abort after a failed Commit", &m.Repairs)
+	rm := &l.recMetrics
+	reg.RegisterHistogram(prefix+"_recover_meta_fetch_ns", "recovery metadata reconnect + snapshots", &rm.MetaFetch)
+	reg.RegisterHistogram(prefix+"_recover_slot_connect_ns", "recovery undo-slot reconnect + word settlement", &rm.SlotConnect)
+	reg.RegisterHistogram(prefix+"_recover_db_fetch_ns", "recovery database reconnect + image fetch", &rm.DBFetch)
+	reg.RegisterHistogram(prefix+"_recover_slot_scan_ns", "recovery undo-log head scans", &rm.SlotScan)
+	reg.RegisterHistogram(prefix+"_recover_rollback_ns", "recovery in-flight rollback + repair publish", &rm.Rollback)
+	reg.RegisterHistogram(prefix+"_recover_quorum_repair_ns", "recovery staged quorum repair", &rm.Repair)
+	reg.RegisterHistogram(prefix+"_recover_undo_republish_ns", "recovery quorum undo-log republish", &rm.Republish)
+	reg.RegisterHistogram(prefix+"_recover_total_ns", "whole successful Recover call", &rm.RecoverTotal)
+	reg.RegisterGauge(prefix+"_recover_parallelism", "workers crash recovery may use (1 = serial)", func() uint64 {
+		if l.recoveryWorkers > 1 {
+			return uint64(l.recoveryWorkers)
+		}
+		return 1
+	})
 	l.net.RegisterMetricsPrefixed(reg, prefix+"_netram")
+}
+
+// RecoveryLatencyRows renders the recovery-phase breakdown as table rows
+// for perseas-recover and perseas-bench.
+func (l *Library) RecoveryLatencyRows() []obs.LatencyRow {
+	m := &l.recMetrics
+	return []obs.LatencyRow{
+		{Name: "meta fetch", Snap: m.MetaFetch.Snapshot()},
+		{Name: "slot connect", Snap: m.SlotConnect.Snapshot()},
+		{Name: "db fetch", Snap: m.DBFetch.Snapshot()},
+		{Name: "slot scan", Snap: m.SlotScan.Snapshot()},
+		{Name: "rollback", Snap: m.Rollback.Snapshot()},
+		{Name: "quorum repair", Snap: m.Repair.Snapshot()},
+		{Name: "undo republish", Snap: m.Republish.Snapshot()},
+		{Name: "recover total", Snap: m.RecoverTotal.Snapshot()},
+	}
 }
 
 // ConflictOccupancy reports how many range claims live transactions

@@ -4,21 +4,30 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/hostmem"
 	"github.com/ics-forth/perseas/internal/netram"
+	"github.com/ics-forth/perseas/internal/obs"
 	"github.com/ics-forth/perseas/internal/simclock"
+	"github.com/ics-forth/perseas/internal/trace"
 )
 
 // recoveredSlot pairs a reconnected undo-slot region with its committed
 // word as read from the recovered metadata region. Under quorum
 // recovery, committed is the maximum word any reachable mirror holds
 // for the slot and holders lists the mirrors whose metadata snapshot
-// held that maximum (empty in all-ack mode).
+// held that maximum (empty in all-ack mode). prefix is how many leading
+// bytes of the winning mirror's log were adopted into the local image —
+// the only bytes the final republish must ship; the tail beyond it is
+// zeroed remotely without a payload.
 type recoveredSlot struct {
 	region    *netram.Region
 	committed uint64
 	holders   []int
+	prefix    uint64
 }
 
 // mirrorCopy is one reachable mirror's snapshot of the metadata region,
@@ -30,25 +39,80 @@ type mirrorCopy struct {
 	buf []byte
 }
 
+// runParallel runs fn(0)..fn(n-1) on up to workers goroutines. With
+// workers <= 1 it is a plain serial loop that stops at the first error.
+// In parallel every index runs regardless of failures and the error of
+// the lowest failing index is returned, so the reported failure does not
+// depend on goroutine scheduling.
+func runParallel(workers, n int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // fetchMetaCopies snapshots the metadata region from every reachable
-// mirror. Quorum recovery needs at least n-w+1 copies: a commit word
-// acked by w of n mirrors is then guaranteed to appear in at least one
-// snapshot, so taking the per-slot maximum over the copies recovers
-// every quorum-committed word.
-func (l *Library) fetchMetaCopies(meta *netram.Region) ([]mirrorCopy, error) {
+// mirror, up to workers at a time. Quorum recovery needs at least n-w+1
+// copies: a commit word acked by w of n mirrors is then guaranteed to
+// appear in at least one snapshot, so taking the per-slot maximum over
+// the copies recovers every quorum-committed word.
+func (l *Library) fetchMetaCopies(meta *netram.Region, workers int) ([]mirrorCopy, error) {
 	n := l.net.Mirrors()
 	w := l.net.Quorum()
-	copies := make([]mirrorCopy, 0, n)
-	var lastErr error
-	for i := 0; i < n; i++ {
+	bufs := make([][]byte, n)
+	errs := make([]error, n)
+	// Unreachable mirrors are expected here — they are why recovery is
+	// running — so a fetch failure is recorded per index, never returned,
+	// and the remaining mirrors are always tried.
+	_ = runParallel(workers, n, func(i int) error {
 		data, err := l.net.FetchMirror(i, meta, 0, meta.Size())
 		if err != nil {
-			lastErr = err
-			continue
+			errs[i] = err
+			return nil
 		}
 		buf := make([]byte, len(data))
 		copy(buf, data)
-		copies = append(copies, mirrorCopy{idx: i, buf: buf})
+		bufs[i] = buf
+		return nil
+	})
+	copies := make([]mirrorCopy, 0, n)
+	var lastErr error
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		copies = append(copies, mirrorCopy{idx: i, buf: bufs[i]})
 	}
 	if len(copies) < n-w+1 {
 		return nil, fmt.Errorf("perseas: quorum recovery reached %d of %d metadata copies, needs %d to cover every %d-ack commit: %w",
@@ -80,31 +144,46 @@ type repairOp struct {
 
 // scanMirrorUndoLog parses mirror m's copy of an undo-slot region
 // without touching the region's local buffer, fetching lazily in
-// chunks. The returned records alias buf; fetched is how many leading
-// bytes of the mirror's log were materialised.
+// chunks. The buffer grows with the fetched prefix instead of being
+// sized for the whole region up front, so scanning every holder of
+// every slot allocates proportionally to the records actually written,
+// not mirrors × slots × region size. The returned records alias buf;
+// fetched is how many leading bytes of the mirror's log were
+// materialised.
 func (l *Library) scanMirrorUndoLog(m int, region *netram.Region, committed uint64) (recs []undoRecord, buf []byte, fetched uint64, err error) {
-	const undoChunk = 64 << 10
-	buf = make([]byte, region.Size())
-	ensure := func(n uint64) error {
-		if n > region.Size() {
-			n = region.Size()
+	size := region.Size()
+	ensure := func(n uint64) ([]byte, error) {
+		if n > size {
+			n = size
 		}
 		if n <= fetched {
-			return nil
+			return buf, nil
 		}
 		target := (n + undoChunk - 1) / undoChunk * undoChunk
-		if target > region.Size() {
-			target = region.Size()
+		if target > size {
+			target = size
+		}
+		if uint64(len(buf)) < target {
+			grow := uint64(2 * len(buf))
+			if grow < target {
+				grow = target
+			}
+			if grow > size {
+				grow = size
+			}
+			grown := make([]byte, grow)
+			copy(grown, buf[:fetched])
+			buf = grown
 		}
 		data, ferr := l.net.FetchMirror(m, region, fetched, target-fetched)
 		if ferr != nil {
-			return fmt.Errorf("perseas: fetch undo log from mirror %d: %w", m, ferr)
+			return nil, fmt.Errorf("perseas: fetch undo log from mirror %d: %w", m, ferr)
 		}
 		copy(buf[fetched:], data)
 		fetched = target
-		return nil
+		return buf, nil
 	}
-	recs, err = scanUndoLogLazy(buf, committed, ensure)
+	recs, err = scanUndoLogLazy(committed, size, ensure)
 	return recs, buf, fetched, err
 }
 
@@ -115,8 +194,10 @@ func (l *Library) scanMirrorUndoLog(m int, region *netram.Region, committed uint
 // makes a committed-but-possibly-lagging head visible. Among the
 // slot's word holders the log with the highest head id, then the most
 // records, is the longest prefix — it contains every record that has
-// data anywhere. Its bytes become the local view of the slot.
-func (l *Library) planSlotRepair(k int, rs recoveredSlot) (*repairOp, error) {
+// data anywhere. Its bytes become the local view of the slot; the
+// returned prefix is how many of them were materialised, which is all
+// the final republish needs to ship.
+func (l *Library) planSlotRepair(k int, rs recoveredSlot) (*repairOp, uint64, error) {
 	threshold := rs.committed
 	if threshold > 0 {
 		threshold--
@@ -143,11 +224,11 @@ func (l *Library) planSlotRepair(k int, rs recoveredSlot) (*repairOp, error) {
 		}
 	}
 	if bestN < 0 {
-		return nil, fmt.Errorf("perseas: undo slot %d unreadable on every quorum-current mirror: %w", k, lastErr)
+		return nil, 0, fmt.Errorf("perseas: undo slot %d unreadable on every quorum-current mirror: %w", k, lastErr)
 	}
 	copy(rs.region.Local[:bestFetched], bestBuf[:bestFetched])
 	if bestN == 0 {
-		return nil, nil
+		return nil, bestFetched, nil
 	}
 	return &repairOp{
 		slot:    k,
@@ -156,33 +237,118 @@ func (l *Library) planSlotRepair(k int, rs recoveredSlot) (*repairOp, error) {
 		winner:  bestWinner,
 		holders: len(rs.holders),
 		recs:    bestRecs,
-	}, nil
+	}, bestFetched, nil
 }
 
 // lazyFetcher returns an ensure(n) callback that materialises region
 // bytes [0,n) on demand, chunk by chunk: most crashes leave only a
 // handful of records per slot, so recovery transfers kilobytes, not the
 // whole undo region.
-func (l *Library) lazyFetcher(region *netram.Region) func(uint64) error {
-	const undoChunk = 64 << 10
+func (l *Library) lazyFetcher(region *netram.Region) func(uint64) ([]byte, error) {
 	var fetched uint64
-	return func(n uint64) error {
+	return func(n uint64) ([]byte, error) {
 		if n > region.Size() {
 			n = region.Size()
 		}
 		if n <= fetched {
-			return nil
+			return region.Local, nil
 		}
 		target := (n + undoChunk - 1) / undoChunk * undoChunk
 		if target > region.Size() {
 			target = region.Size()
 		}
 		if err := l.net.FetchInto(region, fetched, target-fetched); err != nil {
-			return fmt.Errorf("perseas: fetch undo log: %w", err)
+			return nil, fmt.Errorf("perseas: fetch undo log: %w", err)
 		}
 		fetched = target
-		return nil
+		return region.Local, nil
 	}
+}
+
+// mergeSlotWord settles slot k's commit word after the crash. All-ack
+// mode trusts the fetched metadata copy. Quorum mode merges the word
+// across the mirror snapshots by maximum — a commit acked by w mirrors
+// is on at least one snapshot — and republishes it if any mirror
+// lagged; the returned holders are the mirrors whose snapshot held the
+// winning word. A coordinator decision that outranks the merged word is
+// published the same way, so the decided transaction counts as
+// committed on this shard instead of being rolled back.
+func (l *Library) mergeSlotWord(meta *netram.Region, k int, committed0 uint64, q int, metaCopies []mirrorCopy, decided map[int]uint64) (uint64, []int, error) {
+	word := committed0
+	if k > 0 {
+		word = binary.BigEndian.Uint64(meta.Local[slotWordOffset(meta.Size(), k):])
+	}
+	var holders []int
+	if q > 0 {
+		// Merge the slot's word across the snapshots: a commit that
+		// reached its quorum is on at least one of them. Mirrors
+		// holding the maximum are the slot's repair candidates — the
+		// word is enqueued after the head transaction's records and
+		// data, so a word holder has all of them.
+		wordOff := slotWordOffset(meta.Size(), k)
+		merged := word
+		for _, mc := range metaCopies {
+			if w := binary.BigEndian.Uint64(mc.buf[wordOff:]); w > merged {
+				merged = w
+			}
+		}
+		stale := false
+		for _, mc := range metaCopies {
+			if binary.BigEndian.Uint64(mc.buf[wordOff:]) == merged {
+				holders = append(holders, mc.idx)
+			} else {
+				stale = true
+			}
+		}
+		if len(holders) == 0 {
+			for _, mc := range metaCopies {
+				holders = append(holders, mc.idx)
+			}
+		}
+		if merged != word || stale {
+			binary.BigEndian.PutUint64(meta.Local[wordOff:], merged)
+			if err := l.net.PushAcked(meta, wordOff, 8); err != nil {
+				return 0, nil, fmt.Errorf("perseas: republish commit word of slot %d: %w", k, err)
+			}
+			word = merged
+		}
+	}
+	if d := decided[k]; d > word {
+		// The coordinator decided this slot's head transaction
+		// committed but the crash beat the word push. Publish the
+		// word now, before the rollback scan, so the scan treats the
+		// transaction's records as committed.
+		wordOff := slotWordOffset(meta.Size(), k)
+		binary.BigEndian.PutUint64(meta.Local[wordOff:], d)
+		if err := l.net.PushAcked(meta, wordOff, 8); err != nil {
+			return 0, nil, fmt.Errorf("perseas: publish decided commit word: %w", err)
+		}
+		word = d
+		if q > 0 {
+			// No snapshot holds the decided word, but the prepared
+			// data behind a decision is always pushed fully acked,
+			// so any reachable mirror can serve the repair.
+			holders = holders[:0]
+			for _, mc := range metaCopies {
+				holders = append(holders, mc.idx)
+			}
+		}
+	}
+	return word, holders, nil
+}
+
+// recoveryStep runs one recovery phase under a trace span, a phase
+// histogram, and a flight-recorder event. The clock is only read, never
+// advanced, so instrumented recovery reports the same modelled time as
+// the bare procedure.
+func (l *Library) recoveryStep(root trace.InfraSpan, workers int, name string, h *obs.Histogram, fn func() error) error {
+	l.flightRec.Record(flight.RecoveryPhase, "core", name, uint64(workers))
+	sp := root.Child(trace.LayerCore, name)
+	start := l.clock.Now()
+	err := fn()
+	h.ObserveDuration(l.clock.Now() - start)
+	sp.End()
+	return err
 }
 
 // Recover implements engine.Engine: the paper's Section 3/4 recovery
@@ -200,7 +366,8 @@ func (l *Library) lazyFetcher(region *netram.Region) func(uint64) error {
 // remote database, discarding the illegal updates; the local database is
 // then recovered from the — now legal — remote segments. Concurrent
 // transactions hold disjoint ranges, so the rollback order across slots
-// does not matter.
+// does not matter — which is also what lets WithRecoveryParallelism
+// scan and roll back slots concurrently without changing the outcome.
 func (l *Library) Recover() error {
 	return l.RecoverWithDecisions(nil)
 }
@@ -220,172 +387,263 @@ func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 	if !l.crashed {
 		return fmt.Errorf("perseas: recover called on a running library")
 	}
+	workers := l.recoveryWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	root := l.tracer.Start(trace.LayerCore, "recover")
+	start := l.clock.Now()
+	if err := l.recoverLocked(root, workers, decided); err != nil {
+		l.flightRec.Record(flight.RecoveryPhase, "core", "failed", uint64(workers))
+		root.End()
+		return err
+	}
+	l.recMetrics.RecoverTotal.ObserveDuration(l.clock.Now() - start)
+	l.flightRec.Record(flight.RecoveryPhase, "core", "complete", uint64(workers))
+	root.EndN(uint64(workers))
+	return nil
+}
 
-	// Reconnect to the metadata segments and fetch the directory.
-	meta, err := l.net.Connect(l.qualify(metaRegionName))
-	if err != nil {
-		return fmt.Errorf("perseas: reconnect metadata: %w", err)
-	}
-	if err := l.net.FetchInto(meta, 0, meta.Size()); err != nil {
-		return fmt.Errorf("perseas: fetch metadata: %w", err)
-	}
-	committed0, undoSize, storedNextID, entries, err := readDirectory(meta.Local)
+// recoverLocked is the recovery procedure proper, split into phases.
+// With workers == 1 every phase runs the exact serial loop this package
+// has always run; with workers > 1 the phases whose units are
+// independent — metadata snapshots, slot reconnects and scans, database
+// fetches, repair publishes — spread over a bounded worker pool, and
+// database fetches additionally stripe read chunks across the surviving
+// mirrors. The recovered state is byte-identical either way: slots hold
+// disjoint ranges, staged repairs still apply serially in commit order,
+// and batched publishes ship the same final local bytes the per-record
+// pushes would.
+func (l *Library) recoverLocked(root trace.InfraSpan, workers int, decided map[int]uint64) error {
+	q := l.net.Quorum()
+
+	// Phase 1: reconnect the metadata region, fetch the directory, and —
+	// under quorum — snapshot the metadata from every reachable mirror.
+	var (
+		meta         *netram.Region
+		committed0   uint64
+		undoSize     uint64
+		storedNextID uint32
+		entries      []dirEntry
+		metaCopies   []mirrorCopy
+	)
+	err := l.recoveryStep(root, workers, "meta_fetch", &l.recMetrics.MetaFetch, func() error {
+		var err error
+		meta, err = l.net.Connect(l.qualify(metaRegionName))
+		if err != nil {
+			return fmt.Errorf("perseas: reconnect metadata: %w", err)
+		}
+		if err := l.net.FetchInto(meta, 0, meta.Size()); err != nil {
+			return fmt.Errorf("perseas: fetch metadata: %w", err)
+		}
+		committed0, undoSize, storedNextID, entries, err = readDirectory(meta.Local)
+		if err != nil {
+			return err
+		}
+		if q > 0 {
+			// Quorum mode: the commit words on the fetched copy may lag
+			// other mirrors, so snapshot the metadata from every
+			// reachable mirror and merge each slot's word by maximum
+			// later. The directory itself is always pushed fully acked,
+			// so the base copy is authoritative for everything but the
+			// words.
+			metaCopies, err = l.fetchMetaCopies(meta, workers)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 
-	// Quorum mode: the commit words on the fetched copy may lag other
-	// mirrors, so snapshot the metadata from every reachable mirror and
-	// merge each slot's word by maximum below. The directory itself is
-	// always pushed fully acked, so the base copy is authoritative for
-	// everything but the words.
-	q := l.net.Quorum()
-	var metaCopies []mirrorCopy
-	if q > 0 {
-		metaCopies, err = l.fetchMetaCopies(meta)
-		if err != nil {
-			return err
-		}
-	}
-
-	// Reconnect to every undo slot. Slot 0 always exists; further slots
-	// were allocated on demand by past concurrency and are found by name.
+	// Phase 2: reconnect every undo slot and settle its commit word.
+	// Slot 0 always exists; further slots were allocated on demand by
+	// past concurrency and are found by name. Word settlement stays
+	// serial at every parallelism — it is a handful of 8-byte writes and
+	// its meta.Local updates must not race.
 	recovered := []recoveredSlot{}
-	for k := 0; k < maxUndoSlots; k++ {
-		region, err := l.net.Connect(l.qualify(undoSlotName(k)))
-		if err != nil {
-			if k == 0 {
-				return fmt.Errorf("perseas: reconnect undo log: %w", err)
-			}
-			break
-		}
-		if region.Size() != undoSize {
-			return fmt.Errorf("perseas: undo slot %d size %d does not match metadata %d",
-				k, region.Size(), undoSize)
-		}
-		word := committed0
-		if k > 0 {
-			word = binary.BigEndian.Uint64(meta.Local[slotWordOffset(meta.Size(), k):])
-		}
-		var holders []int
-		if q > 0 {
-			// Merge the slot's word across the snapshots: a commit that
-			// reached its quorum is on at least one of them. Mirrors
-			// holding the maximum are the slot's repair candidates — the
-			// word is enqueued after the head transaction's records and
-			// data, so a word holder has all of them.
-			wordOff := slotWordOffset(meta.Size(), k)
-			merged := word
-			for _, mc := range metaCopies {
-				if w := binary.BigEndian.Uint64(mc.buf[wordOff:]); w > merged {
-					merged = w
+	err = l.recoveryStep(root, workers, "slot_connect", &l.recMetrics.SlotConnect, func() error {
+		if workers <= 1 {
+			for k := 0; k < maxUndoSlots; k++ {
+				region, err := l.net.Connect(l.qualify(undoSlotName(k)))
+				if err != nil {
+					if k == 0 {
+						return fmt.Errorf("perseas: reconnect undo log: %w", err)
+					}
+					break
 				}
-			}
-			stale := false
-			for _, mc := range metaCopies {
-				if binary.BigEndian.Uint64(mc.buf[wordOff:]) == merged {
-					holders = append(holders, mc.idx)
-				} else {
-					stale = true
+				if region.Size() != undoSize {
+					return fmt.Errorf("perseas: undo slot %d size %d does not match metadata %d",
+						k, region.Size(), undoSize)
 				}
-			}
-			if len(holders) == 0 {
-				for _, mc := range metaCopies {
-					holders = append(holders, mc.idx)
+				word, holders, err := l.mergeSlotWord(meta, k, committed0, q, metaCopies, decided)
+				if err != nil {
+					return err
 				}
+				recovered = append(recovered, recoveredSlot{region: region, committed: word, holders: holders})
 			}
-			if merged != word || stale {
-				binary.BigEndian.PutUint64(meta.Local[wordOff:], merged)
-				if err := l.net.PushAcked(meta, wordOff, 8); err != nil {
-					return fmt.Errorf("perseas: republish commit word of slot %d: %w", k, err)
-				}
-				word = merged
-			}
+			return nil
 		}
-		if d := decided[k]; d > word {
-			// The coordinator decided this slot's head transaction
-			// committed but the crash beat the word push. Publish the
-			// word now, before the rollback scan, so the scan treats the
-			// transaction's records as committed.
-			wordOff := slotWordOffset(meta.Size(), k)
-			binary.BigEndian.PutUint64(meta.Local[wordOff:], d)
-			if err := l.net.PushAcked(meta, wordOff, 8); err != nil {
-				return fmt.Errorf("perseas: publish decided commit word: %w", err)
-			}
-			word = d
-			if q > 0 {
-				// No snapshot holds the decided word, but the prepared
-				// data behind a decision is always pushed fully acked,
-				// so any reachable mirror can serve the repair.
-				holders = holders[:0]
-				for _, mc := range metaCopies {
-					holders = append(holders, mc.idx)
-				}
-			}
+		// Probe every possible slot name concurrently; the connected
+		// prefix is exactly the slot set the serial probe would find.
+		names := make([]string, maxUndoSlots)
+		for k := range names {
+			names[k] = l.qualify(undoSlotName(k))
 		}
-		recovered = append(recovered, recoveredSlot{region: region, committed: word, holders: holders})
+		regions, cerr := l.net.ConnectMany(names, workers)
+		if len(regions) == 0 {
+			return fmt.Errorf("perseas: reconnect undo log: %w", cerr)
+		}
+		for k, region := range regions {
+			if region.Size() != undoSize {
+				return fmt.Errorf("perseas: undo slot %d size %d does not match metadata %d",
+					k, region.Size(), undoSize)
+			}
+			word, holders, err := l.mergeSlotWord(meta, k, committed0, q, metaCopies, decided)
+			if err != nil {
+				return err
+			}
+			recovered = append(recovered, recoveredSlot{region: region, committed: word, holders: holders})
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
-	// Reconnect to every database record and copy it back.
+	// Phase 3: reconnect every database record and copy it back. At
+	// parallelism the regions reconnect through the pool and each image
+	// is fetched in read-chunk stripes spread round-robin across the
+	// surviving mirrors, so the transfer rides their aggregate
+	// bandwidth. Striping is safe mid-recovery: replicas can only
+	// disagree on bytes of some slot's head transaction, and exactly
+	// those ranges are rolled back or repaired after the fetch.
 	dbs := make(map[string]*Database, len(entries))
 	byID := make(map[uint32]*Database, len(entries))
 	var maxID uint32
-	for _, e := range entries {
-		region, err := l.net.Connect(l.qualify(dbRegionPrefix + e.name))
-		if err != nil {
-			return fmt.Errorf("perseas: reconnect database %q: %w", e.name, err)
+	err = l.recoveryStep(root, workers, "db_fetch", &l.recMetrics.DBFetch, func() error {
+		regions := make([]*netram.Region, len(entries))
+		if workers <= 1 {
+			for i, e := range entries {
+				region, err := l.net.Connect(l.qualify(dbRegionPrefix + e.name))
+				if err != nil {
+					return fmt.Errorf("perseas: reconnect database %q: %w", e.name, err)
+				}
+				if region.Size() != e.size {
+					return fmt.Errorf("perseas: database %q size %d does not match directory %d",
+						e.name, region.Size(), e.size)
+				}
+				if err := l.net.FetchInto(region, 0, region.Size()); err != nil {
+					return fmt.Errorf("perseas: fetch database %q: %w", e.name, err)
+				}
+				regions[i] = region
+			}
+		} else {
+			names := make([]string, len(entries))
+			for i, e := range entries {
+				names[i] = l.qualify(dbRegionPrefix + e.name)
+			}
+			regs, cerr := l.net.ConnectMany(names, workers)
+			if cerr != nil {
+				return fmt.Errorf("perseas: reconnect database %q: %w", entries[len(regs)].name, cerr)
+			}
+			for i, region := range regs {
+				if region.Size() != entries[i].size {
+					return fmt.Errorf("perseas: database %q size %d does not match directory %d",
+						entries[i].name, region.Size(), entries[i].size)
+				}
+				regions[i] = region
+			}
+			if err := runParallel(workers, len(entries), func(i int) error {
+				if err := l.net.FetchIntoStriped(regions[i], workers); err != nil {
+					return fmt.Errorf("perseas: fetch database %q: %w", entries[i].name, err)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
 		}
-		if region.Size() != e.size {
-			return fmt.Errorf("perseas: database %q size %d does not match directory %d",
-				e.name, region.Size(), e.size)
+		for i, e := range entries {
+			db := &Database{id: e.id, name: e.name, region: regions[i]}
+			dbs[e.name] = db
+			byID[e.id] = db
+			if e.id > maxID {
+				maxID = e.id
+			}
 		}
-		if err := l.net.FetchInto(region, 0, region.Size()); err != nil {
-			return fmt.Errorf("perseas: fetch database %q: %w", e.name, err)
-		}
-		db := &Database{id: e.id, name: e.name, region: region}
-		dbs[e.name] = db
-		byID[e.id] = db
-		if e.id > maxID {
-			maxID = e.id
-		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
-	// Scan each slot's remote undo log for its head transaction's
-	// records. The largest id seen anywhere — commit words and log
-	// records — re-seeds the transaction-id counter.
+	// Phase 4: scan each slot's remote undo log for its head
+	// transaction's records. Slots hold disjoint ranges and each scan
+	// touches only its own region, so the scans are independent; the
+	// aggregation below runs in slot order either way, keeping the
+	// repair list and the id re-seed deterministic. The largest id seen
+	// anywhere — commit words and log records — re-seeds the
+	// transaction-id counter.
 	committed := uint64(0)
 	lastTxID := uint64(0)
 	slotRecs := make([][]undoRecord, len(recovered))
+	type slotScan struct {
+		recs   []undoRecord
+		op     *repairOp
+		prefix uint64
+	}
+	scans := make([]slotScan, len(recovered))
 	var repairs []repairOp
-	for k, rs := range recovered {
-		if rs.committed > committed {
-			committed = rs.committed
-		}
-		if rs.committed > lastTxID {
-			lastTxID = rs.committed
-		}
-		var recs []undoRecord
-		if q > 0 {
-			op, err := l.planSlotRepair(k, rs)
+	err = l.recoveryStep(root, workers, "slot_scan", &l.recMetrics.SlotScan, func() error {
+		if err := runParallel(workers, len(recovered), func(k int) error {
+			rs := recovered[k]
+			if q > 0 {
+				op, prefix, err := l.planSlotRepair(k, rs)
+				if err != nil {
+					return err
+				}
+				scans[k] = slotScan{op: op, prefix: prefix}
+				return nil
+			}
+			recs, err := scanUndoLogLazy(rs.committed, rs.region.Size(), l.lazyFetcher(rs.region))
 			if err != nil {
 				return err
 			}
-			if op != nil {
-				repairs = append(repairs, *op)
-				recs = op.recs
-			}
-		} else {
-			recs, err = scanUndoLogLazy(rs.region.Local, rs.committed, l.lazyFetcher(rs.region))
-			if err != nil {
-				return err
-			}
-			slotRecs[k] = recs
+			scans[k] = slotScan{recs: recs}
+			return nil
+		}); err != nil {
+			return err
 		}
-		for _, rec := range recs {
-			if rec.txID > lastTxID {
-				lastTxID = rec.txID
+		for k := range recovered {
+			rs := &recovered[k]
+			if rs.committed > committed {
+				committed = rs.committed
+			}
+			if rs.committed > lastTxID {
+				lastTxID = rs.committed
+			}
+			recs := scans[k].recs
+			if q > 0 {
+				rs.prefix = scans[k].prefix
+				if op := scans[k].op; op != nil {
+					repairs = append(repairs, *op)
+					recs = op.recs
+				}
+			} else {
+				slotRecs[k] = recs
+			}
+			for _, rec := range recs {
+				if rec.txID > lastTxID {
+					lastTxID = rec.txID
+				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	l.metaSize = meta.Size()
@@ -412,51 +670,40 @@ func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 	}
 	l.dirEnd = directoryEnd(entries)
 
-	// Roll back each slot's in-flight transaction, newest record first:
-	// restore each before-image locally and repair the mirror copy.
-	for _, recs := range slotRecs {
-		for i := len(recs) - 1; i >= 0; i-- {
-			rec := recs[i]
-			db, ok := byID[rec.dbID]
-			if !ok {
-				// The record references a database dropped after the
-				// transaction aborted; there is nothing left to restore.
-				continue
+	// Phase 5: roll back each slot's in-flight transaction, newest
+	// record first: restore each before-image locally and repair the
+	// mirror copy. At parallelism the local restores still run slot by
+	// slot, newest first, and the repair publish batches the final local
+	// bytes per database — ranges within a transaction may overlap, but
+	// every publish then ships the same fully-restored bytes the
+	// per-record pushes would have converged on.
+	err = l.recoveryStep(root, workers, "rollback", &l.recMetrics.Rollback, func() error {
+		if workers <= 1 {
+			for _, recs := range slotRecs {
+				for i := len(recs) - 1; i >= 0; i-- {
+					rec := recs[i]
+					db, ok := byID[rec.dbID]
+					if !ok {
+						// The record references a database dropped after the
+						// transaction aborted; there is nothing left to restore.
+						continue
+					}
+					if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
+						return fmt.Errorf("perseas: undo record outside database %q", db.name)
+					}
+					l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
+					if err := l.net.Push(db.region, rec.offset, rec.length); err != nil {
+						return fmt.Errorf("perseas: repair mirror of %q: %w", db.name, err)
+					}
+				}
 			}
-			if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
-				return fmt.Errorf("perseas: undo record outside database %q", db.name)
-			}
-			l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
-			if err := l.net.Push(db.region, rec.offset, rec.length); err != nil {
-				return fmt.Errorf("perseas: repair mirror of %q: %w", db.name, err)
-			}
+			return nil
 		}
-	}
-
-	// Quorum repairs are staged against the local image first and
-	// published only afterwards: writes to the mirrors begin only after
-	// every winner's bytes were fetched, so one slot's repair can never
-	// clobber bytes another slot still needs to read. Forward repairs
-	// apply in commit order (descending holder count — see repairOp);
-	// rollbacks apply last, because an in-flight claim is always the
-	// newest writer of its bytes.
-	if len(repairs) > 0 {
-		sort.SliceStable(repairs, func(i, j int) bool {
-			a, b := repairs[i], repairs[j]
-			if a.forward != b.forward {
-				return a.forward
-			}
-			return a.forward && a.holders > b.holders
-		})
-		type pubRange struct {
-			db   *Database
-			off  uint64
-			n    uint64
-		}
-		var pub []pubRange
-		for _, op := range repairs {
-			for i := len(op.recs) - 1; i >= 0; i-- {
-				rec := op.recs[i]
+		var order []*Database
+		ranges := make(map[*Database][]netram.Range)
+		for _, recs := range slotRecs {
+			for i := len(recs) - 1; i >= 0; i-- {
+				rec := recs[i]
 				db, ok := byID[rec.dbID]
 				if !ok {
 					continue
@@ -464,36 +711,185 @@ func (l *Library) RecoverWithDecisions(decided map[int]uint64) error {
 				if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
 					return fmt.Errorf("perseas: undo record outside database %q", db.name)
 				}
-				if op.forward {
-					data, err := l.net.FetchMirror(op.winner, db.region, rec.offset, rec.length)
-					if err != nil {
-						return fmt.Errorf("perseas: re-fetch committed range of %q: %w", db.name, err)
-					}
-					l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], data)
-				} else {
-					l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
+				l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
+				if _, ok := ranges[db]; !ok {
+					order = append(order, db)
 				}
-				pub = append(pub, pubRange{db: db, off: rec.offset, n: rec.length})
+				ranges[db] = append(ranges[db], netram.Range{Offset: rec.offset, Length: rec.length})
 			}
 		}
-		for _, p := range pub {
-			if err := l.net.PushAcked(p.db.region, p.off, p.n); err != nil {
-				return fmt.Errorf("perseas: repair mirror of %q: %w", p.db.name, err)
+		return runParallel(workers, len(order), func(i int) error {
+			db := order[i]
+			if err := l.net.PushMany(db.region, ranges[db]); err != nil {
+				return fmt.Errorf("perseas: repair mirror of %q: %w", db.name, err)
 			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 6: quorum repairs are staged against the local image first
+	// and published only afterwards: writes to the mirrors begin only
+	// after every winner's bytes were fetched, so one slot's repair can
+	// never clobber bytes another slot still needs to read. Forward
+	// repairs apply in commit order (descending holder count — see
+	// repairOp); rollbacks apply last, because an in-flight claim is
+	// always the newest writer of its bytes. At parallelism the winner
+	// fetches run concurrently up front (the mirrors are untouched until
+	// publish, so the bytes read are the same), the local applies keep
+	// their serial commit order, and the publishes batch per database.
+	if len(repairs) > 0 {
+		err = l.recoveryStep(root, workers, "quorum_repair", &l.recMetrics.Repair, func() error {
+			sort.SliceStable(repairs, func(i, j int) bool {
+				a, b := repairs[i], repairs[j]
+				if a.forward != b.forward {
+					return a.forward
+				}
+				return a.forward && a.holders > b.holders
+			})
+			if workers <= 1 {
+				type pubRange struct {
+					db  *Database
+					off uint64
+					n   uint64
+				}
+				var pub []pubRange
+				for _, op := range repairs {
+					for i := len(op.recs) - 1; i >= 0; i-- {
+						rec := op.recs[i]
+						db, ok := byID[rec.dbID]
+						if !ok {
+							continue
+						}
+						if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
+							return fmt.Errorf("perseas: undo record outside database %q", db.name)
+						}
+						if op.forward {
+							data, err := l.net.FetchMirror(op.winner, db.region, rec.offset, rec.length)
+							if err != nil {
+								return fmt.Errorf("perseas: re-fetch committed range of %q: %w", db.name, err)
+							}
+							l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], data)
+						} else {
+							l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
+						}
+						pub = append(pub, pubRange{db: db, off: rec.offset, n: rec.length})
+					}
+				}
+				for _, p := range pub {
+					if err := l.net.PushAcked(p.db.region, p.off, p.n); err != nil {
+						return fmt.Errorf("perseas: repair mirror of %q: %w", p.db.name, err)
+					}
+				}
+				return nil
+			}
+			// Prefetch every forward repair's winner bytes concurrently.
+			// Records with a dropped database or bad bounds are skipped
+			// here; the serial apply loop below reports them exactly as
+			// the serial path would.
+			type fetchJob struct{ op, rec int }
+			var jobs []fetchJob
+			pre := make([][][]byte, len(repairs))
+			for i := range repairs {
+				op := &repairs[i]
+				if !op.forward {
+					continue
+				}
+				pre[i] = make([][]byte, len(op.recs))
+				for j, rec := range op.recs {
+					db, ok := byID[rec.dbID]
+					if !ok {
+						continue
+					}
+					if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
+						continue
+					}
+					jobs = append(jobs, fetchJob{op: i, rec: j})
+				}
+			}
+			if err := runParallel(workers, len(jobs), func(n int) error {
+				j := jobs[n]
+				op := &repairs[j.op]
+				rec := op.recs[j.rec]
+				db := byID[rec.dbID]
+				data, err := l.net.FetchMirror(op.winner, db.region, rec.offset, rec.length)
+				if err != nil {
+					return fmt.Errorf("perseas: re-fetch committed range of %q: %w", db.name, err)
+				}
+				buf := make([]byte, len(data))
+				copy(buf, data)
+				pre[j.op][j.rec] = buf
+				return nil
+			}); err != nil {
+				return err
+			}
+			var order []*Database
+			ranges := make(map[*Database][]netram.Range)
+			for i := range repairs {
+				op := &repairs[i]
+				for j := len(op.recs) - 1; j >= 0; j-- {
+					rec := op.recs[j]
+					db, ok := byID[rec.dbID]
+					if !ok {
+						continue
+					}
+					if rec.offset > db.Size() || rec.length > db.Size()-rec.offset {
+						return fmt.Errorf("perseas: undo record outside database %q", db.name)
+					}
+					if op.forward {
+						l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], pre[i][j])
+					} else {
+						l.mem.Copy(l.clock, db.region.Local[rec.offset:rec.offset+rec.length], rec.data)
+					}
+					if _, ok := ranges[db]; !ok {
+						order = append(order, db)
+					}
+					ranges[db] = append(ranges[db], netram.Range{Offset: rec.offset, Length: rec.length})
+				}
+			}
+			return runParallel(workers, len(order), func(i int) error {
+				db := order[i]
+				if err := l.net.PushManyAckedTraced(db.region, ranges[db], nil); err != nil {
+					return fmt.Errorf("perseas: repair mirror of %q: %w", db.name, err)
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return err
 		}
 	}
 
-	// Quorum recovery adopted each slot's winning undo log as the local
-	// image; republish it whole so every mirror's copy — including one
-	// that missed straggler writes entirely — is byte-identical before
-	// the region set is readable. The tail beyond the winner's records
-	// is zeros, which a future scan treats as log end; stale divergent
-	// tails must not survive into the next crash's winner election.
+	// Phase 7: quorum recovery adopted each slot's winning undo log as
+	// the local image; republish it so every mirror's copy — including
+	// one that missed straggler writes entirely — is byte-identical
+	// before the region set is readable. Only the materialised prefix
+	// ships as payload; the tail beyond the winner's records must be
+	// zeros everywhere (a future scan treats zeros as log end, and stale
+	// divergent tails must not survive into the next crash's winner
+	// election), so it is cleared remotely without shipping a payload of
+	// zeroes.
 	if q > 0 {
-		for _, rs := range recovered {
-			if err := l.net.PushAllAcked(rs.region); err != nil {
-				return fmt.Errorf("perseas: republish undo log: %w", err)
-			}
+		err = l.recoveryStep(root, workers, "undo_republish", &l.recMetrics.Republish, func() error {
+			return runParallel(workers, len(recovered), func(k int) error {
+				rs := recovered[k]
+				if rs.prefix > 0 {
+					if err := l.net.PushAcked(rs.region, 0, rs.prefix); err != nil {
+						return fmt.Errorf("perseas: republish undo log: %w", err)
+					}
+				}
+				if rs.prefix < rs.region.Size() {
+					if err := l.net.ZeroRangeAcked(rs.region, rs.prefix, rs.region.Size()-rs.prefix); err != nil {
+						return fmt.Errorf("perseas: republish undo log: %w", err)
+					}
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return err
 		}
 	}
 
@@ -524,6 +920,7 @@ func Attach(net *netram.Client, clock simclock.Clock, opts ...Option) (*Library,
 		o(l)
 	}
 	net.SetClock(clock)
+	l.tracer.SetClock(clock)
 	if err := l.Recover(); err != nil {
 		return nil, err
 	}

@@ -23,6 +23,10 @@ const (
 	// recordAlign keeps record starts 16-byte aligned so small records
 	// occupy the fewest SCI packet slots.
 	recordAlign = 16
+	// undoChunk is the granularity recovery materialises remote undo
+	// logs at: most crashes leave a handful of records per slot, so the
+	// scan transfers a chunk or two, never the whole undo region.
+	undoChunk = 64 << 10
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -107,28 +111,36 @@ func parseRecord(log []byte, cursor uint64) (rec undoRecord, advance uint64, ok 
 // one recovery may roll back — which is also the only one that can have
 // touched the remote database.
 func scanUndoLog(log []byte, committed uint64) []undoRecord {
-	recs, _ := scanUndoLogLazy(log, committed, func(uint64) error { return nil })
+	recs, _ := scanUndoLogLazy(committed, uint64(len(log)),
+		func(uint64) ([]byte, error) { return log, nil })
 	return recs
 }
 
 // scanUndoLogLazy is scanUndoLog over a partially materialised log
-// buffer: before touching log[:n] it calls ensure(n), which the caller
-// implements by fetching the next chunk of the remote undo log. Recovery
-// thus transfers only the log prefix the head transaction actually
-// wrote, not the whole undo region.
-func scanUndoLogLazy(log []byte, committed uint64, ensure func(uint64) error) ([]undoRecord, error) {
+// buffer of size total bytes: before touching the first n bytes it calls
+// ensure(n), which the caller implements by fetching the next chunk of
+// the remote undo log and returning the buffer holding the materialised
+// prefix (the buffer may move between calls as it grows; returned
+// records alias the final one, and earlier copies keep their bytes).
+// Recovery thus transfers only the log prefix the head transaction
+// actually wrote, not the whole undo region.
+func scanUndoLogLazy(committed, total uint64, ensure func(uint64) ([]byte, error)) ([]undoRecord, error) {
 	var out []undoRecord
 	var cursor uint64
 	var headTx uint64
 	for {
-		if err := ensure(cursor + recordHeaderSize); err != nil {
+		log, err := ensure(cursor + recordHeaderSize)
+		if err != nil {
 			return nil, err
 		}
-		if cursor+recordHeaderSize > uint64(len(log)) {
+		if cursor+recordHeaderSize > total {
 			return out, nil
 		}
 		length := uint64(binary.BigEndian.Uint32(log[cursor+20 : cursor+24]))
-		if err := ensure(cursor + recordHeaderSize + length); err != nil {
+		if cursor+recordHeaderSize+length > total {
+			return out, nil
+		}
+		if log, err = ensure(cursor + recordHeaderSize + length); err != nil {
 			return nil, err
 		}
 		rec, advance, ok := parseRecord(log, cursor)

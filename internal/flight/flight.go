@@ -59,6 +59,14 @@ const (
 	// InDoubtRepair: a decided cross-shard commit stuck in doubt was
 	// re-driven to completion.
 	InDoubtRepair
+	// RecoveryPhase: crash recovery entered a phase (metadata fetch,
+	// slot scan, database fetch, rollback, repair publish); the arg is
+	// the recovery's parallelism.
+	RecoveryPhase
+	// RebuildPhase: an online mirror rebuild entered a phase (bulk
+	// copy, catch-up epochs, final drain); the arg is the slot being
+	// rebuilt.
+	RebuildPhase
 	numKinds
 )
 
@@ -71,6 +79,8 @@ var kindNames = [numKinds]string{
 	"guardian_transition",
 	"catchup_overflow",
 	"indoubt_repair",
+	"recovery_phase",
+	"rebuild_phase",
 }
 
 // String returns the kind's snake_case name.

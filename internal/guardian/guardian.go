@@ -142,6 +142,12 @@ type MirrorHealth struct {
 	// RebuildBytes is the payload copied onto replacements for this
 	// slot, cumulative.
 	RebuildBytes uint64
+	// SourceBytes is the payload this slot's mirror served as the read
+	// source of other slots' rebuilds, cumulative. Under a pipelined
+	// rebuild the bulk-copy reads stripe round-robin across the
+	// survivors, so roughly equal values here mean the copy rode their
+	// aggregate bandwidth instead of hammering the first live node.
+	SourceBytes uint64
 	// LastError is the most recent probe or rebuild error, nil when
 	// healthy.
 	LastError error
@@ -295,6 +301,10 @@ func (g *Guardian) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterHistogram("perseas_guardian_rebuild_duration_us", "rebuild start to restored", &m.RebuildDuration)
 }
 
+// RebuildPipeline reports the client's rebuild bulk-copy read-ahead
+// depth (1 = the sequential historical copy loop).
+func (g *Guardian) RebuildPipeline() int { return g.client.RebuildPipeline() }
+
 // SparesLeft reports how many standby nodes remain in the pool.
 func (g *Guardian) SparesLeft() int {
 	g.mu.Lock()
@@ -318,9 +328,13 @@ func (g *Guardian) Status() []MirrorHealth {
 		}
 	}
 	g.mu.Unlock()
+	src := g.client.RebuildSourceBytes()
 	for i := range rows {
 		rows[i].Mirror = g.client.MirrorName(i)
 		rows[i].CatchUp = g.client.CatchUpPending(i)
+		if i < len(src) {
+			rows[i].SourceBytes = src[i]
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Slot < rows[j].Slot })
 	return rows

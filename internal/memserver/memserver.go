@@ -217,6 +217,32 @@ func (s *Server) WriteBatch(entries []wire.BatchEntry) error {
 	return nil
 }
 
+// Fill zeroes n bytes of a segment starting at offset — a write whose
+// payload never crosses the wire. Accounted as a write of n bytes so
+// the node's byte counters still reflect the memory it touched.
+func (s *Server) Fill(id uint32, offset, n uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkAlive(); err != nil {
+		return err
+	}
+	seg, ok := s.segs[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNoSuchSegment, id)
+	}
+	if offset > uint64(len(seg.Data)) || n > uint64(len(seg.Data))-offset {
+		return fmt.Errorf("%w: fill [%d,+%d) into %d-byte segment %d",
+			ErrBadRange, offset, n, len(seg.Data), id)
+	}
+	zero := seg.Data[offset : offset+n]
+	for i := range zero {
+		zero[i] = 0
+	}
+	s.stats.WriteOps++
+	s.stats.BytesWritten += n
+	return nil
+}
+
 // Read copies n bytes out of a segment starting at offset.
 func (s *Server) Read(id uint32, offset uint64, n uint32) ([]byte, error) {
 	s.mu.Lock()
@@ -420,6 +446,11 @@ func (s *Server) Handle(req *wire.Request) *wire.Response {
 			return fail(err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Data: data}
+	case wire.OpFill:
+		if err := s.Fill(req.Seg, req.Offset, req.Size); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Status: wire.StatusOK}
 	case wire.OpConnect:
 		seg, err := s.Connect(req.Name)
 		if err != nil {

@@ -114,6 +114,11 @@ type Metrics struct {
 	// bounded catch-up queue was full; each drop degrades the mirror and
 	// hands it to the guardian's revive/rebuild path.
 	CatchUpOverflows obs.Counter
+	// RebuildSourceBytes holds one counter per mirror slot: the bytes
+	// that slot served as the read side of rebuild copies. With striped
+	// rebuild reads the load spreads across the survivors; these
+	// counters are the evidence.
+	RebuildSourceBytes []obs.Counter
 }
 
 // Client is a reliable-network-RAM client bound to a fixed mirror set.
@@ -171,6 +176,13 @@ type Client struct {
 	// goroutine per mirror slot, started lazily on the first push that
 	// can go parallel; callPool recycles per-dispatch latches and
 	// scratch so the steady-state push path allocates nothing.
+	// rebuildPipeline is the read-ahead depth of RebuildMirror's bulk
+	// copy: 1 (the default) runs the exact historical read-then-write
+	// loop from the first survivor; n >= 2 keeps up to n chunk reads in
+	// flight, striped round-robin across the surviving replicas, while
+	// chunks write to the replacement.
+	rebuildPipeline int
+
 	serialFanout bool
 	workerOnce   sync.Once
 	senders      []chan *fanoutJob
@@ -220,6 +232,19 @@ func WithReadChunk(n uint64) Option {
 	}
 }
 
+// WithRebuildPipeline sets the rebuild bulk copy's read-ahead depth: up
+// to n chunk reads stay in flight, striped round-robin across the
+// surviving replicas, while completed chunks write to the replacement.
+// 1 (and any n below it) keeps the historical strictly sequential
+// read-then-write loop from the first survivor.
+func WithRebuildPipeline(n int) Option {
+	return func(c *Client) {
+		if n > 1 {
+			c.rebuildPipeline = n
+		}
+	}
+}
+
 // WithSerialFanout disables the parallel mirror fan-out: every push
 // writes its mirrors one after the other on the caller's goroutine, the
 // pre-parallelisation behaviour. Used by the fan-out benchmark's
@@ -259,6 +284,8 @@ func NewClient(mirrors []Mirror, opts ...Option) (*Client, error) {
 		rebuildSlot:    -1,
 	}
 	c.metrics.MirrorPush = make([]obs.Histogram, len(mirrors))
+	c.metrics.RebuildSourceBytes = make([]obs.Counter, len(mirrors))
+	c.rebuildPipeline = 1
 	for _, o := range opts {
 		o(c)
 	}
@@ -480,6 +507,9 @@ func (c *Client) RegisterMetricsPrefixed(reg *obs.Registry, prefix string) {
 	})
 	reg.RegisterHistogram(prefix+"_push_ack_depth", "mirror acks collected when a quorum push returned", &m.AckDepth)
 	reg.RegisterCounter(prefix+"_catchup_overflows_total", "quorum writes dropped on a full per-mirror catch-up queue", &m.CatchUpOverflows)
+	reg.RegisterGauge(prefix+"_rebuild_pipeline_depth", "rebuild bulk-copy read-ahead depth (1 = sequential)", func() uint64 {
+		return uint64(c.RebuildPipeline())
+	})
 	for i := range m.MirrorPush {
 		reg.RegisterHistogram(
 			fmt.Sprintf("%s_mirror%d_push_latency_ns", prefix, i),
@@ -490,6 +520,10 @@ func (c *Client) RegisterMetricsPrefixed(reg *obs.Registry, prefix string) {
 			fmt.Sprintf("%s_mirror%d_catchup_pending", prefix, i),
 			fmt.Sprintf("quorum writes mirror slot %d has not yet completed", i),
 			func() uint64 { return uint64(c.CatchUpPending(i)) })
+		reg.RegisterCounter(
+			fmt.Sprintf("%s_mirror%d_rebuild_source_bytes_total", prefix, i),
+			fmt.Sprintf("bytes mirror slot %d served as a rebuild read source", i),
+			&m.RebuildSourceBytes[i])
 	}
 }
 
@@ -890,6 +924,20 @@ func (c *Client) FetchMirror(i int, r *Region, offset, n uint64) ([]byte, error)
 func (c *Client) Connect(name string) (*Region, error) {
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
+	r, err := c.connectRegion(name)
+	if err != nil {
+		return nil, err
+	}
+	c.regions = append(c.regions, r)
+	return r, nil
+}
+
+// connectRegion maps name on every reachable mirror and allocates the
+// local buffer, without touching the region list. The caller holds the
+// topology write lock; ConnectMany runs several of these concurrently
+// (only c.mirrors is read, and transports are safe for concurrent use)
+// and appends the results in input order itself.
+func (c *Client) connectRegion(name string) (*Region, error) {
 	r := &Region{Name: name, handles: make([]transport.SegmentHandle, len(c.mirrors))}
 	var size uint64
 	connected := 0
@@ -915,7 +963,6 @@ func (c *Client) Connect(name string) (*Region, error) {
 		return nil, fmt.Errorf("netram: connect %q: %w", name, ErrAllMirrorsDown)
 	}
 	r.Local = make([]byte, size)
-	c.regions = append(c.regions, r)
 	return r, nil
 }
 

@@ -1,0 +1,229 @@
+// Parallel recovery support: the operations core's crash recovery uses
+// to make its wall-clock cost scale with mirrors and regions instead of
+// summing over them.
+//
+// ConnectMany reconnects several named regions concurrently while
+// keeping the client's region list in input order, so recovery built at
+// any parallelism installs regions deterministically. FetchIntoStriped
+// splits a region into read-chunk pieces and stripes them round-robin
+// across the mirrors holding the segment, aggregating NIC bandwidth the
+// way the paper's recovery argument assumes a network of workstations
+// can. ZeroRangeAcked clears a remote range without shipping a payload
+// of zeroes — the transport does the zeroing server-side when it can.
+package netram
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ics-forth/perseas/internal/transport"
+)
+
+// ConnectMany re-maps the named regions after a crash, connecting up to
+// workers names concurrently. The successfully connected prefix of
+// names is appended to the client's region list in input order —
+// exactly the order a serial Connect loop would have produced — and
+// returned; the error that stopped the prefix (nil if every name
+// connected) rides along. Connections past the first failure are
+// released, so a missing name mid-list leaves nothing attached.
+//
+// With workers <= 1 the names connect serially on the caller's
+// goroutine, still under a single topology lock acquisition.
+func (c *Client) ConnectMany(names []string, workers int) ([]*Region, error) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	regs := make([]*Region, len(names))
+	errs := make([]error, len(names))
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers <= 1 {
+		for i, name := range names {
+			regs[i], errs[i] = c.connectRegion(name)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(names) {
+						return
+					}
+					regs[i], errs[i] = c.connectRegion(names[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	n := len(names)
+	var stop error
+	for i, err := range errs {
+		if err != nil {
+			n, stop = i, err
+			break
+		}
+	}
+	for i := n; i < len(names); i++ {
+		if regs[i] != nil {
+			c.releaseHandles(regs[i], len(c.mirrors))
+			regs[i] = nil
+		}
+	}
+	c.regions = append(c.regions, regs[:n]...)
+	return regs[:n:n], stop
+}
+
+// FetchIntoStriped restores r.Local in full, striping read-chunk pieces
+// round-robin across every mirror holding the segment so the transfer
+// rides the aggregate bandwidth of the surviving nodes. Each chunk
+// falls over to the remaining mirrors individually before failing the
+// fetch. Safe during recovery for the same reason FetchInto is: any
+// byte on which replicas may still disagree belongs to a head
+// transaction of some undo slot, and recovery rolls back or repairs
+// exactly those ranges after the fetch.
+//
+// With workers <= 1 it is FetchInto(r, 0, r.Size()) verbatim.
+func (c *Client) FetchIntoStriped(r *Region, workers int) error {
+	if workers <= 1 {
+		return c.FetchInto(r, 0, r.Size())
+	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	start := c.clock.Now()
+	var eligible []int
+	for i := range c.mirrors {
+		if r.handles[i].ID != 0 {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return fmt.Errorf("netram: striped fetch %q: %w", r.Name, ErrAllMirrorsDown)
+	}
+	size := r.Size()
+	nChunks := int((size + c.readChunk - 1) / c.readChunk)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nChunks {
+					return
+				}
+				off := uint64(ci) * c.readChunk
+				n := size - off
+				if n > c.readChunk {
+					n = c.readChunk
+				}
+				if err := c.fetchChunkStriped(r, eligible, ci, off, n); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	c.metrics.FetchLatency.ObserveDuration(c.clock.Now() - start)
+	return nil
+}
+
+// fetchChunkStriped reads one chunk into r.Local[off:off+n] from the
+// chunk's round-robin mirror, trying the other eligible mirrors on
+// failure. Chunks are disjoint, so concurrent callers never overlap in
+// the local buffer.
+func (c *Client) fetchChunkStriped(r *Region, eligible []int, ci int, off, n uint64) error {
+	var lastErr error
+	for a := 0; a < len(eligible); a++ {
+		mi := eligible[(ci+a)%len(eligible)]
+		m := c.mirrors[mi]
+		data, err := c.readChunked(m, r.handles[mi].ID, off, n)
+		if err != nil {
+			lastErr = fmt.Errorf("netram: fetch from mirror %s: %w", m.Name, err)
+			continue
+		}
+		copy(r.Local[off:off+n], data)
+		c.metrics.Fetches.Inc()
+		c.metrics.FetchedBytes.Add(n)
+		return nil
+	}
+	return fmt.Errorf("netram: striped fetch %q chunk at %d: %w (last: %v)",
+		r.Name, off, ErrAllMirrorsDown, lastErr)
+}
+
+// ZeroRangeAcked zeroes r[offset:offset+n] on every live mirror holding
+// the segment, joined on all of them (the PushAcked contract). Mirrors
+// whose transport can fill server-side pay one small request regardless
+// of n; the rest receive chunked writes of zeroes. The caller's local
+// bytes for the range must already be zero — recovery's republish
+// satisfies this because a freshly connected region starts zeroed and
+// only the fetched prefix is ever copied in.
+func (c *Client) ZeroRangeAcked(r *Region, offset, n uint64) error {
+	if err := r.checkRange(offset, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	var zeroes []byte
+	for i, m := range c.mirrors {
+		if r.handles[i].ID == 0 || c.isDown(i) {
+			continue
+		}
+		if f, ok := m.T.(transport.Filler); ok {
+			if err := f.Fill(r.handles[i].ID, offset, n); err != nil {
+				if pingErr := m.T.Ping(); pingErr != nil {
+					// Node gone: absorbed by degradation, like a push.
+					c.markDown(i)
+					continue
+				}
+				return fmt.Errorf("netram: zero %q on mirror %s: %w", r.Name, m.Name, err)
+			}
+			c.metrics.Pushes.Inc()
+			continue
+		}
+		if zeroes == nil {
+			step := n
+			if step > c.readChunk {
+				step = c.readChunk
+			}
+			zeroes = make([]byte, step)
+		}
+		for done := uint64(0); done < n; {
+			step := n - done
+			if step > uint64(len(zeroes)) {
+				step = uint64(len(zeroes))
+			}
+			if _, err := c.writeWithRetry(m, i, r.handles[i].ID, offset+done, zeroes[:step]); err != nil {
+				if c.isDown(i) {
+					break // degraded mid-write; survivors carry the range
+				}
+				return fmt.Errorf("netram: zero %q on mirror %s: %w", r.Name, m.Name, err)
+			}
+			c.metrics.WireBytes.Add(step)
+			done += step
+		}
+		c.metrics.Pushes.Inc()
+	}
+	return nil
+}

@@ -17,7 +17,10 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"github.com/ics-forth/perseas/internal/flight"
 	"github.com/ics-forth/perseas/internal/trace"
 	"github.com/ics-forth/perseas/internal/transport"
 )
@@ -159,6 +162,7 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 
 	// Phase 1 — bulk copy. Each chunk holds the topology read lock only
 	// for its survivor read, so pushes interleave freely.
+	c.flight.Record(flight.RebuildPhase, "netram", "bulk_copy", uint64(i))
 	bulk := root.Child(trace.LayerNetram, "bulk_copy")
 	for _, r := range snapshot {
 		h, err := exportOnReplacement(m, r.Name, r.Size())
@@ -181,6 +185,7 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 
 	// Phase 2 — catch-up epochs: replay what the data path dirtied
 	// while the previous round ran, still without blocking pushes.
+	c.flight.Record(flight.RebuildPhase, "netram", "catchup_epochs", uint64(i))
 	for epoch := 1; epoch <= maxCatchUpEpochs; epoch++ {
 		batch := c.swapDirty()
 		if len(batch) == 0 {
@@ -202,6 +207,7 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 	// dirty records only land when the last worker reclaims the call, so
 	// wait for them before taking the final dirty snapshot.
 	c.drainCatchUp()
+	c.flight.Record(flight.RebuildPhase, "netram", "final_drain", uint64(i))
 	fin := root.Child(trace.LayerNetram, "final_drain")
 	finBase := copied
 	c.tracking.Store(false)
@@ -255,6 +261,7 @@ func (c *Client) RebuildMirror(i int, m Mirror, onProgress func(RebuildProgress)
 	c.straggler.Store(0)
 	fin.EndN(copied - finBase)
 	root.EndN(copied)
+	c.flight.Record(flight.RebuildPhase, "netram", "complete", uint64(i))
 	_ = old.T.Close()
 	return nil
 }
@@ -331,12 +338,21 @@ func (c *Client) regionByName(name string, locked bool) *Region {
 	return nil
 }
 
-// rebuildCopy copies [off,off+n) of r from a surviving replica onto the
+// rebuildCopy copies [off,off+n) of r from surviving replicas onto the
 // replacement segment h, in chunks of at most readChunk bytes. With
 // locked false each chunk takes the topology read lock only for its
 // survivor read, so a multi-gigabyte copy never blocks a push for more
-// than one chunk. gone=true reports the region was freed mid-copy.
+// than one chunk. At pipeline depth 1 (the default) chunks move in a
+// strictly sequential read-then-write loop from the first survivor; at
+// depth n >= 2 up to n chunk reads stay in flight, striped round-robin
+// across the survivors, while completed chunks write to the
+// replacement — the read of chunk N+1 overlaps the write of chunk N.
+// gone=true reports the region was freed mid-copy.
 func (c *Client) rebuildCopy(m Mirror, h transport.SegmentHandle, r *Region, off, n uint64, skip int, locked bool, copied *uint64, epoch int, onProgress func(RebuildProgress)) (bool, error) {
+	nChunks := int((n + c.readChunk - 1) / c.readChunk)
+	if c.rebuildPipeline > 1 && nChunks > 1 {
+		return c.rebuildCopyPipelined(m, h, r, off, n, nChunks, skip, locked, copied, epoch, onProgress)
+	}
 	for done := uint64(0); done < n; {
 		step := n - done
 		if step > c.readChunk {
@@ -347,7 +363,7 @@ func (c *Client) rebuildCopy(m Mirror, h transport.SegmentHandle, r *Region, off
 				c.topoMu.RLock()
 				defer c.topoMu.RUnlock()
 			}
-			return c.survivorReadLocked(r, skip, off+done, step)
+			return c.survivorReadLocked(r, skip, off+done, step, 0)
 		}
 		data, gone, err := read()
 		if err != nil {
@@ -369,10 +385,99 @@ func (c *Client) rebuildCopy(m Mirror, h transport.SegmentHandle, r *Region, off
 	return false, nil
 }
 
-// survivorReadLocked reads [off,off+n) of r from the first live replica
-// other than the slot being rebuilt, with the topology lock held by the
-// caller. gone=true reports the region is no longer live.
-func (c *Client) survivorReadLocked(r *Region, skip int, off, n uint64) ([]byte, bool, error) {
+// rebuildChunk is one chunk moving through the pipelined rebuild copy.
+type rebuildChunk struct {
+	off  uint64
+	data []byte
+	gone bool
+	err  error
+}
+
+// rebuildCopyPipelined is rebuildCopy's read-ahead path: pipeline-depth
+// reader goroutines pull chunk indices, read each chunk from its
+// round-robin survivor (taking the topology read lock per chunk exactly
+// like the sequential path, so the dirty-epoch discipline is
+// unchanged), and the caller's goroutine writes completed chunks to the
+// replacement. Chunks are disjoint, so completion order does not
+// matter; a failed or gone chunk stops the readers at their next pull.
+func (c *Client) rebuildCopyPipelined(m Mirror, h transport.SegmentHandle, r *Region, off, n uint64, nChunks, skip int, locked bool, copied *uint64, epoch int, onProgress func(RebuildProgress)) (bool, error) {
+	depth := c.rebuildPipeline
+	if depth > nChunks {
+		depth = nChunks
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	results := make(chan rebuildChunk, depth)
+	var wg sync.WaitGroup
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nChunks || stop.Load() {
+					return
+				}
+				chunkOff := off + uint64(ci)*c.readChunk
+				step := off + n - chunkOff
+				if step > c.readChunk {
+					step = c.readChunk
+				}
+				read := func() ([]byte, bool, error) {
+					if !locked {
+						c.topoMu.RLock()
+						defer c.topoMu.RUnlock()
+					}
+					return c.survivorReadLocked(r, skip, chunkOff, step, ci)
+				}
+				data, gone, err := read()
+				results <- rebuildChunk{off: chunkOff, data: data, gone: gone, err: err}
+				if gone || err != nil {
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	var firstErr error
+	gone := false
+	for ch := range results {
+		if firstErr != nil || gone {
+			continue // draining after failure
+		}
+		switch {
+		case ch.err != nil:
+			firstErr = ch.err
+			stop.Store(true)
+		case ch.gone:
+			gone = true
+			stop.Store(true)
+		default:
+			if err := m.T.Write(h.ID, ch.off, ch.data); err != nil {
+				firstErr = fmt.Errorf("netram: rebuild write %q to %s: %w", r.Name, m.Name, err)
+				stop.Store(true)
+				continue
+			}
+			step := uint64(len(ch.data))
+			*copied += step
+			c.metrics.RebuildBytes.Add(step)
+			if onProgress != nil {
+				onProgress(RebuildProgress{Region: r.Name, CopiedBytes: *copied, Epoch: epoch})
+			}
+		}
+	}
+	return gone, firstErr
+}
+
+// survivorReadLocked reads [off,off+n) of r from a live replica other
+// than the slot being rebuilt, with the topology lock held by the
+// caller. rot rotates the starting replica among the survivors — the
+// pipelined copy passes the chunk index so consecutive chunks read
+// from different nodes — and the remaining survivors serve as
+// fallbacks in order; rot 0 reproduces the historical first-survivor
+// choice. gone=true reports the region is no longer live.
+func (c *Client) survivorReadLocked(r *Region, skip int, off, n uint64, rot int) ([]byte, bool, error) {
 	alive := false
 	for _, reg := range c.regions {
 		if reg == r {
@@ -383,11 +488,16 @@ func (c *Client) survivorReadLocked(r *Region, skip int, off, n uint64) ([]byte,
 	if !alive {
 		return nil, true, nil
 	}
-	var lastErr error
+	var candidates []int
 	for j := range c.mirrors {
 		if j == skip || c.isDown(j) || r.handles[j].ID == 0 {
 			continue
 		}
+		candidates = append(candidates, j)
+	}
+	var lastErr error
+	for a := 0; a < len(candidates); a++ {
+		j := candidates[(rot+a)%len(candidates)]
 		data, err := c.mirrors[j].T.Read(r.handles[j].ID, off, uint32(n))
 		if err != nil {
 			lastErr = err
@@ -398,12 +508,32 @@ func (c *Client) survivorReadLocked(r *Region, skip int, off, n uint64) ([]byte,
 				c.mirrors[j].Name, len(data), n)
 			continue
 		}
+		c.metrics.RebuildSourceBytes[j].Add(n)
 		return data, false, nil
 	}
 	if lastErr == nil {
 		lastErr = ErrAllMirrorsDown
 	}
 	return nil, false, fmt.Errorf("netram: rebuild source for %q: %w", r.Name, lastErr)
+}
+
+// RebuildPipeline reports the configured bulk-copy read-ahead depth.
+func (c *Client) RebuildPipeline() int {
+	if c.rebuildPipeline > 1 {
+		return c.rebuildPipeline
+	}
+	return 1
+}
+
+// RebuildSourceBytes reports how many bytes each mirror slot has served
+// as the read side of rebuild copies — with striped reads the evidence
+// that the load spread across the survivors.
+func (c *Client) RebuildSourceBytes() []uint64 {
+	out := make([]uint64, len(c.metrics.RebuildSourceBytes))
+	for i := range out {
+		out[i] = c.metrics.RebuildSourceBytes[i].Load()
+	}
+	return out
 }
 
 // exportOnReplacement maps name on the replacement node: reusing a

@@ -91,6 +91,16 @@ type Config struct {
 	// up asynchronously. Zero keeps the historical all-ack join, so
 	// every reproduced figure is untouched.
 	Quorum int
+	// RecoveryParallelism, when > 1, lets PERSEAS crash recovery use
+	// that many workers per phase (core.WithRecoveryParallelism). 0 and
+	// 1 keep the paper's serial recovery loop, so reproduced recovery
+	// figures are untouched.
+	RecoveryParallelism int
+	// RebuildPipeline, when > 1, double-buffers the guardian rebuild's
+	// bulk copy at that read-ahead depth and stripes its reads across
+	// the surviving mirrors (netram.WithRebuildPipeline). 0 and 1 keep
+	// the sequential copy loop.
+	RebuildPipeline int
 }
 
 // DefaultConfig fits the paper's benchmarks: databases up to a few tens
@@ -249,12 +259,21 @@ func NewPerseas(cfg Config) (*Lab, error) {
 	if cfg.Quorum > 0 {
 		nopts = append(nopts, netram.WithQuorum(cfg.Quorum))
 	}
+	if cfg.RebuildPipeline > 1 {
+		nopts = append(nopts, netram.WithRebuildPipeline(cfg.RebuildPipeline))
+	}
 	copts := []core.Option{core.WithUndoLogSize(cfg.UndoLogSize)}
 	if cfg.NoRemoteUndo {
 		copts = append(copts, core.WithUnsafeNoRemoteUndo())
 	}
 	if cfg.Tracer != nil {
 		copts = append(copts, core.WithTracer(cfg.Tracer))
+	}
+	if cfg.Flight != nil {
+		copts = append(copts, core.WithFlightRecorder(cfg.Flight))
+	}
+	if cfg.RecoveryParallelism > 1 {
+		copts = append(copts, core.WithRecoveryParallelism(cfg.RecoveryParallelism))
 	}
 
 	buildShard := func(prefix string) (*ShardLab, error) {

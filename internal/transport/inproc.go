@@ -153,6 +153,17 @@ func (t *InProc) Read(seg uint32, offset uint64, n uint32) ([]byte, error) {
 	return t.server.Read(seg, offset, n)
 }
 
+// Fill implements Filler. A fill is one small request frame regardless
+// of n — the zeroing happens on the remote node — so it costs a plain
+// round trip, not a store of n bytes.
+func (t *InProc) Fill(seg uint32, offset, n uint64) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.rpc()
+	return t.server.Fill(seg, offset, n)
+}
+
 // Connect implements Transport.
 func (t *InProc) Connect(name string) (SegmentHandle, error) {
 	if err := t.check(); err != nil {
@@ -222,4 +233,5 @@ var (
 	_ BatchWriter  = (*InProc)(nil)
 	_ Disconnector = (*InProc)(nil)
 	_ Prober       = (*InProc)(nil)
+	_ Filler       = (*InProc)(nil)
 )

@@ -364,6 +364,12 @@ func (t *TCP) Read(seg uint32, offset uint64, n uint32) ([]byte, error) {
 	return resp.Data, nil
 }
 
+// Fill implements Filler.
+func (t *TCP) Fill(seg uint32, offset, n uint64) error {
+	_, err := t.call(&wire.Request{Op: wire.OpFill, Seg: seg, Offset: offset, Size: n})
+	return err
+}
+
 // Connect implements Transport.
 func (t *TCP) Connect(name string) (SegmentHandle, error) {
 	resp, err := t.call(&wire.Request{Op: wire.OpConnect, Name: name})
@@ -435,6 +441,7 @@ var (
 	_ BatchWriter  = (*TCP)(nil)
 	_ Disconnector = (*TCP)(nil)
 	_ Prober       = (*TCP)(nil)
+	_ Filler       = (*TCP)(nil)
 )
 
 // Serve accepts connections on l and services each against srv until l is

@@ -83,6 +83,15 @@ type Prober interface {
 	Probe() error
 }
 
+// Filler is implemented by transports that can zero a remote range
+// server-side in one small exchange, instead of shipping a payload of
+// zero bytes. Recovery uses it to clear the stale tail of a republished
+// undo log; transports without the capability fall back to chunked
+// zero writes.
+type Filler interface {
+	Fill(seg uint32, offset, n uint64) error
+}
+
 // respErr converts an error response into a Go error.
 func respErr(resp *wire.Response) error {
 	if resp.Status == wire.StatusOK {

@@ -104,6 +104,11 @@ const (
 	// OpTxRecover rebuilds the serving engine after OpTxCrash. Gated
 	// like OpTxCrash.
 	OpTxRecover
+
+	// OpFill zeroes Size bytes at Offset of segment Seg server-side.
+	// Recovery uses it to clear the stale tail of a republished undo
+	// log without shipping a payload of zeroes over the wire.
+	OpFill
 )
 
 // String implements fmt.Stringer.
@@ -153,6 +158,8 @@ func (o Op) String() string {
 		return "TX-CRASH"
 	case OpTxRecover:
 		return "TX-RECOVER"
+	case OpFill:
+		return "FILL"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
